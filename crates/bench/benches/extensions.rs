@@ -1,0 +1,133 @@
+//! Benches for the extension layer: INT8 vs f32 GEMM, cluster scale-out
+//! simulation, multi-model serving, stitching, and the analysis kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_data::DatasetId;
+use harvest_hw::PlatformId;
+use harvest_imaging::{
+    capture_survey, residue_cover_fraction, stitch, FieldScene, SurveyGrid, SynthImageSpec,
+};
+use harvest_models::ModelId;
+use harvest_perf::MemoryContext;
+use harvest_preproc::PreprocMethod;
+use harvest_serving::cluster::{run_cluster_offline, ClusterConfig};
+use harvest_serving::{HostedModel, MultiModelServer, PipelineConfig};
+use harvest_simkit::SimTime;
+use harvest_tensor::gemm::gemm;
+use harvest_tensor::quant::{gemm_i8, quantized_gemm};
+use std::hint::black_box;
+
+fn int8_vs_f32_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/gemm_precision_256");
+    group.sample_size(10);
+    let n = 256;
+    let a = vec![0.3f32; n * n];
+    let b = vec![0.2f32; n * n];
+    let mut out = vec![0.0f32; n * n];
+    group.bench_function("f32", |bch| {
+        bch.iter(|| gemm(black_box(&a), black_box(&b), &mut out, n, n, n))
+    });
+    let qa = vec![37i8; n * n];
+    let qb = vec![25i8; n * n];
+    group.bench_function("int8_core", |bch| {
+        bch.iter(|| black_box(gemm_i8(black_box(&qa), black_box(&qb), n, n, n)))
+    });
+    group.bench_function("int8_with_quantize", |bch| {
+        bch.iter(|| black_box(quantized_gemm(black_box(&a), black_box(&b), n, n, n)))
+    });
+    group.finish();
+}
+
+fn cluster_sim(c: &mut Criterion) {
+    let pipeline = PipelineConfig {
+        platform: PlatformId::PitzerV100,
+        model: ModelId::ResNet50,
+        dataset: DatasetId::CornGrowthStage,
+        preproc: PreprocMethod::Dali224,
+        ctx: MemoryContext::EngineOnly,
+        max_batch: 32,
+        max_queue_delay: SimTime::from_millis(20),
+        preproc_instances: 2,
+        engine_instances: 1,
+    };
+    let mut group = c.benchmark_group("extensions/cluster_sim");
+    group.sample_size(10);
+    for nodes in [1u32, 8] {
+        group.bench_function(format!("{nodes}_nodes_2048_images"), |bch| {
+            bch.iter(|| {
+                black_box(
+                    run_cluster_offline(
+                        &ClusterConfig::standard(pipeline.clone(), nodes),
+                        2048,
+                    )
+                    .unwrap()
+                    .throughput,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn multimodel_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/multimodel");
+    group.sample_size(10);
+    group.bench_function("fanout_256_requests", |bch| {
+        bch.iter(|| {
+            let mut s = MultiModelServer::new(
+                PlatformId::MriA100,
+                DatasetId::CornGrowthStage,
+                &[
+                    HostedModel {
+                        model: ModelId::ResNet50,
+                        max_batch: 16,
+                        max_queue_delay: SimTime::from_millis(2),
+                    },
+                    HostedModel {
+                        model: ModelId::VitBase,
+                        max_batch: 16,
+                        max_queue_delay: SimTime::from_millis(2),
+                    },
+                ],
+            )
+            .unwrap();
+            for i in 0..256u64 {
+                s.submit_fanout(SimTime::from_micros(i * 200), &[0, 1]);
+            }
+            s.run_to_completion();
+            black_box(s.completed(0) + s.completed(1))
+        })
+    });
+    group.finish();
+}
+
+fn stitching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/stitch");
+    group.sample_size(10);
+    let grid = SurveyGrid { cols: 3, rows: 3, tile_w: 256, tile_h: 256, overlap: 32 };
+    let scene = FieldScene::RowCrop.render(&SynthImageSpec {
+        width: grid.mosaic_width(),
+        height: grid.mosaic_height(),
+        seed: 1,
+    });
+    let tiles = capture_survey(&scene, &grid);
+    group.bench_function("3x3_256px_tiles", |bch| {
+        bch.iter(|| black_box(stitch(black_box(&tiles), &grid).pixels()))
+    });
+    group.finish();
+}
+
+fn analysis(c: &mut Criterion) {
+    let frame =
+        FieldScene::GroundFeed.render(&SynthImageSpec { width: 640, height: 360, seed: 2 });
+    c.bench_function("extensions/residue_cover_640x360", |bch| {
+        bch.iter(|| black_box(residue_cover_fraction(black_box(&frame))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = int8_vs_f32_gemm, cluster_sim, multimodel_sim, stitching, analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig 4 bench (also covers Table 2): dataset sampling, size-histogram
+//! construction, and synthetic image generation + encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_core::experiments::{fig4, table2};
+use harvest_data::{DatasetId, Sampler, ALL_DATASETS};
+use std::hint::black_box;
+
+fn size_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/size_sampling");
+    for spec in &ALL_DATASETS {
+        group.bench_function(spec.name, |b| {
+            let sampler = Sampler::new(spec.id, 7);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % spec.samples;
+                black_box(sampler.meta(i))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn figure_runner(c: &mut Criterion) {
+    c.bench_function("fig4/histograms_10k", |b| b.iter(|| black_box(fig4(10_000, 7))));
+    c.bench_function("table2/registry", |b| b.iter(|| black_box(table2())));
+}
+
+fn image_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/encode_sample");
+    group.sample_size(10);
+    for id in [DatasetId::Fruits360, DatasetId::PlantVillage] {
+        group.bench_function(format!("{id:?}"), |b| {
+            let sampler = Sampler::new(id, 7);
+            let mut i = 0u32;
+            b.iter(|| {
+                i += 1;
+                black_box(sampler.encode(i % 100).bytes.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = size_sampling, figure_runner, image_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig 5/6 bench: the engine performance model sweep (TFLOPS and latency vs
+//! batch), engine compilation, and the memory planner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_core::experiments::{fig5, fig6};
+use harvest_engine::{compile, plan_activations, Engine};
+use harvest_hw::PlatformId;
+use harvest_models::{ModelId, Precision, ALL_MODELS};
+use harvest_perf::MemoryContext;
+use std::hint::black_box;
+
+fn figure_runners(c: &mut Criterion) {
+    c.bench_function("fig5/all_panels", |b| b.iter(|| black_box(fig5())));
+    c.bench_function("fig6/all_panels", |b| b.iter(|| black_box(fig6())));
+}
+
+fn engine_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/engine_compile");
+    for id in ALL_MODELS {
+        let graph = id.build();
+        group.bench_function(id.name(), |b| b.iter(|| black_box(compile(black_box(&graph)))));
+    }
+    group.finish();
+}
+
+fn memory_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/memory_planner");
+    for id in [ModelId::VitBase, ModelId::ResNet50] {
+        let graph = id.build();
+        group.bench_function(id.name(), |b| {
+            b.iter(|| black_box(plan_activations(black_box(&graph), Precision::Fp16)))
+        });
+    }
+    group.finish();
+}
+
+fn engine_build(c: &mut Criterion) {
+    c.bench_function("fig5/engine_build_vitsmall_jetson", |b| {
+        b.iter(|| {
+            black_box(
+                Engine::build(
+                    ModelId::VitSmall,
+                    PlatformId::JetsonOrinNano,
+                    MemoryContext::EngineOnly,
+                    64,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = figure_runners, engine_compile, memory_planner, engine_build
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig 7 bench: the preprocessing cost model sweep plus *real* host
+//! preprocessing (decode + resize + normalize on actual encoded samples).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_core::experiments::fig7;
+use harvest_data::{DatasetId, Sampler};
+use harvest_preproc::run_real;
+use std::hint::black_box;
+
+fn figure_runner(c: &mut Criterion) {
+    c.bench_function("fig7/all_panels", |b| b.iter(|| black_box(fig7())));
+}
+
+fn real_preproc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/real_host_preproc");
+    group.sample_size(10);
+    for (id, out_res) in [
+        (DatasetId::Fruits360, 224usize),
+        (DatasetId::PlantVillage, 224),
+        (DatasetId::SpittleBug, 32),
+        (DatasetId::WeedSoybean, 224),
+    ] {
+        let sampler = Sampler::new(id, 42);
+        let sample = sampler.encode(0);
+        group.bench_function(format!("{id:?}_to_{out_res}"), |b| {
+            b.iter(|| black_box(run_real(sampler.spec(), &sample, out_res).unwrap().total_s()))
+        });
+    }
+    group.finish();
+}
+
+fn real_preproc_output_resolution_sweep(c: &mut Criterion) {
+    // The DALI 224/96/32 analog on the host: same decode, different
+    // transform target.
+    let mut group = c.benchmark_group("fig7/real_out_res_sweep");
+    group.sample_size(10);
+    let sampler = Sampler::new(DatasetId::PlantVillage, 42);
+    let sample = sampler.encode(1);
+    for out_res in [224usize, 96, 32] {
+        group.bench_function(format!("plantvillage_to_{out_res}"), |b| {
+            b.iter(|| black_box(run_real(sampler.spec(), &sample, out_res).unwrap().total_s()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = figure_runner, real_preproc, real_preproc_output_resolution_sweep
+}
+criterion_main!(benches);

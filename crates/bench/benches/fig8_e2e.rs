@@ -1,0 +1,67 @@
+//! Fig 8 bench: end-to-end serving simulations (offline scenario per
+//! platform) and the full-figure runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_core::experiments::fig8::fig8_platform;
+use harvest_data::DatasetId;
+use harvest_hw::PlatformId;
+use harvest_models::ModelId;
+use harvest_perf::MemoryContext;
+use harvest_preproc::PreprocMethod;
+use harvest_serving::{run_offline, OfflineConfig, PipelineConfig};
+use harvest_simkit::SimTime;
+use std::hint::black_box;
+
+fn one_pipeline(platform: PlatformId, model: ModelId, batch: u32) -> PipelineConfig {
+    PipelineConfig {
+        platform,
+        model,
+        dataset: DatasetId::CornGrowthStage,
+        preproc: PreprocMethod::Dali224,
+        ctx: MemoryContext::EndToEnd,
+        max_batch: batch,
+        max_queue_delay: SimTime::from_millis(20),
+        preproc_instances: 2,
+        engine_instances: 1,
+    }
+}
+
+fn offline_sims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/offline_sim_1024_images");
+    group.sample_size(10);
+    for (platform, model, batch) in [
+        (PlatformId::MriA100, ModelId::ResNet50, 64u32),
+        (PlatformId::PitzerV100, ModelId::VitSmall, 32),
+        (PlatformId::JetsonOrinNano, ModelId::VitTiny, 64),
+    ] {
+        group.bench_function(format!("{}_{}", platform.name(), model.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    run_offline(&OfflineConfig {
+                        pipeline: one_pipeline(platform, model, batch),
+                        images: 1024,
+                    })
+                    .unwrap()
+                    .throughput,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn panel_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/panel");
+    group.sample_size(10);
+    group.bench_function("jetson_full_panel", |b| {
+        b.iter(|| black_box(fig8_platform(PlatformId::JetsonOrinNano)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = offline_sims, panel_runner
+}
+criterion_main!(benches);

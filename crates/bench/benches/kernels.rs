@@ -1,0 +1,92 @@
+//! Kernel microbenches: the real tensor substrate (GEMM variants, conv,
+//! attention, image ops) and the DES core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harvest_simkit::{Server, Sim, SimTime};
+use harvest_tensor::attention::AttentionWeights;
+use harvest_tensor::gemm::{gemm, gemm_blocked, gemm_naive};
+use harvest_tensor::{conv2d, multi_head_attention, resize_bilinear, softmax_rows};
+use std::hint::black_box;
+
+fn gemm_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/gemm_tiers_256");
+    let n = 256;
+    let a = vec![0.5f32; n * n];
+    let b = vec![0.25f32; n * n];
+    let mut out = vec![0.0f32; n * n];
+    group.bench_function("naive", |bch| {
+        bch.iter(|| gemm_naive(black_box(&a), black_box(&b), &mut out, n, n, n))
+    });
+    group.bench_function("blocked", |bch| {
+        bch.iter(|| gemm_blocked(black_box(&a), black_box(&b), &mut out, n, n, n))
+    });
+    group.bench_function("parallel", |bch| {
+        bch.iter(|| gemm(black_box(&a), black_box(&b), &mut out, n, n, n))
+    });
+    group.finish();
+}
+
+fn conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/conv2d");
+    group.sample_size(10);
+    // ResNet stem-like: 3->64, 7x7 s2 on 224².
+    let input = vec![0.1f32; 3 * 224 * 224];
+    let weight = vec![0.01f32; 64 * 3 * 7 * 7];
+    group.bench_function("stem_7x7_s2", |b| {
+        b.iter(|| black_box(conv2d(&input, &weight, &[], 1, 3, 224, 224, 64, 7, 2, 3)))
+    });
+    group.finish();
+}
+
+fn attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/attention");
+    // ViT-Tiny block: seq 257, dim 192, heads 3.
+    let (seq, dim, heads) = (257usize, 192usize, 3usize);
+    let x = vec![0.1f32; seq * dim];
+    let w_qkv = vec![0.01f32; 3 * dim * dim];
+    let w_out = vec![0.01f32; dim * dim];
+    let weights = AttentionWeights { w_qkv: &w_qkv, b_qkv: &[], w_out: &w_out, b_out: &[] };
+    group.bench_function("vit_tiny_block", |b| {
+        b.iter(|| black_box(multi_head_attention(black_box(&x), seq, dim, heads, &weights)))
+    });
+    group.finish();
+}
+
+fn image_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/image");
+    for (from, to) in [(256usize, 224usize), (3840, 224)] {
+        let input = vec![0.5f32; 3 * from * from.min(2160)];
+        let h = from.min(2160);
+        group.bench_with_input(
+            BenchmarkId::new("resize", format!("{from}->{to}")),
+            &to,
+            |b, &to| b.iter(|| black_box(resize_bilinear(&input, 3, h, from, to, to))),
+        );
+    }
+    let mut logits = vec![0.3f32; 257 * 257];
+    group.bench_function("softmax_257x257", |b| {
+        b.iter(|| softmax_rows(black_box(&mut logits), 257))
+    });
+    group.finish();
+}
+
+fn des_core(c: &mut Criterion) {
+    c.bench_function("kernels/des_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            let server = Server::new("s", 4);
+            for i in 0..100_000u64 {
+                server.submit(&mut sim, SimTime::from_nanos(i % 977), |_, _| {});
+            }
+            sim.run();
+            black_box(server.completed())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = gemm_tiers, conv, attention, image_ops, des_core
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 1 bench: the GEMM microbenchmark — real host kernel timings plus
+//! the simulated-device plateau measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harvest_hw::{device_gemm_time, measure_practical_tflops, GemmShape, ALL_PLATFORMS};
+use harvest_tensor::gemm;
+use std::hint::black_box;
+
+fn host_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/host_gemm");
+    for &n in &[128usize, 256, 512] {
+        let a = vec![1.0f32; n * n];
+        let b = vec![1.0f32; n * n];
+        let mut out = vec![0.0f32; n * n];
+        group.throughput(criterion::Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            bencher.iter(|| {
+                gemm(black_box(&a), black_box(&b), &mut out, n, n, n);
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn device_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/device_model");
+    for spec in &ALL_PLATFORMS {
+        group.bench_function(spec.id.name(), |bencher| {
+            bencher.iter(|| black_box(measure_practical_tflops(black_box(spec))))
+        });
+        // Also evaluate a single large-GEMM time prediction.
+        group.bench_function(format!("{}_single_8192", spec.id.name()), |bencher| {
+            let shape = GemmShape::square(8192);
+            bencher.iter(|| black_box(device_gemm_time(black_box(spec), &shape)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = host_gemm, device_model
+}
+criterion_main!(benches);

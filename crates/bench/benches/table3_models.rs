@@ -1,0 +1,51 @@
+//! Table 3 bench: model construction, analytics, and the table runner —
+//! plus a real ViT-Tiny forward pass on the host kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_core::experiments::table3;
+use harvest_engine::Executor;
+use harvest_models::{resnet50, vit_tiny, ALL_MODELS};
+use harvest_tensor::Tensor;
+use std::hint::black_box;
+
+fn build_and_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/build_stats");
+    for id in ALL_MODELS {
+        group.bench_function(id.name(), |b| {
+            b.iter(|| {
+                let g = black_box(id).build();
+                black_box(g.stats().params)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn table_runner(c: &mut Criterion) {
+    c.bench_function("table3/full_table", |b| b.iter(|| black_box(table3())));
+}
+
+fn real_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/real_forward");
+    group.sample_size(10);
+    let vit = vit_tiny(39);
+    let vit_exec = Executor::new(&vit, 42);
+    let x32 = Tensor::random(&[3, 32, 32], 7, 1.0);
+    group.bench_function("vit_tiny_32x32", |b| {
+        b.iter(|| black_box(vit_exec.forward(black_box(&x32))))
+    });
+    let rn = resnet50(39);
+    let rn_exec = Executor::new(&rn, 42);
+    let x224 = Tensor::random(&[3, 224, 224], 7, 1.0);
+    group.bench_function("resnet50_224x224", |b| {
+        b.iter(|| black_box(rn_exec.forward(black_box(&x224))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = build_and_stats, table_runner, real_forward
+}
+criterion_main!(benches);

@@ -1,0 +1,563 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|host]... [--json DIR]
+//! ```
+//!
+//! With no arguments, everything runs. `--json DIR` additionally writes each
+//! result as a JSON artifact into DIR. `host` runs the *real* host
+//! measurements (GEMM GFLOPS + real preprocessing timings) — the
+//! executable-substrate counterpart of the simulated platforms.
+
+use harvest_bench::{ascii_series, pretty, text_table};
+use harvest_core::experiments as exp;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut wanted: BTreeSet<String> = BTreeSet::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            let dir = it.next().expect("--json needs a directory");
+            json_dir = Some(PathBuf::from(dir));
+        } else {
+            wanted.insert(a.clone());
+        }
+    }
+    let all = wanted.is_empty();
+    let run = |name: &str| all || wanted.contains(name);
+    if let Some(dir) = &json_dir {
+        fs::create_dir_all(dir).expect("create artifact dir");
+    }
+    let save = |name: &str, json: String| {
+        if let Some(dir) = &json_dir {
+            let path = dir.join(format!("{name}.json"));
+            fs::write(&path, json).expect("write artifact");
+            println!("  [artifact] {}", path.display());
+        }
+    };
+
+    if run("table1") {
+        table1(&save);
+    }
+    if run("table2") {
+        table2(&save);
+    }
+    if run("table3") {
+        table3(&save);
+    }
+    if run("fig4") {
+        fig4(&save);
+    }
+    if run("fig5") {
+        fig5(&save);
+    }
+    if run("fig6") {
+        fig6(&save);
+    }
+    if run("fig7") {
+        fig7(&save);
+    }
+    if run("fig8") {
+        fig8(&save);
+    }
+    if run("energy") {
+        energy(&save);
+    }
+    if run("continuum") {
+        continuum(&save);
+    }
+    if run("scaling") {
+        scaling(&save);
+    }
+    if run("ablations") {
+        ablations(&save);
+    }
+    if run("cluster") {
+        cluster(&save);
+    }
+    if run("host") {
+        host();
+    }
+}
+
+fn cluster(save: &dyn Fn(&str, String)) {
+    use harvest_data::DatasetId;
+    use harvest_hw::PlatformId;
+    use harvest_models::ModelId;
+    use harvest_perf::MemoryContext;
+    use harvest_preproc::PreprocMethod;
+    use harvest_serving::cluster::scaling_sweep;
+    use harvest_serving::PipelineConfig;
+    use harvest_simkit::SimTime;
+    println!("== Extension: cluster scale-out (offline, V100 nodes, ResNet50) ==");
+    let pipeline = PipelineConfig {
+        platform: PlatformId::PitzerV100,
+        model: ModelId::ResNet50,
+        dataset: DatasetId::CornGrowthStage,
+        preproc: PreprocMethod::Dali224,
+        ctx: MemoryContext::EngineOnly,
+        max_batch: 32,
+        max_queue_delay: SimTime::from_millis(20),
+        preproc_instances: 2,
+        engine_instances: 1,
+    };
+    let sweep = scaling_sweep(&pipeline, &[1, 2, 4, 8, 16, 32], 512).expect("fits");
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|&(nodes, tput, eff)| {
+            vec![nodes.to_string(), pretty(tput, 1), format!("{:.1}%", eff * 100.0)]
+        })
+        .collect();
+    println!("{}", text_table(&["Nodes", "Throughput (img/s)", "Scaling efficiency"], &rows));
+    let json: Vec<serde_json::Value> = sweep
+        .iter()
+        .map(|&(nodes, tput, eff)| {
+            serde_json::json!({ "nodes": nodes, "throughput": tput, "efficiency": eff })
+        })
+        .collect();
+    save("cluster", serde_json::to_string_pretty(&json).unwrap());
+}
+
+fn energy(save: &dyn Fn(&str, String)) {
+    use harvest_hw::PlatformId;
+    use harvest_models::ALL_MODELS;
+    use harvest_perf::{batch_axis, EnergyModel};
+    println!("== Extension: energy per image across the continuum ==");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for platform in [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano] {
+        for model in ALL_MODELS {
+            let e = EnergyModel::new(platform, model);
+            let bs1 = e.point(1);
+            let best = e.best_batch(batch_axis(platform));
+            rows.push(vec![
+                platform.name().to_string(),
+                model.name().to_string(),
+                format!("{:.1}", bs1.mj_per_image),
+                format!("{:.1} @BS{}", best.mj_per_image, best.batch),
+                format!("{:.1}", best.images_per_joule),
+            ]);
+            json.push(serde_json::json!({
+                "platform": platform.name(),
+                "model": model.name(),
+                "mj_per_image_bs1": bs1.mj_per_image,
+                "mj_per_image_best": best.mj_per_image,
+                "best_batch": best.batch,
+                "images_per_joule_best": best.images_per_joule,
+            }));
+        }
+    }
+    println!(
+        "{}",
+        text_table(
+            &["Platform", "Model", "mJ/img @BS1", "mJ/img best", "img/J best"],
+            &rows
+        )
+    );
+    save("energy", serde_json::to_string_pretty(&json).unwrap());
+}
+
+fn continuum(save: &dyn Fn(&str, String)) {
+    use harvest_core::continuum::{analyze, crossover_bandwidth_mbps, Placement};
+    use harvest_data::DatasetId;
+    use harvest_hw::{NetworkLink, PlatformId};
+    use harvest_models::ModelId;
+    println!("== Extension: edge-vs-cloud placement across uplinks ==");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for dataset in [DatasetId::Fruits360, DatasetId::CornGrowthStage, DatasetId::Crsa] {
+        for link in NetworkLink::ALL {
+            let a = analyze(ModelId::ResNet50, dataset, link, PlatformId::MriA100);
+            let winner = match a.throughput_winner {
+                Placement::Edge => "edge".to_string(),
+                Placement::Cloud(p) => format!("cloud({})", p.name()),
+            };
+            rows.push(vec![
+                format!("{dataset:?}"),
+                link.name.to_string(),
+                format!("{:.1}", a.uplink_rate),
+                format!("{:.1}", a.cloud_throughput),
+                format!("{:.1}", a.edge_throughput),
+                winner.clone(),
+            ]);
+            json.push(serde_json::json!({
+                "dataset": format!("{dataset:?}"),
+                "link": link.name,
+                "uplink_img_s": a.uplink_rate,
+                "cloud_img_s": a.cloud_throughput,
+                "edge_img_s": a.edge_throughput,
+                "winner": winner,
+            }));
+        }
+        let x = crossover_bandwidth_mbps(ModelId::ResNet50, dataset, PlatformId::MriA100);
+        println!("  {dataset:?}: cloud overtakes edge above {:.1} Mb/s uplink", x);
+    }
+    println!(
+        "{}",
+        text_table(
+            &["Dataset", "Uplink", "Link img/s", "Cloud img/s", "Edge img/s", "Winner"],
+            &rows
+        )
+    );
+    save("continuum", serde_json::to_string_pretty(&json).unwrap());
+}
+
+fn scaling(save: &dyn Fn(&str, String)) {
+    use harvest_core::experiments::scaling::scaling;
+    println!("== Extension: attention scaling — ViT vs RWKV-style linear attention ==");
+    let points = scaling();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{0}x{0}", p.resolution),
+                p.seq_len.to_string(),
+                format!("{:.2}", p.vit_gmacs),
+                format!("{:.2}", p.rwkv_gmacs),
+                format!("{:.1}x", p.vit_gmacs / p.rwkv_gmacs),
+                format!("{:.1}%", p.vit_attention_share * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["Input", "Seq", "ViT GMACs", "RWKV GMACs", "ViT/RWKV", "ViT attn share"],
+            &rows
+        )
+    );
+    save("scaling", serde_json::to_string_pretty(&points).unwrap());
+}
+
+fn ablations(save: &dyn Fn(&str, String)) {
+    use harvest_core::experiments::ablations::{
+        fusion_ablation, multi_instance_ablation, precision_ablation,
+    };
+    use harvest_hw::PlatformId;
+    use harvest_models::ModelId;
+    println!("== Ablation: multi-instance vs big batch (A100, ViT-Small, 2000 req/s) ==");
+    let rows = multi_instance_ablation(PlatformId::MriA100, ModelId::VitSmall, 64, 2_000.0);
+    println!(
+        "{}",
+        text_table(
+            &["Instances", "Batch/inst", "Throughput", "p50 ms", "p99 ms"],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.instances.to_string(),
+                    r.batch_per_instance.to_string(),
+                    pretty(r.throughput, 1),
+                    format!("{:.2}", r.p50_ms),
+                    format!("{:.2}", r.p99_ms),
+                ])
+                .collect::<Vec<_>>()
+        )
+    );
+    save("ablation_instances", serde_json::to_string_pretty(&rows).unwrap());
+
+    println!("== Ablation: serving precision (A100, ResNet50) ==");
+    let rows = precision_ablation(PlatformId::MriA100, ModelId::ResNet50);
+    println!(
+        "{}",
+        text_table(
+            &["Precision", "Speedup", "BS64 latency ms", "Weights MiB"],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.precision.clone(),
+                    format!("{:.1}x", r.speedup_vs_fp16),
+                    format!("{:.2}", r.latency64_ms),
+                    format!("{:.1}", r.weights_mib),
+                ])
+                .collect::<Vec<_>>()
+        )
+    );
+    save("ablation_precision", serde_json::to_string_pretty(&rows).unwrap());
+
+    println!("== Ablation: INT8 quantization error (real kernels) ==");
+    let rows = harvest_core::experiments::ablations::quantization_error_probe(2026);
+    println!(
+        "{}",
+        text_table(
+            &["Layer GEMM", "Relative error"],
+            &rows
+                .iter()
+                .map(|r| vec![r.layer.clone(), format!("{:.4}%", r.relative_error * 100.0)])
+                .collect::<Vec<_>>()
+        )
+    );
+    save("ablation_quantization", serde_json::to_string_pretty(&rows).unwrap());
+
+    println!("== Ablation: kernel fusion (Jetson launch overhead) ==");
+    let rows = fusion_ablation(PlatformId::JetsonOrinNano);
+    println!(
+        "{}",
+        text_table(
+            &["Model", "Launches fused", "Launches naive", "BS1 fused ms", "BS1 naive ms"],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.model.clone(),
+                    r.launches_fused.to_string(),
+                    r.launches_unfused.to_string(),
+                    format!("{:.2}", r.latency1_fused_ms),
+                    format!("{:.2}", r.latency1_unfused_ms),
+                ])
+                .collect::<Vec<_>>()
+        )
+    );
+    save("ablation_fusion", serde_json::to_string_pretty(&rows).unwrap());
+}
+
+fn table1(save: &dyn Fn(&str, String)) {
+    println!("== Table 1: Evaluated Cloud and Edge Platforms ==");
+    let rows = exp::table1();
+    let table = text_table(
+        &["Platform", "CPU", "Memory", "Scenario", "Theory TFLOPS", "Practical TFLOPS", "Efficiency"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.platform.clone(),
+                    format!("{} cores", r.cpu_cores),
+                    format!("{:.0}GB", r.memory_gb),
+                    r.scenarios.join(", "),
+                    format!("{:.0} @{}", r.theory_tflops, r.precision),
+                    format!("{:.1}", r.practical_tflops),
+                    format!("{:.2}%", r.efficiency_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    save("table1", serde_json::to_string_pretty(&rows).unwrap());
+}
+
+fn table2(save: &dyn Fn(&str, String)) {
+    println!("== Table 2: Agriculture Datasets Used in The Evaluation ==");
+    let rows = exp::table2();
+    let table = text_table(
+        &["Dataset", "Classes", "Samples", "Image Size", "Format", "Use Case"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.classes.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+                    pretty(r.samples as f64, 0),
+                    r.image_size.clone(),
+                    r.format.clone(),
+                    r.use_case.clone(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    save("table2", serde_json::to_string_pretty(&rows).unwrap());
+}
+
+fn table3(save: &dyn Fn(&str, String)) {
+    println!("== Table 3: Models Evaluated and Computational Intensity ==");
+    let rows = exp::table3();
+    let table = text_table(
+        &[
+            "Model", "Params", "Arch", "GFLOPs/Img", "Input", "UB A100", "UB V100", "UB Jetson",
+            "MLP%", "Attn%", "Conv%",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    format!("{:.2}M", r.params_m),
+                    r.architecture.clone(),
+                    format!("{:.2}", r.gflops_per_image),
+                    format!("{0}x{0}", r.input_size),
+                    pretty(r.upper_bound_a100, 0),
+                    pretty(r.upper_bound_v100, 0),
+                    pretty(r.upper_bound_jetson, 0),
+                    format!("{:.2}", r.mlp_share_pct),
+                    format!("{:.2}", r.attention_share_pct),
+                    format!("{:.2}", r.conv_share_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    save("table3", serde_json::to_string_pretty(&rows).unwrap());
+}
+
+fn fig4(save: &dyn Fn(&str, String)) {
+    println!("== Fig 4: Image Size Distribution Across Datasets ==");
+    let rows = exp::fig4(50_000, 7);
+    let table = text_table(
+        &["Dataset", "Mode", "Mode density", "Mean WxH", "Spread"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    format!("{}x{}", r.mode.0, r.mode.1),
+                    format!("{:.3}", r.mode_density),
+                    format!("{:.0}x{:.0}", r.mean_width, r.mean_height),
+                    if r.uniform { "uniform".into() } else { "varied".into() },
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    save("fig4", serde_json::to_string_pretty(&rows).unwrap());
+}
+
+fn fig5(save: &dyn Fn(&str, String)) {
+    println!("== Fig 5: Compute Intensity (TFLOPS) vs Batch Size ==");
+    let panels = exp::fig5();
+    for panel in &panels {
+        println!(
+            "-- {} (theory {:.0} TFLOPS, practical {:.1} TFLOPS) --",
+            panel.platform, panel.theoretical_tflops, panel.practical_tflops
+        );
+        for s in &panel.series {
+            let points: Vec<(String, f64)> = s
+                .points
+                .iter()
+                .map(|p| (format!("BS{}", p.batch), p.achieved_tflops))
+                .collect();
+            println!(
+                "{}",
+                ascii_series(
+                    &format!(
+                        "{}: {} img/s @ BS{}",
+                        s.model,
+                        pretty(s.peak_throughput, 1),
+                        s.peak_batch
+                    ),
+                    &points,
+                    "TFLOPS",
+                )
+            );
+        }
+    }
+    save("fig5", serde_json::to_string_pretty(&panels).unwrap());
+}
+
+fn fig6(save: &dyn Fn(&str, String)) {
+    println!("== Fig 6: Request Latency vs Batch Size (60 QPS threshold = 16.7 ms) ==");
+    let panels = exp::fig6();
+    for panel in &panels {
+        println!("-- {} --", panel.platform);
+        for s in &panel.series {
+            let points: Vec<(String, f64)> = s
+                .points
+                .iter()
+                .map(|p| (format!("BS{}", p.batch), p.latency_ms))
+                .collect();
+            let label = match s.max_batch_60qps {
+                Some(b) => format!("{} (60QPS up to BS{})", s.model, b),
+                None => format!("{} (cannot sustain 60QPS)", s.model),
+            };
+            println!("{}", ascii_series(&label, &points, "ms"));
+        }
+    }
+    save("fig6", serde_json::to_string_pretty(&panels).unwrap());
+}
+
+fn fig7(save: &dyn Fn(&str, String)) {
+    println!("== Fig 7: Preprocessing Throughput and Latency ==");
+    let panels = exp::fig7();
+    for panel in &panels {
+        println!("-- {} --", panel.platform);
+        let methods: Vec<String> = {
+            let mut seen = Vec::new();
+            for c in &panel.cells {
+                if !seen.contains(&c.method) {
+                    seen.push(c.method.clone());
+                }
+            }
+            seen
+        };
+        for metric in ["latency_ms", "throughput"] {
+            let mut rows = Vec::new();
+            let datasets: Vec<String> = {
+                let mut seen = Vec::new();
+                for c in &panel.cells {
+                    if !seen.contains(&c.dataset) {
+                        seen.push(c.dataset.clone());
+                    }
+                }
+                seen
+            };
+            for ds in &datasets {
+                let mut row = vec![ds.clone()];
+                for m in &methods {
+                    let cell = panel
+                        .cells
+                        .iter()
+                        .find(|c| &c.dataset == ds && &c.method == m)
+                        .unwrap();
+                    let v = if metric == "latency_ms" { cell.latency_ms } else { cell.throughput };
+                    row.push(pretty(v, 1));
+                }
+                rows.push(row);
+            }
+            let mut headers = vec![if metric == "latency_ms" {
+                "Latency (ms)"
+            } else {
+                "Throughput (img/s)"
+            }
+            .to_string()];
+            headers.extend(methods.iter().cloned());
+            let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+            println!("{}", text_table(&hdr_refs, &rows));
+        }
+    }
+    save("fig7", serde_json::to_string_pretty(&panels).unwrap());
+}
+
+fn fig8(save: &dyn Fn(&str, String)) {
+    println!("== Fig 8: End-To-End Pipeline Latency and Throughput ==");
+    let panels = exp::fig8();
+    for panel in &panels {
+        println!("-- {} --", panel.platform);
+        let mut rows = Vec::new();
+        for c in &panel.cells {
+            rows.push(vec![
+                format!("{}@BS{}", c.model, c.batch),
+                c.dataset.clone(),
+                format!("{:.1}", c.latency_ms),
+                pretty(c.throughput, 1),
+            ]);
+        }
+        println!(
+            "{}",
+            text_table(&["Model", "Dataset", "Latency (ms)", "Throughput (img/s)"], &rows)
+        );
+    }
+    save("fig8", serde_json::to_string_pretty(&panels).unwrap());
+}
+
+fn host() {
+    println!("== Host measurements (real kernels on this machine) ==");
+    for n in [256usize, 512, 1024] {
+        let gf = harvest_hw::host_gemm_gflops(n, 3);
+        println!("  real GEMM {n}x{n}x{n}: {:.1} GFLOPS", gf);
+    }
+    use harvest_data::{DatasetId, Sampler};
+    use harvest_preproc::run_real;
+    for id in [DatasetId::Fruits360, DatasetId::PlantVillage, DatasetId::CornGrowthStage] {
+        let sampler = Sampler::new(id, 42);
+        let sample = sampler.encode(0);
+        let out = run_real(sampler.spec(), &sample, 224).expect("real preproc");
+        println!(
+            "  real preproc {:?}: decode {:.2} ms, transform {:.2} ms",
+            id,
+            out.decode_s * 1e3,
+            out.transform_s * 1e3
+        );
+    }
+}

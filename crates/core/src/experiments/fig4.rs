@@ -1,0 +1,104 @@
+//! Fig. 4: image-size distributions across datasets.
+
+use harvest_data::sizedist::SizeHistogram;
+use harvest_data::ALL_DATASETS;
+use serde::Serialize;
+
+/// One dataset's panel of Fig. 4.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig4Dataset {
+    /// Dataset name.
+    pub dataset: String,
+    /// Modal cell centre ("the most common image size ... labeled on top").
+    pub mode: (usize, usize),
+    /// Density at the mode (fraction of samples in the modal cell).
+    pub mode_density: f64,
+    /// Whether the dataset is single-sized.
+    pub uniform: bool,
+    /// Sampled mean width.
+    pub mean_width: f64,
+    /// Sampled mean height.
+    pub mean_height: f64,
+}
+
+/// Regenerate Fig. 4 by sampling each dataset's size distribution.
+pub fn fig4(samples_per_dataset: usize, seed: u64) -> Vec<Fig4Dataset> {
+    ALL_DATASETS
+        .iter()
+        .map(|spec| {
+            let (mode_w, mode_h) = spec.size_dist.mode();
+            let extent = (mode_w.max(mode_h) * 2).max(450);
+            let cell = (extent / 45).max(1);
+            let hist = SizeHistogram::build(
+                &spec.size_dist,
+                samples_per_dataset,
+                cell,
+                extent,
+                seed ^ spec.id.index() as u64,
+            );
+            let mode = hist.mode();
+            // Mean via a second pass of draws.
+            let mut rng = harvest_simkit::SimRng::new(seed ^ 0xF00D ^ spec.id.index() as u64);
+            let (mut sw, mut sh) = (0.0f64, 0.0f64);
+            for _ in 0..samples_per_dataset {
+                let (w, h) = spec.size_dist.sample(&mut rng);
+                sw += w as f64;
+                sh += h as f64;
+            }
+            Fig4Dataset {
+                dataset: spec.name.to_string(),
+                mode,
+                mode_density: hist.density_at(mode.0, mode.1),
+                uniform: spec.size_dist.is_uniform(),
+                mean_width: sw / samples_per_dataset as f64,
+                mean_height: sh / samples_per_dataset as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_match_the_figure_labels() {
+        let rows = fig4(20_000, 7);
+        let get = |name: &str| rows.iter().find(|r| r.dataset.contains(name)).unwrap().clone();
+        let weed = get("Weed");
+        assert!((weed.mode.0 as i64 - 233).abs() <= 25, "{:?}", weed.mode);
+        assert!((weed.mode.1 as i64 - 233).abs() <= 25, "{:?}", weed.mode);
+        let bug = get("Spittle");
+        assert!((bug.mode.0 as i64 - 61).abs() <= 15, "{:?}", bug.mode);
+    }
+
+    #[test]
+    fn uniform_datasets_have_density_one() {
+        let rows = fig4(2_000, 3);
+        for r in rows.iter().filter(|r| r.uniform) {
+            assert!((r.mode_density - 1.0).abs() < 1e-9, "{}", r.dataset);
+        }
+    }
+
+    #[test]
+    fn varied_datasets_have_spread() {
+        let rows = fig4(20_000, 5);
+        for r in rows.iter().filter(|r| !r.uniform) {
+            assert!(r.mode_density < 0.5, "{}: {}", r.dataset, r.mode_density);
+            assert!(r.mode_density > 0.005, "{}: {}", r.dataset, r.mode_density);
+        }
+    }
+
+    #[test]
+    fn means_track_modes() {
+        for r in fig4(20_000, 11) {
+            assert!(
+                (r.mean_width - r.mode.0 as f64).abs() < r.mode.0 as f64 * 0.15,
+                "{}: mean {} vs mode {}",
+                r.dataset,
+                r.mean_width,
+                r.mode.0
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Sequence-length scaling: softmax attention vs RWKV-style linear
+//! attention.
+//!
+//! §3.1: "attention layers scale quadratically with respect to input
+//! sequence length, making them less suitable for large image inputs.
+//! Recent work seeks to address this limitation through state-based
+//! architectures such as RWKV." This experiment quantifies that statement
+//! with the model IR: identical geometry (dim/depth/heads/patch), softmax
+//! vs linear token mixing, swept over input resolution.
+
+use harvest_models::{rwkv_vision, vit, VitConfig};
+use serde::Serialize;
+
+/// One resolution point of the scaling sweep.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ScalingPoint {
+    /// Input image side length.
+    pub resolution: usize,
+    /// Sequence length (patches + CLS).
+    pub seq_len: usize,
+    /// ViT GMACs per image (attention-inclusive — the hardware runs them).
+    pub vit_gmacs: f64,
+    /// RWKV-style GMACs per image.
+    pub rwkv_gmacs: f64,
+    /// ViT's attention-matmul share of total MACs.
+    pub vit_attention_share: f64,
+}
+
+/// Sweep input resolution at ViT-Tiny-like geometry (dim 192, depth 12,
+/// heads 3, patch 2).
+pub fn scaling_sweep(resolutions: &[usize]) -> Vec<ScalingPoint> {
+    resolutions
+        .iter()
+        .map(|&img| {
+            let cfg = VitConfig {
+                dim: 192,
+                depth: 12,
+                heads: 3,
+                patch: 2,
+                img,
+                mlp_ratio: 4,
+                classes: 39,
+            };
+            let vit_stats = vit("vit", &cfg).stats();
+            let rwkv_stats = rwkv_vision("rwkv", &cfg).stats();
+            let seq_len = (img / cfg.patch) * (img / cfg.patch) + 1;
+            ScalingPoint {
+                resolution: img,
+                seq_len,
+                vit_gmacs: vit_stats.macs_with_attention / 1e9,
+                rwkv_gmacs: rwkv_stats.macs_with_attention / 1e9,
+                vit_attention_share: vit_stats.breakdown.attention_share(),
+            }
+        })
+        .collect()
+}
+
+/// The default sweep the harness prints (32² .. 512²).
+pub fn scaling() -> Vec<ScalingPoint> {
+    scaling_sweep(&[32, 64, 96, 128, 192, 256, 384, 512])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwkv_never_costs_more_than_vit() {
+        for p in scaling() {
+            assert!(p.rwkv_gmacs <= p.vit_gmacs, "{}: {} vs {}", p.resolution, p.rwkv_gmacs, p.vit_gmacs);
+        }
+    }
+
+    #[test]
+    fn vit_attention_share_grows_with_resolution() {
+        let points = scaling();
+        for w in points.windows(2) {
+            assert!(
+                w[1].vit_attention_share > w[0].vit_attention_share,
+                "{} -> {}",
+                w[0].resolution,
+                w[1].resolution
+            );
+        }
+        // At 512² (seq 65,537) the quadratic term dominates completely.
+        let last = points.last().unwrap();
+        assert!(last.vit_attention_share > 0.9, "{}", last.vit_attention_share);
+    }
+
+    #[test]
+    fn vit_scales_quadratically_rwkv_linearly() {
+        // Quadrupling the pixel count (2x resolution) ~4x the sequence:
+        // ViT attention MACs grow ~16x; RWKV total grows ~4x.
+        let points = scaling_sweep(&[128, 256]);
+        let vit_ratio = points[1].vit_gmacs / points[0].vit_gmacs;
+        let rwkv_ratio = points[1].rwkv_gmacs / points[0].rwkv_gmacs;
+        assert!(vit_ratio > 8.0, "vit ratio {vit_ratio}");
+        assert!(rwkv_ratio < 5.0, "rwkv ratio {rwkv_ratio}");
+    }
+
+    #[test]
+    fn at_small_resolution_the_gap_is_modest() {
+        // At the paper's 32² / seq-257 operating point, attention matmuls
+        // are only ~18% of compute — the RWKV advantage is small there.
+        let p = &scaling_sweep(&[32])[0];
+        assert!(p.vit_gmacs / p.rwkv_gmacs < 1.35, "{}", p.vit_gmacs / p.rwkv_gmacs);
+        assert!((p.vit_attention_share - 0.1823).abs() < 0.01);
+    }
+
+    #[test]
+    fn crossover_factor_exceeds_5x_at_high_resolution() {
+        let p = &scaling_sweep(&[512])[0];
+        assert!(p.vit_gmacs / p.rwkv_gmacs > 5.0, "{}", p.vit_gmacs / p.rwkv_gmacs);
+    }
+}

@@ -1,0 +1,111 @@
+//! Table 1: evaluated platforms — theoretical vs practical TFLOPS.
+
+use harvest_hw::{measure_practical_tflops, DeploymentScenario, ALL_PLATFORMS};
+use serde::Serialize;
+
+/// One platform column of Table 1.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1Row {
+    /// Platform display name.
+    pub platform: String,
+    /// CPU core count.
+    pub cpu_cores: u32,
+    /// GPU description.
+    pub gpu: String,
+    /// Host memory, GB.
+    pub memory_gb: f64,
+    /// Scenario labels.
+    pub scenarios: Vec<String>,
+    /// Vendor peak TFLOPS at the benchmarked precision.
+    pub theory_tflops: f64,
+    /// Precision label for the theory/practical figures.
+    pub precision: String,
+    /// GEMM-microbenchmark practical TFLOPS (simulated device).
+    pub practical_tflops: f64,
+    /// Practical / theoretical, percent.
+    pub efficiency_pct: f64,
+}
+
+/// Regenerate Table 1 by running the GEMM microbenchmark on each platform
+/// model.
+pub fn table1() -> Vec<Table1Row> {
+    ALL_PLATFORMS
+        .iter()
+        .map(|spec| {
+            let practical = measure_practical_tflops(spec);
+            Table1Row {
+                platform: spec.name.to_string(),
+                cpu_cores: spec.cpu_cores,
+                gpu: spec.gpu.to_string(),
+                memory_gb: spec.host_mem_bytes as f64 / (1u64 << 30) as f64,
+                scenarios: spec
+                    .scenarios
+                    .iter()
+                    .map(|s| {
+                        match s {
+                            DeploymentScenario::Online => "Online",
+                            DeploymentScenario::Offline => "Offline",
+                            DeploymentScenario::RealTime => "Real-Time",
+                        }
+                        .to_string()
+                    })
+                    .collect(),
+                theory_tflops: spec.theory_tflops,
+                precision: spec.precision.label().to_string(),
+                practical_tflops: practical,
+                efficiency_pct: practical / spec.theory_tflops * 100.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_hw::PlatformId;
+
+    #[test]
+    fn three_rows_in_table_order() {
+        let rows = table1();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].platform.contains("V100"));
+        assert!(rows[1].platform.contains("A100"));
+        assert!(rows[2].platform.contains("Jetson"));
+    }
+
+    #[test]
+    fn practical_numbers_match_paper_within_5pct() {
+        let rows = table1();
+        for (row, expected) in rows.iter().zip([92.6, 236.3, 11.4]) {
+            let err = (row.practical_tflops - expected).abs() / expected;
+            assert!(err < 0.05, "{}: {} vs {}", row.platform, row.practical_tflops, expected);
+        }
+    }
+
+    #[test]
+    fn efficiencies_span_the_papers_range() {
+        let rows = table1();
+        // V100 ~82.7%, A100 ~75.7%.
+        assert!((rows[0].efficiency_pct - 82.68).abs() < 3.0);
+        assert!((rows[1].efficiency_pct - 75.74).abs() < 3.0);
+    }
+
+    #[test]
+    fn jetson_row_is_realtime_only() {
+        let rows = table1();
+        assert_eq!(rows[2].scenarios, vec!["Real-Time"]);
+        assert_eq!(rows[2].cpu_cores, 6);
+    }
+
+    #[test]
+    fn rows_serialize_to_json() {
+        let rows = table1();
+        let json = serde_json::to_string(&rows).expect("serializable");
+        assert!(json.contains("practical_tflops"));
+    }
+
+    #[test]
+    fn platform_ids_cover_all_rows() {
+        assert_eq!(table1().len(), [PlatformId::PitzerV100, PlatformId::MriA100, PlatformId::JetsonOrinNano].len());
+    }
+}

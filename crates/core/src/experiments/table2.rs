@@ -1,0 +1,76 @@
+//! Table 2: the agriculture datasets used in the evaluation.
+
+use harvest_data::ALL_DATASETS;
+use serde::Serialize;
+
+/// One row of Table 2.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Classes (`None` for CRSA).
+    pub classes: Option<u32>,
+    /// Sample count.
+    pub samples: u32,
+    /// Image-size column: fixed "WxH" or "mode WxH (varied)".
+    pub image_size: String,
+    /// Use case.
+    pub use_case: String,
+    /// On-disk format label (reproduction detail).
+    pub format: String,
+}
+
+/// Regenerate Table 2 from the dataset registry.
+pub fn table2() -> Vec<Table2Row> {
+    ALL_DATASETS
+        .iter()
+        .map(|spec| {
+            let (w, h) = spec.size_dist.mode();
+            let image_size = if spec.size_dist.is_uniform() {
+                format!("{w}x{h}")
+            } else {
+                format!("mode {w}x{h} (varied)")
+            };
+            Table2Row {
+                dataset: spec.name.to_string(),
+                classes: spec.classes,
+                samples: spec.samples,
+                image_size,
+                use_case: spec.use_case.to_string(),
+                format: spec.format.label().to_string(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_with_published_counts() {
+        let rows = table2();
+        assert_eq!(rows.len(), 6);
+        let total_samples: u32 = rows.iter().map(|r| r.samples).sum();
+        assert_eq!(total_samples, 43_430 + 10_635 + 10_100 + 40_998 + 52_198 + 992);
+    }
+
+    #[test]
+    fn varied_datasets_are_marked() {
+        let rows = table2();
+        let weed = rows.iter().find(|r| r.dataset.contains("Weed")).unwrap();
+        assert!(weed.image_size.contains("varied"));
+        assert!(weed.image_size.contains("233x233"));
+        let pv = rows.iter().find(|r| r.dataset.contains("Plant Village")).unwrap();
+        assert_eq!(pv.image_size, "256x256");
+    }
+
+    #[test]
+    fn crsa_has_no_classes_and_4k_frames() {
+        let rows = table2();
+        let crsa = rows.iter().find(|r| r.dataset == "CRSA").unwrap();
+        assert_eq!(crsa.classes, None);
+        assert!(crsa.image_size.contains("3840x2160"));
+        assert!(crsa.use_case.contains("Ground Vehicle"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Table 3: the model zoo — parameters, GFLOPs/image, input sizes and
+//! per-platform throughput upper bounds — plus the §4.0.2 compute
+//! breakdown.
+
+use harvest_hw::PlatformId;
+use harvest_models::{ModelSpec, ALL_MODELS};
+use harvest_perf::EnginePerfModel;
+use serde::Serialize;
+
+/// One model column of Table 3.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table3Row {
+    /// Model name.
+    pub model: String,
+    /// Architecture family.
+    pub architecture: String,
+    /// Parameters, millions.
+    pub params_m: f64,
+    /// ptflops-style MACs per image, G.
+    pub gflops_per_image: f64,
+    /// Model input side length.
+    pub input_size: usize,
+    /// Throughput upper bound on the A100, img/s.
+    pub upper_bound_a100: f64,
+    /// Throughput upper bound on the V100, img/s.
+    pub upper_bound_v100: f64,
+    /// Throughput upper bound on the Jetson, img/s.
+    pub upper_bound_jetson: f64,
+    /// "MLP layers" compute share, percent (§4.0.2 convention).
+    pub mlp_share_pct: f64,
+    /// "Attention layers" compute share, percent.
+    pub attention_share_pct: f64,
+    /// Convolution compute share, percent.
+    pub conv_share_pct: f64,
+}
+
+/// Regenerate Table 3 from the model zoo and the calibrated platforms.
+pub fn table3() -> Vec<Table3Row> {
+    ALL_MODELS
+        .iter()
+        .map(|&id| {
+            let stats = id.build().stats();
+            let spec = ModelSpec::of(id);
+            let ub = |p: PlatformId| EnginePerfModel::new(p, id).upper_bound_throughput();
+            Table3Row {
+                model: id.name().to_string(),
+                architecture: spec.architecture.to_string(),
+                params_m: stats.mparams(),
+                gflops_per_image: stats.gmacs(),
+                input_size: spec.input_size,
+                upper_bound_a100: ub(PlatformId::MriA100),
+                upper_bound_v100: ub(PlatformId::PitzerV100),
+                upper_bound_jetson: ub(PlatformId::JetsonOrinNano),
+                mlp_share_pct: stats.breakdown.mlp_share() * 100.0,
+                attention_share_pct: stats.breakdown.attention_share() * 100.0,
+                conv_share_pct: stats.breakdown.conv_share() * 100.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str) -> Table3Row {
+        table3().into_iter().find(|r| r.model == name).unwrap()
+    }
+
+    #[test]
+    fn params_and_gflops_match_table3() {
+        let expect = [
+            ("ViT_Tiny", 5.39, 1.37),
+            ("ViT_Small", 21.40, 5.47),
+            ("ViT_Base", 85.80, 16.86),
+            ("ResNet50", 25.56, 4.09),
+        ];
+        for (name, params, gflops) in expect {
+            let r = row(name);
+            assert!((r.params_m - params).abs() / params < 0.01, "{name} params {}", r.params_m);
+            assert!(
+                (r.gflops_per_image - gflops).abs() / gflops < 0.01,
+                "{name} gflops {}",
+                r.gflops_per_image
+            );
+        }
+    }
+
+    #[test]
+    fn upper_bounds_match_table3() {
+        let expect = [
+            ("ViT_Tiny", 172_508.0, 67_602.0, 8_322.0),
+            ("ViT_Small", 43_214.0, 16_935.0, 2_085.0),
+            ("ViT_Base", 14_013.0, 5_491.0, 676.0),
+            ("ResNet50", 57_775.0, 22_641.0, 2_787.0),
+        ];
+        for (name, a100, v100, jetson) in expect {
+            let r = row(name);
+            for (got, want) in [
+                (r.upper_bound_a100, a100),
+                (r.upper_bound_v100, v100),
+                (r.upper_bound_jetson, jetson),
+            ] {
+                assert!((got - want).abs() / want < 0.01, "{name}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn vit_tiny_breakdown_matches_4_0_2() {
+        let r = row("ViT_Tiny");
+        assert!((r.mlp_share_pct - 81.73).abs() < 1.0, "{}", r.mlp_share_pct);
+        assert!((r.attention_share_pct - 18.23).abs() < 1.0, "{}", r.attention_share_pct);
+    }
+
+    #[test]
+    fn resnet_is_conv_dominated() {
+        let r = row("ResNet50");
+        assert!(r.conv_share_pct > 98.5, "{}", r.conv_share_pct);
+        assert_eq!(r.architecture, "CNN Based");
+    }
+
+    #[test]
+    fn input_sizes_match_table3() {
+        assert_eq!(row("ViT_Tiny").input_size, 32);
+        assert_eq!(row("ViT_Small").input_size, 32);
+        assert_eq!(row("ViT_Base").input_size, 224);
+        assert_eq!(row("ResNet50").input_size, 224);
+    }
+}

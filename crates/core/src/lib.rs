@@ -1,0 +1,46 @@
+//! # harvest-core
+//!
+//! The public face of the HARVEST inference reproduction:
+//!
+//! * [`pipeline`] — the deployment facade: pick a platform, model, dataset
+//!   and scenario; get a wired serving pipeline and its report.
+//! * [`advisor`] — the application-specific tuning guidance the paper's
+//!   conclusion promises: batch-size selection under latency bounds,
+//!   model selection under deadline/throughput constraints, memory-aware
+//!   feasibility checks.
+//! * [`experiments`] — one runner per table/figure in the paper, each
+//!   returning a structured, serializable result that the bench harness
+//!   prints and EXPERIMENTS.md records.
+//!
+//! ```
+//! use harvest_core::prelude::*;
+//!
+//! // What is the best batch for ViT-Small on the V100 under 60 QPS?
+//! let rec = Advisor::new(PlatformId::PitzerV100)
+//!     .recommend_batch(ModelId::VitSmall, 16.7)
+//!     .unwrap();
+//! assert!(rec.batch >= 8);
+//! ```
+
+pub mod advisor;
+pub mod continuum;
+pub mod experiments;
+pub mod pipeline;
+
+/// Convenient re-exports for downstream users and examples.
+pub mod prelude {
+    pub use crate::advisor::{Advisor, BatchRecommendation, ModelRecommendation};
+    pub use crate::continuum::{analyze as analyze_placement, Placement, PlacementAnalysis};
+    pub use crate::pipeline::{Deployment, DeploymentReport};
+    pub use harvest_hw::NetworkLink;
+    pub use harvest_data::{DatasetId, DatasetSpec, Sampler, ALL_DATASETS};
+    pub use harvest_engine::{Engine, Executor};
+    pub use harvest_hw::{DeploymentScenario, PlatformId, PlatformSpec, ALL_PLATFORMS};
+    pub use harvest_models::{ModelId, ModelSpec, Precision, ALL_MODELS};
+    pub use harvest_perf::{EngineMemoryModel, EnginePerfModel, MemoryContext};
+    pub use harvest_preproc::PreprocMethod;
+    pub use harvest_serving::{
+        OfflineConfig, OnlineConfig, PipelineConfig, RealTimeConfig,
+    };
+    pub use harvest_simkit::SimTime;
+}

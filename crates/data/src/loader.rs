@@ -1,0 +1,171 @@
+//! Batched dataset iteration: the dataloader-style API downstream code
+//! consumes.
+//!
+//! Supports deterministic shuffling (epoch-seeded), train/validation
+//! splits, and batched iteration over sample metadata — rendering/encoding
+//! stays lazy so iterating a 50k-sample dataset costs microseconds until
+//! pixels are actually requested.
+
+use crate::registry::DatasetId;
+use crate::sampler::{SampleMeta, Sampler};
+use harvest_simkit::SimRng;
+
+/// Which split a loader serves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Split {
+    /// The training fraction.
+    Train,
+    /// The held-out fraction.
+    Validation,
+}
+
+/// A batched, optionally shuffled view over a dataset split.
+pub struct DataLoader {
+    sampler: Sampler,
+    indices: Vec<u32>,
+    batch_size: usize,
+}
+
+impl DataLoader {
+    /// Loader over a split. `val_fraction` of samples (by index hash) go to
+    /// validation; the split is deterministic in `seed` and disjoint.
+    pub fn new(
+        dataset: DatasetId,
+        seed: u64,
+        split: Split,
+        val_fraction: f64,
+        batch_size: usize,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&val_fraction), "val fraction in [0,1)");
+        assert!(batch_size > 0);
+        let sampler = Sampler::new(dataset, seed);
+        let total = sampler.spec().samples;
+        let threshold = (val_fraction * u32::MAX as f64) as u32;
+        let mut rng = SimRng::new(seed ^ 0x5EED_5EED);
+        let indices = (0..total)
+            .filter(|_| {
+                // Deterministic per-index draw: assign each sample once.
+                let draw = rng.next_u64() as u32;
+                match split {
+                    Split::Validation => draw < threshold,
+                    Split::Train => draw >= threshold,
+                }
+            })
+            .collect();
+        DataLoader { sampler, indices, batch_size }
+    }
+
+    /// Samples in this split.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Batches per epoch (final partial batch included).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.indices.len().div_ceil(self.batch_size)
+    }
+
+    /// Deterministically shuffle for an epoch (same `epoch` ⇒ same order).
+    pub fn shuffle_epoch(&mut self, epoch: u64) {
+        let mut rng = SimRng::new(0xE60C ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        rng.shuffle(&mut self.indices);
+    }
+
+    /// Iterate one epoch as metadata batches.
+    pub fn batches(&self) -> impl Iterator<Item = Vec<SampleMeta>> + '_ {
+        self.indices
+            .chunks(self.batch_size)
+            .map(move |chunk| chunk.iter().map(|&i| self.sampler.meta(i)).collect())
+    }
+
+    /// The underlying sampler (for rendering/encoding chosen samples).
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaders(batch: usize) -> (DataLoader, DataLoader) {
+        (
+            DataLoader::new(DatasetId::SpittleBug, 7, Split::Train, 0.2, batch),
+            DataLoader::new(DatasetId::SpittleBug, 7, Split::Validation, 0.2, batch),
+        )
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_cover_everything() {
+        let (train, val) = loaders(32);
+        assert_eq!(train.len() + val.len(), 10_100);
+        let val_set: std::collections::HashSet<u32> = val.indices.iter().copied().collect();
+        assert!(train.indices.iter().all(|i| !val_set.contains(i)));
+    }
+
+    #[test]
+    fn val_fraction_is_respected() {
+        let (_, val) = loaders(32);
+        let frac = val.len() as f64 / 10_100.0;
+        assert!((frac - 0.2).abs() < 0.02, "val fraction {frac}");
+    }
+
+    #[test]
+    fn batches_cover_the_split_exactly_once() {
+        let (train, _) = loaders(256);
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0usize;
+        for batch in train.batches() {
+            assert!(batch.len() <= 256);
+            for meta in &batch {
+                assert!(seen.insert(meta.index), "duplicate {}", meta.index);
+                count += 1;
+            }
+        }
+        assert_eq!(count, train.len());
+        assert_eq!(train.batches_per_epoch(), train.len().div_ceil(256));
+    }
+
+    #[test]
+    fn epoch_shuffles_are_deterministic_and_distinct() {
+        let (mut a, _) = loaders(32);
+        let (mut b, _) = loaders(32);
+        a.shuffle_epoch(3);
+        b.shuffle_epoch(3);
+        assert_eq!(a.indices, b.indices);
+        let epoch3 = a.indices.clone();
+        a.shuffle_epoch(4);
+        assert_ne!(a.indices, epoch3);
+        // Still a permutation of the same set.
+        let mut x = a.indices.clone();
+        let mut y = epoch3.clone();
+        x.sort_unstable();
+        y.sort_unstable();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn zero_val_fraction_puts_everything_in_train() {
+        let train = DataLoader::new(DatasetId::Fruits360, 1, Split::Train, 0.0, 64);
+        let val = DataLoader::new(DatasetId::Fruits360, 1, Split::Validation, 0.0, 64);
+        assert_eq!(train.len(), 40_998);
+        assert!(val.is_empty());
+        assert_eq!(val.batches_per_epoch(), 0);
+    }
+
+    #[test]
+    fn batch_metadata_is_usable() {
+        let (train, _) = loaders(8);
+        let first = train.batches().next().unwrap();
+        assert_eq!(first.len(), 8);
+        for meta in first {
+            assert!(meta.class.unwrap() < 2);
+            assert!(meta.width >= 24);
+        }
+    }
+}

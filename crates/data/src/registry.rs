@@ -1,0 +1,217 @@
+//! The dataset registry: Table 2 of the paper, one entry per dataset.
+
+use crate::sizedist::SizeDist;
+use harvest_imaging::{FieldScene, ImageFormat};
+
+/// Identifier for each of the paper's six datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DatasetId {
+    /// Plant Village — plant disease classification, 39 classes.
+    PlantVillage,
+    /// Weed Detection in Soybean — 4 classes, varied sizes (mode 233×233).
+    WeedSoybean,
+    /// Sugar Cane Spittle Bug — 2 classes, varied small images (mode 61×61).
+    SpittleBug,
+    /// Fruits-360 — 81 classes, 100×100.
+    Fruits360,
+    /// Corn Growth Stage — 23 classes, 224×224, UAS-collected.
+    CornGrowthStage,
+    /// CRSA — 4K ground-vehicle camera feed, dataset-specific preprocessing.
+    Crsa,
+}
+
+impl DatasetId {
+    /// Stable small integer (seed derivation, array indexing).
+    pub fn index(self) -> usize {
+        match self {
+            DatasetId::PlantVillage => 0,
+            DatasetId::WeedSoybean => 1,
+            DatasetId::SpittleBug => 2,
+            DatasetId::Fruits360 => 3,
+            DatasetId::CornGrowthStage => 4,
+            DatasetId::Crsa => 5,
+        }
+    }
+}
+
+/// One row of Table 2, plus the reproduction-side attributes (format, scene).
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Which dataset.
+    pub id: DatasetId,
+    /// Human-readable name as printed in the paper.
+    pub name: &'static str,
+    /// Number of classes (`None` for the unlabeled CRSA feed).
+    pub classes: Option<u32>,
+    /// Number of samples.
+    pub samples: u32,
+    /// Image-size distribution (Fig. 4).
+    pub size_dist: SizeDist,
+    /// On-disk encoding. The weed dataset ships TIFF (raw-like) in the wild;
+    /// CRSA is a raw camera feed; the rest are JPEG-like.
+    pub format: ImageFormat,
+    /// Synthetic scene family used to generate content.
+    pub scene: FieldScene,
+    /// Use case string from Table 2.
+    pub use_case: &'static str,
+    /// True when the dataset needs its own preprocessing stage before the
+    /// model transform (CRSA's perspective correction).
+    pub needs_perspective: bool,
+}
+
+impl DatasetSpec {
+    /// Registry lookup.
+    pub fn get(id: DatasetId) -> &'static DatasetSpec {
+        &ALL_DATASETS[id.index()]
+    }
+
+    /// Expected pixels per image (drives decode/transform cost models).
+    pub fn mean_pixels(&self) -> f64 {
+        self.size_dist.mean_pixels()
+    }
+}
+
+/// All six datasets, in Table 2 order.
+pub static ALL_DATASETS: [DatasetSpec; 6] = [
+    DatasetSpec {
+        id: DatasetId::PlantVillage,
+        name: "Plant Village",
+        classes: Some(39),
+        samples: 43_430,
+        size_dist: SizeDist::Fixed { w: 256, h: 256 },
+        format: ImageFormat::Ajpg { quality: 85, subsample: true },
+        scene: FieldScene::LeafCloseup,
+        use_case: "Plant disease classification",
+        needs_perspective: false,
+    },
+    DatasetSpec {
+        id: DatasetId::WeedSoybean,
+        name: "Weed Detection in Soybean",
+        classes: Some(4),
+        samples: 10_635,
+        size_dist: SizeDist::Varied {
+            mode_w: 233,
+            mode_h: 233,
+            rel_std: 0.20,
+            min_dim: 40,
+            max_dim: 480,
+        },
+        format: ImageFormat::Rtif, // ships as TIFF in the wild
+        scene: FieldScene::RowCrop,
+        use_case: "Weed detection in soybeans",
+        needs_perspective: false,
+    },
+    DatasetSpec {
+        id: DatasetId::SpittleBug,
+        name: "Sugar Cane-Spittle Bug",
+        classes: Some(2),
+        samples: 10_100,
+        size_dist: SizeDist::Varied {
+            mode_w: 61,
+            mode_h: 61,
+            rel_std: 0.25,
+            min_dim: 24,
+            max_dim: 220,
+        },
+        format: ImageFormat::Ajpg { quality: 85, subsample: true },
+        scene: FieldScene::LeafCloseup,
+        use_case: "Pest bugs detection",
+        needs_perspective: false,
+    },
+    DatasetSpec {
+        id: DatasetId::Fruits360,
+        name: "Fruits-360",
+        classes: Some(81),
+        samples: 40_998,
+        size_dist: SizeDist::Fixed { w: 100, h: 100 },
+        format: ImageFormat::Ajpg { quality: 90, subsample: true },
+        scene: FieldScene::FruitStudio,
+        use_case: "Fruits classification",
+        needs_perspective: false,
+    },
+    DatasetSpec {
+        id: DatasetId::CornGrowthStage,
+        name: "Corn Growth Stage",
+        classes: Some(23),
+        samples: 52_198,
+        size_dist: SizeDist::Fixed { w: 224, h: 224 },
+        format: ImageFormat::Ajpg { quality: 85, subsample: true },
+        scene: FieldScene::RowCrop,
+        use_case: "Corn Growth Stage Classification, UAS Based",
+        needs_perspective: false,
+    },
+    DatasetSpec {
+        id: DatasetId::Crsa,
+        name: "CRSA",
+        classes: None,
+        samples: 992,
+        size_dist: SizeDist::Fixed { w: 3840, h: 2160 },
+        format: ImageFormat::Rtif, // raw camera input feed
+        scene: FieldScene::GroundFeed,
+        use_case: "Crop Residue Soil Aggregate, Ground Vehicle based",
+        needs_perspective: true,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_six_datasets_in_table_order() {
+        assert_eq!(ALL_DATASETS.len(), 6);
+        for (i, spec) in ALL_DATASETS.iter().enumerate() {
+            assert_eq!(spec.id.index(), i, "{:?} out of order", spec.id);
+        }
+    }
+
+    #[test]
+    fn table2_class_and_sample_counts() {
+        let pv = DatasetSpec::get(DatasetId::PlantVillage);
+        assert_eq!((pv.classes, pv.samples), (Some(39), 43_430));
+        let ws = DatasetSpec::get(DatasetId::WeedSoybean);
+        assert_eq!((ws.classes, ws.samples), (Some(4), 10_635));
+        let sb = DatasetSpec::get(DatasetId::SpittleBug);
+        assert_eq!((sb.classes, sb.samples), (Some(2), 10_100));
+        let fr = DatasetSpec::get(DatasetId::Fruits360);
+        assert_eq!((fr.classes, fr.samples), (Some(81), 40_998));
+        let cg = DatasetSpec::get(DatasetId::CornGrowthStage);
+        assert_eq!((cg.classes, cg.samples), (Some(23), 52_198));
+        let cr = DatasetSpec::get(DatasetId::Crsa);
+        assert_eq!((cr.classes, cr.samples), (None, 992));
+    }
+
+    #[test]
+    fn fig4_modes_match_paper_labels() {
+        assert_eq!(DatasetSpec::get(DatasetId::WeedSoybean).size_dist.mode(), (233, 233));
+        assert_eq!(DatasetSpec::get(DatasetId::SpittleBug).size_dist.mode(), (61, 61));
+        assert_eq!(DatasetSpec::get(DatasetId::PlantVillage).size_dist.mode(), (256, 256));
+        assert_eq!(DatasetSpec::get(DatasetId::Fruits360).size_dist.mode(), (100, 100));
+        assert_eq!(DatasetSpec::get(DatasetId::CornGrowthStage).size_dist.mode(), (224, 224));
+        assert_eq!(DatasetSpec::get(DatasetId::Crsa).size_dist.mode(), (3840, 2160));
+    }
+
+    #[test]
+    fn only_crsa_needs_perspective() {
+        for spec in &ALL_DATASETS {
+            assert_eq!(spec.needs_perspective, spec.id == DatasetId::Crsa, "{:?}", spec.id);
+        }
+    }
+
+    #[test]
+    fn crsa_is_by_far_the_largest_images() {
+        let crsa = DatasetSpec::get(DatasetId::Crsa).mean_pixels();
+        for spec in &ALL_DATASETS {
+            if spec.id != DatasetId::Crsa {
+                assert!(crsa > 30.0 * spec.mean_pixels(), "{:?}", spec.id);
+            }
+        }
+    }
+
+    #[test]
+    fn format_mix_covers_both_codecs() {
+        let raw = ALL_DATASETS.iter().filter(|s| s.format == ImageFormat::Rtif).count();
+        assert!(raw >= 2, "need both TIFF-like and JPEG-like datasets");
+        assert!(raw <= 4);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for dataset sampling.
+
+use harvest_data::{DatasetId, Sampler, SizeDist, ALL_DATASETS};
+use harvest_simkit::SimRng;
+use proptest::prelude::*;
+
+fn any_dataset() -> impl Strategy<Value = DatasetId> {
+    (0usize..6).prop_map(|i| ALL_DATASETS[i].id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sample_meta_is_pure(id in any_dataset(), seed in any::<u64>(), index in 0u32..900) {
+        let s1 = Sampler::new(id, seed);
+        let s2 = Sampler::new(id, seed);
+        prop_assert_eq!(s1.meta(index), s2.meta(index));
+    }
+
+    #[test]
+    fn sizes_respect_distribution_bounds(id in any_dataset(), seed in any::<u64>(), index in 0u32..900) {
+        let s = Sampler::new(id, seed);
+        let meta = s.meta(index);
+        match s.spec().size_dist {
+            SizeDist::Fixed { w, h } => {
+                prop_assert_eq!((meta.width, meta.height), (w, h));
+            }
+            SizeDist::Varied { min_dim, max_dim, .. } => {
+                prop_assert!((min_dim..=max_dim).contains(&meta.width));
+                prop_assert!((min_dim..=max_dim).contains(&meta.height));
+            }
+        }
+    }
+
+    #[test]
+    fn classes_always_in_range(id in any_dataset(), seed in any::<u64>(), index in 0u32..900) {
+        let s = Sampler::new(id, seed);
+        let meta = s.meta(index);
+        match (s.spec().classes, meta.class) {
+            (Some(n), Some(c)) => prop_assert!(c < n),
+            (None, None) => {}
+            other => prop_assert!(false, "class mismatch {other:?}"),
+        }
+    }
+
+    #[test]
+    fn varied_distribution_mean_scale_is_stable(seed in any::<u64>()) {
+        let dist = SizeDist::Varied { mode_w: 233, mode_h: 233, rel_std: 0.2, min_dim: 40, max_dim: 480 };
+        let mut rng = SimRng::new(seed);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| dist.sample(&mut rng).0 as f64).sum::<f64>() / n as f64;
+        prop_assert!((mean - 233.0).abs() < 20.0, "mean {mean}");
+    }
+
+    #[test]
+    fn encoded_small_samples_decode_to_declared_size(seed in any::<u64>(), index in 0u32..50) {
+        // Use the small-image dataset so the property test stays quick.
+        let s = Sampler::new(DatasetId::SpittleBug, seed);
+        let sample = s.encode(index);
+        let img = s.spec().format.decode(&sample.bytes).unwrap();
+        prop_assert_eq!(img.width(), sample.meta.width);
+        prop_assert_eq!(img.height(), sample.meta.height);
+    }
+}

@@ -1,0 +1,29 @@
+//! # harvest-engine
+//!
+//! The inference-engine substrate — our TensorRT analog. The paper's models
+//! arrive "in the platform-neutral ONNX format and internally converted to
+//! the inference-oriented TensorRT format"; this crate is that conversion
+//! and execution layer:
+//!
+//! * [`passes`] — engine compilation: kernel-fusion passes over the layer IR
+//!   (Conv+BN+ReLU, Linear+GELU, Add+ReLU, …) producing an execution plan
+//!   with a realistic *launch count* (launch overhead is what bends the
+//!   small-batch end of Fig 6 on the Jetson).
+//! * [`planner`] — activation memory planning: liveness analysis over the
+//!   topological order, allocated through the real free-list allocator in
+//!   `harvest-hw`, yielding the per-image activation peak.
+//! * [`engine`] — the built engine: simulated batched execution against the
+//!   calibrated performance model + the OOM-checked memory model.
+//! * [`exec`] — a *real* forward pass over `harvest-tensor` kernels with
+//!   deterministic weights, so the whole model zoo actually runs on the
+//!   host (used by correctness tests and the examples).
+
+pub mod engine;
+pub mod exec;
+pub mod passes;
+pub mod planner;
+
+pub use engine::{Engine, EngineError};
+pub use exec::{Executor, WeightStore};
+pub use passes::{compile, ExecPlan, ExecStep, StepKind};
+pub use planner::{plan_activations, ActivationPlan};

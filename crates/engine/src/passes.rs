@@ -1,0 +1,431 @@
+//! Engine compilation passes: fusion into launchable steps.
+//!
+//! TensorRT's biggest structural effect on small-batch latency is kernel
+//! fusion — Conv+BN+ReLU becomes one launch instead of three. We reproduce
+//! the standard fusion set over the layer IR and emit an [`ExecPlan`]: a
+//! linear schedule of fused steps, each knowing its member nodes, FLOPs and
+//! output shape. The plan's `len()` is the launch count the latency model
+//! charges overhead for.
+
+use harvest_models::{Graph, NodeId, Op, Shape};
+
+/// What kind of fused kernel a step is (for reports and cost models).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// Convolution, possibly with folded BN and fused activation.
+    FusedConv,
+    /// Linear / projection kernel (possibly with fused activation).
+    FusedLinear,
+    /// Full attention block (projections + softmax matmuls).
+    Attention,
+    /// Transformer MLP (two linears + GELU, fused).
+    Mlp,
+    /// Normalization kernel that could not fold into a producer.
+    Norm,
+    /// Pooling kernel.
+    Pool,
+    /// Elementwise kernel (residual add, activation that didn't fuse…).
+    Elementwise,
+    /// Data movement / reshaping (CLS select, flatten).
+    Reshape,
+}
+
+/// One launchable step of the compiled plan.
+#[derive(Clone, Debug)]
+pub struct ExecStep {
+    /// Step kind.
+    pub kind: StepKind,
+    /// IR nodes fused into this step (in execution order).
+    pub nodes: Vec<NodeId>,
+    /// Per-image MACs attributed to this step (matrix math only).
+    pub macs: f64,
+    /// Per-image elementwise ops attributed to this step.
+    pub elementwise: f64,
+    /// Output shape (per image).
+    pub out_shape: Shape,
+}
+
+/// A compiled execution plan.
+#[derive(Clone, Debug)]
+pub struct ExecPlan {
+    steps: Vec<ExecStep>,
+    fused_away: usize,
+}
+
+impl ExecPlan {
+    /// The schedule.
+    pub fn steps(&self) -> &[ExecStep] {
+        &self.steps
+    }
+    /// Number of kernel launches per forward pass.
+    pub fn launch_count(&self) -> usize {
+        self.steps.len()
+    }
+    /// How many IR nodes were absorbed into other steps by fusion.
+    pub fn nodes_fused_away(&self) -> usize {
+        self.fused_away
+    }
+    /// Total per-image MACs in the plan.
+    pub fn total_macs(&self) -> f64 {
+        self.steps.iter().map(|s| s.macs).sum()
+    }
+}
+
+fn node_macs(graph: &Graph, id: NodeId) -> (f64, f64) {
+    // (macs, elementwise) per image — mirrors the analytics accounting.
+    let node = graph.node(id);
+    let out = node.out_shape.elements() as f64;
+    match &node.op {
+        Op::Conv2d { cin, cout, kernel, .. } => {
+            if let Shape::Chw { h, w, .. } = node.out_shape {
+                ((cout * cin * kernel * kernel * h * w) as f64, 0.0)
+            } else {
+                (0.0, 0.0)
+            }
+        }
+        Op::PatchEmbed { in_ch, dim, patch } => {
+            if let Shape::Seq { s, .. } = node.out_shape {
+                ((in_ch * patch * patch * dim * (s - 1)) as f64, 0.0)
+            } else {
+                (0.0, 0.0)
+            }
+        }
+        Op::Linear { cin, cout, .. } => {
+            let tokens = if let Shape::Seq { s, .. } = node.out_shape { s } else { 1 };
+            ((cin * cout * tokens) as f64, 0.0)
+        }
+        Op::Attention { dim, .. } => {
+            if let Shape::Seq { s, .. } = node.out_shape {
+                (
+                    (4 * dim * dim * s) as f64 + 2.0 * (s * s * dim) as f64,
+                    5.0 * (s * s) as f64,
+                )
+            } else {
+                (0.0, 0.0)
+            }
+        }
+        Op::LinearAttention { dim, heads } => {
+            if let Shape::Seq { s, .. } = node.out_shape {
+                let head_dim = dim / heads;
+                (
+                    (4 * dim * dim * s) as f64 + 2.0 * (s * dim * head_dim) as f64,
+                    (s * dim * head_dim) as f64 + 4.0 * (s * dim) as f64,
+                )
+            } else {
+                (0.0, 0.0)
+            }
+        }
+        Op::Mlp { dim, hidden } => {
+            if let Shape::Seq { s, .. } = node.out_shape {
+                ((2 * dim * hidden * s) as f64, 8.0 * (hidden * s) as f64)
+            } else {
+                (0.0, 0.0)
+            }
+        }
+        Op::BatchNorm { .. } => (0.0, 2.0 * out),
+        Op::LayerNorm { .. } => (0.0, 5.0 * out),
+        Op::Relu | Op::Add => (0.0, out),
+        Op::Gelu => (0.0, 8.0 * out),
+        Op::Softmax => (0.0, 5.0 * out),
+        Op::MaxPool { kernel, .. } => (0.0, (kernel * kernel) as f64 * out),
+        Op::GlobalAvgPool => {
+            let in_elems =
+                node.inputs.first().map(|&i| graph.node(i).out_shape.elements()).unwrap_or(0);
+            (0.0, in_elems as f64)
+        }
+        Op::Input { .. } | Op::ClsSelect => (0.0, 0.0),
+    }
+}
+
+/// Count how many nodes consume each node's output.
+fn fanout(graph: &Graph) -> Vec<usize> {
+    let mut fan = vec![0usize; graph.nodes().len()];
+    for node in graph.nodes() {
+        for &i in &node.inputs {
+            fan[i.0] += 1;
+        }
+    }
+    // The graph output is consumed externally.
+    fan[graph.output().0] += 1;
+    fan
+}
+
+/// Compile a graph into a fused execution plan.
+///
+/// Fusion rules (each requires the producer to have fan-out 1 so fusion
+/// cannot change observable dataflow):
+///
+/// * `Conv2d (+ BatchNorm) (+ ReLU)` → one [`StepKind::FusedConv`]
+/// * `Linear (+ GELU | ReLU | Softmax)` → one [`StepKind::FusedLinear`]
+/// * `Add (+ ReLU)` → one [`StepKind::Elementwise`]
+/// * `Attention` / `Mlp` are already block-level kernels.
+pub fn compile(graph: &Graph) -> ExecPlan {
+    let fan = fanout(graph);
+    let nodes = graph.nodes();
+    let mut absorbed = vec![false; nodes.len()];
+    let mut steps = Vec::new();
+    let mut fused_away = 0usize;
+
+    let single_consumer_chain = |start: usize, wanted: &dyn Fn(&Op) -> bool| -> Option<usize> {
+        // Find the unique consumer of `start` if it matches `wanted`.
+        if fan[start] != 1 {
+            return None;
+        }
+        nodes
+            .iter()
+            .position(|n| n.inputs.contains(&NodeId(start)) && wanted(&n.op))
+    };
+
+    for idx in 0..nodes.len() {
+        if absorbed[idx] {
+            continue;
+        }
+        let node = &nodes[idx];
+        match &node.op {
+            Op::Input { .. } => {} // no launch
+            Op::Conv2d { .. } | Op::PatchEmbed { .. } => {
+                let mut member_ids = vec![node.id];
+                let mut last = idx;
+                // Try folding BatchNorm.
+                if let Some(bn) =
+                    single_consumer_chain(last, &|op| matches!(op, Op::BatchNorm { .. }))
+                {
+                    absorbed[bn] = true;
+                    fused_away += 1;
+                    member_ids.push(NodeId(bn));
+                    last = bn;
+                }
+                // Try fusing the activation.
+                if let Some(act) =
+                    single_consumer_chain(last, &|op| matches!(op, Op::Relu | Op::Gelu))
+                {
+                    absorbed[act] = true;
+                    fused_away += 1;
+                    member_ids.push(NodeId(act));
+                    last = act;
+                }
+                let (macs, mut elem) = node_macs(graph, node.id);
+                // BN folds into the conv weights: its elementwise work
+                // disappears entirely; a fused activation keeps its
+                // elementwise cost but not its launch.
+                for &m in member_ids.iter().skip(1) {
+                    let (_, e) = node_macs(graph, m);
+                    if matches!(graph.node(m).op, Op::BatchNorm { .. }) {
+                        // folded: no runtime cost
+                    } else {
+                        elem += e;
+                    }
+                }
+                steps.push(ExecStep {
+                    kind: StepKind::FusedConv,
+                    nodes: member_ids,
+                    macs,
+                    elementwise: elem,
+                    out_shape: nodes[last].out_shape,
+                });
+            }
+            Op::Linear { .. } => {
+                let mut member_ids = vec![node.id];
+                let mut last = idx;
+                if let Some(act) = single_consumer_chain(last, &|op| {
+                    matches!(op, Op::Relu | Op::Gelu | Op::Softmax)
+                }) {
+                    absorbed[act] = true;
+                    fused_away += 1;
+                    member_ids.push(NodeId(act));
+                    last = act;
+                }
+                let (macs, mut elem) = node_macs(graph, node.id);
+                for &m in member_ids.iter().skip(1) {
+                    elem += node_macs(graph, m).1;
+                }
+                steps.push(ExecStep {
+                    kind: StepKind::FusedLinear,
+                    nodes: member_ids,
+                    macs,
+                    elementwise: elem,
+                    out_shape: nodes[last].out_shape,
+                });
+            }
+            Op::Add => {
+                let mut member_ids = vec![node.id];
+                let mut last = idx;
+                if let Some(act) =
+                    single_consumer_chain(last, &|op| matches!(op, Op::Relu))
+                {
+                    absorbed[act] = true;
+                    fused_away += 1;
+                    member_ids.push(NodeId(act));
+                    last = act;
+                }
+                let (_, mut elem) = node_macs(graph, node.id);
+                for &m in member_ids.iter().skip(1) {
+                    elem += node_macs(graph, m).1;
+                }
+                steps.push(ExecStep {
+                    kind: StepKind::Elementwise,
+                    nodes: member_ids,
+                    macs: 0.0,
+                    elementwise: elem,
+                    out_shape: nodes[last].out_shape,
+                });
+            }
+            Op::Attention { .. } | Op::LinearAttention { .. } => {
+                let (macs, elem) = node_macs(graph, node.id);
+                steps.push(ExecStep {
+                    kind: StepKind::Attention,
+                    nodes: vec![node.id],
+                    macs,
+                    elementwise: elem,
+                    out_shape: node.out_shape,
+                });
+            }
+            Op::Mlp { .. } => {
+                let (macs, elem) = node_macs(graph, node.id);
+                steps.push(ExecStep {
+                    kind: StepKind::Mlp,
+                    nodes: vec![node.id],
+                    macs,
+                    elementwise: elem,
+                    out_shape: node.out_shape,
+                });
+            }
+            Op::BatchNorm { .. } | Op::LayerNorm { .. } => {
+                let (macs, elem) = node_macs(graph, node.id);
+                steps.push(ExecStep {
+                    kind: StepKind::Norm,
+                    nodes: vec![node.id],
+                    macs,
+                    elementwise: elem,
+                    out_shape: node.out_shape,
+                });
+            }
+            Op::MaxPool { .. } | Op::GlobalAvgPool => {
+                let (macs, elem) = node_macs(graph, node.id);
+                steps.push(ExecStep {
+                    kind: StepKind::Pool,
+                    nodes: vec![node.id],
+                    macs,
+                    elementwise: elem,
+                    out_shape: node.out_shape,
+                });
+            }
+            Op::Relu | Op::Gelu | Op::Softmax => {
+                let (macs, elem) = node_macs(graph, node.id);
+                steps.push(ExecStep {
+                    kind: StepKind::Elementwise,
+                    nodes: vec![node.id],
+                    macs,
+                    elementwise: elem,
+                    out_shape: node.out_shape,
+                });
+            }
+            Op::ClsSelect => {
+                steps.push(ExecStep {
+                    kind: StepKind::Reshape,
+                    nodes: vec![node.id],
+                    macs: 0.0,
+                    elementwise: 0.0,
+                    out_shape: node.out_shape,
+                });
+            }
+        }
+    }
+    ExecPlan { steps, fused_away }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_models::{resnet50, vit_tiny, GraphBuilder, ModelId};
+
+    #[test]
+    fn resnet_fusion_collapses_conv_bn_relu() {
+        let g = resnet50(1000);
+        let plan = compile(&g);
+        // Every one of the 53 convs fuses its BN; most fuse a ReLU too.
+        let conv_steps =
+            plan.steps().iter().filter(|s| s.kind == StepKind::FusedConv).count();
+        assert_eq!(conv_steps, 53);
+        // 53 BNs always fold; stem + 32 in-block ReLUs fuse into convs.
+        assert!(plan.nodes_fused_away() >= 53 + 33, "fused {}", plan.nodes_fused_away());
+        // Launches far fewer than IR nodes.
+        assert!(plan.launch_count() * 2 < g.nodes().len());
+    }
+
+    #[test]
+    fn resnet_plan_macs_match_analytics() {
+        let g = resnet50(1000);
+        let plan = compile(&g);
+        let stats = g.stats();
+        let err = (plan.total_macs() - stats.macs).abs() / stats.macs;
+        assert!(err < 1e-9, "plan {} vs stats {}", plan.total_macs(), stats.macs);
+    }
+
+    #[test]
+    fn vit_plan_macs_match_attention_inclusive_analytics() {
+        let g = vit_tiny(39);
+        let plan = compile(&g);
+        let stats = g.stats();
+        let err =
+            (plan.total_macs() - stats.macs_with_attention).abs() / stats.macs_with_attention;
+        assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn vit_residual_adds_stay_separate_launches() {
+        let g = vit_tiny(39);
+        let plan = compile(&g);
+        let adds =
+            plan.steps().iter().filter(|s| s.kind == StepKind::Elementwise).count();
+        assert_eq!(adds, 24, "two residual adds per block");
+    }
+
+    #[test]
+    fn fanout_gt_one_blocks_fusion() {
+        // conv feeding both a relu and an add: relu must NOT fuse.
+        let (mut b, input) = GraphBuilder::new(
+            "branchy",
+            harvest_models::Shape::Chw { c: 1, h: 4, w: 4 },
+        );
+        use harvest_models::Op;
+        let conv = b.push(
+            "conv",
+            Op::Conv2d { cin: 1, cout: 1, kernel: 1, stride: 1, pad: 0, bias: false },
+            &[input],
+        );
+        let relu = b.push("relu", Op::Relu, &[conv]);
+        let add = b.push("add", Op::Add, &[conv, relu]);
+        let g = b.finish(add);
+        let plan = compile(&g);
+        assert_eq!(plan.nodes_fused_away(), 0);
+        assert_eq!(plan.launch_count(), 3); // conv, relu, add
+    }
+
+    #[test]
+    fn every_graph_node_is_scheduled_or_absorbed_exactly_once() {
+        for id in [ModelId::VitTiny, ModelId::ResNet50] {
+            let g = id.build();
+            let plan = compile(&g);
+            let mut seen = vec![0u32; g.nodes().len()];
+            for step in plan.steps() {
+                for n in &step.nodes {
+                    seen[n.0] += 1;
+                }
+            }
+            // Input never scheduled; everything else exactly once.
+            assert_eq!(seen[0], 0);
+            for (i, &c) in seen.iter().enumerate().skip(1) {
+                assert_eq!(c, 1, "node {i} scheduled {c} times in {id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn launch_counts_are_plausible() {
+        // ViT: per block attention + mlp + 2 norms + 2 adds = 6 launches,
+        // plus embed, final norm, cls, head.
+        let plan = compile(&vit_tiny(39));
+        assert_eq!(plan.launch_count(), 12 * 6 + 4);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the engine compiler and planner.
+
+use harvest_engine::{compile, plan_activations};
+use harvest_models::{vit, Precision, VitConfig};
+use proptest::prelude::*;
+
+fn vit_config() -> impl Strategy<Value = VitConfig> {
+    (1usize..=4, 1usize..=4, prop_oneof![Just(1usize), Just(2), Just(4)], 1usize..=3)
+        .prop_map(|(dim_x32, depth, heads, patch_exp)| {
+            let dim = dim_x32 * 32 * heads;
+            let patch = 1 << patch_exp;
+            VitConfig { dim, depth, heads, patch, img: patch * 4, mlp_ratio: 4, classes: 7 }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_node_scheduled_exactly_once(cfg in vit_config()) {
+        let g = vit("prop", &cfg);
+        let plan = compile(&g);
+        let mut seen = vec![0u32; g.nodes().len()];
+        for step in plan.steps() {
+            for n in &step.nodes {
+                seen[n.0] += 1;
+            }
+        }
+        prop_assert_eq!(seen[0], 0, "input is never launched");
+        for (i, &c) in seen.iter().enumerate().skip(1) {
+            prop_assert_eq!(c, 1, "node {} scheduled {} times", i, c);
+        }
+    }
+
+    #[test]
+    fn plan_macs_equal_attention_inclusive_analytics(cfg in vit_config()) {
+        let g = vit("prop", &cfg);
+        let plan = compile(&g);
+        let stats = g.stats();
+        let err = (plan.total_macs() - stats.macs_with_attention).abs();
+        prop_assert!(err < 1.0, "{} vs {}", plan.total_macs(), stats.macs_with_attention);
+    }
+
+    #[test]
+    fn fusion_never_increases_launches(cfg in vit_config()) {
+        let g = vit("prop", &cfg);
+        let plan = compile(&g);
+        prop_assert!(plan.launch_count() + plan.nodes_fused_away() <= g.nodes().len());
+        prop_assert!(plan.launch_count() >= 1);
+    }
+
+    #[test]
+    fn planner_peak_is_bounded_and_nontrivial(cfg in vit_config()) {
+        let g = vit("prop", &cfg);
+        let plan = plan_activations(&g, Precision::Fp16);
+        // Peak can never exceed the no-reuse total...
+        prop_assert!(plan.peak_bytes <= plan.total_bytes);
+        // ...and must hold at least the largest single activation.
+        let largest = g
+            .nodes()
+            .iter()
+            .map(|n| n.out_shape.elements() as u64 * 2)
+            .max()
+            .unwrap();
+        prop_assert!(plan.peak_bytes >= largest);
+        prop_assert_eq!(plan.buffers, g.nodes().len());
+    }
+
+    #[test]
+    fn deeper_models_never_raise_planned_peak(cfg in vit_config()) {
+        // Liveness-planned peak is per-block for a chain-of-blocks model:
+        // adding depth must not change it (only totals grow).
+        prop_assume!(cfg.depth >= 2);
+        let shallow = plan_activations(&vit("s", &VitConfig { depth: 1, ..cfg }), Precision::Fp16);
+        let deep = plan_activations(&vit("d", &cfg), Precision::Fp16);
+        prop_assert_eq!(deep.peak_bytes, shallow.peak_bytes);
+        prop_assert!(deep.total_bytes > shallow.total_bytes);
+    }
+}

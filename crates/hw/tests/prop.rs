@@ -1,0 +1,78 @@
+//! Property-based tests for the device memory allocator and GEMM model.
+
+use harvest_hw::{device_gemm_time, GemmShape, MemoryPool, PlatformId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocations_never_overlap_and_accounting_balances(
+        ops in proptest::collection::vec((1u64..10_000, any::<bool>()), 1..100)
+    ) {
+        let mut pool = MemoryPool::new(1 << 20);
+        let mut live: Vec<harvest_hw::Allocation> = Vec::new();
+        for (size, free_first) in ops {
+            if free_first && !live.is_empty() {
+                let a = live.swap_remove(0);
+                pool.release(a);
+            }
+            if let Ok(a) = pool.alloc(size) {
+                // No overlap with any live allocation.
+                for other in &live {
+                    let disjoint =
+                        a.offset + a.size <= other.offset || other.offset + other.size <= a.offset;
+                    prop_assert!(disjoint, "{a:?} overlaps {other:?}");
+                }
+                live.push(a);
+            }
+            let live_sum: u64 = live.iter().map(|a| a.size).sum();
+            prop_assert_eq!(pool.used(), live_sum);
+            prop_assert!(pool.peak() >= pool.used());
+        }
+        // Free everything: the pool must coalesce back to one block.
+        for a in live.drain(..) {
+            pool.release(a);
+        }
+        prop_assert_eq!(pool.used(), 0);
+        prop_assert_eq!(pool.largest_free_block(), pool.capacity());
+    }
+
+    #[test]
+    fn alloc_failure_reports_consistent_diagnostics(sizes in proptest::collection::vec(1u64..100_000, 1..40)) {
+        let mut pool = MemoryPool::new(64 * 1024);
+        for size in sizes {
+            match pool.alloc(size) {
+                Ok(a) => prop_assert!(a.size >= size),
+                Err(e) => {
+                    prop_assert!(e.largest_block < e.requested);
+                    prop_assert!(e.free <= pool.capacity());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_time_is_monotone_in_every_dimension(
+        m in 1usize..2048, k in 1usize..2048, n in 1usize..2048,
+    ) {
+        let spec = PlatformId::MriA100.spec();
+        let base = device_gemm_time(spec, &GemmShape { m, k, n });
+        let bigger_m = device_gemm_time(spec, &GemmShape { m: m * 2, k, n });
+        let bigger_k = device_gemm_time(spec, &GemmShape { m, k: k * 2, n });
+        let bigger_n = device_gemm_time(spec, &GemmShape { m, k, n: n * 2 });
+        prop_assert!(bigger_m >= base);
+        prop_assert!(bigger_k >= base);
+        prop_assert!(bigger_n >= base);
+    }
+
+    #[test]
+    fn faster_platform_is_never_slower_on_large_gemms(size in 512usize..8192) {
+        let shape = GemmShape::square(size);
+        let a100 = device_gemm_time(PlatformId::MriA100.spec(), &shape);
+        let v100 = device_gemm_time(PlatformId::PitzerV100.spec(), &shape);
+        let jetson = device_gemm_time(PlatformId::JetsonOrinNano.spec(), &shape);
+        prop_assert!(a100 <= v100, "{a100} vs {v100}");
+        prop_assert!(v100 <= jetson, "{v100} vs {jetson}");
+    }
+}

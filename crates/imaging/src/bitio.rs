@@ -1,0 +1,199 @@
+//! Bit-level I/O and exp-Golomb coding for the AJPG entropy stage.
+
+/// MSB-first bit writer.
+#[derive(Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    cur: u8,
+    nbits: u8,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        self.cur = (self.cur << 1) | bit as u8;
+        self.nbits += 1;
+        if self.nbits == 8 {
+            self.bytes.push(self.cur);
+            self.cur = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Append the low `n` bits of `value`, MSB first.
+    pub fn put_bits(&mut self, value: u64, n: u8) {
+        assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.put_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Unsigned exp-Golomb code (order 0): `v+1` written as
+    /// `leading_zeros(len-1) ++ binary(v+1)`.
+    pub fn put_ue(&mut self, v: u64) {
+        let x = v + 1;
+        let len = 64 - x.leading_zeros() as u8; // bit length of x ≥ 1
+        self.put_bits(0, len - 1);
+        self.put_bits(x, len);
+    }
+
+    /// Signed exp-Golomb: zigzag map then [`BitWriter::put_ue`].
+    pub fn put_se(&mut self, v: i64) {
+        let mapped = if v <= 0 { (-v as u64) * 2 } else { (v as u64) * 2 - 1 };
+        self.put_ue(mapped);
+    }
+
+    /// Flush (zero-padding the final partial byte) and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.cur <<= 8 - self.nbits;
+            self.bytes.push(self.cur);
+        }
+        self.bytes
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Read one bit; error at end of stream.
+    #[inline]
+    pub fn get_bit(&mut self) -> Result<bool, String> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err("bitstream exhausted".into());
+        }
+        let bit = 7 - (self.pos % 8) as u8;
+        self.pos += 1;
+        Ok((self.bytes[byte] >> bit) & 1 == 1)
+    }
+
+    /// Read `n` bits MSB-first.
+    pub fn get_bits(&mut self, n: u8) -> Result<u64, String> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.get_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    /// Unsigned exp-Golomb decode.
+    pub fn get_ue(&mut self) -> Result<u64, String> {
+        let mut zeros = 0u8;
+        while !self.get_bit()? {
+            zeros += 1;
+            if zeros > 63 {
+                return Err("malformed exp-Golomb code".into());
+            }
+        }
+        let rest = self.get_bits(zeros)?;
+        Ok(((1u64 << zeros) | rest) - 1)
+    }
+
+    /// Signed exp-Golomb decode.
+    pub fn get_se(&mut self) -> Result<i64, String> {
+        let v = self.get_ue()?;
+        Ok(if v % 2 == 0 { -((v / 2) as i64) } else { v.div_ceil(2) as i64 })
+    }
+
+    /// Current bit position (for diagnostics).
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1011, 4);
+        w.put_bits(0xABCD, 16);
+        w.put_bit(true);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.get_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.get_bits(16).unwrap(), 0xABCD);
+        assert!(r.get_bit().unwrap());
+    }
+
+    #[test]
+    fn ue_round_trip_small_and_large() {
+        let values = [0u64, 1, 2, 3, 4, 7, 8, 100, 1023, 1024, 1 << 20];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_ue(v);
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn se_round_trip() {
+        let values = [0i64, 1, -1, 2, -2, 63, -64, 1000, -1000];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v);
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.get_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn ue_code_lengths_are_optimal_prefix() {
+        // ue(0) = 1 bit, ue(1..2) = 3 bits, ue(3..6) = 5 bits.
+        let mut w = BitWriter::new();
+        w.put_ue(0);
+        assert_eq!(w.bit_len(), 1);
+        let mut w = BitWriter::new();
+        w.put_ue(1);
+        assert_eq!(w.bit_len(), 3);
+        let mut w = BitWriter::new();
+        w.put_ue(6);
+        assert_eq!(w.bit_len(), 5);
+    }
+
+    #[test]
+    fn exhausted_stream_errors() {
+        let buf = [0xFFu8];
+        let mut r = BitReader::new(&buf);
+        assert!(r.get_bits(8).is_ok());
+        assert!(r.get_bit().is_err());
+    }
+
+    #[test]
+    fn partial_byte_is_zero_padded() {
+        let mut w = BitWriter::new();
+        w.put_bit(true);
+        let buf = w.finish();
+        assert_eq!(buf, vec![0b1000_0000]);
+    }
+}

@@ -1,0 +1,155 @@
+//! 8×8 type-II DCT and its inverse, the transform stage of the AJPG codec.
+//!
+//! Straightforward separable implementation with a precomputed 8×8 basis —
+//! clarity over raw speed; the codec's cost profile (per-block work
+//! proportional to pixel count) is what the preprocessing study needs.
+
+/// Orthonormal 8-point DCT-II basis: `BASIS[k][n] = s(k)·cos((2n+1)kπ/16)`.
+fn basis() -> [[f32; 8]; 8] {
+    let mut b = [[0.0f32; 8]; 8];
+    for (k, row) in b.iter_mut().enumerate() {
+        let s = if k == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+        for (n, v) in row.iter_mut().enumerate() {
+            *v = s * ((std::f32::consts::PI * (2.0 * n as f32 + 1.0) * k as f32) / 16.0).cos();
+        }
+    }
+    b
+}
+
+/// Forward 8×8 DCT-II of a block (row-major), orthonormal scaling.
+pub fn dct2_8x8(block: &[f32; 64]) -> [f32; 64] {
+    let b = basis();
+    let mut tmp = [0.0f32; 64];
+    // Rows
+    for y in 0..8 {
+        for k in 0..8 {
+            let mut acc = 0.0;
+            for n in 0..8 {
+                acc += block[y * 8 + n] * b[k][n];
+            }
+            tmp[y * 8 + k] = acc;
+        }
+    }
+    // Columns
+    let mut out = [0.0f32; 64];
+    for x in 0..8 {
+        for k in 0..8 {
+            let mut acc = 0.0;
+            for n in 0..8 {
+                acc += tmp[n * 8 + x] * b[k][n];
+            }
+            out[k * 8 + x] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT (DCT-III with orthonormal scaling).
+pub fn idct2_8x8(coeffs: &[f32; 64]) -> [f32; 64] {
+    let b = basis();
+    let mut tmp = [0.0f32; 64];
+    // Columns
+    for x in 0..8 {
+        for n in 0..8 {
+            let mut acc = 0.0;
+            for k in 0..8 {
+                acc += coeffs[k * 8 + x] * b[k][n];
+            }
+            tmp[n * 8 + x] = acc;
+        }
+    }
+    // Rows
+    let mut out = [0.0f32; 64];
+    for y in 0..8 {
+        for n in 0..8 {
+            let mut acc = 0.0;
+            for k in 0..8 {
+                acc += tmp[y * 8 + k] * b[k][n];
+            }
+            out[y * 8 + n] = acc;
+        }
+    }
+    out
+}
+
+/// Zigzag scan order for an 8×8 block (JPEG's order).
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_identity() {
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37 % 251) as f32) - 125.0;
+        }
+        let coeffs = dct2_8x8(&block);
+        let back = idct2_8x8(&coeffs);
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_block_has_only_dc() {
+        let block = [100.0f32; 64];
+        let coeffs = dct2_8x8(&block);
+        // Orthonormal DC of a constant c block = 8c.
+        assert!((coeffs[0] - 800.0).abs() < 1e-2, "DC {}", coeffs[0]);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-3, "AC[{i}] = {c}");
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved() {
+        // Parseval: orthonormal transform preserves the L2 norm.
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (i as f32 * 0.7).sin() * 100.0;
+        }
+        let coeffs = dct2_8x8(&block);
+        let e_in: f32 = block.iter().map(|v| v * v).sum();
+        let e_out: f32 = coeffs.iter().map(|v| v * v).sum();
+        assert!((e_in - e_out).abs() < e_in * 1e-4, "{e_in} vs {e_out}");
+    }
+
+    #[test]
+    fn horizontal_cosine_lands_on_one_row_coefficient() {
+        // A pure horizontal cosine of frequency k has energy only at (0, k).
+        let k = 3;
+        let mut block = [0.0f32; 64];
+        for y in 0..8 {
+            for n in 0..8 {
+                block[y * 8 + n] =
+                    ((std::f32::consts::PI * (2.0 * n as f32 + 1.0) * k as f32) / 16.0).cos();
+            }
+        }
+        let coeffs = dct2_8x8(&block);
+        let peak = coeffs[k].abs();
+        for (i, &c) in coeffs.iter().enumerate() {
+            if i != k {
+                assert!(c.abs() < peak * 1e-3 + 1e-4, "leak at {i}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Spot-check the canonical start of JPEG's order.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+}

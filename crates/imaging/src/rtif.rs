@@ -1,0 +1,76 @@
+//! RTIF: a raw packed-RGB container (the TIFF stand-in).
+//!
+//! Deliberately trivial — magic, dimensions, raw bytes — so that decode cost
+//! is essentially a memcpy. Together with AJPG this spans the decode-cost
+//! spectrum the paper attributes the PyTorch-baseline variance to
+//! ("differences in image encoding formats (e.g., TIFF vs JPEG)", §4.2).
+
+use crate::image::RgbImage;
+
+const MAGIC: &[u8; 4] = b"RTIF";
+
+/// Encode to raw container bytes.
+pub fn rtif_encode(img: &RgbImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + img.data().len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
+    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+    out.extend_from_slice(img.data());
+    out
+}
+
+/// Decode raw container bytes.
+pub fn rtif_decode(bytes: &[u8]) -> Result<RgbImage, String> {
+    if bytes.len() < 12 || &bytes[..4] != MAGIC {
+        return Err("not an RTIF stream".into());
+    }
+    let w = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    let h = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let want = w.checked_mul(h).and_then(|p| p.checked_mul(3)).ok_or("dimension overflow")?;
+    if w == 0 || h == 0 {
+        return Err("degenerate dimensions".into());
+    }
+    let payload = &bytes[12..];
+    if payload.len() != want {
+        return Err(format!("payload {} != expected {}", payload.len(), want));
+    }
+    Ok(RgbImage::from_raw(w, h, payload.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{FieldScene, SynthImageSpec};
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let img = FieldScene::LeafCloseup.render(&SynthImageSpec { width: 33, height: 21, seed: 2 });
+        let bytes = rtif_encode(&img);
+        let back = rtif_decode(&bytes).unwrap();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn size_is_header_plus_raw() {
+        let img = RgbImage::new(10, 10);
+        assert_eq!(rtif_encode(&img).len(), 12 + 300);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(rtif_decode(b"JUNKxxxxxxxxxxx").is_err());
+        let img = RgbImage::new(4, 4);
+        let mut bytes = rtif_encode(&img);
+        bytes.pop();
+        assert!(rtif_decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RTIF");
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        assert!(rtif_decode(&bytes).is_err());
+    }
+}

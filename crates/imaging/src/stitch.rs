@@ -1,0 +1,252 @@
+//! Orthomosaic stitching: the OpenDroneMap stand-in.
+//!
+//! The paper's offline workflow (Fig 3a) stitches drone images into an
+//! orthomosaic before tiling it for inference. This module implements the
+//! geometry-trivial core of that step: overlapping, grid-aligned captures
+//! are feather-blended into one mosaic, and the mosaic is re-tiled into
+//! model-sized inference tiles. Full photogrammetry (feature matching,
+//! bundle adjustment) is out of scope — the performance study only needs
+//! the data movement and blending arithmetic.
+
+use crate::image::RgbImage;
+
+/// Layout of a rectangular drone survey: `cols × rows` captures of
+/// `tile_w × tile_h` pixels with `overlap` pixels shared between
+/// neighbours.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SurveyGrid {
+    /// Captures per row.
+    pub cols: usize,
+    /// Capture rows.
+    pub rows: usize,
+    /// Capture width, pixels.
+    pub tile_w: usize,
+    /// Capture height, pixels.
+    pub tile_h: usize,
+    /// Overlap between adjacent captures, pixels (both axes).
+    pub overlap: usize,
+}
+
+impl SurveyGrid {
+    /// Mosaic width in pixels.
+    pub fn mosaic_width(&self) -> usize {
+        self.tile_w + (self.cols - 1) * (self.tile_w - self.overlap)
+    }
+
+    /// Mosaic height in pixels.
+    pub fn mosaic_height(&self) -> usize {
+        self.tile_h + (self.rows - 1) * (self.tile_h - self.overlap)
+    }
+
+    /// Top-left mosaic coordinate of capture (col, row).
+    pub fn origin(&self, col: usize, row: usize) -> (usize, usize) {
+        assert!(col < self.cols && row < self.rows);
+        (col * (self.tile_w - self.overlap), row * (self.tile_h - self.overlap))
+    }
+
+    fn validate(&self) {
+        assert!(self.cols > 0 && self.rows > 0, "empty grid");
+        assert!(
+            self.overlap < self.tile_w && self.overlap < self.tile_h,
+            "overlap must be smaller than the tile"
+        );
+    }
+}
+
+/// Cut a survey's captures out of a reference scene (what the drone "saw").
+/// The scene must match the grid's mosaic dimensions.
+pub fn capture_survey(scene: &RgbImage, grid: &SurveyGrid) -> Vec<RgbImage> {
+    grid.validate();
+    assert_eq!(scene.width(), grid.mosaic_width(), "scene width");
+    assert_eq!(scene.height(), grid.mosaic_height(), "scene height");
+    let mut tiles = Vec::with_capacity(grid.cols * grid.rows);
+    for row in 0..grid.rows {
+        for col in 0..grid.cols {
+            let (ox, oy) = grid.origin(col, row);
+            let mut tile = RgbImage::new(grid.tile_w, grid.tile_h);
+            for y in 0..grid.tile_h {
+                for x in 0..grid.tile_w {
+                    tile.put(x, y, scene.get(ox + x, oy + y));
+                }
+            }
+            tiles.push(tile);
+        }
+    }
+    tiles
+}
+
+/// Feather-blend captures (row-major order, as produced by
+/// [`capture_survey`]) into the mosaic. Overlap regions average the
+/// contributing captures with linear ramp weights, eliminating seams.
+pub fn stitch(tiles: &[RgbImage], grid: &SurveyGrid) -> RgbImage {
+    grid.validate();
+    assert_eq!(tiles.len(), grid.cols * grid.rows, "tile count");
+    let (mw, mh) = (grid.mosaic_width(), grid.mosaic_height());
+    let mut acc = vec![0.0f64; mw * mh * 3];
+    let mut weight = vec![0.0f64; mw * mh];
+
+    for row in 0..grid.rows {
+        for col in 0..grid.cols {
+            let tile = &tiles[row * grid.cols + col];
+            assert_eq!(tile.width(), grid.tile_w, "tile {col},{row} width");
+            assert_eq!(tile.height(), grid.tile_h, "tile {col},{row} height");
+            let (ox, oy) = grid.origin(col, row);
+            for y in 0..grid.tile_h {
+                // Feather: weight ramps from the tile edge inwards over the
+                // overlap width (only on edges that actually overlap).
+                let wy = edge_weight(y, grid.tile_h, grid.overlap, row > 0, row + 1 < grid.rows);
+                for x in 0..grid.tile_w {
+                    let wx =
+                        edge_weight(x, grid.tile_w, grid.overlap, col > 0, col + 1 < grid.cols);
+                    let w = wx * wy;
+                    let px = tile.get(x, y);
+                    let idx = (oy + y) * mw + (ox + x);
+                    for c in 0..3 {
+                        acc[idx * 3 + c] += px[c] as f64 * w;
+                    }
+                    weight[idx] += w;
+                }
+            }
+        }
+    }
+
+    let mut mosaic = RgbImage::new(mw, mh);
+    for idx in 0..mw * mh {
+        let w = weight[idx].max(1e-9);
+        let rgb = [
+            (acc[idx * 3] / w).round().clamp(0.0, 255.0) as u8,
+            (acc[idx * 3 + 1] / w).round().clamp(0.0, 255.0) as u8,
+            (acc[idx * 3 + 2] / w).round().clamp(0.0, 255.0) as u8,
+        ];
+        let (x, y) = (idx % mw, idx / mw);
+        mosaic.put(x, y, rgb);
+    }
+    mosaic
+}
+
+/// Linear feather weight along one axis.
+fn edge_weight(pos: usize, len: usize, overlap: usize, fade_lo: bool, fade_hi: bool) -> f64 {
+    let mut w = 1.0f64;
+    if overlap > 0 {
+        if fade_lo && pos < overlap {
+            w = w.min((pos + 1) as f64 / (overlap + 1) as f64);
+        }
+        if fade_hi && pos >= len - overlap {
+            w = w.min((len - pos) as f64 / (overlap + 1) as f64);
+        }
+    }
+    w
+}
+
+/// Re-tile a mosaic into non-overlapping model-input tiles of `size` pixels
+/// (partial edge tiles are dropped, as the HARVEST tiler does).
+pub fn tile_mosaic(mosaic: &RgbImage, size: usize) -> Vec<RgbImage> {
+    assert!(size > 0);
+    let cols = mosaic.width() / size;
+    let rows = mosaic.height() / size;
+    let mut out = Vec::with_capacity(cols * rows);
+    for row in 0..rows {
+        for col in 0..cols {
+            let mut tile = RgbImage::new(size, size);
+            for y in 0..size {
+                for x in 0..size {
+                    tile.put(x, y, mosaic.get(col * size + x, row * size + y));
+                }
+            }
+            out.push(tile);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::psnr;
+    use crate::synth::{FieldScene, SynthImageSpec};
+
+    fn grid() -> SurveyGrid {
+        SurveyGrid { cols: 3, rows: 2, tile_w: 64, tile_h: 48, overlap: 16 }
+    }
+
+    fn scene_for(grid: &SurveyGrid) -> RgbImage {
+        FieldScene::RowCrop.render(&SynthImageSpec {
+            width: grid.mosaic_width(),
+            height: grid.mosaic_height(),
+            seed: 77,
+        })
+    }
+
+    #[test]
+    fn mosaic_dimensions() {
+        let g = grid();
+        assert_eq!(g.mosaic_width(), 64 + 2 * 48);
+        assert_eq!(g.mosaic_height(), 48 + 32);
+    }
+
+    #[test]
+    fn capture_then_stitch_reconstructs_the_scene() {
+        let g = grid();
+        let scene = scene_for(&g);
+        let tiles = capture_survey(&scene, &g);
+        assert_eq!(tiles.len(), 6);
+        let mosaic = stitch(&tiles, &g);
+        assert_eq!(mosaic.width(), scene.width());
+        assert_eq!(mosaic.height(), scene.height());
+        // Consistent captures: blending is an identity up to rounding.
+        let p = psnr(&scene, &mosaic);
+        assert!(p > 50.0, "psnr {p}");
+    }
+
+    #[test]
+    fn single_capture_survey_is_identity() {
+        let g = SurveyGrid { cols: 1, rows: 1, tile_w: 40, tile_h: 30, overlap: 8 };
+        let scene = scene_for(&g);
+        let tiles = capture_survey(&scene, &g);
+        let mosaic = stitch(&tiles, &g);
+        assert_eq!(mosaic, scene);
+    }
+
+    #[test]
+    fn feathering_removes_exposure_seams() {
+        // Simulate per-capture exposure differences: brighten half the
+        // tiles. Feathered blending keeps neighbouring mosaic pixels close
+        // (no hard seam at tile boundaries).
+        let g = grid();
+        let scene = scene_for(&g);
+        let mut tiles = capture_survey(&scene, &g);
+        for (i, t) in tiles.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                for b in t.data_mut() {
+                    *b = b.saturating_add(24);
+                }
+            }
+        }
+        let mosaic = stitch(&tiles, &g);
+        // Walk across a vertical tile boundary (x = 56, inside the overlap)
+        // and check adjacent-pixel jumps stay small.
+        let y = g.mosaic_height() / 2;
+        for x in 40..80 {
+            let a = mosaic.get(x, y);
+            let b = mosaic.get(x + 1, y);
+            let jump = (a[0] as i32 - b[0] as i32).abs();
+            assert!(jump < 24, "seam jump {jump} at x={x}");
+        }
+    }
+
+    #[test]
+    fn tiling_drops_partial_edges() {
+        let g = grid();
+        let mosaic = stitch(&capture_survey(&scene_for(&g), &g), &g);
+        let tiles = tile_mosaic(&mosaic, 32);
+        assert_eq!(tiles.len(), (160 / 32) * (80 / 32));
+        assert!(tiles.iter().all(|t| t.width() == 32 && t.height() == 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be smaller")]
+    fn absurd_overlap_rejected() {
+        let g = SurveyGrid { cols: 2, rows: 2, tile_w: 16, tile_h: 16, overlap: 16 };
+        let _ = stitch(&[], &g);
+    }
+}

@@ -1,0 +1,325 @@
+//! Deterministic synthetic field imagery.
+//!
+//! The paper's datasets (Plant Village, Fruits-360, CRSA, …) are either
+//! proprietary or irrelevant in content for a *performance* characterization
+//! — what matters downstream is pixel count, encoding format, and enough
+//! spatial structure that a DCT codec produces realistic bitstreams. The
+//! generator synthesizes plausible agricultural scenes (crop rows, leaf
+//! close-ups, fruit-on-white, ground-vehicle views) from a seed, so every
+//! sample in every dataset is reproducible without shipping any data.
+
+use crate::image::RgbImage;
+use harvest_simkit::SimRng;
+
+/// Size + seed for one synthetic image.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthImageSpec {
+    /// Output width in pixels.
+    pub width: usize,
+    /// Output height in pixels.
+    pub height: usize,
+    /// Content seed (dataset id ⊕ sample id upstream).
+    pub seed: u64,
+}
+
+/// Scene families, matched to the Table 2 use cases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FieldScene {
+    /// Aerial row-crop view: parallel crop rows over soil (UAS datasets).
+    RowCrop,
+    /// Leaf close-up with lesions (Plant Village-style disease imagery).
+    LeafCloseup,
+    /// Single fruit on plain background (Fruits-360-style).
+    FruitStudio,
+    /// Ground-vehicle camera feed: soil, residue, horizon band (CRSA).
+    GroundFeed,
+}
+
+/// Smooth value noise: bilinear interpolation of a seeded lattice.
+struct ValueNoise {
+    lattice: Vec<f32>,
+    size: usize,
+}
+
+impl ValueNoise {
+    fn new(rng: &mut SimRng, size: usize) -> Self {
+        let lattice = (0..size * size).map(|_| rng.f64() as f32).collect();
+        ValueNoise { lattice, size }
+    }
+
+    /// Sample at unit-square coordinates (tiles periodically).
+    fn at(&self, u: f32, v: f32) -> f32 {
+        let s = self.size as f32;
+        let x = (u.fract().abs()) * s;
+        let y = (v.fract().abs()) * s;
+        let x0 = x.floor() as usize % self.size;
+        let y0 = y.floor() as usize % self.size;
+        let x1 = (x0 + 1) % self.size;
+        let y1 = (y0 + 1) % self.size;
+        let fx = x - x.floor();
+        let fy = y - y.floor();
+        // Smoothstep for C1 continuity.
+        let fx = fx * fx * (3.0 - 2.0 * fx);
+        let fy = fy * fy * (3.0 - 2.0 * fy);
+        let a = self.lattice[y0 * self.size + x0];
+        let b = self.lattice[y0 * self.size + x1];
+        let c = self.lattice[y1 * self.size + x0];
+        let d = self.lattice[y1 * self.size + x1];
+        (a * (1.0 - fx) + b * fx) * (1.0 - fy) + (c * (1.0 - fx) + d * fx) * fy
+    }
+
+    /// Two-octave fractal sample.
+    fn fbm(&self, u: f32, v: f32) -> f32 {
+        0.65 * self.at(u, v) + 0.35 * self.at(u * 2.3 + 7.1, v * 2.3 + 3.7)
+    }
+}
+
+#[inline]
+fn mix(a: [f32; 3], b: [f32; 3], t: f32) -> [f32; 3] {
+    let t = t.clamp(0.0, 1.0);
+    [a[0] + (b[0] - a[0]) * t, a[1] + (b[1] - a[1]) * t, a[2] + (b[2] - a[2]) * t]
+}
+
+#[inline]
+fn to_u8(c: [f32; 3]) -> [u8; 3] {
+    [
+        c[0].clamp(0.0, 255.0) as u8,
+        c[1].clamp(0.0, 255.0) as u8,
+        c[2].clamp(0.0, 255.0) as u8,
+    ]
+}
+
+const SOIL: [f32; 3] = [110.0, 85.0, 60.0];
+const SOIL_DARK: [f32; 3] = [80.0, 60.0, 42.0];
+const CANOPY: [f32; 3] = [60.0, 130.0, 55.0];
+const CANOPY_LIGHT: [f32; 3] = [110.0, 180.0, 80.0];
+const LESION: [f32; 3] = [140.0, 110.0, 40.0];
+const SKY: [f32; 3] = [190.0, 205.0, 225.0];
+const RESIDUE: [f32; 3] = [190.0, 170.0, 130.0];
+
+impl FieldScene {
+    /// Render a deterministic image of this scene family.
+    pub fn render(&self, spec: &SynthImageSpec) -> RgbImage {
+        assert!(spec.width > 0 && spec.height > 0);
+        let mut rng = SimRng::new(spec.seed ^ 0xF1E1_D000 ^ (*self as u64) << 32);
+        let noise = ValueNoise::new(&mut rng, 17);
+        let detail = ValueNoise::new(&mut rng, 29);
+        let mut img = RgbImage::new(spec.width, spec.height);
+        match self {
+            FieldScene::RowCrop => self.render_rows(spec, &mut rng, &noise, &detail, &mut img),
+            FieldScene::LeafCloseup => self.render_leaf(spec, &mut rng, &noise, &detail, &mut img),
+            FieldScene::FruitStudio => self.render_fruit(spec, &mut rng, &noise, &mut img),
+            FieldScene::GroundFeed => self.render_ground(spec, &mut rng, &noise, &detail, &mut img),
+        }
+        img
+    }
+
+    fn render_rows(
+        &self,
+        spec: &SynthImageSpec,
+        rng: &mut SimRng,
+        noise: &ValueNoise,
+        detail: &ValueNoise,
+        img: &mut RgbImage,
+    ) {
+        let row_period = rng.uniform(0.06, 0.14) as f32; // rows per unit height
+        let angle = rng.uniform(-0.3, 0.3) as f32;
+        for y in 0..spec.height {
+            let v = y as f32 / spec.height as f32;
+            for x in 0..spec.width {
+                let u = x as f32 / spec.width as f32;
+                // Rotated row coordinate.
+                let r = u * angle.sin() + v * angle.cos();
+                let phase = (r / row_period).fract();
+                let in_row = (phase - 0.5).abs() < 0.22;
+                let n = noise.fbm(u * 3.0, v * 3.0);
+                let d = detail.at(u * 11.0, v * 11.0);
+                let base = if in_row {
+                    mix(CANOPY, CANOPY_LIGHT, n)
+                } else {
+                    mix(SOIL_DARK, SOIL, n)
+                };
+                let c = mix(base, [base[0] + 20.0, base[1] + 20.0, base[2] + 20.0], d * 0.6);
+                img.put(x, y, to_u8(c));
+            }
+        }
+    }
+
+    fn render_leaf(
+        &self,
+        spec: &SynthImageSpec,
+        rng: &mut SimRng,
+        noise: &ValueNoise,
+        detail: &ValueNoise,
+        img: &mut RgbImage,
+    ) {
+        // Elliptical leaf with vein structure and a few disease lesions.
+        let lesions: Vec<(f32, f32, f32)> = (0..rng.range_inclusive(1, 5))
+            .map(|_| {
+                (rng.uniform(0.25, 0.75) as f32, rng.uniform(0.25, 0.75) as f32,
+                 rng.uniform(0.03, 0.10) as f32)
+            })
+            .collect();
+        for y in 0..spec.height {
+            let v = y as f32 / spec.height as f32;
+            for x in 0..spec.width {
+                let u = x as f32 / spec.width as f32;
+                let du = (u - 0.5) * 2.1;
+                let dv = (v - 0.5) * 1.7;
+                let inside = du * du + dv * dv < 1.0;
+                let c = if inside {
+                    let vein = ((u - 0.5).abs() * 40.0).fract() < 0.12;
+                    let n = noise.fbm(u * 4.0, v * 4.0);
+                    let mut c = mix(CANOPY, CANOPY_LIGHT, n * 0.8 + vein as u8 as f32 * 0.3);
+                    for &(lx, ly, lr) in &lesions {
+                        let d2 = (u - lx) * (u - lx) + (v - ly) * (v - ly);
+                        if d2 < lr * lr {
+                            let t = 1.0 - (d2.sqrt() / lr);
+                            c = mix(c, LESION, t);
+                        }
+                    }
+                    c
+                } else {
+                    mix(SOIL_DARK, SOIL, detail.at(u * 6.0, v * 6.0))
+                };
+                img.put(x, y, to_u8(c));
+            }
+        }
+    }
+
+    fn render_fruit(
+        &self,
+        spec: &SynthImageSpec,
+        rng: &mut SimRng,
+        noise: &ValueNoise,
+        img: &mut RgbImage,
+    ) {
+        let hue = rng.f64() as f32;
+        let fruit = mix([220.0, 60.0, 40.0], [230.0, 190.0, 40.0], hue); // red..yellow
+        let radius = rng.uniform(0.3, 0.42) as f32;
+        for y in 0..spec.height {
+            let v = y as f32 / spec.height as f32;
+            for x in 0..spec.width {
+                let u = x as f32 / spec.width as f32;
+                let d2 = (u - 0.5) * (u - 0.5) + (v - 0.5) * (v - 0.5);
+                let c = if d2 < radius * radius {
+                    // Simple spherical shading + skin noise.
+                    let t = 1.0 - (d2 / (radius * radius));
+                    let shade = 0.55 + 0.45 * t;
+                    let n = noise.at(u * 9.0, v * 9.0) * 0.15;
+                    [fruit[0] * (shade + n), fruit[1] * (shade + n), fruit[2] * (shade + n)]
+                } else {
+                    [245.0, 245.0, 245.0] // studio white
+                };
+                img.put(x, y, to_u8(c));
+            }
+        }
+    }
+
+    fn render_ground(
+        &self,
+        spec: &SynthImageSpec,
+        rng: &mut SimRng,
+        noise: &ValueNoise,
+        detail: &ValueNoise,
+        img: &mut RgbImage,
+    ) {
+        // Horizon near the top; below it soil with residue streaks whose
+        // apparent scale grows toward the camera (perspective).
+        let horizon = rng.uniform(0.12, 0.22) as f32;
+        for y in 0..spec.height {
+            let v = y as f32 / spec.height as f32;
+            for x in 0..spec.width {
+                let u = x as f32 / spec.width as f32;
+                let c = if v < horizon {
+                    mix(SKY, [230.0, 235.0, 240.0], noise.at(u * 2.0, v * 8.0))
+                } else {
+                    let depth = (v - horizon) / (1.0 - horizon); // 0 far, 1 near
+                    let scale = 2.0 + 14.0 * (1.0 - depth); // far = finer
+                    let n = noise.fbm(u * scale, v * scale);
+                    let d = detail.at(u * scale * 2.7, v * scale * 2.7);
+                    let soil = mix(SOIL_DARK, SOIL, n);
+                    // Residue streaks cover ~30% of the surface.
+                    if d > 0.7 {
+                        mix(soil, RESIDUE, (d - 0.7) * 3.0)
+                    } else {
+                        soil
+                    }
+                };
+                img.put(x, y, to_u8(c));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let spec = SynthImageSpec { width: 64, height: 48, seed: 1234 };
+        let a = FieldScene::RowCrop.render(&spec);
+        let b = FieldScene::RowCrop.render(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FieldScene::RowCrop.render(&SynthImageSpec { width: 64, height: 48, seed: 1 });
+        let b = FieldScene::RowCrop.render(&SynthImageSpec { width: 64, height: 48, seed: 2 });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scenes_differ_for_same_seed() {
+        let spec = SynthImageSpec { width: 32, height: 32, seed: 42 };
+        let scenes = [
+            FieldScene::RowCrop,
+            FieldScene::LeafCloseup,
+            FieldScene::FruitStudio,
+            FieldScene::GroundFeed,
+        ];
+        let renders: Vec<_> = scenes.iter().map(|s| s.render(&spec)).collect();
+        for i in 0..renders.len() {
+            for j in i + 1..renders.len() {
+                assert_ne!(renders[i], renders[j], "{:?} vs {:?}", scenes[i], scenes[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn row_crop_is_green_and_brown() {
+        let img = FieldScene::RowCrop.render(&SynthImageSpec { width: 128, height: 128, seed: 7 });
+        let [r, g, b] = img.channel_means();
+        // Vegetation + soil: green channel strong, blue weakest.
+        assert!(g > 60.0, "green {g}");
+        assert!(b < r, "blue {b} should trail red {r}");
+    }
+
+    #[test]
+    fn fruit_studio_has_bright_background() {
+        let img =
+            FieldScene::FruitStudio.render(&SynthImageSpec { width: 100, height: 100, seed: 3 });
+        // Corners are studio white.
+        assert_eq!(img.get(0, 0), [245, 245, 245]);
+        assert_eq!(img.get(99, 99), [245, 245, 245]);
+    }
+
+    #[test]
+    fn ground_feed_has_sky_at_top_soil_at_bottom() {
+        let img =
+            FieldScene::GroundFeed.render(&SynthImageSpec { width: 96, height: 96, seed: 11 });
+        let top = img.get(48, 2);
+        let bottom = img.get(48, 93);
+        assert!(top[2] > 180, "sky should be blue-ish: {top:?}");
+        assert!(bottom[0] > bottom[2], "soil should be warm: {bottom:?}");
+    }
+
+    #[test]
+    fn non_square_sizes_render() {
+        let img = FieldScene::GroundFeed.render(&SynthImageSpec { width: 384, height: 216, seed: 5 });
+        assert_eq!(img.width(), 384);
+        assert_eq!(img.height(), 216);
+    }
+}

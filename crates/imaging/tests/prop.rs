@@ -1,0 +1,110 @@
+//! Property-based tests for the codecs and bit I/O.
+
+use harvest_imaging::bitio::{BitReader, BitWriter};
+use harvest_imaging::{ajpg_decode, ajpg_encode, psnr, rtif_decode, rtif_encode, AjpgOptions, RgbImage};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exp_golomb_roundtrips_any_sequence(values in proptest::collection::vec(0u64..1 << 40, 0..64)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_ue(v);
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &v in &values {
+            prop_assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn signed_exp_golomb_roundtrips(values in proptest::collection::vec(-(1i64 << 30)..(1i64 << 30), 0..64)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v);
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &v in &values {
+            prop_assert_eq!(r.get_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn raw_bits_roundtrip((bits, lens) in proptest::collection::vec((any::<u64>(), 1u8..=64), 0..32)
+        .prop_map(|pairs| {
+            let lens: Vec<u8> = pairs.iter().map(|p| p.1).collect();
+            let bits: Vec<u64> = pairs.iter().map(|p| if p.1 == 64 { p.0 } else { p.0 & ((1u64 << p.1) - 1) }).collect();
+            (bits, lens)
+        }))
+    {
+        let mut w = BitWriter::new();
+        for (&b, &l) in bits.iter().zip(&lens) {
+            w.put_bits(b, l);
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for (&b, &l) in bits.iter().zip(&lens) {
+            prop_assert_eq!(r.get_bits(l).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn rtif_is_lossless_for_any_image(
+        (w, h, data) in (1usize..24, 1usize..24).prop_flat_map(|(w, h)| {
+            (Just(w), Just(h), proptest::collection::vec(any::<u8>(), w * h * 3))
+        })
+    ) {
+        let img = RgbImage::from_raw(w, h, data);
+        let bytes = rtif_encode(&img);
+        let back = rtif_decode(&bytes).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ajpg_preserves_dimensions_and_stays_recognizable(
+        (w, h, quality, subsample) in (4usize..40, 4usize..40, 60u8..=95, any::<bool>())
+    ) {
+        // Smooth gradient content: a DCT codec must reconstruct it well.
+        let mut img = RgbImage::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let r = (x * 255 / w) as u8;
+                let g = (y * 255 / h) as u8;
+                img.put(x, y, [r, g, 128]);
+            }
+        }
+        let bytes = ajpg_encode(&img, &AjpgOptions { quality, subsample });
+        let back = ajpg_decode(&bytes).unwrap();
+        prop_assert_eq!(back.width(), w);
+        prop_assert_eq!(back.height(), h);
+        let p = psnr(&img, &back);
+        prop_assert!(p > 22.0, "psnr {p} at q{quality} {w}x{h}");
+    }
+
+    #[test]
+    fn ajpg_decoder_never_panics_on_mutated_streams(
+        (flip_at, flip_bit) in (14usize..256, 0u8..8)
+    ) {
+        // Encode a fixed image, corrupt one payload bit: decode must return
+        // Ok or Err — never panic or loop.
+        let img = RgbImage::checkerboard(24, 24, 4);
+        let mut bytes = ajpg_encode(&img, &AjpgOptions::default());
+        if flip_at < bytes.len() {
+            bytes[flip_at] ^= 1 << flip_bit;
+        }
+        let _ = ajpg_decode(&bytes);
+    }
+
+    #[test]
+    fn truncated_streams_error_cleanly(cut in 0usize..200) {
+        let img = RgbImage::checkerboard(16, 16, 2);
+        let bytes = ajpg_encode(&img, &AjpgOptions::default());
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let result = ajpg_decode(&bytes[..cut]);
+        prop_assert!(result.is_err());
+    }
+}

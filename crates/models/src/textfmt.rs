@@ -1,0 +1,256 @@
+//! HONX: a minimal text serialization of the layer IR.
+//!
+//! The paper's pipeline ships models "in the platform-neutral ONNX format
+//! and internally converted to the inference-oriented TensorRT format"
+//! (§4.0.2). HONX is our platform-neutral interchange step: a line-oriented
+//! text format that round-trips the IR exactly, which the engine crate
+//! "imports" before compiling — mirroring the ONNX → TensorRT hop.
+//!
+//! Format:
+//! ```text
+//! honx 1 <model-name>
+//! <id> <name> <op-spec> <- <input-ids,comma-separated>
+//! ...
+//! output <id>
+//! ```
+
+use crate::ir::{Graph, GraphBuilder, NodeId, Op, Shape};
+
+fn shape_str(s: Shape) -> String {
+    match s {
+        Shape::Chw { c, h, w } => format!("chw:{c}x{h}x{w}"),
+        Shape::Seq { s, d } => format!("seq:{s}x{d}"),
+        Shape::Flat { d } => format!("flat:{d}"),
+    }
+}
+
+fn parse_shape(tok: &str) -> Result<Shape, String> {
+    let (kind, dims) = tok.split_once(':').ok_or_else(|| format!("bad shape {tok}"))?;
+    let parts: Vec<usize> = dims
+        .split('x')
+        .map(|p| p.parse::<usize>().map_err(|e| format!("bad dim {p}: {e}")))
+        .collect::<Result<_, _>>()?;
+    match (kind, parts.as_slice()) {
+        ("chw", [c, h, w]) => Ok(Shape::Chw { c: *c, h: *h, w: *w }),
+        ("seq", [s, d]) => Ok(Shape::Seq { s: *s, d: *d }),
+        ("flat", [d]) => Ok(Shape::Flat { d: *d }),
+        _ => Err(format!("bad shape {tok}")),
+    }
+}
+
+fn op_str(op: &Op) -> String {
+    match op {
+        Op::Input { shape } => format!("input({})", shape_str(*shape)),
+        Op::Conv2d { cin, cout, kernel, stride, pad, bias } => {
+            format!("conv2d({cin},{cout},{kernel},{stride},{pad},{bias})")
+        }
+        Op::BatchNorm { channels } => format!("batchnorm({channels})"),
+        Op::Relu => "relu()".into(),
+        Op::Gelu => "gelu()".into(),
+        Op::MaxPool { kernel, stride, pad } => format!("maxpool({kernel},{stride},{pad})"),
+        Op::GlobalAvgPool => "gap()".into(),
+        Op::Linear { cin, cout, bias } => format!("linear({cin},{cout},{bias})"),
+        Op::LayerNorm { dim } => format!("layernorm({dim})"),
+        Op::PatchEmbed { in_ch, dim, patch } => format!("patchembed({in_ch},{dim},{patch})"),
+        Op::Attention { dim, heads } => format!("attention({dim},{heads})"),
+        Op::LinearAttention { dim, heads } => format!("linattention({dim},{heads})"),
+        Op::Mlp { dim, hidden } => format!("mlp({dim},{hidden})"),
+        Op::Add => "add()".into(),
+        Op::ClsSelect => "cls()".into(),
+        Op::Softmax => "softmax()".into(),
+    }
+}
+
+fn parse_args(body: &str) -> Result<Vec<String>, String> {
+    if body.is_empty() {
+        return Ok(vec![]);
+    }
+    Ok(body.split(',').map(|s| s.trim().to_string()).collect())
+}
+
+fn parse_op(tok: &str) -> Result<Op, String> {
+    let open = tok.find('(').ok_or_else(|| format!("bad op {tok}"))?;
+    if !tok.ends_with(')') {
+        return Err(format!("bad op {tok}"));
+    }
+    let name = &tok[..open];
+    let args = parse_args(&tok[open + 1..tok.len() - 1])?;
+    let u = |i: usize| -> Result<usize, String> {
+        args.get(i)
+            .ok_or_else(|| format!("{name}: missing arg {i}"))?
+            .parse::<usize>()
+            .map_err(|e| format!("{name}: {e}"))
+    };
+    let b = |i: usize| -> Result<bool, String> {
+        args.get(i)
+            .ok_or_else(|| format!("{name}: missing arg {i}"))?
+            .parse::<bool>()
+            .map_err(|e| format!("{name}: {e}"))
+    };
+    match name {
+        "input" => Ok(Op::Input {
+            shape: parse_shape(args.first().ok_or("input: missing shape")?)?,
+        }),
+        "conv2d" => Ok(Op::Conv2d {
+            cin: u(0)?,
+            cout: u(1)?,
+            kernel: u(2)?,
+            stride: u(3)?,
+            pad: u(4)?,
+            bias: b(5)?,
+        }),
+        "batchnorm" => Ok(Op::BatchNorm { channels: u(0)? }),
+        "relu" => Ok(Op::Relu),
+        "gelu" => Ok(Op::Gelu),
+        "maxpool" => Ok(Op::MaxPool { kernel: u(0)?, stride: u(1)?, pad: u(2)? }),
+        "gap" => Ok(Op::GlobalAvgPool),
+        "linear" => Ok(Op::Linear { cin: u(0)?, cout: u(1)?, bias: b(2)? }),
+        "layernorm" => Ok(Op::LayerNorm { dim: u(0)? }),
+        "patchembed" => Ok(Op::PatchEmbed { in_ch: u(0)?, dim: u(1)?, patch: u(2)? }),
+        "attention" => Ok(Op::Attention { dim: u(0)?, heads: u(1)? }),
+        "linattention" => Ok(Op::LinearAttention { dim: u(0)?, heads: u(1)? }),
+        "mlp" => Ok(Op::Mlp { dim: u(0)?, hidden: u(1)? }),
+        "add" => Ok(Op::Add),
+        "cls" => Ok(Op::ClsSelect),
+        "softmax" => Ok(Op::Softmax),
+        other => Err(format!("unknown op {other}")),
+    }
+}
+
+/// Serialize a graph to HONX text.
+pub fn to_honx(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("honx 1 {}\n", graph.name()));
+    for node in graph.nodes() {
+        let inputs: Vec<String> = node.inputs.iter().map(|i| i.0.to_string()).collect();
+        out.push_str(&format!(
+            "{} {} {} <- {}\n",
+            node.id.0,
+            node.name,
+            op_str(&node.op),
+            if inputs.is_empty() { "-".to_string() } else { inputs.join(",") }
+        ));
+    }
+    out.push_str(&format!("output {}\n", graph.output().0));
+    out
+}
+
+/// Parse HONX text back into a graph (re-running shape inference, so a
+/// tampered file with inconsistent shapes is rejected by the builder).
+pub fn from_honx(text: &str) -> Result<Graph, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty file")?;
+    let mut hp = header.split_whitespace();
+    if hp.next() != Some("honx") || hp.next() != Some("1") {
+        return Err("bad header".into());
+    }
+    let name = hp.next().unwrap_or("model").to_string();
+
+    let mut builder: Option<GraphBuilder> = None;
+    let mut output: Option<NodeId> = None;
+    let mut expected_id = 0usize;
+    for line in lines {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("output ") {
+            let id: usize = rest.trim().parse().map_err(|e| format!("bad output id: {e}"))?;
+            output = Some(NodeId(id));
+            continue;
+        }
+        let (head, inputs_str) =
+            line.split_once("<-").ok_or_else(|| format!("bad node line: {line}"))?;
+        let mut toks = head.split_whitespace();
+        let id: usize = toks.next().ok_or("missing id")?.parse().map_err(|e| format!("{e}"))?;
+        if id != expected_id {
+            return Err(format!("node ids must be dense/ordered; got {id}, expected {expected_id}"));
+        }
+        expected_id += 1;
+        let node_name = toks.next().ok_or("missing name")?.to_string();
+        let op = parse_op(toks.next().ok_or("missing op")?)?;
+        let inputs: Vec<NodeId> = {
+            let s = inputs_str.trim();
+            if s == "-" {
+                vec![]
+            } else {
+                s.split(',')
+                    .map(|p| p.trim().parse::<usize>().map(NodeId).map_err(|e| format!("{e}")))
+                    .collect::<Result<_, _>>()?
+            }
+        };
+        match (&mut builder, op) {
+            (None, Op::Input { shape }) => {
+                let (b, _) = GraphBuilder::new(name.clone(), shape);
+                builder = Some(b);
+            }
+            (None, other) => return Err(format!("first node must be input, got {other:?}")),
+            (Some(_), Op::Input { .. }) => return Err("duplicate input node".into()),
+            (Some(b), op) => {
+                b.push(node_name, op, &inputs);
+            }
+        }
+    }
+    let builder = builder.ok_or("no nodes")?;
+    let output = output.ok_or("no output marker")?;
+    Ok(builder.finish(output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{resnet50, vit_tiny, ALL_MODELS};
+
+    #[test]
+    fn zoo_round_trips_exactly() {
+        for id in ALL_MODELS {
+            let g = id.build();
+            let text = to_honx(&g);
+            let back = from_honx(&text).expect("parse");
+            assert_eq!(back.name(), g.name());
+            assert_eq!(back.nodes().len(), g.nodes().len());
+            assert_eq!(back.output(), g.output());
+            for (a, b) in g.nodes().iter().zip(back.nodes()) {
+                assert_eq!(a.op, b.op, "{}", a.name);
+                assert_eq!(a.inputs, b.inputs);
+                assert_eq!(a.out_shape, b.out_shape);
+            }
+            // Statistics survive the round trip too.
+            assert_eq!(g.stats().params, back.stats().params);
+        }
+    }
+
+    #[test]
+    fn honx_is_line_oriented_text() {
+        let text = to_honx(&vit_tiny(10));
+        assert!(text.starts_with("honx 1 ViT_Tiny\n"));
+        assert!(text.contains("patchembed(3,192,2)"));
+        assert!(text.trim_end().ends_with(&format!("output {}", vit_tiny(10).output().0)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_honx("").is_err());
+        assert!(from_honx("onnx 1 m\n").is_err());
+        assert!(from_honx("honx 1 m\n0 x frobnicate() <- -\noutput 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_shape_inconsistent_files() {
+        // Hand-built file with a conv whose cin doesn't match the input.
+        let text = "honx 1 bad\n0 input input(chw:3x8x8) <- -\n1 c conv2d(4,8,3,1,1,false) <- 0\noutput 1\n";
+        let result = std::panic::catch_unwind(|| from_honx(text));
+        assert!(result.is_err(), "builder must reject mismatched cin");
+    }
+
+    #[test]
+    fn rejects_non_dense_ids() {
+        let text = "honx 1 bad\n0 input input(chw:3x8x8) <- -\n2 r relu() <- 0\noutput 2\n";
+        assert!(from_honx(text).is_err());
+    }
+
+    #[test]
+    fn resnet_honx_size_is_reasonable() {
+        let text = to_honx(&resnet50(1000));
+        // 53 convs + bns + relus + adds + pools ≈ 180 lines.
+        let lines = text.lines().count();
+        assert!(lines > 150 && lines < 260, "{lines} lines");
+    }
+}

@@ -1,0 +1,358 @@
+//! The model zoo of Table 3.
+//!
+//! | Model     | Arch        | Input   | Patch | Dim  | Depth | Heads |
+//! |-----------|-------------|---------|-------|------|-------|-------|
+//! | ViT Tiny  | Transformer | 32×32   | 2     | 192  | 12    | 3     |
+//! | ViT Small | Transformer | 32×32   | 2     | 384  | 12    | 6     |
+//! | ViT Base  | Transformer | 224×224 | 16    | 768  | 12    | 12    |
+//! | ResNet50  | CNN         | 224×224 | —     | —    | 50    | —     |
+//!
+//! The 32×32 / patch-2 geometry for Tiny and Small is forced by the paper's
+//! own numbers: seq = 257 is the only sequence length that yields 1.37 and
+//! 5.47 GMACs at those widths. Heads default to 39 classes (Plant Village,
+//! which reproduces the printed ViT parameter counts) except ResNet50, whose
+//! printed 25.56 M matches the standard 1000-class head.
+
+use crate::ir::{Graph, GraphBuilder, NodeId, Op, Shape};
+
+/// Identifier for the four evaluated models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelId {
+    /// ViT Tiny (5.39 M params, 1.37 GMACs @32²).
+    VitTiny,
+    /// ViT Small (21.40 M params, 5.47 GMACs @32²).
+    VitSmall,
+    /// ViT Base (85.80 M params, 16.86 GMACs @224²).
+    VitBase,
+    /// ResNet50 (25.56 M params, 4.09 GMACs @224²).
+    ResNet50,
+}
+
+impl ModelId {
+    /// Stable index (array keys, seeds).
+    pub fn index(self) -> usize {
+        match self {
+            ModelId::VitTiny => 0,
+            ModelId::VitSmall => 1,
+            ModelId::VitBase => 2,
+            ModelId::ResNet50 => 3,
+        }
+    }
+
+    /// Display name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::VitTiny => "ViT_Tiny",
+            ModelId::VitSmall => "ViT_Small",
+            ModelId::VitBase => "ViT_Base",
+            ModelId::ResNet50 => "ResNet50",
+        }
+    }
+
+    /// Build the IR graph with its default head.
+    pub fn build(self) -> Graph {
+        match self {
+            ModelId::VitTiny => vit_tiny(39),
+            ModelId::VitSmall => vit_small(39),
+            ModelId::VitBase => vit_base(39),
+            ModelId::ResNet50 => resnet50(1000),
+        }
+    }
+
+    /// Model-required input side length (square inputs).
+    pub fn input_size(self) -> usize {
+        match self {
+            ModelId::VitTiny | ModelId::VitSmall => 32,
+            ModelId::VitBase | ModelId::ResNet50 => 224,
+        }
+    }
+}
+
+/// All four models in Table 3 column order.
+pub const ALL_MODELS: [ModelId; 4] =
+    [ModelId::VitTiny, ModelId::VitSmall, ModelId::VitBase, ModelId::ResNet50];
+
+/// Static descriptor handy for tables (geometry without building the graph).
+#[derive(Clone, Copy, Debug)]
+pub struct ModelSpec {
+    /// Which model.
+    pub id: ModelId,
+    /// Architecture family string for reports.
+    pub architecture: &'static str,
+    /// Input side length.
+    pub input_size: usize,
+}
+
+impl ModelSpec {
+    /// Descriptor for a model id.
+    pub fn of(id: ModelId) -> ModelSpec {
+        let architecture = match id {
+            ModelId::ResNet50 => "CNN Based",
+            _ => "Transformer Based",
+        };
+        ModelSpec { id, architecture, input_size: id.input_size() }
+    }
+}
+
+/// ViT geometry knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct VitConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Transformer depth.
+    pub depth: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Patch size.
+    pub patch: usize,
+    /// Input image side length.
+    pub img: usize,
+    /// MLP hidden ratio (4 for the standard family).
+    pub mlp_ratio: usize,
+    /// Classifier classes.
+    pub classes: usize,
+}
+
+/// Build a ViT from a config.
+pub fn vit(name: &str, cfg: &VitConfig) -> Graph {
+    let (mut b, input) =
+        GraphBuilder::new(name, Shape::Chw { c: 3, h: cfg.img, w: cfg.img });
+    let mut x = b.push(
+        "patch_embed",
+        Op::PatchEmbed { in_ch: 3, dim: cfg.dim, patch: cfg.patch },
+        &[input],
+    );
+    for blk in 0..cfg.depth {
+        let ln1 = b.push(format!("blocks.{blk}.norm1"), Op::LayerNorm { dim: cfg.dim }, &[x]);
+        let attn = b.push(
+            format!("blocks.{blk}.attn"),
+            Op::Attention { dim: cfg.dim, heads: cfg.heads },
+            &[ln1],
+        );
+        let res1 = b.push(format!("blocks.{blk}.add1"), Op::Add, &[x, attn]);
+        let ln2 = b.push(format!("blocks.{blk}.norm2"), Op::LayerNorm { dim: cfg.dim }, &[res1]);
+        let mlp = b.push(
+            format!("blocks.{blk}.mlp"),
+            Op::Mlp { dim: cfg.dim, hidden: cfg.dim * cfg.mlp_ratio },
+            &[ln2],
+        );
+        x = b.push(format!("blocks.{blk}.add2"), Op::Add, &[res1, mlp]);
+    }
+    let ln = b.push("norm", Op::LayerNorm { dim: cfg.dim }, &[x]);
+    let cls = b.push("cls_select", Op::ClsSelect, &[ln]);
+    let head = b.push(
+        "head",
+        Op::Linear { cin: cfg.dim, cout: cfg.classes, bias: true },
+        &[cls],
+    );
+    b.finish(head)
+}
+
+/// Build an RWKV-style vision model: identical geometry to [`vit`] but with
+/// linear (state-based) attention in place of softmax attention — the §3.1
+/// remedy for attention's quadratic scaling with sequence length. Used by
+/// the scaling-ablation experiment.
+pub fn rwkv_vision(name: &str, cfg: &VitConfig) -> Graph {
+    let (mut b, input) =
+        GraphBuilder::new(name, Shape::Chw { c: 3, h: cfg.img, w: cfg.img });
+    let mut x = b.push(
+        "patch_embed",
+        Op::PatchEmbed { in_ch: 3, dim: cfg.dim, patch: cfg.patch },
+        &[input],
+    );
+    for blk in 0..cfg.depth {
+        let ln1 = b.push(format!("blocks.{blk}.norm1"), Op::LayerNorm { dim: cfg.dim }, &[x]);
+        let mix = b.push(
+            format!("blocks.{blk}.time_mix"),
+            Op::LinearAttention { dim: cfg.dim, heads: cfg.heads },
+            &[ln1],
+        );
+        let res1 = b.push(format!("blocks.{blk}.add1"), Op::Add, &[x, mix]);
+        let ln2 = b.push(format!("blocks.{blk}.norm2"), Op::LayerNorm { dim: cfg.dim }, &[res1]);
+        let mlp = b.push(
+            format!("blocks.{blk}.channel_mix"),
+            Op::Mlp { dim: cfg.dim, hidden: cfg.dim * cfg.mlp_ratio },
+            &[ln2],
+        );
+        x = b.push(format!("blocks.{blk}.add2"), Op::Add, &[res1, mlp]);
+    }
+    let ln = b.push("norm", Op::LayerNorm { dim: cfg.dim }, &[x]);
+    let cls = b.push("cls_select", Op::ClsSelect, &[ln]);
+    let head = b.push(
+        "head",
+        Op::Linear { cin: cfg.dim, cout: cfg.classes, bias: true },
+        &[cls],
+    );
+    b.finish(head)
+}
+
+/// ViT Tiny: dim 192, depth 12, heads 3, 32×32 input, patch 2.
+pub fn vit_tiny(classes: usize) -> Graph {
+    vit(
+        "ViT_Tiny",
+        &VitConfig { dim: 192, depth: 12, heads: 3, patch: 2, img: 32, mlp_ratio: 4, classes },
+    )
+}
+
+/// ViT Small: dim 384, depth 12, heads 6, 32×32 input, patch 2.
+pub fn vit_small(classes: usize) -> Graph {
+    vit(
+        "ViT_Small",
+        &VitConfig { dim: 384, depth: 12, heads: 6, patch: 2, img: 32, mlp_ratio: 4, classes },
+    )
+}
+
+/// ViT Base: dim 768, depth 12, heads 12, 224×224 input, patch 16.
+pub fn vit_base(classes: usize) -> Graph {
+    vit(
+        "ViT_Base",
+        &VitConfig { dim: 768, depth: 12, heads: 12, patch: 16, img: 224, mlp_ratio: 4, classes },
+    )
+}
+
+/// One ResNet bottleneck block; returns the post-activation node.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    x: NodeId,
+    cin: usize,
+    planes: usize,
+    stride: usize,
+) -> NodeId {
+    let expansion = 4;
+    let cout = planes * expansion;
+    let c1 = b.push(
+        format!("{prefix}.conv1"),
+        Op::Conv2d { cin, cout: planes, kernel: 1, stride: 1, pad: 0, bias: false },
+        &[x],
+    );
+    let b1 = b.push(format!("{prefix}.bn1"), Op::BatchNorm { channels: planes }, &[c1]);
+    let r1 = b.push(format!("{prefix}.relu1"), Op::Relu, &[b1]);
+    let c2 = b.push(
+        format!("{prefix}.conv2"),
+        Op::Conv2d { cin: planes, cout: planes, kernel: 3, stride, pad: 1, bias: false },
+        &[r1],
+    );
+    let b2 = b.push(format!("{prefix}.bn2"), Op::BatchNorm { channels: planes }, &[c2]);
+    let r2 = b.push(format!("{prefix}.relu2"), Op::Relu, &[b2]);
+    let c3 = b.push(
+        format!("{prefix}.conv3"),
+        Op::Conv2d { cin: planes, cout, kernel: 1, stride: 1, pad: 0, bias: false },
+        &[r2],
+    );
+    let b3 = b.push(format!("{prefix}.bn3"), Op::BatchNorm { channels: cout }, &[c3]);
+    let shortcut = if stride != 1 || cin != cout {
+        let ds = b.push(
+            format!("{prefix}.downsample.conv"),
+            Op::Conv2d { cin, cout, kernel: 1, stride, pad: 0, bias: false },
+            &[x],
+        );
+        b.push(format!("{prefix}.downsample.bn"), Op::BatchNorm { channels: cout }, &[ds])
+    } else {
+        x
+    };
+    let add = b.push(format!("{prefix}.add"), Op::Add, &[b3, shortcut]);
+    b.push(format!("{prefix}.relu3"), Op::Relu, &[add])
+}
+
+/// ResNet50 (bottleneck [3, 4, 6, 3], expansion 4) at 224×224.
+pub fn resnet50(classes: usize) -> Graph {
+    let (mut b, input) = GraphBuilder::new("ResNet50", Shape::Chw { c: 3, h: 224, w: 224 });
+    let c1 = b.push(
+        "conv1",
+        Op::Conv2d { cin: 3, cout: 64, kernel: 7, stride: 2, pad: 3, bias: false },
+        &[input],
+    );
+    let b1 = b.push("bn1", Op::BatchNorm { channels: 64 }, &[c1]);
+    let r1 = b.push("relu1", Op::Relu, &[b1]);
+    let mut x = b.push("maxpool", Op::MaxPool { kernel: 3, stride: 2, pad: 1 }, &[r1]);
+
+    let stages: [(usize, usize, usize); 4] =
+        [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
+    let mut cin = 64;
+    for (stage, &(planes, blocks, stride)) in stages.iter().enumerate() {
+        for blk in 0..blocks {
+            let s = if blk == 0 { stride } else { 1 };
+            x = bottleneck(&mut b, &format!("layer{}.{blk}", stage + 1), x, cin, planes, s);
+            cin = planes * 4;
+        }
+    }
+    let gap = b.push("avgpool", Op::GlobalAvgPool, &[x]);
+    let fc = b.push("fc", Op::Linear { cin: 2048, cout: classes, bias: true }, &[gap]);
+    b.finish(fc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vit_tiny_sequence_is_257() {
+        let g = vit_tiny(39);
+        // patch_embed is node 1
+        assert_eq!(g.node(NodeId(1)).out_shape, Shape::Seq { s: 257, d: 192 });
+        assert_eq!(g.output_shape(), Shape::Flat { d: 39 });
+    }
+
+    #[test]
+    fn vit_base_sequence_is_197() {
+        let g = vit_base(39);
+        assert_eq!(g.node(NodeId(1)).out_shape, Shape::Seq { s: 197, d: 768 });
+    }
+
+    #[test]
+    fn vit_has_12_blocks() {
+        let g = vit_small(10);
+        let attn = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Attention { .. }))
+            .count();
+        let mlp = g.nodes().iter().filter(|n| matches!(n.op, Op::Mlp { .. })).count();
+        assert_eq!(attn, 12);
+        assert_eq!(mlp, 12);
+    }
+
+    #[test]
+    fn resnet50_has_53_convs_and_right_tail() {
+        let g = resnet50(1000);
+        let convs =
+            g.nodes().iter().filter(|n| matches!(n.op, Op::Conv2d { .. })).count();
+        // 1 stem + 16 blocks × 3 + 4 downsample convs = 53.
+        assert_eq!(convs, 53);
+        assert_eq!(g.output_shape(), Shape::Flat { d: 1000 });
+    }
+
+    #[test]
+    fn resnet50_final_feature_map_is_7x7x2048() {
+        let g = resnet50(10);
+        // The GAP node's input is the last ReLU with CHW shape.
+        let gap = g
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Op::GlobalAvgPool))
+            .expect("gap node");
+        let feeder = g.node(gap.inputs[0]);
+        assert_eq!(feeder.out_shape, Shape::Chw { c: 2048, h: 7, w: 7 });
+    }
+
+    #[test]
+    fn model_ids_build_without_panicking() {
+        for id in ALL_MODELS {
+            let g = id.build();
+            assert!(!g.nodes().is_empty(), "{id:?}");
+            assert_eq!(
+                g.input_shape(),
+                Shape::Chw { c: 3, h: id.input_size(), w: id.input_size() },
+                "{id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_architecture_strings() {
+        assert_eq!(ModelSpec::of(ModelId::ResNet50).architecture, "CNN Based");
+        assert_eq!(ModelSpec::of(ModelId::VitTiny).architecture, "Transformer Based");
+    }
+}

@@ -1,0 +1,116 @@
+//! Classical roofline helpers.
+//!
+//! The paper's conclusion frames its findings as "a performance roofline
+//! constrained by either compute saturation or memory exhaustion"; this
+//! module provides the standard arithmetic for the compute/bandwidth side
+//! (memory exhaustion lives in [`crate::memory_model`]).
+
+use harvest_hw::PlatformSpec;
+
+/// Which roof binds a kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RooflineBound {
+    /// Limited by peak FLOPS.
+    Compute,
+    /// Limited by memory bandwidth.
+    Bandwidth,
+}
+
+/// A platform's roofline: practical compute peak + memory bandwidth.
+#[derive(Clone, Copy, Debug)]
+pub struct Roofline {
+    /// Peak FLOPS (practical).
+    pub peak_flops: f64,
+    /// Memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+}
+
+impl Roofline {
+    /// Roofline of a platform (practical peak).
+    pub fn of(spec: &PlatformSpec) -> Self {
+        Roofline { peak_flops: spec.practical_flops(), mem_bw: spec.mem_bw_gbs * 1e9 }
+    }
+
+    /// The ridge point: arithmetic intensity (FLOP/byte) above which a
+    /// kernel is compute-bound.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_flops / self.mem_bw
+    }
+
+    /// Attainable FLOPS at an arithmetic intensity.
+    pub fn attainable_flops(&self, intensity: f64) -> f64 {
+        (intensity * self.mem_bw).min(self.peak_flops)
+    }
+
+    /// Which roof binds at an intensity.
+    pub fn bound(&self, intensity: f64) -> RooflineBound {
+        if intensity >= self.ridge_intensity() {
+            RooflineBound::Compute
+        } else {
+            RooflineBound::Bandwidth
+        }
+    }
+
+    /// Minimum time to execute `flops` work touching `bytes` memory.
+    pub fn min_time_s(&self, flops: f64, bytes: f64) -> f64 {
+        (flops / self.peak_flops).max(bytes / self.mem_bw)
+    }
+}
+
+/// Arithmetic intensity of a batched inference pass: per-image FLOPs over
+/// per-image activation+weight traffic (weights amortize over the batch).
+pub fn batch_intensity(
+    flops_per_image: f64,
+    act_bytes_per_image: f64,
+    weight_bytes: f64,
+    bs: u32,
+) -> f64 {
+    let flops = flops_per_image * bs as f64;
+    let bytes = act_bytes_per_image * bs as f64 + weight_bytes;
+    flops / bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_hw::PlatformId;
+
+    #[test]
+    fn ridge_points_are_high_on_gpus() {
+        // Tensor-core GPUs need hundreds of FLOP/byte to saturate.
+        let a100 = Roofline::of(PlatformId::MriA100.spec());
+        assert!(a100.ridge_intensity() > 100.0, "{}", a100.ridge_intensity());
+        let jet = Roofline::of(PlatformId::JetsonOrinNano.spec());
+        assert!(jet.ridge_intensity() > 80.0, "{}", jet.ridge_intensity());
+    }
+
+    #[test]
+    fn attainable_is_min_of_roofs() {
+        let r = Roofline { peak_flops: 100.0, mem_bw: 10.0 };
+        assert_eq!(r.ridge_intensity(), 10.0);
+        assert_eq!(r.attainable_flops(5.0), 50.0);
+        assert_eq!(r.attainable_flops(10.0), 100.0);
+        assert_eq!(r.attainable_flops(1000.0), 100.0);
+        assert_eq!(r.bound(5.0), RooflineBound::Bandwidth);
+        assert_eq!(r.bound(20.0), RooflineBound::Compute);
+    }
+
+    #[test]
+    fn min_time_is_max_of_components() {
+        let r = Roofline { peak_flops: 100.0, mem_bw: 10.0 };
+        assert_eq!(r.min_time_s(200.0, 10.0), 2.0); // compute-bound
+        assert_eq!(r.min_time_s(10.0, 100.0), 10.0); // bandwidth-bound
+    }
+
+    #[test]
+    fn batching_raises_intensity_toward_activation_limit() {
+        // Weights amortize: intensity grows with batch and saturates at
+        // flops/act_bytes.
+        let i1 = batch_intensity(1e9, 1e6, 1e8, 1);
+        let i64 = batch_intensity(1e9, 1e6, 1e8, 64);
+        let i_inf = 1e9 / 1e6;
+        assert!(i1 < i64 && i64 < i_inf);
+        let i4096 = batch_intensity(1e9, 1e6, 1e8, 4096);
+        assert!((i4096 - i_inf) / i_inf < 0.05);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the performance and memory models.
+
+use harvest_hw::PlatformId;
+use harvest_models::{ModelId, ALL_MODELS};
+use harvest_perf::{EngineMemoryModel, EnginePerfModel, MemoryContext};
+use proptest::prelude::*;
+
+const PLATFORMS: [PlatformId; 3] =
+    [PlatformId::PitzerV100, PlatformId::MriA100, PlatformId::JetsonOrinNano];
+
+fn any_pair() -> impl Strategy<Value = (PlatformId, ModelId)> {
+    (0usize..3, 0usize..4).prop_map(|(p, m)| (PLATFORMS[p], ALL_MODELS[m]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn latency_is_strictly_increasing_in_batch((platform, model) in any_pair(), bs in 1u32..2048) {
+        let perf = EnginePerfModel::new(platform, model);
+        prop_assert!(perf.latency_s(bs + 1) > perf.latency_s(bs));
+    }
+
+    #[test]
+    fn throughput_is_increasing_and_bounded((platform, model) in any_pair(), bs in 1u32..2048) {
+        let perf = EnginePerfModel::new(platform, model);
+        prop_assert!(perf.throughput(bs + 1) > perf.throughput(bs));
+        // Throughput can never exceed the Table 3 upper bound.
+        prop_assert!(perf.throughput(bs) < perf.upper_bound_throughput());
+    }
+
+    #[test]
+    fn latency_exceeds_theoretical((platform, model) in any_pair(), bs in 1u32..2048) {
+        let perf = EnginePerfModel::new(platform, model);
+        prop_assert!(perf.latency_ms(bs) > perf.theoretical_latency_ms(bs));
+    }
+
+    #[test]
+    fn max_batch_under_latency_is_tight((platform, model) in any_pair(), bound_ms in 1.0f64..500.0) {
+        let perf = EnginePerfModel::new(platform, model);
+        match perf.max_batch_under_latency(bound_ms) {
+            Some(b) => {
+                prop_assert!(perf.latency_ms(b) <= bound_ms + 1e-9);
+                prop_assert!(perf.latency_ms(b + 1) > bound_ms - 1e-9);
+            }
+            None => prop_assert!(perf.latency_ms(1) > bound_ms),
+        }
+    }
+
+    #[test]
+    fn memory_is_affine_and_fits_is_monotone(
+        (platform, model) in any_pair(),
+        bs in 1u32..512,
+        ctx in prop_oneof![Just(MemoryContext::EngineOnly), Just(MemoryContext::EndToEnd)],
+    ) {
+        let mem = EngineMemoryModel::new(platform, model, ctx);
+        prop_assert_eq!(
+            mem.engine_bytes(bs + 1) - mem.engine_bytes(bs),
+            mem.per_image_bytes()
+        );
+        if !mem.fits(bs) {
+            prop_assert!(!mem.fits(bs + 1), "fits must be downward closed");
+        }
+    }
+
+    #[test]
+    fn mfu_never_exceeds_saturation((platform, model) in any_pair(), bs in 1u32..100_000) {
+        let curve = EnginePerfModel::new(platform, model).curve();
+        let mfu = curve.mfu(bs);
+        prop_assert!(mfu > 0.0 && mfu < curve.mfu_inf);
+    }
+}

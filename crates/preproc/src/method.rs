@@ -1,0 +1,86 @@
+//! The five preprocessing methods Fig. 7 compares.
+
+/// Preprocessing framework + configuration, as labelled in Fig. 7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PreprocMethod {
+    /// NVIDIA-DALI-style GPU pipeline, 3×224×224 output, batch 64.
+    Dali224,
+    /// DALI-style GPU pipeline, 3×96×96 output, batch 64.
+    Dali96,
+    /// DALI-style GPU pipeline, 3×32×32 output, batch 64.
+    Dali32,
+    /// torchvision-style CPU baseline, batch 1.
+    PyTorchCpu,
+    /// OpenCV-style CPU path (carries CRSA's perspective warp), batch 1.
+    Cv2Cpu,
+}
+
+impl PreprocMethod {
+    /// All five, in the figure's bar order.
+    pub const ALL: [PreprocMethod; 5] = [
+        PreprocMethod::Dali224,
+        PreprocMethod::Dali96,
+        PreprocMethod::Dali32,
+        PreprocMethod::PyTorchCpu,
+        PreprocMethod::Cv2Cpu,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PreprocMethod::Dali224 => "DALI 224@BS64",
+            PreprocMethod::Dali96 => "DALI 96@BS64",
+            PreprocMethod::Dali32 => "DALI 32@BS64",
+            PreprocMethod::PyTorchCpu => "PyTorch@BS1",
+            PreprocMethod::Cv2Cpu => "CV2@BS1",
+        }
+    }
+
+    /// Batch size the figure runs this method at.
+    pub fn batch(self) -> u32 {
+        match self {
+            PreprocMethod::Dali224 | PreprocMethod::Dali96 | PreprocMethod::Dali32 => 64,
+            PreprocMethod::PyTorchCpu | PreprocMethod::Cv2Cpu => 1,
+        }
+    }
+
+    /// Output resolution (square side). CPU baselines produce the standard
+    /// 224 model input.
+    pub fn out_res(self) -> usize {
+        match self {
+            PreprocMethod::Dali224 | PreprocMethod::PyTorchCpu | PreprocMethod::Cv2Cpu => 224,
+            PreprocMethod::Dali96 => 96,
+            PreprocMethod::Dali32 => 32,
+        }
+    }
+
+    /// Does this method execute on the GPU?
+    pub fn is_gpu(self) -> bool {
+        matches!(self, PreprocMethod::Dali224 | PreprocMethod::Dali96 | PreprocMethod::Dali32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure() {
+        assert_eq!(PreprocMethod::Dali224.label(), "DALI 224@BS64");
+        assert_eq!(PreprocMethod::PyTorchCpu.label(), "PyTorch@BS1");
+        assert_eq!(PreprocMethod::Cv2Cpu.label(), "CV2@BS1");
+    }
+
+    #[test]
+    fn batch_sizes_match_figure() {
+        for m in PreprocMethod::ALL {
+            assert_eq!(m.batch(), if m.is_gpu() { 64 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn resolutions_descend_across_dali_variants() {
+        assert!(PreprocMethod::Dali224.out_res() > PreprocMethod::Dali96.out_res());
+        assert!(PreprocMethod::Dali96.out_res() > PreprocMethod::Dali32.out_res());
+    }
+}

@@ -1,0 +1,149 @@
+//! Real CPU preprocessing: decode → (perspective) → resize → normalize →
+//! CHW tensor, timed on the host.
+//!
+//! This is the executable counterpart of the `PyTorch@BS1` / `CV2@BS1`
+//! baselines: the same stages, run for real through the AJPG/RTIF codecs
+//! and the `harvest-tensor` image kernels. The benches report these
+//! measured host numbers alongside the modelled platform numbers.
+
+use harvest_data::{DatasetSpec, EncodedSample};
+use harvest_imaging::RgbImage;
+use harvest_tensor::{
+    hwc_u8_to_chw, normalize_chw, perspective_warp, resize_bilinear, Homography, Tensor,
+};
+use std::time::Instant;
+
+/// ImageNet-style normalization constants (what torchvision applies).
+pub const NORM_MEAN: [f32; 3] = [0.485, 0.456, 0.406];
+/// ImageNet-style per-channel std.
+pub const NORM_STD: [f32; 3] = [0.229, 0.224, 0.225];
+
+/// Output of a real preprocessing run.
+#[derive(Debug)]
+pub struct RealPreprocResult {
+    /// The model-ready tensor, `[3, out, out]`.
+    pub tensor: Tensor,
+    /// Time spent decoding, seconds.
+    pub decode_s: f64,
+    /// Time spent in dataset-specific preprocessing (perspective), seconds.
+    pub dataset_stage_s: f64,
+    /// Time spent in the model transform (resize+normalize+layout), seconds.
+    pub transform_s: f64,
+}
+
+impl RealPreprocResult {
+    /// Total wall time, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.decode_s + self.dataset_stage_s + self.transform_s
+    }
+}
+
+/// Run the full real preprocessing pipeline on one encoded sample.
+pub fn run_real(
+    spec: &DatasetSpec,
+    sample: &EncodedSample,
+    out_res: usize,
+) -> Result<RealPreprocResult, String> {
+    // Stage 1: decode.
+    let t0 = Instant::now();
+    let img: RgbImage = spec.format.decode(&sample.bytes)?;
+    let decode_s = t0.elapsed().as_secs_f64();
+
+    // To CHW float.
+    let t1 = Instant::now();
+    let mut chw = hwc_u8_to_chw(img.data(), img.height(), img.width(), 3);
+    let (mut h, mut w) = (img.height(), img.width());
+
+    // Stage 2: dataset-specific preprocessing (CRSA perspective correction).
+    let dataset_stage_s = if spec.needs_perspective {
+        let hmg = Homography::ground_vehicle_tilt(0.35, h);
+        chw = perspective_warp(&chw, 3, h, w, h, w, &hmg);
+        let t = t1.elapsed().as_secs_f64();
+        let _ = (h, w);
+        t
+    } else {
+        0.0
+    };
+
+    // Stage 3: model transform — resize to the model input, normalize.
+    let t2 = Instant::now();
+    if (h, w) != (out_res, out_res) {
+        chw = resize_bilinear(&chw, 3, h, w, out_res, out_res);
+        h = out_res;
+        w = out_res;
+    }
+    normalize_chw(&mut chw, 3, &NORM_MEAN, &NORM_STD);
+    let transform_s = t2.elapsed().as_secs_f64();
+
+    Ok(RealPreprocResult {
+        tensor: Tensor::from_vec(&[3, h, w], chw),
+        decode_s,
+        dataset_stage_s,
+        transform_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_data::{DatasetId, Sampler};
+
+    #[test]
+    fn plant_village_preprocesses_to_224() {
+        let sampler = Sampler::new(DatasetId::PlantVillage, 7);
+        let sample = sampler.encode(0);
+        let out = run_real(sampler.spec(), &sample, 224).expect("preproc");
+        assert_eq!(out.tensor.shape(), &[3, 224, 224]);
+        assert_eq!(out.dataset_stage_s, 0.0, "no dataset stage for Plant Village");
+        assert!(out.decode_s > 0.0);
+        assert!(out.tensor.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn spittle_bug_upsamples_to_32() {
+        let sampler = Sampler::new(DatasetId::SpittleBug, 7);
+        let sample = sampler.encode(1);
+        let out = run_real(sampler.spec(), &sample, 32).expect("preproc");
+        assert_eq!(out.tensor.shape(), &[3, 32, 32]);
+    }
+
+    #[test]
+    fn crsa_runs_the_perspective_stage() {
+        // Use a small synthetic ground-feed-style stand-in by sampling the
+        // real CRSA spec but checking the stage is charged.
+        let sampler = Sampler::new(DatasetId::Crsa, 7);
+        let sample = sampler.encode(0);
+        let out = run_real(sampler.spec(), &sample, 224).expect("preproc");
+        assert!(out.dataset_stage_s > 0.0, "perspective stage must run");
+        assert_eq!(out.tensor.shape(), &[3, 224, 224]);
+    }
+
+    #[test]
+    fn normalized_output_is_centred() {
+        let sampler = Sampler::new(DatasetId::Fruits360, 3);
+        let sample = sampler.encode(2);
+        let out = run_real(sampler.spec(), &sample, 96).expect("preproc");
+        // ImageNet normalization of a bright studio image: values in a
+        // plausible few-sigma band, not raw [0,1].
+        let mean: f32 =
+            out.tensor.data().iter().sum::<f32>() / out.tensor.len() as f32;
+        assert!(mean.abs() < 3.0, "mean {mean}");
+        let min = out.tensor.data().iter().cloned().fold(f32::MAX, f32::min);
+        let max = out.tensor.data().iter().cloned().fold(f32::MIN, f32::max);
+        assert!(min < 0.0 || max > 1.0, "normalization must shift the range");
+    }
+
+    #[test]
+    fn decode_dominates_for_jpeg_like_small_output() {
+        // AJPG decode of a 256² image costs more than resizing it to 32².
+        let sampler = Sampler::new(DatasetId::PlantVillage, 11);
+        let sample = sampler.encode(3);
+        let out = run_real(sampler.spec(), &sample, 32).expect("preproc");
+        assert!(
+            out.decode_s > out.transform_s,
+            "decode {} vs transform {}",
+            out.decode_s,
+            out.transform_s
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Dynamic batching logic (the Triton dynamic batcher's decision rule).
+//!
+//! Requests accumulate in a queue. A batch dispatches when either
+//! (a) `preferred_batch` requests are waiting, or (b) the oldest request
+//! has waited `max_queue_delay`. Pure data structure — the DES driver calls
+//! [`DynamicBatcher::push`] / [`DynamicBatcher::poll_deadline`] and acts on
+//! the returned batches, keeping the policy unit-testable without a
+//! simulator.
+
+use harvest_simkit::SimTime;
+use std::collections::VecDeque;
+
+/// Batcher policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatcherConfig {
+    /// Dispatch as soon as this many requests are queued.
+    pub preferred_batch: u32,
+    /// Dispatch a partial batch once the oldest request is this old.
+    pub max_queue_delay: SimTime,
+}
+
+/// A queued request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueuedRequest {
+    /// Request id (caller-assigned).
+    pub id: u64,
+    /// When it entered the batcher.
+    pub enqueued: SimTime,
+    /// When it originally arrived at the frontend (for end-to-end latency;
+    /// equals `enqueued` unless the caller supplies an earlier arrival).
+    arrival: SimTime,
+}
+
+impl QueuedRequest {
+    /// Original frontend arrival time.
+    pub fn arrival(&self) -> SimTime {
+        self.arrival
+    }
+}
+
+/// The dynamic batcher state machine.
+#[derive(Clone, Debug)]
+pub struct DynamicBatcher {
+    config: BatcherConfig,
+    queue: VecDeque<QueuedRequest>,
+    dispatched_batches: u64,
+    dispatched_requests: u64,
+}
+
+impl DynamicBatcher {
+    /// New batcher with a policy.
+    pub fn new(config: BatcherConfig) -> Self {
+        assert!(config.preferred_batch > 0);
+        DynamicBatcher { config, queue: VecDeque::new(), dispatched_batches: 0, dispatched_requests: 0 }
+    }
+
+    /// The policy.
+    pub fn config(&self) -> BatcherConfig {
+        self.config
+    }
+
+    /// Requests currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Batches dispatched so far.
+    pub fn dispatched_batches(&self) -> u64 {
+        self.dispatched_batches
+    }
+
+    /// Requests dispatched so far.
+    pub fn dispatched_requests(&self) -> u64 {
+        self.dispatched_requests
+    }
+
+    /// Mean dispatched batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.dispatched_batches == 0 {
+            0.0
+        } else {
+            self.dispatched_requests as f64 / self.dispatched_batches as f64
+        }
+    }
+
+    /// Enqueue a request; returns a full batch if the size trigger fired.
+    pub fn push(&mut self, id: u64, now: SimTime) -> Option<Vec<QueuedRequest>> {
+        self.push_with_arrival(id, now, now)
+    }
+
+    /// Enqueue a request that originally arrived at the frontend at
+    /// `arrival` (≤ `now`); returns a full batch if the size trigger fired.
+    pub fn push_with_arrival(
+        &mut self,
+        id: u64,
+        now: SimTime,
+        arrival: SimTime,
+    ) -> Option<Vec<QueuedRequest>> {
+        self.queue.push_back(QueuedRequest { id, enqueued: now, arrival });
+        if self.queue.len() >= self.config.preferred_batch as usize {
+            Some(self.take(self.config.preferred_batch as usize))
+        } else {
+            None
+        }
+    }
+
+    /// When the delay trigger would next fire (`None` when empty).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.queue.front().map(|r| r.enqueued + self.config.max_queue_delay)
+    }
+
+    /// Fire the delay trigger: dispatch the waiting partial batch if the
+    /// oldest request's deadline has passed.
+    pub fn poll_deadline(&mut self, now: SimTime) -> Option<Vec<QueuedRequest>> {
+        match self.queue.front() {
+            Some(front) if now >= front.enqueued + self.config.max_queue_delay => {
+                let n = self.queue.len().min(self.config.preferred_batch as usize);
+                Some(self.take(n))
+            }
+            _ => None,
+        }
+    }
+
+    /// Drain everything immediately (offline mode end-of-stream flush).
+    pub fn flush(&mut self) -> Vec<Vec<QueuedRequest>> {
+        let mut batches = Vec::new();
+        while !self.queue.is_empty() {
+            let n = self.queue.len().min(self.config.preferred_batch as usize);
+            batches.push(self.take(n));
+        }
+        batches
+    }
+
+    fn take(&mut self, n: usize) -> Vec<QueuedRequest> {
+        let batch: Vec<QueuedRequest> = self.queue.drain(..n).collect();
+        self.dispatched_batches += 1;
+        self.dispatched_requests += batch.len() as u64;
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(batch: u32, delay_ms: u64) -> BatcherConfig {
+        BatcherConfig { preferred_batch: batch, max_queue_delay: SimTime::from_millis(delay_ms) }
+    }
+
+    #[test]
+    fn size_trigger_fires_at_preferred_batch() {
+        let mut b = DynamicBatcher::new(cfg(4, 100));
+        let t = SimTime::ZERO;
+        assert!(b.push(0, t).is_none());
+        assert!(b.push(1, t).is_none());
+        assert!(b.push(2, t).is_none());
+        let batch = b.push(3, t).expect("4th request completes the batch");
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(b.queued(), 0);
+    }
+
+    #[test]
+    fn delay_trigger_dispatches_partial_batch() {
+        let mut b = DynamicBatcher::new(cfg(8, 10));
+        b.push(0, SimTime::from_millis(0));
+        b.push(1, SimTime::from_millis(2));
+        assert_eq!(b.next_deadline(), Some(SimTime::from_millis(10)));
+        assert!(b.poll_deadline(SimTime::from_millis(9)).is_none());
+        let batch = b.poll_deadline(SimTime::from_millis(10)).expect("deadline reached");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(b.next_deadline(), None);
+    }
+
+    #[test]
+    fn overflow_stays_queued_after_size_trigger() {
+        let mut b = DynamicBatcher::new(cfg(2, 100));
+        assert!(b.push(0, SimTime::ZERO).is_none());
+        assert!(b.push(1, SimTime::ZERO).is_some());
+        assert!(b.push(2, SimTime::ZERO).is_none());
+        assert_eq!(b.queued(), 1);
+    }
+
+    #[test]
+    fn flush_drains_in_preferred_chunks() {
+        let mut b = DynamicBatcher::new(cfg(4, 1000));
+        for i in 0..10u64 {
+            // push returns full batches at 4 and 8; re-queue sizes shrink.
+            let _ = b.push(i, SimTime::ZERO);
+        }
+        // 10 pushed, two batches of 4 already dispatched, 2 remain.
+        assert_eq!(b.queued(), 2);
+        let rest = b.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].len(), 2);
+        assert_eq!(b.dispatched_requests(), 10);
+        assert_eq!(b.dispatched_batches(), 3);
+    }
+
+    #[test]
+    fn mean_batch_accounts_partials() {
+        let mut b = DynamicBatcher::new(cfg(4, 10));
+        for i in 0..4u64 {
+            let _ = b.push(i, SimTime::ZERO);
+        }
+        b.push(4, SimTime::ZERO);
+        let _ = b.poll_deadline(SimTime::from_millis(10));
+        assert_eq!(b.dispatched_batches(), 2);
+        assert!((b.mean_batch() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_across_triggers() {
+        let mut b = DynamicBatcher::new(cfg(3, 5));
+        b.push(10, SimTime::from_millis(0));
+        b.push(11, SimTime::from_millis(1));
+        let batch = b.poll_deadline(SimTime::from_millis(6)).unwrap();
+        assert_eq!(batch[0].id, 10);
+        assert_eq!(batch[1].id, 11);
+    }
+
+    #[test]
+    fn empty_batcher_has_no_deadline() {
+        let b = DynamicBatcher::new(cfg(4, 10));
+        assert_eq!(b.next_deadline(), None);
+        assert_eq!(b.mean_batch(), 0.0);
+    }
+}

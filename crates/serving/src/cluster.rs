@@ -1,0 +1,250 @@
+//! Cluster scale-out: multiple pipeline nodes behind a frontend dispatcher.
+//!
+//! §3 of the paper notes the backend "is also prepared for future scale-out
+//! through different parallelism strategies", and §3.3 that "at larger
+//! scales, distributed deployment introduces added complexity". This module
+//! quantifies the simplest strategy — data parallelism over identical
+//! nodes — including the dispatch policy's effect on scaling efficiency.
+
+use crate::server::{PipelineConfig, PipelineCore};
+use harvest_engine::EngineError;
+use harvest_simkit::{Sim, SimTime};
+
+/// Frontend dispatch policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Requests rotate across nodes regardless of their state.
+    RoundRobin,
+    /// Each request goes to the node with the fewest images in flight.
+    LeastLoaded,
+}
+
+/// Cluster configuration: `nodes` identical pipelines.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Per-node pipeline wiring.
+    pub pipeline: PipelineConfig,
+    /// Number of identical nodes.
+    pub nodes: u32,
+    /// Frontend dispatch policy.
+    pub dispatch: Dispatch,
+    /// Serialized per-request frontend cost (request parsing, routing,
+    /// network send). This is what eventually caps scale-out: past the
+    /// point where `nodes × node_rate` exceeds `1/overhead`, the frontend
+    /// is the bottleneck — §3.3's "added complexity" made quantitative.
+    pub dispatch_overhead: SimTime,
+}
+
+impl ClusterConfig {
+    /// Default frontend cost: 20 µs per request (HTTP parse + route).
+    pub fn standard(pipeline: PipelineConfig, nodes: u32) -> Self {
+        ClusterConfig {
+            pipeline,
+            nodes,
+            dispatch: Dispatch::RoundRobin,
+            dispatch_overhead: SimTime::from_micros(20),
+        }
+    }
+}
+
+/// Cluster offline-run results.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Nodes in the cluster.
+    pub nodes: u32,
+    /// Images processed.
+    pub images: u64,
+    /// Makespan, seconds.
+    pub makespan_s: f64,
+    /// Aggregate throughput, img/s.
+    pub throughput: f64,
+    /// Per-node completion counts (balance diagnostic).
+    pub per_node_completed: Vec<u64>,
+}
+
+impl ClusterReport {
+    /// Ratio of the busiest node's completions to the idlest node's.
+    pub fn imbalance(&self) -> f64 {
+        let max = *self.per_node_completed.iter().max().unwrap_or(&0) as f64;
+        let min = *self.per_node_completed.iter().min().unwrap_or(&0) as f64;
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+/// Run the offline scenario over a cluster: `images` arrive at t = 0 and
+/// the frontend dispatches them across nodes.
+pub fn run_cluster_offline(
+    config: &ClusterConfig,
+    images: u32,
+) -> Result<ClusterReport, EngineError> {
+    assert!(config.nodes > 0);
+    let mut sim = Sim::new();
+    let mut cores: Vec<PipelineCore> = (0..config.nodes)
+        .map(|_| PipelineCore::new(&config.pipeline))
+        .collect::<Result<_, _>>()?;
+
+    for i in 0..images {
+        let node = match config.dispatch {
+            Dispatch::RoundRobin => (i as usize) % cores.len(),
+            Dispatch::LeastLoaded => {
+                // At t=0 everything is queued; "in flight" is submitted
+                // minus completed, which equals submitted here — this
+                // degrades to round-robin for a burst, and differs under
+                // staggered arrivals (see run_cluster_online-style uses).
+                (0..cores.len())
+                    .min_by_key(|&n| cores[n].in_flight())
+                    .expect("non-empty cluster")
+            }
+        };
+        // The frontend serializes dispatch: the i-th request reaches its
+        // node only after i dispatch slots have elapsed.
+        let at = config.dispatch_overhead * (i as u64 + 1);
+        cores[node].submit(&mut sim, at);
+    }
+    sim.run();
+    for core in &mut cores {
+        core.flush(&mut sim);
+    }
+    sim.run();
+
+    let per_node_completed: Vec<u64> =
+        cores.iter().map(|c| c.metrics().borrow().completed).collect();
+    let images_done: u64 = per_node_completed.iter().sum();
+    let makespan = cores
+        .iter()
+        .map(|c| c.metrics().borrow().last_completion.as_secs_f64())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    Ok(ClusterReport {
+        nodes: config.nodes,
+        images: images_done,
+        makespan_s: makespan,
+        throughput: images_done as f64 / makespan,
+        per_node_completed,
+    })
+}
+
+/// Scaling sweep: throughput at 1, 2, 4, … nodes and the parallel
+/// efficiency relative to linear scaling.
+pub fn scaling_sweep(
+    pipeline: &PipelineConfig,
+    node_counts: &[u32],
+    images_per_node: u32,
+) -> Result<Vec<(u32, f64, f64)>, EngineError> {
+    let mut out = Vec::new();
+    let mut single = None;
+    for &nodes in node_counts {
+        let report = run_cluster_offline(
+            &ClusterConfig::standard(pipeline.clone(), nodes),
+            images_per_node * nodes,
+        )?;
+        let base = *single.get_or_insert(report.throughput / nodes as f64 * 1.0);
+        let efficiency = report.throughput / (base * nodes as f64);
+        out.push((nodes, report.throughput, efficiency));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_data::DatasetId;
+    use harvest_hw::PlatformId;
+    use harvest_models::ModelId;
+    use harvest_perf::MemoryContext;
+    use harvest_preproc::PreprocMethod;
+
+    fn pipeline() -> PipelineConfig {
+        PipelineConfig {
+            platform: PlatformId::PitzerV100,
+            model: ModelId::ResNet50,
+            dataset: DatasetId::CornGrowthStage,
+            preproc: PreprocMethod::Dali224,
+            ctx: MemoryContext::EngineOnly,
+            max_batch: 32,
+            max_queue_delay: SimTime::from_millis(20),
+            preproc_instances: 2,
+            engine_instances: 1,
+        }
+    }
+
+    #[test]
+    fn cluster_processes_everything_and_balances() {
+        let report = run_cluster_offline(
+            &ClusterConfig::standard(pipeline(), 4),
+            1024,
+        )
+        .unwrap();
+        assert_eq!(report.images, 1024);
+        assert_eq!(report.per_node_completed, vec![256; 4]);
+        assert!(report.imbalance() < 1.01);
+    }
+
+    #[test]
+    fn throughput_scales_nearly_linearly_offline() {
+        let sweep = scaling_sweep(&pipeline(), &[1, 2, 4], 512).unwrap();
+        assert_eq!(sweep.len(), 3);
+        let (_, t1, e1) = sweep[0];
+        let (_, t4, e4) = sweep[2];
+        assert!((e1 - 1.0).abs() < 1e-9);
+        assert!(t4 > 3.5 * t1, "4 nodes: {t4} vs 1 node {t1}");
+        assert!(e4 > 0.85, "efficiency {e4}");
+    }
+
+    #[test]
+    fn least_loaded_matches_round_robin_on_uniform_burst() {
+        let rr = run_cluster_offline(
+            &ClusterConfig::standard(pipeline(), 3),
+            600,
+        )
+        .unwrap();
+        let ll = run_cluster_offline(
+            &ClusterConfig { dispatch: Dispatch::LeastLoaded, ..ClusterConfig::standard(pipeline(), 3) },
+            600,
+        )
+        .unwrap();
+        assert_eq!(rr.images, ll.images);
+        assert!((rr.throughput - ll.throughput).abs() < 0.05 * rr.throughput);
+    }
+
+    #[test]
+    fn one_node_cluster_with_free_dispatch_equals_single_pipeline() {
+        use crate::scenario::{run_offline, OfflineConfig};
+        let cluster = run_cluster_offline(
+            &ClusterConfig {
+                dispatch_overhead: SimTime::ZERO,
+                ..ClusterConfig::standard(pipeline(), 1)
+            },
+            512,
+        )
+        .unwrap();
+        let single =
+            run_offline(&OfflineConfig { pipeline: pipeline(), images: 512 }).unwrap();
+        assert!((cluster.throughput - single.throughput).abs() < 1e-6 * single.throughput);
+    }
+
+    #[test]
+    fn frontend_overhead_caps_scale_out() {
+        // With a deliberately slow frontend (1 ms/request = 1k req/s cap),
+        // many ResNet50 nodes (~2.5k img/s each) cannot scale at all.
+        let slow_frontend = |nodes| ClusterConfig {
+            dispatch_overhead: SimTime::from_millis(1),
+            ..ClusterConfig::standard(pipeline(), nodes)
+        };
+        let one = run_cluster_offline(&slow_frontend(1), 512).unwrap();
+        let four = run_cluster_offline(&slow_frontend(4), 2048).unwrap();
+        // Both pinned near the 1k req/s frontend limit.
+        assert!(one.throughput < 1_100.0, "{}", one.throughput);
+        assert!(four.throughput < 1_100.0, "{}", four.throughput);
+        assert!(
+            four.throughput < 1.5 * one.throughput,
+            "scale-out should be frontend-capped: {} vs {}",
+            four.throughput,
+            one.throughput
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # harvest-serving
+//!
+//! The serving layer — our NVIDIA-Triton analog, §3's "backend request
+//! orchestration", run on the deterministic DES core:
+//!
+//! * [`batcher`] — the dynamic batcher: requests accumulate until either
+//!   the preferred batch size is reached or the queue-delay deadline
+//!   expires. Pure logic, independently testable.
+//! * [`server`] — the simulated pipeline: request source → preprocessing
+//!   stage (GPU DALI-style or CPU pool) → dynamic batcher → engine
+//!   instance(s), with preprocessing/inference overlap falling out of the
+//!   queueing structure.
+//! * [`scenario`] — the three §2.2 deployment scenarios: **online**
+//!   (Poisson arrivals, latency percentiles), **offline** (a field's worth
+//!   of images enqueued at once, makespan → throughput), and **real-time**
+//!   (a closed-loop 60 fps camera with deadline-miss accounting).
+
+pub mod batcher;
+pub mod cluster;
+pub mod multimodel;
+pub mod scenario;
+pub mod server;
+
+pub use batcher::{BatcherConfig, DynamicBatcher};
+pub use cluster::{run_cluster_offline, ClusterConfig, ClusterReport, Dispatch};
+pub use multimodel::{HostedModel, MultiModelServer};
+pub use scenario::{
+    run_offline, run_online, run_realtime, OfflineConfig, OfflineReport, OnlineConfig,
+    OnlineReport, RealTimeConfig, RealTimeReport,
+};
+pub use server::{PipelineConfig, PipelineCore, PipelineSim};

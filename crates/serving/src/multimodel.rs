@@ -1,0 +1,337 @@
+//! Multi-model co-location: several model instances sharing one GPU.
+//!
+//! §3 of the paper: "The backend hosts model instances, each dedicated to a
+//! specific inference task … A single request may trigger multiple backend
+//! calls to support different downstream tasks, which can reuse shared
+//! preprocessing steps when applicable."
+//!
+//! This module builds that: a device hosting several engines behind one
+//! compute resource, per-model dynamic batchers, and *fan-out requests*
+//! that run one shared preprocessing pass and then invoke several models.
+//! Two effects become measurable:
+//!
+//! * **interference** — co-located models contend for the single compute
+//!   engine, inflating each other's tail latency vs. running isolated;
+//! * **preprocessing reuse** — a two-model fan-out costs one preprocessing
+//!   pass, not two.
+
+use crate::batcher::{BatcherConfig, DynamicBatcher, QueuedRequest};
+use harvest_data::DatasetId;
+use harvest_engine::{Engine, EngineError};
+use harvest_hw::PlatformId;
+use harvest_models::ModelId;
+use harvest_perf::MemoryContext;
+use harvest_preproc::{PreprocCostModel, PreprocMethod};
+use harvest_simkit::{Reservoir, Server, Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Configuration for one co-located model.
+#[derive(Clone, Debug)]
+pub struct HostedModel {
+    /// Which model.
+    pub model: ModelId,
+    /// Its serving batch.
+    pub max_batch: u32,
+    /// Batcher queue delay.
+    pub max_queue_delay: SimTime,
+}
+
+/// A multi-model backend on one device.
+pub struct MultiModelServer {
+    platform: PlatformId,
+    dataset: DatasetId,
+    sim: Sim,
+    preproc_server: Server,
+    /// One shared compute engine: co-located models contend here.
+    gpu: Server,
+    lanes: Vec<ModelLane>,
+    submitted: u64,
+}
+
+struct ModelLane {
+    engine: Rc<Engine>,
+    batcher: Rc<RefCell<DynamicBatcher>>,
+    latencies: Rc<RefCell<Reservoir>>,
+    completed: Rc<RefCell<u64>>,
+}
+
+impl MultiModelServer {
+    /// Build a server hosting `models` on `platform`, fed by `dataset`.
+    pub fn new(
+        platform: PlatformId,
+        dataset: DatasetId,
+        models: &[HostedModel],
+    ) -> Result<Self, EngineError> {
+        assert!(!models.is_empty());
+        let mut lanes = Vec::with_capacity(models.len());
+        let mut total_bytes = 0u64;
+        for hosted in models {
+            let engine = Engine::build(
+                hosted.model,
+                platform,
+                MemoryContext::EndToEnd,
+                hosted.max_batch,
+            )?;
+            total_bytes += engine.memory_bytes();
+            lanes.push(ModelLane {
+                engine: Rc::new(engine),
+                batcher: Rc::new(RefCell::new(DynamicBatcher::new(BatcherConfig {
+                    preferred_batch: hosted.max_batch,
+                    max_queue_delay: hosted.max_queue_delay,
+                }))),
+                latencies: Rc::new(RefCell::new(Reservoir::new())),
+                completed: Rc::new(RefCell::new(0)),
+            });
+        }
+        // Co-located engines share one device: their *combined* footprint
+        // must fit the budget, not just each alone.
+        let budget = harvest_perf::EngineMemoryModel::new(
+            platform,
+            models[0].model,
+            MemoryContext::EndToEnd,
+        )
+        .budget_bytes();
+        if total_bytes > budget {
+            return Err(EngineError::OutOfMemory {
+                batch: models.iter().map(|m| m.max_batch).sum(),
+                required: total_bytes,
+                budget,
+            });
+        }
+        Ok(MultiModelServer {
+            platform,
+            dataset,
+            sim: Sim::new(),
+            preproc_server: Server::new("preproc", 2),
+            gpu: Server::new("gpu", 1),
+            lanes,
+            submitted: 0,
+        })
+    }
+
+    /// Per-image preprocessing time for a model's input resolution.
+    fn preproc_s(&self, model: ModelId) -> f64 {
+        let method = match model.input_size() {
+            32 => PreprocMethod::Dali32,
+            _ => PreprocMethod::Dali224,
+        };
+        PreprocCostModel::new(self.platform).per_image_s(method, self.dataset)
+    }
+
+    /// Submit a request at `at` that fans out to the given lane indices
+    /// after ONE shared preprocessing pass.
+    pub fn submit_fanout(&mut self, at: SimTime, lane_indices: &[usize]) {
+        assert!(!lane_indices.is_empty());
+        let id = self.submitted;
+        self.submitted += 1;
+        // Shared preprocessing: one pass at the *largest* required output.
+        let preproc_s = lane_indices
+            .iter()
+            .map(|&l| self.preproc_s(self.lanes[l].engine.model()))
+            .fold(0.0f64, f64::max);
+        let service = SimTime::from_secs_f64(preproc_s);
+        let preproc_server = self.preproc_server.clone();
+        let targets: Vec<LaneHooks> =
+            lane_indices.iter().map(|&l| self.lane_hooks(l)).collect();
+        self.sim.schedule_at(at, move |sim| {
+            let targets = targets.clone();
+            preproc_server.submit(sim, service, move |sim, _stats| {
+                for hooks in &targets {
+                    hooks.enqueue(sim, id, at);
+                }
+            });
+        });
+    }
+
+    /// Submit a single-model request.
+    pub fn submit(&mut self, at: SimTime, lane: usize) {
+        self.submit_fanout(at, &[lane]);
+    }
+
+    fn lane_hooks(&self, lane: usize) -> LaneHooks {
+        let l = &self.lanes[lane];
+        LaneHooks {
+            engine: l.engine.clone(),
+            batcher: l.batcher.clone(),
+            latencies: l.latencies.clone(),
+            completed: l.completed.clone(),
+            gpu: self.gpu.clone(),
+        }
+    }
+
+    /// Drain everything; flush residual partial batches.
+    pub fn run_to_completion(&mut self) {
+        self.sim.run();
+        for lane in 0..self.lanes.len() {
+            let hooks = self.lane_hooks(lane);
+            let residual = hooks.batcher.borrow_mut().flush();
+            for batch in residual {
+                hooks.dispatch(&mut self.sim, batch);
+            }
+        }
+        self.sim.run();
+    }
+
+    /// Completed requests on a lane.
+    pub fn completed(&self, lane: usize) -> u64 {
+        *self.lanes[lane].completed.borrow()
+    }
+
+    /// Latency percentile (ms) on a lane.
+    pub fn latency_percentile(&self, lane: usize, p: f64) -> f64 {
+        self.lanes[lane].latencies.borrow_mut().percentile(p)
+    }
+
+    /// Makespan so far, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.sim.now().as_secs_f64()
+    }
+
+    /// Preprocessing passes actually executed (reuse diagnostic).
+    pub fn preproc_passes(&self) -> u64 {
+        self.preproc_server.completed()
+    }
+}
+
+#[derive(Clone)]
+struct LaneHooks {
+    engine: Rc<Engine>,
+    batcher: Rc<RefCell<DynamicBatcher>>,
+    latencies: Rc<RefCell<Reservoir>>,
+    completed: Rc<RefCell<u64>>,
+    gpu: Server,
+}
+
+impl LaneHooks {
+    fn enqueue(&self, sim: &mut Sim, id: u64, arrival: SimTime) {
+        let now = sim.now();
+        let maybe = self.batcher.borrow_mut().push_with_arrival(id, now, arrival);
+        if let Some(batch) = maybe {
+            self.dispatch(sim, batch);
+        } else if let Some(deadline) = self.batcher.borrow().next_deadline() {
+            let hooks = self.clone();
+            sim.schedule_at(deadline.max(sim.now()), move |sim| {
+                let maybe = hooks.batcher.borrow_mut().poll_deadline(sim.now());
+                if let Some(batch) = maybe {
+                    hooks.dispatch(sim, batch);
+                }
+            });
+        }
+    }
+
+    fn dispatch(&self, sim: &mut Sim, batch: Vec<QueuedRequest>) {
+        if batch.is_empty() {
+            return;
+        }
+        let latency = self
+            .engine
+            .batch_latency_s(batch.len() as u32)
+            .expect("batcher respects max batch");
+        let latencies = self.latencies.clone();
+        let completed = self.completed.clone();
+        self.gpu.submit(sim, SimTime::from_secs_f64(latency), move |sim, _stats| {
+            let now = sim.now();
+            let mut lat = latencies.borrow_mut();
+            for req in &batch {
+                lat.push((now - req.arrival()).as_millis_f64());
+            }
+            *completed.borrow_mut() += batch.len() as u64;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosted(model: ModelId, batch: u32) -> HostedModel {
+        HostedModel { model, max_batch: batch, max_queue_delay: SimTime::from_millis(2) }
+    }
+
+    fn server(models: &[HostedModel]) -> MultiModelServer {
+        MultiModelServer::new(PlatformId::MriA100, DatasetId::CornGrowthStage, models)
+            .expect("fits")
+    }
+
+    #[test]
+    fn single_lane_completes_everything() {
+        let mut s = server(&[hosted(ModelId::ResNet50, 16)]);
+        for i in 0..200u64 {
+            s.submit(SimTime::from_micros(i * 200), 0);
+        }
+        s.run_to_completion();
+        assert_eq!(s.completed(0), 200);
+    }
+
+    #[test]
+    fn fanout_invokes_every_model_with_one_preproc_pass() {
+        let mut s = server(&[hosted(ModelId::ResNet50, 8), hosted(ModelId::VitBase, 8)]);
+        for i in 0..64u64 {
+            s.submit_fanout(SimTime::from_micros(i * 500), &[0, 1]);
+        }
+        s.run_to_completion();
+        assert_eq!(s.completed(0), 64);
+        assert_eq!(s.completed(1), 64);
+        // The reuse claim: 64 preprocessing passes, not 128.
+        assert_eq!(s.preproc_passes(), 64);
+    }
+
+    #[test]
+    fn colocation_inflates_tail_latency() {
+        // ViT-Tiny alone vs ViT-Tiny sharing the GPU with a busy ViT-Base.
+        let drive = |with_base: bool| -> f64 {
+            let mut models = vec![hosted(ModelId::VitTiny, 8)];
+            if with_base {
+                models.push(hosted(ModelId::VitBase, 32));
+            }
+            let mut s = server(&models);
+            for i in 0..300u64 {
+                s.submit(SimTime::from_micros(i * 400), 0);
+                if with_base {
+                    s.submit(SimTime::from_micros(i * 400), 1);
+                }
+            }
+            s.run_to_completion();
+            assert_eq!(s.completed(0), 300);
+            s.latency_percentile(0, 99.0)
+        };
+        let isolated = drive(false);
+        let colocated = drive(true);
+        assert!(
+            colocated > 1.5 * isolated,
+            "co-location should inflate p99: isolated {isolated} vs colocated {colocated}"
+        );
+    }
+
+    #[test]
+    fn shared_preproc_beats_duplicate_preproc() {
+        // Fan-out (shared pass) vs two independent submissions of the same
+        // frame: fewer preprocessing passes, earlier completion.
+        let mut shared = server(&[hosted(ModelId::ResNet50, 4), hosted(ModelId::VitBase, 4)]);
+        for i in 0..64u64 {
+            shared.submit_fanout(SimTime::from_micros(i * 800), &[0, 1]);
+        }
+        shared.run_to_completion();
+        let mut duplicated =
+            server(&[hosted(ModelId::ResNet50, 4), hosted(ModelId::VitBase, 4)]);
+        for i in 0..64u64 {
+            duplicated.submit(SimTime::from_micros(i * 800), 0);
+            duplicated.submit(SimTime::from_micros(i * 800), 1);
+        }
+        duplicated.run_to_completion();
+        assert_eq!(shared.preproc_passes() * 2, duplicated.preproc_passes());
+        assert!(shared.now_s() <= duplicated.now_s() + 1e-9);
+    }
+
+    #[test]
+    fn oversized_model_set_fails_loudly() {
+        // Two ViT-Base engines at batch 64 exceed the Jetson's e2e budget.
+        let result = MultiModelServer::new(
+            PlatformId::JetsonOrinNano,
+            DatasetId::CornGrowthStage,
+            &[hosted(ModelId::VitBase, 8), hosted(ModelId::VitBase, 8)],
+        );
+        assert!(result.is_err());
+    }
+}

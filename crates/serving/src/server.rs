@@ -1,0 +1,388 @@
+//! The simulated serving pipeline: preprocessing stage → dynamic batcher →
+//! engine instances, on the deterministic DES core.
+//!
+//! Frontend/backend decoupling follows §3: the frontend submits requests;
+//! the preprocessing stage (its own backend engine instances) and the model
+//! engine overlap naturally because they are separate queueing resources —
+//! the same overlap the paper credits for large models approaching the
+//! engine bound on the A100.
+
+use crate::batcher::{BatcherConfig, DynamicBatcher, QueuedRequest};
+use harvest_data::DatasetId;
+use harvest_engine::{Engine, EngineError};
+use harvest_hw::PlatformId;
+use harvest_models::ModelId;
+use harvest_perf::MemoryContext;
+use harvest_preproc::{PreprocCostModel, PreprocMethod};
+use harvest_simkit::{Reservoir, Server, Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Pipeline wiring for one (platform, model, dataset) deployment.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Target platform.
+    pub platform: PlatformId,
+    /// Served model.
+    pub model: ModelId,
+    /// Input dataset.
+    pub dataset: DatasetId,
+    /// Preprocessing framework.
+    pub preproc: PreprocMethod,
+    /// Memory context (engine-only or end-to-end budgets).
+    pub ctx: MemoryContext,
+    /// Engine max batch = batcher preferred batch.
+    pub max_batch: u32,
+    /// Dynamic batcher queue-delay bound.
+    pub max_queue_delay: SimTime,
+    /// Parallel preprocessing lanes.
+    pub preproc_instances: u32,
+    /// Parallel engine instances.
+    pub engine_instances: u32,
+}
+
+impl PipelineConfig {
+    /// A sensible default wiring for a deployment triple.
+    pub fn standard(
+        platform: PlatformId,
+        model: ModelId,
+        dataset: DatasetId,
+        max_batch: u32,
+    ) -> Self {
+        PipelineConfig {
+            platform,
+            model,
+            dataset,
+            preproc: PreprocMethod::Dali224,
+            ctx: MemoryContext::EndToEnd,
+            max_batch,
+            max_queue_delay: SimTime::from_millis(5),
+            preproc_instances: 2,
+            engine_instances: 1,
+        }
+    }
+}
+
+/// Completion metrics shared between the sim's event handlers.
+#[derive(Default)]
+pub struct Metrics {
+    /// End-to-end request latencies, milliseconds.
+    pub latencies_ms: Reservoir,
+    /// Completed requests.
+    pub completed: u64,
+    /// Time of the last completion.
+    pub last_completion: SimTime,
+}
+
+/// One wired pipeline instance (servers + batcher + metrics) that runs on a
+/// caller-provided simulator — multiple cores can share one [`Sim`], which
+/// is how the cluster scale-out simulation composes nodes.
+pub struct PipelineCore {
+    engine: Rc<Engine>,
+    preproc_server: Server,
+    engine_server: Server,
+    batcher: Rc<RefCell<DynamicBatcher>>,
+    metrics: Rc<RefCell<Metrics>>,
+    preproc_s: f64,
+    submitted: u64,
+}
+
+impl PipelineCore {
+    /// Build the pipeline wiring; fails if the engine cannot be built at
+    /// `max_batch` within the platform's memory budget.
+    pub fn new(config: &PipelineConfig) -> Result<Self, EngineError> {
+        let engine = Engine::build(config.model, config.platform, config.ctx, config.max_batch)?;
+        let cost = PreprocCostModel::new(config.platform);
+        let preproc_s = cost.per_image_s(config.preproc, config.dataset);
+        let batcher = DynamicBatcher::new(BatcherConfig {
+            preferred_batch: config.max_batch,
+            max_queue_delay: config.max_queue_delay,
+        });
+        Ok(PipelineCore {
+            engine: Rc::new(engine),
+            preproc_server: Server::new("preproc", config.preproc_instances),
+            engine_server: Server::new("engine", config.engine_instances),
+            batcher: Rc::new(RefCell::new(batcher)),
+            metrics: Rc::new(RefCell::new(Metrics::default())),
+            preproc_s,
+            submitted: 0,
+        })
+    }
+
+    /// The built engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Shared metrics handle.
+    pub fn metrics(&self) -> Rc<RefCell<Metrics>> {
+        self.metrics.clone()
+    }
+
+    /// Requests submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Images currently in flight (submitted minus completed).
+    pub fn in_flight(&self) -> u64 {
+        self.submitted - self.metrics.borrow().completed
+    }
+
+    /// Mean dispatched batch size so far.
+    pub fn mean_batch(&self) -> f64 {
+        self.batcher.borrow().mean_batch()
+    }
+
+    /// Per-image preprocessing service time, seconds.
+    pub fn preproc_s(&self) -> f64 {
+        self.preproc_s
+    }
+
+    fn hooks(&self) -> DispatchHooks {
+        DispatchHooks {
+            batcher: self.batcher.clone(),
+            engine: self.engine.clone(),
+            engine_server: self.engine_server.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Submit one request arriving at `at` (absolute sim time).
+    pub fn submit(&mut self, sim: &mut Sim, at: SimTime) {
+        let id = self.submitted;
+        self.submitted += 1;
+        let preproc_server = self.preproc_server.clone();
+        let service = SimTime::from_secs_f64(self.preproc_s);
+        let hooks = self.hooks();
+        sim.schedule_at(at, move |sim| {
+            let hooks = hooks.clone();
+            preproc_server.submit(sim, service, move |sim, _stats| {
+                hooks.after_preproc(sim, id, at);
+            });
+        });
+    }
+
+    /// Flush any residual partial batch (end of stream).
+    pub fn flush(&mut self, sim: &mut Sim) {
+        let residual = self.batcher.borrow_mut().flush();
+        for batch in residual {
+            self.hooks().dispatch(sim, batch);
+        }
+    }
+}
+
+/// A single-node pipeline simulation: one [`PipelineCore`] plus its own
+/// simulator — the unit the scenario drivers use.
+pub struct PipelineSim {
+    /// The simulator (owned; scenarios drive it).
+    pub sim: Sim,
+    core: PipelineCore,
+}
+
+impl PipelineSim {
+    /// Build the pipeline; fails if the engine cannot be built at
+    /// `max_batch` within the platform's memory budget.
+    pub fn new(config: &PipelineConfig) -> Result<Self, EngineError> {
+        Ok(PipelineSim { sim: Sim::new(), core: PipelineCore::new(config)? })
+    }
+
+    /// The built engine.
+    pub fn engine(&self) -> &Engine {
+        self.core.engine()
+    }
+
+    /// Shared metrics handle.
+    pub fn metrics(&self) -> Rc<RefCell<Metrics>> {
+        self.core.metrics()
+    }
+
+    /// Requests submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.core.submitted()
+    }
+
+    /// Mean dispatched batch size so far.
+    pub fn mean_batch(&self) -> f64 {
+        self.core.mean_batch()
+    }
+
+    /// Per-image preprocessing service time, seconds.
+    pub fn preproc_s(&self) -> f64 {
+        self.core.preproc_s()
+    }
+
+    /// Submit one request arriving at `at` (absolute sim time).
+    pub fn submit(&mut self, at: SimTime) {
+        self.core.submit(&mut self.sim, at);
+    }
+
+    /// Drain all pending work (ends when the event queue is empty), then
+    /// flush any residual partial batch and drain again.
+    pub fn run_to_completion(&mut self) {
+        self.sim.run();
+        self.core.flush(&mut self.sim);
+        self.sim.run();
+    }
+}
+
+/// Everything the post-preprocessing event path needs.
+#[derive(Clone)]
+struct DispatchHooks {
+    batcher: Rc<RefCell<DynamicBatcher>>,
+    engine: Rc<Engine>,
+    engine_server: Server,
+    metrics: Rc<RefCell<Metrics>>,
+}
+
+impl DispatchHooks {
+    /// Request `id` (which arrived at `arrival`) finished preprocessing.
+    fn after_preproc(&self, sim: &mut Sim, id: u64, arrival: SimTime) {
+        let now = sim.now();
+        let maybe_batch = {
+            let mut b = self.batcher.borrow_mut();
+            // The batcher keys requests by id; remember arrival via the
+            // enqueue time of the *original* request: we thread arrival
+            // through a side map encoded in the id — instead, keep it
+            // simple: the batcher's enqueued field stores preproc-done
+            // time; end-to-end latency uses `arrival` captured per id.
+            let _ = now;
+            b.push_with_arrival(id, now, arrival)
+        };
+        if let Some(batch) = maybe_batch {
+            self.dispatch(sim, batch);
+        } else {
+            // Arm the delay trigger for the (possibly new) queue front.
+            let deadline = self.batcher.borrow().next_deadline();
+            if let Some(at) = deadline {
+                let hooks = self.clone();
+                sim.schedule_at(at.max(sim.now()), move |sim| {
+                    let maybe = hooks.batcher.borrow_mut().poll_deadline(sim.now());
+                    if let Some(batch) = maybe {
+                        hooks.dispatch(sim, batch);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Send a batch to an engine instance.
+    fn dispatch(&self, sim: &mut Sim, batch: Vec<QueuedRequest>) {
+        if batch.is_empty() {
+            return;
+        }
+        let bs = batch.len() as u32;
+        let latency = self
+            .engine
+            .batch_latency_s(bs)
+            .expect("batcher never exceeds engine max batch");
+        let metrics = self.metrics.clone();
+        self.engine_server.submit(
+            sim,
+            SimTime::from_secs_f64(latency),
+            move |sim, _stats| {
+                let now = sim.now();
+                let mut m = metrics.borrow_mut();
+                for req in &batch {
+                    let e2e = now - req.arrival();
+                    m.latencies_ms.push(e2e.as_millis_f64());
+                    m.completed += 1;
+                }
+                m.last_completion = now;
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pipeline() -> PipelineSim {
+        let cfg = PipelineConfig {
+            platform: PlatformId::MriA100,
+            model: ModelId::VitTiny,
+            dataset: DatasetId::PlantVillage,
+            preproc: PreprocMethod::Dali32,
+            ctx: MemoryContext::EngineOnly,
+            max_batch: 8,
+            max_queue_delay: SimTime::from_millis(2),
+            preproc_instances: 2,
+            engine_instances: 1,
+        };
+        PipelineSim::new(&cfg).expect("pipeline builds")
+    }
+
+    #[test]
+    fn all_submitted_requests_complete() {
+        let mut p = small_pipeline();
+        for i in 0..100u64 {
+            p.submit(SimTime::from_micros(i * 50));
+        }
+        p.run_to_completion();
+        let m = p.metrics();
+        assert_eq!(m.borrow().completed, 100);
+        assert_eq!(m.borrow().latencies_ms.count(), 100);
+    }
+
+    #[test]
+    fn latencies_are_positive_and_bounded() {
+        let mut p = small_pipeline();
+        for i in 0..64u64 {
+            p.submit(SimTime::from_micros(i * 100));
+        }
+        p.run_to_completion();
+        let metrics = p.metrics();
+        let mut m = metrics.borrow_mut();
+        let p50 = m.latencies_ms.median();
+        assert!(p50 > 0.0);
+        assert!(p50 < 1000.0, "p50 {p50}ms is implausible");
+    }
+
+    #[test]
+    fn batcher_forms_full_batches_under_load() {
+        let mut p = small_pipeline();
+        // Burst arrival: everything at t=0 → full batches of 8.
+        for _ in 0..80u64 {
+            p.submit(SimTime::ZERO);
+        }
+        p.run_to_completion();
+        assert!((p.mean_batch() - 8.0).abs() < 0.6, "mean batch {}", p.mean_batch());
+    }
+
+    #[test]
+    fn sparse_arrivals_dispatch_partial_batches_by_deadline() {
+        let mut p = small_pipeline();
+        // One request every 50ms >> 2ms queue delay: batches of 1.
+        for i in 0..10u64 {
+            p.submit(SimTime::from_millis(i * 50));
+        }
+        p.run_to_completion();
+        assert_eq!(p.metrics().borrow().completed, 10);
+        assert!(p.mean_batch() < 1.5, "mean batch {}", p.mean_batch());
+    }
+
+    #[test]
+    fn oversized_engine_request_is_impossible_by_construction() {
+        // The batcher's preferred batch equals the engine max batch, so
+        // dispatch can never exceed it; sanity-check the wiring constant.
+        let p = small_pipeline();
+        assert_eq!(p.engine().max_batch(), 8);
+    }
+
+    #[test]
+    fn e2e_context_with_infeasible_batch_fails_to_build() {
+        let cfg = PipelineConfig {
+            platform: PlatformId::JetsonOrinNano,
+            model: ModelId::VitBase,
+            dataset: DatasetId::CornGrowthStage,
+            preproc: PreprocMethod::Dali224,
+            ctx: MemoryContext::EndToEnd,
+            max_batch: 8, // Fig 8: only 2 fits on Jetson e2e
+            max_queue_delay: SimTime::from_millis(5),
+            preproc_instances: 1,
+            engine_instances: 1,
+        };
+        assert!(PipelineSim::new(&cfg).is_err());
+    }
+}

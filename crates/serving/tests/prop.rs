@@ -1,0 +1,83 @@
+//! Property-based tests for the dynamic batcher.
+
+use harvest_serving::{BatcherConfig, DynamicBatcher};
+use harvest_simkit::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn batcher_conserves_requests_and_respects_caps(
+        arrivals in proptest::collection::vec(0u64..10_000, 1..200),
+        preferred in 1u32..16,
+        delay_us in 1u64..5_000,
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut b = DynamicBatcher::new(BatcherConfig {
+            preferred_batch: preferred,
+            max_queue_delay: SimTime::from_micros(delay_us),
+        });
+        let mut dispatched_ids: Vec<u64> = Vec::new();
+        for (i, &t) in sorted.iter().enumerate() {
+            let now = SimTime::from_micros(t);
+            // Fire any due deadline first (the sim driver would).
+            if let Some(batch) = b.poll_deadline(now) {
+                prop_assert!(batch.len() <= preferred as usize);
+                dispatched_ids.extend(batch.iter().map(|r| r.id));
+            }
+            if let Some(batch) = b.push(i as u64, now) {
+                prop_assert_eq!(batch.len(), preferred as usize);
+                dispatched_ids.extend(batch.iter().map(|r| r.id));
+            }
+        }
+        for batch in b.flush() {
+            prop_assert!(batch.len() <= preferred as usize);
+            prop_assert!(!batch.is_empty());
+            dispatched_ids.extend(batch.iter().map(|r| r.id));
+        }
+        // Conservation + FIFO.
+        prop_assert_eq!(dispatched_ids.len(), sorted.len());
+        let expected: Vec<u64> = (0..sorted.len() as u64).collect();
+        prop_assert_eq!(dispatched_ids, expected);
+        prop_assert_eq!(b.queued(), 0);
+        prop_assert_eq!(b.dispatched_requests(), sorted.len() as u64);
+    }
+
+    #[test]
+    fn deadline_never_dispatches_fresh_requests(
+        delay_ms in 1u64..100,
+        age_ms in 0u64..200,
+    ) {
+        let mut b = DynamicBatcher::new(BatcherConfig {
+            preferred_batch: 100,
+            max_queue_delay: SimTime::from_millis(delay_ms),
+        });
+        b.push(0, SimTime::ZERO);
+        let result = b.poll_deadline(SimTime::from_millis(age_ms));
+        if age_ms >= delay_ms {
+            prop_assert!(result.is_some());
+        } else {
+            prop_assert!(result.is_none());
+        }
+    }
+
+    #[test]
+    fn mean_batch_is_within_bounds(
+        n in 1u64..500,
+        preferred in 1u32..32,
+    ) {
+        let mut b = DynamicBatcher::new(BatcherConfig {
+            preferred_batch: preferred,
+            max_queue_delay: SimTime::from_millis(1),
+        });
+        for i in 0..n {
+            let _ = b.push(i, SimTime::ZERO);
+        }
+        let _ = b.flush();
+        let mean = b.mean_batch();
+        prop_assert!(mean >= 1.0 - 1e-9);
+        prop_assert!(mean <= preferred as f64 + 1e-9);
+    }
+}

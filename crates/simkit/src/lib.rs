@@ -1,0 +1,260 @@
+//! # harvest-simkit
+//!
+//! Deterministic discrete-event simulation (DES) core used by the HARVEST
+//! reproduction to model inference serving across the compute continuum.
+//!
+//! The crate provides:
+//!
+//! * [`SimTime`] — integer-nanosecond simulated time (total order, no float
+//!   drift between runs).
+//! * [`Sim`] — the event loop: a priority queue of scheduled closures with a
+//!   monotone clock and FIFO tie-breaking, so runs are bit-reproducible.
+//! * [`rng`] — a small, dependency-free deterministic RNG (SplitMix64 seeded
+//!   xoshiro256**) with the distributions the workload generators need.
+//! * [`server`] — capacity-limited FIFO servers (the building block for GPU
+//!   compute engines, copy engines and CPU pools).
+//! * [`stats`] — streaming moments, percentile reservoirs and fixed-width
+//!   histograms for latency/throughput accounting.
+//!
+//! The simulator is single-threaded by design: determinism matters more than
+//! parallel speed here, and every experiment in the paper fits comfortably in
+//! one core once the heavy numeric work is delegated to analytic models.
+
+pub mod rng;
+pub mod server;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use rng::SimRng;
+pub use server::{JobStats, Server};
+pub use stats::{Histogram, Reservoir, Streaming};
+pub use time::SimTime;
+pub use trace::{Timeline, TraceEvent};
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: a closure fired at a simulated instant.
+///
+/// Events scheduled for the same instant fire in scheduling order (FIFO),
+/// which keeps runs deterministic without requiring callers to perturb
+/// timestamps.
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Box<dyn FnOnce(&mut Sim)>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// ```
+/// use harvest_simkit::{Sim, SimTime};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new();
+/// let hits = Rc::new(Cell::new(0u32));
+/// let h = hits.clone();
+/// sim.schedule_in(SimTime::from_millis(5), move |_sim| h.set(h.get() + 1));
+/// sim.run();
+/// assert_eq!(hits.get(), 1);
+/// assert_eq!(sim.now(), SimTime::from_millis(5));
+/// ```
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    fired: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulator with the clock at zero.
+    pub fn new() -> Self {
+        Sim { now: SimTime::ZERO, seq: 0, fired: 0, queue: BinaryHeap::new() }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    #[inline]
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `action` to fire at absolute time `at`.
+    ///
+    /// Scheduling into the past is a logic error and panics: it would break
+    /// the monotone-clock invariant every consumer relies on.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim) + 'static) {
+        assert!(at >= self.now, "schedule_at({at:?}) is before now ({:?})", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, action: Box::new(action) }));
+    }
+
+    /// Schedule `action` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, action: impl FnOnce(&mut Sim) + 'static) {
+        let at = self.now + delay;
+        self.schedule_at(at, action);
+    }
+
+    /// Fire the single earliest event. Returns `false` if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.fired += 1;
+                (ev.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event queue drains. Returns the number of events fired.
+    pub fn run(&mut self) -> u64 {
+        let start = self.fired;
+        while self.step() {}
+        self.fired - start
+    }
+
+    /// Run until the queue drains or the next event would fire after
+    /// `deadline`. The clock is advanced to `deadline` if the run was cut
+    /// short (pending events stay queued). Returns the number of events fired.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.fired;
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.fired - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (label, ms) in [(b'c', 30u64), (b'a', 10), (b'b', 20)] {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_millis(ms), move |_| order.borrow_mut().push(label));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..16u32 {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_millis(7), move |_| order.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_from_handlers() {
+        let mut sim = Sim::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        sim.schedule_in(SimTime::from_millis(1), move |sim| {
+            h.borrow_mut().push(sim.now());
+            let h2 = h.clone();
+            sim.schedule_in(SimTime::from_millis(2), move |sim| {
+                h2.borrow_mut().push(sim.now());
+            });
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![SimTime::from_millis(1), SimTime::from_millis(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Sim::new();
+        sim.schedule_at(SimTime::from_millis(5), |sim| {
+            sim.schedule_at(SimTime::from_millis(1), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn run_until_advances_clock_and_keeps_pending() {
+        let mut sim = Sim::new();
+        sim.schedule_at(SimTime::from_millis(100), |_| {});
+        let fired = sim.run_until(SimTime::from_millis(50));
+        assert_eq!(fired, 0);
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn run_returns_fired_count() {
+        let mut sim = Sim::new();
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_millis(i), |_| {});
+        }
+        assert_eq!(sim.run(), 10);
+        assert_eq!(sim.events_fired(), 10);
+    }
+}

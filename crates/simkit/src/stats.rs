@@ -1,0 +1,342 @@
+//! Measurement accumulators: streaming moments, percentile reservoirs and
+//! fixed-width histograms.
+//!
+//! The serving experiments report mean/percentile latency and throughput;
+//! these helpers keep that accounting allocation-light and deterministic.
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Streaming {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Streaming {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Streaming { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Population variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Smallest observation (NaN-free; +inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+    /// Largest observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction step).
+    pub fn merge(&mut self, other: &Streaming) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact-percentile reservoir: stores every sample. The experiments produce
+/// at most a few hundred thousand samples, so exactness is affordable and
+/// avoids quantile-sketch approximation arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Reservoir {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Reservoir {
+    /// Empty reservoir.
+    pub fn new() -> Self {
+        Reservoir { samples: Vec::new(), sorted: true }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// Percentile in `[0, 100]` by nearest-rank with linear interpolation.
+    /// Returns 0 when empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0) / 100.0;
+        let rank = p * (self.samples.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            self.samples[lo]
+        } else {
+            let frac = rank - lo as f64;
+            self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+        }
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Number of samples strictly above `threshold` (deadline-miss counts).
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.samples.iter().filter(|&&x| x > threshold).count()
+    }
+
+    /// All recorded samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with out-of-range buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// `n` equal-width buckets spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(hi > lo && n > 0);
+        Histogram { lo, hi, buckets: vec![0; n], below: 0, above: 0 }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+    /// Count below range.
+    pub fn below(&self) -> u64 {
+        self.below
+    }
+    /// Count at-or-above range.
+    pub fn above(&self) -> u64 {
+        self.above
+    }
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.below + self.above + self.buckets.iter().sum::<u64>()
+    }
+
+    /// Centre of bucket `i`.
+    pub fn bucket_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Index and centre of the fullest bucket — the distribution's mode,
+    /// which is what Fig. 4 annotates per dataset.
+    pub fn mode(&self) -> (usize, f64) {
+        let (idx, _) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .expect("histogram has buckets");
+        (idx, self.bucket_center(idx))
+    }
+
+    /// Normalized densities (sum to 1 over in-range buckets; all-zero when empty).
+    pub fn densities(&self) -> Vec<f64> {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.buckets.len()];
+        }
+        self.buckets.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_matches_closed_form() {
+        let mut s = Streaming::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn streaming_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Streaming::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Streaming::new();
+        let mut b = Streaming::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_streaming_is_zeroish() {
+        let s = Streaming::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn reservoir_percentiles() {
+        let mut r = Reservoir::new();
+        for i in 1..=100 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.count(), 100);
+        assert!((r.median() - 50.5).abs() < 1e-9);
+        assert!((r.percentile(0.0) - 1.0).abs() < 1e-9);
+        assert!((r.percentile(100.0) - 100.0).abs() < 1e-9);
+        let p99 = r.percentile(99.0);
+        assert!((p99 - 99.01).abs() < 0.02, "p99 {p99}");
+    }
+
+    #[test]
+    fn reservoir_empty_is_zero() {
+        let mut r = Reservoir::new();
+        assert_eq!(r.percentile(50.0), 0.0);
+        assert_eq!(r.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mode() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..5 {
+            h.push(3.5);
+        }
+        h.push(7.2);
+        h.push(-1.0);
+        h.push(10.0);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.below(), 1);
+        assert_eq!(h.above(), 1);
+        let (idx, center) = h.mode();
+        assert_eq!(idx, 3);
+        assert!((center - 3.5).abs() < 1e-9);
+        let d = h.densities();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((d[3] - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_edge_values() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(0.0); // lowest in-range
+        h.push(0.999_999); // highest in-range
+        assert_eq!(h.below(), 0);
+        assert_eq!(h.above(), 0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[3], 1);
+    }
+}

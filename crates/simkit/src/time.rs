@@ -1,0 +1,230 @@
+//! Integer-nanosecond simulated time.
+//!
+//! Simulated time is kept in `u64` nanoseconds rather than `f64` seconds so
+//! that event ordering is a true total order and repeated runs are
+//! bit-identical — adding many small float durations would otherwise
+//! accumulate rounding differences that reorder ties.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in nanoseconds.
+///
+/// `SimTime` doubles as a duration; the arithmetic ops are saturating on
+/// subtraction and checked-in-debug on addition, which is the behaviour the
+/// simulator wants (a lagging timestamp clamps to zero wait rather than
+/// wrapping around).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Zero — the epoch of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "infinite" deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    /// From microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    /// From milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    /// From whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds. Negative and non-finite inputs clamp to zero:
+    /// analytic latency models occasionally produce `-0.0`-ish values for
+    /// degenerate parameters and the simulator treats those as "immediate".
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// From fractional milliseconds (same clamping as [`SimTime::from_secs_f64`]).
+    #[inline]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms * 1e-3)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// As fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+    /// As fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+    /// As fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+
+    /// Saturating difference (`self - earlier`, clamped at zero).
+    #[inline]
+    pub fn saturating_sub(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.checked_mul(rhs).expect("SimTime overflow"))
+    }
+}
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(3).as_nanos(), 3_000);
+        assert!((SimTime::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((SimTime::from_millis_f64(16.7).as_millis_f64() - 16.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nan_floats_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert_eq!(a - b, SimTime::ZERO);
+        assert_eq!(b - a, SimTime::from_millis(1));
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10);
+        assert_eq!(a * 3, SimTime::from_millis(30));
+        assert_eq!(a / 2, SimTime::from_millis(5));
+        let mut c = a;
+        c += a;
+        assert_eq!(c, SimTime::from_millis(20));
+        c -= a;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn debug_formatting_scales_units() {
+        assert_eq!(format!("{:?}", SimTime::from_nanos(12)), "12ns");
+        assert_eq!(format!("{:?}", SimTime::from_micros(12)), "12.000us");
+        assert_eq!(format!("{:?}", SimTime::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{:?}", SimTime::from_secs(12)), "12.000000s");
+    }
+}

@@ -1,0 +1,282 @@
+//! General matrix multiplication: the kernel the whole stack leans on.
+//!
+//! Three tiers:
+//!
+//! * [`gemm_naive`] — triple loop, the correctness oracle for tests.
+//! * [`gemm_blocked`] — cache-blocked (MC×KC×NC) single-threaded kernel with
+//!   an unrolled inner loop over packed panels.
+//! * [`gemm`] — the production entry point: rayon-parallel over row blocks of
+//!   C, each block running the blocked kernel. Falls back to the blocked
+//!   kernel for small problems where fork/join overhead would dominate.
+//!
+//! The same routine doubles as the *host side* of Table 1: the GEMM FLOPS
+//! microbenchmark in `harvest-hw` runs this kernel to produce a practical-
+//! vs-theoretical efficiency figure for the machine the reproduction runs on.
+
+use rayon::prelude::*;
+
+/// Cache-block sizes. Chosen for typical x86-64 L1/L2; correctness does not
+/// depend on them, and perf only weakly (the benches sweep them).
+const MC: usize = 64;
+const KC: usize = 256;
+const NC: usize = 512;
+
+/// Problems smaller than this many multiply-accumulates stay single-threaded.
+const PAR_THRESHOLD_MACS: usize = 64 * 64 * 64;
+
+/// `c[m×n] = a[m×k] · b[k×n]` — reference triple loop (ikj order so the inner
+/// loop streams through `b` and `c` rows).
+pub fn gemm_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    check_dims(a, b, c, m, k, n);
+    c.fill(0.0);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..p * n + n];
+            let c_row = &mut c[i * n..i * n + n];
+            for j in 0..n {
+                c_row[j] += aip * b_row[j];
+            }
+        }
+    }
+}
+
+#[inline]
+fn check_dims(a: &[f32], b: &[f32], c: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "a is {m}x{k}");
+    assert_eq!(b.len(), k * n, "b is {k}x{n}");
+    assert_eq!(c.len(), m * n, "c is {m}x{n}");
+}
+
+/// Cache-blocked single-threaded GEMM. Accumulates into `c` after zeroing it.
+pub fn gemm_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    check_dims(a, b, c, m, k, n);
+    c.fill(0.0);
+    gemm_blocked_acc(a, b, c, m, k, n);
+}
+
+/// Blocked GEMM that *accumulates* into `c` (callers zero or pre-bias it).
+fn gemm_blocked_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut jc = 0;
+    while jc < n {
+        let nb = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kb = KC.min(k - pc);
+            let mut ic = 0;
+            while ic < m {
+                let mb = MC.min(m - ic);
+                // Micro-tile over the (mb × nb) block of C.
+                for i in ic..ic + mb {
+                    let a_row = &a[i * k + pc..i * k + pc + kb];
+                    let c_row = &mut c[i * n + jc..i * n + jc + nb];
+                    // 4-way unrolled accumulation over the K panel.
+                    let mut p = 0;
+                    while p + 4 <= kb {
+                        let a0 = a_row[p];
+                        let a1 = a_row[p + 1];
+                        let a2 = a_row[p + 2];
+                        let a3 = a_row[p + 3];
+                        let b0 = &b[(pc + p) * n + jc..(pc + p) * n + jc + nb];
+                        let b1 = &b[(pc + p + 1) * n + jc..(pc + p + 1) * n + jc + nb];
+                        let b2 = &b[(pc + p + 2) * n + jc..(pc + p + 2) * n + jc + nb];
+                        let b3 = &b[(pc + p + 3) * n + jc..(pc + p + 3) * n + jc + nb];
+                        for j in 0..nb {
+                            c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                        }
+                        p += 4;
+                    }
+                    while p < kb {
+                        let ap = a_row[p];
+                        let b_row = &b[(pc + p) * n + jc..(pc + p) * n + jc + nb];
+                        for j in 0..nb {
+                            c_row[j] += ap * b_row[j];
+                        }
+                        p += 1;
+                    }
+                }
+                ic += mb;
+            }
+            pc += kb;
+        }
+        jc += nb;
+    }
+}
+
+/// Production GEMM: parallel over row blocks of `C` when the problem is big
+/// enough to amortize fork/join, otherwise the blocked kernel.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    check_dims(a, b, c, m, k, n);
+    if m * n * k < PAR_THRESHOLD_MACS || m < 2 {
+        c.fill(0.0);
+        gemm_blocked_acc(a, b, c, m, k, n);
+        return;
+    }
+    // Each worker owns a disjoint row block of C — data-race freedom by
+    // construction, per the rayon guide.
+    let rows_per_block = MC.max(m.div_ceil(rayon::current_num_threads().max(1)).min(m));
+    c.par_chunks_mut(rows_per_block * n)
+        .enumerate()
+        .for_each(|(blk, c_block)| {
+            let i0 = blk * rows_per_block;
+            let mb = c_block.len() / n;
+            c_block.fill(0.0);
+            gemm_blocked_acc(&a[i0 * k..(i0 + mb) * k], b, c_block, mb, k, n);
+        });
+}
+
+/// `c = a · bᵀ` where `b` is stored row-major as `n×k` — the layout linear
+/// layers use (`weight[out][in]`); avoids materializing a transpose.
+pub fn gemm_bt(a: &[f32], b_t: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b_t.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    let run = |(i, c_row): (usize, &mut [f32])| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, cj) in c_row.iter_mut().enumerate() {
+            let b_row = &b_t[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            // Dot product, 4-way unrolled for ILP.
+            let mut p = 0;
+            while p + 4 <= k {
+                acc += a_row[p] * b_row[p]
+                    + a_row[p + 1] * b_row[p + 1]
+                    + a_row[p + 2] * b_row[p + 2]
+                    + a_row[p + 3] * b_row[p + 3];
+                p += 4;
+            }
+            while p < k {
+                acc += a_row[p] * b_row[p];
+                p += 1;
+            }
+            *cj = acc;
+        }
+    };
+    if m * n * k < PAR_THRESHOLD_MACS {
+        c.chunks_mut(n).enumerate().for_each(run);
+    } else {
+        c.par_chunks_mut(n).enumerate().for_each(run);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_matrix_is_neutral() {
+        let m = 5;
+        let a = rand_vec(m * m, 1);
+        let mut eye = vec![0.0; m * m];
+        for i in 0..m {
+            eye[i * m + i] = 1.0;
+        }
+        let mut c = vec![0.0; m * m];
+        gemm(&a, &eye, &mut c, m, m, m);
+        assert_close(&c, &a, 1e-6);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        gemm_naive(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn blocked_matches_naive_awkward_shapes() {
+        // Shapes chosen to exercise partial blocks in every dimension.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 257, 33), (70, 300, 520), (128, 128, 128)] {
+            let a = rand_vec(m * k, 11);
+            let b = rand_vec(k * n, 13);
+            let mut c_ref = vec![0.0; m * n];
+            let mut c_blk = vec![0.0; m * n];
+            gemm_naive(&a, &b, &mut c_ref, m, k, n);
+            gemm_blocked(&a, &b, &mut c_blk, m, k, n);
+            assert_close(&c_blk, &c_ref, 1e-3);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive_above_threshold() {
+        let (m, k, n) = (150, 120, 130);
+        let a = rand_vec(m * k, 21);
+        let b = rand_vec(k * n, 23);
+        let mut c_ref = vec![0.0; m * n];
+        let mut c_par = vec![0.0; m * n];
+        gemm_naive(&a, &b, &mut c_ref, m, k, n);
+        gemm(&a, &b, &mut c_par, m, k, n);
+        assert_close(&c_par, &c_ref, 1e-3);
+    }
+
+    #[test]
+    fn gemm_bt_matches_explicit_transpose() {
+        let (m, k, n) = (9, 17, 5);
+        let a = rand_vec(m * k, 31);
+        let b_t = rand_vec(n * k, 33); // n×k
+        // Build b = transpose(b_t): k×n
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = b_t[j * k + p];
+            }
+        }
+        let mut c_ref = vec![0.0; m * n];
+        let mut c_bt = vec![0.0; m * n];
+        gemm_naive(&a, &b, &mut c_ref, m, k, n);
+        gemm_bt(&a, &b_t, &mut c_bt, m, k, n);
+        assert_close(&c_bt, &c_ref, 1e-4);
+    }
+
+    #[test]
+    fn overwrites_stale_output() {
+        let a = [1.0f32, 0.0, 0.0, 1.0];
+        let b = [1.0f32, 2.0, 3.0, 4.0];
+        let mut c = [99.0f32; 4];
+        gemm(&a, &b, &mut c, 2, 2, 2);
+        assert_close(&c, &b, 1e-6);
+    }
+
+    #[test]
+    fn degenerate_k_zero_means_zero_output() {
+        let a: Vec<f32> = vec![];
+        let b: Vec<f32> = vec![];
+        let mut c = vec![5.0f32; 6];
+        gemm_naive(&a, &b, &mut c, 2, 0, 3);
+        assert!(c.iter().all(|&x| x == 0.0));
+        let mut c2 = vec![5.0f32; 6];
+        gemm_blocked(&a, &b, &mut c2, 2, 0, 3);
+        assert!(c2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "a is")]
+    fn dimension_mismatch_panics() {
+        let a = vec![0.0; 5];
+        let b = vec![0.0; 6];
+        let mut c = vec![0.0; 4];
+        gemm(&a, &b, &mut c, 2, 3, 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! Image preprocessing kernels: layout conversion, bilinear resize, crops,
+//! per-channel normalization and perspective warp.
+//!
+//! These are the executable counterparts of the Fig. 7 preprocessing stages:
+//! torchvision-style resize/crop/normalize for the vision models, and the
+//! OpenCV-style perspective transform the CRSA ground-vehicle feed needs.
+//! All kernels operate on planar CHW f32 (model layout); the u8 HWC entry
+//! points mirror decoded-image layout.
+
+use rayon::prelude::*;
+
+/// Convert interleaved HWC u8 (decoded-image layout) to planar CHW f32 in
+/// `[0, 1]`.
+pub fn hwc_u8_to_chw(pixels: &[u8], h: usize, w: usize, channels: usize) -> Vec<f32> {
+    assert_eq!(pixels.len(), h * w * channels);
+    let mut out = vec![0.0f32; channels * h * w];
+    for c in 0..channels {
+        let plane = &mut out[c * h * w..(c + 1) * h * w];
+        for (i, v) in plane.iter_mut().enumerate() {
+            *v = pixels[i * channels + c] as f32 / 255.0;
+        }
+    }
+    out
+}
+
+/// Convert planar CHW f32 in `[0, 1]` back to interleaved HWC u8 (clamping).
+pub fn chw_to_hwc_u8(chw: &[f32], h: usize, w: usize, channels: usize) -> Vec<u8> {
+    assert_eq!(chw.len(), channels * h * w);
+    let mut out = vec![0u8; h * w * channels];
+    for c in 0..channels {
+        let plane = &chw[c * h * w..(c + 1) * h * w];
+        for (i, &v) in plane.iter().enumerate() {
+            out[i * channels + c] = (v.clamp(0.0, 1.0) * 255.0).round() as u8;
+        }
+    }
+    out
+}
+
+/// Bilinear resize of a CHW image to `oh × ow` (align-corners=false,
+/// half-pixel centres — the torchvision default).
+pub fn resize_bilinear(
+    input: &[f32],
+    channels: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+) -> Vec<f32> {
+    assert_eq!(input.len(), channels * h * w);
+    assert!(h > 0 && w > 0 && oh > 0 && ow > 0);
+    let mut out = vec![0.0f32; channels * oh * ow];
+    let sy = h as f32 / oh as f32;
+    let sx = w as f32 / ow as f32;
+    let per_plane = |(plane_in, plane_out): (&[f32], &mut [f32])| {
+        for oy in 0..oh {
+            let fy = ((oy as f32 + 0.5) * sy - 0.5).clamp(0.0, (h - 1) as f32);
+            let y0 = fy.floor() as usize;
+            let y1 = (y0 + 1).min(h - 1);
+            let wy = fy - y0 as f32;
+            for ox in 0..ow {
+                let fx = ((ox as f32 + 0.5) * sx - 0.5).clamp(0.0, (w - 1) as f32);
+                let x0 = fx.floor() as usize;
+                let x1 = (x0 + 1).min(w - 1);
+                let wx = fx - x0 as f32;
+                let p00 = plane_in[y0 * w + x0];
+                let p01 = plane_in[y0 * w + x1];
+                let p10 = plane_in[y1 * w + x0];
+                let p11 = plane_in[y1 * w + x1];
+                let top = p00 * (1.0 - wx) + p01 * wx;
+                let bot = p10 * (1.0 - wx) + p11 * wx;
+                plane_out[oy * ow + ox] = top * (1.0 - wy) + bot * wy;
+            }
+        }
+    };
+    if channels * oh * ow >= 1 << 18 {
+        input
+            .par_chunks_exact(h * w)
+            .zip(out.par_chunks_exact_mut(oh * ow))
+            .for_each(per_plane);
+    } else {
+        input.chunks_exact(h * w).zip(out.chunks_exact_mut(oh * ow)).for_each(per_plane);
+    }
+    out
+}
+
+/// Centre crop a CHW image to `ch × cw`. Panics if the crop exceeds the image.
+pub fn center_crop(
+    input: &[f32],
+    channels: usize,
+    h: usize,
+    w: usize,
+    ch: usize,
+    cw: usize,
+) -> Vec<f32> {
+    assert_eq!(input.len(), channels * h * w);
+    assert!(ch <= h && cw <= w, "crop {ch}x{cw} exceeds image {h}x{w}");
+    let y0 = (h - ch) / 2;
+    let x0 = (w - cw) / 2;
+    let mut out = vec![0.0f32; channels * ch * cw];
+    for c in 0..channels {
+        let plane_in = &input[c * h * w..(c + 1) * h * w];
+        let plane_out = &mut out[c * ch * cw..(c + 1) * ch * cw];
+        for y in 0..ch {
+            let src = &plane_in[(y0 + y) * w + x0..(y0 + y) * w + x0 + cw];
+            plane_out[y * cw..(y + 1) * cw].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// Per-channel `(x - mean) / std` normalization of a CHW image, in place.
+pub fn normalize_chw(x: &mut [f32], channels: usize, mean: &[f32], std: &[f32]) {
+    assert_eq!(mean.len(), channels);
+    assert_eq!(std.len(), channels);
+    assert!(x.len().is_multiple_of(channels));
+    let spatial = x.len() / channels;
+    for (c, plane) in x.chunks_exact_mut(spatial).enumerate() {
+        let inv = 1.0 / std[c];
+        let m = mean[c];
+        for v in plane.iter_mut() {
+            *v = (*v - m) * inv;
+        }
+    }
+}
+
+/// A 3×3 projective transform (row-major), mapping output pixel coordinates
+/// to source coordinates — the OpenCV `warpPerspective` convention with
+/// `WARP_INVERSE_MAP`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Homography(pub [f32; 9]);
+
+impl Homography {
+    /// Identity transform.
+    pub fn identity() -> Self {
+        Homography([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0])
+    }
+
+    /// Pure translation by `(tx, ty)` in source space.
+    pub fn translation(tx: f32, ty: f32) -> Self {
+        Homography([1.0, 0.0, tx, 0.0, 1.0, ty, 0.0, 0.0, 1.0])
+    }
+
+    /// The bird's-eye correction a forward-tilted ground-vehicle camera
+    /// needs: rows nearer the horizon sample a wider source strip. `k`
+    /// controls tilt strength (0 = identity), heights are of the *output*.
+    pub fn ground_vehicle_tilt(k: f32, out_h: usize) -> Self {
+        // Perspective term along y: x' = x + k·shear, w' = 1 + k·y/out_h.
+        Homography([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, k / out_h.max(1) as f32, 1.0])
+    }
+
+    /// Map an output (x, y) to source coordinates.
+    #[inline]
+    pub fn apply(&self, x: f32, y: f32) -> (f32, f32) {
+        let m = &self.0;
+        let sx = m[0] * x + m[1] * y + m[2];
+        let sy = m[3] * x + m[4] * y + m[5];
+        let sw = m[6] * x + m[7] * y + m[8];
+        let inv = if sw.abs() < 1e-12 { 0.0 } else { 1.0 / sw };
+        (sx * inv, sy * inv)
+    }
+}
+
+/// Perspective-warp a CHW image into an `oh × ow` output using bilinear
+/// sampling; out-of-source samples are zero.
+pub fn perspective_warp(
+    input: &[f32],
+    channels: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    homography: &Homography,
+) -> Vec<f32> {
+    assert_eq!(input.len(), channels * h * w);
+    let mut out = vec![0.0f32; channels * oh * ow];
+    let per_plane = |(plane_in, plane_out): (&[f32], &mut [f32])| {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let (fx, fy) = homography.apply(ox as f32, oy as f32);
+                if fx < 0.0 || fy < 0.0 || fx > (w - 1) as f32 || fy > (h - 1) as f32 {
+                    continue; // stays zero
+                }
+                let x0 = fx.floor() as usize;
+                let y0 = fy.floor() as usize;
+                let x1 = (x0 + 1).min(w - 1);
+                let y1 = (y0 + 1).min(h - 1);
+                let wx = fx - x0 as f32;
+                let wy = fy - y0 as f32;
+                let top = plane_in[y0 * w + x0] * (1.0 - wx) + plane_in[y0 * w + x1] * wx;
+                let bot = plane_in[y1 * w + x0] * (1.0 - wx) + plane_in[y1 * w + x1] * wx;
+                plane_out[oy * ow + ox] = top * (1.0 - wy) + bot * wy;
+            }
+        }
+    };
+    if channels * oh * ow >= 1 << 18 {
+        input
+            .par_chunks_exact(h * w)
+            .zip(out.par_chunks_exact_mut(oh * ow))
+            .for_each(per_plane);
+    } else {
+        input.chunks_exact(h * w).zip(out.chunks_exact_mut(oh * ow)).for_each(per_plane);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hwc_chw_round_trip() {
+        let (h, w, c) = (3, 4, 3);
+        let pixels: Vec<u8> = (0..h * w * c).map(|i| (i * 7 % 256) as u8).collect();
+        let chw = hwc_u8_to_chw(&pixels, h, w, c);
+        let back = chw_to_hwc_u8(&chw, h, w, c);
+        assert_eq!(back, pixels);
+    }
+
+    #[test]
+    fn chw_layout_is_planar() {
+        // 1x2 image, RGB: pixel0=(255,0,0), pixel1=(0,255,0)
+        let pixels = vec![255, 0, 0, 0, 255, 0];
+        let chw = hwc_u8_to_chw(&pixels, 1, 2, 3);
+        assert_eq!(chw, vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn resize_identity_when_same_size() {
+        let input: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let out = resize_bilinear(&input, 1, 3, 4, 3, 4);
+        for (a, b) in input.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn resize_constant_image_stays_constant() {
+        let input = vec![0.7f32; 3 * 10 * 10];
+        let out = resize_bilinear(&input, 3, 10, 10, 7, 13);
+        assert!(out.iter().all(|&v| (v - 0.7).abs() < 1e-6));
+    }
+
+    #[test]
+    fn resize_2x_upsample_of_gradient_preserves_mean() {
+        let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let out = resize_bilinear(&input, 1, 4, 4, 8, 8);
+        let mean_in: f32 = input.iter().sum::<f32>() / 16.0;
+        let mean_out: f32 = out.iter().sum::<f32>() / 64.0;
+        assert!((mean_in - mean_out).abs() < 0.3, "{mean_in} vs {mean_out}");
+    }
+
+    #[test]
+    fn resize_values_within_input_range() {
+        let input: Vec<f32> = (0..100).map(|i| ((i * 31) % 17) as f32).collect();
+        let out = resize_bilinear(&input, 1, 10, 10, 23, 5);
+        let lo = input.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = input.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert!(out.iter().all(|&v| v >= lo - 1e-5 && v <= hi + 1e-5));
+    }
+
+    #[test]
+    fn center_crop_picks_the_middle() {
+        let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let out = center_crop(&input, 1, 4, 4, 2, 2);
+        assert_eq!(out, vec![5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds image")]
+    fn oversize_crop_panics() {
+        center_crop(&[0.0; 4], 1, 2, 2, 3, 3);
+    }
+
+    #[test]
+    fn normalize_imagenet_style() {
+        let mut x = vec![0.5f32; 2 * 4];
+        normalize_chw(&mut x, 2, &[0.5, 0.25], &[0.5, 0.25]);
+        assert!(x[..4].iter().all(|&v| v.abs() < 1e-6));
+        assert!(x[4..].iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn identity_warp_is_noop() {
+        let input: Vec<f32> = (0..25).map(|i| (i as f32).sin()).collect();
+        let out = perspective_warp(&input, 1, 5, 5, 5, 5, &Homography::identity());
+        for (a, b) in input.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn translation_shifts_content() {
+        // Source lookup at (x+1, y): output col j shows input col j+1.
+        let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let out =
+            perspective_warp(&input, 1, 4, 4, 4, 4, &Homography::translation(1.0, 0.0));
+        assert!((out[0] - 1.0).abs() < 1e-5);
+        assert!((out[1] - 2.0).abs() < 1e-5);
+        // Column 3 maps to source column 4: out of bounds -> zero.
+        assert_eq!(out[3], 0.0);
+    }
+
+    #[test]
+    fn tilt_warp_preserves_range_and_hits_source() {
+        let input = vec![1.0f32; 64 * 64];
+        let hmg = Homography::ground_vehicle_tilt(0.5, 64);
+        let out = perspective_warp(&input, 1, 64, 64, 64, 64, &hmg);
+        // All in-bounds samples of a constant image are that constant.
+        let nonzero = out.iter().filter(|&&v| v > 0.0).count();
+        assert!(nonzero > 64 * 64 / 2, "most samples should land in-bounds");
+        assert!(out.iter().all(|&v| v <= 1.0 + 1e-6));
+    }
+}

@@ -1,0 +1,38 @@
+//! # harvest-tensor
+//!
+//! Real, executable CPU tensor kernels for the HARVEST reproduction.
+//!
+//! The paper's measurements run on GPUs we do not have; those are modelled
+//! analytically in `harvest-hw`/`harvest-perf`. This crate is the part of the
+//! stack that is *not* simulated: data-parallel f32 kernels (blocked GEMM,
+//! im2col convolution, multi-head attention, normalization, image
+//! preprocessing ops) that
+//!
+//! 1. give the model zoo an executable forward pass (used by the engine's
+//!    real-execution path and by correctness tests), and
+//! 2. serve as the CPU-preprocessing ground truth behind the Fig. 7
+//!    "PyTorch/OpenCV on CPU" baselines — the decode/resize/normalize/warp
+//!    costs we report for the host are measured on these kernels.
+//!
+//! Parallelism uses rayon parallel iterators over independent row/channel
+//! blocks, following the data-race-free patterns of the workspace's HPC style
+//! guides.
+
+pub mod attention;
+pub mod conv;
+pub mod gemm;
+pub mod image;
+pub mod ops;
+pub mod quant;
+pub mod tensor;
+
+pub use attention::multi_head_attention;
+pub use conv::{avg_pool2d_global, conv2d, max_pool2d};
+pub use gemm::{gemm, gemm_naive};
+pub use image::{
+    center_crop, chw_to_hwc_u8, hwc_u8_to_chw, normalize_chw, perspective_warp, resize_bilinear,
+    Homography,
+};
+pub use ops::{add_bias, batchnorm_inference, gelu, layernorm, relu, softmax_rows};
+pub use quant::{dequantize, gemm_i8, quantize_symmetric, quantized_gemm, QuantizedTensor};
+pub use tensor::Tensor;

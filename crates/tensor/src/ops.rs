@@ -1,0 +1,216 @@
+//! Pointwise and normalization ops used by the model zoo's forward pass.
+
+use rayon::prelude::*;
+
+/// In-place ReLU.
+pub fn relu(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// In-place tanh-approximation GELU (the approximation PyTorch ships for
+/// ViTs; exact-erf differences are ~1e-3 and irrelevant here).
+pub fn gelu(x: &mut [f32]) {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    for v in x.iter_mut() {
+        let x3 = *v * *v * *v;
+        *v = 0.5 * *v * (1.0 + (C * (*v + 0.044715 * x3)).tanh());
+    }
+}
+
+/// Add a bias vector to each row of a `rows × cols` matrix.
+pub fn add_bias(x: &mut [f32], bias: &[f32]) {
+    let cols = bias.len();
+    assert!(cols > 0 && x.len().is_multiple_of(cols), "x len {} not a multiple of bias len {cols}", x.len());
+    for row in x.chunks_exact_mut(cols) {
+        for (v, b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Numerically-stable softmax over each row of a `rows × cols` matrix.
+pub fn softmax_rows(x: &mut [f32], cols: usize) {
+    assert!(cols > 0 && x.len().is_multiple_of(cols));
+    let apply = |row: &mut [f32]| {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    };
+    if x.len() >= 1 << 16 {
+        x.par_chunks_exact_mut(cols).for_each(apply);
+    } else {
+        x.chunks_exact_mut(cols).for_each(apply);
+    }
+}
+
+/// LayerNorm over the last dimension of a `rows × d` matrix, with affine
+/// gamma/beta parameters.
+pub fn layernorm(x: &mut [f32], d: usize, gamma: &[f32], beta: &[f32], eps: f32) {
+    assert!(d > 0 && x.len().is_multiple_of(d));
+    assert_eq!(gamma.len(), d);
+    assert_eq!(beta.len(), d);
+    let apply = |row: &mut [f32]| {
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) * inv_std * gamma[j] + beta[j];
+        }
+    };
+    if x.len() >= 1 << 16 {
+        x.par_chunks_exact_mut(d).for_each(apply);
+    } else {
+        x.chunks_exact_mut(d).for_each(apply);
+    }
+}
+
+/// Inference-mode batch normalization over an NCHW tensor: per-channel
+/// `y = (x - mean) / sqrt(var + eps) * gamma + beta`.
+#[allow(clippy::too_many_arguments)]
+pub fn batchnorm_inference(
+    x: &mut [f32],
+    channels: usize,
+    spatial: usize,
+    mean: &[f32],
+    var: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) {
+    assert_eq!(mean.len(), channels);
+    assert_eq!(var.len(), channels);
+    assert_eq!(gamma.len(), channels);
+    assert_eq!(beta.len(), channels);
+    assert!(x.len().is_multiple_of(channels * spatial), "x not NCHW-compatible");
+    for image in x.chunks_exact_mut(channels * spatial) {
+        for (c, plane) in image.chunks_exact_mut(spatial).enumerate() {
+            let scale = gamma[c] / (var[c] + eps).sqrt();
+            let shift = beta[c] - mean[c] * scale;
+            for v in plane.iter_mut() {
+                *v = *v * scale + shift;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut x = vec![-1.0, 0.0, 2.5, -0.1];
+        relu(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        let mut x = vec![0.0f32, 1.0, -1.0, 3.0];
+        gelu(&mut x);
+        assert!((x[0] - 0.0).abs() < 1e-6);
+        assert!((x[1] - 0.8412).abs() < 1e-3, "{}", x[1]);
+        assert!((x[2] + 0.1588).abs() < 1e-3, "{}", x[2]);
+        assert!((x[3] - 2.9964).abs() < 1e-3, "{}", x[3]);
+    }
+
+    #[test]
+    fn bias_broadcasts_per_row() {
+        let mut x = vec![0.0, 0.0, 1.0, 1.0];
+        add_bias(&mut x, &[10.0, 20.0]);
+        assert_eq!(x, vec![10.0, 20.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let mut x = vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0];
+        softmax_rows(&mut x, 3);
+        for row in x.chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(x[0] < x[1] && x[1] < x[2]);
+        assert!(x[5] > 0.99, "large logit dominates: {}", x[5]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![1001.0, 1002.0, 1003.0];
+        softmax_rows(&mut a, 3);
+        softmax_rows(&mut b, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layernorm_normalizes() {
+        let d = 4;
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        let gamma = vec![1.0; d];
+        let beta = vec![0.0; d];
+        layernorm(&mut x, d, &gamma, &beta, 1e-5);
+        let mean: f32 = x.iter().sum::<f32>() / d as f32;
+        let var: f32 = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_affine_applies() {
+        let d = 2;
+        let mut x = vec![-1.0, 1.0];
+        layernorm(&mut x, d, &[2.0, 2.0], &[5.0, 5.0], 1e-9);
+        // Normalized row is [-1, 1]; affine maps to [3, 7].
+        assert!((x[0] - 3.0).abs() < 1e-3, "{}", x[0]);
+        assert!((x[1] - 7.0).abs() < 1e-3, "{}", x[1]);
+    }
+
+    #[test]
+    fn batchnorm_matches_manual() {
+        // 1 image, 2 channels, 2 spatial positions.
+        let mut x = vec![1.0, 3.0, 10.0, 20.0];
+        batchnorm_inference(
+            &mut x,
+            2,
+            2,
+            &[2.0, 15.0],
+            &[1.0, 25.0],
+            &[1.0, 2.0],
+            &[0.0, 1.0],
+            0.0,
+        );
+        assert!((x[0] + 1.0).abs() < 1e-6);
+        assert!((x[1] - 1.0).abs() < 1e-6);
+        assert!((x[2] - (2.0 * (10.0 - 15.0) / 5.0 + 1.0)).abs() < 1e-6);
+        assert!((x[3] - (2.0 * (20.0 - 15.0) / 5.0 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batchnorm_handles_batches() {
+        let mut x = vec![0.0; 2 * 3 * 4]; // 2 images, 3 channels, 4 spatial
+        batchnorm_inference(
+            &mut x,
+            3,
+            4,
+            &[0.0; 3],
+            &[1.0; 3],
+            &[1.0; 3],
+            &[7.0; 3],
+            0.0,
+        );
+        assert!(x.iter().all(|&v| (v - 7.0).abs() < 1e-6));
+    }
+}

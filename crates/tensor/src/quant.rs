@@ -1,0 +1,164 @@
+//! INT8 quantization: the executable substrate behind the precision story.
+//!
+//! §3.1 of the paper: "Lower-precision formats like INT8 or FP16 offer
+//! faster inference but may reduce accuracy." The perf model captures the
+//! *speed* side analytically; this module provides the real arithmetic so
+//! the *accuracy* side is measurable too: symmetric per-tensor
+//! quantization, an integer GEMM with i32 accumulation, and the
+//! dequantization that recovers approximate f32 results.
+
+use rayon::prelude::*;
+
+/// A symmetrically quantized tensor: `f32 ≈ i8 × scale`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantizedTensor {
+    /// Quantized values.
+    pub data: Vec<i8>,
+    /// Dequantization scale (max-abs / 127).
+    pub scale: f32,
+}
+
+/// Symmetric per-tensor quantization to i8.
+pub fn quantize_symmetric(data: &[f32]) -> QuantizedTensor {
+    let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+    let inv = 1.0 / scale;
+    let q = data
+        .iter()
+        .map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    QuantizedTensor { data: q, scale }
+}
+
+/// Dequantize back to f32.
+pub fn dequantize(q: &QuantizedTensor) -> Vec<f32> {
+    q.data.iter().map(|&v| v as f32 * q.scale).collect()
+}
+
+/// Integer GEMM: `c[m×n] = a[m×k] · b[k×n]` with i32 accumulation — the
+/// arithmetic INT8 tensor cores perform.
+pub fn gemm_i8(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut c = vec![0i32; m * n];
+    let run = |(i, c_row): (usize, &mut [i32])| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (p, &ap) in a_row.iter().enumerate() {
+            if ap == 0 {
+                continue;
+            }
+            let ap = ap as i32;
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += ap * bj as i32;
+            }
+        }
+    };
+    if m * n * k < 1 << 18 {
+        c.chunks_mut(n).enumerate().for_each(run);
+    } else {
+        c.par_chunks_mut(n).enumerate().for_each(run);
+    }
+    c
+}
+
+/// Quantize two f32 matrices, multiply in INT8, and dequantize — the full
+/// quantized-inference matmul path.
+pub fn quantized_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let qa = quantize_symmetric(a);
+    let qb = quantize_symmetric(b);
+    let acc = gemm_i8(&qa.data, &qb.data, m, k, n);
+    let scale = qa.scale * qb.scale;
+    acc.into_iter().map(|v| v as f32 * scale).collect()
+}
+
+/// Relative Frobenius error between a quantized result and the f32
+/// reference — the "may reduce accuracy" number.
+pub fn relative_error(reference: &[f32], approx: &[f32]) -> f64 {
+    assert_eq!(reference.len(), approx.len());
+    let num: f64 = reference
+        .iter()
+        .zip(approx)
+        .map(|(&r, &a)| ((r - a) as f64).powi(2))
+        .sum();
+    let den: f64 = reference.iter().map(|&r| (r as f64).powi(2)).sum();
+    (num / den.max(1e-30)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_naive;
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_is_at_most_half_step() {
+        let data = rand_vec(1000, 3);
+        let q = quantize_symmetric(&data);
+        let back = dequantize(&q);
+        for (orig, deq) in data.iter().zip(&back) {
+            assert!((orig - deq).abs() <= q.scale * 0.5 + 1e-7, "{orig} vs {deq}");
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_cleanly() {
+        let q = quantize_symmetric(&[0.0; 16]);
+        assert!(q.data.iter().all(|&v| v == 0));
+        assert_eq!(dequantize(&q), vec![0.0; 16]);
+    }
+
+    #[test]
+    fn extremes_map_to_plus_minus_127() {
+        let q = quantize_symmetric(&[-2.0, 0.0, 2.0]);
+        assert_eq!(q.data, vec![-127, 0, 127]);
+    }
+
+    #[test]
+    fn int_gemm_matches_small_known_case() {
+        let a = [1i8, 2, 3, 4]; // 2x2
+        let b = [5i8, 6, 7, 8];
+        let c = gemm_i8(&a, &b, 2, 2, 2);
+        assert_eq!(c, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn quantized_gemm_tracks_f32_reference() {
+        let (m, k, n) = (24, 48, 16);
+        let a = rand_vec(m * k, 7);
+        let b = rand_vec(k * n, 11);
+        let mut reference = vec![0.0f32; m * n];
+        gemm_naive(&a, &b, &mut reference, m, k, n);
+        let approx = quantized_gemm(&a, &b, m, k, n);
+        let err = relative_error(&reference, &approx);
+        // ~0.5% relative error is typical for well-scaled int8 GEMM.
+        assert!(err < 0.02, "relative error {err}");
+        assert!(err > 0.0, "quantization must not be exact on random data");
+    }
+
+    #[test]
+    fn accumulation_does_not_overflow_at_realistic_depths() {
+        // Worst case per MAC is 127·127 ≈ 16k; k = 4096 stays far inside
+        // i32 (16k × 4096 ≈ 2^26).
+        let k = 4096;
+        let a = vec![127i8; k];
+        let b = vec![127i8; k]; // k×1
+        let c = gemm_i8(&a, &b, 1, k, 1);
+        assert_eq!(c[0], 127 * 127 * k as i32);
+    }
+
+    #[test]
+    fn relative_error_is_zero_for_identical_inputs() {
+        let x = rand_vec(64, 5);
+        assert_eq!(relative_error(&x, &x), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the tensor kernels.
+
+use harvest_tensor::gemm::{gemm, gemm_blocked, gemm_bt, gemm_naive};
+use harvest_tensor::{
+    chw_to_hwc_u8, hwc_u8_to_chw, layernorm, perspective_warp, resize_bilinear, softmax_rows,
+    Homography,
+};
+use proptest::prelude::*;
+
+fn small_dim() -> impl Strategy<Value = usize> {
+    1usize..24
+}
+
+fn vecf(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_gemm_equals_naive(
+        (m, k, n, a, b) in (small_dim(), small_dim(), small_dim()).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), vecf(m * k), vecf(k * n))
+        })
+    ) {
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_blk = vec![0.0f32; m * n];
+        gemm_naive(&a, &b, &mut c_ref, m, k, n);
+        gemm_blocked(&a, &b, &mut c_blk, m, k, n);
+        for (x, y) in c_ref.iter().zip(&c_blk) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_equals_naive(
+        (m, k, n, a, b) in (small_dim(), small_dim(), small_dim()).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), vecf(m * k), vecf(k * n))
+        })
+    ) {
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_par = vec![0.0f32; m * n];
+        gemm_naive(&a, &b, &mut c_ref, m, k, n);
+        gemm(&a, &b, &mut c_par, m, k, n);
+        for (x, y) in c_ref.iter().zip(&c_par) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gemm_bt_equals_naive_with_transpose(
+        (m, k, n, a, bt) in (small_dim(), small_dim(), small_dim()).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), vecf(m * k), vecf(n * k))
+        })
+    ) {
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_bt = vec![0.0f32; m * n];
+        gemm_naive(&a, &b, &mut c_ref, m, k, n);
+        gemm_bt(&a, &bt, &mut c_bt, m, k, n);
+        for (x, y) in c_ref.iter().zip(&c_bt) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        (rows, cols, x) in (1usize..8, 1usize..16).prop_flat_map(|(r, c)| {
+            (Just(r), Just(c), vecf(r * c))
+        })
+    ) {
+        let mut data = x;
+        softmax_rows(&mut data, cols);
+        let _ = rows;
+        for row in data.chunks(cols) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sums to {sum}");
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn layernorm_output_has_zero_mean_unit_var(
+        (rows, d, x) in (1usize..6, 2usize..32).prop_flat_map(|(r, d)| {
+            (Just(r), Just(d), vecf(r * d))
+        })
+    ) {
+        // Skip degenerate constant rows (variance ~ 0 under eps).
+        let mut data = x;
+        let gamma = vec![1.0f32; d];
+        let beta = vec![0.0f32; d];
+        layernorm(&mut data, d, &gamma, &beta, 1e-6);
+        let _ = rows;
+        for row in data.chunks(d) {
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn resize_stays_within_input_range(
+        (h, w, oh, ow, x) in (1usize..16, 1usize..16, 1usize..24, 1usize..24)
+            .prop_flat_map(|(h, w, oh, ow)| {
+                (Just(h), Just(w), Just(oh), Just(ow), vecf(h * w))
+            })
+    ) {
+        let out = resize_bilinear(&x, 1, h, w, oh, ow);
+        prop_assert_eq!(out.len(), oh * ow);
+        let lo = x.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for &v in &out {
+            prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn warp_preserves_range_with_zero_fill(
+        (h, w, x) in (2usize..16, 2usize..16).prop_flat_map(|(h, w)| {
+            (Just(h), Just(w), proptest::collection::vec(0.0f32..1.0, h * w))
+        })
+    ) {
+        let hmg = Homography::ground_vehicle_tilt(0.4, h);
+        let out = perspective_warp(&x, 1, h, w, h, w, &hmg);
+        for &v in &out {
+            prop_assert!((0.0..=1.0 + 1e-5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded_by_half_step(
+        data in proptest::collection::vec(-100.0f32..100.0, 1..256)
+    ) {
+        use harvest_tensor::quant::{dequantize, quantize_symmetric};
+        let q = quantize_symmetric(&data);
+        let back = dequantize(&q);
+        for (orig, deq) in data.iter().zip(&back) {
+            prop_assert!((orig - deq).abs() <= q.scale * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantized_gemm_tracks_reference(
+        (m, k, n, a, b) in (1usize..12, 4usize..48, 1usize..12).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n),
+             proptest::collection::vec(-1.0f32..1.0, m * k),
+             proptest::collection::vec(-1.0f32..1.0, k * n))
+        })
+    ) {
+        use harvest_tensor::quant::{quantize_symmetric, quantized_gemm};
+        let mut reference = vec![0.0f32; m * n];
+        gemm_naive(&a, &b, &mut reference, m, k, n);
+        let approx = quantized_gemm(&a, &b, m, k, n);
+        // Relative error is unbounded on near-cancelling dot products, so
+        // the sound property is the absolute elementwise bound implied by
+        // symmetric quantization: each term errs by at most
+        // max|a|·sb/2 + max|b|·sa/2 + sa·sb/4, and a dot product sums k
+        // such terms.
+        let sa = quantize_symmetric(&a).scale as f64;
+        let sb = quantize_symmetric(&b).scale as f64;
+        let max_a = a.iter().fold(0.0f64, |m, &v| m.max(v.abs() as f64));
+        let max_b = b.iter().fold(0.0f64, |m, &v| m.max(v.abs() as f64));
+        let per_term = max_a * sb / 2.0 + max_b * sa / 2.0 + sa * sb / 4.0;
+        let bound = k as f64 * per_term + 1e-5;
+        for (r, x) in reference.iter().zip(&approx) {
+            prop_assert!(
+                ((r - x) as f64).abs() <= bound,
+                "|{r} - {x}| > bound {bound} at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn hwc_chw_roundtrip_is_exact(
+        (h, w, pixels) in (1usize..12, 1usize..12).prop_flat_map(|(h, w)| {
+            (Just(h), Just(w), proptest::collection::vec(any::<u8>(), h * w * 3))
+        })
+    ) {
+        let chw = hwc_u8_to_chw(&pixels, h, w, 3);
+        let back = chw_to_hwc_u8(&chw, h, w, 3);
+        prop_assert_eq!(back, pixels);
+    }
+}

@@ -1,0 +1,75 @@
+//! Capacity planner: the "deployment toolkit" the paper's conclusion calls
+//! for — establish performance expectations for a dataset/model/platform
+//! combination *before* deploying.
+//!
+//! ```text
+//! cargo run --example capacity_planner --release
+//! ```
+
+use harvest::perf::{EngineMemoryModel, EnginePerfModel};
+use harvest::prelude::*;
+use harvest::preproc::PreprocCostModel;
+
+fn main() {
+    println!("HARVEST capacity planner\n");
+
+    // For every (platform, model) pair: engine throughput bound, memory
+    // wall, and the 60 QPS operating point.
+    println!(
+        "{:<8} {:<10} {:>10} {:>9} {:>11} {:>12}",
+        "platform", "model", "UB img/s", "mem wall", "60QPS batch", "60QPS img/s"
+    );
+    for platform in [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano] {
+        let advisor = Advisor::new(platform);
+        for model in ALL_MODELS {
+            let perf = EnginePerfModel::new(platform, model);
+            let wall = advisor
+                .max_feasible_batch(model)
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into());
+            let (batch, tput) = match advisor.recommend_batch(model, 16.7) {
+                Some(rec) => (rec.batch.to_string(), format!("{:.0}", rec.throughput)),
+                None => ("-".into(), "-".into()),
+            };
+            println!(
+                "{:<8} {:<10} {:>10.0} {:>9} {:>11} {:>12}",
+                platform.name(),
+                model.name(),
+                perf.upper_bound_throughput(),
+                wall,
+                batch,
+                tput
+            );
+        }
+    }
+
+    // Per-dataset ingest planning: how fast can each platform feed models?
+    println!("\npreprocessing capacity (DALI-style GPU pipeline, img/s):");
+    println!("{:<28} {:>9} {:>9} {:>9}", "dataset", "A100", "V100", "Jetson");
+    for spec in &ALL_DATASETS {
+        let row: Vec<f64> = [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano]
+            .iter()
+            .map(|&p| {
+                PreprocCostModel::new(p).throughput(PreprocMethod::Dali224, spec.id)
+            })
+            .collect();
+        println!("{:<28} {:>9.0} {:>9.0} {:>9.0}", spec.name, row[0], row[1], row[2]);
+    }
+
+    // Memory budgeting: what a ViT-Base engine costs at its serving batch.
+    println!("\nmemory plan for ViT-Base end-to-end:");
+    for platform in [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano] {
+        let mem = EngineMemoryModel::new(platform, ModelId::VitBase, MemoryContext::EndToEnd);
+        let batch = harvest::perf::max_batch_under_memory(&mem, &[1, 2, 4, 8, 16, 32, 64]);
+        match batch {
+            Some(b) => println!(
+                "  {:<7} fits batch {:>2}: engine {:>6.0} MiB of {:>6.0} MiB budget",
+                platform.name(),
+                b,
+                mem.engine_bytes(b) as f64 / (1 << 20) as f64,
+                mem.budget_bytes() as f64 / (1 << 20) as f64
+            ),
+            None => println!("  {:<7} does not fit at any batch", platform.name()),
+        }
+    }
+}

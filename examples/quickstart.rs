@@ -1,0 +1,92 @@
+//! Quickstart: build a model, inspect it, ask the advisor for an operating
+//! point, and run a small end-to-end deployment.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use harvest::prelude::*;
+
+fn main() {
+    // 1. The model zoo: Table 3 at your fingertips.
+    println!("== Model zoo ==");
+    for id in ALL_MODELS {
+        let stats = id.build().stats();
+        println!(
+            "  {:<10} {:>7.2}M params  {:>6.2} GFLOPs/img  input {}x{}px",
+            id.name(),
+            stats.mparams(),
+            stats.gmacs(),
+            id.input_size(),
+            id.input_size(),
+        );
+    }
+
+    // 2. The platforms: Table 1.
+    println!("\n== Platforms ==");
+    for spec in &ALL_PLATFORMS {
+        println!(
+            "  {:<32} {:>6.1} practical TFLOPS ({:.1}% of {:.0} theoretical)",
+            spec.name,
+            spec.practical_tflops,
+            spec.flops_efficiency() * 100.0,
+            spec.theory_tflops
+        );
+    }
+
+    // 3. Tuning guidance: the largest batch that still holds 60 QPS.
+    println!("\n== Operating points under 16.7 ms (60 QPS) ==");
+    for platform in [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano] {
+        let advisor = Advisor::new(platform);
+        for model in ALL_MODELS {
+            match advisor.recommend_batch(model, 16.7) {
+                Some(rec) => println!(
+                    "  {:<7} {:<10} batch {:>4}  ->  {:>9.1} img/s at {:>5.2} ms{}",
+                    platform.name(),
+                    model.name(),
+                    rec.batch,
+                    rec.throughput,
+                    rec.latency_ms,
+                    if rec.memory_bound { "  (memory-bound)" } else { "" },
+                ),
+                None => println!(
+                    "  {:<7} {:<10} cannot sustain 60 QPS",
+                    platform.name(),
+                    model.name()
+                ),
+            }
+        }
+    }
+
+    // 4. Run a deployment: corn-growth-stage classification, offline, A100.
+    println!("\n== Offline deployment: ResNet50 on A100, Corn Growth Stage ==");
+    let report = Deployment::new(
+        PlatformId::MriA100,
+        ModelId::ResNet50,
+        DatasetId::CornGrowthStage,
+    )
+    .scenario(DeploymentScenario::Offline)
+    .images(2048)
+    .run()
+    .expect("deployment fits");
+    println!(
+        "  processed {} images at {:.0} img/s",
+        report.completed(),
+        report.throughput()
+    );
+
+    // 5. And prove the model actually computes: one real forward pass.
+    println!("\n== Real inference on host kernels ==");
+    let sampler = Sampler::new(DatasetId::PlantVillage, 42);
+    let sample = sampler.encode(0);
+    let pre = harvest::preproc::run_real(sampler.spec(), &sample, 224).expect("preprocess");
+    let graph = harvest::models::vit_base(39);
+    let exec = Executor::new(&graph, 7);
+    let logits = exec.forward(&pre.tensor);
+    println!(
+        "  ViT-Base classified sample 0 as class {} (decode {:.2} ms, transform {:.2} ms)",
+        logits.argmax(),
+        pre.decode_s * 1e3,
+        pre.transform_s * 1e3
+    );
+}

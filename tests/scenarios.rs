@@ -1,0 +1,134 @@
+//! Scenario-level integration tests across the serving stack.
+
+use harvest::prelude::*;
+use harvest::serving::{
+    run_offline, run_online, run_realtime, OfflineConfig, OnlineConfig, RealTimeConfig,
+};
+
+fn pipeline(
+    platform: PlatformId,
+    model: ModelId,
+    dataset: DatasetId,
+    batch: u32,
+) -> PipelineConfig {
+    PipelineConfig {
+        platform,
+        model,
+        dataset,
+        preproc: match model.input_size() {
+            32 => PreprocMethod::Dali32,
+            _ => PreprocMethod::Dali224,
+        },
+        ctx: MemoryContext::EngineOnly,
+        max_batch: batch,
+        max_queue_delay: SimTime::from_millis(5),
+        preproc_instances: 2,
+        engine_instances: 1,
+    }
+}
+
+#[test]
+fn online_latency_grows_with_load() {
+    let run = |rate: f64| {
+        run_online(&OnlineConfig {
+            pipeline: pipeline(PlatformId::PitzerV100, ModelId::VitSmall, DatasetId::PlantVillage, 32),
+            arrival_rate: rate,
+            requests: 800,
+            seed: 9,
+        })
+        .unwrap()
+    };
+    let light = run(100.0);
+    let heavy = run(2_000.0);
+    assert!(
+        heavy.p95_ms > light.p95_ms,
+        "p95 {} vs {}",
+        heavy.p95_ms,
+        light.p95_ms
+    );
+    assert!(heavy.mean_batch > light.mean_batch);
+}
+
+#[test]
+fn online_is_reproducible_across_runs() {
+    let cfg = OnlineConfig {
+        pipeline: pipeline(PlatformId::MriA100, ModelId::ResNet50, DatasetId::Fruits360, 16),
+        arrival_rate: 500.0,
+        requests: 300,
+        seed: 123,
+    };
+    let a = run_online(&cfg).unwrap();
+    let b = run_online(&cfg).unwrap();
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.p99_ms, b.p99_ms);
+    assert_eq!(a.throughput, b.throughput);
+}
+
+#[test]
+fn offline_throughput_ranks_platforms_correctly() {
+    let run = |platform, batch| {
+        run_offline(&OfflineConfig {
+            pipeline: pipeline(platform, ModelId::ResNet50, DatasetId::CornGrowthStage, batch),
+            images: 1024,
+        })
+        .unwrap()
+        .throughput
+    };
+    let a100 = run(PlatformId::MriA100, 64);
+    let v100 = run(PlatformId::PitzerV100, 64);
+    let jetson = run(PlatformId::JetsonOrinNano, 64);
+    assert!(a100 > v100, "{a100} vs {v100}");
+    assert!(v100 > jetson, "{v100} vs {jetson}");
+}
+
+#[test]
+fn realtime_bigger_camera_rate_never_lowers_misses() {
+    let run = |fps: f64| {
+        run_realtime(&RealTimeConfig {
+            pipeline: pipeline(
+                PlatformId::JetsonOrinNano,
+                ModelId::VitSmall,
+                DatasetId::CornGrowthStage,
+                2,
+            ),
+            fps,
+            frames: 400,
+            deadline_ms: 1000.0 / fps,
+            max_in_flight: 3,
+        })
+        .unwrap()
+    };
+    let slow = run(15.0);
+    let fast = run(90.0);
+    assert!(
+        fast.dropped + fast.deadline_misses >= slow.dropped + slow.deadline_misses,
+        "slow {slow:?} fast {fast:?}"
+    );
+}
+
+#[test]
+fn scenario_reports_conserve_requests() {
+    let online = run_online(&OnlineConfig {
+        pipeline: pipeline(PlatformId::MriA100, ModelId::VitTiny, DatasetId::SpittleBug, 8),
+        arrival_rate: 300.0,
+        requests: 256,
+        seed: 77,
+    })
+    .unwrap();
+    assert_eq!(online.completed, 256);
+    let offline = run_offline(&OfflineConfig {
+        pipeline: pipeline(PlatformId::MriA100, ModelId::VitTiny, DatasetId::SpittleBug, 8),
+        images: 256,
+    })
+    .unwrap();
+    assert_eq!(offline.images, 256);
+    let realtime = run_realtime(&RealTimeConfig {
+        pipeline: pipeline(PlatformId::MriA100, ModelId::VitTiny, DatasetId::SpittleBug, 1),
+        fps: 30.0,
+        frames: 256,
+        deadline_ms: 33.3,
+        max_in_flight: 4,
+    })
+    .unwrap();
+    assert_eq!(realtime.processed + realtime.dropped, 256);
+}
