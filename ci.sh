@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate for this repository. Run before sending a PR.
+#
+#   1. formatting        cargo fmt --check
+#   2. lints             cargo clippy -D warnings (core crates of this stack)
+#   3. tier-1 tests      cargo build --release && cargo test -q
+#
+# Everything runs offline: the crates.io dependencies are vendored as
+# API-compatible shims under shims/, wired via workspace path deps.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --offline --release \
+    -p harvest-simkit -p harvest-serving -p harvest-core -p harvest-bench \
+    -p harvest \
+    --all-targets -- -D warnings
+
+echo "== tier-1: build =="
+cargo build --offline --release
+
+echo "== tier-1: tests =="
+cargo test --offline -q
+
+echo "CI gate passed."

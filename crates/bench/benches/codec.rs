@@ -31,9 +31,15 @@ fn ajpg(c: &mut Criterion) {
 fn rtif(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec/rtif");
     group.sample_size(10);
-    let img = FieldScene::RowCrop.render(&SynthImageSpec { width: 233, height: 233, seed: 7 });
+    let img = FieldScene::RowCrop.render(&SynthImageSpec {
+        width: 233,
+        height: 233,
+        seed: 7,
+    });
     let encoded = rtif_encode(&img);
-    group.bench_function("encode_233", |b| b.iter(|| black_box(rtif_encode(&img).len())));
+    group.bench_function("encode_233", |b| {
+        b.iter(|| black_box(rtif_encode(&img).len()))
+    });
     group.bench_function("decode_233", |b| {
         b.iter(|| black_box(rtif_decode(&encoded).unwrap().pixels()))
     });
@@ -44,7 +50,11 @@ fn decode_cost_ratio(c: &mut Criterion) {
     // The TIFF-vs-JPEG claim in one number: same pixel count, two formats.
     let mut group = c.benchmark_group("codec/format_comparison_224");
     group.sample_size(10);
-    let img = FieldScene::RowCrop.render(&SynthImageSpec { width: 224, height: 224, seed: 3 });
+    let img = FieldScene::RowCrop.render(&SynthImageSpec {
+        width: 224,
+        height: 224,
+        seed: 3,
+    });
     let jpg = ajpg_encode(&img, &AjpgOptions::default());
     let raw = rtif_encode(&img);
     group.bench_function("ajpg_decode", |b| {

@@ -56,12 +56,9 @@ fn cluster_sim(c: &mut Criterion) {
         group.bench_function(format!("{nodes}_nodes_2048_images"), |bch| {
             bch.iter(|| {
                 black_box(
-                    run_cluster_offline(
-                        &ClusterConfig::standard(pipeline.clone(), nodes),
-                        2048,
-                    )
-                    .unwrap()
-                    .throughput,
+                    run_cluster_offline(&ClusterConfig::standard(pipeline.clone(), nodes), 2048)
+                        .unwrap()
+                        .throughput,
                 )
             })
         });
@@ -104,7 +101,13 @@ fn multimodel_sim(c: &mut Criterion) {
 fn stitching(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions/stitch");
     group.sample_size(10);
-    let grid = SurveyGrid { cols: 3, rows: 3, tile_w: 256, tile_h: 256, overlap: 32 };
+    let grid = SurveyGrid {
+        cols: 3,
+        rows: 3,
+        tile_w: 256,
+        tile_h: 256,
+        overlap: 32,
+    };
     let scene = FieldScene::RowCrop.render(&SynthImageSpec {
         width: grid.mosaic_width(),
         height: grid.mosaic_height(),
@@ -118,8 +121,11 @@ fn stitching(c: &mut Criterion) {
 }
 
 fn analysis(c: &mut Criterion) {
-    let frame =
-        FieldScene::GroundFeed.render(&SynthImageSpec { width: 640, height: 360, seed: 2 });
+    let frame = FieldScene::GroundFeed.render(&SynthImageSpec {
+        width: 640,
+        height: 360,
+        seed: 2,
+    });
     c.bench_function("extensions/residue_cover_640x360", |bch| {
         bch.iter(|| black_box(residue_cover_fraction(black_box(&frame))))
     });

@@ -22,7 +22,9 @@ fn size_sampling(c: &mut Criterion) {
 }
 
 fn figure_runner(c: &mut Criterion) {
-    c.bench_function("fig4/histograms_10k", |b| b.iter(|| black_box(fig4(10_000, 7))));
+    c.bench_function("fig4/histograms_10k", |b| {
+        b.iter(|| black_box(fig4(10_000, 7)))
+    });
     c.bench_function("table2/registry", |b| b.iter(|| black_box(table2())));
 }
 

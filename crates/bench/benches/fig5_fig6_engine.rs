@@ -18,7 +18,9 @@ fn engine_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5/engine_compile");
     for id in ALL_MODELS {
         let graph = id.build();
-        group.bench_function(id.name(), |b| b.iter(|| black_box(compile(black_box(&graph)))));
+        group.bench_function(id.name(), |b| {
+            b.iter(|| black_box(compile(black_box(&graph))))
+        });
     }
     group.finish();
 }

@@ -23,7 +23,13 @@ fn real_preproc(c: &mut Criterion) {
         let sampler = Sampler::new(id, 42);
         let sample = sampler.encode(0);
         group.bench_function(format!("{id:?}_to_{out_res}"), |b| {
-            b.iter(|| black_box(run_real(sampler.spec(), &sample, out_res).unwrap().total_s()))
+            b.iter(|| {
+                black_box(
+                    run_real(sampler.spec(), &sample, out_res)
+                        .unwrap()
+                        .total_s(),
+                )
+            })
         });
     }
     group.finish();
@@ -38,7 +44,13 @@ fn real_preproc_output_resolution_sweep(c: &mut Criterion) {
     let sample = sampler.encode(1);
     for out_res in [224usize, 96, 32] {
         group.bench_function(format!("plantvillage_to_{out_res}"), |b| {
-            b.iter(|| black_box(run_real(sampler.spec(), &sample, out_res).unwrap().total_s()))
+            b.iter(|| {
+                black_box(
+                    run_real(sampler.spec(), &sample, out_res)
+                        .unwrap()
+                        .total_s(),
+                )
+            })
         });
     }
     group.finish();

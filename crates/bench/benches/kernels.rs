@@ -45,9 +45,22 @@ fn attention(c: &mut Criterion) {
     let x = vec![0.1f32; seq * dim];
     let w_qkv = vec![0.01f32; 3 * dim * dim];
     let w_out = vec![0.01f32; dim * dim];
-    let weights = AttentionWeights { w_qkv: &w_qkv, b_qkv: &[], w_out: &w_out, b_out: &[] };
+    let weights = AttentionWeights {
+        w_qkv: &w_qkv,
+        b_qkv: &[],
+        w_out: &w_out,
+        b_out: &[],
+    };
     group.bench_function("vit_tiny_block", |b| {
-        b.iter(|| black_box(multi_head_attention(black_box(&x), seq, dim, heads, &weights)))
+        b.iter(|| {
+            black_box(multi_head_attention(
+                black_box(&x),
+                seq,
+                dim,
+                heads,
+                &weights,
+            ))
+        })
     });
     group.finish();
 }

@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|host]... [--json DIR]
+//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|host]... [--json DIR]
 //! ```
 //!
 //! With no arguments, everything runs. `--json DIR` additionally writes each
@@ -80,9 +80,80 @@ fn main() {
     if run("cluster") {
         cluster(&save);
     }
+    if run("resilience") {
+        resilience(&save);
+    }
     if run("host") {
         host();
     }
+}
+
+fn resilience(save: &dyn Fn(&str, String)) {
+    println!("== Extension: fault injection & degraded-mode serving ==");
+    let rows = exp::resilience();
+    // Self-check the resilience guarantees every time the sweep runs: the
+    // chaos run must conserve work, actually exercise the retry/failover
+    // paths, keep the tail bounded, and reproduce bit-identically.
+    let rerun = exp::resilience();
+    assert_eq!(
+        serde_json::to_string(&rows).unwrap(),
+        serde_json::to_string(&rerun).unwrap(),
+        "fault-injected sweep must be bit-reproducible"
+    );
+    for row in &rows {
+        assert_eq!(row.lost, 0, "{}: lost requests", row.scenario);
+        assert_eq!(row.duplicated, 0, "{}: duplicated requests", row.scenario);
+        if let Some(p99) = row.p99_ms {
+            assert!(p99.is_finite(), "{}: unbounded p99", row.scenario);
+        }
+    }
+    assert!(
+        rows.iter().any(|r| r.retries > 0),
+        "no fault path exercised"
+    );
+    assert!(
+        rows.iter().any(|r| r.failovers > 0),
+        "no failover exercised"
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.injected.clone(),
+                r.completed.to_string(),
+                pretty(r.throughput, 1),
+                r.p99_ms
+                    .map(|p| format!("{p:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+                r.retries.to_string(),
+                r.timeouts.to_string(),
+                r.failovers.to_string(),
+                format!("{}/{}", r.lost, r.duplicated),
+                format!("{:.1}%", r.availability * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &[
+                "Scenario",
+                "Injected fault",
+                "Done",
+                "Tput (req/s)",
+                "p99 (ms)",
+                "Retries",
+                "Timeouts",
+                "Failovers",
+                "Lost/Dup",
+                "Avail",
+            ],
+            &table
+        )
+    );
+    println!("  self-check: conservation, bounded p99, bit-identical rerun — all OK");
+    save("resilience", serde_json::to_string_pretty(&rows).unwrap());
 }
 
 fn cluster(save: &dyn Fn(&str, String)) {
@@ -110,10 +181,20 @@ fn cluster(save: &dyn Fn(&str, String)) {
     let rows: Vec<Vec<String>> = sweep
         .iter()
         .map(|&(nodes, tput, eff)| {
-            vec![nodes.to_string(), pretty(tput, 1), format!("{:.1}%", eff * 100.0)]
+            vec![
+                nodes.to_string(),
+                pretty(tput, 1),
+                format!("{:.1}%", eff * 100.0),
+            ]
         })
         .collect();
-    println!("{}", text_table(&["Nodes", "Throughput (img/s)", "Scaling efficiency"], &rows));
+    println!(
+        "{}",
+        text_table(
+            &["Nodes", "Throughput (img/s)", "Scaling efficiency"],
+            &rows
+        )
+    );
     let json: Vec<serde_json::Value> = sweep
         .iter()
         .map(|&(nodes, tput, eff)| {
@@ -130,7 +211,11 @@ fn energy(save: &dyn Fn(&str, String)) {
     println!("== Extension: energy per image across the continuum ==");
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for platform in [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano] {
+    for platform in [
+        PlatformId::MriA100,
+        PlatformId::PitzerV100,
+        PlatformId::JetsonOrinNano,
+    ] {
         for model in ALL_MODELS {
             let e = EnergyModel::new(platform, model);
             let bs1 = e.point(1);
@@ -155,7 +240,13 @@ fn energy(save: &dyn Fn(&str, String)) {
     println!(
         "{}",
         text_table(
-            &["Platform", "Model", "mJ/img @BS1", "mJ/img best", "img/J best"],
+            &[
+                "Platform",
+                "Model",
+                "mJ/img @BS1",
+                "mJ/img best",
+                "img/J best"
+            ],
             &rows
         )
     );
@@ -170,7 +261,11 @@ fn continuum(save: &dyn Fn(&str, String)) {
     println!("== Extension: edge-vs-cloud placement across uplinks ==");
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for dataset in [DatasetId::Fruits360, DatasetId::CornGrowthStage, DatasetId::Crsa] {
+    for dataset in [
+        DatasetId::Fruits360,
+        DatasetId::CornGrowthStage,
+        DatasetId::Crsa,
+    ] {
         for link in NetworkLink::ALL {
             let a = analyze(ModelId::ResNet50, dataset, link, PlatformId::MriA100);
             let winner = match a.throughput_winner {
@@ -195,12 +290,22 @@ fn continuum(save: &dyn Fn(&str, String)) {
             }));
         }
         let x = crossover_bandwidth_mbps(ModelId::ResNet50, dataset, PlatformId::MriA100);
-        println!("  {dataset:?}: cloud overtakes edge above {:.1} Mb/s uplink", x);
+        println!(
+            "  {dataset:?}: cloud overtakes edge above {:.1} Mb/s uplink",
+            x
+        );
     }
     println!(
         "{}",
         text_table(
-            &["Dataset", "Uplink", "Link img/s", "Cloud img/s", "Edge img/s", "Winner"],
+            &[
+                "Dataset",
+                "Uplink",
+                "Link img/s",
+                "Cloud img/s",
+                "Edge img/s",
+                "Winner"
+            ],
             &rows
         )
     );
@@ -227,7 +332,14 @@ fn scaling(save: &dyn Fn(&str, String)) {
     println!(
         "{}",
         text_table(
-            &["Input", "Seq", "ViT GMACs", "RWKV GMACs", "ViT/RWKV", "ViT attn share"],
+            &[
+                "Input",
+                "Seq",
+                "ViT GMACs",
+                "RWKV GMACs",
+                "ViT/RWKV",
+                "ViT attn share"
+            ],
             &rows
         )
     );
@@ -258,7 +370,10 @@ fn ablations(save: &dyn Fn(&str, String)) {
                 .collect::<Vec<_>>()
         )
     );
-    save("ablation_instances", serde_json::to_string_pretty(&rows).unwrap());
+    save(
+        "ablation_instances",
+        serde_json::to_string_pretty(&rows).unwrap(),
+    );
 
     println!("== Ablation: serving precision (A100, ResNet50) ==");
     let rows = precision_ablation(PlatformId::MriA100, ModelId::ResNet50);
@@ -277,7 +392,10 @@ fn ablations(save: &dyn Fn(&str, String)) {
                 .collect::<Vec<_>>()
         )
     );
-    save("ablation_precision", serde_json::to_string_pretty(&rows).unwrap());
+    save(
+        "ablation_precision",
+        serde_json::to_string_pretty(&rows).unwrap(),
+    );
 
     println!("== Ablation: INT8 quantization error (real kernels) ==");
     let rows = harvest_core::experiments::ablations::quantization_error_probe(2026);
@@ -291,14 +409,23 @@ fn ablations(save: &dyn Fn(&str, String)) {
                 .collect::<Vec<_>>()
         )
     );
-    save("ablation_quantization", serde_json::to_string_pretty(&rows).unwrap());
+    save(
+        "ablation_quantization",
+        serde_json::to_string_pretty(&rows).unwrap(),
+    );
 
     println!("== Ablation: kernel fusion (Jetson launch overhead) ==");
     let rows = fusion_ablation(PlatformId::JetsonOrinNano);
     println!(
         "{}",
         text_table(
-            &["Model", "Launches fused", "Launches naive", "BS1 fused ms", "BS1 naive ms"],
+            &[
+                "Model",
+                "Launches fused",
+                "Launches naive",
+                "BS1 fused ms",
+                "BS1 naive ms"
+            ],
             &rows
                 .iter()
                 .map(|r| vec![
@@ -311,14 +438,25 @@ fn ablations(save: &dyn Fn(&str, String)) {
                 .collect::<Vec<_>>()
         )
     );
-    save("ablation_fusion", serde_json::to_string_pretty(&rows).unwrap());
+    save(
+        "ablation_fusion",
+        serde_json::to_string_pretty(&rows).unwrap(),
+    );
 }
 
 fn table1(save: &dyn Fn(&str, String)) {
     println!("== Table 1: Evaluated Cloud and Edge Platforms ==");
     let rows = exp::table1();
     let table = text_table(
-        &["Platform", "CPU", "Memory", "Scenario", "Theory TFLOPS", "Practical TFLOPS", "Efficiency"],
+        &[
+            "Platform",
+            "CPU",
+            "Memory",
+            "Scenario",
+            "Theory TFLOPS",
+            "Practical TFLOPS",
+            "Efficiency",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -342,13 +480,22 @@ fn table2(save: &dyn Fn(&str, String)) {
     println!("== Table 2: Agriculture Datasets Used in The Evaluation ==");
     let rows = exp::table2();
     let table = text_table(
-        &["Dataset", "Classes", "Samples", "Image Size", "Format", "Use Case"],
+        &[
+            "Dataset",
+            "Classes",
+            "Samples",
+            "Image Size",
+            "Format",
+            "Use Case",
+        ],
         &rows
             .iter()
             .map(|r| {
                 vec![
                     r.dataset.clone(),
-                    r.classes.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+                    r.classes
+                        .map(|c| c.to_string())
+                        .unwrap_or_else(|| "-".into()),
                     pretty(r.samples as f64, 0),
                     r.image_size.clone(),
                     r.format.clone(),
@@ -366,8 +513,17 @@ fn table3(save: &dyn Fn(&str, String)) {
     let rows = exp::table3();
     let table = text_table(
         &[
-            "Model", "Params", "Arch", "GFLOPs/Img", "Input", "UB A100", "UB V100", "UB Jetson",
-            "MLP%", "Attn%", "Conv%",
+            "Model",
+            "Params",
+            "Arch",
+            "GFLOPs/Img",
+            "Input",
+            "UB A100",
+            "UB V100",
+            "UB Jetson",
+            "MLP%",
+            "Attn%",
+            "Conv%",
         ],
         &rows
             .iter()
@@ -405,7 +561,11 @@ fn fig4(save: &dyn Fn(&str, String)) {
                     format!("{}x{}", r.mode.0, r.mode.1),
                     format!("{:.3}", r.mode_density),
                     format!("{:.0}x{:.0}", r.mean_width, r.mean_height),
-                    if r.uniform { "uniform".into() } else { "varied".into() },
+                    if r.uniform {
+                        "uniform".into()
+                    } else {
+                        "varied".into()
+                    },
                 ]
             })
             .collect::<Vec<_>>(),
@@ -500,7 +660,11 @@ fn fig7(save: &dyn Fn(&str, String)) {
                         .iter()
                         .find(|c| &c.dataset == ds && &c.method == m)
                         .unwrap();
-                    let v = if metric == "latency_ms" { cell.latency_ms } else { cell.throughput };
+                    let v = if metric == "latency_ms" {
+                        cell.latency_ms
+                    } else {
+                        cell.throughput
+                    };
                     row.push(pretty(v, 1));
                 }
                 rows.push(row);
@@ -535,7 +699,10 @@ fn fig8(save: &dyn Fn(&str, String)) {
         }
         println!(
             "{}",
-            text_table(&["Model", "Dataset", "Latency (ms)", "Throughput (img/s)"], &rows)
+            text_table(
+                &["Model", "Dataset", "Latency (ms)", "Throughput (img/s)"],
+                &rows
+            )
         );
     }
     save("fig8", serde_json::to_string_pretty(&panels).unwrap());
@@ -549,7 +716,11 @@ fn host() {
     }
     use harvest_data::{DatasetId, Sampler};
     use harvest_preproc::run_real;
-    for id in [DatasetId::Fruits360, DatasetId::PlantVillage, DatasetId::CornGrowthStage] {
+    for id in [
+        DatasetId::Fruits360,
+        DatasetId::PlantVillage,
+        DatasetId::CornGrowthStage,
+    ] {
         let sampler = Sampler::new(id, 42);
         let sample = sampler.encode(0);
         let out = run_real(sampler.spec(), &sample, 224).expect("real preproc");

@@ -60,7 +60,11 @@ pub fn ascii_series(title: &str, points: &[(String, f64)], unit: &str) -> String
         return out;
     }
     let max = points.iter().map(|p| p.1).fold(f64::MIN, f64::max);
-    let min = points.iter().map(|p| p.1).fold(f64::MAX, f64::min).max(1e-12);
+    let min = points
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::MAX, f64::min)
+        .max(1e-12);
     let label_w = points.iter().map(|p| p.0.len()).max().unwrap_or(0);
     for (label, v) in points {
         let frac = if max <= min {

@@ -7,9 +7,7 @@
 
 use harvest_hw::PlatformId;
 use harvest_models::{ModelId, ALL_MODELS};
-use harvest_perf::{
-    max_batch_under_memory,EngineMemoryModel, EnginePerfModel, MemoryContext,
-};
+use harvest_perf::{max_batch_under_memory, EngineMemoryModel, EnginePerfModel, MemoryContext};
 
 /// A batch-size recommendation for one (platform, model) pair.
 #[derive(Clone, Copy, Debug)]
@@ -47,12 +45,18 @@ pub struct Advisor {
 impl Advisor {
     /// Advisor for engine-only deployments on `platform`.
     pub fn new(platform: PlatformId) -> Self {
-        Advisor { platform, ctx: MemoryContext::EngineOnly }
+        Advisor {
+            platform,
+            ctx: MemoryContext::EngineOnly,
+        }
     }
 
     /// Advisor for end-to-end serving deployments.
     pub fn end_to_end(platform: PlatformId) -> Self {
-        Advisor { platform, ctx: MemoryContext::EndToEnd }
+        Advisor {
+            platform,
+            ctx: MemoryContext::EndToEnd,
+        }
     }
 
     /// The platform being advised on.
@@ -137,7 +141,9 @@ impl Advisor {
             })
             .collect();
         candidates.sort_by_key(|(params, _, _)| *params);
-        candidates.pop().map(|(_, model, batch)| ModelRecommendation { model, batch })
+        candidates
+            .pop()
+            .map(|(_, model, batch)| ModelRecommendation { model, batch })
     }
 }
 
@@ -189,7 +195,9 @@ mod tests {
     #[test]
     fn model_recommendation_prefers_high_throughput_under_bound() {
         // Under 60 QPS on the A100, ViT-Tiny wins on throughput.
-        let rec = Advisor::new(PlatformId::MriA100).recommend_model(16.7).unwrap();
+        let rec = Advisor::new(PlatformId::MriA100)
+            .recommend_model(16.7)
+            .unwrap();
         assert_eq!(rec.model, ModelId::VitTiny);
     }
 
@@ -199,7 +207,11 @@ mod tests {
         // bigger model than the throughput champion.
         let advisor = Advisor::new(PlatformId::MriA100);
         let rec = advisor.largest_model_sustaining(16.7, 2000.0).unwrap();
-        assert_eq!(rec.model, ModelId::VitBase, "largest model that still clears the bar");
+        assert_eq!(
+            rec.model,
+            ModelId::VitBase,
+            "largest model that still clears the bar"
+        );
         // An absurd floor excludes everything but the small models.
         let fast = advisor.largest_model_sustaining(16.7, 50_000.0);
         if let Some(r) = fast {
@@ -216,8 +228,8 @@ mod tests {
         assert_eq!(rec.batch, energy.batch);
         assert!(energy.mj_per_image > 0.0);
         // Energy at the recommended batch beats batch-1 energy.
-        let e1 = harvest_perf::EnergyModel::new(PlatformId::JetsonOrinNano, ModelId::VitTiny)
-            .point(1);
+        let e1 =
+            harvest_perf::EnergyModel::new(PlatformId::JetsonOrinNano, ModelId::VitTiny).point(1);
         assert!(energy.mj_per_image < e1.mj_per_image);
     }
 

@@ -56,8 +56,7 @@ pub fn mean_encoded_bytes(dataset: DatasetId, samples: u32) -> u64 {
         ImageFormat::Ajpg { .. } => {
             let sampler = Sampler::new(dataset, 0xC0DEC);
             let n = samples.clamp(1, spec.samples);
-            let total: u64 =
-                (0..n).map(|i| sampler.encode(i).bytes.len() as u64).sum();
+            let total: u64 = (0..n).map(|i| sampler.encode(i).bytes.len() as u64).sum();
             total / n as u64
         }
     }
@@ -70,7 +69,11 @@ pub fn analyze(
     link: NetworkLink,
     cloud: PlatformId,
 ) -> PlacementAnalysis {
-    assert_ne!(cloud, PlatformId::JetsonOrinNano, "cloud must be a cloud platform");
+    assert_ne!(
+        cloud,
+        PlatformId::JetsonOrinNano,
+        "cloud must be a cloud platform"
+    );
     let bytes = mean_encoded_bytes(dataset, 3);
     let uplink_rate = link.image_rate(bytes);
 
@@ -80,16 +83,15 @@ pub fn analyze(
     };
     let pipeline_rate = |platform: PlatformId| -> f64 {
         let mem = harvest_perf::EngineMemoryModel::new(platform, model, MemoryContext::EndToEnd);
-        let batch = harvest_perf::max_batch_under_memory(&mem, &[1, 2, 4, 8, 16, 32, 64])
-            .unwrap_or(1);
+        let batch =
+            harvest_perf::max_batch_under_memory(&mem, &[1, 2, 4, 8, 16, 32, 64]).unwrap_or(1);
         let engine = EnginePerfModel::new(platform, model).throughput(batch);
         let preproc = 1.0 / PreprocCostModel::new(platform).per_image_s(preproc_method, dataset);
         engine.min(preproc)
     };
     let single_frame_ms = |platform: PlatformId| -> f64 {
         let engine = EnginePerfModel::new(platform, model).latency_ms(1);
-        let preproc =
-            PreprocCostModel::new(platform).per_image_s(preproc_method, dataset) * 1e3;
+        let preproc = PreprocCostModel::new(platform).per_image_s(preproc_method, dataset) * 1e3;
         engine + preproc
     };
 
@@ -125,8 +127,16 @@ pub fn analyze(
 pub fn crossover_bandwidth_mbps(model: ModelId, dataset: DatasetId, cloud: PlatformId) -> f64 {
     let (mut lo, mut hi) = (0.01f64, 100_000.0f64);
     let wins = |mbps: f64| {
-        let link = NetworkLink { name: "probe", uplink_mbps: mbps, rtt_ms: 20.0, overhead: 0.1 };
-        matches!(analyze(model, dataset, link, cloud).throughput_winner, Placement::Cloud(_))
+        let link = NetworkLink {
+            name: "probe",
+            uplink_mbps: mbps,
+            rtt_ms: 20.0,
+            overhead: 0.1,
+        };
+        matches!(
+            analyze(model, dataset, link, cloud).throughput_winner,
+            Placement::Cloud(_)
+        )
     };
     if wins(lo) {
         return lo;
@@ -188,16 +198,9 @@ mod tests {
 
     #[test]
     fn crossover_bandwidth_is_higher_for_bigger_images() {
-        let small = crossover_bandwidth_mbps(
-            ModelId::ResNet50,
-            DatasetId::Fruits360,
-            PlatformId::MriA100,
-        );
-        let big = crossover_bandwidth_mbps(
-            ModelId::ResNet50,
-            DatasetId::Crsa,
-            PlatformId::MriA100,
-        );
+        let small =
+            crossover_bandwidth_mbps(ModelId::ResNet50, DatasetId::Fruits360, PlatformId::MriA100);
+        let big = crossover_bandwidth_mbps(ModelId::ResNet50, DatasetId::Crsa, PlatformId::MriA100);
         assert!(big > 5.0 * small, "small {small} Mb/s vs big {big} Mb/s");
     }
 
@@ -207,9 +210,22 @@ mod tests {
         let dataset = DatasetId::CornGrowthStage;
         let x = crossover_bandwidth_mbps(model, dataset, PlatformId::PitzerV100);
         assert!(x.is_finite());
-        let below = NetworkLink { name: "b", uplink_mbps: x * 0.8, rtt_ms: 20.0, overhead: 0.1 };
-        let above = NetworkLink { name: "a", uplink_mbps: x * 1.2, rtt_ms: 20.0, overhead: 0.1 };
-        assert_eq!(analyze(model, dataset, below, PlatformId::PitzerV100).throughput_winner, Placement::Edge);
+        let below = NetworkLink {
+            name: "b",
+            uplink_mbps: x * 0.8,
+            rtt_ms: 20.0,
+            overhead: 0.1,
+        };
+        let above = NetworkLink {
+            name: "a",
+            uplink_mbps: x * 1.2,
+            rtt_ms: 20.0,
+            overhead: 0.1,
+        };
+        assert_eq!(
+            analyze(model, dataset, below, PlatformId::PitzerV100).throughput_winner,
+            Placement::Edge
+        );
         assert!(matches!(
             analyze(model, dataset, above, PlatformId::PitzerV100).throughput_winner,
             Placement::Cloud(_)

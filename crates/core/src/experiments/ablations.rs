@@ -261,7 +261,12 @@ mod tests {
     fn quantization_error_is_small_but_nonzero() {
         for row in quantization_error_probe(2026) {
             assert!(row.relative_error > 0.0, "{}", row.layer);
-            assert!(row.relative_error < 0.03, "{}: {}", row.layer, row.relative_error);
+            assert!(
+                row.relative_error < 0.03,
+                "{}: {}",
+                row.layer,
+                row.relative_error
+            );
         }
     }
 

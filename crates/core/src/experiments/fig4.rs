@@ -64,7 +64,12 @@ mod tests {
     #[test]
     fn modes_match_the_figure_labels() {
         let rows = fig4(20_000, 7);
-        let get = |name: &str| rows.iter().find(|r| r.dataset.contains(name)).unwrap().clone();
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.dataset.contains(name))
+                .unwrap()
+                .clone()
+        };
         let weed = get("Weed");
         assert!((weed.mode.0 as i64 - 233).abs() <= 25, "{:?}", weed.mode);
         assert!((weed.mode.1 as i64 - 233).abs() <= 25, "{:?}", weed.mode);

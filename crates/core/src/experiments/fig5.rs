@@ -85,10 +85,14 @@ fn fig5_series(platform: PlatformId, model: ModelId, axis: &[u32]) -> Fig5Series
 
 /// Regenerate all three panels of Fig. 5.
 pub fn fig5() -> Vec<Fig5Platform> {
-    [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano]
-        .into_iter()
-        .map(fig5_platform)
-        .collect()
+    [
+        PlatformId::MriA100,
+        PlatformId::PitzerV100,
+        PlatformId::JetsonOrinNano,
+    ]
+    .into_iter()
+    .map(fig5_platform)
+    .collect()
 }
 
 #[cfg(test)]
@@ -112,7 +116,11 @@ mod tests {
         for (model, tput, bs) in expect_a100 {
             let s = series(a100, model);
             assert_eq!(s.peak_batch, bs, "{model}");
-            assert!((s.peak_throughput - tput).abs() / tput < 0.001, "{model}: {}", s.peak_throughput);
+            assert!(
+                (s.peak_throughput - tput).abs() / tput < 0.001,
+                "{model}: {}",
+                s.peak_throughput
+            );
         }
         let jetson = &panels[2];
         let expect_jetson = [
@@ -124,7 +132,11 @@ mod tests {
         for (model, tput, bs) in expect_jetson {
             let s = series(jetson, model);
             assert_eq!(s.peak_batch, bs, "{model}");
-            assert!((s.peak_throughput - tput).abs() / tput < 0.001, "{model}: {}", s.peak_throughput);
+            assert!(
+                (s.peak_throughput - tput).abs() / tput < 0.001,
+                "{model}: {}",
+                s.peak_throughput
+            );
         }
     }
 

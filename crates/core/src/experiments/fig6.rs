@@ -71,16 +71,23 @@ pub fn fig6_platform(platform: PlatformId) -> Fig6Platform {
     Fig6Platform {
         platform: platform.name().to_string(),
         threshold_ms: LATENCY_BOUND_60QPS_MS,
-        series: ALL_MODELS.iter().map(|&m| fig6_series(platform, m, axis)).collect(),
+        series: ALL_MODELS
+            .iter()
+            .map(|&m| fig6_series(platform, m, axis))
+            .collect(),
     }
 }
 
 /// Regenerate all three panels of Fig. 6.
 pub fn fig6() -> Vec<Fig6Platform> {
-    [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano]
-        .into_iter()
-        .map(fig6_platform)
-        .collect()
+    [
+        PlatformId::MriA100,
+        PlatformId::PitzerV100,
+        PlatformId::JetsonOrinNano,
+    ]
+    .into_iter()
+    .map(fig6_platform)
+    .collect()
 }
 
 #[cfg(test)]
@@ -96,7 +103,12 @@ mod tests {
         for panel in fig6() {
             for s in &panel.series {
                 for p in &s.points {
-                    assert!(p.latency_ms > p.theoretical_ms, "{}/{}", panel.platform, s.model);
+                    assert!(
+                        p.latency_ms > p.theoretical_ms,
+                        "{}/{}",
+                        panel.platform,
+                        s.model
+                    );
                 }
                 // The non-linear region: at batch 1 the gap is large.
                 let first = &s.points[0];

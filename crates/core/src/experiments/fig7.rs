@@ -43,15 +43,22 @@ pub fn fig7_platform(platform: PlatformId) -> Fig7Platform {
             });
         }
     }
-    Fig7Platform { platform: platform.name().to_string(), cells }
+    Fig7Platform {
+        platform: platform.name().to_string(),
+        cells,
+    }
 }
 
 /// Regenerate all three panels.
 pub fn fig7() -> Vec<Fig7Platform> {
-    [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano]
-        .into_iter()
-        .map(fig7_platform)
-        .collect()
+    [
+        PlatformId::MriA100,
+        PlatformId::PitzerV100,
+        PlatformId::JetsonOrinNano,
+    ]
+    .into_iter()
+    .map(fig7_platform)
+    .collect()
 }
 
 /// Helper: look up a cell.
@@ -91,9 +98,17 @@ mod tests {
     fn a100_peak_near_12000_and_edge_panels_near_2500() {
         let panels = fig7();
         let peak = |panel: &Fig7Platform| {
-            panel.cells.iter().map(|c| c.throughput).fold(f64::MIN, f64::max)
+            panel
+                .cells
+                .iter()
+                .map(|c| c.throughput)
+                .fold(f64::MIN, f64::max)
         };
-        assert!((9_000.0..16_000.0).contains(&peak(&panels[0])), "{}", peak(&panels[0]));
+        assert!(
+            (9_000.0..16_000.0).contains(&peak(&panels[0])),
+            "{}",
+            peak(&panels[0])
+        );
         assert!(peak(&panels[1]) < 4_000.0, "{}", peak(&panels[1]));
         assert!(peak(&panels[2]) < 4_000.0, "{}", peak(&panels[2]));
     }

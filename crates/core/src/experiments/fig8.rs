@@ -44,7 +44,11 @@ const IMAGES_PER_RUN: u32 = 1024;
 /// The Fig. 8 dataset list: the five classification datasets (the figure's
 /// legend omits the CRSA feed).
 pub fn fig8_datasets() -> Vec<DatasetId> {
-    ALL_DATASETS.iter().map(|d| d.id).filter(|&d| d != DatasetId::Crsa).collect()
+    ALL_DATASETS
+        .iter()
+        .map(|d| d.id)
+        .filter(|&d| d != DatasetId::Crsa)
+        .collect()
 }
 
 fn preproc_for(model: ModelId) -> PreprocMethod {
@@ -57,8 +61,11 @@ fn preproc_for(model: ModelId) -> PreprocMethod {
 /// Largest batch (≤ serving cap) that fits end-to-end — the "@BSn" label.
 pub fn fig8_batch(platform: PlatformId, model: ModelId) -> Option<u32> {
     let mem = EngineMemoryModel::new(platform, model, MemoryContext::EndToEnd);
-    let axis: Vec<u32> =
-        [1u32, 2, 4, 8, 16, 32, 64].iter().copied().filter(|&b| b <= SERVING_MAX_BATCH).collect();
+    let axis: Vec<u32> = [1u32, 2, 4, 8, 16, 32, 64]
+        .iter()
+        .copied()
+        .filter(|&b| b <= SERVING_MAX_BATCH)
+        .collect();
     max_batch_under_memory(&mem, &axis)
 }
 
@@ -77,7 +84,9 @@ pub fn preproc_instances(platform: PlatformId) -> u32 {
 pub fn fig8_platform(platform: PlatformId) -> Fig8Platform {
     let mut cells = Vec::new();
     for &model in &ALL_MODELS {
-        let Some(batch) = fig8_batch(platform, model) else { continue };
+        let Some(batch) = fig8_batch(platform, model) else {
+            continue;
+        };
         for dataset in fig8_datasets() {
             let pipeline = PipelineConfig {
                 platform,
@@ -90,8 +99,11 @@ pub fn fig8_platform(platform: PlatformId) -> Fig8Platform {
                 preproc_instances: preproc_instances(platform),
                 engine_instances: 1,
             };
-            let report = run_offline(&OfflineConfig { pipeline, images: IMAGES_PER_RUN })
-                .expect("batch chosen to fit");
+            let report = run_offline(&OfflineConfig {
+                pipeline,
+                images: IMAGES_PER_RUN,
+            })
+            .expect("batch chosen to fit");
             let dataset_name = harvest_data::DatasetSpec::get(dataset).name.to_string();
             cells.push(Fig8Cell {
                 model: model.name().to_string(),
@@ -105,15 +117,22 @@ pub fn fig8_platform(platform: PlatformId) -> Fig8Platform {
             });
         }
     }
-    Fig8Platform { platform: platform.name().to_string(), cells }
+    Fig8Platform {
+        platform: platform.name().to_string(),
+        cells,
+    }
 }
 
 /// Regenerate all three panels of Fig. 8.
 pub fn fig8() -> Vec<Fig8Platform> {
-    [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano]
-        .into_iter()
-        .map(fig8_platform)
-        .collect()
+    [
+        PlatformId::MriA100,
+        PlatformId::PitzerV100,
+        PlatformId::JetsonOrinNano,
+    ]
+    .into_iter()
+    .map(fig8_platform)
+    .collect()
 }
 
 #[cfg(test)]
@@ -125,7 +144,11 @@ mod tests {
     fn batch_labels_match_the_figure() {
         // A100: all @64. V100/Jetson: Tiny 64, Small 32, Base 2, RN50 32.
         for model in ALL_MODELS {
-            assert_eq!(fig8_batch(PlatformId::MriA100, model), Some(64), "{model:?}");
+            assert_eq!(
+                fig8_batch(PlatformId::MriA100, model),
+                Some(64),
+                "{model:?}"
+            );
         }
         let expect = [
             (ModelId::VitTiny, 64),
@@ -135,7 +158,11 @@ mod tests {
         ];
         for platform in [PlatformId::PitzerV100, PlatformId::JetsonOrinNano] {
             for (model, bs) in expect {
-                assert_eq!(fig8_batch(platform, model), Some(bs), "{platform:?}/{model:?}");
+                assert_eq!(
+                    fig8_batch(platform, model),
+                    Some(bs),
+                    "{platform:?}/{model:?}"
+                );
             }
         }
     }
@@ -145,10 +172,13 @@ mod tests {
         // §4.3: on the A100, ViT-Base/Small hide preprocessing behind
         // inference and approach the engine's bound.
         let panel = fig8_platform(PlatformId::MriA100);
-        let base_cells: Vec<&Fig8Cell> =
-            panel.cells.iter().filter(|c| c.model == "ViT_Base").collect();
-        let engine_bound = EnginePerfModel::new(PlatformId::MriA100, ModelId::VitBase)
-            .throughput(64);
+        let base_cells: Vec<&Fig8Cell> = panel
+            .cells
+            .iter()
+            .filter(|c| c.model == "ViT_Base")
+            .collect();
+        let engine_bound =
+            EnginePerfModel::new(PlatformId::MriA100, ModelId::VitBase).throughput(64);
         for c in base_cells {
             assert!(
                 c.throughput > 0.6 * engine_bound,
@@ -164,10 +194,13 @@ mod tests {
         // §4.3: smaller models remain preprocessing-bottlenecked,
         // particularly on the V100.
         let panel = fig8_platform(PlatformId::PitzerV100);
-        let tiny: Vec<&Fig8Cell> =
-            panel.cells.iter().filter(|c| c.model == "ViT_Tiny").collect();
-        let engine_bound = EnginePerfModel::new(PlatformId::PitzerV100, ModelId::VitTiny)
-            .throughput(64);
+        let tiny: Vec<&Fig8Cell> = panel
+            .cells
+            .iter()
+            .filter(|c| c.model == "ViT_Tiny")
+            .collect();
+        let engine_bound =
+            EnginePerfModel::new(PlatformId::PitzerV100, ModelId::VitTiny).throughput(64);
         for c in tiny {
             assert!(
                 c.throughput < 0.8 * engine_bound,
@@ -193,7 +226,11 @@ mod tests {
         };
         let base = mean_tput("ViT_Base");
         for other in ["ViT_Tiny", "ViT_Small", "ResNet50"] {
-            assert!(base < mean_tput(other) / 2.0, "base {base} vs {other} {}", mean_tput(other));
+            assert!(
+                base < mean_tput(other) / 2.0,
+                "base {base} vs {other} {}",
+                mean_tput(other)
+            );
         }
     }
 

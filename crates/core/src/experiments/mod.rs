@@ -6,11 +6,12 @@
 
 pub mod ablations;
 pub mod fig4;
-pub mod scaling;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod resilience;
+pub mod scaling;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -20,6 +21,7 @@ pub use fig5::{fig5, Fig5Platform, Fig5Point, Fig5Series};
 pub use fig6::{fig6, Fig6Platform, Fig6Point, Fig6Series};
 pub use fig7::{fig7, Fig7Cell, Fig7Platform};
 pub use fig8::{fig8, Fig8Cell, Fig8Platform};
+pub use resilience::{resilience, ResilienceRow};
 pub use table1::{table1, Table1Row};
 pub use table2::{table2, Table2Row};
 pub use table3::{table3, Table3Row};

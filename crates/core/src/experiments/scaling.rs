@@ -67,7 +67,13 @@ mod tests {
     #[test]
     fn rwkv_never_costs_more_than_vit() {
         for p in scaling() {
-            assert!(p.rwkv_gmacs <= p.vit_gmacs, "{}: {} vs {}", p.resolution, p.rwkv_gmacs, p.vit_gmacs);
+            assert!(
+                p.rwkv_gmacs <= p.vit_gmacs,
+                "{}: {} vs {}",
+                p.resolution,
+                p.rwkv_gmacs,
+                p.vit_gmacs
+            );
         }
     }
 
@@ -84,7 +90,11 @@ mod tests {
         }
         // At 512² (seq 65,537) the quadratic term dominates completely.
         let last = points.last().unwrap();
-        assert!(last.vit_attention_share > 0.9, "{}", last.vit_attention_share);
+        assert!(
+            last.vit_attention_share > 0.9,
+            "{}",
+            last.vit_attention_share
+        );
     }
 
     #[test]
@@ -103,13 +113,21 @@ mod tests {
         // At the paper's 32² / seq-257 operating point, attention matmuls
         // are only ~18% of compute — the RWKV advantage is small there.
         let p = &scaling_sweep(&[32])[0];
-        assert!(p.vit_gmacs / p.rwkv_gmacs < 1.35, "{}", p.vit_gmacs / p.rwkv_gmacs);
+        assert!(
+            p.vit_gmacs / p.rwkv_gmacs < 1.35,
+            "{}",
+            p.vit_gmacs / p.rwkv_gmacs
+        );
         assert!((p.vit_attention_share - 0.1823).abs() < 0.01);
     }
 
     #[test]
     fn crossover_factor_exceeds_5x_at_high_resolution() {
         let p = &scaling_sweep(&[512])[0];
-        assert!(p.vit_gmacs / p.rwkv_gmacs > 5.0, "{}", p.vit_gmacs / p.rwkv_gmacs);
+        assert!(
+            p.vit_gmacs / p.rwkv_gmacs > 5.0,
+            "{}",
+            p.vit_gmacs / p.rwkv_gmacs
+        );
     }
 }

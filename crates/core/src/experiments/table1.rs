@@ -78,7 +78,13 @@ mod tests {
         let rows = table1();
         for (row, expected) in rows.iter().zip([92.6, 236.3, 11.4]) {
             let err = (row.practical_tflops - expected).abs() / expected;
-            assert!(err < 0.05, "{}: {} vs {}", row.platform, row.practical_tflops, expected);
+            assert!(
+                err < 0.05,
+                "{}: {} vs {}",
+                row.platform,
+                row.practical_tflops,
+                expected
+            );
         }
     }
 
@@ -106,6 +112,14 @@ mod tests {
 
     #[test]
     fn platform_ids_cover_all_rows() {
-        assert_eq!(table1().len(), [PlatformId::PitzerV100, PlatformId::MriA100, PlatformId::JetsonOrinNano].len());
+        assert_eq!(
+            table1().len(),
+            [
+                PlatformId::PitzerV100,
+                PlatformId::MriA100,
+                PlatformId::JetsonOrinNano
+            ]
+            .len()
+        );
     }
 }

@@ -52,7 +52,10 @@ mod tests {
         let rows = table2();
         assert_eq!(rows.len(), 6);
         let total_samples: u32 = rows.iter().map(|r| r.samples).sum();
-        assert_eq!(total_samples, 43_430 + 10_635 + 10_100 + 40_998 + 52_198 + 992);
+        assert_eq!(
+            total_samples,
+            43_430 + 10_635 + 10_100 + 40_998 + 52_198 + 992
+        );
     }
 
     #[test]
@@ -61,7 +64,10 @@ mod tests {
         let weed = rows.iter().find(|r| r.dataset.contains("Weed")).unwrap();
         assert!(weed.image_size.contains("varied"));
         assert!(weed.image_size.contains("233x233"));
-        let pv = rows.iter().find(|r| r.dataset.contains("Plant Village")).unwrap();
+        let pv = rows
+            .iter()
+            .find(|r| r.dataset.contains("Plant Village"))
+            .unwrap();
         assert_eq!(pv.image_size, "256x256");
     }
 

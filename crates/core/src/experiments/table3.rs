@@ -77,7 +77,11 @@ mod tests {
         ];
         for (name, params, gflops) in expect {
             let r = row(name);
-            assert!((r.params_m - params).abs() / params < 0.01, "{name} params {}", r.params_m);
+            assert!(
+                (r.params_m - params).abs() / params < 0.01,
+                "{name} params {}",
+                r.params_m
+            );
             assert!(
                 (r.gflops_per_image - gflops).abs() / gflops < 0.01,
                 "{name} gflops {}",
@@ -110,7 +114,11 @@ mod tests {
     fn vit_tiny_breakdown_matches_4_0_2() {
         let r = row("ViT_Tiny");
         assert!((r.mlp_share_pct - 81.73).abs() < 1.0, "{}", r.mlp_share_pct);
-        assert!((r.attention_share_pct - 18.23).abs() < 1.0, "{}", r.attention_share_pct);
+        assert!(
+            (r.attention_share_pct - 18.23).abs() < 1.0,
+            "{}",
+            r.attention_share_pct
+        );
     }
 
     #[test]

@@ -32,15 +32,13 @@ pub mod prelude {
     pub use crate::advisor::{Advisor, BatchRecommendation, ModelRecommendation};
     pub use crate::continuum::{analyze as analyze_placement, Placement, PlacementAnalysis};
     pub use crate::pipeline::{Deployment, DeploymentReport};
-    pub use harvest_hw::NetworkLink;
     pub use harvest_data::{DatasetId, DatasetSpec, Sampler, ALL_DATASETS};
     pub use harvest_engine::{Engine, Executor};
+    pub use harvest_hw::NetworkLink;
     pub use harvest_hw::{DeploymentScenario, PlatformId, PlatformSpec, ALL_PLATFORMS};
     pub use harvest_models::{ModelId, ModelSpec, Precision, ALL_MODELS};
     pub use harvest_perf::{EngineMemoryModel, EnginePerfModel, MemoryContext};
     pub use harvest_preproc::PreprocMethod;
-    pub use harvest_serving::{
-        OfflineConfig, OnlineConfig, PipelineConfig, RealTimeConfig,
-    };
+    pub use harvest_serving::{OfflineConfig, OnlineConfig, PipelineConfig, RealTimeConfig};
     pub use harvest_simkit::SimTime;
 }

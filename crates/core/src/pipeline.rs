@@ -154,10 +154,11 @@ impl Deployment {
                 seed: self.seed,
             })
             .map(DeploymentReport::Online),
-            DeploymentScenario::Offline => {
-                run_offline(&OfflineConfig { pipeline, images: self.requests })
-                    .map(DeploymentReport::Offline)
-            }
+            DeploymentScenario::Offline => run_offline(&OfflineConfig {
+                pipeline,
+                images: self.requests,
+            })
+            .map(DeploymentReport::Offline),
             DeploymentScenario::RealTime => run_realtime(&RealTimeConfig {
                 pipeline,
                 fps: self.fps,

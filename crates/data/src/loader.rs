@@ -52,7 +52,11 @@ impl DataLoader {
                 }
             })
             .collect();
-        DataLoader { sampler, indices, batch_size }
+        DataLoader {
+            sampler,
+            indices,
+            batch_size,
+        }
     }
 
     /// Samples in this split.

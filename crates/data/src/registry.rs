@@ -79,7 +79,10 @@ pub static ALL_DATASETS: [DatasetSpec; 6] = [
         classes: Some(39),
         samples: 43_430,
         size_dist: SizeDist::Fixed { w: 256, h: 256 },
-        format: ImageFormat::Ajpg { quality: 85, subsample: true },
+        format: ImageFormat::Ajpg {
+            quality: 85,
+            subsample: true,
+        },
         scene: FieldScene::LeafCloseup,
         use_case: "Plant disease classification",
         needs_perspective: false,
@@ -113,7 +116,10 @@ pub static ALL_DATASETS: [DatasetSpec; 6] = [
             min_dim: 24,
             max_dim: 220,
         },
-        format: ImageFormat::Ajpg { quality: 85, subsample: true },
+        format: ImageFormat::Ajpg {
+            quality: 85,
+            subsample: true,
+        },
         scene: FieldScene::LeafCloseup,
         use_case: "Pest bugs detection",
         needs_perspective: false,
@@ -124,7 +130,10 @@ pub static ALL_DATASETS: [DatasetSpec; 6] = [
         classes: Some(81),
         samples: 40_998,
         size_dist: SizeDist::Fixed { w: 100, h: 100 },
-        format: ImageFormat::Ajpg { quality: 90, subsample: true },
+        format: ImageFormat::Ajpg {
+            quality: 90,
+            subsample: true,
+        },
         scene: FieldScene::FruitStudio,
         use_case: "Fruits classification",
         needs_perspective: false,
@@ -135,7 +144,10 @@ pub static ALL_DATASETS: [DatasetSpec; 6] = [
         classes: Some(23),
         samples: 52_198,
         size_dist: SizeDist::Fixed { w: 224, h: 224 },
-        format: ImageFormat::Ajpg { quality: 85, subsample: true },
+        format: ImageFormat::Ajpg {
+            quality: 85,
+            subsample: true,
+        },
         scene: FieldScene::RowCrop,
         use_case: "Corn Growth Stage Classification, UAS Based",
         needs_perspective: false,
@@ -183,18 +195,43 @@ mod tests {
 
     #[test]
     fn fig4_modes_match_paper_labels() {
-        assert_eq!(DatasetSpec::get(DatasetId::WeedSoybean).size_dist.mode(), (233, 233));
-        assert_eq!(DatasetSpec::get(DatasetId::SpittleBug).size_dist.mode(), (61, 61));
-        assert_eq!(DatasetSpec::get(DatasetId::PlantVillage).size_dist.mode(), (256, 256));
-        assert_eq!(DatasetSpec::get(DatasetId::Fruits360).size_dist.mode(), (100, 100));
-        assert_eq!(DatasetSpec::get(DatasetId::CornGrowthStage).size_dist.mode(), (224, 224));
-        assert_eq!(DatasetSpec::get(DatasetId::Crsa).size_dist.mode(), (3840, 2160));
+        assert_eq!(
+            DatasetSpec::get(DatasetId::WeedSoybean).size_dist.mode(),
+            (233, 233)
+        );
+        assert_eq!(
+            DatasetSpec::get(DatasetId::SpittleBug).size_dist.mode(),
+            (61, 61)
+        );
+        assert_eq!(
+            DatasetSpec::get(DatasetId::PlantVillage).size_dist.mode(),
+            (256, 256)
+        );
+        assert_eq!(
+            DatasetSpec::get(DatasetId::Fruits360).size_dist.mode(),
+            (100, 100)
+        );
+        assert_eq!(
+            DatasetSpec::get(DatasetId::CornGrowthStage)
+                .size_dist
+                .mode(),
+            (224, 224)
+        );
+        assert_eq!(
+            DatasetSpec::get(DatasetId::Crsa).size_dist.mode(),
+            (3840, 2160)
+        );
     }
 
     #[test]
     fn only_crsa_needs_perspective() {
         for spec in &ALL_DATASETS {
-            assert_eq!(spec.needs_perspective, spec.id == DatasetId::Crsa, "{:?}", spec.id);
+            assert_eq!(
+                spec.needs_perspective,
+                spec.id == DatasetId::Crsa,
+                "{:?}",
+                spec.id
+            );
         }
     }
 
@@ -210,7 +247,10 @@ mod tests {
 
     #[test]
     fn format_mix_covers_both_codecs() {
-        let raw = ALL_DATASETS.iter().filter(|s| s.format == ImageFormat::Rtif).count();
+        let raw = ALL_DATASETS
+            .iter()
+            .filter(|s| s.format == ImageFormat::Rtif)
+            .count();
         assert!(raw >= 2, "need both TIFF-like and JPEG-like datasets");
         assert!(raw <= 4);
     }

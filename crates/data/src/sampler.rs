@@ -49,7 +49,10 @@ pub struct Sampler {
 impl Sampler {
     /// Sampler for `id`, namespaced by `seed` (one experiment = one seed).
     pub fn new(id: DatasetId, seed: u64) -> Self {
-        Sampler { spec: DatasetSpec::get(id), seed }
+        Sampler {
+            spec: DatasetSpec::get(id),
+            seed,
+        }
     }
 
     /// The dataset's registry entry.
@@ -68,11 +71,21 @@ impl Sampler {
 
     /// Metadata for sample `index` (no pixel work).
     pub fn meta(&self, index: u32) -> SampleMeta {
-        assert!(index < self.spec.samples, "index {index} beyond {}", self.spec.samples);
+        assert!(
+            index < self.spec.samples,
+            "index {index} beyond {}",
+            self.spec.samples
+        );
         let mut rng = self.rng_for(index);
         let (width, height) = self.spec.size_dist.sample(&mut rng);
         let class = self.spec.classes.map(|n| rng.below(n as u64) as u32);
-        SampleMeta { dataset: self.spec.id, index, width, height, class }
+        SampleMeta {
+            dataset: self.spec.id,
+            index,
+            width,
+            height,
+            class,
+        }
     }
 
     /// Render the synthetic image for sample `index` (decoded form).
@@ -89,7 +102,10 @@ impl Sampler {
     pub fn encode(&self, index: u32) -> EncodedSample {
         let meta = self.meta(index);
         let img = self.render(index);
-        EncodedSample { meta, bytes: self.spec.format.encode(&img) }
+        EncodedSample {
+            meta,
+            bytes: self.spec.format.encode(&img),
+        }
     }
 
     /// Iterator over the first `n` sample metas (clamped to dataset size).
@@ -116,8 +132,9 @@ mod tests {
     fn different_experiment_seeds_differ_for_varied_datasets() {
         let a = Sampler::new(DatasetId::WeedSoybean, 1);
         let b = Sampler::new(DatasetId::WeedSoybean, 2);
-        let differing =
-            (0..50).filter(|&i| a.meta(i).width != b.meta(i).width).count();
+        let differing = (0..50)
+            .filter(|&i| a.meta(i).width != b.meta(i).width)
+            .count();
         assert!(differing > 10, "only {differing} differ");
     }
 

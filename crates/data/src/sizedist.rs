@@ -40,7 +40,13 @@ impl SizeDist {
     pub fn sample(&self, rng: &mut SimRng) -> (usize, usize) {
         match *self {
             SizeDist::Fixed { w, h } => (w, h),
-            SizeDist::Varied { mode_w, mode_h, rel_std, min_dim, max_dim } => {
+            SizeDist::Varied {
+                mode_w,
+                mode_h,
+                rel_std,
+                min_dim,
+                max_dim,
+            } => {
                 // Common scale factor (keeps the cloud on the diagonal) plus
                 // a small independent aspect jitter.
                 let scale = (1.0 + rng.normal(0.0, rel_std)).max(0.2);
@@ -65,7 +71,12 @@ impl SizeDist {
     pub fn mean_pixels(&self) -> f64 {
         match *self {
             SizeDist::Fixed { w, h } => (w * h) as f64,
-            SizeDist::Varied { mode_w, mode_h, rel_std, .. } => {
+            SizeDist::Varied {
+                mode_w,
+                mode_h,
+                rel_std,
+                ..
+            } => {
                 // E[(s·w)(s·h)] = w·h·E[s²] = w·h·(1 + σ²) for s ~ N(1, σ).
                 (mode_w * mode_h) as f64 * (1.0 + rel_std * rel_std)
             }
@@ -103,7 +114,12 @@ impl SizeHistogram {
             let by = (h / cell).min(bins - 1);
             counts[by * bins + bx] += 1;
         }
-        SizeHistogram { cell, extent, counts, total: n as u64 }
+        SizeHistogram {
+            cell,
+            extent,
+            counts,
+            total: n as u64,
+        }
     }
 
     /// Bins per axis.
@@ -130,7 +146,10 @@ impl SizeHistogram {
             .expect("non-empty histogram");
         let bx = idx % bins;
         let by = idx / bins;
-        (bx * self.cell + self.cell / 2, by * self.cell + self.cell / 2)
+        (
+            bx * self.cell + self.cell / 2,
+            by * self.cell + self.cell / 2,
+        )
     }
 }
 
@@ -139,7 +158,13 @@ mod tests {
     use super::*;
 
     fn weed_like() -> SizeDist {
-        SizeDist::Varied { mode_w: 233, mode_h: 233, rel_std: 0.2, min_dim: 40, max_dim: 480 }
+        SizeDist::Varied {
+            mode_w: 233,
+            mode_h: 233,
+            rel_std: 0.2,
+            min_dim: 40,
+            max_dim: 480,
+        }
     }
 
     #[test]
@@ -169,8 +194,7 @@ mod tests {
         let d = weed_like();
         let mut rng = SimRng::new(3);
         let n = 20_000;
-        let mean_w: f64 =
-            (0..n).map(|_| d.sample(&mut rng).0 as f64).sum::<f64>() / n as f64;
+        let mean_w: f64 = (0..n).map(|_| d.sample(&mut rng).0 as f64).sum::<f64>() / n as f64;
         assert!((mean_w - 233.0).abs() < 10.0, "mean width {mean_w}");
     }
 

@@ -30,7 +30,11 @@ pub enum EngineError {
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineError::OutOfMemory { batch, required, budget } => write!(
+            EngineError::OutOfMemory {
+                batch,
+                required,
+                budget,
+            } => write!(
                 f,
                 "OOM building engine at batch {batch}: needs {required} bytes, budget {budget}"
             ),
@@ -83,7 +87,16 @@ impl Engine {
                 budget: memory.budget_bytes(),
             });
         }
-        Ok(Engine { model, platform, max_batch, plan, activation_plan, perf, memory, precision })
+        Ok(Engine {
+            model,
+            platform,
+            max_batch,
+            plan,
+            activation_plan,
+            perf,
+            memory,
+            precision,
+        })
     }
 
     /// Build with the largest batch from `axis` that fits; `None` if none.
@@ -135,7 +148,10 @@ impl Engine {
     /// time plus per-launch overhead for the plan's kernel count.
     pub fn batch_latency_s(&self, bs: u32) -> Result<f64, EngineError> {
         if bs == 0 || bs > self.max_batch {
-            return Err(EngineError::BadBatch { batch: bs, max_batch: self.max_batch });
+            return Err(EngineError::BadBatch {
+                batch: bs,
+                max_batch: self.max_batch,
+            });
         }
         let launch = self.platform.spec().launch_overhead_us * 1e-6;
         Ok(self.perf.latency_s(bs) + launch * self.plan.launch_count() as f64)
@@ -174,7 +190,11 @@ mod tests {
         )
         .unwrap_err();
         match err {
-            EngineError::OutOfMemory { batch, required, budget } => {
+            EngineError::OutOfMemory {
+                batch,
+                required,
+                budget,
+            } => {
                 assert_eq!(batch, 16);
                 assert!(required > budget);
             }
@@ -220,8 +240,14 @@ mod tests {
             64,
         )
         .unwrap();
-        assert!(matches!(e.batch_latency_s(0), Err(EngineError::BadBatch { .. })));
-        assert!(matches!(e.batch_latency_s(65), Err(EngineError::BadBatch { .. })));
+        assert!(matches!(
+            e.batch_latency_s(0),
+            Err(EngineError::BadBatch { .. })
+        ));
+        assert!(matches!(
+            e.batch_latency_s(65),
+            Err(EngineError::BadBatch { .. })
+        ));
         assert!(e.batch_latency_s(64).is_ok());
     }
 

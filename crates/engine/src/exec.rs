@@ -44,18 +44,33 @@ pub struct Executor<'g> {
 impl<'g> Executor<'g> {
     /// Executor over `graph` with weights from `seed` (f32 math).
     pub fn new(graph: &'g Graph, seed: u64) -> Self {
-        Executor { graph, weights: WeightStore::new(seed), int8_linears: false }
+        Executor {
+            graph,
+            weights: WeightStore::new(seed),
+            int8_linears: false,
+        }
     }
 
     /// Executor that runs every `Linear` layer through the real INT8
     /// quantized-GEMM path — the executable counterpart of the precision
     /// ablation, letting accuracy loss be *measured* on whole models.
     pub fn new_int8(graph: &'g Graph, seed: u64) -> Self {
-        Executor { graph, weights: WeightStore::new(seed), int8_linears: true }
+        Executor {
+            graph,
+            weights: WeightStore::new(seed),
+            int8_linears: true,
+        }
     }
 
     /// Matrix multiply `x[rows×cin] · wᵀ` honouring the precision mode.
-    fn linear_matmul(&self, x: &[f32], w_t: &[f32], rows: usize, cin: usize, cout: usize) -> Vec<f32> {
+    fn linear_matmul(
+        &self,
+        x: &[f32],
+        w_t: &[f32],
+        rows: usize,
+        cin: usize,
+        cout: usize,
+    ) -> Vec<f32> {
         if self.int8_linears {
             // quantized_gemm wants b as k×n; w_t is cout×cin — transpose.
             let mut b = vec![0.0f32; cin * cout];
@@ -99,7 +114,9 @@ impl<'g> Executor<'g> {
             let out = self.eval(node.id, &values);
             values[node.id.0] = Some(out);
         }
-        values[self.graph.output().0].take().expect("output computed")
+        values[self.graph.output().0]
+            .take()
+            .expect("output computed")
     }
 
     /// Run a batch (vector of images); returns per-image outputs.
@@ -110,11 +127,20 @@ impl<'g> Executor<'g> {
     fn eval(&self, id: NodeId, values: &[Option<Tensor>]) -> Tensor {
         let node = self.graph.node(id);
         let arg = |i: usize| -> &Tensor {
-            values[node.inputs[i].0].as_ref().expect("topological order")
+            values[node.inputs[i].0]
+                .as_ref()
+                .expect("topological order")
         };
         match &node.op {
             Op::Input { .. } => unreachable!("input pre-seeded"),
-            Op::Conv2d { cin, cout, kernel, stride, pad, bias } => {
+            Op::Conv2d {
+                cin,
+                cout,
+                kernel,
+                stride,
+                pad,
+                bias,
+            } => {
                 let x = arg(0);
                 let (h, w) = match self.graph.node(node.inputs[0]).out_shape {
                     Shape::Chw { h, w, .. } => (h, w),
@@ -181,7 +207,11 @@ impl<'g> Executor<'g> {
                 gelu(x.data_mut());
                 x
             }
-            Op::MaxPool { kernel, stride, pad } => {
+            Op::MaxPool {
+                kernel,
+                stride,
+                pad,
+            } => {
                 let x = arg(0);
                 let (c, h, w) = match self.graph.node(node.inputs[0]).out_shape {
                     Shape::Chw { c, h, w } => (c, h, w),
@@ -238,8 +268,19 @@ impl<'g> Executor<'g> {
                     in_ch * patch * patch,
                 );
                 let bias = self.weights.tensor(id, 1, &[*dim], in_ch * patch * patch);
-                let conv =
-                    conv2d(x.data(), weight.data(), bias.data(), 1, *in_ch, h, w, *dim, *patch, *patch, 0);
+                let conv = conv2d(
+                    x.data(),
+                    weight.data(),
+                    bias.data(),
+                    1,
+                    *in_ch,
+                    h,
+                    w,
+                    *dim,
+                    *patch,
+                    *patch,
+                    0,
+                );
                 let (gh, gw) = (h / patch, w / patch);
                 let n_patches = gh * gw;
                 let (s, d) = match node.out_shape {
@@ -280,7 +321,10 @@ impl<'g> Executor<'g> {
                     w_out: w_out.data(),
                     b_out: b_out.data(),
                 };
-                Tensor::from_vec(&[s, d], multi_head_attention(x.data(), s, *dim, *heads, &weights))
+                Tensor::from_vec(
+                    &[s, d],
+                    multi_head_attention(x.data(), s, *dim, *heads, &weights),
+                )
             }
             Op::LinearAttention { dim, heads } => {
                 // Causal linear attention with positive feature map φ=elu+1:
@@ -388,7 +432,7 @@ impl<'g> Executor<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use harvest_models::{resnet50, vit_tiny, vit_small, ModelId};
+    use harvest_models::{resnet50, vit_small, vit_tiny, ModelId};
 
     fn input_for(model: ModelId) -> Tensor {
         let n = model.input_size();
@@ -401,7 +445,10 @@ mod tests {
         let exec = Executor::new(&g, 42);
         let out = exec.forward(&input_for(ModelId::VitTiny));
         assert_eq!(out.shape(), &[39]);
-        assert!(out.data().iter().all(|v| v.is_finite()), "non-finite logits");
+        assert!(
+            out.data().iter().all(|v| v.is_finite()),
+            "non-finite logits"
+        );
     }
 
     #[test]
@@ -428,8 +475,15 @@ mod tests {
         // small ViT, quantized linears flip few argmax decisions and keep
         // logits close.
         use harvest_models::{vit, VitConfig};
-        let cfg =
-            VitConfig { dim: 64, depth: 3, heads: 2, patch: 4, img: 16, mlp_ratio: 4, classes: 7 };
+        let cfg = VitConfig {
+            dim: 64,
+            depth: 3,
+            heads: 2,
+            patch: 4,
+            img: 16,
+            mlp_ratio: 4,
+            classes: 7,
+        };
         let g = vit("q", &cfg);
         let f32_exec = Executor::new(&g, 9);
         let int8_exec = Executor::new_int8(&g, 9);
@@ -453,7 +507,15 @@ mod tests {
     #[test]
     fn rwkv_vision_forward_runs_and_differs_from_vit() {
         use harvest_models::{rwkv_vision, vit, VitConfig};
-        let cfg = VitConfig { dim: 64, depth: 2, heads: 2, patch: 4, img: 16, mlp_ratio: 4, classes: 5 };
+        let cfg = VitConfig {
+            dim: 64,
+            depth: 2,
+            heads: 2,
+            patch: 4,
+            img: 16,
+            mlp_ratio: 4,
+            classes: 5,
+        };
         let x = Tensor::random(&[3, 16, 16], 7, 1.0);
         let rwkv = rwkv_vision("rwkv", &cfg);
         let out = Executor::new(&rwkv, 42).forward(&x);
@@ -504,7 +566,10 @@ mod tests {
         let b = Executor::new(&g, 1).forward(&x);
         assert_eq!(a, b);
         let c = Executor::new(&g, 2).forward(&x);
-        assert!(a.max_abs_diff(&c) > 1e-6, "different weights must change logits");
+        assert!(
+            a.max_abs_diff(&c) > 1e-6,
+            "different weights must change logits"
+        );
     }
 
     #[test]

@@ -76,7 +76,9 @@ fn node_macs(graph: &Graph, id: NodeId) -> (f64, f64) {
     let node = graph.node(id);
     let out = node.out_shape.elements() as f64;
     match &node.op {
-        Op::Conv2d { cin, cout, kernel, .. } => {
+        Op::Conv2d {
+            cin, cout, kernel, ..
+        } => {
             if let Shape::Chw { h, w, .. } = node.out_shape {
                 ((cout * cin * kernel * kernel * h * w) as f64, 0.0)
             } else {
@@ -91,7 +93,11 @@ fn node_macs(graph: &Graph, id: NodeId) -> (f64, f64) {
             }
         }
         Op::Linear { cin, cout, .. } => {
-            let tokens = if let Shape::Seq { s, .. } = node.out_shape { s } else { 1 };
+            let tokens = if let Shape::Seq { s, .. } = node.out_shape {
+                s
+            } else {
+                1
+            };
             ((cin * cout * tokens) as f64, 0.0)
         }
         Op::Attention { dim, .. } => {
@@ -129,8 +135,11 @@ fn node_macs(graph: &Graph, id: NodeId) -> (f64, f64) {
         Op::Softmax => (0.0, 5.0 * out),
         Op::MaxPool { kernel, .. } => (0.0, (kernel * kernel) as f64 * out),
         Op::GlobalAvgPool => {
-            let in_elems =
-                node.inputs.first().map(|&i| graph.node(i).out_shape.elements()).unwrap_or(0);
+            let in_elems = node
+                .inputs
+                .first()
+                .map(|&i| graph.node(i).out_shape.elements())
+                .unwrap_or(0);
             (0.0, in_elems as f64)
         }
         Op::Input { .. } | Op::ClsSelect => (0.0, 0.0),
@@ -250,9 +259,7 @@ pub fn compile(graph: &Graph) -> ExecPlan {
             Op::Add => {
                 let mut member_ids = vec![node.id];
                 let mut last = idx;
-                if let Some(act) =
-                    single_consumer_chain(last, &|op| matches!(op, Op::Relu))
-                {
+                if let Some(act) = single_consumer_chain(last, &|op| matches!(op, Op::Relu)) {
                     absorbed[act] = true;
                     fused_away += 1;
                     member_ids.push(NodeId(act));
@@ -344,11 +351,18 @@ mod tests {
         let g = resnet50(1000);
         let plan = compile(&g);
         // Every one of the 53 convs fuses its BN; most fuse a ReLU too.
-        let conv_steps =
-            plan.steps().iter().filter(|s| s.kind == StepKind::FusedConv).count();
+        let conv_steps = plan
+            .steps()
+            .iter()
+            .filter(|s| s.kind == StepKind::FusedConv)
+            .count();
         assert_eq!(conv_steps, 53);
         // 53 BNs always fold; stem + 32 in-block ReLUs fuse into convs.
-        assert!(plan.nodes_fused_away() >= 53 + 33, "fused {}", plan.nodes_fused_away());
+        assert!(
+            plan.nodes_fused_away() >= 53 + 33,
+            "fused {}",
+            plan.nodes_fused_away()
+        );
         // Launches far fewer than IR nodes.
         assert!(plan.launch_count() * 2 < g.nodes().len());
     }
@@ -359,7 +373,12 @@ mod tests {
         let plan = compile(&g);
         let stats = g.stats();
         let err = (plan.total_macs() - stats.macs).abs() / stats.macs;
-        assert!(err < 1e-9, "plan {} vs stats {}", plan.total_macs(), stats.macs);
+        assert!(
+            err < 1e-9,
+            "plan {} vs stats {}",
+            plan.total_macs(),
+            stats.macs
+        );
     }
 
     #[test]
@@ -367,8 +386,7 @@ mod tests {
         let g = vit_tiny(39);
         let plan = compile(&g);
         let stats = g.stats();
-        let err =
-            (plan.total_macs() - stats.macs_with_attention).abs() / stats.macs_with_attention;
+        let err = (plan.total_macs() - stats.macs_with_attention).abs() / stats.macs_with_attention;
         assert!(err < 1e-9);
     }
 
@@ -376,22 +394,30 @@ mod tests {
     fn vit_residual_adds_stay_separate_launches() {
         let g = vit_tiny(39);
         let plan = compile(&g);
-        let adds =
-            plan.steps().iter().filter(|s| s.kind == StepKind::Elementwise).count();
+        let adds = plan
+            .steps()
+            .iter()
+            .filter(|s| s.kind == StepKind::Elementwise)
+            .count();
         assert_eq!(adds, 24, "two residual adds per block");
     }
 
     #[test]
     fn fanout_gt_one_blocks_fusion() {
         // conv feeding both a relu and an add: relu must NOT fuse.
-        let (mut b, input) = GraphBuilder::new(
-            "branchy",
-            harvest_models::Shape::Chw { c: 1, h: 4, w: 4 },
-        );
+        let (mut b, input) =
+            GraphBuilder::new("branchy", harvest_models::Shape::Chw { c: 1, h: 4, w: 4 });
         use harvest_models::Op;
         let conv = b.push(
             "conv",
-            Op::Conv2d { cin: 1, cout: 1, kernel: 1, stride: 1, pad: 0, bias: false },
+            Op::Conv2d {
+                cin: 1,
+                cout: 1,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+                bias: false,
+            },
             &[input],
         );
         let relu = b.push("relu", Op::Relu, &[conv]);

@@ -47,8 +47,10 @@ pub fn plan_activations(graph: &Graph, precision: Precision) -> ActivationPlan {
 
     // Capacity: the no-reuse total — planning can only do better.
     let elem = precision.bytes() as u64;
-    let total_bytes: u64 =
-        nodes.iter().map(|nd| nd.out_shape.elements() as u64 * elem).sum();
+    let total_bytes: u64 = nodes
+        .iter()
+        .map(|nd| nd.out_shape.elements() as u64 * elem)
+        .sum();
     let mut pool = MemoryPool::new(total_bytes.max(1));
     let mut live: Vec<Option<harvest_hw::Allocation>> = vec![None; n];
     let mut buffers = 0usize;
@@ -75,7 +77,9 @@ pub fn plan_activations(graph: &Graph, precision: Precision) -> ActivationPlan {
             }
         }
         // A node with no consumers (and not the output) dies immediately.
-        if last_use[idx] == 0 && !matches!(node.op, Op::Input { .. }) && NodeId(idx) != graph.output()
+        if last_use[idx] == 0
+            && !matches!(node.op, Op::Input { .. })
+            && NodeId(idx) != graph.output()
         {
             if let Some(a) = live[idx].take() {
                 pool.release(a);
@@ -83,7 +87,11 @@ pub fn plan_activations(graph: &Graph, precision: Precision) -> ActivationPlan {
         }
     }
 
-    ActivationPlan { peak_bytes: pool.peak(), total_bytes, buffers }
+    ActivationPlan {
+        peak_bytes: pool.peak(),
+        total_bytes,
+        buffers,
+    }
 }
 
 #[cfg(test)]
@@ -117,7 +125,14 @@ mod tests {
         let (mut b, input) = GraphBuilder::new("res", Shape::Seq { s: 10, d: 100 });
         use harvest_models::Op;
         let ln = b.push("ln", Op::LayerNorm { dim: 100 }, &[input]);
-        let mlp = b.push("mlp", Op::Mlp { dim: 100, hidden: 400 }, &[ln]);
+        let mlp = b.push(
+            "mlp",
+            Op::Mlp {
+                dim: 100,
+                hidden: 400,
+            },
+            &[ln],
+        );
         let add = b.push("add", Op::Add, &[input, mlp]);
         let g = b.finish(add);
         let plan = plan_activations(&g, Precision::Fp32);
@@ -137,7 +152,11 @@ mod tests {
         // Peak is a small multiple of the largest single activation
         // (64×112×112 fp16 ≈ 1.6 MB).
         let largest = 64 * 112 * 112 * 2;
-        assert!(plan.peak_bytes < 6 * largest as u64, "peak {}", plan.peak_bytes);
+        assert!(
+            plan.peak_bytes < 6 * largest as u64,
+            "peak {}",
+            plan.peak_bytes
+        );
         assert!(plan.peak_bytes >= largest as u64);
     }
 
@@ -161,8 +180,11 @@ mod tests {
     fn totals_are_consistent() {
         let g = vit_tiny(39);
         let plan = plan_activations(&g, Precision::Fp16);
-        let expected_total: u64 =
-            g.nodes().iter().map(|n| n.out_shape.elements() as u64 * 2).sum();
+        let expected_total: u64 = g
+            .nodes()
+            .iter()
+            .map(|n| n.out_shape.elements() as u64 * 2)
+            .sum();
         assert_eq!(plan.total_bytes, expected_total);
         assert!(plan.peak_bytes <= plan.total_bytes);
         assert_eq!(plan.buffers, g.nodes().len());

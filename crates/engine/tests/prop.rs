@@ -5,11 +5,24 @@ use harvest_models::{vit, Precision, VitConfig};
 use proptest::prelude::*;
 
 fn vit_config() -> impl Strategy<Value = VitConfig> {
-    (1usize..=4, 1usize..=4, prop_oneof![Just(1usize), Just(2), Just(4)], 1usize..=3)
+    (
+        1usize..=4,
+        1usize..=4,
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        1usize..=3,
+    )
         .prop_map(|(dim_x32, depth, heads, patch_exp)| {
             let dim = dim_x32 * 32 * heads;
             let patch = 1 << patch_exp;
-            VitConfig { dim, depth, heads, patch, img: patch * 4, mlp_ratio: 4, classes: 7 }
+            VitConfig {
+                dim,
+                depth,
+                heads,
+                patch,
+                img: patch * 4,
+                mlp_ratio: 4,
+                classes: 7,
+            }
         })
 }
 

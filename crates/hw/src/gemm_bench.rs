@@ -147,7 +147,11 @@ mod tests {
     fn skinny_gemms_hit_the_bandwidth_roofline() {
         // m=1 GEMV-like shapes are bandwidth-bound on every platform.
         let spec = PlatformId::MriA100.spec();
-        let shape = GemmShape { m: 1, k: 4096, n: 4096 };
+        let shape = GemmShape {
+            m: 1,
+            k: 4096,
+            n: 4096,
+        };
         let t = device_gemm_tflops(spec, &shape);
         // AI of a GEMV ~ O(1) FLOP/byte: far below the compute roofline.
         assert!(t < 2.0, "GEMV-like should be <2 TFLOPS, got {t:.2}");

@@ -59,8 +59,17 @@ impl MemoryPool {
 
     /// Pool with explicit alignment (must be a power of two).
     pub fn with_alignment(capacity: u64, alignment: u64) -> Self {
-        assert!(alignment.is_power_of_two(), "alignment must be a power of two");
-        MemoryPool { capacity, free_list: vec![(0, capacity)], used: 0, peak: 0, alignment }
+        assert!(
+            alignment.is_power_of_two(),
+            "alignment must be a power of two"
+        );
+        MemoryPool {
+            capacity,
+            free_list: vec![(0, capacity)],
+            used: 0,
+            peak: 0,
+            alignment,
+        }
     }
 
     /// Total capacity in bytes.
@@ -116,15 +125,24 @@ impl MemoryPool {
     /// Panics on double free or overlap — those are planner bugs we want
     /// loud.
     pub fn release(&mut self, a: Allocation) {
-        assert!(a.offset + a.size <= self.capacity, "allocation outside pool");
+        assert!(
+            a.offset + a.size <= self.capacity,
+            "allocation outside pool"
+        );
         // Find insertion point in sorted free list.
         let idx = self.free_list.partition_point(|&(off, _)| off < a.offset);
         if let Some(&(off, size)) = self.free_list.get(idx) {
-            assert!(a.offset + a.size <= off, "release overlaps free block at {off}+{size}");
+            assert!(
+                a.offset + a.size <= off,
+                "release overlaps free block at {off}+{size}"
+            );
         }
         if idx > 0 {
             let (poff, psize) = self.free_list[idx - 1];
-            assert!(poff + psize <= a.offset, "release overlaps free block at {poff}+{psize}");
+            assert!(
+                poff + psize <= a.offset,
+                "release overlaps free block at {poff}+{psize}"
+            );
         }
         self.free_list.insert(idx, (a.offset, a.size));
         self.used -= a.size;

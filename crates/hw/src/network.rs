@@ -23,20 +23,40 @@ pub struct NetworkLink {
 
 impl NetworkLink {
     /// Rural LTE — the connectivity many farms actually have.
-    pub const RURAL_LTE: NetworkLink =
-        NetworkLink { name: "rural LTE", uplink_mbps: 5.0, rtt_ms: 80.0, overhead: 0.12 };
+    pub const RURAL_LTE: NetworkLink = NetworkLink {
+        name: "rural LTE",
+        uplink_mbps: 5.0,
+        rtt_ms: 80.0,
+        overhead: 0.12,
+    };
     /// Good LTE coverage.
-    pub const LTE: NetworkLink =
-        NetworkLink { name: "LTE", uplink_mbps: 25.0, rtt_ms: 45.0, overhead: 0.10 };
+    pub const LTE: NetworkLink = NetworkLink {
+        name: "LTE",
+        uplink_mbps: 25.0,
+        rtt_ms: 45.0,
+        overhead: 0.10,
+    };
     /// 5G mid-band.
-    pub const FIVE_G: NetworkLink =
-        NetworkLink { name: "5G", uplink_mbps: 150.0, rtt_ms: 20.0, overhead: 0.08 };
+    pub const FIVE_G: NetworkLink = NetworkLink {
+        name: "5G",
+        uplink_mbps: 150.0,
+        rtt_ms: 20.0,
+        overhead: 0.08,
+    };
     /// Fixed wireless / farm Wi-Fi backhaul.
-    pub const FIXED_WIRELESS: NetworkLink =
-        NetworkLink { name: "fixed wireless", uplink_mbps: 80.0, rtt_ms: 15.0, overhead: 0.08 };
+    pub const FIXED_WIRELESS: NetworkLink = NetworkLink {
+        name: "fixed wireless",
+        uplink_mbps: 80.0,
+        rtt_ms: 15.0,
+        overhead: 0.08,
+    };
     /// Fibre to the barn.
-    pub const FIBER: NetworkLink =
-        NetworkLink { name: "fiber", uplink_mbps: 900.0, rtt_ms: 8.0, overhead: 0.05 };
+    pub const FIBER: NetworkLink = NetworkLink {
+        name: "fiber",
+        uplink_mbps: 900.0,
+        rtt_ms: 8.0,
+        overhead: 0.05,
+    };
 
     /// All presets, slowest first.
     pub const ALL: [NetworkLink; 5] = [
@@ -83,13 +103,23 @@ mod tests {
     #[test]
     fn known_transfer_time() {
         // 1 MB over a clean 8 Mb/s link with no overhead ≈ 1 s + rtt/2.
-        let link = NetworkLink { name: "test", uplink_mbps: 8.0, rtt_ms: 0.0, overhead: 0.0 };
+        let link = NetworkLink {
+            name: "test",
+            uplink_mbps: 8.0,
+            rtt_ms: 0.0,
+            overhead: 0.0,
+        };
         assert!((link.upload_s(1_000_000) - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn image_rate_matches_serialization_only() {
-        let link = NetworkLink { name: "test", uplink_mbps: 8.0, rtt_ms: 100.0, overhead: 0.0 };
+        let link = NetworkLink {
+            name: "test",
+            uplink_mbps: 8.0,
+            rtt_ms: 100.0,
+            overhead: 0.0,
+        };
         // 100 kB images at 8 Mb/s: 10 images/s regardless of RTT.
         assert!((link.image_rate(100_000) - 10.0).abs() < 1e-9);
     }
@@ -106,8 +136,18 @@ mod tests {
 
     #[test]
     fn overhead_reduces_effective_rate() {
-        let clean = NetworkLink { name: "a", uplink_mbps: 10.0, rtt_ms: 0.0, overhead: 0.0 };
-        let lossy = NetworkLink { name: "b", uplink_mbps: 10.0, rtt_ms: 0.0, overhead: 0.2 };
+        let clean = NetworkLink {
+            name: "a",
+            uplink_mbps: 10.0,
+            rtt_ms: 0.0,
+            overhead: 0.0,
+        };
+        let lossy = NetworkLink {
+            name: "b",
+            uplink_mbps: 10.0,
+            rtt_ms: 0.0,
+            overhead: 0.2,
+        };
         assert!(lossy.image_rate(10_000) < clean.image_rate(10_000));
     }
 }

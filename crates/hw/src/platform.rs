@@ -102,7 +102,8 @@ impl PlatformSpec {
 
     /// Device memory actually available to engines.
     pub fn usable_gpu_mem_bytes(&self) -> u64 {
-        self.gpu_mem_bytes.saturating_sub(self.system_reserved_bytes)
+        self.gpu_mem_bytes
+            .saturating_sub(self.system_reserved_bytes)
     }
 
     /// Practical peak in FLOPS (not TFLOPS).

@@ -26,22 +26,25 @@ pub struct AjpgOptions {
 
 impl Default for AjpgOptions {
     fn default() -> Self {
-        AjpgOptions { quality: 85, subsample: true }
+        AjpgOptions {
+            quality: 85,
+            subsample: true,
+        }
     }
 }
 
 /// Standard JPEG luminance quantization table (Annex K).
 const Q_LUMA: [u16; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
-    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Standard JPEG chrominance quantization table.
 const Q_CHROMA: [u16; 64] = [
-    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99,
-    99, 47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
-    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99, 99,
+    47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
 ];
 
 /// Scale a base table by quality (libjpeg's convention).
@@ -93,7 +96,13 @@ impl Plane {
                 data[py * padded_w + px] = samples[sy * w + sx];
             }
         }
-        Plane { w, h, padded_w, padded_h, data }
+        Plane {
+            w,
+            h,
+            padded_w,
+            padded_h,
+            data,
+        }
     }
 
     fn blocks(&self) -> usize {
@@ -268,7 +277,11 @@ pub fn ajpg_decode(bytes: &[u8]) -> Result<RgbImage, String> {
     if w == 0 || h == 0 {
         return Err("degenerate dimensions".into());
     }
-    let (cw, ch) = if subsample { (w.div_ceil(2), h.div_ceil(2)) } else { (w, h) };
+    let (cw, ch) = if subsample {
+        (w.div_ceil(2), h.div_ceil(2))
+    } else {
+        (w, h)
+    };
 
     let q_luma = scaled_table(&Q_LUMA, quality);
     let q_chroma = scaled_table(&Q_CHROMA, quality);
@@ -285,15 +298,23 @@ pub fn ajpg_decode(bytes: &[u8]) -> Result<RgbImage, String> {
     for yy in 0..h {
         for xx in 0..w {
             let y = y_plane.data[yy * y_plane.padded_w + xx];
-            let (cx, cy) = if subsample { (xx / 2, yy / 2) } else { (xx, yy) };
+            let (cx, cy) = if subsample {
+                (xx / 2, yy / 2)
+            } else {
+                (xx, yy)
+            };
             let cb = cb_plane.data[cy * cb_plane.padded_w + cx];
             let cr = cr_plane.data[cy * cr_plane.padded_w + cx];
             let (r, g, b) = ycbcr_to_rgb(y, cb, cr);
-            img.put(xx, yy, [
-                r.clamp(0.0, 255.0).round() as u8,
-                g.clamp(0.0, 255.0).round() as u8,
-                b.clamp(0.0, 255.0).round() as u8,
-            ]);
+            img.put(
+                xx,
+                yy,
+                [
+                    r.clamp(0.0, 255.0).round() as u8,
+                    g.clamp(0.0, 255.0).round() as u8,
+                    b.clamp(0.0, 255.0).round() as u8,
+                ],
+            );
         }
     }
     let _ = (y_plane.w, y_plane.h); // sizes carried for clarity
@@ -309,15 +330,31 @@ mod tests {
     #[test]
     fn solid_image_round_trips_nearly_exactly() {
         let img = RgbImage::solid(20, 12, [90, 160, 70]);
-        let bytes = ajpg_encode(&img, &AjpgOptions { quality: 90, subsample: false });
+        let bytes = ajpg_encode(
+            &img,
+            &AjpgOptions {
+                quality: 90,
+                subsample: false,
+            },
+        );
         let back = ajpg_decode(&bytes).unwrap();
         assert!(psnr(&img, &back) > 40.0, "psnr {}", psnr(&img, &back));
     }
 
     #[test]
     fn field_image_quality_90_is_faithful() {
-        let img = FieldScene::RowCrop.render(&SynthImageSpec { width: 96, height: 64, seed: 7 });
-        let bytes = ajpg_encode(&img, &AjpgOptions { quality: 90, subsample: true });
+        let img = FieldScene::RowCrop.render(&SynthImageSpec {
+            width: 96,
+            height: 64,
+            seed: 7,
+        });
+        let bytes = ajpg_encode(
+            &img,
+            &AjpgOptions {
+                quality: 90,
+                subsample: true,
+            },
+        );
         let back = ajpg_decode(&bytes).unwrap();
         let p = psnr(&img, &back);
         assert!(p > 25.0, "psnr {p}");
@@ -325,24 +362,60 @@ mod tests {
 
     #[test]
     fn lower_quality_means_smaller_files() {
-        let img = FieldScene::RowCrop.render(&SynthImageSpec { width: 128, height: 128, seed: 3 });
-        let hi = ajpg_encode(&img, &AjpgOptions { quality: 95, subsample: true });
-        let lo = ajpg_encode(&img, &AjpgOptions { quality: 30, subsample: true });
+        let img = FieldScene::RowCrop.render(&SynthImageSpec {
+            width: 128,
+            height: 128,
+            seed: 3,
+        });
+        let hi = ajpg_encode(
+            &img,
+            &AjpgOptions {
+                quality: 95,
+                subsample: true,
+            },
+        );
+        let lo = ajpg_encode(
+            &img,
+            &AjpgOptions {
+                quality: 30,
+                subsample: true,
+            },
+        );
         assert!(lo.len() < hi.len(), "q30 {} vs q95 {}", lo.len(), hi.len());
     }
 
     #[test]
     fn subsampling_shrinks_output() {
-        let img = FieldScene::RowCrop.render(&SynthImageSpec { width: 64, height: 64, seed: 9 });
-        let full = ajpg_encode(&img, &AjpgOptions { quality: 85, subsample: false });
-        let sub = ajpg_encode(&img, &AjpgOptions { quality: 85, subsample: true });
+        let img = FieldScene::RowCrop.render(&SynthImageSpec {
+            width: 64,
+            height: 64,
+            seed: 9,
+        });
+        let full = ajpg_encode(
+            &img,
+            &AjpgOptions {
+                quality: 85,
+                subsample: false,
+            },
+        );
+        let sub = ajpg_encode(
+            &img,
+            &AjpgOptions {
+                quality: 85,
+                subsample: true,
+            },
+        );
         assert!(sub.len() < full.len());
     }
 
     #[test]
     fn non_multiple_of_8_dimensions_work() {
         for (w, h) in [(9, 7), (61, 61), (233, 13)] {
-            let img = FieldScene::RowCrop.render(&SynthImageSpec { width: w, height: h, seed: 1 });
+            let img = FieldScene::RowCrop.render(&SynthImageSpec {
+                width: w,
+                height: h,
+                seed: 1,
+            });
             let bytes = ajpg_encode(&img, &AjpgOptions::default());
             let back = ajpg_decode(&bytes).unwrap();
             assert_eq!(back.width(), w);
@@ -374,9 +447,16 @@ mod tests {
 
     #[test]
     fn encoded_size_scales_with_pixels() {
-        let small = FieldScene::RowCrop.render(&SynthImageSpec { width: 61, height: 61, seed: 5 });
-        let large =
-            FieldScene::RowCrop.render(&SynthImageSpec { width: 244, height: 244, seed: 5 });
+        let small = FieldScene::RowCrop.render(&SynthImageSpec {
+            width: 61,
+            height: 61,
+            seed: 5,
+        });
+        let large = FieldScene::RowCrop.render(&SynthImageSpec {
+            width: 244,
+            height: 244,
+            seed: 5,
+        });
         let sb = ajpg_encode(&small, &AjpgOptions::default());
         let lb = ajpg_encode(&large, &AjpgOptions::default());
         let ratio = lb.len() as f64 / sb.len() as f64;

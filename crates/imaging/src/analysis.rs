@@ -49,7 +49,10 @@ pub fn heatmap(
     estimator: impl Fn(&RgbImage) -> f64,
 ) -> Vec<f64> {
     assert!(cells_x > 0 && cells_y > 0);
-    assert!(img.width() >= cells_x && img.height() >= cells_y, "image smaller than grid");
+    assert!(
+        img.width() >= cells_x && img.height() >= cells_y,
+        "image smaller than grid"
+    );
     let cw = img.width() / cells_x;
     let ch = img.height() / cells_y;
     let mut out = Vec::with_capacity(cells_x * cells_y);
@@ -97,28 +100,37 @@ mod tests {
     fn ground_feed_scene_has_meaningful_residue() {
         // The synthetic CRSA generator paints ~30% residue streaks below
         // the horizon; the estimator should land in a plausible band.
-        let img =
-            FieldScene::GroundFeed.render(&SynthImageSpec { width: 256, height: 256, seed: 9 });
+        let img = FieldScene::GroundFeed.render(&SynthImageSpec {
+            width: 256,
+            height: 256,
+            seed: 9,
+        });
         let f = residue_cover_fraction(&img);
         assert!((0.02..0.5).contains(&f), "residue fraction {f}");
     }
 
     #[test]
     fn row_crop_scene_has_substantial_canopy() {
-        let img =
-            FieldScene::RowCrop.render(&SynthImageSpec { width: 256, height: 256, seed: 9 });
+        let img = FieldScene::RowCrop.render(&SynthImageSpec {
+            width: 256,
+            height: 256,
+            seed: 9,
+        });
         let f = canopy_cover_fraction(&img);
         assert!((0.15..0.85).contains(&f), "canopy fraction {f}");
         // And clearly more canopy than the bare ground-vehicle scene.
-        let soil =
-            FieldScene::GroundFeed.render(&SynthImageSpec { width: 256, height: 256, seed: 9 });
+        let soil = FieldScene::GroundFeed.render(&SynthImageSpec {
+            width: 256,
+            height: 256,
+            seed: 9,
+        });
         assert!(f > canopy_cover_fraction(&soil));
     }
 
     #[test]
     fn heatmap_partitions_the_image() {
         let mut img = RgbImage::solid(64, 64, [110, 85, 60]); // soil
-        // Paint the top-left quadrant with canopy.
+                                                              // Paint the top-left quadrant with canopy.
         for y in 0..32 {
             for x in 0..32 {
                 img.put(x, y, [60, 130, 55]);

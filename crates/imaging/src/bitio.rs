@@ -45,7 +45,11 @@ impl BitWriter {
 
     /// Signed exp-Golomb: zigzag map then [`BitWriter::put_ue`].
     pub fn put_se(&mut self, v: i64) {
-        let mapped = if v <= 0 { (-v as u64) * 2 } else { (v as u64) * 2 - 1 };
+        let mapped = if v <= 0 {
+            (-v as u64) * 2
+        } else {
+            (v as u64) * 2 - 1
+        };
         self.put_ue(mapped);
     }
 
@@ -113,7 +117,11 @@ impl<'a> BitReader<'a> {
     /// Signed exp-Golomb decode.
     pub fn get_se(&mut self) -> Result<i64, String> {
         let v = self.get_ue()?;
-        Ok(if v % 2 == 0 { -((v / 2) as i64) } else { v.div_ceil(2) as i64 })
+        Ok(if v % 2 == 0 {
+            -((v / 2) as i64)
+        } else {
+            v.div_ceil(2) as i64
+        })
     }
 
     /// Current bit position (for diagnostics).

@@ -8,7 +8,11 @@
 fn basis() -> [[f32; 8]; 8] {
     let mut b = [[0.0f32; 8]; 8];
     for (k, row) in b.iter_mut().enumerate() {
-        let s = if k == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+        let s = if k == 0 {
+            (1.0f32 / 8.0).sqrt()
+        } else {
+            (2.0f32 / 8.0).sqrt()
+        };
         for (n, v) in row.iter_mut().enumerate() {
             *v = s * ((std::f32::consts::PI * (2.0 * n as f32 + 1.0) * k as f32) / 16.0).cos();
         }
@@ -74,9 +78,9 @@ pub fn idct2_8x8(coeffs: &[f32; 64]) -> [f32; 64] {
 
 /// Zigzag scan order for an 8×8 block (JPEG's order).
 pub const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 #[cfg(test)]

@@ -12,14 +12,22 @@ impl RgbImage {
     /// All-black image.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "image must be non-empty");
-        RgbImage { width, height, data: vec![0; width * height * 3] }
+        RgbImage {
+            width,
+            height,
+            data: vec![0; width * height * 3],
+        }
     }
 
     /// Wrap existing interleaved RGB bytes.
     pub fn from_raw(width: usize, height: usize, data: Vec<u8>) -> Self {
         assert_eq!(data.len(), width * height * 3, "raw buffer size mismatch");
         assert!(width > 0 && height > 0);
-        RgbImage { width, height, data }
+        RgbImage {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Single-colour image.
@@ -38,7 +46,11 @@ impl RgbImage {
         let cell = cell.max(1);
         for y in 0..height {
             for x in 0..width {
-                let v = if ((x / cell) + (y / cell)).is_multiple_of(2) { 255 } else { 0 };
+                let v = if ((x / cell) + (y / cell)).is_multiple_of(2) {
+                    255
+                } else {
+                    0
+                };
                 img.put(x, y, [v, v, v]);
             }
         }

@@ -44,7 +44,10 @@ pub enum ImageFormat {
 impl ImageFormat {
     /// Reasonable camera default: quality-85 subsampled AJPG.
     pub fn camera_default() -> Self {
-        ImageFormat::Ajpg { quality: 85, subsample: true }
+        ImageFormat::Ajpg {
+            quality: 85,
+            subsample: true,
+        }
     }
 
     /// Encode an image in this format.
@@ -81,7 +84,13 @@ mod tests {
     #[test]
     fn format_dispatch_round_trips() {
         let img = RgbImage::checkerboard(32, 24, 8);
-        for fmt in [ImageFormat::Rtif, ImageFormat::Ajpg { quality: 90, subsample: false }] {
+        for fmt in [
+            ImageFormat::Rtif,
+            ImageFormat::Ajpg {
+                quality: 90,
+                subsample: false,
+            },
+        ] {
             let bytes = fmt.encode(&img);
             let back = fmt.decode(&bytes).expect("decode");
             assert_eq!(back.width(), 32);
@@ -93,7 +102,16 @@ mod tests {
     fn ajpg_is_smaller_than_raw_on_smooth_images() {
         let img = RgbImage::solid(64, 64, [120, 140, 90]);
         let raw = ImageFormat::Rtif.encode(&img);
-        let jpg = ImageFormat::Ajpg { quality: 85, subsample: true }.encode(&img);
-        assert!(jpg.len() * 4 < raw.len(), "jpg {} vs raw {}", jpg.len(), raw.len());
+        let jpg = ImageFormat::Ajpg {
+            quality: 85,
+            subsample: true,
+        }
+        .encode(&img);
+        assert!(
+            jpg.len() * 4 < raw.len(),
+            "jpg {} vs raw {}",
+            jpg.len(),
+            raw.len()
+        );
     }
 }

@@ -26,7 +26,10 @@ pub fn rtif_decode(bytes: &[u8]) -> Result<RgbImage, String> {
     }
     let w = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
     let h = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
-    let want = w.checked_mul(h).and_then(|p| p.checked_mul(3)).ok_or("dimension overflow")?;
+    let want = w
+        .checked_mul(h)
+        .and_then(|p| p.checked_mul(3))
+        .ok_or("dimension overflow")?;
     if w == 0 || h == 0 {
         return Err("degenerate dimensions".into());
     }
@@ -44,7 +47,11 @@ mod tests {
 
     #[test]
     fn round_trip_is_lossless() {
-        let img = FieldScene::LeafCloseup.render(&SynthImageSpec { width: 33, height: 21, seed: 2 });
+        let img = FieldScene::LeafCloseup.render(&SynthImageSpec {
+            width: 33,
+            height: 21,
+            seed: 2,
+        });
         let bytes = rtif_encode(&img);
         let back = rtif_decode(&bytes).unwrap();
         assert_eq!(img, back);

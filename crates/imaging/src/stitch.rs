@@ -41,7 +41,10 @@ impl SurveyGrid {
     /// Top-left mosaic coordinate of capture (col, row).
     pub fn origin(&self, col: usize, row: usize) -> (usize, usize) {
         assert!(col < self.cols && row < self.rows);
-        (col * (self.tile_w - self.overlap), row * (self.tile_h - self.overlap))
+        (
+            col * (self.tile_w - self.overlap),
+            row * (self.tile_h - self.overlap),
+        )
     }
 
     fn validate(&self) {
@@ -166,7 +169,13 @@ mod tests {
     use crate::synth::{FieldScene, SynthImageSpec};
 
     fn grid() -> SurveyGrid {
-        SurveyGrid { cols: 3, rows: 2, tile_w: 64, tile_h: 48, overlap: 16 }
+        SurveyGrid {
+            cols: 3,
+            rows: 2,
+            tile_w: 64,
+            tile_h: 48,
+            overlap: 16,
+        }
     }
 
     fn scene_for(grid: &SurveyGrid) -> RgbImage {
@@ -200,7 +209,13 @@ mod tests {
 
     #[test]
     fn single_capture_survey_is_identity() {
-        let g = SurveyGrid { cols: 1, rows: 1, tile_w: 40, tile_h: 30, overlap: 8 };
+        let g = SurveyGrid {
+            cols: 1,
+            rows: 1,
+            tile_w: 40,
+            tile_h: 30,
+            overlap: 8,
+        };
         let scene = scene_for(&g);
         let tiles = capture_survey(&scene, &g);
         let mosaic = stitch(&tiles, &g);
@@ -246,7 +261,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "overlap must be smaller")]
     fn absurd_overlap_rejected() {
-        let g = SurveyGrid { cols: 2, rows: 2, tile_w: 16, tile_h: 16, overlap: 16 };
+        let g = SurveyGrid {
+            cols: 2,
+            rows: 2,
+            tile_w: 16,
+            tile_h: 16,
+            overlap: 16,
+        };
         let _ = stitch(&[], &g);
     }
 }

@@ -77,7 +77,11 @@ impl ValueNoise {
 #[inline]
 fn mix(a: [f32; 3], b: [f32; 3], t: f32) -> [f32; 3] {
     let t = t.clamp(0.0, 1.0);
-    [a[0] + (b[0] - a[0]) * t, a[1] + (b[1] - a[1]) * t, a[2] + (b[2] - a[2]) * t]
+    [
+        a[0] + (b[0] - a[0]) * t,
+        a[1] + (b[1] - a[1]) * t,
+        a[2] + (b[2] - a[2]) * t,
+    ]
 }
 
 #[inline]
@@ -139,7 +143,11 @@ impl FieldScene {
                 } else {
                     mix(SOIL_DARK, SOIL, n)
                 };
-                let c = mix(base, [base[0] + 20.0, base[1] + 20.0, base[2] + 20.0], d * 0.6);
+                let c = mix(
+                    base,
+                    [base[0] + 20.0, base[1] + 20.0, base[2] + 20.0],
+                    d * 0.6,
+                );
                 img.put(x, y, to_u8(c));
             }
         }
@@ -156,8 +164,11 @@ impl FieldScene {
         // Elliptical leaf with vein structure and a few disease lesions.
         let lesions: Vec<(f32, f32, f32)> = (0..rng.range_inclusive(1, 5))
             .map(|_| {
-                (rng.uniform(0.25, 0.75) as f32, rng.uniform(0.25, 0.75) as f32,
-                 rng.uniform(0.03, 0.10) as f32)
+                (
+                    rng.uniform(0.25, 0.75) as f32,
+                    rng.uniform(0.25, 0.75) as f32,
+                    rng.uniform(0.03, 0.10) as f32,
+                )
             })
             .collect();
         for y in 0..spec.height {
@@ -207,7 +218,11 @@ impl FieldScene {
                     let t = 1.0 - (d2 / (radius * radius));
                     let shade = 0.55 + 0.45 * t;
                     let n = noise.at(u * 9.0, v * 9.0) * 0.15;
-                    [fruit[0] * (shade + n), fruit[1] * (shade + n), fruit[2] * (shade + n)]
+                    [
+                        fruit[0] * (shade + n),
+                        fruit[1] * (shade + n),
+                        fruit[2] * (shade + n),
+                    ]
                 } else {
                     [245.0, 245.0, 245.0] // studio white
                 };
@@ -258,7 +273,11 @@ mod tests {
 
     #[test]
     fn rendering_is_deterministic() {
-        let spec = SynthImageSpec { width: 64, height: 48, seed: 1234 };
+        let spec = SynthImageSpec {
+            width: 64,
+            height: 48,
+            seed: 1234,
+        };
         let a = FieldScene::RowCrop.render(&spec);
         let b = FieldScene::RowCrop.render(&spec);
         assert_eq!(a, b);
@@ -266,14 +285,26 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = FieldScene::RowCrop.render(&SynthImageSpec { width: 64, height: 48, seed: 1 });
-        let b = FieldScene::RowCrop.render(&SynthImageSpec { width: 64, height: 48, seed: 2 });
+        let a = FieldScene::RowCrop.render(&SynthImageSpec {
+            width: 64,
+            height: 48,
+            seed: 1,
+        });
+        let b = FieldScene::RowCrop.render(&SynthImageSpec {
+            width: 64,
+            height: 48,
+            seed: 2,
+        });
         assert_ne!(a, b);
     }
 
     #[test]
     fn scenes_differ_for_same_seed() {
-        let spec = SynthImageSpec { width: 32, height: 32, seed: 42 };
+        let spec = SynthImageSpec {
+            width: 32,
+            height: 32,
+            seed: 42,
+        };
         let scenes = [
             FieldScene::RowCrop,
             FieldScene::LeafCloseup,
@@ -290,7 +321,11 @@ mod tests {
 
     #[test]
     fn row_crop_is_green_and_brown() {
-        let img = FieldScene::RowCrop.render(&SynthImageSpec { width: 128, height: 128, seed: 7 });
+        let img = FieldScene::RowCrop.render(&SynthImageSpec {
+            width: 128,
+            height: 128,
+            seed: 7,
+        });
         let [r, g, b] = img.channel_means();
         // Vegetation + soil: green channel strong, blue weakest.
         assert!(g > 60.0, "green {g}");
@@ -299,8 +334,11 @@ mod tests {
 
     #[test]
     fn fruit_studio_has_bright_background() {
-        let img =
-            FieldScene::FruitStudio.render(&SynthImageSpec { width: 100, height: 100, seed: 3 });
+        let img = FieldScene::FruitStudio.render(&SynthImageSpec {
+            width: 100,
+            height: 100,
+            seed: 3,
+        });
         // Corners are studio white.
         assert_eq!(img.get(0, 0), [245, 245, 245]);
         assert_eq!(img.get(99, 99), [245, 245, 245]);
@@ -308,8 +346,11 @@ mod tests {
 
     #[test]
     fn ground_feed_has_sky_at_top_soil_at_bottom() {
-        let img =
-            FieldScene::GroundFeed.render(&SynthImageSpec { width: 96, height: 96, seed: 11 });
+        let img = FieldScene::GroundFeed.render(&SynthImageSpec {
+            width: 96,
+            height: 96,
+            seed: 11,
+        });
         let top = img.get(48, 2);
         let bottom = img.get(48, 93);
         assert!(top[2] > 180, "sky should be blue-ish: {top:?}");
@@ -318,7 +359,11 @@ mod tests {
 
     #[test]
     fn non_square_sizes_render() {
-        let img = FieldScene::GroundFeed.render(&SynthImageSpec { width: 384, height: 216, seed: 5 });
+        let img = FieldScene::GroundFeed.render(&SynthImageSpec {
+            width: 384,
+            height: 216,
+            seed: 5,
+        });
         assert_eq!(img.width(), 384);
         assert_eq!(img.height(), 216);
     }

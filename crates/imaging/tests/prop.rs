@@ -1,7 +1,9 @@
 //! Property-based tests for the codecs and bit I/O.
 
 use harvest_imaging::bitio::{BitReader, BitWriter};
-use harvest_imaging::{ajpg_decode, ajpg_encode, psnr, rtif_decode, rtif_encode, AjpgOptions, RgbImage};
+use harvest_imaging::{
+    ajpg_decode, ajpg_encode, psnr, rtif_decode, rtif_encode, AjpgOptions, RgbImage,
+};
 use proptest::prelude::*;
 
 proptest! {

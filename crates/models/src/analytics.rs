@@ -140,9 +140,13 @@ fn seq_of(shape: Shape) -> (usize, usize) {
 fn node_params(graph: &Graph, node_idx: usize) -> u64 {
     let node = &graph.nodes()[node_idx];
     match &node.op {
-        Op::Conv2d { cin, cout, kernel, bias, .. } => {
-            (cout * cin * kernel * kernel + if *bias { *cout } else { 0 }) as u64
-        }
+        Op::Conv2d {
+            cin,
+            cout,
+            kernel,
+            bias,
+            ..
+        } => (cout * cin * kernel * kernel + if *bias { *cout } else { 0 }) as u64,
         Op::BatchNorm { channels } => (2 * channels) as u64, // gamma + beta
         Op::Linear { cin, cout, bias } => (cin * cout + if *bias { *cout } else { 0 }) as u64,
         Op::LayerNorm { dim } => (2 * dim) as u64,
@@ -170,7 +174,9 @@ fn node_compute(graph: &Graph, node_idx: usize, acc: &mut ComputeBreakdown) {
     let node = &graph.nodes()[node_idx];
     let out_elems = node.out_shape.elements() as f64;
     match &node.op {
-        Op::Conv2d { cin, cout, kernel, .. } => {
+        Op::Conv2d {
+            cin, cout, kernel, ..
+        } => {
             if let Shape::Chw { h, w, .. } = node.out_shape {
                 acc.conv_macs += (cout * cin * kernel * kernel * h * w) as f64;
             }
@@ -220,9 +226,7 @@ fn node_compute(graph: &Graph, node_idx: usize, acc: &mut ComputeBreakdown) {
         Op::Relu | Op::Add => acc.elementwise_ops += out_elems,
         Op::Gelu => acc.elementwise_ops += 8.0 * out_elems,
         Op::Softmax => acc.elementwise_ops += 5.0 * out_elems,
-        Op::MaxPool { kernel, .. } => {
-            acc.elementwise_ops += (kernel * kernel) as f64 * out_elems
-        }
+        Op::MaxPool { kernel, .. } => acc.elementwise_ops += (kernel * kernel) as f64 * out_elems,
         Op::GlobalAvgPool => {
             // one add per input element
             if let Some(&input) = node.inputs.first() {
@@ -277,13 +281,29 @@ mod tests {
     fn table3_parameter_counts() {
         // Paper: 5.39M, 21.40M, 85.80M, 25.56M.
         let tiny = vit_tiny(39).stats();
-        assert!(pct_err(tiny.mparams(), 5.39) < 1.0, "tiny {:.4}M", tiny.mparams());
+        assert!(
+            pct_err(tiny.mparams(), 5.39) < 1.0,
+            "tiny {:.4}M",
+            tiny.mparams()
+        );
         let small = vit_small(39).stats();
-        assert!(pct_err(small.mparams(), 21.40) < 0.5, "small {:.4}M", small.mparams());
+        assert!(
+            pct_err(small.mparams(), 21.40) < 0.5,
+            "small {:.4}M",
+            small.mparams()
+        );
         let base = vit_base(39).stats();
-        assert!(pct_err(base.mparams(), 85.80) < 0.5, "base {:.4}M", base.mparams());
+        assert!(
+            pct_err(base.mparams(), 85.80) < 0.5,
+            "base {:.4}M",
+            base.mparams()
+        );
         let rn = resnet50(1000).stats();
-        assert!(pct_err(rn.mparams(), 25.56) < 0.25, "resnet {:.4}M", rn.mparams());
+        assert!(
+            pct_err(rn.mparams(), 25.56) < 0.25,
+            "resnet {:.4}M",
+            rn.mparams()
+        );
     }
 
     #[test]
@@ -296,11 +316,23 @@ mod tests {
     fn table3_gmacs() {
         // Paper: 1.37, 5.47, 16.86, 4.09 GFLOPs/image (ptflops MACs).
         let tiny = vit_tiny(39).stats();
-        assert!(pct_err(tiny.gmacs(), 1.37) < 1.0, "tiny {:.4}G", tiny.gmacs());
+        assert!(
+            pct_err(tiny.gmacs(), 1.37) < 1.0,
+            "tiny {:.4}G",
+            tiny.gmacs()
+        );
         let small = vit_small(39).stats();
-        assert!(pct_err(small.gmacs(), 5.47) < 1.0, "small {:.4}G", small.gmacs());
+        assert!(
+            pct_err(small.gmacs(), 5.47) < 1.0,
+            "small {:.4}G",
+            small.gmacs()
+        );
         let base = vit_base(39).stats();
-        assert!(pct_err(base.gmacs(), 16.86) < 0.5, "base {:.4}G", base.gmacs());
+        assert!(
+            pct_err(base.gmacs(), 16.86) < 0.5,
+            "base {:.4}G",
+            base.gmacs()
+        );
         let rn = resnet50(1000).stats();
         assert!(pct_err(rn.gmacs(), 4.09) < 1.0, "resnet {:.4}G", rn.gmacs());
     }

@@ -259,7 +259,13 @@ impl GraphBuilder {
             inputs: vec![],
             out_shape: shape,
         };
-        (GraphBuilder { name: name.into(), nodes: vec![input] }, NodeId(0))
+        (
+            GraphBuilder {
+                name: name.into(),
+                nodes: vec![input],
+            },
+            NodeId(0),
+        )
     }
 
     /// Append `op` fed by `inputs`; returns the new node's id.
@@ -272,7 +278,13 @@ impl GraphBuilder {
         }
         let out_shape = self.infer_shape(&op, inputs);
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { id, name: name.into(), op, inputs: inputs.to_vec(), out_shape });
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            op,
+            inputs: inputs.to_vec(),
+            out_shape,
+        });
         id
     }
 
@@ -282,11 +294,23 @@ impl GraphBuilder {
 
     fn infer_shape(&self, op: &Op, inputs: &[NodeId]) -> Shape {
         let unary = |n: usize| {
-            assert_eq!(inputs.len(), n, "{op:?} wants {n} input(s), got {}", inputs.len());
+            assert_eq!(
+                inputs.len(),
+                n,
+                "{op:?} wants {n} input(s), got {}",
+                inputs.len()
+            );
         };
         match op {
             Op::Input { .. } => panic!("Input may only be the first node"),
-            Op::Conv2d { cin, cout, kernel, stride, pad, .. } => {
+            Op::Conv2d {
+                cin,
+                cout,
+                kernel,
+                stride,
+                pad,
+                ..
+            } => {
                 unary(1);
                 match self.shape_of(inputs[0]) {
                     Shape::Chw { c, h, w } => {
@@ -314,7 +338,11 @@ impl GraphBuilder {
                 unary(1);
                 self.shape_of(inputs[0])
             }
-            Op::MaxPool { kernel, stride, pad } => {
+            Op::MaxPool {
+                kernel,
+                stride,
+                pad,
+            } => {
                 unary(1);
                 match self.shape_of(inputs[0]) {
                     Shape::Chw { c, h, w } => Shape::Chw {
@@ -370,7 +398,10 @@ impl GraphBuilder {
                             "image {h}x{w} not divisible by patch {patch}"
                         );
                         let n_patches = (h / patch) * (w / patch);
-                        Shape::Seq { s: n_patches + 1, d: *dim } // +1 CLS
+                        Shape::Seq {
+                            s: n_patches + 1,
+                            d: *dim,
+                        } // +1 CLS
                     }
                     s => panic!("patch-embed needs CHW, got {s}"),
                 }
@@ -416,7 +447,11 @@ impl GraphBuilder {
     /// Finish the graph with `output` as the designated output node.
     pub fn finish(self, output: NodeId) -> Graph {
         assert!(output.0 < self.nodes.len(), "output node undefined");
-        Graph { name: self.name, nodes: self.nodes, output }
+        Graph {
+            name: self.name,
+            nodes: self.nodes,
+            output,
+        }
     }
 }
 
@@ -425,16 +460,30 @@ mod tests {
     use super::*;
 
     fn tiny_cnn() -> Graph {
-        let (mut b, input) =
-            GraphBuilder::new("tiny", Shape::Chw { c: 3, h: 8, w: 8 });
+        let (mut b, input) = GraphBuilder::new("tiny", Shape::Chw { c: 3, h: 8, w: 8 });
         let conv = b.push(
             "conv",
-            Op::Conv2d { cin: 3, cout: 4, kernel: 3, stride: 1, pad: 1, bias: true },
+            Op::Conv2d {
+                cin: 3,
+                cout: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                bias: true,
+            },
             &[input],
         );
         let relu = b.push("relu", Op::Relu, &[conv]);
         let gap = b.push("gap", Op::GlobalAvgPool, &[relu]);
-        let fc = b.push("fc", Op::Linear { cin: 4, cout: 2, bias: true }, &[gap]);
+        let fc = b.push(
+            "fc",
+            Op::Linear {
+                cin: 4,
+                cout: 2,
+                bias: true,
+            },
+            &[gap],
+        );
         b.finish(fc)
     }
 
@@ -450,7 +499,15 @@ mod tests {
     #[test]
     fn patch_embed_computes_sequence_length() {
         let (mut b, input) = GraphBuilder::new("v", Shape::Chw { c: 3, h: 32, w: 32 });
-        let pe = b.push("pe", Op::PatchEmbed { in_ch: 3, dim: 192, patch: 2 }, &[input]);
+        let pe = b.push(
+            "pe",
+            Op::PatchEmbed {
+                in_ch: 3,
+                dim: 192,
+                patch: 2,
+            },
+            &[input],
+        );
         let g = b.finish(pe);
         assert_eq!(g.output_shape(), Shape::Seq { s: 257, d: 192 });
     }
@@ -468,7 +525,15 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn mismatched_residual_panics() {
         let (mut b, input) = GraphBuilder::new("r", Shape::Seq { s: 4, d: 8 });
-        let lin = b.push("lin", Op::Linear { cin: 8, cout: 16, bias: false }, &[input]);
+        let lin = b.push(
+            "lin",
+            Op::Linear {
+                cin: 8,
+                cout: 16,
+                bias: false,
+            },
+            &[input],
+        );
         b.push("add", Op::Add, &[input, lin]);
     }
 
@@ -478,7 +543,14 @@ mod tests {
         let (mut b, input) = GraphBuilder::new("c", Shape::Chw { c: 3, h: 8, w: 8 });
         b.push(
             "conv",
-            Op::Conv2d { cin: 4, cout: 8, kernel: 3, stride: 1, pad: 1, bias: false },
+            Op::Conv2d {
+                cin: 4,
+                cout: 8,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                bias: false,
+            },
             &[input],
         );
     }
@@ -487,35 +559,100 @@ mod tests {
     #[should_panic(expected = "not divisible by patch")]
     fn indivisible_patch_panics() {
         let (mut b, input) = GraphBuilder::new("v", Shape::Chw { c: 3, h: 30, w: 30 });
-        b.push("pe", Op::PatchEmbed { in_ch: 3, dim: 64, patch: 4 }, &[input]);
+        b.push(
+            "pe",
+            Op::PatchEmbed {
+                in_ch: 3,
+                dim: 64,
+                patch: 4,
+            },
+            &[input],
+        );
     }
 
     #[test]
     fn stride_and_padding_shapes() {
-        let (mut b, input) = GraphBuilder::new("s", Shape::Chw { c: 3, h: 224, w: 224 });
+        let (mut b, input) = GraphBuilder::new(
+            "s",
+            Shape::Chw {
+                c: 3,
+                h: 224,
+                w: 224,
+            },
+        );
         let c1 = b.push(
             "conv7",
-            Op::Conv2d { cin: 3, cout: 64, kernel: 7, stride: 2, pad: 3, bias: false },
+            Op::Conv2d {
+                cin: 3,
+                cout: 64,
+                kernel: 7,
+                stride: 2,
+                pad: 3,
+                bias: false,
+            },
             &[input],
         );
-        let mp = b.push("pool", Op::MaxPool { kernel: 3, stride: 2, pad: 1 }, &[c1]);
+        let mp = b.push(
+            "pool",
+            Op::MaxPool {
+                kernel: 3,
+                stride: 2,
+                pad: 1,
+            },
+            &[c1],
+        );
         let g = b.finish(mp);
-        assert_eq!(g.node(c1).out_shape, Shape::Chw { c: 64, h: 112, w: 112 });
-        assert_eq!(g.output_shape(), Shape::Chw { c: 64, h: 56, w: 56 });
+        assert_eq!(
+            g.node(c1).out_shape,
+            Shape::Chw {
+                c: 64,
+                h: 112,
+                w: 112
+            }
+        );
+        assert_eq!(
+            g.output_shape(),
+            Shape::Chw {
+                c: 64,
+                h: 56,
+                w: 56
+            }
+        );
     }
 
     #[test]
     fn layer_classes_bucket_correctly() {
         assert_eq!(
-            Op::Conv2d { cin: 1, cout: 1, kernel: 1, stride: 1, pad: 0, bias: false }
-                .layer_class(),
+            Op::Conv2d {
+                cin: 1,
+                cout: 1,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+                bias: false
+            }
+            .layer_class(),
             LayerClass::Conv
         );
-        assert_eq!(Op::Attention { dim: 8, heads: 2 }.layer_class(), LayerClass::Attention);
-        assert_eq!(Op::Mlp { dim: 8, hidden: 32 }.layer_class(), LayerClass::Mlp);
+        assert_eq!(
+            Op::Attention { dim: 8, heads: 2 }.layer_class(),
+            LayerClass::Attention
+        );
+        assert_eq!(
+            Op::Mlp { dim: 8, hidden: 32 }.layer_class(),
+            LayerClass::Mlp
+        );
         assert_eq!(Op::LayerNorm { dim: 8 }.layer_class(), LayerClass::Norm);
         assert_eq!(Op::Relu.layer_class(), LayerClass::Other);
-        assert_eq!(Op::PatchEmbed { in_ch: 3, dim: 8, patch: 2 }.layer_class(), LayerClass::Conv);
+        assert_eq!(
+            Op::PatchEmbed {
+                in_ch: 3,
+                dim: 8,
+                patch: 2
+            }
+            .layer_class(),
+            LayerClass::Conv
+        );
     }
 
     #[test]

@@ -25,13 +25,19 @@ fn shape_str(s: Shape) -> String {
 }
 
 fn parse_shape(tok: &str) -> Result<Shape, String> {
-    let (kind, dims) = tok.split_once(':').ok_or_else(|| format!("bad shape {tok}"))?;
+    let (kind, dims) = tok
+        .split_once(':')
+        .ok_or_else(|| format!("bad shape {tok}"))?;
     let parts: Vec<usize> = dims
         .split('x')
         .map(|p| p.parse::<usize>().map_err(|e| format!("bad dim {p}: {e}")))
         .collect::<Result<_, _>>()?;
     match (kind, parts.as_slice()) {
-        ("chw", [c, h, w]) => Ok(Shape::Chw { c: *c, h: *h, w: *w }),
+        ("chw", [c, h, w]) => Ok(Shape::Chw {
+            c: *c,
+            h: *h,
+            w: *w,
+        }),
         ("seq", [s, d]) => Ok(Shape::Seq { s: *s, d: *d }),
         ("flat", [d]) => Ok(Shape::Flat { d: *d }),
         _ => Err(format!("bad shape {tok}")),
@@ -41,13 +47,24 @@ fn parse_shape(tok: &str) -> Result<Shape, String> {
 fn op_str(op: &Op) -> String {
     match op {
         Op::Input { shape } => format!("input({})", shape_str(*shape)),
-        Op::Conv2d { cin, cout, kernel, stride, pad, bias } => {
+        Op::Conv2d {
+            cin,
+            cout,
+            kernel,
+            stride,
+            pad,
+            bias,
+        } => {
             format!("conv2d({cin},{cout},{kernel},{stride},{pad},{bias})")
         }
         Op::BatchNorm { channels } => format!("batchnorm({channels})"),
         Op::Relu => "relu()".into(),
         Op::Gelu => "gelu()".into(),
-        Op::MaxPool { kernel, stride, pad } => format!("maxpool({kernel},{stride},{pad})"),
+        Op::MaxPool {
+            kernel,
+            stride,
+            pad,
+        } => format!("maxpool({kernel},{stride},{pad})"),
         Op::GlobalAvgPool => "gap()".into(),
         Op::Linear { cin, cout, bias } => format!("linear({cin},{cout},{bias})"),
         Op::LayerNorm { dim } => format!("layernorm({dim})"),
@@ -102,14 +119,35 @@ fn parse_op(tok: &str) -> Result<Op, String> {
         "batchnorm" => Ok(Op::BatchNorm { channels: u(0)? }),
         "relu" => Ok(Op::Relu),
         "gelu" => Ok(Op::Gelu),
-        "maxpool" => Ok(Op::MaxPool { kernel: u(0)?, stride: u(1)?, pad: u(2)? }),
+        "maxpool" => Ok(Op::MaxPool {
+            kernel: u(0)?,
+            stride: u(1)?,
+            pad: u(2)?,
+        }),
         "gap" => Ok(Op::GlobalAvgPool),
-        "linear" => Ok(Op::Linear { cin: u(0)?, cout: u(1)?, bias: b(2)? }),
+        "linear" => Ok(Op::Linear {
+            cin: u(0)?,
+            cout: u(1)?,
+            bias: b(2)?,
+        }),
         "layernorm" => Ok(Op::LayerNorm { dim: u(0)? }),
-        "patchembed" => Ok(Op::PatchEmbed { in_ch: u(0)?, dim: u(1)?, patch: u(2)? }),
-        "attention" => Ok(Op::Attention { dim: u(0)?, heads: u(1)? }),
-        "linattention" => Ok(Op::LinearAttention { dim: u(0)?, heads: u(1)? }),
-        "mlp" => Ok(Op::Mlp { dim: u(0)?, hidden: u(1)? }),
+        "patchembed" => Ok(Op::PatchEmbed {
+            in_ch: u(0)?,
+            dim: u(1)?,
+            patch: u(2)?,
+        }),
+        "attention" => Ok(Op::Attention {
+            dim: u(0)?,
+            heads: u(1)?,
+        }),
+        "linattention" => Ok(Op::LinearAttention {
+            dim: u(0)?,
+            heads: u(1)?,
+        }),
+        "mlp" => Ok(Op::Mlp {
+            dim: u(0)?,
+            hidden: u(1)?,
+        }),
         "add" => Ok(Op::Add),
         "cls" => Ok(Op::ClsSelect),
         "softmax" => Ok(Op::Softmax),
@@ -128,7 +166,11 @@ pub fn to_honx(graph: &Graph) -> String {
             node.id.0,
             node.name,
             op_str(&node.op),
-            if inputs.is_empty() { "-".to_string() } else { inputs.join(",") }
+            if inputs.is_empty() {
+                "-".to_string()
+            } else {
+                inputs.join(",")
+            }
         ));
     }
     out.push_str(&format!("output {}\n", graph.output().0));
@@ -152,16 +194,26 @@ pub fn from_honx(text: &str) -> Result<Graph, String> {
     for line in lines {
         let line = line.trim();
         if let Some(rest) = line.strip_prefix("output ") {
-            let id: usize = rest.trim().parse().map_err(|e| format!("bad output id: {e}"))?;
+            let id: usize = rest
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad output id: {e}"))?;
             output = Some(NodeId(id));
             continue;
         }
-        let (head, inputs_str) =
-            line.split_once("<-").ok_or_else(|| format!("bad node line: {line}"))?;
+        let (head, inputs_str) = line
+            .split_once("<-")
+            .ok_or_else(|| format!("bad node line: {line}"))?;
         let mut toks = head.split_whitespace();
-        let id: usize = toks.next().ok_or("missing id")?.parse().map_err(|e| format!("{e}"))?;
+        let id: usize = toks
+            .next()
+            .ok_or("missing id")?
+            .parse()
+            .map_err(|e| format!("{e}"))?;
         if id != expected_id {
-            return Err(format!("node ids must be dense/ordered; got {id}, expected {expected_id}"));
+            return Err(format!(
+                "node ids must be dense/ordered; got {id}, expected {expected_id}"
+            ));
         }
         expected_id += 1;
         let node_name = toks.next().ok_or("missing name")?.to_string();
@@ -172,7 +224,12 @@ pub fn from_honx(text: &str) -> Result<Graph, String> {
                 vec![]
             } else {
                 s.split(',')
-                    .map(|p| p.trim().parse::<usize>().map(NodeId).map_err(|e| format!("{e}")))
+                    .map(|p| {
+                        p.trim()
+                            .parse::<usize>()
+                            .map(NodeId)
+                            .map_err(|e| format!("{e}"))
+                    })
                     .collect::<Result<_, _>>()?
             }
         };
@@ -222,7 +279,9 @@ mod tests {
         let text = to_honx(&vit_tiny(10));
         assert!(text.starts_with("honx 1 ViT_Tiny\n"));
         assert!(text.contains("patchembed(3,192,2)"));
-        assert!(text.trim_end().ends_with(&format!("output {}", vit_tiny(10).output().0)));
+        assert!(text
+            .trim_end()
+            .ends_with(&format!("output {}", vit_tiny(10).output().0)));
     }
 
     #[test]

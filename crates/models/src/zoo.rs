@@ -69,8 +69,12 @@ impl ModelId {
 }
 
 /// All four models in Table 3 column order.
-pub const ALL_MODELS: [ModelId; 4] =
-    [ModelId::VitTiny, ModelId::VitSmall, ModelId::VitBase, ModelId::ResNet50];
+pub const ALL_MODELS: [ModelId; 4] = [
+    ModelId::VitTiny,
+    ModelId::VitSmall,
+    ModelId::VitBase,
+    ModelId::ResNet50,
+];
 
 /// Static descriptor handy for tables (geometry without building the graph).
 #[derive(Clone, Copy, Debug)]
@@ -90,7 +94,11 @@ impl ModelSpec {
             ModelId::ResNet50 => "CNN Based",
             _ => "Transformer Based",
         };
-        ModelSpec { id, architecture, input_size: id.input_size() }
+        ModelSpec {
+            id,
+            architecture,
+            input_size: id.input_size(),
+        }
     }
 }
 
@@ -115,25 +123,49 @@ pub struct VitConfig {
 
 /// Build a ViT from a config.
 pub fn vit(name: &str, cfg: &VitConfig) -> Graph {
-    let (mut b, input) =
-        GraphBuilder::new(name, Shape::Chw { c: 3, h: cfg.img, w: cfg.img });
+    let (mut b, input) = GraphBuilder::new(
+        name,
+        Shape::Chw {
+            c: 3,
+            h: cfg.img,
+            w: cfg.img,
+        },
+    );
     let mut x = b.push(
         "patch_embed",
-        Op::PatchEmbed { in_ch: 3, dim: cfg.dim, patch: cfg.patch },
+        Op::PatchEmbed {
+            in_ch: 3,
+            dim: cfg.dim,
+            patch: cfg.patch,
+        },
         &[input],
     );
     for blk in 0..cfg.depth {
-        let ln1 = b.push(format!("blocks.{blk}.norm1"), Op::LayerNorm { dim: cfg.dim }, &[x]);
+        let ln1 = b.push(
+            format!("blocks.{blk}.norm1"),
+            Op::LayerNorm { dim: cfg.dim },
+            &[x],
+        );
         let attn = b.push(
             format!("blocks.{blk}.attn"),
-            Op::Attention { dim: cfg.dim, heads: cfg.heads },
+            Op::Attention {
+                dim: cfg.dim,
+                heads: cfg.heads,
+            },
             &[ln1],
         );
         let res1 = b.push(format!("blocks.{blk}.add1"), Op::Add, &[x, attn]);
-        let ln2 = b.push(format!("blocks.{blk}.norm2"), Op::LayerNorm { dim: cfg.dim }, &[res1]);
+        let ln2 = b.push(
+            format!("blocks.{blk}.norm2"),
+            Op::LayerNorm { dim: cfg.dim },
+            &[res1],
+        );
         let mlp = b.push(
             format!("blocks.{blk}.mlp"),
-            Op::Mlp { dim: cfg.dim, hidden: cfg.dim * cfg.mlp_ratio },
+            Op::Mlp {
+                dim: cfg.dim,
+                hidden: cfg.dim * cfg.mlp_ratio,
+            },
             &[ln2],
         );
         x = b.push(format!("blocks.{blk}.add2"), Op::Add, &[res1, mlp]);
@@ -142,7 +174,11 @@ pub fn vit(name: &str, cfg: &VitConfig) -> Graph {
     let cls = b.push("cls_select", Op::ClsSelect, &[ln]);
     let head = b.push(
         "head",
-        Op::Linear { cin: cfg.dim, cout: cfg.classes, bias: true },
+        Op::Linear {
+            cin: cfg.dim,
+            cout: cfg.classes,
+            bias: true,
+        },
         &[cls],
     );
     b.finish(head)
@@ -153,25 +189,49 @@ pub fn vit(name: &str, cfg: &VitConfig) -> Graph {
 /// remedy for attention's quadratic scaling with sequence length. Used by
 /// the scaling-ablation experiment.
 pub fn rwkv_vision(name: &str, cfg: &VitConfig) -> Graph {
-    let (mut b, input) =
-        GraphBuilder::new(name, Shape::Chw { c: 3, h: cfg.img, w: cfg.img });
+    let (mut b, input) = GraphBuilder::new(
+        name,
+        Shape::Chw {
+            c: 3,
+            h: cfg.img,
+            w: cfg.img,
+        },
+    );
     let mut x = b.push(
         "patch_embed",
-        Op::PatchEmbed { in_ch: 3, dim: cfg.dim, patch: cfg.patch },
+        Op::PatchEmbed {
+            in_ch: 3,
+            dim: cfg.dim,
+            patch: cfg.patch,
+        },
         &[input],
     );
     for blk in 0..cfg.depth {
-        let ln1 = b.push(format!("blocks.{blk}.norm1"), Op::LayerNorm { dim: cfg.dim }, &[x]);
+        let ln1 = b.push(
+            format!("blocks.{blk}.norm1"),
+            Op::LayerNorm { dim: cfg.dim },
+            &[x],
+        );
         let mix = b.push(
             format!("blocks.{blk}.time_mix"),
-            Op::LinearAttention { dim: cfg.dim, heads: cfg.heads },
+            Op::LinearAttention {
+                dim: cfg.dim,
+                heads: cfg.heads,
+            },
             &[ln1],
         );
         let res1 = b.push(format!("blocks.{blk}.add1"), Op::Add, &[x, mix]);
-        let ln2 = b.push(format!("blocks.{blk}.norm2"), Op::LayerNorm { dim: cfg.dim }, &[res1]);
+        let ln2 = b.push(
+            format!("blocks.{blk}.norm2"),
+            Op::LayerNorm { dim: cfg.dim },
+            &[res1],
+        );
         let mlp = b.push(
             format!("blocks.{blk}.channel_mix"),
-            Op::Mlp { dim: cfg.dim, hidden: cfg.dim * cfg.mlp_ratio },
+            Op::Mlp {
+                dim: cfg.dim,
+                hidden: cfg.dim * cfg.mlp_ratio,
+            },
             &[ln2],
         );
         x = b.push(format!("blocks.{blk}.add2"), Op::Add, &[res1, mlp]);
@@ -180,7 +240,11 @@ pub fn rwkv_vision(name: &str, cfg: &VitConfig) -> Graph {
     let cls = b.push("cls_select", Op::ClsSelect, &[ln]);
     let head = b.push(
         "head",
-        Op::Linear { cin: cfg.dim, cout: cfg.classes, bias: true },
+        Op::Linear {
+            cin: cfg.dim,
+            cout: cfg.classes,
+            bias: true,
+        },
         &[cls],
     );
     b.finish(head)
@@ -190,7 +254,15 @@ pub fn rwkv_vision(name: &str, cfg: &VitConfig) -> Graph {
 pub fn vit_tiny(classes: usize) -> Graph {
     vit(
         "ViT_Tiny",
-        &VitConfig { dim: 192, depth: 12, heads: 3, patch: 2, img: 32, mlp_ratio: 4, classes },
+        &VitConfig {
+            dim: 192,
+            depth: 12,
+            heads: 3,
+            patch: 2,
+            img: 32,
+            mlp_ratio: 4,
+            classes,
+        },
     )
 }
 
@@ -198,7 +270,15 @@ pub fn vit_tiny(classes: usize) -> Graph {
 pub fn vit_small(classes: usize) -> Graph {
     vit(
         "ViT_Small",
-        &VitConfig { dim: 384, depth: 12, heads: 6, patch: 2, img: 32, mlp_ratio: 4, classes },
+        &VitConfig {
+            dim: 384,
+            depth: 12,
+            heads: 6,
+            patch: 2,
+            img: 32,
+            mlp_ratio: 4,
+            classes,
+        },
     )
 }
 
@@ -206,7 +286,15 @@ pub fn vit_small(classes: usize) -> Graph {
 pub fn vit_base(classes: usize) -> Graph {
     vit(
         "ViT_Base",
-        &VitConfig { dim: 768, depth: 12, heads: 12, patch: 16, img: 224, mlp_ratio: 4, classes },
+        &VitConfig {
+            dim: 768,
+            depth: 12,
+            heads: 12,
+            patch: 16,
+            img: 224,
+            mlp_ratio: 4,
+            classes,
+        },
     )
 }
 
@@ -224,31 +312,75 @@ fn bottleneck(
     let cout = planes * expansion;
     let c1 = b.push(
         format!("{prefix}.conv1"),
-        Op::Conv2d { cin, cout: planes, kernel: 1, stride: 1, pad: 0, bias: false },
+        Op::Conv2d {
+            cin,
+            cout: planes,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            bias: false,
+        },
         &[x],
     );
-    let b1 = b.push(format!("{prefix}.bn1"), Op::BatchNorm { channels: planes }, &[c1]);
+    let b1 = b.push(
+        format!("{prefix}.bn1"),
+        Op::BatchNorm { channels: planes },
+        &[c1],
+    );
     let r1 = b.push(format!("{prefix}.relu1"), Op::Relu, &[b1]);
     let c2 = b.push(
         format!("{prefix}.conv2"),
-        Op::Conv2d { cin: planes, cout: planes, kernel: 3, stride, pad: 1, bias: false },
+        Op::Conv2d {
+            cin: planes,
+            cout: planes,
+            kernel: 3,
+            stride,
+            pad: 1,
+            bias: false,
+        },
         &[r1],
     );
-    let b2 = b.push(format!("{prefix}.bn2"), Op::BatchNorm { channels: planes }, &[c2]);
+    let b2 = b.push(
+        format!("{prefix}.bn2"),
+        Op::BatchNorm { channels: planes },
+        &[c2],
+    );
     let r2 = b.push(format!("{prefix}.relu2"), Op::Relu, &[b2]);
     let c3 = b.push(
         format!("{prefix}.conv3"),
-        Op::Conv2d { cin: planes, cout, kernel: 1, stride: 1, pad: 0, bias: false },
+        Op::Conv2d {
+            cin: planes,
+            cout,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            bias: false,
+        },
         &[r2],
     );
-    let b3 = b.push(format!("{prefix}.bn3"), Op::BatchNorm { channels: cout }, &[c3]);
+    let b3 = b.push(
+        format!("{prefix}.bn3"),
+        Op::BatchNorm { channels: cout },
+        &[c3],
+    );
     let shortcut = if stride != 1 || cin != cout {
         let ds = b.push(
             format!("{prefix}.downsample.conv"),
-            Op::Conv2d { cin, cout, kernel: 1, stride, pad: 0, bias: false },
+            Op::Conv2d {
+                cin,
+                cout,
+                kernel: 1,
+                stride,
+                pad: 0,
+                bias: false,
+            },
             &[x],
         );
-        b.push(format!("{prefix}.downsample.bn"), Op::BatchNorm { channels: cout }, &[ds])
+        b.push(
+            format!("{prefix}.downsample.bn"),
+            Op::BatchNorm { channels: cout },
+            &[ds],
+        )
     } else {
         x
     };
@@ -258,28 +390,64 @@ fn bottleneck(
 
 /// ResNet50 (bottleneck [3, 4, 6, 3], expansion 4) at 224×224.
 pub fn resnet50(classes: usize) -> Graph {
-    let (mut b, input) = GraphBuilder::new("ResNet50", Shape::Chw { c: 3, h: 224, w: 224 });
+    let (mut b, input) = GraphBuilder::new(
+        "ResNet50",
+        Shape::Chw {
+            c: 3,
+            h: 224,
+            w: 224,
+        },
+    );
     let c1 = b.push(
         "conv1",
-        Op::Conv2d { cin: 3, cout: 64, kernel: 7, stride: 2, pad: 3, bias: false },
+        Op::Conv2d {
+            cin: 3,
+            cout: 64,
+            kernel: 7,
+            stride: 2,
+            pad: 3,
+            bias: false,
+        },
         &[input],
     );
     let b1 = b.push("bn1", Op::BatchNorm { channels: 64 }, &[c1]);
     let r1 = b.push("relu1", Op::Relu, &[b1]);
-    let mut x = b.push("maxpool", Op::MaxPool { kernel: 3, stride: 2, pad: 1 }, &[r1]);
+    let mut x = b.push(
+        "maxpool",
+        Op::MaxPool {
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        },
+        &[r1],
+    );
 
-    let stages: [(usize, usize, usize); 4] =
-        [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
+    let stages: [(usize, usize, usize); 4] = [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
     let mut cin = 64;
     for (stage, &(planes, blocks, stride)) in stages.iter().enumerate() {
         for blk in 0..blocks {
             let s = if blk == 0 { stride } else { 1 };
-            x = bottleneck(&mut b, &format!("layer{}.{blk}", stage + 1), x, cin, planes, s);
+            x = bottleneck(
+                &mut b,
+                &format!("layer{}.{blk}", stage + 1),
+                x,
+                cin,
+                planes,
+                s,
+            );
             cin = planes * 4;
         }
     }
     let gap = b.push("avgpool", Op::GlobalAvgPool, &[x]);
-    let fc = b.push("fc", Op::Linear { cin: 2048, cout: classes, bias: true }, &[gap]);
+    let fc = b.push(
+        "fc",
+        Op::Linear {
+            cin: 2048,
+            cout: classes,
+            bias: true,
+        },
+        &[gap],
+    );
     b.finish(fc)
 }
 
@@ -309,7 +477,11 @@ mod tests {
             .iter()
             .filter(|n| matches!(n.op, Op::Attention { .. }))
             .count();
-        let mlp = g.nodes().iter().filter(|n| matches!(n.op, Op::Mlp { .. })).count();
+        let mlp = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Mlp { .. }))
+            .count();
         assert_eq!(attn, 12);
         assert_eq!(mlp, 12);
     }
@@ -317,8 +489,11 @@ mod tests {
     #[test]
     fn resnet50_has_53_convs_and_right_tail() {
         let g = resnet50(1000);
-        let convs =
-            g.nodes().iter().filter(|n| matches!(n.op, Op::Conv2d { .. })).count();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv2d { .. }))
+            .count();
         // 1 stem + 16 blocks × 3 + 4 downsample convs = 53.
         assert_eq!(convs, 53);
         assert_eq!(g.output_shape(), Shape::Flat { d: 1000 });
@@ -334,7 +509,14 @@ mod tests {
             .find(|n| matches!(n.op, Op::GlobalAvgPool))
             .expect("gap node");
         let feeder = g.node(gap.inputs[0]);
-        assert_eq!(feeder.out_shape, Shape::Chw { c: 2048, h: 7, w: 7 });
+        assert_eq!(
+            feeder.out_shape,
+            Shape::Chw {
+                c: 2048,
+                h: 7,
+                w: 7
+            }
+        );
     }
 
     #[test]
@@ -344,7 +526,11 @@ mod tests {
             assert!(!g.nodes().is_empty(), "{id:?}");
             assert_eq!(
                 g.input_shape(),
-                Shape::Chw { c: 3, h: id.input_size(), w: id.input_size() },
+                Shape::Chw {
+                    c: 3,
+                    h: id.input_size(),
+                    w: id.input_size()
+                },
                 "{id:?}"
             );
         }
@@ -353,6 +539,9 @@ mod tests {
     #[test]
     fn spec_architecture_strings() {
         assert_eq!(ModelSpec::of(ModelId::ResNet50).architecture, "CNN Based");
-        assert_eq!(ModelSpec::of(ModelId::VitTiny).architecture, "Transformer Based");
+        assert_eq!(
+            ModelSpec::of(ModelId::VitTiny).architecture,
+            "Transformer Based"
+        );
     }
 }

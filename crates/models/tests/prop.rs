@@ -6,12 +6,26 @@ use proptest::prelude::*;
 
 fn vit_config() -> impl Strategy<Value = VitConfig> {
     // dim divisible by heads; img divisible by patch.
-    (1usize..=8, 1usize..=6, prop_oneof![Just(1usize), Just(2), Just(4)], 1usize..=4, 2usize..=200)
+    (
+        1usize..=8,
+        1usize..=6,
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        1usize..=4,
+        2usize..=200,
+    )
         .prop_map(|(dim_per_head_x32, depth, heads, patch_exp, classes)| {
             let dim = dim_per_head_x32 * 32 * heads;
             let patch = 1 << patch_exp; // 2..16
             let img = patch * 8; // 64 patches + CLS
-            VitConfig { dim, depth, heads, patch, img, mlp_ratio: 4, classes }
+            VitConfig {
+                dim,
+                depth,
+                heads,
+                patch,
+                img,
+                mlp_ratio: 4,
+                classes,
+            }
         })
 }
 

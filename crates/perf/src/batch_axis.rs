@@ -7,8 +7,9 @@ use harvest_hw::PlatformId;
 pub const LATENCY_BOUND_60QPS_MS: f64 = 16.7;
 
 /// Batch sizes swept on the cloud platforms (Figs 5a/5b, 6a/6b).
-pub const CLOUD_BATCHES: [u32; 16] =
-    [1, 2, 4, 8, 16, 32, 64, 96, 128, 196, 256, 384, 512, 640, 768, 1024];
+pub const CLOUD_BATCHES: [u32; 16] = [
+    1, 2, 4, 8, 16, 32, 64, 96, 128, 196, 256, 384, 512, 640, 768, 1024,
+];
 
 /// Batch sizes swept on the Jetson (Figs 5c, 6c) — the axis stops at 196.
 pub const JETSON_BATCHES: [u32; 10] = [1, 2, 4, 8, 16, 32, 64, 96, 128, 196];

@@ -80,7 +80,9 @@ impl EnergyModel {
         axis.iter()
             .map(|&bs| self.point(bs))
             .max_by(|a, b| {
-                a.images_per_joule.partial_cmp(&b.images_per_joule).expect("finite")
+                a.images_per_joule
+                    .partial_cmp(&b.images_per_joule)
+                    .expect("finite")
             })
             .expect("non-empty axis")
     }
@@ -111,8 +113,11 @@ mod tests {
 
     #[test]
     fn power_is_bounded_by_board_power() {
-        for platform in [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano]
-        {
+        for platform in [
+            PlatformId::MriA100,
+            PlatformId::PitzerV100,
+            PlatformId::JetsonOrinNano,
+        ] {
             for model in ALL_MODELS {
                 let e = EnergyModel::new(platform, model);
                 for bs in [1u32, 8, 64, 1024] {

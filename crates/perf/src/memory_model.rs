@@ -103,7 +103,12 @@ impl EngineMemoryModel {
         let stats = model.build().stats();
         // Engines serve in FP16/BF16 (2 bytes) on all three platforms.
         let weight_bytes = stats.weight_bytes(Precision::Fp16);
-        EngineMemoryModel { platform, model, ctx, weight_bytes }
+        EngineMemoryModel {
+            platform,
+            model,
+            ctx,
+            weight_bytes,
+        }
     }
 
     /// Engine weight bytes.
@@ -126,9 +131,7 @@ impl EngineMemoryModel {
         let usable = self.platform.spec().usable_gpu_mem_bytes();
         match self.ctx {
             MemoryContext::EngineOnly => usable,
-            MemoryContext::EndToEnd => {
-                usable.saturating_sub(preproc_pool_bytes(self.platform))
-            }
+            MemoryContext::EndToEnd => usable.saturating_sub(preproc_pool_bytes(self.platform)),
         }
     }
 
@@ -199,8 +202,7 @@ mod tests {
                 let m = EngineMemoryModel::new(platform, model, MemoryContext::EndToEnd);
                 // Serving caps batches at 64 (the A100 column's value), so
                 // search the axis only up to 64.
-                let axis: Vec<u32> =
-                    CLOUD_BATCHES.iter().copied().filter(|&b| b <= 64).collect();
+                let axis: Vec<u32> = CLOUD_BATCHES.iter().copied().filter(|&b| b <= 64).collect();
                 assert_eq!(
                     max_batch_under_memory(&m, &axis),
                     Some(wall),
@@ -232,7 +234,11 @@ mod tests {
 
     #[test]
     fn e2e_budget_is_smaller_than_engine_only() {
-        for platform in [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano] {
+        for platform in [
+            PlatformId::MriA100,
+            PlatformId::PitzerV100,
+            PlatformId::JetsonOrinNano,
+        ] {
             let eo = EngineMemoryModel::new(platform, ModelId::VitTiny, MemoryContext::EngineOnly);
             let ee = EngineMemoryModel::new(platform, ModelId::VitTiny, MemoryContext::EndToEnd);
             assert!(ee.budget_bytes() < eo.budget_bytes(), "{platform:?}");

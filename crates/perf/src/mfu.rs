@@ -95,7 +95,10 @@ impl EnginePerfModel {
         EnginePerfModel {
             platform,
             model,
-            curve: MfuCurve { mfu_inf, bs_half: half },
+            curve: MfuCurve {
+                mfu_inf,
+                bs_half: half,
+            },
             flops_per_image,
         }
     }
@@ -158,8 +161,8 @@ impl EnginePerfModel {
     pub fn max_batch_under_latency(&self, bound_ms: f64) -> Option<u32> {
         // latency(bs) ≤ bound  ⇔  bs ≤ bound·P·mfu_inf/F − bs_half.
         let p = self.platform().practical_flops();
-        let max = bound_ms * 1e-3 * p * self.curve.mfu_inf / self.flops_per_image
-            - self.curve.bs_half;
+        let max =
+            bound_ms * 1e-3 * p * self.curve.mfu_inf / self.flops_per_image - self.curve.bs_half;
         if max < 1.0 {
             None
         } else {
@@ -174,8 +177,11 @@ mod tests {
     use crate::batch_axis::LATENCY_BOUND_60QPS_MS;
     use harvest_models::ALL_MODELS;
 
-    const PLATFORMS: [PlatformId; 3] =
-        [PlatformId::PitzerV100, PlatformId::MriA100, PlatformId::JetsonOrinNano];
+    const PLATFORMS: [PlatformId; 3] = [
+        PlatformId::PitzerV100,
+        PlatformId::MriA100,
+        PlatformId::JetsonOrinNano,
+    ];
 
     #[test]
     fn anchors_reproduce_figure_labels() {
@@ -201,7 +207,11 @@ mod tests {
             (ModelId::VitBase, [14_013.0, 5_491.0, 676.0]),
             (ModelId::ResNet50, [57_775.0, 22_641.0, 2_787.0]),
         ];
-        let platforms = [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano];
+        let platforms = [
+            PlatformId::MriA100,
+            PlatformId::PitzerV100,
+            PlatformId::JetsonOrinNano,
+        ];
         for (model, bounds) in expect {
             for (platform, expected) in platforms.iter().zip(bounds) {
                 let ub = EnginePerfModel::new(*platform, model).upper_bound_throughput();
@@ -216,8 +226,11 @@ mod tests {
         for platform in PLATFORMS {
             for model in ALL_MODELS {
                 let m = EnginePerfModel::new(platform, model);
-                assert!(m.curve().mfu_inf > 0.05 && m.curve().mfu_inf < 0.6,
-                    "{platform:?}/{model:?}: mfu_inf {:.3}", m.curve().mfu_inf);
+                assert!(
+                    m.curve().mfu_inf > 0.05 && m.curve().mfu_inf < 0.6,
+                    "{platform:?}/{model:?}: mfu_inf {:.3}",
+                    m.curve().mfu_inf
+                );
                 assert!(m.curve().mfu(1024) < m.curve().mfu_inf);
             }
         }
@@ -244,8 +257,16 @@ mod tests {
     #[test]
     fn fig6_v100_vitbase_meets_60qps_at_8_not_16() {
         let m = EnginePerfModel::new(PlatformId::PitzerV100, ModelId::VitBase);
-        assert!(m.latency_ms(8) < LATENCY_BOUND_60QPS_MS, "{}", m.latency_ms(8));
-        assert!(m.latency_ms(16) > LATENCY_BOUND_60QPS_MS, "{}", m.latency_ms(16));
+        assert!(
+            m.latency_ms(8) < LATENCY_BOUND_60QPS_MS,
+            "{}",
+            m.latency_ms(8)
+        );
+        assert!(
+            m.latency_ms(16) > LATENCY_BOUND_60QPS_MS,
+            "{}",
+            m.latency_ms(16)
+        );
         let max = m.max_batch_under_latency(LATENCY_BOUND_60QPS_MS).unwrap();
         assert!((8..16).contains(&max), "max {max}");
     }
@@ -298,10 +319,19 @@ mod tests {
     fn bigger_models_saturate_mfu_higher() {
         // §4.1: deploying larger models improves MFU (per family).
         for platform in PLATFORMS {
-            let tiny = EnginePerfModel::new(platform, ModelId::VitTiny).curve().mfu_inf;
-            let small = EnginePerfModel::new(platform, ModelId::VitSmall).curve().mfu_inf;
-            let base = EnginePerfModel::new(platform, ModelId::VitBase).curve().mfu_inf;
-            assert!(tiny < small && small < base, "{platform:?}: {tiny} {small} {base}");
+            let tiny = EnginePerfModel::new(platform, ModelId::VitTiny)
+                .curve()
+                .mfu_inf;
+            let small = EnginePerfModel::new(platform, ModelId::VitSmall)
+                .curve()
+                .mfu_inf;
+            let base = EnginePerfModel::new(platform, ModelId::VitBase)
+                .curve()
+                .mfu_inf;
+            assert!(
+                tiny < small && small < base,
+                "{platform:?}: {tiny} {small} {base}"
+            );
         }
     }
 

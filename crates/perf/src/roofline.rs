@@ -28,7 +28,10 @@ pub struct Roofline {
 impl Roofline {
     /// Roofline of a platform (practical peak).
     pub fn of(spec: &PlatformSpec) -> Self {
-        Roofline { peak_flops: spec.practical_flops(), mem_bw: spec.mem_bw_gbs * 1e9 }
+        Roofline {
+            peak_flops: spec.practical_flops(),
+            mem_bw: spec.mem_bw_gbs * 1e9,
+        }
     }
 
     /// The ridge point: arithmetic intensity (FLOP/byte) above which a
@@ -86,7 +89,10 @@ mod tests {
 
     #[test]
     fn attainable_is_min_of_roofs() {
-        let r = Roofline { peak_flops: 100.0, mem_bw: 10.0 };
+        let r = Roofline {
+            peak_flops: 100.0,
+            mem_bw: 10.0,
+        };
         assert_eq!(r.ridge_intensity(), 10.0);
         assert_eq!(r.attainable_flops(5.0), 50.0);
         assert_eq!(r.attainable_flops(10.0), 100.0);
@@ -97,7 +103,10 @@ mod tests {
 
     #[test]
     fn min_time_is_max_of_components() {
-        let r = Roofline { peak_flops: 100.0, mem_bw: 10.0 };
+        let r = Roofline {
+            peak_flops: 100.0,
+            mem_bw: 10.0,
+        };
         assert_eq!(r.min_time_s(200.0, 10.0), 2.0); // compute-bound
         assert_eq!(r.min_time_s(10.0, 100.0), 10.0); // bandwidth-bound
     }

@@ -5,8 +5,11 @@ use harvest_models::{ModelId, ALL_MODELS};
 use harvest_perf::{EngineMemoryModel, EnginePerfModel, MemoryContext};
 use proptest::prelude::*;
 
-const PLATFORMS: [PlatformId; 3] =
-    [PlatformId::PitzerV100, PlatformId::MriA100, PlatformId::JetsonOrinNano];
+const PLATFORMS: [PlatformId; 3] = [
+    PlatformId::PitzerV100,
+    PlatformId::MriA100,
+    PlatformId::JetsonOrinNano,
+];
 
 fn any_pair() -> impl Strategy<Value = (PlatformId, ModelId)> {
     (0usize..3, 0usize..4).prop_map(|(p, m)| (PLATFORMS[p], ALL_MODELS[m]))

@@ -126,7 +126,11 @@ impl PreprocCostModel {
             // Single-core ops rate, accelerated by intra-op threads; the
             // CV2 path is ~30% slower per op (numpy round-trips, BGR
             // conversions) — observed in the paper's baseline comparison.
-            let penalty = if method == PreprocMethod::Cv2Cpu { 1.3 } else { 1.0 };
+            let penalty = if method == PreprocMethod::Cv2Cpu {
+                1.3
+            } else {
+                1.0
+            };
             let core_rate = spec.cpu_preproc_gpix_s_core * 1e9;
             ops * penalty / (core_rate * cpu_intra_parallel(spec))
         }
@@ -193,7 +197,12 @@ mod tests {
             let min = tputs.iter().cloned().fold(f64::MAX, f64::min);
             max / min
         };
-        assert!(spread(Dali224) < spread(Dali32), "{} vs {}", spread(Dali224), spread(Dali32));
+        assert!(
+            spread(Dali224) < spread(Dali32),
+            "{} vs {}",
+            spread(Dali224),
+            spread(Dali32)
+        );
     }
 
     #[test]
@@ -217,7 +226,10 @@ mod tests {
                 .iter()
                 .map(|d| m.throughput(Dali32, d.id))
                 .fold(f64::MIN, f64::max);
-            assert!((1_800.0..3_500.0).contains(&best), "{platform:?}: {best:.0}");
+            assert!(
+                (1_800.0..3_500.0).contains(&best),
+                "{platform:?}: {best:.0}"
+            );
         }
     }
 
@@ -225,8 +237,11 @@ mod tests {
     fn cv2_on_crsa_is_unusable_for_real_time() {
         // Hundreds of ms per 4K frame on CPU — the §4.2 conclusion that
         // excludes OpenCV from further real-time evaluation.
-        for platform in [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano]
-        {
+        for platform in [
+            PlatformId::MriA100,
+            PlatformId::PitzerV100,
+            PlatformId::JetsonOrinNano,
+        ] {
             let m = PreprocCostModel::new(platform);
             let lat = m.batch_latency_ms(Cv2Cpu, DatasetId::Crsa);
             assert!(lat > 100.0, "{platform:?}: {lat:.1}ms");
@@ -252,7 +267,7 @@ mod tests {
         let m = a100();
         let corn = m.per_image_s(PyTorchCpu, DatasetId::CornGrowthStage); // 224², AJPG
         let weed = m.per_image_s(PyTorchCpu, DatasetId::WeedSoybean); // ~233², RTIF
-        // Weed images are slightly larger yet decode faster overall.
+                                                                      // Weed images are slightly larger yet decode faster overall.
         assert!(weed < corn, "weed {weed} vs corn {corn}");
     }
 

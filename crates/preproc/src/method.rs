@@ -56,7 +56,10 @@ impl PreprocMethod {
 
     /// Does this method execute on the GPU?
     pub fn is_gpu(self) -> bool {
-        matches!(self, PreprocMethod::Dali224 | PreprocMethod::Dali96 | PreprocMethod::Dali32)
+        matches!(
+            self,
+            PreprocMethod::Dali224 | PreprocMethod::Dali96 | PreprocMethod::Dali32
+        )
     }
 }
 

@@ -94,7 +94,10 @@ mod tests {
         let sample = sampler.encode(0);
         let out = run_real(sampler.spec(), &sample, 224).expect("preproc");
         assert_eq!(out.tensor.shape(), &[3, 224, 224]);
-        assert_eq!(out.dataset_stage_s, 0.0, "no dataset stage for Plant Village");
+        assert_eq!(
+            out.dataset_stage_s, 0.0,
+            "no dataset stage for Plant Village"
+        );
         assert!(out.decode_s > 0.0);
         assert!(out.tensor.data().iter().all(|v| v.is_finite()));
     }
@@ -125,8 +128,7 @@ mod tests {
         let out = run_real(sampler.spec(), &sample, 96).expect("preproc");
         // ImageNet normalization of a bright studio image: values in a
         // plausible few-sigma band, not raw [0,1].
-        let mean: f32 =
-            out.tensor.data().iter().sum::<f32>() / out.tensor.len() as f32;
+        let mean: f32 = out.tensor.data().iter().sum::<f32>() / out.tensor.len() as f32;
         assert!(mean.abs() < 3.0, "mean {mean}");
         let min = out.tensor.data().iter().cloned().fold(f32::MAX, f32::min);
         let max = out.tensor.data().iter().cloned().fold(f32::MIN, f32::max);

@@ -51,7 +51,12 @@ impl DynamicBatcher {
     /// New batcher with a policy.
     pub fn new(config: BatcherConfig) -> Self {
         assert!(config.preferred_batch > 0);
-        DynamicBatcher { config, queue: VecDeque::new(), dispatched_batches: 0, dispatched_requests: 0 }
+        DynamicBatcher {
+            config,
+            queue: VecDeque::new(),
+            dispatched_batches: 0,
+            dispatched_requests: 0,
+        }
     }
 
     /// The policy.
@@ -96,7 +101,11 @@ impl DynamicBatcher {
         now: SimTime,
         arrival: SimTime,
     ) -> Option<Vec<QueuedRequest>> {
-        self.queue.push_back(QueuedRequest { id, enqueued: now, arrival });
+        self.queue.push_back(QueuedRequest {
+            id,
+            enqueued: now,
+            arrival,
+        });
         if self.queue.len() >= self.config.preferred_batch as usize {
             Some(self.take(self.config.preferred_batch as usize))
         } else {
@@ -106,7 +115,9 @@ impl DynamicBatcher {
 
     /// When the delay trigger would next fire (`None` when empty).
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.queue.front().map(|r| r.enqueued + self.config.max_queue_delay)
+        self.queue
+            .front()
+            .map(|r| r.enqueued + self.config.max_queue_delay)
     }
 
     /// Fire the delay trigger: dispatch the waiting partial batch if the
@@ -144,7 +155,10 @@ mod tests {
     use super::*;
 
     fn cfg(batch: u32, delay_ms: u64) -> BatcherConfig {
-        BatcherConfig { preferred_batch: batch, max_queue_delay: SimTime::from_millis(delay_ms) }
+        BatcherConfig {
+            preferred_batch: batch,
+            max_queue_delay: SimTime::from_millis(delay_ms),
+        }
     }
 
     #[test]
@@ -156,7 +170,10 @@ mod tests {
         assert!(b.push(2, t).is_none());
         let batch = b.push(3, t).expect("4th request completes the batch");
         assert_eq!(batch.len(), 4);
-        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         assert_eq!(b.queued(), 0);
     }
 
@@ -167,7 +184,9 @@ mod tests {
         b.push(1, SimTime::from_millis(2));
         assert_eq!(b.next_deadline(), Some(SimTime::from_millis(10)));
         assert!(b.poll_deadline(SimTime::from_millis(9)).is_none());
-        let batch = b.poll_deadline(SimTime::from_millis(10)).expect("deadline reached");
+        let batch = b
+            .poll_deadline(SimTime::from_millis(10))
+            .expect("deadline reached");
         assert_eq!(batch.len(), 2);
         assert_eq!(b.next_deadline(), None);
     }

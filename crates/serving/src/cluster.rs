@@ -6,9 +6,14 @@
 //! quantifies the simplest strategy — data parallelism over identical
 //! nodes — including the dispatch policy's effect on scaling efficiency.
 
-use crate::server::{PipelineConfig, PipelineCore};
+use crate::resilience::{
+    FailoverFn, FaultContext, FaultInjection, ResilienceStats, ResilienceSummary,
+};
+use crate::server::{DispatchHooks, PipelineConfig, PipelineCore};
 use harvest_engine::EngineError;
 use harvest_simkit::{Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Frontend dispatch policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,7 +53,7 @@ impl ClusterConfig {
 }
 
 /// Cluster offline-run results.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct ClusterReport {
     /// Nodes in the cluster.
     pub nodes: u32,
@@ -60,6 +65,8 @@ pub struct ClusterReport {
     pub throughput: f64,
     /// Per-node completion counts (balance diagnostic).
     pub per_node_completed: Vec<u64>,
+    /// Resilience metrics (all-zero counters on a healthy run).
+    pub resilience: ResilienceSummary,
 }
 
 impl ClusterReport {
@@ -81,11 +88,89 @@ pub fn run_cluster_offline(
     config: &ClusterConfig,
     images: u32,
 ) -> Result<ClusterReport, EngineError> {
+    run_cluster_offline_inner(config, images, None)
+}
+
+/// Run the offline cluster scenario under an active fault plan, with
+/// failover: a batch in flight when its node's engine crashes is detected
+/// by timeout and re-dispatched to a live sibling chosen by the configured
+/// [`Dispatch`] policy (ring order for round-robin, smallest engine backlog
+/// for least-loaded). When every engine is down the batch waits for its
+/// origin node to recover. No image is lost or duplicated; the report's
+/// `resilience` block carries the proof counters.
+pub fn run_cluster_offline_faulted(
+    config: &ClusterConfig,
+    images: u32,
+    faults: &FaultInjection,
+) -> Result<ClusterReport, EngineError> {
+    run_cluster_offline_inner(config, images, Some(faults))
+}
+
+fn run_cluster_offline_inner(
+    config: &ClusterConfig,
+    images: u32,
+    faults: Option<&FaultInjection>,
+) -> Result<ClusterReport, EngineError> {
     assert!(config.nodes > 0);
     let mut sim = Sim::new();
     let mut cores: Vec<PipelineCore> = (0..config.nodes)
         .map(|_| PipelineCore::new(&config.pipeline))
         .collect::<Result<_, _>>()?;
+
+    // Fault wiring: every node shares the plan, the stats, and one failover
+    // cell; the router is installed into the cell after the per-node hooks
+    // exist (the contexts hold the cell, so they observe the late install).
+    let fault_state = faults.map(|f| {
+        let plan = Rc::new(f.plan.clone());
+        let stats = Rc::new(RefCell::new(ResilienceStats::default()));
+        let ctx0 = FaultContext::new(plan.clone(), 0, f.policy, stats.clone());
+        let cell = ctx0.failover_cell();
+        for (node, core) in cores.iter_mut().enumerate() {
+            let mut ctx = ctx0.clone();
+            ctx.node = node as u32;
+            core.set_fault_context(ctx);
+        }
+        let hooks: Vec<DispatchHooks> = cores.iter().map(|c| c.hooks()).collect();
+        let backlogs: Vec<_> = cores.iter().map(|c| c.engine_backlog()).collect();
+        let dispatch = config.dispatch;
+        let router_plan = plan.clone();
+        let router_stats = stats.clone();
+        let router: FailoverFn = Rc::new(move |sim, batch, from, attempt| {
+            let now = sim.now();
+            let live: Vec<u32> = (0..hooks.len() as u32)
+                .filter(|&k| !router_plan.engine_down(k, now))
+                .collect();
+            let target = match dispatch {
+                Dispatch::RoundRobin => live
+                    .iter()
+                    .find(|&&k| k > from)
+                    .or_else(|| live.first())
+                    .copied(),
+                Dispatch::LeastLoaded => live
+                    .iter()
+                    .min_by_key(|&&k| backlogs[k as usize].get())
+                    .copied(),
+            };
+            match target {
+                Some(t) => {
+                    if t != from {
+                        router_stats.borrow_mut().failovers += batch.len() as u64;
+                    }
+                    hooks[t as usize].dispatch_attempt(sim, batch, attempt);
+                }
+                None => {
+                    // Every engine is down: wait out the origin's outage.
+                    let resume = router_plan.engine_up_after(from, now);
+                    let origin = hooks[from as usize].clone();
+                    sim.schedule_at(resume.max(now), move |sim| {
+                        origin.dispatch_attempt(sim, batch, attempt);
+                    });
+                }
+            }
+        });
+        *cell.borrow_mut() = Some(router);
+        (plan, stats, cell)
+    });
 
     for i in 0..images {
         let node = match config.dispatch {
@@ -101,9 +186,19 @@ pub fn run_cluster_offline(
             }
         };
         // The frontend serializes dispatch: the i-th request reaches its
-        // node only after i dispatch slots have elapsed.
-        let at = config.dispatch_overhead * (i as u64 + 1);
-        cores[node].submit(&mut sim, at);
+        // node only after i dispatch slots have elapsed. A degraded link
+        // multiplies the slot cost for requests dispatched inside the
+        // degradation window.
+        let mut at = config.dispatch_overhead * (i as u64 + 1);
+        if let Some((plan, _, _)) = &fault_state {
+            let factor = plan.link_factor(at);
+            if factor > 1.0 {
+                at = SimTime::from_secs_f64(at.as_secs_f64() * factor);
+            }
+        }
+        // Global request ids keep the shared conservation set and the
+        // per-request fault coins collision-free across nodes.
+        cores[node].submit_as(&mut sim, at, u64::from(i));
     }
     sim.run();
     for core in &mut cores {
@@ -111,20 +206,37 @@ pub fn run_cluster_offline(
     }
     sim.run();
 
-    let per_node_completed: Vec<u64> =
-        cores.iter().map(|c| c.metrics().borrow().completed).collect();
+    let per_node_completed: Vec<u64> = cores
+        .iter()
+        .map(|c| c.metrics().borrow().completed)
+        .collect();
     let images_done: u64 = per_node_completed.iter().sum();
     let makespan = cores
         .iter()
         .map(|c| c.metrics().borrow().last_completion.as_secs_f64())
         .fold(0.0f64, f64::max)
         .max(1e-9);
+    let resilience = match &fault_state {
+        Some((plan, stats, cell)) => {
+            // Break the router ↔ hooks ↔ context Rc cycle before returning.
+            *cell.borrow_mut() = None;
+            ResilienceSummary::from_stats(
+                &stats.borrow(),
+                u64::from(images),
+                plan,
+                config.nodes,
+                SimTime::from_secs_f64(makespan),
+            )
+        }
+        None => ResilienceSummary::healthy(),
+    };
     Ok(ClusterReport {
         nodes: config.nodes,
         images: images_done,
         makespan_s: makespan,
         throughput: images_done as f64 / makespan,
         per_node_completed,
+        resilience,
     })
 }
 
@@ -174,11 +286,7 @@ mod tests {
 
     #[test]
     fn cluster_processes_everything_and_balances() {
-        let report = run_cluster_offline(
-            &ClusterConfig::standard(pipeline(), 4),
-            1024,
-        )
-        .unwrap();
+        let report = run_cluster_offline(&ClusterConfig::standard(pipeline(), 4), 1024).unwrap();
         assert_eq!(report.images, 1024);
         assert_eq!(report.per_node_completed, vec![256; 4]);
         assert!(report.imbalance() < 1.01);
@@ -197,13 +305,12 @@ mod tests {
 
     #[test]
     fn least_loaded_matches_round_robin_on_uniform_burst() {
-        let rr = run_cluster_offline(
-            &ClusterConfig::standard(pipeline(), 3),
-            600,
-        )
-        .unwrap();
+        let rr = run_cluster_offline(&ClusterConfig::standard(pipeline(), 3), 600).unwrap();
         let ll = run_cluster_offline(
-            &ClusterConfig { dispatch: Dispatch::LeastLoaded, ..ClusterConfig::standard(pipeline(), 3) },
+            &ClusterConfig {
+                dispatch: Dispatch::LeastLoaded,
+                ..ClusterConfig::standard(pipeline(), 3)
+            },
             600,
         )
         .unwrap();
@@ -222,9 +329,103 @@ mod tests {
             512,
         )
         .unwrap();
-        let single =
-            run_offline(&OfflineConfig { pipeline: pipeline(), images: 512 }).unwrap();
+        let single = run_offline(&OfflineConfig {
+            pipeline: pipeline(),
+            images: 512,
+        })
+        .unwrap();
         assert!((cluster.throughput - single.throughput).abs() < 1e-6 * single.throughput);
+    }
+
+    #[test]
+    fn faulted_cluster_fails_over_and_conserves_work() {
+        use crate::resilience::FaultInjection;
+        use harvest_simkit::FaultPlan;
+        let config = ClusterConfig::standard(pipeline(), 3);
+        // Node 1's engine dies almost immediately and stays dead for most
+        // of the run; its work must fail over to nodes 0 and 2.
+        let faults = FaultInjection {
+            plan: FaultPlan::new(11).with_engine_crash(
+                1,
+                SimTime::from_millis(5),
+                SimTime::from_secs(30),
+            ),
+            policy: Default::default(),
+        };
+        let report = run_cluster_offline_faulted(&config, 600, &faults).unwrap();
+        assert_eq!(report.images, 600, "every image completes exactly once");
+        assert_eq!(report.resilience.lost, 0);
+        assert_eq!(report.resilience.duplicated, 0);
+        assert!(
+            report.resilience.failovers > 0,
+            "dead node's batches must move"
+        );
+        assert!(report.resilience.timeouts > 0);
+        assert!(report.per_node_completed[0] > report.per_node_completed[1]);
+        assert!(report.resilience.availability < 1.0);
+    }
+
+    #[test]
+    fn faulted_cluster_least_loaded_failover_also_conserves() {
+        use crate::resilience::FaultInjection;
+        use harvest_simkit::FaultPlan;
+        let config = ClusterConfig {
+            dispatch: Dispatch::LeastLoaded,
+            ..ClusterConfig::standard(pipeline(), 3)
+        };
+        let faults = FaultInjection {
+            plan: FaultPlan::new(13).with_engine_crash(
+                0,
+                SimTime::from_millis(5),
+                SimTime::from_secs(30),
+            ),
+            policy: Default::default(),
+        };
+        let report = run_cluster_offline_faulted(&config, 600, &faults).unwrap();
+        assert_eq!(report.images, 600);
+        assert_eq!(report.resilience.lost, 0);
+        assert_eq!(report.resilience.duplicated, 0);
+        assert!(report.resilience.failovers > 0);
+    }
+
+    #[test]
+    fn faulted_cluster_with_empty_plan_matches_healthy_run() {
+        use crate::resilience::FaultInjection;
+        let config = ClusterConfig::standard(pipeline(), 2);
+        let healthy = run_cluster_offline(&config, 400).unwrap();
+        let faulted =
+            run_cluster_offline_faulted(&config, 400, &FaultInjection::default()).unwrap();
+        assert_eq!(healthy.images, faulted.images);
+        assert!((healthy.makespan_s - faulted.makespan_s).abs() < 1e-12);
+        assert_eq!(faulted.resilience.retries, 0);
+    }
+
+    #[test]
+    fn link_degradation_slows_the_frontend() {
+        use crate::resilience::FaultInjection;
+        use harvest_simkit::FaultPlan;
+        let config = ClusterConfig {
+            dispatch_overhead: SimTime::from_millis(1),
+            ..ClusterConfig::standard(pipeline(), 2)
+        };
+        let healthy = run_cluster_offline(&config, 400).unwrap();
+        let faults = FaultInjection {
+            // The uplink runs 4× slower for the whole dispatch phase.
+            plan: FaultPlan::new(2).with_link_degradation(
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+                4.0,
+            ),
+            policy: Default::default(),
+        };
+        let degraded = run_cluster_offline_faulted(&config, 400, &faults).unwrap();
+        assert_eq!(degraded.images, 400);
+        assert!(
+            degraded.makespan_s > healthy.makespan_s * 2.0,
+            "degraded {} vs healthy {}",
+            degraded.makespan_s,
+            healthy.makespan_s
+        );
     }
 
     #[test]

@@ -14,18 +14,26 @@
 //!   (Poisson arrivals, latency percentiles), **offline** (a field's worth
 //!   of images enqueued at once, makespan → throughput), and **real-time**
 //!   (a closed-loop 60 fps camera with deadline-miss accounting).
+//! * [`resilience`] — the reaction layer for injected faults
+//!   ([`harvest_simkit::fault`]): timeout-detected retries with bounded
+//!   exponential backoff, cross-node failover, skip-frame degradation, and
+//!   conservation accounting (zero lost, zero duplicated).
 
 pub mod batcher;
 pub mod cluster;
 pub mod multimodel;
+pub mod resilience;
 pub mod scenario;
 pub mod server;
 
 pub use batcher::{BatcherConfig, DynamicBatcher};
-pub use cluster::{run_cluster_offline, ClusterConfig, ClusterReport, Dispatch};
+pub use cluster::{
+    run_cluster_offline, run_cluster_offline_faulted, ClusterConfig, ClusterReport, Dispatch,
+};
 pub use multimodel::{HostedModel, MultiModelServer};
+pub use resilience::{FaultInjection, ResilienceStats, ResilienceSummary, RetryPolicy};
 pub use scenario::{
-    run_offline, run_online, run_realtime, OfflineConfig, OfflineReport, OnlineConfig,
-    OnlineReport, RealTimeConfig, RealTimeReport,
+    run_offline, run_online, run_online_faulted, run_realtime, run_realtime_degraded,
+    OfflineConfig, OfflineReport, OnlineConfig, OnlineReport, RealTimeConfig, RealTimeReport,
 };
 pub use server::{PipelineConfig, PipelineCore, PipelineSim};

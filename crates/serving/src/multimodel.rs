@@ -132,8 +132,7 @@ impl MultiModelServer {
             .fold(0.0f64, f64::max);
         let service = SimTime::from_secs_f64(preproc_s);
         let preproc_server = self.preproc_server.clone();
-        let targets: Vec<LaneHooks> =
-            lane_indices.iter().map(|&l| self.lane_hooks(l)).collect();
+        let targets: Vec<LaneHooks> = lane_indices.iter().map(|&l| self.lane_hooks(l)).collect();
         self.sim.schedule_at(at, move |sim| {
             let targets = targets.clone();
             preproc_server.submit(sim, service, move |sim, _stats| {
@@ -206,7 +205,10 @@ struct LaneHooks {
 impl LaneHooks {
     fn enqueue(&self, sim: &mut Sim, id: u64, arrival: SimTime) {
         let now = sim.now();
-        let maybe = self.batcher.borrow_mut().push_with_arrival(id, now, arrival);
+        let maybe = self
+            .batcher
+            .borrow_mut()
+            .push_with_arrival(id, now, arrival);
         if let Some(batch) = maybe {
             self.dispatch(sim, batch);
         } else if let Some(deadline) = self.batcher.borrow().next_deadline() {
@@ -230,14 +232,15 @@ impl LaneHooks {
             .expect("batcher respects max batch");
         let latencies = self.latencies.clone();
         let completed = self.completed.clone();
-        self.gpu.submit(sim, SimTime::from_secs_f64(latency), move |sim, _stats| {
-            let now = sim.now();
-            let mut lat = latencies.borrow_mut();
-            for req in &batch {
-                lat.push((now - req.arrival()).as_millis_f64());
-            }
-            *completed.borrow_mut() += batch.len() as u64;
-        });
+        self.gpu
+            .submit(sim, SimTime::from_secs_f64(latency), move |sim, _stats| {
+                let now = sim.now();
+                let mut lat = latencies.borrow_mut();
+                for req in &batch {
+                    lat.push((now - req.arrival()).as_millis_f64());
+                }
+                *completed.borrow_mut() += batch.len() as u64;
+            });
     }
 }
 
@@ -246,7 +249,11 @@ mod tests {
     use super::*;
 
     fn hosted(model: ModelId, batch: u32) -> HostedModel {
-        HostedModel { model, max_batch: batch, max_queue_delay: SimTime::from_millis(2) }
+        HostedModel {
+            model,
+            max_batch: batch,
+            max_queue_delay: SimTime::from_millis(2),
+        }
     }
 
     fn server(models: &[HostedModel]) -> MultiModelServer {
@@ -313,8 +320,7 @@ mod tests {
             shared.submit_fanout(SimTime::from_micros(i * 800), &[0, 1]);
         }
         shared.run_to_completion();
-        let mut duplicated =
-            server(&[hosted(ModelId::ResNet50, 4), hosted(ModelId::VitBase, 4)]);
+        let mut duplicated = server(&[hosted(ModelId::ResNet50, 4), hosted(ModelId::VitBase, 4)]);
         for i in 0..64u64 {
             duplicated.submit(SimTime::from_micros(i * 800), 0);
             duplicated.submit(SimTime::from_micros(i * 800), 1);

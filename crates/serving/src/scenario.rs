@@ -1,8 +1,11 @@
 //! The three deployment scenarios of §2.2, driven over [`PipelineSim`].
 
+use crate::resilience::{FaultContext, FaultInjection, ResilienceStats, ResilienceSummary};
 use crate::server::{PipelineConfig, PipelineSim};
 use harvest_engine::EngineError;
 use harvest_simkit::{SimRng, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Online (streaming) scenario configuration.
 #[derive(Clone, Debug)]
@@ -18,7 +21,7 @@ pub struct OnlineConfig {
 }
 
 /// Online scenario results.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct OnlineReport {
     /// Requests completed.
     pub completed: u64,
@@ -34,11 +37,37 @@ pub struct OnlineReport {
     pub p99_ms: f64,
     /// Mean dispatched batch size.
     pub mean_batch: f64,
+    /// Resilience metrics (all-zero counters on a healthy run).
+    pub resilience: ResilienceSummary,
 }
 
 /// Run the online scenario.
 pub fn run_online(config: &OnlineConfig) -> Result<OnlineReport, EngineError> {
+    run_online_inner(config, None)
+}
+
+/// Run the online scenario under an active fault plan: transient errors
+/// and engine crashes trigger timeout-detected retries with exponential
+/// backoff, preprocessing stalls slow the preproc stage, and the report's
+/// `resilience` block carries the retry/timeout/conservation accounting.
+pub fn run_online_faulted(
+    config: &OnlineConfig,
+    faults: &FaultInjection,
+) -> Result<OnlineReport, EngineError> {
+    run_online_inner(config, Some(faults))
+}
+
+fn run_online_inner(
+    config: &OnlineConfig,
+    faults: Option<&FaultInjection>,
+) -> Result<OnlineReport, EngineError> {
     let mut pipeline = PipelineSim::new(&config.pipeline)?;
+    let fault_state = faults.map(|f| {
+        let plan = Rc::new(f.plan.clone());
+        let stats = Rc::new(RefCell::new(ResilienceStats::default()));
+        pipeline.set_fault_context(FaultContext::new(plan.clone(), 0, f.policy, stats.clone()));
+        (plan, stats)
+    });
     let mut rng = SimRng::new(config.seed);
     let mut t = 0.0f64;
     for _ in 0..config.requests {
@@ -46,9 +75,16 @@ pub fn run_online(config: &OnlineConfig) -> Result<OnlineReport, EngineError> {
         pipeline.submit(SimTime::from_secs_f64(t));
     }
     pipeline.run_to_completion();
+    let submitted = pipeline.submitted();
     let metrics = pipeline.metrics();
     let mut m = metrics.borrow_mut();
     let makespan = m.last_completion.as_secs_f64().max(1e-9);
+    let resilience = match &fault_state {
+        Some((plan, stats)) => {
+            ResilienceSummary::from_stats(&stats.borrow(), submitted, plan, 1, m.last_completion)
+        }
+        None => ResilienceSummary::healthy(),
+    };
     Ok(OnlineReport {
         completed: m.completed,
         throughput: m.completed as f64 / makespan,
@@ -57,6 +93,7 @@ pub fn run_online(config: &OnlineConfig) -> Result<OnlineReport, EngineError> {
         p95_ms: m.latencies_ms.percentile(95.0),
         p99_ms: m.latencies_ms.percentile(99.0),
         mean_batch: pipeline.mean_batch(),
+        resilience,
     })
 }
 
@@ -71,7 +108,7 @@ pub struct OfflineConfig {
 }
 
 /// Offline scenario results.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct OfflineReport {
     /// Images processed.
     pub images: u64,
@@ -81,6 +118,8 @@ pub struct OfflineReport {
     pub throughput: f64,
     /// Mean dispatched batch size.
     pub mean_batch: f64,
+    /// Resilience metrics (all-zero counters on a healthy run).
+    pub resilience: ResilienceSummary,
 }
 
 /// Run the offline scenario.
@@ -98,6 +137,7 @@ pub fn run_offline(config: &OfflineConfig) -> Result<OfflineReport, EngineError>
         makespan_s: makespan,
         throughput: m.completed as f64 / makespan,
         mean_batch: pipeline.mean_batch(),
+        resilience: ResilienceSummary::healthy(),
     })
 }
 
@@ -118,7 +158,7 @@ pub struct RealTimeConfig {
 }
 
 /// Real-time scenario results.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct RealTimeReport {
     /// Frames offered by the camera.
     pub frames: u32,
@@ -132,22 +172,59 @@ pub struct RealTimeReport {
     pub p99_ms: f64,
     /// Sustained processing rate, frames/second.
     pub sustained_fps: f64,
+    /// Resilience metrics; `resilience.skipped` counts frames the frontend
+    /// shed because the engine was known-down on arrival.
+    pub resilience: ResilienceSummary,
 }
 
 /// Run the real-time scenario.
 pub fn run_realtime(config: &RealTimeConfig) -> Result<RealTimeReport, EngineError> {
+    run_realtime_inner(config, None)
+}
+
+/// Run the real-time scenario under an active fault plan with graceful
+/// degradation: frames arriving while the engine is crashed are skipped at
+/// the frontend (counted in `resilience.skipped`, not submitted), stalled
+/// preprocessing slows survivors (driving deadline misses up), and crashed
+/// in-flight frames are retried so none are lost.
+pub fn run_realtime_degraded(
+    config: &RealTimeConfig,
+    faults: &FaultInjection,
+) -> Result<RealTimeReport, EngineError> {
+    run_realtime_inner(config, Some(faults))
+}
+
+fn run_realtime_inner(
+    config: &RealTimeConfig,
+    faults: Option<&FaultInjection>,
+) -> Result<RealTimeReport, EngineError> {
     let mut pipeline = PipelineSim::new(&config.pipeline)?;
+    let fault_state = faults.map(|f| {
+        let plan = Rc::new(f.plan.clone());
+        let stats = Rc::new(RefCell::new(ResilienceStats::default()));
+        pipeline.set_fault_context(FaultContext::new(plan.clone(), 0, f.policy, stats.clone()));
+        (plan, stats)
+    });
     let period = 1.0 / config.fps;
     let mut dropped = 0u64;
     // Closed-loop backpressure: the camera drops frames when too many are
     // still in flight. The pipeline is deterministic, so completion times
     // are tracked with a serialized-service estimate (arrival or previous
     // completion, whichever is later, plus the batch-1 service time).
-    let service_s = pipeline.preproc_s()
-        + pipeline.engine().batch_latency_s(1).expect("batch 1 fits");
+    let service_s =
+        pipeline.preproc_s() + pipeline.engine().batch_latency_s(1).expect("batch 1 fits");
     let mut est_completions: Vec<f64> = Vec::new();
     for i in 0..config.frames {
         let at = i as f64 * period;
+        // Graceful degradation: a frame offered while the engine is down
+        // is shed immediately instead of queueing up a retry storm — stale
+        // frames are worthless to a closed-loop actuator anyway.
+        if let Some((plan, stats)) = &fault_state {
+            if plan.engine_down(0, SimTime::from_secs_f64(at)) {
+                stats.borrow_mut().skipped += 1;
+                continue;
+            }
+        }
         let in_flight = est_completions.iter().filter(|&&c| c > at).count();
         if in_flight >= config.max_in_flight as usize {
             dropped += 1;
@@ -158,10 +235,17 @@ pub fn run_realtime(config: &RealTimeConfig) -> Result<RealTimeReport, EngineErr
         pipeline.submit(SimTime::from_secs_f64(at));
     }
     pipeline.run_to_completion();
+    let submitted = pipeline.submitted();
     let metrics = pipeline.metrics();
     let mut m = metrics.borrow_mut();
     let misses = m.latencies_ms.count_above(config.deadline_ms) as u64;
     let makespan = m.last_completion.as_secs_f64().max(1e-9);
+    let resilience = match &fault_state {
+        Some((plan, stats)) => {
+            ResilienceSummary::from_stats(&stats.borrow(), submitted, plan, 1, m.last_completion)
+        }
+        None => ResilienceSummary::healthy(),
+    };
     Ok(RealTimeReport {
         frames: config.frames,
         processed: m.completed,
@@ -169,6 +253,7 @@ pub fn run_realtime(config: &RealTimeConfig) -> Result<RealTimeReport, EngineErr
         deadline_misses: misses,
         p99_ms: m.latencies_ms.percentile(99.0),
         sustained_fps: m.completed as f64 / makespan,
+        resilience,
     })
 }
 
@@ -242,7 +327,12 @@ mod tests {
             seed: 3,
         })
         .unwrap();
-        assert!(hi.mean_batch > lo.mean_batch, "{} vs {}", hi.mean_batch, lo.mean_batch);
+        assert!(
+            hi.mean_batch > lo.mean_batch,
+            "{} vs {}",
+            hi.mean_batch,
+            lo.mean_batch
+        );
     }
 
     #[test]
@@ -251,17 +341,32 @@ mod tests {
         // Offline mode has no latency pressure: a generous queue delay lets
         // every batch fill completely.
         pipeline.max_queue_delay = SimTime::from_millis(100);
-        let report = run_offline(&OfflineConfig { pipeline, images: 640 }).unwrap();
+        let report = run_offline(&OfflineConfig {
+            pipeline,
+            images: 640,
+        })
+        .unwrap();
         assert_eq!(report.images, 640);
-        assert!((report.mean_batch - 64.0).abs() < 1.0, "mean batch {}", report.mean_batch);
-        assert!(report.throughput > 1000.0, "offline tput {}", report.throughput);
+        assert!(
+            (report.mean_batch - 64.0).abs() < 1.0,
+            "mean batch {}",
+            report.mean_batch
+        );
+        assert!(
+            report.throughput > 1000.0,
+            "offline tput {}",
+            report.throughput
+        );
     }
 
     #[test]
     fn offline_throughput_is_bounded_by_engine_model() {
         let pipeline = base_pipeline(PlatformId::PitzerV100, ModelId::VitBase, 64);
-        let report = run_offline(&OfflineConfig { pipeline: pipeline.clone(), images: 1280 })
-            .unwrap();
+        let report = run_offline(&OfflineConfig {
+            pipeline: pipeline.clone(),
+            images: 1280,
+        })
+        .unwrap();
         let engine_bound = {
             let e = harvest_engine::Engine::build(
                 ModelId::VitBase,
@@ -272,8 +377,11 @@ mod tests {
             .unwrap();
             e.throughput(64).unwrap()
         };
-        assert!(report.throughput <= engine_bound * 1.01,
-            "{} vs engine bound {engine_bound}", report.throughput);
+        assert!(
+            report.throughput <= engine_bound * 1.01,
+            "{} vs engine bound {engine_bound}",
+            report.throughput
+        );
         assert!(report.throughput > engine_bound * 0.5);
     }
 
@@ -294,6 +402,145 @@ mod tests {
     }
 
     #[test]
+    fn online_faulted_crash_loses_nothing_and_retries() {
+        use harvest_simkit::FaultPlan;
+        let config = OnlineConfig {
+            pipeline: base_pipeline(PlatformId::MriA100, ModelId::VitTiny, 32),
+            arrival_rate: 200.0,
+            requests: 600,
+            seed: 5,
+        };
+        let faults = FaultInjection {
+            plan: FaultPlan::new(9).with_engine_crash(
+                0,
+                SimTime::from_millis(500),
+                SimTime::from_millis(900),
+            ),
+            policy: Default::default(),
+        };
+        let report = run_online_faulted(&config, &faults).unwrap();
+        assert_eq!(report.completed, 600);
+        assert_eq!(report.resilience.lost, 0);
+        assert_eq!(report.resilience.duplicated, 0);
+        assert!(report.resilience.retries > 0, "crash must force retries");
+        assert!(report.resilience.timeouts > 0);
+        assert!(report.resilience.crash_aborts > 0);
+        assert!(report.resilience.availability < 1.0);
+        assert!(report.p99_ms.is_finite());
+    }
+
+    #[test]
+    fn online_faulted_transient_errors_retry_to_completion() {
+        use harvest_simkit::FaultPlan;
+        let config = OnlineConfig {
+            pipeline: base_pipeline(PlatformId::MriA100, ModelId::VitTiny, 32),
+            arrival_rate: 150.0,
+            requests: 400,
+            seed: 6,
+        };
+        let faults = FaultInjection {
+            plan: FaultPlan::new(3).with_transient_errors(0.2),
+            policy: Default::default(),
+        };
+        let report = run_online_faulted(&config, &faults).unwrap();
+        assert_eq!(report.completed, 400);
+        assert_eq!(report.resilience.lost, 0);
+        assert_eq!(report.resilience.duplicated, 0);
+        assert!(
+            report.resilience.transient_errors > 40,
+            "~20% of 400 should fail at least once, got {}",
+            report.resilience.transient_errors
+        );
+        assert_eq!(
+            report.resilience.retries,
+            report.resilience.transient_errors
+        );
+    }
+
+    #[test]
+    fn healthy_faulted_run_matches_plain_run() {
+        let config = OnlineConfig {
+            pipeline: base_pipeline(PlatformId::MriA100, ModelId::VitSmall, 16),
+            arrival_rate: 120.0,
+            requests: 300,
+            seed: 8,
+        };
+        let plain = run_online(&config).unwrap();
+        let faulted = run_online_faulted(&config, &FaultInjection::default()).unwrap();
+        assert_eq!(plain.completed, faulted.completed);
+        assert_eq!(
+            plain.p99_ms, faulted.p99_ms,
+            "empty plan must not perturb timing"
+        );
+        assert_eq!(faulted.resilience.retries, 0);
+        assert_eq!(faulted.resilience.lost, 0);
+    }
+
+    #[test]
+    fn realtime_degraded_skips_frames_during_outage() {
+        use harvest_simkit::FaultPlan;
+        let mut pipeline = base_pipeline(PlatformId::JetsonOrinNano, ModelId::VitTiny, 4);
+        pipeline.max_queue_delay = SimTime::from_millis(1);
+        let config = RealTimeConfig {
+            pipeline,
+            fps: 30.0,
+            frames: 300, // 10 s of camera time
+            deadline_ms: 33.3,
+            max_in_flight: 8,
+        };
+        let faults = FaultInjection {
+            plan: FaultPlan::new(4).with_engine_crash(
+                0,
+                SimTime::from_secs(2),
+                SimTime::from_secs(3),
+            ),
+            policy: Default::default(),
+        };
+        let report = run_realtime_degraded(&config, &faults).unwrap();
+        // One second of a 30 fps camera falls inside the outage.
+        assert_eq!(report.resilience.skipped, 30);
+        assert_eq!(report.resilience.lost, 0);
+        assert_eq!(report.resilience.duplicated, 0);
+        assert_eq!(
+            report.processed + report.dropped + report.resilience.skipped,
+            u64::from(report.frames)
+        );
+    }
+
+    #[test]
+    fn realtime_degraded_stall_drives_deadline_misses() {
+        use harvest_simkit::FaultPlan;
+        let mut pipeline = base_pipeline(PlatformId::JetsonOrinNano, ModelId::VitTiny, 4);
+        pipeline.max_queue_delay = SimTime::from_millis(1);
+        let config = RealTimeConfig {
+            pipeline,
+            fps: 30.0,
+            frames: 300,
+            deadline_ms: 33.3,
+            max_in_flight: 64,
+        };
+        let healthy = run_realtime(&config).unwrap();
+        let faults = FaultInjection {
+            // A 40× preproc stall for 2 s mid-run.
+            plan: FaultPlan::new(4).with_preproc_stall(
+                0,
+                SimTime::from_secs(4),
+                SimTime::from_secs(6),
+                40.0,
+            ),
+            policy: Default::default(),
+        };
+        let degraded = run_realtime_degraded(&config, &faults).unwrap();
+        assert!(degraded.resilience.stalled > 0);
+        assert!(
+            degraded.deadline_misses > healthy.deadline_misses,
+            "stall must cost deadlines: {} vs {}",
+            degraded.deadline_misses,
+            healthy.deadline_misses
+        );
+    }
+
+    #[test]
     fn realtime_overload_drops_frames() {
         // ViT-Base batch-1 on the Jetson takes ~14 ms end to end: a 120 fps
         // camera (8.3 ms period) overruns it, so backpressure must drop
@@ -309,7 +556,11 @@ mod tests {
         })
         .unwrap();
         assert!(report.dropped > 50, "dropped {}", report.dropped);
-        assert!(report.deadline_misses > 0, "misses {}", report.deadline_misses);
+        assert!(
+            report.deadline_misses > 0,
+            "misses {}",
+            report.deadline_misses
+        );
         assert!(report.sustained_fps < 120.0);
     }
 }

@@ -8,6 +8,7 @@
 //! engine bound on the A100.
 
 use crate::batcher::{BatcherConfig, DynamicBatcher, QueuedRequest};
+use crate::resilience::FaultContext;
 use harvest_data::DatasetId;
 use harvest_engine::{Engine, EngineError};
 use harvest_hw::PlatformId;
@@ -15,7 +16,7 @@ use harvest_models::ModelId;
 use harvest_perf::MemoryContext;
 use harvest_preproc::{PreprocCostModel, PreprocMethod};
 use harvest_simkit::{Reservoir, Server, Sim, SimTime};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Pipeline wiring for one (platform, model, dataset) deployment.
@@ -85,6 +86,8 @@ pub struct PipelineCore {
     metrics: Rc<RefCell<Metrics>>,
     preproc_s: f64,
     submitted: u64,
+    engine_backlog: Rc<Cell<u64>>,
+    fault: Option<FaultContext>,
 }
 
 impl PipelineCore {
@@ -106,7 +109,19 @@ impl PipelineCore {
             metrics: Rc::new(RefCell::new(Metrics::default())),
             preproc_s,
             submitted: 0,
+            engine_backlog: Rc::new(Cell::new(0)),
+            fault: None,
         })
+    }
+
+    /// Enable fault-aware operation: preprocessing stalls slow the preproc
+    /// stage, transient errors and engine crashes trigger timeout-detected
+    /// retries with exponential backoff, and completions are conservation-
+    /// checked through the context's shared [`ResilienceStats`].
+    ///
+    /// [`ResilienceStats`]: crate::resilience::ResilienceStats
+    pub fn set_fault_context(&mut self, ctx: FaultContext) {
+        self.fault = Some(ctx);
     }
 
     /// The built engine.
@@ -139,26 +154,55 @@ impl PipelineCore {
         self.preproc_s
     }
 
-    fn hooks(&self) -> DispatchHooks {
+    pub(crate) fn hooks(&self) -> DispatchHooks {
         DispatchHooks {
             batcher: self.batcher.clone(),
             engine: self.engine.clone(),
+            preproc_server: self.preproc_server.clone(),
             engine_server: self.engine_server.clone(),
             metrics: self.metrics.clone(),
+            preproc_s: self.preproc_s,
+            engine_backlog: self.engine_backlog.clone(),
+            fault: self.fault.clone(),
         }
+    }
+
+    /// Requests dispatched to this node's engine and not yet completed (or
+    /// aborted) — the failover router's load signal.
+    pub(crate) fn engine_backlog(&self) -> Rc<Cell<u64>> {
+        self.engine_backlog.clone()
     }
 
     /// Submit one request arriving at `at` (absolute sim time).
     pub fn submit(&mut self, sim: &mut Sim, at: SimTime) {
         let id = self.submitted;
+        self.submit_as(sim, at, id);
+    }
+
+    /// Submit one request arriving at `at` under a caller-assigned id —
+    /// cluster drivers use this to keep ids globally unique so shared
+    /// conservation accounting (and the per-request fault coins) see one
+    /// namespace across nodes.
+    pub fn submit_as(&mut self, sim: &mut Sim, at: SimTime, id: u64) {
         self.submitted += 1;
         let preproc_server = self.preproc_server.clone();
-        let service = SimTime::from_secs_f64(self.preproc_s);
+        // Preprocessing stalls (thermal throttling) multiply the service
+        // time; the factor is sampled at arrival, which keeps it a pure
+        // function of the fault plan.
+        let mut service_s = self.preproc_s;
+        if let Some(ctx) = &self.fault {
+            let slowdown = ctx.plan.preproc_slowdown(ctx.node, at);
+            if slowdown > 1.0 {
+                ctx.stats.borrow_mut().stalled += 1;
+                service_s *= slowdown;
+            }
+        }
+        let service = SimTime::from_secs_f64(service_s);
         let hooks = self.hooks();
         sim.schedule_at(at, move |sim| {
             let hooks = hooks.clone();
             preproc_server.submit(sim, service, move |sim, _stats| {
-                hooks.after_preproc(sim, id, at);
+                hooks.after_preproc(sim, id, at, 0);
             });
         });
     }
@@ -167,7 +211,7 @@ impl PipelineCore {
     pub fn flush(&mut self, sim: &mut Sim) {
         let residual = self.batcher.borrow_mut().flush();
         for batch in residual {
-            self.hooks().dispatch(sim, batch);
+            self.hooks().dispatch_attempt(sim, batch, 0);
         }
     }
 }
@@ -184,7 +228,10 @@ impl PipelineSim {
     /// Build the pipeline; fails if the engine cannot be built at
     /// `max_batch` within the platform's memory budget.
     pub fn new(config: &PipelineConfig) -> Result<Self, EngineError> {
-        Ok(PipelineSim { sim: Sim::new(), core: PipelineCore::new(config)? })
+        Ok(PipelineSim {
+            sim: Sim::new(),
+            core: PipelineCore::new(config)?,
+        })
     }
 
     /// The built engine.
@@ -212,6 +259,11 @@ impl PipelineSim {
         self.core.preproc_s()
     }
 
+    /// Enable fault-aware operation (see [`PipelineCore::set_fault_context`]).
+    pub fn set_fault_context(&mut self, ctx: FaultContext) {
+        self.core.set_fault_context(ctx);
+    }
+
     /// Submit one request arriving at `at` (absolute sim time).
     pub fn submit(&mut self, at: SimTime) {
         self.core.submit(&mut self.sim, at);
@@ -228,29 +280,52 @@ impl PipelineSim {
 
 /// Everything the post-preprocessing event path needs.
 #[derive(Clone)]
-struct DispatchHooks {
+pub(crate) struct DispatchHooks {
     batcher: Rc<RefCell<DynamicBatcher>>,
     engine: Rc<Engine>,
+    preproc_server: Server,
     engine_server: Server,
     metrics: Rc<RefCell<Metrics>>,
+    preproc_s: f64,
+    engine_backlog: Rc<Cell<u64>>,
+    fault: Option<FaultContext>,
 }
 
 impl DispatchHooks {
-    /// Request `id` (which arrived at `arrival`) finished preprocessing.
-    fn after_preproc(&self, sim: &mut Sim, id: u64, arrival: SimTime) {
+    /// Request `id` (which arrived at `arrival`) finished preprocessing
+    /// attempt `attempt`.
+    fn after_preproc(&self, sim: &mut Sim, id: u64, arrival: SimTime, attempt: u32) {
+        // Transient per-request errors (a dropped RPC, a corrupt frame
+        // read) surface at the end of preprocessing and are retried after
+        // exponential backoff. The final budgeted attempt is exempt from
+        // the coin, so the retry loop always terminates with the request
+        // delivered — conservation by construction.
+        if let Some(ctx) = &self.fault {
+            if attempt + 1 < ctx.policy.max_attempts && ctx.plan.transient_failure(id, attempt) {
+                {
+                    let mut s = ctx.stats.borrow_mut();
+                    s.transient_errors += 1;
+                    s.retries += 1;
+                }
+                let delay = ctx.policy.backoff(ctx.plan.seed(), id, attempt);
+                let preproc_server = self.preproc_server.clone();
+                let service = SimTime::from_secs_f64(self.preproc_s);
+                let hooks = self.clone();
+                sim.schedule_in(delay, move |sim| {
+                    preproc_server.submit(sim, service, move |sim, _stats| {
+                        hooks.after_preproc(sim, id, arrival, attempt + 1);
+                    });
+                });
+                return;
+            }
+        }
         let now = sim.now();
-        let maybe_batch = {
-            let mut b = self.batcher.borrow_mut();
-            // The batcher keys requests by id; remember arrival via the
-            // enqueue time of the *original* request: we thread arrival
-            // through a side map encoded in the id — instead, keep it
-            // simple: the batcher's enqueued field stores preproc-done
-            // time; end-to-end latency uses `arrival` captured per id.
-            let _ = now;
-            b.push_with_arrival(id, now, arrival)
-        };
+        let maybe_batch = self
+            .batcher
+            .borrow_mut()
+            .push_with_arrival(id, now, arrival);
         if let Some(batch) = maybe_batch {
-            self.dispatch(sim, batch);
+            self.dispatch_attempt(sim, batch, 0);
         } else {
             // Arm the delay trigger for the (possibly new) queue front.
             let deadline = self.batcher.borrow().next_deadline();
@@ -259,15 +334,16 @@ impl DispatchHooks {
                 sim.schedule_at(at.max(sim.now()), move |sim| {
                     let maybe = hooks.batcher.borrow_mut().poll_deadline(sim.now());
                     if let Some(batch) = maybe {
-                        hooks.dispatch(sim, batch);
+                        hooks.dispatch_attempt(sim, batch, 0);
                     }
                 });
             }
         }
     }
 
-    /// Send a batch to an engine instance.
-    fn dispatch(&self, sim: &mut Sim, batch: Vec<QueuedRequest>) {
+    /// Send a batch to an engine instance; `attempt` counts re-dispatches
+    /// after crash aborts.
+    pub(crate) fn dispatch_attempt(&self, sim: &mut Sim, batch: Vec<QueuedRequest>, attempt: u32) {
         if batch.is_empty() {
             return;
         }
@@ -277,20 +353,67 @@ impl DispatchHooks {
             .batch_latency_s(bs)
             .expect("batcher never exceeds engine max batch");
         let metrics = self.metrics.clone();
-        self.engine_server.submit(
-            sim,
-            SimTime::from_secs_f64(latency),
-            move |sim, _stats| {
+        let fault = self.fault.clone();
+        let hooks = self.clone();
+        self.engine_backlog
+            .set(self.engine_backlog.get() + batch.len() as u64);
+        self.engine_server
+            .submit(sim, SimTime::from_secs_f64(latency), move |sim, stats| {
                 let now = sim.now();
+                hooks
+                    .engine_backlog
+                    .set(hooks.engine_backlog.get() - batch.len() as u64);
+                // Engine-crash windows abort in-flight service: the result
+                // is discarded, the client notices via timeout, and the
+                // batch is retried (failing over to a sibling node when a
+                // router is installed). Attempts past the budget run in
+                // drain mode — scheduled after the engine recovers and
+                // exempt from the crash check — so work is never lost.
+                if let Some(ctx) = &fault {
+                    if attempt < ctx.policy.max_attempts {
+                        if let Some((fail_at, resume_at)) =
+                            ctx.plan
+                                .engine_crash_in(ctx.node, stats.started, stats.finished)
+                        {
+                            {
+                                let mut s = ctx.stats.borrow_mut();
+                                s.crash_aborts += 1;
+                                s.timeouts += batch.len() as u64;
+                                s.retries += batch.len() as u64;
+                            }
+                            let key = batch.first().map(|r| r.id).unwrap_or(0);
+                            let detect = now.max(fail_at + ctx.policy.timeout);
+                            let backoff = ctx.policy.backoff(ctx.plan.seed(), key, attempt);
+                            let router = ctx.failover.borrow().clone();
+                            let node = ctx.node;
+                            match router {
+                                Some(route) => {
+                                    sim.schedule_at(detect.max(now), move |sim| {
+                                        route(sim, batch, node, attempt + 1);
+                                    });
+                                }
+                                None => {
+                                    let at = (detect + backoff).max(resume_at);
+                                    sim.schedule_at(at.max(now), move |sim| {
+                                        hooks.dispatch_attempt(sim, batch, attempt + 1);
+                                    });
+                                }
+                            }
+                            return;
+                        }
+                    }
+                }
                 let mut m = metrics.borrow_mut();
                 for req in &batch {
                     let e2e = now - req.arrival();
                     m.latencies_ms.push(e2e.as_millis_f64());
                     m.completed += 1;
+                    if let Some(ctx) = &fault {
+                        ctx.stats.borrow_mut().record_completion(req.id);
+                    }
                 }
                 m.last_completion = now;
-            },
-        );
+            });
     }
 }
 
@@ -347,7 +470,11 @@ mod tests {
             p.submit(SimTime::ZERO);
         }
         p.run_to_completion();
-        assert!((p.mean_batch() - 8.0).abs() < 0.6, "mean batch {}", p.mean_batch());
+        assert!(
+            (p.mean_batch() - 8.0).abs() < 0.6,
+            "mean batch {}",
+            p.mean_batch()
+        );
     }
 
     #[test]

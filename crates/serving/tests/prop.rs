@@ -64,6 +64,87 @@ proptest! {
     }
 
     #[test]
+    fn arbitrary_interleavings_conserve_and_preserve_fifo(
+        // (time delta µs, is_push) op stream: pushes and polls interleave in
+        // any order the DES driver could produce.
+        ops in proptest::collection::vec((0u64..2_000, any::<bool>()), 1..300),
+        preferred in 1u32..12,
+        delay_us in 10u64..3_000,
+    ) {
+        let mut b = DynamicBatcher::new(BatcherConfig {
+            preferred_batch: preferred,
+            max_queue_delay: SimTime::from_micros(delay_us),
+        });
+        let mut now_us = 0u64;
+        let mut next_id = 0u64;
+        let mut dispatched: Vec<u64> = Vec::new();
+        for &(dt, is_push) in &ops {
+            now_us += dt;
+            let now = SimTime::from_micros(now_us);
+            if is_push {
+                if let Some(batch) = b.push(next_id, now) {
+                    prop_assert_eq!(batch.len(), preferred as usize);
+                    dispatched.extend(batch.iter().map(|r| r.id));
+                }
+                next_id += 1;
+            } else {
+                while let Some(batch) = b.poll_deadline(now) {
+                    prop_assert!(!batch.is_empty());
+                    prop_assert!(batch.len() <= preferred as usize);
+                    dispatched.extend(batch.iter().map(|r| r.id));
+                }
+                // Once polled dry, nothing left in the queue is overdue:
+                // the (FIFO-oldest) front's deadline must be in the future.
+                if let Some(deadline) = b.next_deadline() {
+                    prop_assert!(
+                        deadline > now,
+                        "overdue request survived a poll: deadline {:?} <= now {:?}",
+                        deadline,
+                        now
+                    );
+                }
+            }
+            // Invariant at every step: what went in is either dispatched or
+            // still queued — never lost, never duplicated.
+            prop_assert_eq!(
+                b.dispatched_requests() + b.queued() as u64,
+                next_id,
+                "pushes {} != dispatched {} + queued {}",
+                next_id,
+                b.dispatched_requests(),
+                b.queued()
+            );
+            prop_assert_eq!(b.dispatched_requests(), dispatched.len() as u64);
+        }
+        for batch in b.flush() {
+            dispatched.extend(batch.iter().map(|r| r.id));
+        }
+        // Global conservation + strict FIFO: ids come out exactly once, in
+        // push order, across every size/deadline trigger interleaving.
+        let expected: Vec<u64> = (0..next_id).collect();
+        prop_assert_eq!(dispatched, expected);
+        prop_assert_eq!(b.queued(), 0);
+    }
+
+    #[test]
+    fn dispatched_requests_tracks_pushes_minus_queued(
+        pushes in 0u64..400,
+        preferred in 1u32..16,
+    ) {
+        let mut b = DynamicBatcher::new(BatcherConfig {
+            preferred_batch: preferred,
+            max_queue_delay: SimTime::from_millis(10),
+        });
+        for i in 0..pushes {
+            let _ = b.push(i, SimTime::ZERO);
+        }
+        prop_assert_eq!(b.dispatched_requests() + b.queued() as u64, pushes);
+        // Size-trigger arithmetic: everything beyond the last full batch is
+        // still waiting.
+        prop_assert_eq!(b.queued() as u64, pushes % u64::from(preferred));
+    }
+
+    #[test]
     fn mean_batch_is_within_bounds(
         n in 1u64..500,
         preferred in 1u32..32,

@@ -1,0 +1,480 @@
+//! Deterministic fault injection for the DES core.
+//!
+//! A [`FaultPlan`] is a seeded, schedulable description of everything that
+//! can go wrong in a simulated serving deployment:
+//!
+//! * **engine crashes** — per-node windows during which the model engine is
+//!   down; work in flight when a window opens is lost and must be retried;
+//! * **preprocessing stalls** — per-node windows during which decode/resize
+//!   runs `slowdown`× slower (thermal throttling on Jetson-class devices);
+//! * **link degradation** — windows during which the frontend's per-request
+//!   dispatch cost is multiplied (a congested or flapping uplink);
+//! * **transient per-request errors** — each (request, attempt) pair fails
+//!   with a fixed probability.
+//!
+//! Everything is a pure function of the plan: window queries are lookups and
+//! the transient-error coin is a hash of `(seed, request id, attempt)`, not
+//! a draw from a shared stream. That makes every fault decision independent
+//! of event-loop interleaving, so a chaos run is exactly as bit-reproducible
+//! as a healthy one — which is what turns chaos testing into assertable
+//! regression tests.
+
+use crate::time::SimTime;
+
+/// A half-open time window `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// When the fault begins.
+    pub start: SimTime,
+    /// When the fault clears (exclusive).
+    pub end: SimTime,
+}
+
+impl FaultWindow {
+    /// Build a window; `end` must be after `start`.
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        assert!(end > start, "fault window must have positive duration");
+        FaultWindow { start, end }
+    }
+
+    /// Does the window cover instant `at`?
+    #[inline]
+    pub fn covers(&self, at: SimTime) -> bool {
+        self.start <= at && at < self.end
+    }
+
+    /// Does the window intersect the half-open span `[from, to)`?
+    #[inline]
+    pub fn intersects(&self, from: SimTime, to: SimTime) -> bool {
+        self.start < to && from < self.end
+    }
+
+    /// Window length.
+    #[inline]
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// An engine-crash window on one node.
+#[derive(Clone, Copy, Debug)]
+struct EngineCrash {
+    node: u32,
+    window: FaultWindow,
+}
+
+/// A preprocessing stall window on one node.
+#[derive(Clone, Copy, Debug)]
+struct PreprocStall {
+    node: u32,
+    window: FaultWindow,
+    slowdown: f64,
+}
+
+/// A frontend-link degradation window (cluster-wide).
+#[derive(Clone, Copy, Debug)]
+struct LinkDegradation {
+    window: FaultWindow,
+    factor: f64,
+}
+
+/// The deterministic fault schedule. See the module docs for semantics.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    engine_crashes: Vec<EngineCrash>,
+    preproc_stalls: Vec<PreprocStall>,
+    link_degradations: Vec<LinkDegradation>,
+    transient_error_rate: f64,
+}
+
+impl FaultPlan {
+    /// An empty plan: nothing ever fails.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// An empty plan with a seed for the transient-error coin and any
+    /// randomized schedule generation.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if any fault is scheduled or possible.
+    pub fn is_active(&self) -> bool {
+        !self.engine_crashes.is_empty()
+            || !self.preproc_stalls.is_empty()
+            || !self.link_degradations.is_empty()
+            || self.transient_error_rate > 0.0
+    }
+
+    /// Schedule an engine crash on `node` over `[start, end)`.
+    pub fn with_engine_crash(mut self, node: u32, start: SimTime, end: SimTime) -> Self {
+        self.engine_crashes.push(EngineCrash {
+            node,
+            window: FaultWindow::new(start, end),
+        });
+        self
+    }
+
+    /// Schedule a preprocessing stall on `node` over `[start, end)`:
+    /// preprocessing started inside the window takes `slowdown`× as long.
+    pub fn with_preproc_stall(
+        mut self,
+        node: u32,
+        start: SimTime,
+        end: SimTime,
+        slowdown: f64,
+    ) -> Self {
+        assert!(slowdown >= 1.0, "stall slowdown must be >= 1");
+        self.preproc_stalls.push(PreprocStall {
+            node,
+            window: FaultWindow::new(start, end),
+            slowdown,
+        });
+        self
+    }
+
+    /// Schedule a link degradation over `[start, end)`: frontend dispatch
+    /// overhead is multiplied by `factor`.
+    pub fn with_link_degradation(mut self, start: SimTime, end: SimTime, factor: f64) -> Self {
+        assert!(factor >= 1.0, "link degradation factor must be >= 1");
+        self.link_degradations.push(LinkDegradation {
+            window: FaultWindow::new(start, end),
+            factor,
+        });
+        self
+    }
+
+    /// Make every (request, attempt) fail independently with probability
+    /// `rate`, decided by a hash of `(seed, id, attempt)`.
+    pub fn with_transient_errors(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "transient error rate must be in [0, 1)"
+        );
+        self.transient_error_rate = rate;
+        self
+    }
+
+    /// Schedule `crashes` evenly-spread engine crash windows of length
+    /// `downtime` per node across `[0, horizon)`, with deterministic
+    /// seed-derived phase jitter so nodes don't fail in lockstep.
+    pub fn with_periodic_engine_crashes(
+        mut self,
+        nodes: u32,
+        crashes: u32,
+        horizon: SimTime,
+        downtime: SimTime,
+    ) -> Self {
+        assert!(crashes > 0 && nodes > 0);
+        let period = SimTime::from_nanos(horizon.as_nanos() / crashes as u64);
+        assert!(
+            period > downtime,
+            "downtime must fit inside the crash period"
+        );
+        let slack = period.as_nanos() - downtime.as_nanos();
+        for node in 0..nodes {
+            for k in 0..crashes {
+                // Deterministic per-(node, crash) phase inside the period.
+                let phase = hash3(self.seed, node as u64, k as u64) % slack.max(1);
+                let start = SimTime::from_nanos(period.as_nanos() * k as u64 + phase.max(1));
+                self = self.with_engine_crash(node, start, start + downtime);
+            }
+        }
+        self
+    }
+
+    /// Is `node`'s engine down at instant `at`?
+    pub fn engine_down(&self, node: u32, at: SimTime) -> bool {
+        self.engine_crashes
+            .iter()
+            .any(|c| c.node == node && c.window.covers(at))
+    }
+
+    /// First crash window on `node` intersecting the service span
+    /// `[from, to)`, as `(fail_at, resume_at)`: the work fails at `fail_at`
+    /// (window start, clamped to `from`) and the engine is next up at
+    /// `resume_at` (chained across overlapping/adjacent windows).
+    pub fn engine_crash_in(
+        &self,
+        node: u32,
+        from: SimTime,
+        to: SimTime,
+    ) -> Option<(SimTime, SimTime)> {
+        let first = self
+            .engine_crashes
+            .iter()
+            .filter(|c| c.node == node && c.window.intersects(from, to))
+            .min_by_key(|c| c.window.start)?;
+        let fail_at = first.window.start.max(from);
+        Some((fail_at, self.engine_up_after(node, first.window.end)))
+    }
+
+    /// Earliest instant `>= at` when `node`'s engine is up, chaining
+    /// through any windows that cover the candidate instant.
+    pub fn engine_up_after(&self, node: u32, at: SimTime) -> SimTime {
+        let mut t = at;
+        loop {
+            match self
+                .engine_crashes
+                .iter()
+                .filter(|c| c.node == node && c.window.covers(t))
+                .map(|c| c.window.end)
+                .max()
+            {
+                Some(end) => t = end,
+                None => return t,
+            }
+        }
+    }
+
+    /// Preprocessing slowdown factor on `node` at instant `at` (the max of
+    /// all covering stall windows; `1.0` when healthy).
+    pub fn preproc_slowdown(&self, node: u32, at: SimTime) -> f64 {
+        self.preproc_stalls
+            .iter()
+            .filter(|s| s.node == node && s.window.covers(at))
+            .map(|s| s.slowdown)
+            .fold(1.0, f64::max)
+    }
+
+    /// Frontend dispatch-cost multiplier at instant `at` (`1.0` when the
+    /// link is healthy).
+    pub fn link_factor(&self, at: SimTime) -> f64 {
+        self.link_degradations
+            .iter()
+            .filter(|l| l.window.covers(at))
+            .map(|l| l.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Does attempt `attempt` of request `id` fail transiently? Pure hash
+    /// coin — independent of call order, so chaos runs stay bit-reproducible.
+    pub fn transient_failure(&self, id: u64, attempt: u32) -> bool {
+        if self.transient_error_rate <= 0.0 {
+            return false;
+        }
+        let h = hash3(self.seed, id, attempt as u64);
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < self.transient_error_rate
+    }
+
+    /// Deterministic backoff jitter in `[0, 1)` for `(id, attempt)`, for
+    /// retry scheduling that neither synchronizes retries nor perturbs any
+    /// other consumer's randomness.
+    pub fn backoff_jitter(&self, id: u64, attempt: u32) -> f64 {
+        let h = hash3(self.seed ^ 0xD6E8_FEB8_6659_FD93, id, attempt as u64);
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Total engine downtime on `node` overlapping `[0, until)`.
+    pub fn engine_downtime(&self, node: u32, until: SimTime) -> SimTime {
+        // Merge overlapping windows so chained crashes aren't double-counted.
+        let mut windows: Vec<FaultWindow> = self
+            .engine_crashes
+            .iter()
+            .filter(|c| c.node == node && c.window.start < until)
+            .map(|c| FaultWindow {
+                start: c.window.start,
+                end: c.window.end.min(until),
+            })
+            .collect();
+        windows.sort_by_key(|w| w.start);
+        let mut total = SimTime::ZERO;
+        let mut current: Option<FaultWindow> = None;
+        for w in windows {
+            match &mut current {
+                Some(c) if w.start <= c.end => c.end = c.end.max(w.end),
+                Some(c) => {
+                    total += c.duration();
+                    current = Some(w);
+                }
+                None => current = Some(w),
+            }
+        }
+        if let Some(c) = current {
+            total += c.duration();
+        }
+        total
+    }
+
+    /// Fraction of `[0, until)` during which `node`'s engine was up.
+    pub fn engine_availability(&self, node: u32, until: SimTime) -> f64 {
+        if until == SimTime::ZERO {
+            return 1.0;
+        }
+        let down = self.engine_downtime(node, until).as_secs_f64();
+        (1.0 - down / until.as_secs_f64()).max(0.0)
+    }
+}
+
+/// SplitMix64-style 3-word hash used for the order-independent fault coins.
+fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        assert!(!plan.engine_down(0, ms(5)));
+        assert_eq!(plan.engine_crash_in(0, ms(0), ms(100)), None);
+        assert_eq!(plan.preproc_slowdown(0, ms(5)), 1.0);
+        assert_eq!(plan.link_factor(ms(5)), 1.0);
+        assert!(!plan.transient_failure(42, 0));
+        assert_eq!(plan.engine_availability(0, ms(100)), 1.0);
+    }
+
+    #[test]
+    fn crash_windows_are_half_open() {
+        let plan = FaultPlan::new(1).with_engine_crash(0, ms(10), ms(20));
+        assert!(!plan.engine_down(0, ms(9)));
+        assert!(plan.engine_down(0, ms(10)));
+        assert!(plan.engine_down(0, ms(19)));
+        assert!(!plan.engine_down(0, ms(20)));
+        assert!(!plan.engine_down(1, ms(15)), "other nodes unaffected");
+    }
+
+    #[test]
+    fn crash_in_span_reports_fail_and_resume() {
+        let plan = FaultPlan::new(1).with_engine_crash(0, ms(10), ms(20));
+        // Span straddles the window start: fails at window start.
+        assert_eq!(
+            plan.engine_crash_in(0, ms(5), ms(15)),
+            Some((ms(10), ms(20)))
+        );
+        // Span begins inside the window: fails immediately.
+        assert_eq!(
+            plan.engine_crash_in(0, ms(12), ms(30)),
+            Some((ms(12), ms(20)))
+        );
+        // Span entirely before/after: no crash.
+        assert_eq!(plan.engine_crash_in(0, ms(0), ms(10)), None);
+        assert_eq!(plan.engine_crash_in(0, ms(20), ms(30)), None);
+    }
+
+    #[test]
+    fn resume_chains_through_overlapping_windows() {
+        let plan = FaultPlan::new(1)
+            .with_engine_crash(0, ms(10), ms(20))
+            .with_engine_crash(0, ms(18), ms(25))
+            .with_engine_crash(0, ms(25), ms(30));
+        let (fail_at, resume_at) = plan.engine_crash_in(0, ms(5), ms(15)).unwrap();
+        assert_eq!(fail_at, ms(10));
+        assert_eq!(resume_at, ms(30), "chained across all three windows");
+    }
+
+    #[test]
+    fn downtime_merges_overlaps_and_clips() {
+        let plan = FaultPlan::new(1)
+            .with_engine_crash(0, ms(10), ms(20))
+            .with_engine_crash(0, ms(15), ms(25))
+            .with_engine_crash(0, ms(40), ms(60));
+        assert_eq!(plan.engine_downtime(0, ms(50)), ms(25)); // 10..25 + 40..50
+        let avail = plan.engine_availability(0, ms(100));
+        assert!(
+            (avail - 0.65).abs() < 1e-9,
+            "downtime 35/100, avail {avail}"
+        );
+    }
+
+    #[test]
+    fn stall_and_link_factors_compose_by_max() {
+        let plan = FaultPlan::new(1)
+            .with_preproc_stall(0, ms(0), ms(50), 3.0)
+            .with_preproc_stall(0, ms(30), ms(60), 5.0)
+            .with_link_degradation(ms(10), ms(20), 8.0);
+        assert_eq!(plan.preproc_slowdown(0, ms(40)), 5.0);
+        assert_eq!(plan.preproc_slowdown(0, ms(10)), 3.0);
+        assert_eq!(plan.preproc_slowdown(0, ms(70)), 1.0);
+        assert_eq!(plan.link_factor(ms(15)), 8.0);
+        assert_eq!(plan.link_factor(ms(25)), 1.0);
+    }
+
+    #[test]
+    fn transient_coin_is_order_independent_and_calibrated() {
+        let plan = FaultPlan::new(7).with_transient_errors(0.25);
+        // Same (id, attempt) always gives the same answer.
+        for id in 0..100u64 {
+            assert_eq!(plan.transient_failure(id, 0), plan.transient_failure(id, 0));
+        }
+        // Rate is roughly honored over many ids.
+        let fails = (0..100_000u64)
+            .filter(|&id| plan.transient_failure(id, 0))
+            .count();
+        assert!(
+            (fails as f64 / 1e5 - 0.25).abs() < 0.01,
+            "rate {}",
+            fails as f64 / 1e5
+        );
+        // Different attempts are independent coins.
+        let both = (0..10_000u64)
+            .filter(|&id| plan.transient_failure(id, 0) && plan.transient_failure(id, 1))
+            .count();
+        assert!(
+            (both as f64 / 1e4 - 0.0625).abs() < 0.01,
+            "joint {}",
+            both as f64 / 1e4
+        );
+    }
+
+    #[test]
+    fn seeds_decorrelate_plans() {
+        let a = FaultPlan::new(1).with_transient_errors(0.5);
+        let b = FaultPlan::new(2).with_transient_errors(0.5);
+        let agree = (0..1000u64)
+            .filter(|&id| a.transient_failure(id, 0) == b.transient_failure(id, 0))
+            .count();
+        assert!(agree > 300 && agree < 700, "agreement {agree}/1000");
+    }
+
+    #[test]
+    fn periodic_crashes_fill_the_horizon() {
+        let plan = FaultPlan::new(3).with_periodic_engine_crashes(2, 4, ms(1000), ms(50));
+        for node in 0..2 {
+            let down = plan.engine_downtime(node, ms(1000));
+            assert_eq!(down, ms(200), "node {node} downtime {down:?}");
+        }
+        // Phase jitter: the two nodes should not crash at identical times.
+        let same = (0..1000)
+            .filter(|&i| {
+                let t = ms(i);
+                plan.engine_down(0, t) == plan.engine_down(1, t)
+            })
+            .count();
+        assert!(same < 1000, "nodes crash in lockstep");
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_in_unit_interval() {
+        let plan = FaultPlan::new(11);
+        for id in 0..100 {
+            let j = plan.backoff_jitter(id, 3);
+            assert!((0.0..1.0).contains(&j));
+            assert_eq!(j, plan.backoff_jitter(id, 3));
+        }
+    }
+}

@@ -15,17 +15,22 @@
 //!   compute engines, copy engines and CPU pools).
 //! * [`stats`] — streaming moments, percentile reservoirs and fixed-width
 //!   histograms for latency/throughput accounting.
+//! * [`fault`] — seeded, schedulable fault plans (engine crashes, preproc
+//!   stalls, link degradation, transient errors) whose every decision is a
+//!   pure function of the plan, keeping chaos runs bit-reproducible.
 //!
 //! The simulator is single-threaded by design: determinism matters more than
 //! parallel speed here, and every experiment in the paper fits comfortably in
 //! one core once the heavy numeric work is delegated to analytic models.
 
+pub mod fault;
 pub mod rng;
 pub mod server;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use fault::{FaultPlan, FaultWindow};
 pub use rng::SimRng;
 pub use server::{JobStats, Server};
 pub use stats::{Histogram, Reservoir, Streaming};
@@ -94,7 +99,12 @@ impl Default for Sim {
 impl Sim {
     /// Create an empty simulator with the clock at zero.
     pub fn new() -> Self {
-        Sim { now: SimTime::ZERO, seq: 0, fired: 0, queue: BinaryHeap::new() }
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            fired: 0,
+            queue: BinaryHeap::new(),
+        }
     }
 
     /// Current simulated time.
@@ -120,10 +130,18 @@ impl Sim {
     /// Scheduling into the past is a logic error and panics: it would break
     /// the monotone-clock invariant every consumer relies on.
     pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim) + 'static) {
-        assert!(at >= self.now, "schedule_at({at:?}) is before now ({:?})", self.now);
+        assert!(
+            at >= self.now,
+            "schedule_at({at:?}) is before now ({:?})",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, action: Box::new(action) }));
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        }));
     }
 
     /// Schedule `action` to fire `delay` after the current time.
@@ -192,7 +210,9 @@ mod tests {
         let order = Rc::new(RefCell::new(Vec::new()));
         for (label, ms) in [(b'c', 30u64), (b'a', 10), (b'b', 20)] {
             let order = order.clone();
-            sim.schedule_at(SimTime::from_millis(ms), move |_| order.borrow_mut().push(label));
+            sim.schedule_at(SimTime::from_millis(ms), move |_| {
+                order.borrow_mut().push(label)
+            });
         }
         sim.run();
         assert_eq!(*order.borrow(), vec![b'a', b'b', b'c']);
@@ -223,7 +243,10 @@ mod tests {
             });
         });
         sim.run();
-        assert_eq!(*hits.borrow(), vec![SimTime::from_millis(1), SimTime::from_millis(3)]);
+        assert_eq!(
+            *hits.borrow(),
+            vec![SimTime::from_millis(1), SimTime::from_millis(3)]
+        );
     }
 
     #[test]

@@ -116,7 +116,11 @@ impl Server {
         service: SimTime,
         on_done: impl FnOnce(&mut Sim, JobStats) + 'static,
     ) {
-        let job = Pending { service, submitted: sim.now(), on_done: Box::new(on_done) };
+        let job = Pending {
+            service,
+            submitted: sim.now(),
+            on_done: Box::new(on_done),
+        };
         {
             let mut inner = self.inner.borrow_mut();
             inner.queue.push_back(job);
@@ -154,8 +158,11 @@ impl Server {
                     inner.completed += 1;
                     inner.busy_time += job.service;
                 }
-                let stats =
-                    JobStats { submitted: job.submitted, started, finished: sim.now() };
+                let stats = JobStats {
+                    submitted: job.submitted,
+                    started,
+                    finished: sim.now(),
+                };
                 (job.on_done)(sim, stats);
                 this.try_dispatch(sim);
             });

@@ -17,7 +17,13 @@ pub struct Streaming {
 impl Streaming {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Streaming { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Streaming {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one observation.
@@ -100,7 +106,10 @@ pub struct Reservoir {
 impl Reservoir {
     /// Empty reservoir.
     pub fn new() -> Self {
-        Reservoir { samples: Vec::new(), sorted: true }
+        Reservoir {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Record one observation.
@@ -125,7 +134,8 @@ impl Reservoir {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
     }
@@ -179,7 +189,13 @@ impl Histogram {
     /// `n` equal-width buckets spanning `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, n: usize) -> Self {
         assert!(hi > lo && n > 0);
-        Histogram { lo, hi, buckets: vec![0; n], below: 0, above: 0 }
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            below: 0,
+            above: 0,
+        }
     }
 
     /// Record one observation.
@@ -237,7 +253,10 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.buckets.len()];
         }
-        self.buckets.iter().map(|&c| c as f64 / total as f64).collect()
+        self.buckets
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 }
 

@@ -35,7 +35,9 @@ impl Timeline {
 
     /// Record an event.
     pub fn record(&self, at: SimTime, track: u64, label: &'static str) {
-        self.events.borrow_mut().push(TraceEvent { at, track, label });
+        self.events
+            .borrow_mut()
+            .push(TraceEvent { at, track, label });
     }
 
     /// Number of recorded events.
@@ -50,7 +52,12 @@ impl Timeline {
 
     /// All events on one track, in recording order.
     pub fn track(&self, track: u64) -> Vec<TraceEvent> {
-        self.events.borrow().iter().filter(|e| e.track == track).cloned().collect()
+        self.events
+            .borrow()
+            .iter()
+            .filter(|e| e.track == track)
+            .cloned()
+            .collect()
     }
 
     /// Duration between the first `from` and the first subsequent `to`
@@ -64,7 +71,11 @@ impl Timeline {
 
     /// Count events with a given label across all tracks.
     pub fn count(&self, label: &str) -> usize {
-        self.events.borrow().iter().filter(|e| e.label == label).count()
+        self.events
+            .borrow()
+            .iter()
+            .filter(|e| e.label == label)
+            .count()
     }
 
     /// Render a compact per-track text timeline (sorted by time), capped at

@@ -35,7 +35,10 @@ pub fn multi_head_attention(
     w: &AttentionWeights<'_>,
 ) -> Vec<f32> {
     assert_eq!(x.len(), seq * dim);
-    assert!(heads > 0 && dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
+    assert!(
+        heads > 0 && dim.is_multiple_of(heads),
+        "dim {dim} not divisible by heads {heads}"
+    );
     assert_eq!(w.w_qkv.len(), 3 * dim * dim);
     assert_eq!(w.w_out.len(), dim * dim);
     let head_dim = dim / heads;
@@ -129,8 +132,12 @@ mod tests {
         let x: Vec<f32> = (0..seq).flat_map(|_| row.clone()).collect();
         let w_qkv = identity_qkv(dim);
         let w_out = identity(dim);
-        let weights =
-            AttentionWeights { w_qkv: &w_qkv, b_qkv: &[], w_out: &w_out, b_out: &[] };
+        let weights = AttentionWeights {
+            w_qkv: &w_qkv,
+            b_qkv: &[],
+            w_out: &w_out,
+            b_out: &[],
+        };
         let y = multi_head_attention(&x, seq, dim, heads, &weights);
         for s in 0..seq {
             for j in 0..dim {
@@ -144,16 +151,25 @@ mod tests {
         // With identity QKV/out, each output row is a softmax-weighted convex
         // combination of input rows — so it must lie inside the input range.
         let (seq, dim, heads) = (6, 4, 1);
-        let x: Vec<f32> =
-            (0..seq * dim).map(|i| ((i * 37 % 17) as f32 / 17.0) * 2.0 - 1.0).collect();
+        let x: Vec<f32> = (0..seq * dim)
+            .map(|i| ((i * 37 % 17) as f32 / 17.0) * 2.0 - 1.0)
+            .collect();
         let w_qkv = identity_qkv(dim);
         let w_out = identity(dim);
-        let weights =
-            AttentionWeights { w_qkv: &w_qkv, b_qkv: &[], w_out: &w_out, b_out: &[] };
+        let weights = AttentionWeights {
+            w_qkv: &w_qkv,
+            b_qkv: &[],
+            w_out: &w_out,
+            b_out: &[],
+        };
         let y = multi_head_attention(&x, seq, dim, heads, &weights);
         for j in 0..dim {
-            let col_min = (0..seq).map(|s| x[s * dim + j]).fold(f32::INFINITY, f32::min);
-            let col_max = (0..seq).map(|s| x[s * dim + j]).fold(f32::NEG_INFINITY, f32::max);
+            let col_min = (0..seq)
+                .map(|s| x[s * dim + j])
+                .fold(f32::INFINITY, f32::min);
+            let col_max = (0..seq)
+                .map(|s| x[s * dim + j])
+                .fold(f32::NEG_INFINITY, f32::max);
             for s in 0..seq {
                 let v = y[s * dim + j];
                 assert!(
@@ -172,8 +188,12 @@ mod tests {
         let x: Vec<f32> = (0..seq).flat_map(|_| row.clone()).collect();
         let w_qkv = identity_qkv(dim);
         let w_out = identity(dim);
-        let weights =
-            AttentionWeights { w_qkv: &w_qkv, b_qkv: &[], w_out: &w_out, b_out: &[] };
+        let weights = AttentionWeights {
+            w_qkv: &w_qkv,
+            b_qkv: &[],
+            w_out: &w_out,
+            b_out: &[],
+        };
         let y1 = multi_head_attention(&x, seq, dim, 1, &weights);
         let y3 = multi_head_attention(&x, seq, dim, 3, &weights);
         for (a, b) in y1.iter().zip(&y3) {
@@ -193,8 +213,12 @@ mod tests {
             *b = 1.0;
         }
         let b_out = vec![10.0f32; dim];
-        let weights =
-            AttentionWeights { w_qkv: &w_qkv, b_qkv: &b_qkv, w_out: &w_out, b_out: &b_out };
+        let weights = AttentionWeights {
+            w_qkv: &w_qkv,
+            b_qkv: &b_qkv,
+            w_out: &w_out,
+            b_out: &b_out,
+        };
         let y = multi_head_attention(&x, seq, dim, heads, &weights);
         assert!(y.iter().all(|&v| (v - 11.0).abs() < 1e-5), "{y:?}");
     }

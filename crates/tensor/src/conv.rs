@@ -132,9 +132,7 @@ pub fn max_pool2d(
     let oh = conv_out_dim(h, kernel, stride, pad);
     let ow = conv_out_dim(w, kernel, stride, pad);
     let mut out = vec![0.0f32; n * c * oh * ow];
-    for (plane_in, plane_out) in
-        input.chunks_exact(h * w).zip(out.chunks_exact_mut(oh * ow))
-    {
+    for (plane_in, plane_out) in input.chunks_exact(h * w).zip(out.chunks_exact_mut(oh * ow)) {
         for oy in 0..oh {
             for ox in 0..ow {
                 let mut best = f32::NEG_INFINITY;

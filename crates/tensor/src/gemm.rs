@@ -170,7 +170,9 @@ mod tests {
         let mut state = seed;
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
             })
             .collect()
@@ -208,7 +210,13 @@ mod tests {
     #[test]
     fn blocked_matches_naive_awkward_shapes() {
         // Shapes chosen to exercise partial blocks in every dimension.
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 257, 33), (70, 300, 520), (128, 128, 128)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (65, 257, 33),
+            (70, 300, 520),
+            (128, 128, 128),
+        ] {
             let a = rand_vec(m * k, 11);
             let b = rand_vec(k * n, 13);
             let mut c_ref = vec![0.0; m * n];
@@ -236,7 +244,7 @@ mod tests {
         let (m, k, n) = (9, 17, 5);
         let a = rand_vec(m * k, 31);
         let b_t = rand_vec(n * k, 33); // n×k
-        // Build b = transpose(b_t): k×n
+                                       // Build b = transpose(b_t): k×n
         let mut b = vec![0.0; k * n];
         for j in 0..n {
             for p in 0..k {

@@ -78,7 +78,10 @@ pub fn resize_bilinear(
             .zip(out.par_chunks_exact_mut(oh * ow))
             .for_each(per_plane);
     } else {
-        input.chunks_exact(h * w).zip(out.chunks_exact_mut(oh * ow)).for_each(per_plane);
+        input
+            .chunks_exact(h * w)
+            .zip(out.chunks_exact_mut(oh * ow))
+            .for_each(per_plane);
     }
     out
 }
@@ -145,7 +148,17 @@ impl Homography {
     /// controls tilt strength (0 = identity), heights are of the *output*.
     pub fn ground_vehicle_tilt(k: f32, out_h: usize) -> Self {
         // Perspective term along y: x' = x + k·shear, w' = 1 + k·y/out_h.
-        Homography([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, k / out_h.max(1) as f32, 1.0])
+        Homography([
+            1.0,
+            0.0,
+            0.0,
+            0.0,
+            1.0,
+            0.0,
+            0.0,
+            k / out_h.max(1) as f32,
+            1.0,
+        ])
     }
 
     /// Map an output (x, y) to source coordinates.
@@ -198,7 +211,10 @@ pub fn perspective_warp(
             .zip(out.par_chunks_exact_mut(oh * ow))
             .for_each(per_plane);
     } else {
-        input.chunks_exact(h * w).zip(out.chunks_exact_mut(oh * ow)).for_each(per_plane);
+        input
+            .chunks_exact(h * w)
+            .zip(out.chunks_exact_mut(oh * ow))
+            .for_each(per_plane);
     }
     out
 }
@@ -292,8 +308,7 @@ mod tests {
     fn translation_shifts_content() {
         // Source lookup at (x+1, y): output col j shows input col j+1.
         let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
-        let out =
-            perspective_warp(&input, 1, 4, 4, 4, 4, &Homography::translation(1.0, 0.0));
+        let out = perspective_warp(&input, 1, 4, 4, 4, 4, &Homography::translation(1.0, 0.0));
         assert!((out[0] - 1.0).abs() < 1e-5);
         assert!((out[1] - 2.0).abs() < 1e-5);
         // Column 3 maps to source column 4: out of bounds -> zero.

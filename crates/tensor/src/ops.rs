@@ -24,7 +24,11 @@ pub fn gelu(x: &mut [f32]) {
 /// Add a bias vector to each row of a `rows × cols` matrix.
 pub fn add_bias(x: &mut [f32], bias: &[f32]) {
     let cols = bias.len();
-    assert!(cols > 0 && x.len().is_multiple_of(cols), "x len {} not a multiple of bias len {cols}", x.len());
+    assert!(
+        cols > 0 && x.len().is_multiple_of(cols),
+        "x len {} not a multiple of bias len {cols}",
+        x.len()
+    );
     for row in x.chunks_exact_mut(cols) {
         for (v, b) in row.iter_mut().zip(bias) {
             *v += b;
@@ -92,7 +96,10 @@ pub fn batchnorm_inference(
     assert_eq!(var.len(), channels);
     assert_eq!(gamma.len(), channels);
     assert_eq!(beta.len(), channels);
-    assert!(x.len().is_multiple_of(channels * spatial), "x not NCHW-compatible");
+    assert!(
+        x.len().is_multiple_of(channels * spatial),
+        "x not NCHW-compatible"
+    );
     for image in x.chunks_exact_mut(channels * spatial) {
         for (c, plane) in image.chunks_exact_mut(spatial).enumerate() {
             let scale = gamma[c] / (var[c] + eps).sqrt();
@@ -202,14 +209,7 @@ mod tests {
     fn batchnorm_handles_batches() {
         let mut x = vec![0.0; 2 * 3 * 4]; // 2 images, 3 channels, 4 spatial
         batchnorm_inference(
-            &mut x,
-            3,
-            4,
-            &[0.0; 3],
-            &[1.0; 3],
-            &[1.0; 3],
-            &[7.0; 3],
-            0.0,
+            &mut x, 3, 4, &[0.0; 3], &[1.0; 3], &[1.0; 3], &[7.0; 3], 0.0,
         );
         assert!(x.iter().all(|&v| (v - 7.0).abs() < 1e-6));
     }

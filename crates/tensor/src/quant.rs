@@ -94,7 +94,9 @@ mod tests {
         let mut state = seed;
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
             })
             .collect()
@@ -106,7 +108,10 @@ mod tests {
         let q = quantize_symmetric(&data);
         let back = dequantize(&q);
         for (orig, deq) in data.iter().zip(&back) {
-            assert!((orig - deq).abs() <= q.scale * 0.5 + 1e-7, "{orig} vs {deq}");
+            assert!(
+                (orig - deq).abs() <= q.scale * 0.5 + 1e-7,
+                "{orig} vs {deq}"
+            );
         }
     }
 

@@ -18,20 +18,34 @@ impl Tensor {
     /// Zero-filled tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
     }
 
     /// Tensor filled with a constant.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![value; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
     }
 
     /// Wrap existing data; `data.len()` must equal the shape's element count.
     pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
         let len: usize = shape.iter().product();
-        assert_eq!(data.len(), len, "shape {shape:?} wants {len} elements, got {}", data.len());
-        Tensor { shape: shape.to_vec(), data }
+        assert_eq!(
+            data.len(),
+            len,
+            "shape {shape:?} wants {len} elements, got {}",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Deterministic pseudo-random fill in `[-scale, scale]`; used for weight
@@ -50,7 +64,10 @@ impl Tensor {
             let unit = (z >> 11) as f32 / (1u64 << 53) as f32;
             data.push((unit * 2.0 - 1.0) * scale);
         }
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The tensor's shape.
@@ -97,7 +114,12 @@ impl Tensor {
     /// Reinterpret with a new shape of identical element count.
     pub fn reshape(mut self, shape: &[usize]) -> Self {
         let len: usize = shape.iter().product();
-        assert_eq!(len, self.data.len(), "reshape {:?} -> {shape:?}", self.shape);
+        assert_eq!(
+            len,
+            self.data.len(),
+            "reshape {:?} -> {shape:?}",
+            self.shape
+        );
         self.shape = shape.to_vec();
         self
     }
@@ -117,7 +139,10 @@ impl Tensor {
         assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
         let mut flat = 0;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for dim {i} (size {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for dim {i} (size {dim})"
+            );
             flat = flat * dim + ix;
         }
         flat
@@ -154,7 +179,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{:.4}, {:.4}, ... {:.4}]", self.data[0], self.data[1], self.data[self.data.len() - 1])
+            write!(
+                f,
+                " [{:.4}, {:.4}, ... {:.4}]",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1]
+            )
         }
     }
 }

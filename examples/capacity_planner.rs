@@ -19,7 +19,11 @@ fn main() {
         "{:<8} {:<10} {:>10} {:>9} {:>11} {:>12}",
         "platform", "model", "UB img/s", "mem wall", "60QPS batch", "60QPS img/s"
     );
-    for platform in [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano] {
+    for platform in [
+        PlatformId::MriA100,
+        PlatformId::PitzerV100,
+        PlatformId::JetsonOrinNano,
+    ] {
         let advisor = Advisor::new(platform);
         for model in ALL_MODELS {
             let perf = EnginePerfModel::new(platform, model);
@@ -45,20 +49,32 @@ fn main() {
 
     // Per-dataset ingest planning: how fast can each platform feed models?
     println!("\npreprocessing capacity (DALI-style GPU pipeline, img/s):");
-    println!("{:<28} {:>9} {:>9} {:>9}", "dataset", "A100", "V100", "Jetson");
+    println!(
+        "{:<28} {:>9} {:>9} {:>9}",
+        "dataset", "A100", "V100", "Jetson"
+    );
     for spec in &ALL_DATASETS {
-        let row: Vec<f64> = [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano]
-            .iter()
-            .map(|&p| {
-                PreprocCostModel::new(p).throughput(PreprocMethod::Dali224, spec.id)
-            })
-            .collect();
-        println!("{:<28} {:>9.0} {:>9.0} {:>9.0}", spec.name, row[0], row[1], row[2]);
+        let row: Vec<f64> = [
+            PlatformId::MriA100,
+            PlatformId::PitzerV100,
+            PlatformId::JetsonOrinNano,
+        ]
+        .iter()
+        .map(|&p| PreprocCostModel::new(p).throughput(PreprocMethod::Dali224, spec.id))
+        .collect();
+        println!(
+            "{:<28} {:>9.0} {:>9.0} {:>9.0}",
+            spec.name, row[0], row[1], row[2]
+        );
     }
 
     // Memory budgeting: what a ViT-Base engine costs at its serving batch.
     println!("\nmemory plan for ViT-Base end-to-end:");
-    for platform in [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano] {
+    for platform in [
+        PlatformId::MriA100,
+        PlatformId::PitzerV100,
+        PlatformId::JetsonOrinNano,
+    ] {
         let mem = EngineMemoryModel::new(platform, ModelId::VitBase, MemoryContext::EndToEnd);
         let batch = harvest::perf::max_batch_under_memory(&mem, &[1, 2, 4, 8, 16, 32, 64]);
         match batch {

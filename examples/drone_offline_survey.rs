@@ -37,8 +37,11 @@ fn main() {
                 preproc_instances: preproc_instances(platform),
                 engine_instances: 1,
             };
-            let report =
-                run_offline(&OfflineConfig { pipeline, images: tiles }).expect("fits");
+            let report = run_offline(&OfflineConfig {
+                pipeline,
+                images: tiles,
+            })
+            .expect("fits");
             println!(
                 "  {:<6} {:<9} @BS{:<3}  field processed in {:>6.1}s  ({:>8.1} tiles/s, mean batch {:.1})",
                 platform.name(),
@@ -56,8 +59,16 @@ fn main() {
     // (OpenDroneMap's role), cut it into model tiles, and classify each
     // tile with the real executor — the heatmap-style output of the paper.
     println!("\nreal stitch-and-classify (the OpenDroneMap -> HARVEST chain):");
-    use harvest::imaging::{capture_survey, stitch, tile_mosaic, FieldScene, SurveyGrid, SynthImageSpec};
-    let grid = SurveyGrid { cols: 4, rows: 3, tile_w: 256, tile_h: 256, overlap: 32 };
+    use harvest::imaging::{
+        capture_survey, stitch, tile_mosaic, FieldScene, SurveyGrid, SynthImageSpec,
+    };
+    let grid = SurveyGrid {
+        cols: 4,
+        rows: 3,
+        tile_w: 256,
+        tile_h: 256,
+        overlap: 32,
+    };
     let field = FieldScene::RowCrop.render(&SynthImageSpec {
         width: grid.mosaic_width(),
         height: grid.mosaic_height(),

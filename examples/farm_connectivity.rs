@@ -16,9 +16,17 @@ use harvest::prelude::*;
 fn main() {
     let model = ModelId::ResNet50;
     let cloud = PlatformId::MriA100;
-    println!("farm connectivity planner — {} served from {} or the Jetson\n", model.name(), cloud.name());
+    println!(
+        "farm connectivity planner — {} served from {} or the Jetson\n",
+        model.name(),
+        cloud.name()
+    );
 
-    for dataset in [DatasetId::Fruits360, DatasetId::CornGrowthStage, DatasetId::Crsa] {
+    for dataset in [
+        DatasetId::Fruits360,
+        DatasetId::CornGrowthStage,
+        DatasetId::Crsa,
+    ] {
         let spec = DatasetSpec::get(dataset);
         println!("== {} ==", spec.name);
         println!(
@@ -33,8 +41,12 @@ fn main() {
             };
             println!(
                 "{:<16} {:>11.1} {:>12.1} {:>11.1} {:>14.1} {:>12}",
-                link.name, a.uplink_rate, a.cloud_throughput, a.edge_throughput,
-                a.cloud_latency_ms, winner
+                link.name,
+                a.uplink_rate,
+                a.cloud_throughput,
+                a.edge_throughput,
+                a.cloud_latency_ms,
+                winner
             );
         }
         let x = crossover_bandwidth_mbps(model, dataset, cloud);

@@ -15,7 +15,10 @@ fn main() {
     println!("ground vehicle: Jetson Orin Nano Super, 25 W, camera feeds\n");
 
     // Which model can actually hold a 30 fps / 33 ms loop on the edge?
-    println!("{:<10} {:>6} {:>10} {:>9} {:>8} {:>9}", "model", "fps", "processed", "dropped", "misses", "p99 ms");
+    println!(
+        "{:<10} {:>6} {:>10} {:>9} {:>8} {:>9}",
+        "model", "fps", "processed", "dropped", "misses", "p99 ms"
+    );
     for model in ALL_MODELS {
         for fps in [15.0, 30.0, 60.0] {
             let pipeline = PipelineConfig {
@@ -58,8 +61,11 @@ fn main() {
     // synthetic ground-feed frame (the CRSA task), as a per-cell heatmap.
     println!("residue-cover heatmap from one camera frame (4x4 cells):");
     use harvest::imaging::{heatmap, residue_cover_fraction, FieldScene, SynthImageSpec};
-    let frame =
-        FieldScene::GroundFeed.render(&SynthImageSpec { width: 384, height: 216, seed: 42 });
+    let frame = FieldScene::GroundFeed.render(&SynthImageSpec {
+        width: 384,
+        height: 216,
+        seed: 42,
+    });
     let cells = heatmap(&frame, 4, 4, residue_cover_fraction);
     for row in cells.chunks(4) {
         let line: Vec<String> = row.iter().map(|v| format!("{:>5.1}%", v * 100.0)).collect();

@@ -36,7 +36,11 @@ fn main() {
 
     // 3. Tuning guidance: the largest batch that still holds 60 QPS.
     println!("\n== Operating points under 16.7 ms (60 QPS) ==");
-    for platform in [PlatformId::MriA100, PlatformId::PitzerV100, PlatformId::JetsonOrinNano] {
+    for platform in [
+        PlatformId::MriA100,
+        PlatformId::PitzerV100,
+        PlatformId::JetsonOrinNano,
+    ] {
         let advisor = Advisor::new(platform);
         for model in ALL_MODELS {
             match advisor.recommend_batch(model, 16.7) {
@@ -47,7 +51,11 @@ fn main() {
                     rec.batch,
                     rec.throughput,
                     rec.latency_ms,
-                    if rec.memory_bound { "  (memory-bound)" } else { "" },
+                    if rec.memory_bound {
+                        "  (memory-bound)"
+                    } else {
+                        ""
+                    },
                 ),
                 None => println!(
                     "  {:<7} {:<10} cannot sustain 60 QPS",

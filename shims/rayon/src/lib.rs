@@ -1,0 +1,109 @@
+//! Sequential stand-in for the subset of the rayon API this workspace uses.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the real rayon cannot be fetched. The numeric kernels only use rayon for
+//! embarrassingly-parallel slice chunking; running those loops sequentially
+//! is semantically identical (and still fast at test sizes thanks to the
+//! opt-level overrides on the kernel crates). Every `par_*` method here
+//! returns the corresponding `std` iterator, so downstream adapter chains
+//! (`zip`, `enumerate`, `for_each`, …) compile unchanged.
+
+/// Number of "worker threads": the host's available parallelism. Callers use
+/// this only to size work blocks, so reporting real parallelism keeps block
+/// sizes sensible even though execution is sequential.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Immutable slice chunking, `rayon::slice::ParallelSlice` analog.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    /// Sequential stand-in for `par_chunks_exact`.
+    fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+    fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T> {
+        self.chunks_exact(chunk_size)
+    }
+}
+
+/// Mutable slice chunking, `rayon::slice::ParallelSliceMut` analog.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// Sequential stand-in for `par_chunks_exact_mut`.
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T> {
+        self.chunks_exact_mut(chunk_size)
+    }
+}
+
+/// `IntoParallelIterator` analog: hands back the ordinary iterator.
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator type.
+    type Iter;
+    /// Sequential stand-in for `into_par_iter`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// `rayon::join` analog: runs both closures sequentially.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunking_matches_std() {
+        let v: Vec<u32> = (0..10).collect();
+        let par: Vec<&[u32]> = v.par_chunks(3).collect();
+        let seq: Vec<&[u32]> = v.chunks(3).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn mutable_chunks_cover_everything() {
+        let mut v = vec![0u32; 8];
+        v.par_chunks_exact_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u32));
+        assert_eq!(v, [0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn into_par_iter_is_sequential_iter() {
+        let s: u64 = (0u64..5).into_par_iter().sum();
+        assert_eq!(s, 10);
+    }
+}

@@ -2,9 +2,7 @@
 //! attention scaling, multi-model serving, cluster scale-out, quantization.
 
 use harvest::core::continuum::{analyze, Placement};
-use harvest::core::experiments::ablations::{
-    multi_instance_ablation, quantization_error_probe,
-};
+use harvest::core::experiments::ablations::{multi_instance_ablation, quantization_error_probe};
 use harvest::core::experiments::scaling::scaling_sweep;
 use harvest::perf::{batch_axis, EnergyModel};
 use harvest::prelude::*;
@@ -101,7 +99,12 @@ fn cluster_scales_and_multi_instance_helps_tails() {
 #[test]
 fn quantization_probe_reports_sub_percent_errors() {
     for row in quantization_error_probe(7) {
-        assert!(row.relative_error < 0.01, "{}: {}", row.layer, row.relative_error);
+        assert!(
+            row.relative_error < 0.01,
+            "{}: {}",
+            row.layer,
+            row.relative_error
+        );
     }
 }
 
@@ -110,8 +113,11 @@ fn residue_estimation_runs_on_dataset_samples() {
     // End-to-end application output: sample a CRSA-style frame (small
     // stand-in), estimate residue cover.
     use harvest::imaging::{residue_cover_fraction, FieldScene, SynthImageSpec};
-    let frame =
-        FieldScene::GroundFeed.render(&SynthImageSpec { width: 320, height: 180, seed: 3 });
+    let frame = FieldScene::GroundFeed.render(&SynthImageSpec {
+        width: 320,
+        height: 180,
+        seed: 3,
+    });
     let f = residue_cover_fraction(&frame);
     assert!((0.0..=1.0).contains(&f));
     assert!(f > 0.01, "ground feed should show some residue: {f}");

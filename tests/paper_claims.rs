@@ -41,10 +41,22 @@ fn table3_params_gflops_and_upper_bounds() {
     for (name, params, gflops, a100, v100, jetson) in expect {
         let r = get(name);
         assert!((r.params_m - params).abs() / params < 0.01, "{name} params");
-        assert!((r.gflops_per_image - gflops).abs() / gflops < 0.01, "{name} gflops");
-        assert!((r.upper_bound_a100 - a100).abs() / a100 < 0.01, "{name} ub a100");
-        assert!((r.upper_bound_v100 - v100).abs() / v100 < 0.01, "{name} ub v100");
-        assert!((r.upper_bound_jetson - jetson).abs() / jetson < 0.01, "{name} ub jetson");
+        assert!(
+            (r.gflops_per_image - gflops).abs() / gflops < 0.01,
+            "{name} gflops"
+        );
+        assert!(
+            (r.upper_bound_a100 - a100).abs() / a100 < 0.01,
+            "{name} ub a100"
+        );
+        assert!(
+            (r.upper_bound_v100 - v100).abs() / v100 < 0.01,
+            "{name} ub v100"
+        );
+        assert!(
+            (r.upper_bound_jetson - jetson).abs() / jetson < 0.01,
+            "{name} ub jetson"
+        );
     }
 }
 
@@ -52,8 +64,16 @@ fn table3_params_gflops_and_upper_bounds() {
 fn section_4_0_2_compute_breakdown() {
     let rows = exp::table3();
     let tiny = rows.iter().find(|r| r.model == "ViT_Tiny").unwrap();
-    assert!((tiny.mlp_share_pct - 81.73).abs() < 0.5, "{}", tiny.mlp_share_pct);
-    assert!((tiny.attention_share_pct - 18.23).abs() < 0.5, "{}", tiny.attention_share_pct);
+    assert!(
+        (tiny.mlp_share_pct - 81.73).abs() < 0.5,
+        "{}",
+        tiny.mlp_share_pct
+    );
+    assert!(
+        (tiny.attention_share_pct - 18.23).abs() < 0.5,
+        "{}",
+        tiny.attention_share_pct
+    );
     let rn = rows.iter().find(|r| r.model == "ResNet50").unwrap();
     assert!(rn.conv_share_pct > 99.0, "{}", rn.conv_share_pct);
 }
@@ -61,9 +81,7 @@ fn section_4_0_2_compute_breakdown() {
 #[test]
 fn fig5_peak_throughput_labels() {
     let panels = exp::fig5();
-    let series = |p: usize, m: &str| {
-        panels[p].series.iter().find(|s| s.model == m).unwrap()
-    };
+    let series = |p: usize, m: &str| panels[p].series.iter().find(|s| s.model == m).unwrap();
     // A100 panel (index 0).
     for (model, tput) in [
         ("ViT_Tiny", 22_879.3),
@@ -72,7 +90,10 @@ fn fig5_peak_throughput_labels() {
         ("ResNet50", 16_230.7),
     ] {
         let s = series(0, model);
-        assert!((s.peak_throughput - tput).abs() / tput < 0.001, "A100 {model}");
+        assert!(
+            (s.peak_throughput - tput).abs() / tput < 0.001,
+            "A100 {model}"
+        );
         assert_eq!(s.peak_batch, 1024);
     }
     // Jetson panel (index 2) — labels carry the OOM walls.
@@ -83,7 +104,10 @@ fn fig5_peak_throughput_labels() {
         ("ResNet50", 842.9, 64),
     ] {
         let s = series(2, model);
-        assert!((s.peak_throughput - tput).abs() / tput < 0.001, "Jetson {model}");
+        assert!(
+            (s.peak_throughput - tput).abs() / tput < 0.001,
+            "Jetson {model}"
+        );
         assert_eq!(s.peak_batch, bs, "Jetson {model}");
     }
 }
@@ -96,7 +120,11 @@ fn fig6_operating_regions() {
         assert!(s.max_batch_60qps.unwrap() > 16, "A100 {}", s.model);
     }
     // V100 ViT-Base: batch 8 suffices, 16 does not.
-    let base = panels[1].series.iter().find(|s| s.model == "ViT_Base").unwrap();
+    let base = panels[1]
+        .series
+        .iter()
+        .find(|s| s.model == "ViT_Base")
+        .unwrap();
     let p8 = base.points.iter().find(|p| p.batch == 8).unwrap();
     let p16 = base.points.iter().find(|p| p.batch == 16).unwrap();
     assert!(p8.latency_ms < 16.7 && p16.latency_ms > 16.7);
@@ -118,7 +146,11 @@ fn fig7_gpu_preprocessing_wins() {
             .filter(|c| !c.method.starts_with("DALI"))
             .map(|c| c.throughput)
             .fold(f64::MIN, f64::max);
-        assert!(dali > 2.0 * cpu, "{}: DALI {dali} vs CPU {cpu}", panel.platform);
+        assert!(
+            dali > 2.0 * cpu,
+            "{}: DALI {dali} vs CPU {cpu}",
+            panel.platform
+        );
     }
 }
 
@@ -146,7 +178,10 @@ fn conclusion_tradeoffs_hold() {
     // from 1→2.
     let gain_small = perf.throughput(2) / perf.throughput(1);
     let gain_large = perf.throughput(64) / perf.throughput(32);
-    assert!(gain_small > 1.5 && gain_large < 1.2, "{gain_small} vs {gain_large}");
+    assert!(
+        gain_small > 1.5 && gain_large < 1.2,
+        "{gain_small} vs {gain_large}"
+    );
     // Memory exhaustion ends the curve at 64 on the Jetson.
     let advisor = Advisor::new(PlatformId::JetsonOrinNano);
     assert!(advisor.max_feasible_batch(ModelId::VitSmall).unwrap() <= 64);

@@ -2,8 +2,11 @@
 
 use harvest::prelude::*;
 use harvest::serving::{
-    run_offline, run_online, run_realtime, OfflineConfig, OnlineConfig, RealTimeConfig,
+    run_cluster_offline_faulted, run_offline, run_online, run_online_faulted, run_realtime,
+    run_realtime_degraded, ClusterConfig, FaultInjection, OfflineConfig, OnlineConfig,
+    RealTimeConfig,
 };
+use harvest::simkit::FaultPlan;
 
 fn pipeline(
     platform: PlatformId,
@@ -31,7 +34,12 @@ fn pipeline(
 fn online_latency_grows_with_load() {
     let run = |rate: f64| {
         run_online(&OnlineConfig {
-            pipeline: pipeline(PlatformId::PitzerV100, ModelId::VitSmall, DatasetId::PlantVillage, 32),
+            pipeline: pipeline(
+                PlatformId::PitzerV100,
+                ModelId::VitSmall,
+                DatasetId::PlantVillage,
+                32,
+            ),
             arrival_rate: rate,
             requests: 800,
             seed: 9,
@@ -52,7 +60,12 @@ fn online_latency_grows_with_load() {
 #[test]
 fn online_is_reproducible_across_runs() {
     let cfg = OnlineConfig {
-        pipeline: pipeline(PlatformId::MriA100, ModelId::ResNet50, DatasetId::Fruits360, 16),
+        pipeline: pipeline(
+            PlatformId::MriA100,
+            ModelId::ResNet50,
+            DatasetId::Fruits360,
+            16,
+        ),
         arrival_rate: 500.0,
         requests: 300,
         seed: 123,
@@ -68,7 +81,12 @@ fn online_is_reproducible_across_runs() {
 fn offline_throughput_ranks_platforms_correctly() {
     let run = |platform, batch| {
         run_offline(&OfflineConfig {
-            pipeline: pipeline(platform, ModelId::ResNet50, DatasetId::CornGrowthStage, batch),
+            pipeline: pipeline(
+                platform,
+                ModelId::ResNet50,
+                DatasetId::CornGrowthStage,
+                batch,
+            ),
             images: 1024,
         })
         .unwrap()
@@ -107,9 +125,201 @@ fn realtime_bigger_camera_rate_never_lowers_misses() {
 }
 
 #[test]
+fn faulted_runs_serialize_byte_identically_across_runs() {
+    // The hard determinism bar: with an *active* fault plan (crashes,
+    // transient errors — the full retry/backoff machinery exercised), two
+    // runs with the same seed must produce byte-identical serialized
+    // reports, floats and all.
+    let online_cfg = OnlineConfig {
+        pipeline: pipeline(
+            PlatformId::MriA100,
+            ModelId::VitTiny,
+            DatasetId::PlantVillage,
+            16,
+        ),
+        arrival_rate: 250.0,
+        requests: 500,
+        seed: 2024,
+    };
+    let faults = FaultInjection {
+        plan: FaultPlan::new(77)
+            .with_engine_crash(0, SimTime::from_millis(400), SimTime::from_millis(700))
+            .with_transient_errors(0.05),
+        policy: Default::default(),
+    };
+    let a = run_online_faulted(&online_cfg, &faults).unwrap();
+    let b = run_online_faulted(&online_cfg, &faults).unwrap();
+    assert!(
+        a.resilience.retries > 0,
+        "fault machinery must actually fire"
+    );
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "online faulted report must be bit-reproducible"
+    );
+
+    let cluster_cfg = ClusterConfig::standard(
+        pipeline(
+            PlatformId::PitzerV100,
+            ModelId::ResNet50,
+            DatasetId::CornGrowthStage,
+            32,
+        ),
+        3,
+    );
+    let cluster_faults = FaultInjection {
+        plan: FaultPlan::new(5).with_engine_crash(
+            2,
+            SimTime::from_millis(1),
+            SimTime::from_secs(20),
+        ),
+        policy: Default::default(),
+    };
+    let ca = run_cluster_offline_faulted(&cluster_cfg, 512, &cluster_faults).unwrap();
+    let cb = run_cluster_offline_faulted(&cluster_cfg, 512, &cluster_faults).unwrap();
+    assert!(
+        ca.resilience.failovers > 0,
+        "failover path must actually fire"
+    );
+    assert_eq!(
+        serde_json::to_string(&ca).unwrap(),
+        serde_json::to_string(&cb).unwrap(),
+        "cluster faulted report must be bit-reproducible"
+    );
+}
+
+#[test]
+fn cluster_crash_mid_offline_run_loses_nothing() {
+    let cfg = ClusterConfig::standard(
+        pipeline(
+            PlatformId::PitzerV100,
+            ModelId::ResNet50,
+            DatasetId::CornGrowthStage,
+            32,
+        ),
+        4,
+    );
+    // Node 3 dies while its queue is still full and never comes back
+    // within the run; every one of its batches must fail over.
+    let faults = FaultInjection {
+        plan: FaultPlan::new(31).with_engine_crash(
+            3,
+            SimTime::from_millis(10),
+            SimTime::from_secs(60),
+        ),
+        policy: Default::default(),
+    };
+    let report = run_cluster_offline_faulted(&cfg, 1024, &faults).unwrap();
+    assert_eq!(report.images, 1024, "crash must not lose images");
+    assert_eq!(report.resilience.lost, 0);
+    assert_eq!(report.resilience.duplicated, 0);
+    assert!(report.resilience.failovers > 0);
+    assert_eq!(
+        report.per_node_completed.iter().sum::<u64>(),
+        1024,
+        "per-node counts must account for every image: {:?}",
+        report.per_node_completed
+    );
+    // The dead node keeps only what it finished before t=10ms.
+    let healthy = report.per_node_completed[..3].iter().min().unwrap();
+    assert!(
+        report.per_node_completed[3] < *healthy,
+        "dead node should trail: {:?}",
+        report.per_node_completed
+    );
+}
+
+#[test]
+fn online_crash_timeout_retry_keeps_tail_bounded() {
+    let cfg = OnlineConfig {
+        pipeline: pipeline(
+            PlatformId::MriA100,
+            ModelId::VitSmall,
+            DatasetId::Fruits360,
+            16,
+        ),
+        arrival_rate: 150.0,
+        requests: 600,
+        seed: 404,
+    };
+    let faults = FaultInjection {
+        plan: FaultPlan::new(9).with_engine_crash(
+            0,
+            SimTime::from_secs(1),
+            SimTime::from_millis(1600),
+        ),
+        policy: Default::default(),
+    };
+    let report = run_online_faulted(&cfg, &faults).unwrap();
+    assert_eq!(
+        report.completed, 600,
+        "timeout+retry must deliver everything"
+    );
+    assert_eq!(report.resilience.lost, 0);
+    assert!(report.resilience.timeouts > 0);
+    assert!(report.p99_ms.is_finite());
+    // The tail is bounded by outage + detection + backoff, not unbounded
+    // queueing: a 600 ms outage cannot push p99 past a few seconds.
+    assert!(report.p99_ms < 5_000.0, "p99 {} ms", report.p99_ms);
+}
+
+#[test]
+fn realtime_stall_windows_show_up_as_deadline_misses() {
+    let mut cfg = RealTimeConfig {
+        pipeline: pipeline(
+            PlatformId::JetsonOrinNano,
+            ModelId::VitTiny,
+            DatasetId::SpittleBug,
+            2,
+        ),
+        fps: 30.0,
+        frames: 300,
+        deadline_ms: 33.3,
+        max_in_flight: 16,
+    };
+    cfg.pipeline.max_queue_delay = SimTime::from_millis(1);
+    let healthy = run_realtime(&cfg).unwrap();
+    assert_eq!(healthy.deadline_misses, 0, "baseline must be miss-free");
+    // A 60× preprocessing stall (severe thermal throttling) for one second:
+    // every frame that starts preprocessing inside the window blows the
+    // 33 ms deadline, and nothing outside the window should.
+    let faults = FaultInjection {
+        plan: FaultPlan::new(21).with_preproc_stall(
+            0,
+            SimTime::from_secs(5),
+            SimTime::from_secs(6),
+            60.0,
+        ),
+        policy: Default::default(),
+    };
+    let degraded = run_realtime_degraded(&cfg, &faults).unwrap();
+    assert!(
+        degraded.resilience.stalled > 0,
+        "stall window saw no frames"
+    );
+    assert!(
+        degraded.deadline_misses >= degraded.resilience.stalled,
+        "every stalled frame must miss: {} misses vs {} stalled",
+        degraded.deadline_misses,
+        degraded.resilience.stalled
+    );
+    assert_eq!(degraded.resilience.lost, 0);
+    assert_eq!(
+        degraded.processed + degraded.dropped + degraded.resilience.skipped,
+        u64::from(degraded.frames)
+    );
+}
+
+#[test]
 fn scenario_reports_conserve_requests() {
     let online = run_online(&OnlineConfig {
-        pipeline: pipeline(PlatformId::MriA100, ModelId::VitTiny, DatasetId::SpittleBug, 8),
+        pipeline: pipeline(
+            PlatformId::MriA100,
+            ModelId::VitTiny,
+            DatasetId::SpittleBug,
+            8,
+        ),
         arrival_rate: 300.0,
         requests: 256,
         seed: 77,
@@ -117,13 +327,23 @@ fn scenario_reports_conserve_requests() {
     .unwrap();
     assert_eq!(online.completed, 256);
     let offline = run_offline(&OfflineConfig {
-        pipeline: pipeline(PlatformId::MriA100, ModelId::VitTiny, DatasetId::SpittleBug, 8),
+        pipeline: pipeline(
+            PlatformId::MriA100,
+            ModelId::VitTiny,
+            DatasetId::SpittleBug,
+            8,
+        ),
         images: 256,
     })
     .unwrap();
     assert_eq!(offline.images, 256);
     let realtime = run_realtime(&RealTimeConfig {
-        pipeline: pipeline(PlatformId::MriA100, ModelId::VitTiny, DatasetId::SpittleBug, 1),
+        pipeline: pipeline(
+            PlatformId::MriA100,
+            ModelId::VitTiny,
+            DatasetId::SpittleBug,
+            1,
+        ),
         fps: 30.0,
         frames: 256,
         deadline_ms: 33.3,
