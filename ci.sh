@@ -4,6 +4,7 @@
 #   1. formatting        cargo fmt --check
 #   2. lints             cargo clippy -D warnings (core crates of this stack)
 #   3. tier-1 tests      cargo build --release && cargo test -q
+#   4. overload smoke    experiments overload --smoke + artifact drift check
 #
 # Everything runs offline: the crates.io dependencies are vendored as
 # API-compatible shims under shims/, wired via workspace path deps.
@@ -16,7 +17,7 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy --offline --release \
     -p harvest-simkit -p harvest-serving -p harvest-core -p harvest-bench \
-    -p harvest \
+    -p harvest -p harvest-perf -p harvest-models \
     --all-targets -- -D warnings
 
 echo "== tier-1: build =="
@@ -24,5 +25,14 @@ cargo build --offline --release
 
 echo "== tier-1: tests =="
 cargo test --offline -q
+
+echo "== overload smoke =="
+# The smoke run asserts conservation and bit-identical reruns internally;
+# the diff catches silent drift of the committed artifact.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/experiments overload --smoke --json "$smoke_dir"
+diff artifacts/overload.json "$smoke_dir/overload.json" \
+    || { echo "artifacts/overload.json drifted from the code"; exit 1; }
 
 echo "CI gate passed."

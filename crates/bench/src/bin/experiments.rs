@@ -1,13 +1,16 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|host]... [--json DIR]
+//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|host]...
+//!             [--json DIR] [--smoke]
 //! ```
 //!
 //! With no arguments, everything runs. `--json DIR` additionally writes each
-//! result as a JSON artifact into DIR. `host` runs the *real* host
-//! measurements (GEMM GFLOPS + real preprocessing timings) — the
-//! executable-substrate counterpart of the simulated platforms.
+//! result as a JSON artifact into DIR. `--smoke` keeps the self-checks but
+//! suppresses the tables — CI uses it to regenerate artifacts cheaply and
+//! diff them for drift. `host` runs the *real* host measurements (GEMM
+//! GFLOPS + real preprocessing timings) — the executable-substrate
+//! counterpart of the simulated platforms.
 
 use harvest_bench::{ascii_series, pretty, text_table};
 use harvest_core::experiments as exp;
@@ -18,12 +21,15 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<PathBuf> = None;
+    let mut smoke = false;
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--json" {
             let dir = it.next().expect("--json needs a directory");
             json_dir = Some(PathBuf::from(dir));
+        } else if a == "--smoke" {
+            smoke = true;
         } else {
             wanted.insert(a.clone());
         }
@@ -83,9 +89,102 @@ fn main() {
     if run("resilience") {
         resilience(&save);
     }
+    if run("overload") {
+        overload(&save, smoke);
+    }
     if run("host") {
         host();
     }
+}
+
+fn overload(save: &dyn Fn(&str, String), smoke: bool) {
+    println!("== Extension: overload protection (admission, breaker, degradation ladder) ==");
+    let exp = exp::overload();
+    // Self-checks run in both modes: conservation at every sweep point, the
+    // two companion scenarios healthy, and a bit-identical rerun.
+    let rerun = exp::overload();
+    assert_eq!(
+        serde_json::to_string(&exp).unwrap(),
+        serde_json::to_string(&rerun).unwrap(),
+        "overload sweep must be bit-reproducible"
+    );
+    for row in &exp.sweep {
+        assert!(
+            row.conserved,
+            "{} @ {:.1}x: completed {} + shed {} + rejected {} != submitted {}",
+            row.platform, row.load_factor, row.completed, row.shed, row.rejected, row.submitted
+        );
+    }
+    assert_eq!(
+        exp.ladder.served, exp.ladder.submitted,
+        "ladder dropped work"
+    );
+    assert_eq!(exp.breaker.lost, 0, "breaker scenario lost images");
+    assert_eq!(
+        exp.breaker.duplicated, 0,
+        "breaker scenario duplicated images"
+    );
+    assert!(
+        exp.sweep.iter().any(|r| r.shed + r.rejected > 0),
+        "no sweep point ever shed — overload never happened"
+    );
+    if !smoke {
+        let table: Vec<Vec<String>> = exp
+            .sweep
+            .iter()
+            .map(|r| {
+                vec![
+                    r.platform.clone(),
+                    format!("{:.1}x", r.load_factor),
+                    pretty(r.offered_rps, 0),
+                    pretty(r.baseline_throughput, 0),
+                    format!("{:.1}", r.baseline_p99_ms),
+                    pretty(r.goodput, 0),
+                    format!("{:.1}", r.p99_ms),
+                    format!("{}", r.shed + r.rejected),
+                    format!("{:.1}%", r.deadline_miss_rate * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(
+                &[
+                    "Platform",
+                    "Load",
+                    "Offered/s",
+                    "Base tput",
+                    "Base p99",
+                    "Goodput",
+                    "p99 (ms)",
+                    "Shed+Rej",
+                    "Miss",
+                ],
+                &table
+            )
+        );
+        let l = &exp.ladder;
+        println!(
+            "  ladder (A100, {:.0} req/s offered): {} served / {} submitted, {} downgrades, {} upgrades",
+            l.offered_rps, l.served, l.submitted, l.downgrades, l.upgrades
+        );
+        let tiers = ["ViT-Base", "ViT-Small", "ViT-Tiny"];
+        let total: f64 = l.time_in_tier_s.iter().sum();
+        for (name, &t) in tiers.iter().zip(&l.time_in_tier_s) {
+            println!(
+                "    {name:<9} {:.3} s ({:.0}%)",
+                t,
+                100.0 * t / total.max(1e-9)
+            );
+        }
+        let b = &exp.breaker;
+        println!(
+            "  breaker (3xV100, node 1 crashes 50-400 ms): {} images, {} trips, {} closes, {} reroutes, {} failovers, per-node {:?}",
+            b.images, b.trips, b.closes, b.reroutes, b.failovers, b.per_node_completed
+        );
+    }
+    println!("  self-check: conservation at every point, bit-identical rerun — all OK");
+    save("overload", serde_json::to_string_pretty(&exp).unwrap());
 }
 
 fn resilience(save: &dyn Fn(&str, String)) {

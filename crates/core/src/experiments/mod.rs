@@ -10,6 +10,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod overload;
 pub mod resilience;
 pub mod scaling;
 pub mod table1;
@@ -21,6 +22,9 @@ pub use fig5::{fig5, Fig5Platform, Fig5Point, Fig5Series};
 pub use fig6::{fig6, Fig6Platform, Fig6Point, Fig6Series};
 pub use fig7::{fig7, Fig7Cell, Fig7Platform};
 pub use fig8::{fig8, Fig8Cell, Fig8Platform};
+pub use overload::{
+    overload, BreakerScenarioReport, LadderScenarioReport, OverloadExperiment, OverloadRow,
+};
 pub use resilience::{resilience, ResilienceRow};
 pub use table1::{table1, Table1Row};
 pub use table2::{table2, Table2Row};

@@ -25,6 +25,9 @@ pub enum EngineError {
         /// Built maximum.
         max_batch: u32,
     },
+    /// A serving-layer configuration (batcher, admission control) failed
+    /// validation before the pipeline could be wired.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -40,6 +43,9 @@ impl std::fmt::Display for EngineError {
             ),
             EngineError::BadBatch { batch, max_batch } => {
                 write!(f, "batch {batch} outside (0, {max_batch}]")
+            }
+            EngineError::InvalidConfig(reason) => {
+                write!(f, "invalid serving configuration: {reason}")
             }
         }
     }

@@ -6,6 +6,7 @@
 //! quantifies the simplest strategy — data parallelism over identical
 //! nodes — including the dispatch policy's effect on scaling efficiency.
 
+use crate::breaker::{BreakerBank, BreakerConfig, BreakerState};
 use crate::resilience::{
     FailoverFn, FaultContext, FaultInjection, ResilienceStats, ResilienceSummary,
 };
@@ -71,10 +72,18 @@ pub struct ClusterReport {
 
 impl ClusterReport {
     /// Ratio of the busiest node's completions to the idlest node's.
+    /// Clusters with fewer than two nodes cannot be imbalanced and report
+    /// 0.0; a multi-node cluster with a completely starved node reports
+    /// infinity.
     pub fn imbalance(&self) -> f64 {
+        if self.per_node_completed.len() < 2 {
+            return 0.0;
+        }
         let max = *self.per_node_completed.iter().max().unwrap_or(&0) as f64;
         let min = *self.per_node_completed.iter().min().unwrap_or(&0) as f64;
-        if min == 0.0 {
+        if max == 0.0 {
+            0.0
+        } else if min == 0.0 {
             f64::INFINITY
         } else {
             max / min
@@ -88,7 +97,7 @@ pub fn run_cluster_offline(
     config: &ClusterConfig,
     images: u32,
 ) -> Result<ClusterReport, EngineError> {
-    run_cluster_offline_inner(config, images, None)
+    run_cluster_offline_inner(config, images, None, None)
 }
 
 /// Run the offline cluster scenario under an active fault plan, with
@@ -103,19 +112,42 @@ pub fn run_cluster_offline_faulted(
     images: u32,
     faults: &FaultInjection,
 ) -> Result<ClusterReport, EngineError> {
-    run_cluster_offline_inner(config, images, Some(faults))
+    run_cluster_offline_inner(config, images, Some(faults), None)
+}
+
+/// Run the faulted offline cluster scenario with per-node circuit breakers:
+/// crash aborts feed each node's failure EWMA, a tripped node is routed
+/// around by both the frontend dispatcher and the failover router, and
+/// half-open probes re-admit it after the cooldown. Composes with the PR-1
+/// failover — a breaker merely *stops new traffic early*, before the
+/// retry/timeout machinery would have paid for each doomed dispatch.
+pub fn run_cluster_offline_protected(
+    config: &ClusterConfig,
+    images: u32,
+    faults: &FaultInjection,
+    breaker: &BreakerConfig,
+) -> Result<ClusterReport, EngineError> {
+    run_cluster_offline_inner(config, images, Some(faults), Some(breaker))
 }
 
 fn run_cluster_offline_inner(
     config: &ClusterConfig,
     images: u32,
     faults: Option<&FaultInjection>,
+    breaker: Option<&BreakerConfig>,
 ) -> Result<ClusterReport, EngineError> {
     assert!(config.nodes > 0);
     let mut sim = Sim::new();
     let mut cores: Vec<PipelineCore> = (0..config.nodes)
         .map(|_| PipelineCore::new(&config.pipeline))
         .collect::<Result<_, _>>()?;
+    let bank: Option<Rc<BreakerBank>> = match breaker {
+        Some(bc) => {
+            bc.validate().map_err(EngineError::InvalidConfig)?;
+            Some(Rc::new(BreakerBank::new(config.nodes, *bc)))
+        }
+        None => None,
+    };
 
     // Fault wiring: every node shares the plan, the stats, and one failover
     // cell; the router is installed into the cell after the per-node hooks
@@ -128,6 +160,9 @@ fn run_cluster_offline_inner(
         for (node, core) in cores.iter_mut().enumerate() {
             let mut ctx = ctx0.clone();
             ctx.node = node as u32;
+            if let Some(bank) = &bank {
+                ctx.set_breakers(bank.clone());
+            }
             core.set_fault_context(ctx);
         }
         let hooks: Vec<DispatchHooks> = cores.iter().map(|c| c.hooks()).collect();
@@ -135,10 +170,16 @@ fn run_cluster_offline_inner(
         let dispatch = config.dispatch;
         let router_plan = plan.clone();
         let router_stats = stats.clone();
+        let router_bank = bank.clone();
         let router: FailoverFn = Rc::new(move |sim, batch, from, attempt| {
             let now = sim.now();
             let live: Vec<u32> = (0..hooks.len() as u32)
                 .filter(|&k| !router_plan.engine_down(k, now))
+                .filter(|&k| {
+                    router_bank
+                        .as_ref()
+                        .is_none_or(|b| b.state(k, now) != BreakerState::Open)
+                })
                 .collect();
             let target = match dispatch {
                 Dispatch::RoundRobin => live
@@ -172,39 +213,92 @@ fn run_cluster_offline_inner(
         (plan, stats, cell)
     });
 
-    for i in 0..images {
-        let node = match config.dispatch {
-            Dispatch::RoundRobin => (i as usize) % cores.len(),
-            Dispatch::LeastLoaded => {
-                // At t=0 everything is queued; "in flight" is submitted
-                // minus completed, which equals submitted here — this
-                // degrades to round-robin for a burst, and differs under
-                // staggered arrivals (see run_cluster_online-style uses).
-                (0..cores.len())
-                    .min_by_key(|&n| cores[n].in_flight())
-                    .expect("non-empty cluster")
-            }
-        };
-        // The frontend serializes dispatch: the i-th request reaches its
-        // node only after i dispatch slots have elapsed. A degraded link
-        // multiplies the slot cost for requests dispatched inside the
-        // degradation window.
-        let mut at = config.dispatch_overhead * (i as u64 + 1);
-        if let Some((plan, _, _)) = &fault_state {
+    if let (Some(bank), Some((plan, stats, _))) = (&bank, &fault_state) {
+        // Breaker-protected dispatch: the node choice happens *inside* the
+        // scheduled event, so it observes every breaker transition caused
+        // by completions and aborts before the request's dispatch time.
+        let hooks: Vec<DispatchHooks> = cores.iter().map(|c| c.hooks()).collect();
+        let backlogs: Vec<_> = cores.iter().map(|c| c.engine_backlog()).collect();
+        for i in 0..images {
+            let origin = i % config.nodes;
+            let mut at = config.dispatch_overhead * (u64::from(i) + 1);
             let factor = plan.link_factor(at);
             if factor > 1.0 {
                 at = SimTime::from_secs_f64(at.as_secs_f64() * factor);
             }
+            let bank = bank.clone();
+            let stats = stats.clone();
+            let hooks = hooks.clone();
+            let backlogs = backlogs.clone();
+            let dispatch = config.dispatch;
+            sim.schedule_at(at, move |sim| {
+                let now = sim.now();
+                let n = hooks.len() as u32;
+                // Ring order starting at the round-robin origin keeps the
+                // healthy-cluster behavior identical to plain round-robin.
+                // Unlike the failover router, the protected frontend does
+                // NOT consult the fault plan: it has no oracle for engine
+                // health and must learn about a dead node the hard way —
+                // from the crash-aborts feeding that node's breaker.
+                let mut avail: Vec<u32> = (0..n)
+                    .map(|k| (origin + k) % n)
+                    .filter(|&k| bank.state(k, now) != BreakerState::Open)
+                    .collect();
+                if dispatch == Dispatch::LeastLoaded {
+                    // Stable sort: ring order breaks backlog ties.
+                    avail.sort_by_key(|&k| backlogs[k as usize].get());
+                }
+                let target = avail
+                    .iter()
+                    .copied()
+                    .find(|&k| bank.allow(k, now))
+                    .unwrap_or(origin);
+                if target != origin && bank.state(origin, now) == BreakerState::Open {
+                    stats.borrow_mut().breaker_reroutes += 1;
+                }
+                hooks[target as usize].admit_now(sim, u64::from(i), now);
+            });
         }
-        // Global request ids keep the shared conservation set and the
-        // per-request fault coins collision-free across nodes.
-        cores[node].submit_as(&mut sim, at, u64::from(i));
+    } else {
+        for i in 0..images {
+            let node = match config.dispatch {
+                Dispatch::RoundRobin => (i as usize) % cores.len(),
+                Dispatch::LeastLoaded => {
+                    // At t=0 everything is queued; "in flight" is submitted
+                    // minus completed, which equals submitted here — this
+                    // degrades to round-robin for a burst, and differs under
+                    // staggered arrivals (see run_cluster_online-style uses).
+                    (0..cores.len())
+                        .min_by_key(|&n| cores[n].in_flight())
+                        .expect("non-empty cluster")
+                }
+            };
+            // The frontend serializes dispatch: the i-th request reaches its
+            // node only after i dispatch slots have elapsed. A degraded link
+            // multiplies the slot cost for requests dispatched inside the
+            // degradation window.
+            let mut at = config.dispatch_overhead * (i as u64 + 1);
+            if let Some((plan, _, _)) = &fault_state {
+                let factor = plan.link_factor(at);
+                if factor > 1.0 {
+                    at = SimTime::from_secs_f64(at.as_secs_f64() * factor);
+                }
+            }
+            // Global request ids keep the shared conservation set and the
+            // per-request fault coins collision-free across nodes.
+            cores[node].submit_as(&mut sim, at, u64::from(i));
+        }
     }
     sim.run();
     for core in &mut cores {
         core.flush(&mut sim);
     }
     sim.run();
+    if let (Some(bank), Some((_, stats, _))) = (&bank, &fault_state) {
+        let mut s = stats.borrow_mut();
+        s.breaker_trips = bank.total_trips();
+        s.breaker_closes = bank.total_closes();
+    }
 
     let per_node_completed: Vec<u64> = cores
         .iter()
@@ -447,5 +541,119 @@ mod tests {
             four.throughput,
             one.throughput
         );
+    }
+
+    fn report_with_nodes(per_node_completed: Vec<u64>) -> ClusterReport {
+        ClusterReport {
+            nodes: per_node_completed.len() as u32,
+            images: per_node_completed.iter().sum(),
+            makespan_s: 1.0,
+            throughput: 0.0,
+            per_node_completed,
+            resilience: ResilienceSummary::healthy(),
+        }
+    }
+
+    #[test]
+    fn imbalance_is_zero_for_degenerate_clusters() {
+        // Zero- and one-node clusters cannot be imbalanced: no NaN (0/0)
+        // and no panic, just 0.0.
+        assert_eq!(report_with_nodes(vec![]).imbalance(), 0.0);
+        assert_eq!(report_with_nodes(vec![0]).imbalance(), 0.0);
+        assert_eq!(report_with_nodes(vec![512]).imbalance(), 0.0);
+        // A multi-node cluster that did no work at all is balanced too.
+        assert_eq!(report_with_nodes(vec![0, 0, 0]).imbalance(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_handles_starved_and_busy_nodes() {
+        assert_eq!(report_with_nodes(vec![100, 100]).imbalance(), 1.0);
+        assert_eq!(report_with_nodes(vec![300, 100]).imbalance(), 3.0);
+        assert!(report_with_nodes(vec![100, 0]).imbalance().is_infinite());
+    }
+
+    #[test]
+    fn protected_cluster_trips_recovers_and_conserves() {
+        use crate::resilience::FaultInjection;
+        use harvest_simkit::FaultPlan;
+        // Stretch the dispatch phase (1 ms/request ⇒ 900 ms for 900
+        // images) across the whole crash-and-recovery arc so dispatches
+        // keep consulting the breaker after the node comes back.
+        let config = ClusterConfig {
+            dispatch_overhead: SimTime::from_millis(1),
+            ..ClusterConfig::standard(pipeline(), 3)
+        };
+        // Node 1 dies early and comes back mid-run: the breaker must trip
+        // while it is down and close again after recovery probes succeed.
+        let faults = FaultInjection {
+            plan: FaultPlan::new(11).with_engine_crash(
+                1,
+                SimTime::from_millis(50),
+                SimTime::from_millis(400),
+            ),
+            policy: Default::default(),
+        };
+        let breaker = BreakerConfig {
+            min_samples: 2,
+            ewma_alpha: 0.5,
+            cooldown: SimTime::from_millis(50),
+            ..BreakerConfig::default()
+        };
+        let report = run_cluster_offline_protected(&config, 900, &faults, &breaker).unwrap();
+        assert_eq!(report.images, 900, "every image completes exactly once");
+        assert_eq!(report.resilience.lost, 0);
+        assert_eq!(report.resilience.duplicated, 0);
+        assert!(report.resilience.breaker_trips >= 1, "dead node must trip");
+        assert!(
+            report.resilience.breaker_closes >= 1,
+            "recovered node must close again"
+        );
+        assert!(
+            report.resilience.breaker_reroutes > 0,
+            "traffic must route around the open breaker"
+        );
+    }
+
+    #[test]
+    fn protected_cluster_with_empty_plan_matches_faulted_run() {
+        // Breakers that never trip must not perturb the simulation.
+        use crate::resilience::FaultInjection;
+        let config = ClusterConfig::standard(pipeline(), 2);
+        let plain = run_cluster_offline_faulted(&config, 400, &FaultInjection::default()).unwrap();
+        let protected = run_cluster_offline_protected(
+            &config,
+            400,
+            &FaultInjection::default(),
+            &BreakerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plain.images, protected.images);
+        assert!((plain.makespan_s - protected.makespan_s).abs() < 1e-12);
+        assert_eq!(protected.resilience.breaker_trips, 0);
+        assert_eq!(protected.resilience.breaker_reroutes, 0);
+    }
+
+    #[test]
+    fn protected_least_loaded_cluster_conserves_too() {
+        use crate::resilience::FaultInjection;
+        use harvest_simkit::FaultPlan;
+        let config = ClusterConfig {
+            dispatch: Dispatch::LeastLoaded,
+            ..ClusterConfig::standard(pipeline(), 3)
+        };
+        let faults = FaultInjection {
+            plan: FaultPlan::new(7).with_engine_crash(
+                0,
+                SimTime::from_millis(5),
+                SimTime::from_secs(30),
+            ),
+            policy: Default::default(),
+        };
+        let report =
+            run_cluster_offline_protected(&config, 600, &faults, &BreakerConfig::default())
+                .unwrap();
+        assert_eq!(report.images, 600);
+        assert_eq!(report.resilience.lost, 0);
+        assert_eq!(report.resilience.duplicated, 0);
     }
 }

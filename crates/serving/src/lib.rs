@@ -18,22 +18,31 @@
 //!   ([`harvest_simkit::fault`]): timeout-detected retries with bounded
 //!   exponential backoff, cross-node failover, skip-frame degradation, and
 //!   conservation accounting (zero lost, zero duplicated).
+//! * [`breaker`] — per-node circuit breakers: failure/latency EWMAs trip a
+//!   node open, half-open probes re-admit it.
+//! * [`overload`] — admission-controlled online serving: bounded queues,
+//!   shed policies, deadline-aware dropping, and goodput accounting.
 
 pub mod batcher;
+pub mod breaker;
 pub mod cluster;
 pub mod multimodel;
+pub mod overload;
 pub mod resilience;
 pub mod scenario;
 pub mod server;
 
-pub use batcher::{BatcherConfig, DynamicBatcher};
+pub use batcher::{BatcherConfig, BatcherConfigError, DynamicBatcher, ShedPolicy};
+pub use breaker::{BreakerBank, BreakerConfig, BreakerState, CircuitBreaker};
 pub use cluster::{
-    run_cluster_offline, run_cluster_offline_faulted, ClusterConfig, ClusterReport, Dispatch,
+    run_cluster_offline, run_cluster_offline_faulted, run_cluster_offline_protected, ClusterConfig,
+    ClusterReport, Dispatch,
 };
-pub use multimodel::{HostedModel, MultiModelServer};
+pub use multimodel::{HostedModel, LadderConfig, LadderSummary, MultiModelServer};
+pub use overload::{run_online_protected, run_online_protected_faulted, OverloadReport};
 pub use resilience::{FaultInjection, ResilienceStats, ResilienceSummary, RetryPolicy};
 pub use scenario::{
     run_offline, run_online, run_online_faulted, run_realtime, run_realtime_degraded,
     OfflineConfig, OfflineReport, OnlineConfig, OnlineReport, RealTimeConfig, RealTimeReport,
 };
-pub use server::{PipelineConfig, PipelineCore, PipelineSim};
+pub use server::{AdmissionConfig, PipelineConfig, PipelineCore, PipelineSim};

@@ -24,7 +24,122 @@ use harvest_perf::MemoryContext;
 use harvest_preproc::{PreprocCostModel, PreprocMethod};
 use harvest_simkit::{Reservoir, Server, Sim, SimTime};
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
+
+/// Graceful-degradation ladder tuning. Lanes are ordered best-first (lane
+/// 0 = the full-quality model); the ladder moves to a cheaper lane when the
+/// sliding-window deadline-miss rate crosses `downgrade_miss_rate`, and
+/// back up — with hysteresis — once the miss rate falls to
+/// `upgrade_miss_rate` and the current tier has been held for `hold`.
+#[derive(Clone, Copy, Debug)]
+pub struct LadderConfig {
+    /// Per-request completion deadline, relative to arrival.
+    pub deadline: SimTime,
+    /// Completions in the sliding miss-rate window.
+    pub window: usize,
+    /// Window miss rate at or above which the ladder downgrades.
+    pub downgrade_miss_rate: f64,
+    /// Window miss rate at or below which the ladder may upgrade.
+    pub upgrade_miss_rate: f64,
+    /// Minimum time on a tier before an upgrade (hysteresis hold).
+    pub hold: SimTime,
+}
+
+/// Ladder outcome counters for a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LadderSummary {
+    /// Tier switches toward cheaper models.
+    pub downgrades: u64,
+    /// Tier switches back toward better models.
+    pub upgrades: u64,
+    /// Time spent serving from each tier, seconds (index = lane).
+    pub time_in_tier_s: Vec<f64>,
+    /// Requests completed through the ladder.
+    pub served: u64,
+    /// Served requests that missed the deadline.
+    pub misses: u64,
+    /// Tier in effect when the run ended.
+    pub final_tier: usize,
+}
+
+struct LadderState {
+    config: LadderConfig,
+    tier: usize,
+    tiers: usize,
+    window: VecDeque<bool>,
+    last_change: SimTime,
+    time_in_tier: Vec<SimTime>,
+    downgrades: u64,
+    upgrades: u64,
+    served: u64,
+    misses: u64,
+}
+
+impl LadderState {
+    fn new(config: LadderConfig, tiers: usize) -> Self {
+        LadderState {
+            config,
+            tier: 0,
+            tiers,
+            window: VecDeque::with_capacity(config.window),
+            last_change: SimTime::ZERO,
+            time_in_tier: vec![SimTime::ZERO; tiers],
+            downgrades: 0,
+            upgrades: 0,
+            served: 0,
+            misses: 0,
+        }
+    }
+
+    fn record(&mut self, now: SimTime, miss: bool) {
+        self.served += 1;
+        if miss {
+            self.misses += 1;
+        }
+        self.window.push_back(miss);
+        if self.window.len() > self.config.window {
+            self.window.pop_front();
+        }
+        if self.window.len() < self.config.window {
+            return;
+        }
+        let missed = self.window.iter().filter(|&&m| m).count() as f64;
+        let rate = missed / self.window.len() as f64;
+        if rate >= self.config.downgrade_miss_rate && self.tier + 1 < self.tiers {
+            self.change_tier(now, self.tier + 1);
+            self.downgrades += 1;
+        } else if rate <= self.config.upgrade_miss_rate
+            && self.tier > 0
+            && now >= self.last_change + self.config.hold
+        {
+            self.change_tier(now, self.tier - 1);
+            self.upgrades += 1;
+        }
+    }
+
+    fn change_tier(&mut self, now: SimTime, new_tier: usize) {
+        self.time_in_tier[self.tier] += now - self.last_change;
+        self.last_change = now;
+        self.tier = new_tier;
+        // A fresh window must fill before the next transition, which is
+        // what prevents a single burst from cascading through every tier.
+        self.window.clear();
+    }
+
+    fn summary(&self, now: SimTime) -> LadderSummary {
+        let mut time_in_tier = self.time_in_tier.clone();
+        time_in_tier[self.tier] += now - self.last_change;
+        LadderSummary {
+            downgrades: self.downgrades,
+            upgrades: self.upgrades,
+            time_in_tier_s: time_in_tier.iter().map(|t| t.as_secs_f64()).collect(),
+            served: self.served,
+            misses: self.misses,
+            final_tier: self.tier,
+        }
+    }
+}
 
 /// Configuration for one co-located model.
 #[derive(Clone, Debug)]
@@ -47,6 +162,7 @@ pub struct MultiModelServer {
     gpu: Server,
     lanes: Vec<ModelLane>,
     submitted: u64,
+    ladder: Option<Rc<RefCell<LadderState>>>,
 }
 
 struct ModelLane {
@@ -76,10 +192,13 @@ impl MultiModelServer {
             total_bytes += engine.memory_bytes();
             lanes.push(ModelLane {
                 engine: Rc::new(engine),
-                batcher: Rc::new(RefCell::new(DynamicBatcher::new(BatcherConfig {
-                    preferred_batch: hosted.max_batch,
-                    max_queue_delay: hosted.max_queue_delay,
-                }))),
+                batcher: Rc::new(RefCell::new(
+                    DynamicBatcher::new(BatcherConfig::new(
+                        hosted.max_batch,
+                        hosted.max_queue_delay,
+                    ))
+                    .map_err(|e| EngineError::InvalidConfig(e.to_string()))?,
+                )),
                 latencies: Rc::new(RefCell::new(Reservoir::new())),
                 completed: Rc::new(RefCell::new(0)),
             });
@@ -107,7 +226,65 @@ impl MultiModelServer {
             gpu: Server::new("gpu", 1),
             lanes,
             submitted: 0,
+            ladder: None,
         })
+    }
+
+    /// Enable the graceful-degradation ladder over this server's lanes
+    /// (ordered best-first). Adaptive submissions then route to the current
+    /// tier, and every ladder completion updates the miss-rate window.
+    pub fn enable_ladder(&mut self, config: LadderConfig) -> Result<(), EngineError> {
+        if config.window == 0 {
+            return Err(EngineError::InvalidConfig(
+                "ladder window must be at least 1".into(),
+            ));
+        }
+        if config.upgrade_miss_rate > config.downgrade_miss_rate {
+            return Err(EngineError::InvalidConfig(format!(
+                "upgrade_miss_rate {} above downgrade_miss_rate {} would oscillate",
+                config.upgrade_miss_rate, config.downgrade_miss_rate
+            )));
+        }
+        self.ladder = Some(Rc::new(RefCell::new(LadderState::new(
+            config,
+            self.lanes.len(),
+        ))));
+        Ok(())
+    }
+
+    /// Submit a request at `at` that is served by whatever tier the ladder
+    /// has selected *at arrival time* — the tier decision happens inside
+    /// the scheduled event, so it sees every completion before `at`.
+    pub fn submit_adaptive(&mut self, at: SimTime) {
+        let ladder = self
+            .ladder
+            .clone()
+            .expect("enable_ladder before submit_adaptive");
+        let id = self.submitted;
+        self.submitted += 1;
+        let per_tier_preproc: Vec<SimTime> = self
+            .lanes
+            .iter()
+            .map(|l| SimTime::from_secs_f64(self.preproc_s(l.engine.model())))
+            .collect();
+        let all_hooks: Vec<LaneHooks> = (0..self.lanes.len()).map(|l| self.lane_hooks(l)).collect();
+        let preproc_server = self.preproc_server.clone();
+        self.sim.schedule_at(at, move |sim| {
+            let tier = ladder.borrow().tier;
+            let service = per_tier_preproc[tier];
+            let hooks = all_hooks[tier].clone();
+            preproc_server.submit(sim, service, move |sim, _stats| {
+                hooks.enqueue(sim, id, at);
+            });
+        });
+    }
+
+    /// Ladder counters (`None` until [`MultiModelServer::enable_ladder`]),
+    /// with time-in-tier finalized at the current sim time.
+    pub fn ladder_summary(&self) -> Option<LadderSummary> {
+        self.ladder
+            .as_ref()
+            .map(|l| l.borrow().summary(self.sim.now()))
     }
 
     /// Per-image preprocessing time for a model's input resolution.
@@ -156,6 +333,10 @@ impl MultiModelServer {
             latencies: l.latencies.clone(),
             completed: l.completed.clone(),
             gpu: self.gpu.clone(),
+            ladder: self
+                .ladder
+                .as_ref()
+                .map(|state| (state.clone(), state.borrow().config.deadline)),
         }
     }
 
@@ -200,6 +381,7 @@ struct LaneHooks {
     latencies: Rc<RefCell<Reservoir>>,
     completed: Rc<RefCell<u64>>,
     gpu: Server,
+    ladder: Option<(Rc<RefCell<LadderState>>, SimTime)>,
 }
 
 impl LaneHooks {
@@ -232,12 +414,17 @@ impl LaneHooks {
             .expect("batcher respects max batch");
         let latencies = self.latencies.clone();
         let completed = self.completed.clone();
+        let ladder = self.ladder.clone();
         self.gpu
             .submit(sim, SimTime::from_secs_f64(latency), move |sim, _stats| {
                 let now = sim.now();
                 let mut lat = latencies.borrow_mut();
                 for req in &batch {
-                    lat.push((now - req.arrival()).as_millis_f64());
+                    let e2e = now - req.arrival();
+                    lat.push(e2e.as_millis_f64());
+                    if let Some((state, deadline)) = &ladder {
+                        state.borrow_mut().record(now, e2e > *deadline);
+                    }
                 }
                 *completed.borrow_mut() += batch.len() as u64;
             });
@@ -339,5 +526,91 @@ mod tests {
             &[hosted(ModelId::VitBase, 8), hosted(ModelId::VitBase, 8)],
         );
         assert!(result.is_err());
+    }
+
+    fn ladder_tiers() -> Vec<HostedModel> {
+        vec![
+            hosted(ModelId::VitBase, 8),
+            hosted(ModelId::VitSmall, 16),
+            hosted(ModelId::VitTiny, 32),
+        ]
+    }
+
+    fn ladder_config(deadline_us: u64) -> LadderConfig {
+        LadderConfig {
+            deadline: SimTime::from_micros(deadline_us),
+            window: 16,
+            downgrade_miss_rate: 0.25,
+            upgrade_miss_rate: 0.05,
+            hold: SimTime::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn invalid_ladder_configs_are_rejected() {
+        let mut s = server(&ladder_tiers());
+        let mut zero_window = ladder_config(16_700);
+        zero_window.window = 0;
+        assert!(s.enable_ladder(zero_window).is_err());
+        let mut oscillating = ladder_config(16_700);
+        oscillating.upgrade_miss_rate = 0.5;
+        oscillating.downgrade_miss_rate = 0.2;
+        assert!(s.enable_ladder(oscillating).is_err());
+        assert!(s.enable_ladder(ladder_config(16_700)).is_ok());
+    }
+
+    #[test]
+    fn light_load_stays_on_the_best_tier() {
+        let mut s = server(&ladder_tiers());
+        s.enable_ladder(ladder_config(16_700)).expect("valid");
+        // 200 req/s is far below ViT-Base capacity: no misses, no moves.
+        for i in 0..300u64 {
+            s.submit_adaptive(SimTime::from_millis(i * 5));
+        }
+        s.run_to_completion();
+        let summary = s.ladder_summary().expect("ladder enabled");
+        assert_eq!(summary.served, 300);
+        assert_eq!(summary.downgrades, 0);
+        assert_eq!(summary.upgrades, 0);
+        assert_eq!(summary.final_tier, 0);
+    }
+
+    #[test]
+    fn sustained_overload_degrades_but_serves_everything() {
+        let mut s = server(&ladder_tiers());
+        s.enable_ladder(ladder_config(16_700)).expect("valid");
+        // 4000 req/s is ~3x ViT-Base capacity: the ladder must move down,
+        // and every request is still served — degradation, not shedding.
+        for i in 0..1000u64 {
+            s.submit_adaptive(SimTime::from_micros(i * 250));
+        }
+        s.run_to_completion();
+        let summary = s.ladder_summary().expect("ladder enabled");
+        assert_eq!(summary.served, 1000);
+        assert!(summary.downgrades >= 1, "overload must force a downgrade");
+        assert!(summary.final_tier > 0);
+        let total: f64 = summary.time_in_tier_s.iter().sum();
+        assert!(
+            summary.time_in_tier_s[0] < 0.5 * total,
+            "most of the run should be served from a cheaper tier: {:?}",
+            summary.time_in_tier_s
+        );
+    }
+
+    #[test]
+    fn ladder_time_accounting_covers_the_whole_run() {
+        let mut s = server(&ladder_tiers());
+        s.enable_ladder(ladder_config(16_700)).expect("valid");
+        for i in 0..500u64 {
+            s.submit_adaptive(SimTime::from_micros(i * 300));
+        }
+        s.run_to_completion();
+        let summary = s.ladder_summary().expect("ladder enabled");
+        let total: f64 = summary.time_in_tier_s.iter().sum();
+        assert!(
+            (total - s.now_s()).abs() < 1e-9,
+            "time in tiers {total} must sum to the makespan {}",
+            s.now_s()
+        );
     }
 }

@@ -1,0 +1,287 @@
+//! Overload-protected online serving: the admission-controlled counterpart
+//! of [`crate::scenario::run_online`].
+//!
+//! An unprotected pipeline accepts every request, so offered load past
+//! saturation makes queue delay (and p99) grow without bound — throughput
+//! is preserved but every completion is stale. A protected pipeline bounds
+//! the frontend (`max_in_flight`), bounds the batcher queue, and — with the
+//! deadline-aware shed policy — refuses to spend GPU time on requests that
+//! can no longer meet the paper's Fig-6 16.7 ms bound. The price is shed
+//! work; the payoff is *goodput*: completions that actually made their
+//! deadline, per second, stays at the saturation plateau and p99 stays
+//! bounded.
+
+use crate::resilience::{FaultContext, FaultInjection, ResilienceStats, ResilienceSummary};
+use crate::scenario::OnlineConfig;
+use crate::server::{AdmissionConfig, PipelineSim};
+use harvest_engine::EngineError;
+use harvest_simkit::{SimRng, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Protected-online results. Conservation holds at every point:
+/// `completed + shed + rejected == submitted` (see
+/// [`OverloadReport::conserved`]).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct OverloadReport {
+    /// Requests offered to the frontend.
+    pub submitted: u64,
+    /// Requests completed (deadline met or not).
+    pub completed: u64,
+    /// Requests turned away at admission (frontend bound or reject-new).
+    pub rejected: u64,
+    /// Admitted requests deliberately dropped (drop-oldest eviction or
+    /// deadline-aware purge).
+    pub shed: u64,
+    /// Completions per second of makespan.
+    pub throughput: f64,
+    /// Deadline-meeting completions per second of makespan — the number
+    /// overload protection exists to defend.
+    pub goodput: f64,
+    /// Fraction of completions that missed the deadline.
+    pub deadline_miss_rate: f64,
+    /// Mean end-to-end latency of completions, ms.
+    pub mean_ms: f64,
+    /// Median latency, ms.
+    pub p50_ms: f64,
+    /// 99th percentile latency, ms.
+    pub p99_ms: f64,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+    /// Time of the last completion, seconds.
+    pub makespan_s: f64,
+    /// Full resilience counters (shed/rejected/lost/duplicated included).
+    pub resilience: ResilienceSummary,
+}
+
+impl OverloadReport {
+    /// The tentpole invariant: every offered request is accounted for
+    /// exactly once and nothing was silently lost or double-counted.
+    pub fn conserved(&self) -> bool {
+        self.completed + self.shed + self.rejected == self.submitted
+            && self.resilience.lost == 0
+            && self.resilience.duplicated == 0
+    }
+}
+
+/// Run the online scenario with overload protection enabled.
+pub fn run_online_protected(
+    config: &OnlineConfig,
+    admission: &AdmissionConfig,
+) -> Result<OverloadReport, EngineError> {
+    run_online_protected_inner(config, admission, None)
+}
+
+/// Run the protected online scenario under an active fault plan as well:
+/// admission control and the retry/failover machinery compose, and the
+/// conservation invariant must still hold.
+pub fn run_online_protected_faulted(
+    config: &OnlineConfig,
+    admission: &AdmissionConfig,
+    faults: &FaultInjection,
+) -> Result<OverloadReport, EngineError> {
+    run_online_protected_inner(config, admission, Some(faults))
+}
+
+fn run_online_protected_inner(
+    config: &OnlineConfig,
+    admission: &AdmissionConfig,
+    faults: Option<&FaultInjection>,
+) -> Result<OverloadReport, EngineError> {
+    let mut pipeline = PipelineSim::new(&config.pipeline)?;
+    // Protection always installs a fault context: the shared stats are
+    // where shed/rejected accounting lives, fault plan or not.
+    let default_faults = FaultInjection::default();
+    let f = faults.unwrap_or(&default_faults);
+    let plan = Rc::new(f.plan.clone());
+    let stats = Rc::new(RefCell::new(ResilienceStats::default()));
+    pipeline.set_fault_context(FaultContext::new(plan.clone(), 0, f.policy, stats.clone()));
+    pipeline.set_admission(admission)?;
+    let mut rng = SimRng::new(config.seed);
+    let mut t = 0.0f64;
+    for _ in 0..config.requests {
+        t += rng.exponential(config.arrival_rate);
+        pipeline.submit(SimTime::from_secs_f64(t));
+    }
+    pipeline.run_to_completion();
+    let submitted = pipeline.submitted();
+    let metrics = pipeline.metrics();
+    let mut m = metrics.borrow_mut();
+    let makespan = m.last_completion.as_secs_f64().max(1e-9);
+    let deadline_ms = admission.deadline.as_millis_f64();
+    let misses = m.latencies_ms.count_above(deadline_ms) as u64;
+    let resilience =
+        ResilienceSummary::from_stats(&stats.borrow(), submitted, &plan, 1, m.last_completion);
+    Ok(OverloadReport {
+        submitted,
+        completed: m.completed,
+        rejected: resilience.rejected,
+        shed: resilience.shed,
+        throughput: m.completed as f64 / makespan,
+        goodput: m.completed.saturating_sub(misses) as f64 / makespan,
+        deadline_miss_rate: if m.completed == 0 {
+            0.0
+        } else {
+            misses as f64 / m.completed as f64
+        },
+        mean_ms: m.latencies_ms.mean(),
+        p50_ms: m.latencies_ms.percentile(50.0),
+        p99_ms: m.latencies_ms.percentile(99.0),
+        mean_batch: pipeline.mean_batch(),
+        makespan_s: makespan,
+        resilience,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::ShedPolicy;
+    use crate::scenario::run_online;
+    use crate::server::PipelineConfig;
+    use harvest_data::DatasetId;
+    use harvest_hw::PlatformId;
+    use harvest_models::ModelId;
+    use harvest_perf::MemoryContext;
+    use harvest_preproc::PreprocMethod;
+
+    fn pipeline(max_batch: u32) -> PipelineConfig {
+        PipelineConfig {
+            platform: PlatformId::MriA100,
+            model: ModelId::VitBase,
+            dataset: DatasetId::CornGrowthStage,
+            preproc: PreprocMethod::Dali224,
+            ctx: MemoryContext::EngineOnly,
+            max_batch,
+            max_queue_delay: SimTime::from_millis(2),
+            preproc_instances: 4,
+            engine_instances: 1,
+        }
+    }
+
+    fn saturation_rate(max_batch: u32) -> f64 {
+        harvest_engine::Engine::build(
+            ModelId::VitBase,
+            PlatformId::MriA100,
+            MemoryContext::EngineOnly,
+            max_batch,
+        )
+        .unwrap()
+        .throughput(max_batch)
+        .unwrap()
+    }
+
+    fn deadline_aware_admission(service_ms: u64) -> AdmissionConfig {
+        AdmissionConfig {
+            max_in_flight: 64,
+            max_queue: 64,
+            shed: ShedPolicy::DeadlineAware {
+                service_estimate: SimTime::from_millis(service_ms),
+            },
+            deadline: SimTime::from_micros(16_700),
+        }
+    }
+
+    #[test]
+    fn protected_run_conserves_every_request() {
+        let config = OnlineConfig {
+            pipeline: pipeline(8),
+            arrival_rate: 2.0 * saturation_rate(8),
+            requests: 800,
+            seed: 7,
+        };
+        let report = run_online_protected(&config, &deadline_aware_admission(5)).unwrap();
+        assert!(
+            report.conserved(),
+            "completed {} + shed {} + rejected {} != submitted {}",
+            report.completed,
+            report.shed,
+            report.rejected,
+            report.submitted
+        );
+        assert!(report.shed + report.rejected > 0, "2x load must shed");
+    }
+
+    #[test]
+    fn protection_bounds_p99_while_baseline_diverges() {
+        let rate = 2.0 * saturation_rate(8);
+        let config = OnlineConfig {
+            pipeline: pipeline(8),
+            arrival_rate: rate,
+            requests: 1200,
+            seed: 11,
+        };
+        let baseline = run_online(&config).unwrap();
+        let protected = run_online_protected(&config, &deadline_aware_admission(5)).unwrap();
+        assert!(
+            protected.p99_ms < baseline.p99_ms / 4.0,
+            "protected p99 {} should be far below baseline {}",
+            protected.p99_ms,
+            baseline.p99_ms
+        );
+        assert!(protected.goodput > 0.0);
+    }
+
+    #[test]
+    fn unbounded_admission_matches_plain_online_run() {
+        // Protection with every bound disabled and reject-new (which never
+        // fires on an unbounded queue) must not perturb the simulation.
+        let config = OnlineConfig {
+            pipeline: pipeline(8),
+            arrival_rate: 0.5 * saturation_rate(8),
+            requests: 400,
+            seed: 3,
+        };
+        let plain = run_online(&config).unwrap();
+        let admission = AdmissionConfig {
+            max_in_flight: 0,
+            max_queue: 0,
+            shed: ShedPolicy::RejectNew,
+            deadline: SimTime::from_secs(3600),
+        };
+        let protected = run_online_protected(&config, &admission).unwrap();
+        assert_eq!(plain.completed, protected.completed);
+        assert_eq!(plain.p99_ms, protected.p99_ms);
+        assert_eq!(protected.shed + protected.rejected, 0);
+    }
+
+    #[test]
+    fn protection_composes_with_fault_injection() {
+        use harvest_simkit::FaultPlan;
+        let config = OnlineConfig {
+            pipeline: pipeline(8),
+            arrival_rate: 1.5 * saturation_rate(8),
+            requests: 600,
+            seed: 13,
+        };
+        let faults = FaultInjection {
+            plan: FaultPlan::new(17)
+                .with_engine_crash(0, SimTime::from_millis(100), SimTime::from_millis(250))
+                .with_transient_errors(0.05),
+            policy: Default::default(),
+        };
+        let report =
+            run_online_protected_faulted(&config, &deadline_aware_admission(5), &faults).unwrap();
+        assert!(report.conserved(), "faults must not break conservation");
+        assert!(report.resilience.retries > 0);
+    }
+
+    #[test]
+    fn frontend_bound_rejects_beyond_in_flight_limit() {
+        let config = OnlineConfig {
+            pipeline: pipeline(8),
+            arrival_rate: 4.0 * saturation_rate(8),
+            requests: 500,
+            seed: 19,
+        };
+        let admission = AdmissionConfig {
+            max_in_flight: 16,
+            max_queue: 0,
+            shed: ShedPolicy::RejectNew,
+            deadline: SimTime::from_micros(16_700),
+        };
+        let report = run_online_protected(&config, &admission).unwrap();
+        assert!(report.rejected > 0, "4x load against a 16-deep frontend");
+        assert!(report.conserved());
+    }
+}

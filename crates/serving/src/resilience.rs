@@ -9,6 +9,7 @@
 //! (zero requests lost, zero duplicated) the fault-path tests assert.
 
 use crate::batcher::QueuedRequest;
+use crate::breaker::BreakerBank;
 use harvest_simkit::{FaultPlan, Sim, SimRng, SimTime};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
@@ -89,6 +90,19 @@ pub struct ResilienceStats {
     /// Real-time frames skipped at the frontend because the engine was
     /// known-down on arrival (graceful degradation).
     pub skipped: u64,
+    /// Queued requests deliberately dropped by admission control (evicted
+    /// by drop-oldest or purged as unable to meet their deadline).
+    pub shed: u64,
+    /// Requests turned away at admission (frontend in-flight bound or a
+    /// full reject-new batcher queue).
+    pub rejected: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_trips: u64,
+    /// Circuit-breaker half-open → closed recoveries.
+    pub breaker_closes: u64,
+    /// Requests dispatched away from their ring-order node because its
+    /// breaker was open.
+    pub breaker_reroutes: u64,
     /// Requests observed completing more than once (must stay zero).
     pub duplicated: u64,
     completed_ids: BTreeSet<u64>,
@@ -126,7 +140,19 @@ pub struct ResilienceSummary {
     pub stalled: u64,
     /// Frames skipped at the frontend (real-time degradation).
     pub skipped: u64,
-    /// Accepted requests that never completed — must be zero.
+    /// Requests deliberately dropped by admission control after admission.
+    pub shed: u64,
+    /// Requests turned away at admission.
+    pub rejected: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_trips: u64,
+    /// Circuit-breaker half-open → closed recoveries.
+    pub breaker_closes: u64,
+    /// Requests routed around an open breaker at dispatch.
+    pub breaker_reroutes: u64,
+    /// Accepted requests that never completed *and* were never deliberately
+    /// shed or rejected — must be zero (conservation:
+    /// completed + shed + rejected = submitted).
     pub lost: u64,
     /// Requests that completed more than once — must be zero.
     pub duplicated: u64,
@@ -145,6 +171,11 @@ impl ResilienceSummary {
             crash_aborts: 0,
             stalled: 0,
             skipped: 0,
+            shed: 0,
+            rejected: 0,
+            breaker_trips: 0,
+            breaker_closes: 0,
+            breaker_reroutes: 0,
             lost: 0,
             duplicated: 0,
             availability: 1.0,
@@ -178,7 +209,12 @@ impl ResilienceSummary {
             crash_aborts: stats.crash_aborts,
             stalled: stats.stalled,
             skipped: stats.skipped,
-            lost: accepted.saturating_sub(stats.distinct_completed()),
+            shed: stats.shed,
+            rejected: stats.rejected,
+            breaker_trips: stats.breaker_trips,
+            breaker_closes: stats.breaker_closes,
+            breaker_reroutes: stats.breaker_reroutes,
+            lost: accepted.saturating_sub(stats.distinct_completed() + stats.shed + stats.rejected),
             duplicated: stats.duplicated,
             availability,
         }
@@ -198,6 +234,7 @@ pub struct FaultContext {
     pub(crate) policy: RetryPolicy,
     pub(crate) stats: Rc<RefCell<ResilienceStats>>,
     pub(crate) failover: Rc<RefCell<Option<FailoverFn>>>,
+    pub(crate) breakers: Option<Rc<BreakerBank>>,
 }
 
 impl FaultContext {
@@ -214,7 +251,14 @@ impl FaultContext {
             policy,
             stats,
             failover: Rc::new(RefCell::new(None)),
+            breakers: None,
         }
+    }
+
+    /// Attach the cluster's per-node circuit breakers: completions and
+    /// crash aborts on this context's node feed its breaker.
+    pub fn set_breakers(&mut self, bank: Rc<BreakerBank>) {
+        self.breakers = Some(bank);
     }
 
     /// The shared stats handle.

@@ -7,7 +7,7 @@
 //! the same overlap the paper credits for large models approaching the
 //! engine bound on the A100.
 
-use crate::batcher::{BatcherConfig, DynamicBatcher, QueuedRequest};
+use crate::batcher::{BatcherConfig, DynamicBatcher, QueuedRequest, ShedPolicy};
 use crate::resilience::FaultContext;
 use harvest_data::DatasetId;
 use harvest_engine::{Engine, EngineError};
@@ -64,6 +64,28 @@ impl PipelineConfig {
     }
 }
 
+/// Overload-protection knobs for one pipeline: a frontend in-flight bound
+/// plus a bounded batcher queue with a shed policy. Deadlines are relative
+/// to each request's arrival and drive both deadline-aware shedding and
+/// the goodput accounting in [`crate::overload`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Frontend bound on admitted-but-incomplete requests; `0` = unlimited.
+    pub max_in_flight: u64,
+    /// Batcher queue bound; `0` = unbounded.
+    pub max_queue: usize,
+    /// What gives way when the batcher queue is full.
+    pub shed: ShedPolicy,
+    /// Per-request completion deadline, relative to arrival.
+    pub deadline: SimTime,
+}
+
+pub(crate) struct AdmissionInner {
+    max_in_flight: u64,
+    deadline: SimTime,
+    in_flight: Cell<u64>,
+}
+
 /// Completion metrics shared between the sim's event handlers.
 #[derive(Default)]
 pub struct Metrics {
@@ -88,6 +110,7 @@ pub struct PipelineCore {
     submitted: u64,
     engine_backlog: Rc<Cell<u64>>,
     fault: Option<FaultContext>,
+    admission: Option<Rc<AdmissionInner>>,
 }
 
 impl PipelineCore {
@@ -97,10 +120,9 @@ impl PipelineCore {
         let engine = Engine::build(config.model, config.platform, config.ctx, config.max_batch)?;
         let cost = PreprocCostModel::new(config.platform);
         let preproc_s = cost.per_image_s(config.preproc, config.dataset);
-        let batcher = DynamicBatcher::new(BatcherConfig {
-            preferred_batch: config.max_batch,
-            max_queue_delay: config.max_queue_delay,
-        });
+        let batcher =
+            DynamicBatcher::new(BatcherConfig::new(config.max_batch, config.max_queue_delay))
+                .map_err(|e| EngineError::InvalidConfig(e.to_string()))?;
         Ok(PipelineCore {
             engine: Rc::new(engine),
             preproc_server: Server::new("preproc", config.preproc_instances),
@@ -111,7 +133,31 @@ impl PipelineCore {
             submitted: 0,
             engine_backlog: Rc::new(Cell::new(0)),
             fault: None,
+            admission: None,
         })
+    }
+
+    /// Enable overload protection: the frontend bounds in-flight requests,
+    /// the batcher queue becomes bounded with the configured shed policy,
+    /// and every request carries an absolute deadline (arrival +
+    /// `config.deadline`). Sheds and rejections are recorded in the fault
+    /// context's [`ResilienceStats`], so call
+    /// [`PipelineCore::set_fault_context`] first.
+    ///
+    /// [`ResilienceStats`]: crate::resilience::ResilienceStats
+    pub fn set_admission(&mut self, config: &AdmissionConfig) -> Result<(), EngineError> {
+        let mut bc = self.batcher.borrow().config();
+        bc.max_queue = config.max_queue;
+        bc.shed = config.shed;
+        let rebuilt =
+            DynamicBatcher::new(bc).map_err(|e| EngineError::InvalidConfig(e.to_string()))?;
+        *self.batcher.borrow_mut() = rebuilt;
+        self.admission = Some(Rc::new(AdmissionInner {
+            max_in_flight: config.max_in_flight,
+            deadline: config.deadline,
+            in_flight: Cell::new(0),
+        }));
+        Ok(())
     }
 
     /// Enable fault-aware operation: preprocessing stalls slow the preproc
@@ -164,6 +210,7 @@ impl PipelineCore {
             preproc_s: self.preproc_s,
             engine_backlog: self.engine_backlog.clone(),
             fault: self.fault.clone(),
+            admission: self.admission.clone(),
         }
     }
 
@@ -199,7 +246,20 @@ impl PipelineCore {
         }
         let service = SimTime::from_secs_f64(service_s);
         let hooks = self.hooks();
+        let admission = self.admission.clone();
         sim.schedule_at(at, move |sim| {
+            // Frontend admission gate: when the in-flight bound is hit the
+            // request is turned away immediately — bounding every queue
+            // downstream of the frontend.
+            if let Some(adm) = &admission {
+                if adm.max_in_flight != 0 && adm.in_flight.get() >= adm.max_in_flight {
+                    if let Some(ctx) = &hooks.fault {
+                        ctx.stats.borrow_mut().rejected += 1;
+                    }
+                    return;
+                }
+                adm.in_flight.set(adm.in_flight.get() + 1);
+            }
             let hooks = hooks.clone();
             preproc_server.submit(sim, service, move |sim, _stats| {
                 hooks.after_preproc(sim, id, at, 0);
@@ -264,6 +324,11 @@ impl PipelineSim {
         self.core.set_fault_context(ctx);
     }
 
+    /// Enable overload protection (see [`PipelineCore::set_admission`]).
+    pub fn set_admission(&mut self, config: &AdmissionConfig) -> Result<(), EngineError> {
+        self.core.set_admission(config)
+    }
+
     /// Submit one request arriving at `at` (absolute sim time).
     pub fn submit(&mut self, at: SimTime) {
         self.core.submit(&mut self.sim, at);
@@ -289,9 +354,30 @@ pub(crate) struct DispatchHooks {
     preproc_s: f64,
     engine_backlog: Rc<Cell<u64>>,
     fault: Option<FaultContext>,
+    admission: Option<Rc<AdmissionInner>>,
 }
 
 impl DispatchHooks {
+    /// Admit request `id` into this node's preprocessing stage at the
+    /// current sim time — the entry point for dispatchers that choose the
+    /// node *inside* a scheduled event (breaker-aware cluster frontends).
+    pub(crate) fn admit_now(&self, sim: &mut Sim, id: u64, arrival: SimTime) {
+        let mut service_s = self.preproc_s;
+        if let Some(ctx) = &self.fault {
+            let slowdown = ctx.plan.preproc_slowdown(ctx.node, sim.now());
+            if slowdown > 1.0 {
+                ctx.stats.borrow_mut().stalled += 1;
+                service_s *= slowdown;
+            }
+        }
+        let service = SimTime::from_secs_f64(service_s);
+        let hooks = self.clone();
+        self.preproc_server
+            .submit(sim, service, move |sim, _stats| {
+                hooks.after_preproc(sim, id, arrival, 0);
+            });
+    }
+
     /// Request `id` (which arrived at `arrival`) finished preprocessing
     /// attempt `attempt`.
     fn after_preproc(&self, sim: &mut Sim, id: u64, arrival: SimTime, attempt: u32) {
@@ -320,24 +406,52 @@ impl DispatchHooks {
             }
         }
         let now = sim.now();
-        let maybe_batch = self
-            .batcher
-            .borrow_mut()
-            .push_with_arrival(id, now, arrival);
-        if let Some(batch) = maybe_batch {
+        let deadline = self.admission.as_ref().map(|a| arrival + a.deadline);
+        let outcome = self.batcher.borrow_mut().offer(id, now, arrival, deadline);
+        self.account_shed(&outcome.shed, !outcome.admitted);
+        if let Some(batch) = outcome.batch {
             self.dispatch_attempt(sim, batch, 0);
         } else {
             // Arm the delay trigger for the (possibly new) queue front.
-            let deadline = self.batcher.borrow().next_deadline();
-            if let Some(at) = deadline {
-                let hooks = self.clone();
-                sim.schedule_at(at.max(sim.now()), move |sim| {
-                    let maybe = hooks.batcher.borrow_mut().poll_deadline(sim.now());
-                    if let Some(batch) = maybe {
-                        hooks.dispatch_attempt(sim, batch, 0);
-                    }
-                });
-            }
+            self.arm_deadline(sim);
+        }
+    }
+
+    /// Schedule a delay-trigger poll for the current queue front. Stale
+    /// events are harmless (the poll re-checks the condition); re-arming
+    /// after each poll keeps the trigger live when a deadline-aware purge
+    /// changes the front.
+    fn arm_deadline(&self, sim: &mut Sim) {
+        if let Some(at) = self.batcher.borrow().next_deadline() {
+            let hooks = self.clone();
+            sim.schedule_at(at.max(sim.now()), move |sim| {
+                let out = hooks.batcher.borrow_mut().poll(sim.now());
+                hooks.account_shed(&out.shed, false);
+                if let Some(batch) = out.batch {
+                    hooks.dispatch_attempt(sim, batch, 0);
+                }
+                if hooks.batcher.borrow().queued() > 0 {
+                    hooks.arm_deadline(sim);
+                }
+            });
+        }
+    }
+
+    /// Account batcher-level sheds and rejections: release their in-flight
+    /// slots and record them in the shared resilience stats.
+    fn account_shed(&self, shed: &[QueuedRequest], rejected: bool) {
+        if shed.is_empty() && !rejected {
+            return;
+        }
+        if let Some(adm) = &self.admission {
+            let released = shed.len() as u64 + u64::from(rejected);
+            adm.in_flight
+                .set(adm.in_flight.get().saturating_sub(released));
+        }
+        if let Some(ctx) = &self.fault {
+            let mut s = ctx.stats.borrow_mut();
+            s.shed += shed.len() as u64;
+            s.rejected += u64::from(rejected);
         }
     }
 
@@ -381,6 +495,9 @@ impl DispatchHooks {
                                 s.timeouts += batch.len() as u64;
                                 s.retries += batch.len() as u64;
                             }
+                            if let Some(bank) = &ctx.breakers {
+                                bank.record_failure(ctx.node, now);
+                            }
                             let key = batch.first().map(|r| r.id).unwrap_or(0);
                             let detect = now.max(fail_at + ctx.policy.timeout);
                             let backoff = ctx.policy.backoff(ctx.plan.seed(), key, attempt);
@@ -402,6 +519,15 @@ impl DispatchHooks {
                             return;
                         }
                     }
+                }
+                if let Some(ctx) = &fault {
+                    if let Some(bank) = &ctx.breakers {
+                        bank.record_success(ctx.node, now, stats.service());
+                    }
+                }
+                if let Some(adm) = &hooks.admission {
+                    adm.in_flight
+                        .set(adm.in_flight.get().saturating_sub(batch.len() as u64));
                 }
                 let mut m = metrics.borrow_mut();
                 for req in &batch {

@@ -1,8 +1,13 @@
-//! Property-based tests for the dynamic batcher.
+//! Property-based tests for the dynamic batcher, the shed policies, and
+//! the circuit-breaker state machine.
 
-use harvest_serving::{BatcherConfig, DynamicBatcher};
-use harvest_simkit::SimTime;
+use harvest_serving::{
+    run_online_protected_faulted, AdmissionConfig, BatcherConfig, BreakerConfig, BreakerState,
+    CircuitBreaker, DynamicBatcher, FaultInjection, OnlineConfig, PipelineConfig, ShedPolicy,
+};
+use harvest_simkit::{FaultPlan, SimTime};
 use proptest::prelude::*;
+use std::collections::HashSet;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -15,10 +20,10 @@ proptest! {
     ) {
         let mut sorted = arrivals.clone();
         sorted.sort_unstable();
-        let mut b = DynamicBatcher::new(BatcherConfig {
-            preferred_batch: preferred,
-            max_queue_delay: SimTime::from_micros(delay_us),
-        });
+        let mut b = DynamicBatcher::new(BatcherConfig::new(
+            preferred,
+            SimTime::from_micros(delay_us),
+        )).expect("valid config");
         let mut dispatched_ids: Vec<u64> = Vec::new();
         for (i, &t) in sorted.iter().enumerate() {
             let now = SimTime::from_micros(t);
@@ -50,10 +55,10 @@ proptest! {
         delay_ms in 1u64..100,
         age_ms in 0u64..200,
     ) {
-        let mut b = DynamicBatcher::new(BatcherConfig {
-            preferred_batch: 100,
-            max_queue_delay: SimTime::from_millis(delay_ms),
-        });
+        let mut b = DynamicBatcher::new(BatcherConfig::new(
+            100,
+            SimTime::from_millis(delay_ms),
+        )).expect("valid config");
         b.push(0, SimTime::ZERO);
         let result = b.poll_deadline(SimTime::from_millis(age_ms));
         if age_ms >= delay_ms {
@@ -71,10 +76,10 @@ proptest! {
         preferred in 1u32..12,
         delay_us in 10u64..3_000,
     ) {
-        let mut b = DynamicBatcher::new(BatcherConfig {
-            preferred_batch: preferred,
-            max_queue_delay: SimTime::from_micros(delay_us),
-        });
+        let mut b = DynamicBatcher::new(BatcherConfig::new(
+            preferred,
+            SimTime::from_micros(delay_us),
+        )).expect("valid config");
         let mut now_us = 0u64;
         let mut next_id = 0u64;
         let mut dispatched: Vec<u64> = Vec::new();
@@ -131,10 +136,10 @@ proptest! {
         pushes in 0u64..400,
         preferred in 1u32..16,
     ) {
-        let mut b = DynamicBatcher::new(BatcherConfig {
-            preferred_batch: preferred,
-            max_queue_delay: SimTime::from_millis(10),
-        });
+        let mut b = DynamicBatcher::new(BatcherConfig::new(
+            preferred,
+            SimTime::from_millis(10),
+        )).expect("valid config");
         for i in 0..pushes {
             let _ = b.push(i, SimTime::ZERO);
         }
@@ -149,10 +154,10 @@ proptest! {
         n in 1u64..500,
         preferred in 1u32..32,
     ) {
-        let mut b = DynamicBatcher::new(BatcherConfig {
-            preferred_batch: preferred,
-            max_queue_delay: SimTime::from_millis(1),
-        });
+        let mut b = DynamicBatcher::new(BatcherConfig::new(
+            preferred,
+            SimTime::from_millis(1),
+        )).expect("valid config");
         for i in 0..n {
             let _ = b.push(i, SimTime::ZERO);
         }
@@ -160,5 +165,229 @@ proptest! {
         let mean = b.mean_batch();
         prop_assert!(mean >= 1.0 - 1e-9);
         prop_assert!(mean <= preferred as f64 + 1e-9);
+    }
+
+    #[test]
+    fn bounded_batcher_conserves_under_every_shed_policy(
+        ops in proptest::collection::vec((0u64..2_000, any::<bool>(), 0u64..40_000), 1..300),
+        preferred in 1u32..12,
+        extra_capacity in 0usize..24,
+        policy_pick in 0u8..3,
+        service_us in 1u64..10_000,
+    ) {
+        let shed = match policy_pick {
+            0 => ShedPolicy::RejectNew,
+            1 => ShedPolicy::DropOldest,
+            _ => ShedPolicy::DeadlineAware {
+                service_estimate: SimTime::from_micros(service_us),
+            },
+        };
+        let mut config = BatcherConfig::new(preferred, SimTime::from_micros(500));
+        config.max_queue = preferred as usize + extra_capacity;
+        config.shed = shed;
+        let mut b = DynamicBatcher::new(config).expect("valid bounded config");
+
+        let mut now_us = 0u64;
+        let mut offered = 0u64;
+        let mut rejected = 0u64;
+        let mut dispatched: Vec<u64> = Vec::new();
+        let mut shed_ids: Vec<u64> = Vec::new();
+        for &(dt, is_push, deadline_off_us) in &ops {
+            now_us += dt;
+            let now = SimTime::from_micros(now_us);
+            if is_push {
+                let id = offered;
+                offered += 1;
+                let deadline = Some(SimTime::from_micros(now_us + deadline_off_us));
+                let outcome = b.offer(id, now, now, deadline);
+                if !outcome.admitted {
+                    rejected += 1;
+                }
+                shed_ids.extend(outcome.shed.iter().map(|r| r.id));
+                if let Some(batch) = outcome.batch {
+                    prop_assert!(batch.len() <= preferred as usize);
+                    dispatched.extend(batch.iter().map(|r| r.id));
+                }
+            } else {
+                let outcome = b.poll(now);
+                shed_ids.extend(outcome.shed.iter().map(|r| r.id));
+                if let Some(batch) = outcome.batch {
+                    prop_assert!(!batch.is_empty());
+                    dispatched.extend(batch.iter().map(|r| r.id));
+                }
+            }
+            // Conservation at every step: every offered request is exactly
+            // one of dispatched / still queued / shed / rejected.
+            prop_assert_eq!(
+                dispatched.len() as u64 + b.queued() as u64 + shed_ids.len() as u64 + rejected,
+                offered,
+                "dispatched {} + queued {} + shed {} + rejected {} != offered {}",
+                dispatched.len(),
+                b.queued(),
+                shed_ids.len(),
+                rejected,
+                offered
+            );
+            // The bound actually binds.
+            prop_assert!(b.queued() <= preferred as usize + extra_capacity);
+        }
+        for batch in b.flush() {
+            dispatched.extend(batch.iter().map(|r| r.id));
+        }
+        prop_assert_eq!(
+            dispatched.len() as u64 + shed_ids.len() as u64 + rejected,
+            offered
+        );
+        prop_assert_eq!(b.shed_requests(), shed_ids.len() as u64);
+        prop_assert_eq!(b.rejected_requests(), rejected);
+        // No id is ever both dispatched and shed, and none appears twice.
+        let mut seen = HashSet::new();
+        for id in dispatched.iter().chain(shed_ids.iter()) {
+            prop_assert!(seen.insert(*id), "request {} surfaced twice", id);
+        }
+    }
+
+    #[test]
+    fn breaker_transitions_are_legal_and_requests_are_conserved(
+        ops in proptest::collection::vec((0u64..50, any::<bool>()), 1..400),
+        min_samples in 1u64..8,
+        cooldown_ms in 10u64..200,
+        half_open_probes in 1u64..8,
+        close_after in 1u64..4,
+    ) {
+        let config = BreakerConfig {
+            error_threshold: 0.5,
+            latency_threshold_s: None,
+            ewma_alpha: 0.5,
+            min_samples,
+            cooldown: SimTime::from_millis(cooldown_ms),
+            half_open_probes,
+            close_after: close_after.min(half_open_probes),
+        };
+        let mut b = CircuitBreaker::new(config);
+        let mut now_ms = 0u64;
+        let mut admitted = 0u64;
+        let mut refused = 0u64;
+        for &(dt, ok) in &ops {
+            now_ms += dt;
+            let now = SimTime::from_millis(now_ms);
+            let before = b.state(now);
+            let was_admitted = b.allow(now);
+            if was_admitted {
+                admitted += 1;
+                if ok {
+                    b.record_success(now, SimTime::from_millis(1));
+                } else {
+                    b.record_failure(now);
+                }
+            } else {
+                refused += 1;
+            }
+            let after = b.state(now);
+            // Closed always admits; open (cooldown not yet elapsed, since
+            // `before` is observed post-advance) never does.
+            match before {
+                BreakerState::Closed => prop_assert!(was_admitted, "closed breaker refused"),
+                BreakerState::Open => prop_assert!(!was_admitted, "open breaker admitted"),
+                BreakerState::HalfOpen => {}
+            }
+            // Legal transition graph. `before` is post-advance, so an
+            // Open→HalfOpen hop never appears inside a single op; a record
+            // at the same instant can only trip or close.
+            let legal = before == after
+                || (before == BreakerState::Closed && after == BreakerState::Open)
+                || (before == BreakerState::HalfOpen && after == BreakerState::Closed)
+                || (before == BreakerState::HalfOpen && after == BreakerState::Open);
+            prop_assert!(legal, "illegal transition {:?} -> {:?}", before, after);
+        }
+        // Every request got exactly one verdict — none lost, none counted
+        // twice — and recoveries never outnumber trips.
+        prop_assert_eq!(admitted + refused, ops.len() as u64);
+        prop_assert!(b.closes() <= b.trips());
+    }
+}
+
+/// End-to-end conservation: the full protected pipeline under arbitrary
+/// machine-generated fault plans. Each case runs a complete discrete-event
+/// simulation, so the case count is kept deliberately small.
+mod faulted_conservation {
+    use super::*;
+    use harvest_data::DatasetId;
+    use harvest_hw::PlatformId;
+    use harvest_models::ModelId;
+    use harvest_perf::MemoryContext;
+    use harvest_preproc::PreprocMethod;
+
+    fn pipeline() -> PipelineConfig {
+        PipelineConfig {
+            platform: PlatformId::MriA100,
+            model: ModelId::VitBase,
+            dataset: DatasetId::CornGrowthStage,
+            preproc: PreprocMethod::Dali224,
+            ctx: MemoryContext::EngineOnly,
+            max_batch: 8,
+            max_queue_delay: SimTime::from_millis(2),
+            preproc_instances: 4,
+            engine_instances: 1,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn protected_pipeline_conserves_under_arbitrary_fault_plans(
+            seed in 0u64..1_000,
+            fault_seed in 0u64..1_000,
+            crash_start_ms in 0u64..200,
+            crash_len_ms in 1u64..200,
+            transient_pct in 0u32..25,
+            rate in 200.0f64..4_000.0,
+            requests in 100u32..300,
+            policy_pick in 0u8..3,
+            max_in_flight in 8u64..128,
+        ) {
+            let shed = match policy_pick {
+                0 => ShedPolicy::RejectNew,
+                1 => ShedPolicy::DropOldest,
+                _ => ShedPolicy::DeadlineAware {
+                    service_estimate: SimTime::from_millis(5),
+                },
+            };
+            let admission = AdmissionConfig {
+                max_in_flight,
+                max_queue: 64,
+                shed,
+                deadline: SimTime::from_micros(16_700),
+            };
+            let config = OnlineConfig {
+                pipeline: pipeline(),
+                arrival_rate: rate,
+                requests,
+                seed,
+            };
+            let faults = FaultInjection {
+                plan: FaultPlan::new(fault_seed)
+                    .with_engine_crash(
+                        0,
+                        SimTime::from_millis(crash_start_ms),
+                        SimTime::from_millis(crash_start_ms + crash_len_ms),
+                    )
+                    .with_transient_errors(f64::from(transient_pct) / 100.0),
+                policy: Default::default(),
+            };
+            let report = run_online_protected_faulted(&config, &admission, &faults)
+                .expect("protected run");
+            prop_assert!(
+                report.conserved(),
+                "completed {} + shed {} + rejected {} != submitted {} (lost {}, dup {})",
+                report.completed,
+                report.shed,
+                report.rejected,
+                report.submitted,
+                report.resilience.lost,
+                report.resilience.duplicated
+            );
+        }
     }
 }
