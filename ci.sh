@@ -5,6 +5,7 @@
 #   2. lints             cargo clippy -D warnings (core crates of this stack)
 #   3. tier-1 tests      cargo build --release && cargo test -q
 #   4. overload smoke    experiments overload --smoke + artifact drift check
+#   5. bench smoke       experiments bench --smoke + schema/determinism check
 #
 # Everything runs offline: the crates.io dependencies are vendored as
 # API-compatible shims under shims/, wired via workspace path deps.
@@ -18,6 +19,7 @@ echo "== clippy =="
 cargo clippy --offline --release \
     -p harvest-simkit -p harvest-serving -p harvest-core -p harvest-bench \
     -p harvest -p harvest-perf -p harvest-models \
+    -p harvest-engine -p harvest-tensor \
     --all-targets -- -D warnings
 
 echo "== tier-1: build =="
@@ -34,5 +36,22 @@ trap 'rm -rf "$smoke_dir"' EXIT
 ./target/release/experiments overload --smoke --json "$smoke_dir"
 diff artifacts/overload.json "$smoke_dir/overload.json" \
     || { echo "artifacts/overload.json drifted from the code"; exit 1; }
+
+echo "== bench smoke =="
+# Reduced-size kernel + model benches: the run itself asserts batched logits
+# match the per-image reference (< 1e-4 rel) and that reruns are
+# bit-identical. Here we gate the BENCH.json schema and, by running twice,
+# that the logits fingerprints are deterministic (timings may differ).
+./target/release/experiments bench --smoke --json "$smoke_dir"
+for key in kernels models speedup logits_fingerprint rel_err_vs_reference \
+    imgs_per_s_batched achieved_gflops peak_live_f32; do
+    grep -q "\"$key\"" "$smoke_dir/BENCH.json" \
+        || { echo "BENCH.json missing key: $key"; exit 1; }
+done
+grep '"logits_fingerprint"' "$smoke_dir/BENCH.json" > "$smoke_dir/fp1"
+./target/release/experiments bench --smoke --json "$smoke_dir"
+grep '"logits_fingerprint"' "$smoke_dir/BENCH.json" > "$smoke_dir/fp2"
+diff "$smoke_dir/fp1" "$smoke_dir/fp2" \
+    || { echo "bench logits fingerprints are not deterministic"; exit 1; }
 
 echo "CI gate passed."

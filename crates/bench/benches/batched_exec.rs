@@ -1,0 +1,90 @@
+//! Batched execution engine benches: the weight-cached batched path vs the
+//! per-image reference path, at the batch sizes the paper's serving layer
+//! actually dispatches (1, 4, 16, 64), plus the GEMM tiers the batched
+//! linears ride on. `experiments bench` is the JSON-producing harness that
+//! CI gates on; this bin is the interactive Criterion view of the same
+//! kernels and forwards.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harvest_engine::Executor;
+use harvest_models::{vit, vit_tiny, VitConfig};
+use harvest_tensor::gemm::{gemm, gemm_bt};
+use harvest_tensor::Tensor;
+use std::hint::black_box;
+
+/// The ViT-Tiny linear shape: (B·s)×k×n with k = dim, n = hidden.
+fn gemm_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_exec/gemm_257x192x768");
+    let (m, k, n) = (257usize, 192usize, 768usize);
+    let a = vec![0.5f32; m * k];
+    let b_kxn = vec![0.25f32; k * n];
+    let b_nxk = vec![0.25f32; n * k];
+    let mut out = vec![0.0f32; m * n];
+    group.bench_function("blocked_pretransposed", |bch| {
+        bch.iter(|| gemm(black_box(&a), black_box(&b_kxn), &mut out, m, k, n))
+    });
+    group.bench_function("bt_out_major", |bch| {
+        bch.iter(|| gemm_bt(black_box(&a), black_box(&b_nxk), &mut out, m, k, n))
+    });
+    group.finish();
+}
+
+/// A reduced ViT so the full BS sweep stays interactive.
+fn vit_micro() -> harvest_models::Graph {
+    vit(
+        "vit-micro",
+        &VitConfig {
+            dim: 64,
+            depth: 2,
+            heads: 2,
+            patch: 4,
+            img: 16,
+            mlp_ratio: 4,
+            classes: 10,
+        },
+    )
+}
+
+fn batched_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_exec/vit_micro_forward_batch");
+    group.sample_size(20);
+    let g = vit_micro();
+    let exec = Executor::new(&g, 42);
+    for bs in [1usize, 4, 16, 64] {
+        let inputs: Vec<Tensor> = (0..bs)
+            .map(|i| Tensor::random(&[3, 16, 16], 100 + i as u64, 1.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &inputs, |b, inputs| {
+            b.iter(|| black_box(exec.forward_batch(black_box(inputs))))
+        });
+    }
+    group.finish();
+}
+
+fn vit_tiny_batched_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_exec/vit_tiny");
+    group.sample_size(10);
+    let g = vit_tiny(39);
+    let exec = Executor::new(&g, 42);
+    let one = Tensor::random(&[3, 32, 32], 7, 1.0);
+    group.bench_function("reference_per_image", |b| {
+        b.iter(|| black_box(exec.forward_reference(black_box(&one))))
+    });
+    group.bench_function("batched_bs1", |b| {
+        b.iter(|| black_box(exec.forward(black_box(&one))))
+    });
+    let batch16: Vec<Tensor> = (0..16)
+        .map(|i| Tensor::random(&[3, 32, 32], 7 + i as u64, 1.0))
+        .collect();
+    group.bench_function("batched_bs16", |b| {
+        b.iter(|| black_box(exec.forward_batch(black_box(&batch16))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = gemm_tiers, batched_sweep, vit_tiny_batched_vs_reference
+}
+criterion_main!(benches);

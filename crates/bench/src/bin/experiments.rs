@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|host]...
+//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|bench|host]...
 //!             [--json DIR] [--smoke]
 //! ```
 //!
@@ -92,9 +92,87 @@ fn main() {
     if run("overload") {
         overload(&save, smoke);
     }
+    if run("bench") {
+        bench(&save, smoke);
+    }
     if run("host") {
         host();
     }
+}
+
+fn bench(save: &dyn Fn(&str, String), smoke: bool) {
+    println!("== Extension: measured execution performance (batched engine vs per-image seed) ==");
+    let report = exp::bench(smoke);
+    // Self-checks beyond the ones inside the runner (tolerance, same-run
+    // determinism, full-mode speedup floor): a full second run must
+    // reproduce every logits fingerprint bit for bit.
+    let rerun = exp::bench(smoke);
+    for (a, b) in report.models.iter().zip(&rerun.models) {
+        assert_eq!(
+            (a.model.as_str(), a.batch),
+            (b.model.as_str(), b.batch),
+            "model rows diverged between runs"
+        );
+        assert_eq!(
+            a.logits_fingerprint, b.logits_fingerprint,
+            "{} B={}: logits not reproducible across runs",
+            a.model, a.batch
+        );
+    }
+    if !smoke {
+        let ktab: Vec<Vec<String>> = report
+            .kernels
+            .iter()
+            .map(|k| {
+                vec![
+                    k.kernel.clone(),
+                    k.shape.clone(),
+                    format!("{:.3}", k.ms),
+                    pretty(k.gflops, 2),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(&["Kernel", "Shape", "ms/call", "GFLOP/s"], &ktab)
+        );
+        let mtab: Vec<Vec<String>> = report
+            .models
+            .iter()
+            .map(|m| {
+                vec![
+                    m.model.clone(),
+                    m.batch.to_string(),
+                    format!("{:.2}", m.per_image_baseline_ms),
+                    format!("{:.2}", m.batched_ms_per_image),
+                    pretty(m.imgs_per_s_batched, 1),
+                    format!("{:.2}x", m.speedup),
+                    pretty(m.achieved_gflops, 1),
+                    format!("{:.1e}", m.rel_err_vs_reference),
+                    m.logits_fingerprint.clone(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(
+                &[
+                    "Model",
+                    "Batch",
+                    "Base ms/img",
+                    "Batched ms/img",
+                    "img/s",
+                    "Speedup",
+                    "GFLOP/s",
+                    "RelErr",
+                    "Fingerprint",
+                ],
+                &mtab
+            )
+        );
+    }
+    println!("  self-check: rel err < 1e-4, bit-identical logits across reruns — all OK");
+    save("BENCH", serde_json::to_string_pretty(&report).unwrap());
 }
 
 fn overload(save: &dyn Fn(&str, String), smoke: bool) {

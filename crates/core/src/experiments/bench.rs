@@ -1,0 +1,445 @@
+//! Measured execution performance: the host-side companion to Fig 5/6.
+//!
+//! The paper's batch-scaling figures (achieved TFLOPS / latency vs batch
+//! size) are modeled analytically elsewhere; this experiment produces the
+//! *measured* counterpart on the machine the reproduction runs on. It times
+//! the kernels the executor is built from (GEMM variants, im2col conv,
+//! attention) and whole-model forwards at several batch sizes through both
+//! execution paths:
+//!
+//! * baseline — [`Executor::forward_reference`], the seed per-image path
+//!   (weights regenerated every call, scalar `gemm_bt` linears, no reuse);
+//! * batched — [`Executor::forward_batch`], the weight-cached engine with
+//!   the batch dimension folded into the GEMMs.
+//!
+//! Every row carries correctness evidence next to its timing: the relative
+//! error of batched logits against the reference path (must stay below
+//! `1e-4`) and an order-sensitive FNV-1a fingerprint of the logits that
+//! must be bit-identical across reruns — the determinism CI gates on.
+//! Timings themselves vary run to run; the *schema* and the fingerprints
+//! do not.
+
+use harvest_engine::Executor;
+use harvest_models::{resnet50, vit, vit_tiny, Graph, GraphBuilder, Op, Shape, VitConfig};
+use harvest_tensor::attention::AttentionWeights;
+use harvest_tensor::gemm::{gemm, gemm_bt};
+use harvest_tensor::quant::quantized_gemm;
+use harvest_tensor::{conv2d, multi_head_attention, Tensor};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed kernel configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchKernel {
+    /// Kernel name (`gemm`, `gemm_bt`, `quantized_gemm`, `conv2d`,
+    /// `attention`).
+    pub kernel: String,
+    /// Problem shape, human-readable.
+    pub shape: String,
+    /// Timing repetitions (best-of).
+    pub reps: usize,
+    /// Best wall time per call, milliseconds.
+    pub ms: f64,
+    /// Achieved GFLOP/s (2 FLOPs per MAC).
+    pub gflops: f64,
+}
+
+/// One (model, batch size) row: baseline vs batched, with correctness
+/// evidence.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchModel {
+    /// Model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Timing repetitions for the batched path (best-of).
+    pub reps: usize,
+    /// Seed per-image reference path: milliseconds per image.
+    pub per_image_baseline_ms: f64,
+    /// Batched path: milliseconds per image at this batch size.
+    pub batched_ms_per_image: f64,
+    /// Baseline throughput, images per second.
+    pub imgs_per_s_baseline: f64,
+    /// Batched throughput, images per second.
+    pub imgs_per_s_batched: f64,
+    /// Batched over baseline throughput.
+    pub speedup: f64,
+    /// Achieved GFLOP/s of the batched path (2 · analytic MACs · img/s).
+    pub achieved_gflops: f64,
+    /// Largest relative L2 error of batched logits vs the reference path
+    /// over the checked images.
+    pub rel_err_vs_reference: f64,
+    /// FNV-1a 64 fingerprint over the batch's logit bits — bit-identical
+    /// across reruns (the determinism CI checks).
+    pub logits_fingerprint: String,
+    /// Peak live activation f32 elements during the batched forward (what
+    /// the liveness pass bounds).
+    pub peak_live_f32: usize,
+}
+
+/// The measured-execution report (`BENCH.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    /// True when produced by the CI smoke configuration (tiny shapes).
+    pub smoke: bool,
+    /// Kernel microbenchmarks.
+    pub kernels: Vec<BenchKernel>,
+    /// Whole-model rows.
+    pub models: Vec<BenchModel>,
+}
+
+/// Order-sensitive FNV-1a 64 over the bit patterns of a batch of logits.
+fn fingerprint(outputs: &[Tensor]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for t in outputs {
+        for &v in t.data() {
+            for byte in v.to_bits().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_best_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+    Tensor::random(&[len], seed, 1.0).into_vec()
+}
+
+fn kernel_row(kernel: &str, shape: String, reps: usize, ms: f64, macs: f64) -> BenchKernel {
+    BenchKernel {
+        kernel: kernel.to_string(),
+        shape,
+        reps,
+        ms,
+        gflops: 2.0 * macs / (ms / 1e3) / 1e9,
+    }
+}
+
+fn bench_kernels(smoke: bool) -> Vec<BenchKernel> {
+    let reps = if smoke { 2 } else { 5 };
+    let mut rows = Vec::new();
+
+    // Square GEMM at the three precisions/layouts the executor uses.
+    let n = if smoke { 64 } else { 256 };
+    let a = rand_vec(n * n, 1);
+    let b = rand_vec(n * n, 2);
+    let mut c = vec![0.0f32; n * n];
+    let macs = (n * n * n) as f64;
+    let ms = time_best_ms(reps, || gemm(&a, &b, &mut c, n, n, n));
+    rows.push(kernel_row("gemm", format!("{n}x{n}x{n}"), reps, ms, macs));
+    let ms = time_best_ms(reps, || gemm_bt(&a, &b, &mut c, n, n, n));
+    rows.push(kernel_row(
+        "gemm_bt",
+        format!("{n}x{n}x{n}"),
+        reps,
+        ms,
+        macs,
+    ));
+    let ms = time_best_ms(reps, || {
+        std::hint::black_box(quantized_gemm(&a, &b, n, n, n));
+    });
+    rows.push(kernel_row(
+        "quantized_gemm",
+        format!("{n}x{n}x{n}"),
+        reps,
+        ms,
+        macs,
+    ));
+
+    // im2col convolution at a ResNet-interior shape.
+    let (cin, cout, hw, k) = if smoke {
+        (8, 8, 14, 3)
+    } else {
+        (64, 64, 56, 3)
+    };
+    let input = rand_vec(cin * hw * hw, 3);
+    let weight = rand_vec(cout * cin * k * k, 4);
+    let ms = time_best_ms(reps, || {
+        std::hint::black_box(conv2d(&input, &weight, &[], 1, cin, hw, hw, cout, k, 1, 1));
+    });
+    rows.push(kernel_row(
+        "conv2d",
+        format!("{cin}x{hw}x{hw} -> {cout}, k{k}"),
+        reps,
+        ms,
+        (cout * cin * k * k * hw * hw) as f64,
+    ));
+
+    // Multi-head attention at ViT-Tiny geometry.
+    let (s, d, heads) = if smoke { (17, 32, 2) } else { (257, 192, 3) };
+    let x = rand_vec(s * d, 5);
+    let w_qkv = rand_vec(3 * d * d, 6);
+    let b_qkv = rand_vec(3 * d, 7);
+    let w_out = rand_vec(d * d, 8);
+    let b_out = rand_vec(d, 9);
+    let weights = AttentionWeights {
+        w_qkv: &w_qkv,
+        b_qkv: &b_qkv,
+        w_out: &w_out,
+        b_out: &b_out,
+    };
+    let ms = time_best_ms(reps, || {
+        std::hint::black_box(multi_head_attention(&x, s, d, heads, &weights));
+    });
+    let attn_macs = (4 * d * d * s + 2 * s * s * d) as f64;
+    rows.push(kernel_row(
+        "attention",
+        format!("s{s} d{d} h{heads}"),
+        reps,
+        ms,
+        attn_macs,
+    ));
+    rows
+}
+
+/// Bench one model at the given batch sizes. `baseline_images` bounds how
+/// many images the (slow) reference path is timed and checked on.
+fn bench_model(
+    graph: &Graph,
+    name: &str,
+    batches: &[usize],
+    reps: usize,
+    baseline_images: usize,
+) -> Vec<BenchModel> {
+    let exec = Executor::new(graph, 42);
+    let side = match graph.input_shape() {
+        Shape::Chw { h, .. } => h,
+        s => panic!("image models only, got {s}"),
+    };
+    let max_batch = batches.iter().copied().max().unwrap_or(1);
+    let inputs: Vec<Tensor> = (0..max_batch)
+        .map(|i| Tensor::random(&[3, side, side], 1000 + i as u64, 1.0))
+        .collect();
+
+    // The reference path is identical per image, so time it once on a few
+    // images and reuse the per-image figure for every batch-size row.
+    let check = baseline_images.min(max_batch).max(1);
+    let references: Vec<Tensor> = inputs[..check]
+        .iter()
+        .map(|x| exec.forward_reference(x))
+        .collect();
+    let baseline_ms = time_best_ms(1, || {
+        for x in &inputs[..check] {
+            std::hint::black_box(exec.forward_reference(x));
+        }
+    }) / check as f64;
+
+    let macs = graph.stats().macs_with_attention;
+    batches
+        .iter()
+        .map(|&b| {
+            let slice = &inputs[..b];
+            let (outputs, peak) = exec.forward_batch_with_peak(slice);
+            // Correctness first: batched logits track the reference path.
+            let mut rel_err = 0.0f64;
+            for (out, reference) in outputs.iter().zip(&references) {
+                let err = harvest_tensor::quant::relative_error(reference.data(), out.data());
+                assert!(
+                    err < 1e-4,
+                    "{name} B={b}: batched vs reference relative error {err}"
+                );
+                rel_err = rel_err.max(err);
+            }
+            let fp = fingerprint(&outputs);
+            // Determinism: a rerun reproduces the logits bit for bit.
+            let rerun = exec.forward_batch(slice);
+            assert_eq!(
+                fp,
+                fingerprint(&rerun),
+                "{name} B={b}: forward_batch not deterministic"
+            );
+            let batched_ms = time_best_ms(reps, || {
+                std::hint::black_box(exec.forward_batch(slice));
+            }) / b as f64;
+            let imgs_per_s_batched = 1e3 / batched_ms;
+            BenchModel {
+                model: name.to_string(),
+                batch: b,
+                reps,
+                per_image_baseline_ms: baseline_ms,
+                batched_ms_per_image: batched_ms,
+                imgs_per_s_baseline: 1e3 / baseline_ms,
+                imgs_per_s_batched,
+                speedup: baseline_ms / batched_ms,
+                achieved_gflops: 2.0 * macs * imgs_per_s_batched / 1e9,
+                rel_err_vs_reference: rel_err,
+                logits_fingerprint: fp,
+                peak_live_f32: peak,
+            }
+        })
+        .collect()
+}
+
+/// A small plain CNN so the smoke run covers the conv/pool/BN path too.
+fn micro_cnn() -> Graph {
+    let (mut b, input) = GraphBuilder::new("cnn-micro", Shape::Chw { c: 3, h: 16, w: 16 });
+    let conv1 = b.push(
+        "conv1",
+        Op::Conv2d {
+            cin: 3,
+            cout: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            bias: true,
+        },
+        &[input],
+    );
+    let bn1 = b.push("bn1", Op::BatchNorm { channels: 8 }, &[conv1]);
+    let relu1 = b.push("relu1", Op::Relu, &[bn1]);
+    let pool = b.push(
+        "pool",
+        Op::MaxPool {
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        },
+        &[relu1],
+    );
+    let conv2 = b.push(
+        "conv2",
+        Op::Conv2d {
+            cin: 8,
+            cout: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            bias: true,
+        },
+        &[pool],
+    );
+    let relu2 = b.push("relu2", Op::Relu, &[conv2]);
+    let gap = b.push("gap", Op::GlobalAvgPool, &[relu2]);
+    let fc = b.push(
+        "fc",
+        Op::Linear {
+            cin: 16,
+            cout: 10,
+            bias: true,
+        },
+        &[gap],
+    );
+    b.finish(fc)
+}
+
+/// Run the measured-execution benchmark. `smoke` selects tiny shapes and
+/// models so CI can regenerate and gate the report in seconds; the full
+/// configuration times the real zoo at the Fig-5 batch sizes.
+pub fn bench(smoke: bool) -> BenchReport {
+    let kernels = bench_kernels(smoke);
+    let mut models = Vec::new();
+    if smoke {
+        let micro_vit = vit(
+            "vit-micro",
+            &VitConfig {
+                dim: 64,
+                depth: 2,
+                heads: 2,
+                patch: 4,
+                img: 16,
+                mlp_ratio: 4,
+                classes: 10,
+            },
+        );
+        models.extend(bench_model(&micro_vit, "vit-micro", &[1, 4], 2, 2));
+        let cnn = micro_cnn();
+        models.extend(bench_model(&cnn, "cnn-micro", &[1, 4], 2, 2));
+    } else {
+        let tiny = vit_tiny(39);
+        models.extend(bench_model(&tiny, "vit-tiny", &[1, 4, 16, 64], 2, 2));
+        let small = harvest_models::vit_small(39);
+        models.extend(bench_model(&small, "vit-small", &[1, 16], 2, 1));
+        let r50 = resnet50(1000);
+        models.extend(bench_model(&r50, "resnet50", &[1, 8], 2, 1));
+        // Regression floor for the headline row: batched ViT-Tiny at B=16
+        // must beat the seed per-image path by a wide margin (measured
+        // ~4-5x; the floor leaves slack for noisy CI hosts).
+        let headline = models
+            .iter()
+            .find(|m| m.model == "vit-tiny" && m.batch == 16)
+            .expect("headline row present");
+        assert!(
+            headline.speedup >= 2.0,
+            "vit-tiny B=16 speedup regressed: {:.2}x",
+            headline.speedup
+        );
+    }
+    BenchReport {
+        smoke,
+        kernels,
+        models,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_well_formed() {
+        let report = bench(true);
+        assert!(report.smoke);
+        assert_eq!(report.kernels.len(), 5);
+        assert_eq!(report.models.len(), 4, "two models x two batch sizes");
+        for k in &report.kernels {
+            assert!(k.ms > 0.0 && k.gflops > 0.0, "{}: empty timing", k.kernel);
+        }
+        for m in &report.models {
+            assert!(m.rel_err_vs_reference < 1e-4);
+            assert_eq!(m.logits_fingerprint.len(), 16);
+            assert!(m.peak_live_f32 > 0);
+            assert!(m.imgs_per_s_batched > 0.0);
+        }
+    }
+
+    #[test]
+    fn smoke_fingerprints_are_reproducible() {
+        let a = bench(true);
+        let b = bench(true);
+        for (x, y) in a.models.iter().zip(&b.models) {
+            assert_eq!(x.model, y.model);
+            assert_eq!(x.batch, y.batch);
+            assert_eq!(
+                x.logits_fingerprint, y.logits_fingerprint,
+                "{} B={}: logits changed between runs",
+                x.model, x.batch
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![2.0, 1.0]);
+        assert_ne!(fingerprint(&[a.clone(), b.clone()]), fingerprint(&[b, a]));
+    }
+
+    #[test]
+    fn report_serializes_with_schema_keys() {
+        let report = bench(true);
+        let json = serde_json::to_string(&report).expect("serializable");
+        for key in [
+            "\"kernels\"",
+            "\"models\"",
+            "\"speedup\"",
+            "\"logits_fingerprint\"",
+            "\"rel_err_vs_reference\"",
+            "\"achieved_gflops\"",
+            "\"peak_live_f32\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+}

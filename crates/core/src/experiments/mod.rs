@@ -5,6 +5,7 @@
 //! EXPERIMENTS.md records paper-vs-measured for every entry.
 
 pub mod ablations;
+pub mod bench;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -17,6 +18,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
+pub use bench::{bench, BenchKernel, BenchModel, BenchReport};
 pub use fig4::{fig4, Fig4Dataset};
 pub use fig5::{fig5, Fig5Platform, Fig5Point, Fig5Series};
 pub use fig6::{fig6, Fig6Platform, Fig6Point, Fig6Series};

@@ -1,16 +1,38 @@
-//! Real execution: a working forward pass over `harvest-tensor` kernels.
+//! Real execution: a batched, weight-cached forward pass over
+//! `harvest-tensor` kernels.
 //!
 //! The simulated engine answers "how fast would this run on an A100"; this
-//! executor answers "does the model actually compute". Weights are
+//! executor answers "does the model actually compute" — and, since the
+//! batched rewrite, "how fast does the host actually run it". Weights are
 //! generated deterministically per node (fan-in-scaled uniform init), so a
 //! given (model, seed) always produces the same logits — the property the
 //! integration tests and examples rely on.
+//!
+//! Two execution paths live here:
+//!
+//! * [`Executor::forward_batch`] / [`Executor::forward`] — the production
+//!   path. Weights are materialized **once per executor**
+//!   ([`MaterializedWeights`]): matmul weights are stored pre-transposed in
+//!   `k×n` layout so every linear-like layer runs through the vectorizable
+//!   blocked [`harvest_tensor::gemm::gemm`] instead of the scalar
+//!   dot-product `gemm_bt`, and INT8 executors additionally cache the
+//!   quantized weight matrices. The batch dimension is folded into the
+//!   GEMMs (`Linear`/`Mlp`/QKV become single `(B·s)×k` matmuls; convs run
+//!   the whole NCHW batch through one im2col+GEMM call), and a liveness
+//!   pass drops every intermediate after its last consumer, recycling the
+//!   backing buffers through a per-forward arena.
+//! * [`Executor::forward_reference`] — the seed per-image path, kept
+//!   verbatim: weights regenerated from the seed on every call, linears via
+//!   `gemm_bt`, INT8 weights re-transposed and re-quantized per call. It is
+//!   the correctness oracle for the batched path and the baseline the
+//!   `experiments bench` harness measures speedups against.
 
-use harvest_models::{Graph, NodeId, Op, Shape};
+use harvest_models::{Graph, Node, NodeId, Op, Shape};
 use harvest_tensor::attention::AttentionWeights;
+use harvest_tensor::quant::{quantize_symmetric, QuantizedTensor};
 use harvest_tensor::{
-    avg_pool2d_global, conv2d, gelu, layernorm, max_pool2d, multi_head_attention, relu,
-    softmax_rows, Tensor,
+    add_bias, avg_pool2d_global, conv2d, conv2d_into, gelu, layernorm, max_pool2d,
+    multi_head_attention, relu, softmax_rows, Tensor,
 };
 
 /// Deterministic per-node weights for a graph.
@@ -34,36 +56,887 @@ impl WeightStore {
     }
 }
 
-/// Executes a graph per-image on the host kernels.
+/// A matmul weight in the layout the fast path wants: `k×n`, ready to be
+/// the B operand of [`harvest_tensor::gemm::gemm`], with an optional cached
+/// symmetric INT8 quantization of the same matrix.
+struct LinearWeight {
+    k: usize,
+    n: usize,
+    kxn: Vec<f32>,
+    int8: Option<QuantizedTensor>,
+}
+
+impl LinearWeight {
+    /// Build from a `[n][k]` out-major weight (the `torch.nn.Linear`
+    /// layout the [`WeightStore`] generates), pre-transposing once.
+    fn from_out_major(w_t: &Tensor, k: usize, n: usize, quantize: bool) -> Self {
+        assert_eq!(w_t.len(), k * n);
+        let src = w_t.data();
+        let mut kxn = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                kxn[p * n + j] = src[j * k + p];
+            }
+        }
+        let int8 = if quantize {
+            Some(quantize_symmetric(&kxn))
+        } else {
+            None
+        };
+        LinearWeight { k, n, kxn, int8 }
+    }
+}
+
+/// Per-node weights in execution-ready form.
+enum NodeWeights {
+    /// No learned state (input, activations, pooling, add, softmax, …).
+    None,
+    /// Conv kernel as the GEMM A operand `[cout][cin·k·k]` plus bias
+    /// (empty when the op has none).
+    Conv { weight: Tensor, bias: Tensor },
+    /// Inference BN constants: near-identity statistics, learned beta.
+    BatchNorm {
+        gamma: Vec<f32>,
+        beta: Tensor,
+        mean: Vec<f32>,
+        var: Vec<f32>,
+    },
+    /// LayerNorm affine constants (identity in this zoo).
+    LayerNorm { gamma: Vec<f32>, beta: Vec<f32> },
+    Linear {
+        w: LinearWeight,
+        bias: Option<Tensor>,
+    },
+    PatchEmbed {
+        weight: Tensor,
+        bias: Tensor,
+        cls: Tensor,
+        pos: Tensor,
+    },
+    Attention {
+        w_qkv: LinearWeight,
+        b_qkv: Tensor,
+        w_out: LinearWeight,
+        b_out: Tensor,
+    },
+    LinearAttention {
+        w_rkv: LinearWeight,
+        w_out: LinearWeight,
+    },
+    Mlp {
+        w1: LinearWeight,
+        b1: Tensor,
+        w2: LinearWeight,
+        b2: Tensor,
+    },
+}
+
+/// All weights of a graph, generated once and stored in the layouts the
+/// batched engine consumes — pre-transposed `k×n` matmul operands and
+/// (for INT8 executors) pre-quantized weight matrices. Building this once
+/// per [`Executor`] replaces the seed behavior of regenerating every
+/// weight tensor from the seed on *every* forward pass.
+pub struct MaterializedWeights {
+    nodes: Vec<NodeWeights>,
+    f32_elements: usize,
+}
+
+impl MaterializedWeights {
+    /// Generate and lay out every weight of `graph` from `store`.
+    /// `int8_linears` additionally caches symmetric INT8 quantizations for
+    /// the weights the quantized path consumes (`Linear` and `Mlp`).
+    pub fn new(graph: &Graph, store: &WeightStore, int8_linears: bool) -> Self {
+        let mut nodes = Vec::with_capacity(graph.nodes().len());
+        for node in graph.nodes() {
+            let id = node.id;
+            let w = match &node.op {
+                Op::Conv2d {
+                    cin,
+                    cout,
+                    kernel,
+                    bias,
+                    ..
+                } => {
+                    let weight = store.tensor(
+                        id,
+                        0,
+                        &[cout * cin * kernel * kernel],
+                        cin * kernel * kernel,
+                    );
+                    let bias_t = if *bias {
+                        store.tensor(id, 1, &[*cout], *cin)
+                    } else {
+                        Tensor::zeros(&[0])
+                    };
+                    NodeWeights::Conv {
+                        weight,
+                        bias: bias_t,
+                    }
+                }
+                Op::BatchNorm { channels } => NodeWeights::BatchNorm {
+                    gamma: vec![1.0; *channels],
+                    beta: store.tensor(id, 0, &[*channels], *channels),
+                    mean: vec![0.0; *channels],
+                    var: vec![1.0; *channels],
+                },
+                Op::LayerNorm { dim } => NodeWeights::LayerNorm {
+                    gamma: vec![1.0; *dim],
+                    beta: vec![0.0; *dim],
+                },
+                Op::Linear { cin, cout, bias } => {
+                    let w_t = store.tensor(id, 0, &[cout * cin], *cin);
+                    NodeWeights::Linear {
+                        w: LinearWeight::from_out_major(&w_t, *cin, *cout, int8_linears),
+                        bias: bias.then(|| store.tensor(id, 1, &[*cout], *cin)),
+                    }
+                }
+                Op::PatchEmbed { in_ch, dim, patch } => {
+                    let s = match node.out_shape {
+                        Shape::Seq { s, .. } => s,
+                        sh => panic!("patch-embed output {sh}"),
+                    };
+                    NodeWeights::PatchEmbed {
+                        weight: store.tensor(
+                            id,
+                            0,
+                            &[dim * in_ch * patch * patch],
+                            in_ch * patch * patch,
+                        ),
+                        bias: store.tensor(id, 1, &[*dim], in_ch * patch * patch),
+                        cls: store.tensor(id, 2, &[*dim], *dim),
+                        pos: store.tensor(id, 3, &[s * dim], *dim),
+                    }
+                }
+                Op::Attention { dim, .. } => {
+                    let w_qkv = store.tensor(id, 0, &[3 * dim * dim], *dim);
+                    let w_out = store.tensor(id, 2, &[dim * dim], *dim);
+                    NodeWeights::Attention {
+                        // Attention projections stay f32 even in INT8 mode,
+                        // matching the seed's precision ablation.
+                        w_qkv: LinearWeight::from_out_major(&w_qkv, *dim, 3 * dim, false),
+                        b_qkv: store.tensor(id, 1, &[3 * dim], *dim),
+                        w_out: LinearWeight::from_out_major(&w_out, *dim, *dim, false),
+                        b_out: store.tensor(id, 3, &[*dim], *dim),
+                    }
+                }
+                Op::LinearAttention { dim, .. } => {
+                    let w_rkv = store.tensor(id, 0, &[3 * dim * dim], *dim);
+                    let w_out = store.tensor(id, 2, &[dim * dim], *dim);
+                    NodeWeights::LinearAttention {
+                        w_rkv: LinearWeight::from_out_major(&w_rkv, *dim, 3 * dim, false),
+                        w_out: LinearWeight::from_out_major(&w_out, *dim, *dim, false),
+                    }
+                }
+                Op::Mlp { dim, hidden } => {
+                    let w1 = store.tensor(id, 0, &[hidden * dim], *dim);
+                    let w2 = store.tensor(id, 2, &[dim * hidden], *hidden);
+                    NodeWeights::Mlp {
+                        w1: LinearWeight::from_out_major(&w1, *dim, *hidden, int8_linears),
+                        b1: store.tensor(id, 1, &[*hidden], *dim),
+                        w2: LinearWeight::from_out_major(&w2, *hidden, *dim, int8_linears),
+                        b2: store.tensor(id, 3, &[*dim], *hidden),
+                    }
+                }
+                _ => NodeWeights::None,
+            };
+            nodes.push(w);
+        }
+        let f32_elements = nodes
+            .iter()
+            .map(|w| match w {
+                NodeWeights::None => 0,
+                NodeWeights::Conv { weight, bias } => weight.len() + bias.len(),
+                NodeWeights::BatchNorm {
+                    gamma,
+                    beta,
+                    mean,
+                    var,
+                } => gamma.len() + beta.len() + mean.len() + var.len(),
+                NodeWeights::LayerNorm { gamma, beta } => gamma.len() + beta.len(),
+                NodeWeights::Linear { w, bias } => {
+                    w.kxn.len() + bias.as_ref().map_or(0, Tensor::len)
+                }
+                NodeWeights::PatchEmbed {
+                    weight,
+                    bias,
+                    cls,
+                    pos,
+                } => weight.len() + bias.len() + cls.len() + pos.len(),
+                NodeWeights::Attention {
+                    w_qkv,
+                    b_qkv,
+                    w_out,
+                    b_out,
+                } => w_qkv.kxn.len() + b_qkv.len() + w_out.kxn.len() + b_out.len(),
+                NodeWeights::LinearAttention { w_rkv, w_out } => w_rkv.kxn.len() + w_out.kxn.len(),
+                NodeWeights::Mlp { w1, b1, w2, b2 } => {
+                    w1.kxn.len() + b1.len() + w2.kxn.len() + b2.len()
+                }
+            })
+            .sum();
+        MaterializedWeights {
+            nodes,
+            f32_elements,
+        }
+    }
+
+    /// Total f32 weight elements held (≈ parameter count).
+    pub fn f32_elements(&self) -> usize {
+        self.f32_elements
+    }
+
+    fn of(&self, id: NodeId) -> &NodeWeights {
+        &self.nodes[id.0]
+    }
+}
+
+/// Buffer pool for one forward pass: freed intermediates come back here and
+/// are handed out again, bounding allocator churn and peak memory.
+#[derive(Default)]
+struct Arena {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Arena {
+    /// A buffer of `len` elements, reusing a pooled allocation when one is
+    /// big enough (smallest sufficient buffer wins). Reused buffers keep
+    /// their stale contents: every consumer in `eval_batch` fully overwrites
+    /// its output before reading it (GEMM outputs are zeroed by the kernel,
+    /// copies/stacks write every element), so pre-zeroing here would be a
+    /// pure memset tax — tens of MB per transformer block at large batch.
+    fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut best: Option<usize> = None;
+        for (i, b) in self.pool.iter().enumerate() {
+            if b.capacity() >= len && best.is_none_or(|j| b.capacity() < self.pool[j].capacity()) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                let mut v = self.pool.swap_remove(i);
+                v.resize(len, 0.0);
+                v
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Return a dead buffer to the pool.
+    fn give(&mut self, v: Vec<f32>) {
+        if v.capacity() > 0 {
+            self.pool.push(v);
+        }
+    }
+}
+
+/// One batched activation: `b` images of `per_image` contiguous elements.
+struct BatchVal {
+    data: Vec<f32>,
+    per_image: usize,
+}
+
+/// Executes a graph on the host kernels: batched, weight-cached production
+/// path plus the seed per-image reference path.
 pub struct Executor<'g> {
     graph: &'g Graph,
     weights: WeightStore,
+    materialized: MaterializedWeights,
     int8_linears: bool,
+    /// When false (validation knob), the INT8 path re-quantizes the weight
+    /// matrix from the cached f32 form on every call instead of using the
+    /// cached quantization — used to prove caching changes no logits.
+    int8_cache: bool,
+    /// `last_use[i]` = topological index of node `i`'s final consumer
+    /// (`usize::MAX` for the output, which must outlive the pass).
+    last_use: Vec<usize>,
+}
+
+fn compute_last_use(graph: &Graph) -> Vec<usize> {
+    let mut last = vec![usize::MAX; graph.nodes().len()];
+    for node in graph.nodes() {
+        for inp in &node.inputs {
+            // Topological order: later nodes overwrite with larger indices.
+            last[inp.0] = node.id.0;
+        }
+    }
+    last[graph.output().0] = usize::MAX;
+    last
 }
 
 impl<'g> Executor<'g> {
-    /// Executor over `graph` with weights from `seed` (f32 math).
+    /// Executor over `graph` with weights from `seed` (f32 math). Weights
+    /// are materialized eagerly, once.
     pub fn new(graph: &'g Graph, seed: u64) -> Self {
-        Executor {
-            graph,
-            weights: WeightStore::new(seed),
-            int8_linears: false,
-        }
+        Self::build(graph, seed, false, true)
     }
 
     /// Executor that runs every `Linear` layer through the real INT8
     /// quantized-GEMM path — the executable counterpart of the precision
-    /// ablation, letting accuracy loss be *measured* on whole models.
+    /// ablation, letting accuracy loss be *measured* on whole models. The
+    /// quantized weight matrices are cached at construction.
     pub fn new_int8(graph: &'g Graph, seed: u64) -> Self {
+        Self::build(graph, seed, true, true)
+    }
+
+    /// INT8 executor that re-quantizes weights on every matmul instead of
+    /// using the construction-time cache. Exists only so tests can prove
+    /// the cache is logit-preserving; prefer [`Executor::new_int8`].
+    pub fn new_int8_uncached(graph: &'g Graph, seed: u64) -> Self {
+        Self::build(graph, seed, true, false)
+    }
+
+    fn build(graph: &'g Graph, seed: u64, int8_linears: bool, int8_cache: bool) -> Self {
+        let weights = WeightStore::new(seed);
+        let materialized = MaterializedWeights::new(graph, &weights, int8_linears);
+        let last_use = compute_last_use(graph);
         Executor {
             graph,
-            weights: WeightStore::new(seed),
-            int8_linears: true,
+            weights,
+            materialized,
+            int8_linears,
+            int8_cache,
+            last_use,
         }
     }
 
-    /// Matrix multiply `x[rows×cin] · wᵀ` honouring the precision mode.
-    fn linear_matmul(
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The execution-ready weight store.
+    pub fn materialized(&self) -> &MaterializedWeights {
+        &self.materialized
+    }
+
+    fn check_input(&self, input: &Tensor) {
+        match self.graph.input_shape() {
+            Shape::Chw { c, h, w } => {
+                assert_eq!(input.shape(), &[c, h, w], "input shape mismatch");
+            }
+            Shape::Seq { s, d } => {
+                assert_eq!(input.shape(), &[s, d], "input shape mismatch");
+            }
+            Shape::Flat { d } => {
+                assert_eq!(input.shape(), &[d], "input shape mismatch");
+            }
+        }
+    }
+
+    /// Run one input (CHW image `[3, h, w]`, token sequence `[s, d]` or
+    /// flat vector `[d]`, matching the graph's input) through the model;
+    /// returns the output tensor (logits for the zoo's classifiers).
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        self.forward_batch(std::slice::from_ref(input))
+            .pop()
+            .expect("one output per input")
+    }
+
+    /// Run a batch through the model with the batch dimension folded into
+    /// the kernels; returns per-image outputs. Results are bit-identical
+    /// to calling [`Executor::forward`] on each input (every kernel's
+    /// per-row/per-image arithmetic is independent of batch size).
+    pub fn forward_batch(&self, inputs: &[Tensor]) -> Vec<Tensor> {
+        self.forward_batch_with_peak(inputs).0
+    }
+
+    /// [`Executor::forward_batch`], additionally reporting the peak number
+    /// of live activation f32 elements — the quantity the liveness pass
+    /// bounds (weights excluded).
+    pub fn forward_batch_with_peak(&self, inputs: &[Tensor]) -> (Vec<Tensor>, usize) {
+        if inputs.is_empty() {
+            return (Vec::new(), 0);
+        }
+        for x in inputs {
+            self.check_input(x);
+        }
+        let b = inputs.len();
+        let per = self.graph.input_shape().elements();
+        let mut stacked = Vec::with_capacity(b * per);
+        for x in inputs {
+            stacked.extend_from_slice(x.data());
+        }
+
+        let n_nodes = self.graph.nodes().len();
+        let mut values: Vec<Option<BatchVal>> = Vec::with_capacity(n_nodes);
+        values.resize_with(n_nodes, || None);
+        values[0] = Some(BatchVal {
+            data: stacked,
+            per_image: per,
+        });
+        let mut arena = Arena::default();
+        let mut live = b * per;
+        let mut peak = live;
+        for node in self.graph.nodes().iter().skip(1) {
+            let out = self.eval_batch(node, &mut values, b, &mut arena);
+            live += out.data.len();
+            peak = peak.max(live);
+            values[node.id.0] = Some(out);
+            // Liveness: everything consumed for the last time by this node
+            // goes back to the arena.
+            for inp in &node.inputs {
+                if self.last_use[inp.0] == node.id.0 {
+                    if let Some(v) = values[inp.0].take() {
+                        live -= v.data.len();
+                        arena.give(v.data);
+                    }
+                }
+            }
+        }
+        let out = values[self.graph.output().0]
+            .take()
+            .expect("output computed");
+        let dims = shape_dims(self.graph.output_shape());
+        let per_out = out.per_image;
+        let result = (0..b)
+            .map(|i| Tensor::from_vec(&dims, out.data[i * per_out..(i + 1) * per_out].to_vec()))
+            .collect();
+        (result, peak)
+    }
+
+    /// Matrix multiply `x[rows×k] → out[rows×n]` against a materialized
+    /// weight, honouring the precision mode. `groups` is the batch size:
+    /// INT8 activation quantization is applied per image (rows/groups rows
+    /// at a time) so batched results match per-image results exactly.
+    fn matmul_into(
+        &self,
+        x: &[f32],
+        w: &LinearWeight,
+        rows: usize,
+        groups: usize,
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(x.len(), rows * w.k);
+        debug_assert_eq!(out.len(), rows * w.n);
+        match (&w.int8, self.int8_linears) {
+            (Some(cached), true) => {
+                let requantized = if self.int8_cache {
+                    None
+                } else {
+                    Some(quantize_symmetric(&w.kxn))
+                };
+                let qw = requantized.as_ref().unwrap_or(cached);
+                debug_assert_eq!(rows % groups, 0);
+                let rpg = rows / groups;
+                for g in 0..groups {
+                    let xs = &x[g * rpg * w.k..(g + 1) * rpg * w.k];
+                    let qa = quantize_symmetric(xs);
+                    let acc = harvest_tensor::quant::gemm_i8(&qa.data, &qw.data, rpg, w.k, w.n);
+                    let scale = qa.scale * qw.scale;
+                    for (o, v) in out[g * rpg * w.n..(g + 1) * rpg * w.n].iter_mut().zip(acc) {
+                        *o = v as f32 * scale;
+                    }
+                }
+            }
+            _ => harvest_tensor::gemm::gemm(x, &w.kxn, out, rows, w.k, w.n),
+        }
+    }
+
+    /// Take an input value for in-place mutation: steal the buffer when
+    /// this node is its final consumer, copy into an arena buffer otherwise.
+    fn take_input(
+        &self,
+        values: &mut [Option<BatchVal>],
+        inp: NodeId,
+        at: NodeId,
+        arena: &mut Arena,
+    ) -> BatchVal {
+        if self.last_use[inp.0] == at.0 {
+            values[inp.0].take().expect("topological order")
+        } else {
+            let v = values[inp.0].as_ref().expect("topological order");
+            let mut data = arena.take(v.data.len());
+            data.copy_from_slice(&v.data);
+            BatchVal {
+                data,
+                per_image: v.per_image,
+            }
+        }
+    }
+
+    fn chw_of(&self, id: NodeId) -> (usize, usize, usize) {
+        match self.graph.node(id).out_shape {
+            Shape::Chw { c, h, w } => (c, h, w),
+            s => panic!("expected CHW, got {s}"),
+        }
+    }
+
+    fn eval_batch(
+        &self,
+        node: &Node,
+        values: &mut [Option<BatchVal>],
+        b: usize,
+        arena: &mut Arena,
+    ) -> BatchVal {
+        let per_out = node.out_shape.elements();
+        match &node.op {
+            Op::Input { .. } => unreachable!("input pre-seeded"),
+            Op::Conv2d {
+                cin,
+                cout,
+                kernel,
+                stride,
+                pad,
+                ..
+            } => {
+                let NodeWeights::Conv { weight, bias } = self.materialized.of(node.id) else {
+                    unreachable!("conv weights")
+                };
+                let (_, h, w) = self.chw_of(node.inputs[0]);
+                let x = values[node.inputs[0].0]
+                    .as_ref()
+                    .expect("topological order");
+                let mut out = arena.take(b * per_out);
+                conv2d_into(
+                    &x.data,
+                    weight.data(),
+                    bias.data(),
+                    b,
+                    *cin,
+                    h,
+                    w,
+                    *cout,
+                    *kernel,
+                    *stride,
+                    *pad,
+                    &mut out,
+                );
+                BatchVal {
+                    data: out,
+                    per_image: per_out,
+                }
+            }
+            Op::BatchNorm { channels } => {
+                let NodeWeights::BatchNorm {
+                    gamma,
+                    beta,
+                    mean,
+                    var,
+                } = self.materialized.of(node.id)
+                else {
+                    unreachable!("bn weights")
+                };
+                let mut x = self.take_input(values, node.inputs[0], node.id, arena);
+                let spatial = x.per_image / channels;
+                harvest_tensor::batchnorm_inference(
+                    &mut x.data,
+                    *channels,
+                    spatial,
+                    mean,
+                    var,
+                    gamma,
+                    beta.data(),
+                    1e-5,
+                );
+                x
+            }
+            Op::Relu => {
+                let mut x = self.take_input(values, node.inputs[0], node.id, arena);
+                relu(&mut x.data);
+                x
+            }
+            Op::Gelu => {
+                let mut x = self.take_input(values, node.inputs[0], node.id, arena);
+                gelu(&mut x.data);
+                x
+            }
+            Op::MaxPool {
+                kernel,
+                stride,
+                pad,
+            } => {
+                let (c, h, w) = self.chw_of(node.inputs[0]);
+                let x = values[node.inputs[0].0]
+                    .as_ref()
+                    .expect("topological order");
+                let out = max_pool2d(&x.data, b, c, h, w, *kernel, *stride, *pad);
+                BatchVal {
+                    data: out,
+                    per_image: per_out,
+                }
+            }
+            Op::GlobalAvgPool => {
+                let (c, h, w) = self.chw_of(node.inputs[0]);
+                let x = values[node.inputs[0].0]
+                    .as_ref()
+                    .expect("topological order");
+                let out = avg_pool2d_global(&x.data, b, c, h, w);
+                BatchVal {
+                    data: out,
+                    per_image: per_out,
+                }
+            }
+            Op::Linear { cin, bias, .. } => {
+                let NodeWeights::Linear { w, bias: bias_t } = self.materialized.of(node.id) else {
+                    unreachable!("linear weights")
+                };
+                debug_assert!(bias_t.is_some() == *bias);
+                let x = values[node.inputs[0].0]
+                    .as_ref()
+                    .expect("topological order");
+                let rows = x.data.len() / cin;
+                let mut out = arena.take(rows * w.n);
+                self.matmul_into(&x.data, w, rows, b, &mut out);
+                if let Some(bias) = bias_t {
+                    add_bias(&mut out, bias.data());
+                }
+                BatchVal {
+                    data: out,
+                    per_image: per_out,
+                }
+            }
+            Op::LayerNorm { dim } => {
+                let NodeWeights::LayerNorm { gamma, beta } = self.materialized.of(node.id) else {
+                    unreachable!("ln weights")
+                };
+                let mut x = self.take_input(values, node.inputs[0], node.id, arena);
+                layernorm(&mut x.data, *dim, gamma, beta, 1e-5);
+                x
+            }
+            Op::PatchEmbed { in_ch, dim, patch } => {
+                let NodeWeights::PatchEmbed {
+                    weight,
+                    bias,
+                    cls,
+                    pos,
+                } = self.materialized.of(node.id)
+                else {
+                    unreachable!("patch-embed weights")
+                };
+                let (_, h, w) = self.chw_of(node.inputs[0]);
+                let x = values[node.inputs[0].0]
+                    .as_ref()
+                    .expect("topological order");
+                let (gh, gw) = (h / patch, w / patch);
+                let n_patches = gh * gw;
+                let (s, d) = match node.out_shape {
+                    Shape::Seq { s, d } => (s, d),
+                    sh => panic!("patch-embed output {sh}"),
+                };
+                debug_assert_eq!(s, n_patches + 1);
+                // Strided conv with kernel = stride = patch, whole batch at
+                // once, then per-image token rearrangement.
+                let mut conv = arena.take(b * dim * n_patches);
+                conv2d_into(
+                    &x.data,
+                    weight.data(),
+                    bias.data(),
+                    b,
+                    *in_ch,
+                    h,
+                    w,
+                    *dim,
+                    *patch,
+                    *patch,
+                    0,
+                    &mut conv,
+                );
+                let mut seq = arena.take(b * s * d);
+                for img in 0..b {
+                    let conv_img = &conv[img * dim * n_patches..(img + 1) * dim * n_patches];
+                    let seq_img = &mut seq[img * s * d..(img + 1) * s * d];
+                    seq_img[..d].copy_from_slice(cls.data());
+                    for p in 0..n_patches {
+                        for c in 0..d {
+                            seq_img[(p + 1) * d + c] = conv_img[c * n_patches + p];
+                        }
+                    }
+                    for (v, p) in seq_img.iter_mut().zip(pos.data()) {
+                        *v += p;
+                    }
+                }
+                arena.give(conv);
+                BatchVal {
+                    data: seq,
+                    per_image: per_out,
+                }
+            }
+            Op::Attention { dim, heads } => {
+                let NodeWeights::Attention {
+                    w_qkv,
+                    b_qkv,
+                    w_out,
+                    b_out,
+                } = self.materialized.of(node.id)
+                else {
+                    unreachable!("attention weights")
+                };
+                let (s, d) = match node.out_shape {
+                    Shape::Seq { s, d } => (s, d),
+                    sh => panic!("attention output {sh}"),
+                };
+                debug_assert_eq!(d, *dim);
+                let head_dim = dim / heads;
+                let scale = 1.0 / (head_dim as f32).sqrt();
+                let bs = b * s;
+                let x = values[node.inputs[0].0]
+                    .as_ref()
+                    .expect("topological order");
+                // Fused QKV over the whole batch: one (B·s)×(3·dim) GEMM.
+                let mut qkv = arena.take(bs * 3 * dim);
+                self.matmul_into(&x.data, w_qkv, bs, b, &mut qkv);
+                add_bias(&mut qkv, b_qkv.data());
+                let mut mixed = arena.take(bs * dim);
+                // Per-(image, head) attention core. K is gathered already
+                // transposed so the score matmul runs through the blocked
+                // GEMM too.
+                let mut q = vec![0.0f32; s * head_dim];
+                let mut k_t = vec![0.0f32; head_dim * s];
+                let mut v = vec![0.0f32; s * head_dim];
+                let mut scores = vec![0.0f32; s * s];
+                let mut outh = vec![0.0f32; s * head_dim];
+                for img in 0..b {
+                    let qkv_img = &qkv[img * s * 3 * dim..(img + 1) * s * 3 * dim];
+                    for h in 0..*heads {
+                        let off = h * head_dim;
+                        for t in 0..s {
+                            let row = &qkv_img[t * 3 * dim..(t + 1) * 3 * dim];
+                            q[t * head_dim..(t + 1) * head_dim]
+                                .copy_from_slice(&row[off..off + head_dim]);
+                            for i in 0..head_dim {
+                                k_t[i * s + t] = row[dim + off + i];
+                            }
+                            v[t * head_dim..(t + 1) * head_dim]
+                                .copy_from_slice(&row[2 * dim + off..2 * dim + off + head_dim]);
+                        }
+                        harvest_tensor::gemm::gemm(&q, &k_t, &mut scores, s, head_dim, s);
+                        for sc in scores.iter_mut() {
+                            *sc *= scale;
+                        }
+                        softmax_rows(&mut scores, s);
+                        harvest_tensor::gemm::gemm(&scores, &v, &mut outh, s, s, head_dim);
+                        let mixed_img = &mut mixed[img * s * dim..(img + 1) * s * dim];
+                        for t in 0..s {
+                            mixed_img[t * dim + off..t * dim + off + head_dim]
+                                .copy_from_slice(&outh[t * head_dim..(t + 1) * head_dim]);
+                        }
+                    }
+                }
+                arena.give(qkv);
+                let mut y = arena.take(bs * dim);
+                self.matmul_into(&mixed, w_out, bs, b, &mut y);
+                add_bias(&mut y, b_out.data());
+                arena.give(mixed);
+                BatchVal {
+                    data: y,
+                    per_image: per_out,
+                }
+            }
+            Op::LinearAttention { dim, heads } => {
+                let NodeWeights::LinearAttention { w_rkv, w_out } = self.materialized.of(node.id)
+                else {
+                    unreachable!("linear-attention weights")
+                };
+                let s = match node.out_shape {
+                    Shape::Seq { s, .. } => s,
+                    sh => panic!("linear-attention output {sh}"),
+                };
+                let bs = b * s;
+                let x = values[node.inputs[0].0]
+                    .as_ref()
+                    .expect("topological order");
+                let mut rkv = arena.take(bs * 3 * dim);
+                self.matmul_into(&x.data, w_rkv, bs, b, &mut rkv);
+                let mut mixed = arena.take(bs * dim);
+                for img in 0..b {
+                    linear_attention_mix(
+                        &rkv[img * s * 3 * dim..(img + 1) * s * 3 * dim],
+                        s,
+                        *dim,
+                        *heads,
+                        &mut mixed[img * s * dim..(img + 1) * s * dim],
+                    );
+                }
+                arena.give(rkv);
+                let mut y = arena.take(bs * dim);
+                self.matmul_into(&mixed, w_out, bs, b, &mut y);
+                arena.give(mixed);
+                BatchVal {
+                    data: y,
+                    per_image: per_out,
+                }
+            }
+            Op::Mlp { dim, hidden } => {
+                let NodeWeights::Mlp { w1, b1, w2, b2 } = self.materialized.of(node.id) else {
+                    unreachable!("mlp weights")
+                };
+                let s = match node.out_shape {
+                    Shape::Seq { s, .. } => s,
+                    sh => panic!("mlp output {sh}"),
+                };
+                let bs = b * s;
+                let x = values[node.inputs[0].0]
+                    .as_ref()
+                    .expect("topological order");
+                let mut h1 = arena.take(bs * hidden);
+                self.matmul_into(&x.data, w1, bs, b, &mut h1);
+                add_bias(&mut h1, b1.data());
+                gelu(&mut h1);
+                let mut out = arena.take(bs * dim);
+                self.matmul_into(&h1, w2, bs, b, &mut out);
+                arena.give(h1);
+                add_bias(&mut out, b2.data());
+                BatchVal {
+                    data: out,
+                    per_image: per_out,
+                }
+            }
+            Op::Add => {
+                let (i0, i1) = (node.inputs[0], node.inputs[1]);
+                if i0 == i1 {
+                    let x = values[i0.0].as_ref().expect("topological order");
+                    let mut out = arena.take(x.data.len());
+                    for (o, v) in out.iter_mut().zip(&x.data) {
+                        *o = v + v;
+                    }
+                    BatchVal {
+                        data: out,
+                        per_image: per_out,
+                    }
+                } else {
+                    let mut a = self.take_input(values, i0, node.id, arena);
+                    let bv = values[i1.0].as_ref().expect("topological order");
+                    assert_eq!(a.data.len(), bv.data.len());
+                    for (av, bvv) in a.data.iter_mut().zip(&bv.data) {
+                        *av += bvv;
+                    }
+                    a
+                }
+            }
+            Op::ClsSelect => {
+                let x = values[node.inputs[0].0]
+                    .as_ref()
+                    .expect("topological order");
+                let d = per_out;
+                let sd = x.per_image;
+                let mut out = arena.take(b * d);
+                for img in 0..b {
+                    out[img * d..(img + 1) * d].copy_from_slice(&x.data[img * sd..img * sd + d]);
+                }
+                BatchVal {
+                    data: out,
+                    per_image: d,
+                }
+            }
+            Op::Softmax => {
+                let mut x = self.take_input(values, node.inputs[0], node.id, arena);
+                softmax_rows(&mut x.data, x.per_image);
+                x
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reference path: the seed per-image executor, kept verbatim. Weights
+    // are regenerated from the seed on every call, linears run through
+    // `gemm_bt`, and the INT8 path re-transposes and re-quantizes per
+    // call. It is the correctness oracle for the batched engine and the
+    // baseline the benchmark harness measures speedups against.
+    // ------------------------------------------------------------------
+
+    /// Matrix multiply `x[rows×cin] · wᵀ` honouring the precision mode —
+    /// reference (seed) implementation.
+    fn linear_matmul_reference(
         &self,
         x: &[f32],
         w_t: &[f32],
@@ -87,31 +960,15 @@ impl<'g> Executor<'g> {
         }
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
-        self.graph
-    }
-
-    /// Run one input (CHW image `[3, h, w]`, token sequence `[s, d]` or
-    /// flat vector `[d]`, matching the graph's input) through the model;
-    /// returns the output tensor (logits for the zoo's classifiers).
-    pub fn forward(&self, input: &Tensor) -> Tensor {
-        let expected = self.graph.input_shape();
-        match expected {
-            Shape::Chw { c, h, w } => {
-                assert_eq!(input.shape(), &[c, h, w], "input shape mismatch");
-            }
-            Shape::Seq { s, d } => {
-                assert_eq!(input.shape(), &[s, d], "input shape mismatch");
-            }
-            Shape::Flat { d } => {
-                assert_eq!(input.shape(), &[d], "input shape mismatch");
-            }
-        }
+    /// The seed per-image forward pass: weights regenerated every call,
+    /// every intermediate held until the end. Use as a correctness oracle
+    /// and performance baseline, not in production paths.
+    pub fn forward_reference(&self, input: &Tensor) -> Tensor {
+        self.check_input(input);
         let mut values: Vec<Option<Tensor>> = vec![None; self.graph.nodes().len()];
         values[0] = Some(input.clone());
         for node in self.graph.nodes().iter().skip(1) {
-            let out = self.eval(node.id, &values);
+            let out = self.eval_reference(node.id, &values);
             values[node.id.0] = Some(out);
         }
         values[self.graph.output().0]
@@ -119,12 +976,7 @@ impl<'g> Executor<'g> {
             .expect("output computed")
     }
 
-    /// Run a batch (vector of images); returns per-image outputs.
-    pub fn forward_batch(&self, inputs: &[Tensor]) -> Vec<Tensor> {
-        inputs.iter().map(|x| self.forward(x)).collect()
-    }
-
-    fn eval(&self, id: NodeId, values: &[Option<Tensor>]) -> Tensor {
+    fn eval_reference(&self, id: NodeId, values: &[Option<Tensor>]) -> Tensor {
         let node = self.graph.node(id);
         let arg = |i: usize| -> &Tensor {
             values[node.inputs[i].0]
@@ -236,7 +1088,7 @@ impl<'g> Executor<'g> {
                 let x = arg(0);
                 let rows = x.len() / cin;
                 let w = self.weights.tensor(id, 0, &[cout * cin], *cin);
-                let mut out = self.linear_matmul(x.data(), w.data(), rows, *cin, *cout);
+                let mut out = self.linear_matmul_reference(x.data(), w.data(), rows, *cin, *cout);
                 if *bias {
                     let b = self.weights.tensor(id, 1, &[*cout], *cin);
                     harvest_tensor::add_bias(&mut out, b.data());
@@ -327,62 +1179,17 @@ impl<'g> Executor<'g> {
                 )
             }
             Op::LinearAttention { dim, heads } => {
-                // Causal linear attention with positive feature map φ=elu+1:
-                // S_t = decay·S_{t-1} + k_t ⊗ v_t ;  z_t = decay·z_{t-1} + k_t
-                // out_t = (S_tᵀ q_t) / (z_tᵀ q_t + ε), then output projection.
                 let x = arg(0);
                 let (s, d) = match node.out_shape {
                     Shape::Seq { s, d } => (s, d),
                     sh => panic!("linear-attention output {sh}"),
                 };
-                let head_dim = dim / heads;
                 let w_rkv = self.weights.tensor(id, 0, &[3 * dim * dim], *dim);
                 let w_out = self.weights.tensor(id, 2, &[dim * dim], *dim);
                 let mut rkv = vec![0.0f32; s * 3 * dim];
                 harvest_tensor::gemm::gemm_bt(x.data(), w_rkv.data(), &mut rkv, s, *dim, 3 * dim);
-                // φ: elu(x)+1 keeps keys/queries positive.
-                let phi = |v: f32| if v >= 0.0 { v + 1.0 } else { v.exp() };
-                let decay = 0.97f32;
                 let mut mixed = vec![0.0f32; s * d];
-                for h in 0..*heads {
-                    let off = h * head_dim;
-                    let mut state = vec![0.0f32; head_dim * head_dim];
-                    let mut z = vec![0.0f32; head_dim];
-                    for t in 0..s {
-                        let row = &rkv[t * 3 * dim..(t + 1) * 3 * dim];
-                        let q: Vec<f32> =
-                            row[off..off + head_dim].iter().map(|&v| phi(v)).collect();
-                        let k: Vec<f32> = row[dim + off..dim + off + head_dim]
-                            .iter()
-                            .map(|&v| phi(v))
-                            .collect();
-                        let v = &row[2 * dim + off..2 * dim + off + head_dim];
-                        for cell in state.iter_mut() {
-                            *cell *= decay;
-                        }
-                        for zi in z.iter_mut() {
-                            *zi *= decay;
-                        }
-                        for i in 0..head_dim {
-                            let ki = k[i];
-                            z[i] += ki;
-                            let srow = &mut state[i * head_dim..(i + 1) * head_dim];
-                            for (sj, &vj) in srow.iter_mut().zip(v) {
-                                *sj += ki * vj;
-                            }
-                        }
-                        let denom: f32 =
-                            z.iter().zip(&q).map(|(zi, qi)| zi * qi).sum::<f32>() + 1e-6;
-                        let out = &mut mixed[t * d + off..t * d + off + head_dim];
-                        for (j, slot) in out.iter_mut().enumerate() {
-                            let mut num = 0.0f32;
-                            for i in 0..head_dim {
-                                num += state[i * head_dim + j] * q[i];
-                            }
-                            *slot = num / denom;
-                        }
-                    }
-                }
+                linear_attention_mix(&rkv, s, *dim, *heads, &mut mixed);
                 let mut y = vec![0.0f32; s * d];
                 harvest_tensor::gemm::gemm_bt(&mixed, w_out.data(), &mut y, s, *dim, *dim);
                 Tensor::from_vec(&[s, d], y)
@@ -397,10 +1204,10 @@ impl<'g> Executor<'g> {
                 let b1 = self.weights.tensor(id, 1, &[*hidden], *dim);
                 let w2 = self.weights.tensor(id, 2, &[dim * hidden], *hidden);
                 let b2 = self.weights.tensor(id, 3, &[*dim], *hidden);
-                let mut h1 = self.linear_matmul(x.data(), w1.data(), s, *dim, *hidden);
+                let mut h1 = self.linear_matmul_reference(x.data(), w1.data(), s, *dim, *hidden);
                 harvest_tensor::add_bias(&mut h1, b1.data());
                 gelu(&mut h1);
-                let mut out = self.linear_matmul(&h1, w2.data(), s, *hidden, *dim);
+                let mut out = self.linear_matmul_reference(&h1, w2.data(), s, *hidden, *dim);
                 harvest_tensor::add_bias(&mut out, b2.data());
                 Tensor::from_vec(&[s, d], out)
             }
@@ -429,6 +1236,65 @@ impl<'g> Executor<'g> {
     }
 }
 
+/// Causal linear attention with positive feature map φ=elu+1:
+/// `S_t = decay·S_{t-1} + k_t ⊗ v_t ;  z_t = decay·z_{t-1} + k_t`
+/// `out_t = (S_tᵀ q_t) / (z_tᵀ q_t + ε)`. `rkv` is `[s, 3·dim]`
+/// (pre-projection rows); `mixed` receives `[s, dim]`. Shared by the
+/// batched and reference paths so both compute identical recurrences.
+fn linear_attention_mix(rkv: &[f32], s: usize, dim: usize, heads: usize, mixed: &mut [f32]) {
+    let head_dim = dim / heads;
+    debug_assert_eq!(rkv.len(), s * 3 * dim);
+    debug_assert_eq!(mixed.len(), s * dim);
+    // φ: elu(x)+1 keeps keys/queries positive.
+    let phi = |v: f32| if v >= 0.0 { v + 1.0 } else { v.exp() };
+    let decay = 0.97f32;
+    for h in 0..heads {
+        let off = h * head_dim;
+        let mut state = vec![0.0f32; head_dim * head_dim];
+        let mut z = vec![0.0f32; head_dim];
+        for t in 0..s {
+            let row = &rkv[t * 3 * dim..(t + 1) * 3 * dim];
+            let q: Vec<f32> = row[off..off + head_dim].iter().map(|&v| phi(v)).collect();
+            let k: Vec<f32> = row[dim + off..dim + off + head_dim]
+                .iter()
+                .map(|&v| phi(v))
+                .collect();
+            let v = &row[2 * dim + off..2 * dim + off + head_dim];
+            for cell in state.iter_mut() {
+                *cell *= decay;
+            }
+            for zi in z.iter_mut() {
+                *zi *= decay;
+            }
+            for i in 0..head_dim {
+                let ki = k[i];
+                z[i] += ki;
+                let srow = &mut state[i * head_dim..(i + 1) * head_dim];
+                for (sj, &vj) in srow.iter_mut().zip(v) {
+                    *sj += ki * vj;
+                }
+            }
+            let denom: f32 = z.iter().zip(&q).map(|(zi, qi)| zi * qi).sum::<f32>() + 1e-6;
+            let out = &mut mixed[t * dim + off..t * dim + off + head_dim];
+            for (j, slot) in out.iter_mut().enumerate() {
+                let mut num = 0.0f32;
+                for i in 0..head_dim {
+                    num += state[i * head_dim + j] * q[i];
+                }
+                *slot = num / denom;
+            }
+        }
+    }
+}
+
+fn shape_dims(shape: Shape) -> Vec<usize> {
+    match shape {
+        Shape::Chw { c, h, w } => vec![c, h, w],
+        Shape::Seq { s, d } => vec![s, d],
+        Shape::Flat { d } => vec![d],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +1303,26 @@ mod tests {
     fn input_for(model: ModelId) -> Tensor {
         let n = model.input_size();
         Tensor::random(&[3, n, n], 777, 1.0)
+    }
+
+    fn small_vit() -> harvest_models::Graph {
+        use harvest_models::{vit, VitConfig};
+        vit(
+            "small",
+            &VitConfig {
+                dim: 64,
+                depth: 3,
+                heads: 2,
+                patch: 4,
+                img: 16,
+                mlp_ratio: 4,
+                classes: 7,
+            },
+        )
+    }
+
+    fn relative_l2(a: &Tensor, b: &Tensor) -> f64 {
+        harvest_tensor::quant::relative_error(a.data(), b.data())
     }
 
     #[test]
@@ -474,17 +1360,7 @@ mod tests {
         // The measured accuracy side of "INT8 may reduce accuracy": on a
         // small ViT, quantized linears flip few argmax decisions and keep
         // logits close.
-        use harvest_models::{vit, VitConfig};
-        let cfg = VitConfig {
-            dim: 64,
-            depth: 3,
-            heads: 2,
-            patch: 4,
-            img: 16,
-            mlp_ratio: 4,
-            classes: 7,
-        };
-        let g = vit("q", &cfg);
+        let g = small_vit();
         let f32_exec = Executor::new(&g, 9);
         let int8_exec = Executor::new_int8(&g, 9);
         let mut agree = 0;
@@ -599,5 +1475,185 @@ mod tests {
     fn wrong_input_shape_panics() {
         let g = vit_tiny(5);
         Executor::new(&g, 1).forward(&Tensor::zeros(&[3, 64, 64]));
+    }
+
+    // ---- batched engine vs reference-path tests ----
+
+    #[test]
+    fn batched_matches_reference_within_tolerance_vit() {
+        // The batched engine reorders GEMM accumulation (pre-transposed
+        // blocked kernel vs per-call gemm_bt); logits must stay within
+        // 1e-4 relative of the seed per-image path.
+        let g = small_vit();
+        let exec = Executor::new(&g, 11);
+        let xs: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::random(&[3, 16, 16], 50 + i, 1.0))
+            .collect();
+        let batch = exec.forward_batch(&xs);
+        for (x, y) in xs.iter().zip(&batch) {
+            let r = exec.forward_reference(x);
+            let err = relative_l2(&r, y);
+            assert!(err < 1e-4, "relative error {err}");
+            assert_eq!(r.argmax(), y.argmax());
+        }
+    }
+
+    #[test]
+    fn batched_matches_reference_within_tolerance_cnn() {
+        use harvest_models::{GraphBuilder, Op, Shape};
+        let (mut b, input) = GraphBuilder::new("cnn", Shape::Chw { c: 3, h: 16, w: 16 });
+        let conv = b.push(
+            "conv",
+            Op::Conv2d {
+                cin: 3,
+                cout: 8,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                bias: true,
+            },
+            &[input],
+        );
+        let bn = b.push("bn", Op::BatchNorm { channels: 8 }, &[conv]);
+        let relu = b.push("relu", Op::Relu, &[bn]);
+        let pool = b.push(
+            "pool",
+            Op::MaxPool {
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[relu],
+        );
+        let gap = b.push("gap", Op::GlobalAvgPool, &[pool]);
+        let fc = b.push(
+            "fc",
+            Op::Linear {
+                cin: 8,
+                cout: 5,
+                bias: true,
+            },
+            &[gap],
+        );
+        let sm = b.push("sm", Op::Softmax, &[fc]);
+        let g = b.finish(sm);
+        let exec = Executor::new(&g, 4);
+        let xs: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::random(&[3, 16, 16], 70 + i, 1.0))
+            .collect();
+        let batch = exec.forward_batch(&xs);
+        for (x, y) in xs.iter().zip(&batch) {
+            let r = exec.forward_reference(x);
+            assert!(relative_l2(&r, y) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_across_reruns() {
+        let g = small_vit();
+        let exec = Executor::new(&g, 13);
+        let xs: Vec<Tensor> = (0..5)
+            .map(|i| Tensor::random(&[3, 16, 16], 90 + i, 1.0))
+            .collect();
+        let a = exec.forward_batch(&xs);
+        let b = exec.forward_batch(&xs);
+        assert_eq!(a, b, "same executor, same batch, different bits");
+        // And across freshly-built executors with the same seed.
+        let c = Executor::new(&g, 13).forward_batch(&xs);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn int8_logits_unchanged_by_weight_cache() {
+        // Caching the quantized k×n weight at construction must be
+        // bit-equivalent to re-quantizing it on every call.
+        let g = small_vit();
+        let cached = Executor::new_int8(&g, 9);
+        let uncached = Executor::new_int8_uncached(&g, 9);
+        for i in 0..4 {
+            let x = Tensor::random(&[3, 16, 16], 200 + i, 1.0);
+            assert_eq!(cached.forward(&x), uncached.forward(&x));
+        }
+    }
+
+    #[test]
+    fn int8_batch_matches_individual_forwards() {
+        // Activation quantization is applied per image in the batched
+        // path, so INT8 batches reproduce per-image INT8 results exactly.
+        let g = small_vit();
+        let exec = Executor::new_int8(&g, 9);
+        let xs: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::random(&[3, 16, 16], 300 + i, 1.0))
+            .collect();
+        let batch = exec.forward_batch(&xs);
+        for (x, y) in xs.iter().zip(&batch) {
+            assert_eq!(&exec.forward(x), y);
+        }
+    }
+
+    #[test]
+    fn liveness_bounds_peak_activation_memory() {
+        // Without the liveness pass every node output stays live to the
+        // end; with it the peak must be well below that total.
+        let g = small_vit();
+        let exec = Executor::new(&g, 21);
+        let b = 4usize;
+        let xs: Vec<Tensor> = (0..b)
+            .map(|i| Tensor::random(&[3, 16, 16], 400 + i as u64, 1.0))
+            .collect();
+        let (outs, peak) = exec.forward_batch_with_peak(&xs);
+        assert_eq!(outs.len(), b);
+        let keep_all: usize = g.nodes().iter().map(|n| n.out_shape.elements() * b).sum();
+        assert!(
+            peak * 2 < keep_all,
+            "peak {peak} not meaningfully below keep-everything {keep_all}"
+        );
+    }
+
+    #[test]
+    fn materialized_weights_cover_parameters() {
+        let g = small_vit();
+        let exec = Executor::new(&g, 3);
+        // The materialized store holds at least the graph's parameter
+        // count (analytics params plus non-counted constants like
+        // positional embeddings).
+        let params = g.stats().params as usize;
+        assert!(
+            exec.materialized().f32_elements() >= params,
+            "{} < {}",
+            exec.materialized().f32_elements(),
+            params
+        );
+    }
+
+    #[test]
+    fn rwkv_batched_matches_reference() {
+        use harvest_models::{rwkv_vision, VitConfig};
+        let cfg = VitConfig {
+            dim: 64,
+            depth: 2,
+            heads: 2,
+            patch: 4,
+            img: 16,
+            mlp_ratio: 4,
+            classes: 5,
+        };
+        let g = rwkv_vision("rwkv", &cfg);
+        let exec = Executor::new(&g, 17);
+        let xs: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::random(&[3, 16, 16], 500 + i, 1.0))
+            .collect();
+        let batch = exec.forward_batch(&xs);
+        for (x, y) in xs.iter().zip(&batch) {
+            let r = exec.forward_reference(x);
+            assert!(relative_l2(&r, y) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let g = small_vit();
+        let exec = Executor::new(&g, 3);
+        assert!(exec.forward_batch(&[]).is_empty());
     }
 }

@@ -16,7 +16,9 @@
 //!   calibrated performance model + the OOM-checked memory model.
 //! * [`exec`] — a *real* forward pass over `harvest-tensor` kernels with
 //!   deterministic weights, so the whole model zoo actually runs on the
-//!   host (used by correctness tests and the examples).
+//!   host: batched, weight-cached ([`MaterializedWeights`]) execution with
+//!   liveness-driven buffer reuse, plus the seed per-image reference path
+//!   used as oracle and benchmark baseline.
 
 pub mod engine;
 pub mod exec;
@@ -24,6 +26,6 @@ pub mod passes;
 pub mod planner;
 
 pub use engine::{Engine, EngineError};
-pub use exec::{Executor, WeightStore};
+pub use exec::{Executor, MaterializedWeights, WeightStore};
 pub use passes::{compile, ExecPlan, ExecStep, StepKind};
 pub use planner::{plan_activations, ActivationPlan};

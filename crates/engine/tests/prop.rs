@@ -1,7 +1,9 @@
-//! Property-based tests for the engine compiler and planner.
+//! Property-based tests for the engine compiler, planner, and the batched
+//! executor against the per-image reference path.
 
-use harvest_engine::{compile, plan_activations};
+use harvest_engine::{compile, plan_activations, Executor};
 use harvest_models::{vit, Precision, VitConfig};
+use harvest_tensor::Tensor;
 use proptest::prelude::*;
 
 fn vit_config() -> impl Strategy<Value = VitConfig> {
@@ -24,6 +26,35 @@ fn vit_config() -> impl Strategy<Value = VitConfig> {
                 classes: 7,
             }
         })
+}
+
+/// Smaller configs than [`vit_config`] — these run real forwards.
+fn exec_vit_config() -> impl Strategy<Value = VitConfig> {
+    (
+        1usize..=2,
+        1usize..=2,
+        prop_oneof![Just(1usize), Just(2)],
+        prop_oneof![Just(2usize), Just(4)],
+    )
+        .prop_map(|(dim_x32, depth, heads, patch)| VitConfig {
+            dim: dim_x32 * 32 * heads,
+            depth,
+            heads,
+            patch,
+            img: patch * 4,
+            mlp_ratio: 4,
+            classes: 5,
+        })
+}
+
+fn rel_err(a: &Tensor, b: &Tensor) -> f64 {
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (x, y) in a.data().iter().zip(b.data()) {
+        num += ((x - y) as f64).powi(2);
+        den += (*y as f64).powi(2);
+    }
+    (num / den.max(1e-12)).sqrt()
 }
 
 proptest! {
@@ -77,6 +108,50 @@ proptest! {
             .unwrap();
         prop_assert!(plan.peak_bytes >= largest);
         prop_assert_eq!(plan.buffers, g.nodes().len());
+    }
+
+    #[test]
+    fn batched_forward_matches_reference_and_is_bit_stable(
+        (cfg, b, seed) in (exec_vit_config(), 1usize..=4, 0u64..1000)
+    ) {
+        let g = vit("prop-exec", &cfg);
+        let exec = Executor::new(&g, 1000 + seed);
+        let side = cfg.img;
+        let inputs: Vec<Tensor> = (0..b)
+            .map(|i| Tensor::random(&[3, side, side], seed * 31 + i as u64, 1.0))
+            .collect();
+        let batched = exec.forward_batch(&inputs);
+        prop_assert_eq!(batched.len(), b);
+        // Bit-identical on rerun: the batched path is deterministic.
+        let rerun = exec.forward_batch(&inputs);
+        for (x, y) in batched.iter().zip(&rerun) {
+            prop_assert_eq!(x.data(), y.data());
+        }
+        // And within 1e-4 relative error of the seed per-image reference.
+        for (img, out) in inputs.iter().zip(&batched) {
+            let reference = exec.forward_reference(img);
+            let err = rel_err(out, &reference);
+            prop_assert!(err < 1e-4, "rel err {err} at b={b}");
+        }
+    }
+
+    #[test]
+    fn int8_batched_equals_int8_single_image(
+        (cfg, b, seed) in (exec_vit_config(), 2usize..=3, 0u64..1000)
+    ) {
+        // Per-image activation quantization makes the INT8 batched path
+        // exactly equal to running images one at a time.
+        let g = vit("prop-int8", &cfg);
+        let exec = Executor::new_int8(&g, 2000 + seed);
+        let side = cfg.img;
+        let inputs: Vec<Tensor> = (0..b)
+            .map(|i| Tensor::random(&[3, side, side], seed * 17 + i as u64, 1.0))
+            .collect();
+        let batched = exec.forward_batch(&inputs);
+        for (img, out) in inputs.iter().zip(&batched) {
+            let single = exec.forward(img);
+            prop_assert_eq!(out.data(), single.data());
+        }
     }
 
     #[test]

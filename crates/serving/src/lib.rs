@@ -22,12 +22,16 @@
 //!   node open, half-open probes re-admit it.
 //! * [`overload`] — admission-controlled online serving: bounded queues,
 //!   shed policies, deadline-aware dropping, and goodput accounting.
+//! * [`realexec`] — the batcher driving *actual* host inference: dispatched
+//!   batches run through the batched execution engine and completions carry
+//!   real logits.
 
 pub mod batcher;
 pub mod breaker;
 pub mod cluster;
 pub mod multimodel;
 pub mod overload;
+pub mod realexec;
 pub mod resilience;
 pub mod scenario;
 pub mod server;
@@ -40,6 +44,7 @@ pub use cluster::{
 };
 pub use multimodel::{HostedModel, LadderConfig, LadderSummary, MultiModelServer};
 pub use overload::{run_online_protected, run_online_protected_faulted, OverloadReport};
+pub use realexec::{Completion, RealBatchServer, Submission};
 pub use resilience::{FaultInjection, ResilienceStats, ResilienceSummary, RetryPolicy};
 pub use scenario::{
     run_offline, run_online, run_online_faulted, run_realtime, run_realtime_degraded,

@@ -1,0 +1,250 @@
+//! Real-execution serving: the dynamic batcher driving actual host
+//! inference.
+//!
+//! The simulated pipeline ([`crate::server`]) answers latency questions
+//! against the calibrated performance model; this module closes the loop on
+//! the *computation* side: requests carry real input tensors, the
+//! [`DynamicBatcher`] decides when a batch dispatches (size or delay
+//! trigger, shed policies included), and dispatched batches run through
+//! [`Executor::forward_batch`] — the batched, weight-cached engine — so
+//! every completion carries real logits. One batcher decision layer, two
+//! backends: the DES uses modeled service times, this one does the math.
+
+use crate::batcher::{BatcherConfig, BatcherConfigError, DynamicBatcher, QueuedRequest};
+use harvest_engine::Executor;
+use harvest_simkit::SimTime;
+use harvest_tensor::Tensor;
+use std::collections::HashMap;
+
+/// A finished request: real logits plus the batch it rode in.
+#[derive(Debug)]
+pub struct Completion {
+    /// Request id.
+    pub id: u64,
+    /// Model output (logits for the zoo's classifiers).
+    pub output: Tensor,
+    /// Size of the dispatched batch this request was part of.
+    pub batch_size: usize,
+}
+
+/// Outcome of submitting one request.
+#[derive(Debug, Default)]
+pub struct Submission {
+    /// Was the request admitted to the queue?
+    pub admitted: bool,
+    /// Ids of queued requests shed to make room (payloads are dropped).
+    pub shed: Vec<u64>,
+    /// Completions, when the submission fired the size trigger.
+    pub completed: Vec<Completion>,
+}
+
+/// A serving frontend that batches real inference requests and executes
+/// dispatched batches on the host engine.
+pub struct RealBatchServer<'g> {
+    exec: Executor<'g>,
+    batcher: DynamicBatcher,
+    pending: HashMap<u64, Tensor>,
+    executed_batches: u64,
+    executed_requests: u64,
+}
+
+impl<'g> RealBatchServer<'g> {
+    /// New server over an executor and a batching policy.
+    pub fn new(exec: Executor<'g>, config: BatcherConfig) -> Result<Self, BatcherConfigError> {
+        Ok(RealBatchServer {
+            exec,
+            batcher: DynamicBatcher::new(config)?,
+            pending: HashMap::new(),
+            executed_batches: 0,
+            executed_requests: 0,
+        })
+    }
+
+    /// The executor backing this server.
+    pub fn executor(&self) -> &Executor<'g> {
+        &self.exec
+    }
+
+    /// Requests admitted but not yet dispatched.
+    pub fn queued(&self) -> usize {
+        self.batcher.queued()
+    }
+
+    /// Batches actually executed so far.
+    pub fn executed_batches(&self) -> u64 {
+        self.executed_batches
+    }
+
+    /// Requests actually executed so far.
+    pub fn executed_requests(&self) -> u64 {
+        self.executed_requests
+    }
+
+    /// Submit a request. The batcher may reject it (bounded queue), shed
+    /// older requests, or dispatch a full batch — in which case the batch
+    /// is executed immediately and its completions returned.
+    pub fn submit(&mut self, id: u64, input: Tensor, now: SimTime) -> Submission {
+        let admission = self.batcher.offer(id, now, now, None);
+        let mut out = Submission {
+            admitted: admission.admitted,
+            ..Submission::default()
+        };
+        if admission.admitted {
+            self.pending.insert(id, input);
+        }
+        for victim in admission.shed {
+            // Shed requests never execute: drop the payload with them.
+            self.pending.remove(&victim.id);
+            out.shed.push(victim.id);
+        }
+        if let Some(batch) = admission.batch {
+            out.completed = self.run_batch(&batch);
+        }
+        out
+    }
+
+    /// Fire the delay trigger: execute the waiting partial batch if the
+    /// oldest request has exceeded the queue-delay bound.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Completion> {
+        match self.batcher.poll(now).batch {
+            Some(batch) => self.run_batch(&batch),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drain every queued request immediately (end-of-stream flush),
+    /// executing the remaining partial batches.
+    pub fn flush(&mut self) -> Vec<Completion> {
+        let batches = self.batcher.flush();
+        batches
+            .iter()
+            .flat_map(|batch| self.run_batch(batch))
+            .collect()
+    }
+
+    fn run_batch(&mut self, batch: &[QueuedRequest]) -> Vec<Completion> {
+        let inputs: Vec<Tensor> = batch
+            .iter()
+            .map(|r| self.pending.remove(&r.id).expect("payload for queued id"))
+            .collect();
+        let outputs = self.exec.forward_batch(&inputs);
+        self.executed_batches += 1;
+        self.executed_requests += batch.len() as u64;
+        let batch_size = batch.len();
+        batch
+            .iter()
+            .zip(outputs)
+            .map(|(r, output)| Completion {
+                id: r.id,
+                output,
+                batch_size,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::ShedPolicy;
+    use harvest_models::{vit, VitConfig};
+
+    fn tiny_graph() -> harvest_models::Graph {
+        vit(
+            "tiny-serving",
+            &VitConfig {
+                dim: 32,
+                depth: 1,
+                heads: 2,
+                patch: 4,
+                img: 16,
+                mlp_ratio: 2,
+                classes: 4,
+            },
+        )
+    }
+
+    fn input(seed: u64) -> Tensor {
+        Tensor::random(&[3, 16, 16], seed, 1.0)
+    }
+
+    #[test]
+    fn size_trigger_executes_batch_with_real_logits() {
+        let g = tiny_graph();
+        let oracle = Executor::new(&g, 7);
+        let mut server = RealBatchServer::new(
+            Executor::new(&g, 7),
+            BatcherConfig::new(3, SimTime::from_millis(100)),
+        )
+        .expect("valid config");
+        assert!(server
+            .submit(0, input(1), SimTime::ZERO)
+            .completed
+            .is_empty());
+        assert!(server
+            .submit(1, input(2), SimTime::ZERO)
+            .completed
+            .is_empty());
+        let out = server.submit(2, input(3), SimTime::ZERO);
+        assert_eq!(out.completed.len(), 3, "size trigger fired");
+        for (i, c) in out.completed.iter().enumerate() {
+            assert_eq!(c.id, i as u64);
+            assert_eq!(c.batch_size, 3);
+            // Batched serving returns exactly what a direct forward would.
+            assert_eq!(c.output, oracle.forward(&input(i as u64 + 1)));
+        }
+        assert_eq!(server.executed_batches(), 1);
+        assert_eq!(server.executed_requests(), 3);
+    }
+
+    #[test]
+    fn delay_trigger_executes_partial_batch() {
+        let g = tiny_graph();
+        let mut server = RealBatchServer::new(
+            Executor::new(&g, 7),
+            BatcherConfig::new(8, SimTime::from_millis(10)),
+        )
+        .expect("valid config");
+        server.submit(0, input(1), SimTime::ZERO);
+        server.submit(1, input(2), SimTime::from_millis(1));
+        assert!(server.poll(SimTime::from_millis(9)).is_empty());
+        let done = server.poll(SimTime::from_millis(10));
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|c| c.batch_size == 2));
+        assert_eq!(server.queued(), 0);
+    }
+
+    #[test]
+    fn shed_requests_drop_their_payload() {
+        let g = tiny_graph();
+        let mut config = BatcherConfig::new(32, SimTime::from_millis(1000));
+        config.max_queue = 2;
+        config.shed = ShedPolicy::DropOldest;
+        let mut server = RealBatchServer::new(Executor::new(&g, 7), config).expect("valid config");
+        server.submit(0, input(1), SimTime::ZERO);
+        server.submit(1, input(2), SimTime::ZERO);
+        let out = server.submit(2, input(3), SimTime::ZERO);
+        assert!(out.admitted);
+        assert_eq!(out.shed, vec![0], "oldest request gives way");
+        // The shed payload is gone; the survivors still execute.
+        let done = server.flush();
+        assert_eq!(done.len(), 2);
+        let ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(server.executed_requests(), 2);
+    }
+
+    #[test]
+    fn rejected_requests_keep_no_payload() {
+        let g = tiny_graph();
+        let mut config = BatcherConfig::new(32, SimTime::from_millis(1000));
+        config.max_queue = 1;
+        let mut server = RealBatchServer::new(Executor::new(&g, 7), config).expect("valid config");
+        assert!(server.submit(0, input(1), SimTime::ZERO).admitted);
+        let out = server.submit(1, input(2), SimTime::ZERO);
+        assert!(!out.admitted, "bounded queue rejects");
+        let done = server.flush();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, 0);
+    }
+}

@@ -79,6 +79,44 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> Vec<f32> {
+    let oh = conv_out_dim(h, kernel, stride, pad);
+    let ow = conv_out_dim(w, kernel, stride, pad);
+    let mut output = vec![0.0f32; n * cout * oh * ow];
+    conv2d_into(
+        input,
+        weight,
+        bias,
+        n,
+        cin,
+        h,
+        w,
+        cout,
+        kernel,
+        stride,
+        pad,
+        &mut output,
+    );
+    output
+}
+
+/// [`conv2d`] writing into a caller-provided output buffer of
+/// `n·cout·oh·ow` elements — lets batched executors recycle activation
+/// buffers instead of allocating per layer.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into(
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    n: usize,
+    cin: usize,
+    h: usize,
+    w: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    output: &mut [f32],
+) {
     assert_eq!(input.len(), n * cin * h * w, "input shape");
     assert_eq!(weight.len(), cout * cin * kernel * kernel, "weight shape");
     assert!(bias.is_empty() || bias.len() == cout, "bias shape");
@@ -86,7 +124,10 @@ pub fn conv2d(
     let ow = conv_out_dim(w, kernel, stride, pad);
     let col_rows = cin * kernel * kernel;
     let out_spatial = oh * ow;
-    let mut output = vec![0.0f32; n * cout * out_spatial];
+    assert_eq!(output.len(), n * cout * out_spatial, "output shape");
+    if out_spatial == 0 || cout == 0 || n == 0 {
+        return;
+    }
 
     let per_image = |(img_in, img_out): (&[f32], &mut [f32])| {
         let mut col = vec![0.0f32; col_rows * out_spatial];
@@ -113,7 +154,6 @@ pub fn conv2d(
             .zip(output.chunks_exact_mut(cout * out_spatial))
             .for_each(per_image);
     }
-    output
 }
 
 /// Max pooling over an NCHW batch. Padding is `-inf`-semantics (ignored).

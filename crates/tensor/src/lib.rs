@@ -27,7 +27,7 @@ pub mod quant;
 pub mod tensor;
 
 pub use attention::multi_head_attention;
-pub use conv::{avg_pool2d_global, conv2d, max_pool2d};
+pub use conv::{avg_pool2d_global, conv2d, conv2d_into, max_pool2d};
 pub use gemm::{gemm, gemm_naive};
 pub use image::{
     center_crop, chw_to_hwc_u8, hwc_u8_to_chw, normalize_chw, perspective_warp, resize_bilinear,

@@ -41,6 +41,10 @@ pub fn gemm_i8(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
     let mut c = vec![0i32; m * n];
+    if n == 0 {
+        // Nothing to compute, and chunking by 0 columns is ill-defined.
+        return c;
+    }
     let run = |(i, c_row): (usize, &mut [i32])| {
         let a_row = &a[i * k..(i + 1) * k];
         for (p, &ap) in a_row.iter().enumerate() {

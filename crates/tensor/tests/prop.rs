@@ -1,14 +1,69 @@
 //! Property-based tests for the tensor kernels.
 
+use harvest_tensor::conv::conv_out_dim;
 use harvest_tensor::gemm::{gemm, gemm_blocked, gemm_bt, gemm_naive};
 use harvest_tensor::{
-    chw_to_hwc_u8, hwc_u8_to_chw, layernorm, perspective_warp, resize_bilinear, softmax_rows,
-    Homography,
+    chw_to_hwc_u8, conv2d, hwc_u8_to_chw, layernorm, perspective_warp, resize_bilinear,
+    softmax_rows, Homography,
 };
 use proptest::prelude::*;
 
 fn small_dim() -> impl Strategy<Value = usize> {
     1usize..24
+}
+
+/// Dimension that may be zero — degenerate GEMMs must not panic and must
+/// produce (empty or zero-filled) outputs matching the naive oracle.
+fn dim0() -> impl Strategy<Value = usize> {
+    0usize..16
+}
+
+/// Direct-loop convolution oracle: the obvious quadruple loop with the same
+/// zero-padding convention as the im2col path. Deliberately shares no code
+/// with `conv2d`.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_naive(
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    n: usize,
+    cin: usize,
+    h: usize,
+    w: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let oh = conv_out_dim(h, kernel, stride, pad);
+    let ow = conv_out_dim(w, kernel, stride, pad);
+    let mut out = vec![0.0f32; n * cout * oh * ow];
+    for img in 0..n {
+        for co in 0..cout {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = if bias.is_empty() { 0.0 } else { bias[co] };
+                    for ci in 0..cin {
+                        for ky in 0..kernel {
+                            for kx in 0..kernel {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let iv =
+                                    input[((img * cin + ci) * h + iy as usize) * w + ix as usize];
+                                let wv = weight[((co * cin + ci) * kernel + ky) * kernel + kx];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    out[((img * cout + co) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
 }
 
 fn vecf(len: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -172,6 +227,89 @@ proptest! {
                 ((r - x) as f64).abs() <= bound,
                 "|{r} - {x}| > bound {bound} at k={k}"
             );
+        }
+    }
+
+    #[test]
+    fn gemm_tiers_agree_on_degenerate_shapes(
+        (m, k, n, a, b) in (dim0(), dim0(), dim0()).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), vecf(m * k), vecf(k * n))
+        })
+    ) {
+        // Any of m, k, n may be zero: every tier must agree with the naive
+        // oracle (k = 0 means an empty sum, i.e. an all-zero output) and
+        // none may panic.
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_blk = vec![0.0f32; m * n];
+        let mut c_par = vec![0.0f32; m * n];
+        gemm_naive(&a, &b, &mut c_ref, m, k, n);
+        gemm_blocked(&a, &b, &mut c_blk, m, k, n);
+        gemm(&a, &b, &mut c_par, m, k, n);
+        for (x, y) in c_ref.iter().zip(&c_blk) {
+            prop_assert!((x - y).abs() < 1e-3, "blocked {x} vs {y}");
+        }
+        for (x, y) in c_ref.iter().zip(&c_par) {
+            prop_assert!((x - y).abs() < 1e-3, "parallel {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_bt_handles_degenerate_shapes(
+        (m, k, n, a, bt) in (dim0(), dim0(), dim0()).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), vecf(m * k), vecf(n * k))
+        })
+    ) {
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_bt = vec![0.0f32; m * n];
+        gemm_naive(&a, &b, &mut c_ref, m, k, n);
+        gemm_bt(&a, &bt, &mut c_bt, m, k, n);
+        for (x, y) in c_ref.iter().zip(&c_bt) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn quantized_gemm_survives_degenerate_shapes(
+        (m, k, n, a, b) in (dim0(), dim0(), dim0()).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), vecf(m * k), vecf(k * n))
+        })
+    ) {
+        use harvest_tensor::quant::quantized_gemm;
+        let out = quantized_gemm(&a, &b, m, k, n);
+        prop_assert_eq!(out.len(), m * n);
+        if k == 0 {
+            prop_assert!(out.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn im2col_conv_equals_direct_loop_oracle(
+        ((n, cin, cout, h, w, kernel, stride, pad), input, weight, bias)
+            in (1usize..3, 1usize..4, 0usize..4, 1usize..10, 1usize..10, 1usize..4, 1usize..3, 0usize..3)
+                .prop_flat_map(|dims| {
+                    let (n, cin, cout, h, w, kernel, _, _) = dims;
+                    (
+                        Just(dims),
+                        vecf(n * cin * h * w),
+                        vecf(cout * cin * kernel * kernel),
+                        prop_oneof![Just(Vec::new()), proptest::collection::vec(-2.0f32..2.0, cout..=cout)],
+                    )
+                })
+    ) {
+        // Includes kernels larger than the (padded) image and cout = 0 —
+        // both must match the direct-loop oracle under the same
+        // zero-padding convention, not panic.
+        let fast = conv2d(&input, &weight, &bias, n, cin, h, w, cout, kernel, stride, pad);
+        let slow = conv2d_naive(&input, &weight, &bias, n, cin, h, w, cout, kernel, stride, pad);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
     }
 
