@@ -5,7 +5,8 @@
 #   2. lints             cargo clippy -D warnings (core crates of this stack)
 #   3. tier-1 tests      cargo build --release && cargo test -q
 #   4. overload smoke    experiments overload --smoke + artifact drift check
-#   5. bench smoke       experiments bench --smoke + schema/determinism check
+#   5. integrity smoke   experiments integrity --smoke + schema/drift/determinism
+#   6. bench smoke       experiments bench --smoke + schema/determinism check
 #
 # Everything runs offline: the crates.io dependencies are vendored as
 # API-compatible shims under shims/, wired via workspace path deps.
@@ -19,7 +20,7 @@ echo "== clippy =="
 cargo clippy --offline --release \
     -p harvest-simkit -p harvest-serving -p harvest-core -p harvest-bench \
     -p harvest -p harvest-perf -p harvest-models \
-    -p harvest-engine -p harvest-tensor \
+    -p harvest-engine -p harvest-tensor -p harvest-imaging \
     --all-targets -- -D warnings
 
 echo "== tier-1: build =="
@@ -36,6 +37,24 @@ trap 'rm -rf "$smoke_dir"' EXIT
 ./target/release/experiments overload --smoke --json "$smoke_dir"
 diff artifacts/overload.json "$smoke_dir/overload.json" \
     || { echo "artifacts/overload.json drifted from the code"; exit 1; }
+
+echo "== integrity smoke =="
+# The run itself asserts per-cell conservation, escaped == 0 under the full
+# detector ladder, escaped > 0 unguarded, and a bit-identical in-process
+# rerun. Here we gate the artifact schema, drift vs the committed copy, and
+# cross-process determinism by running twice.
+./target/release/experiments integrity --smoke --json "$smoke_dir"
+for key in detect_tol escape_tol cells detectors injected_weight_flips \
+    detected recovered quarantined escaped conserved; do
+    grep -q "\"$key\"" "$smoke_dir/integrity.json" \
+        || { echo "integrity.json missing key: $key"; exit 1; }
+done
+diff artifacts/integrity.json "$smoke_dir/integrity.json" \
+    || { echo "artifacts/integrity.json drifted from the code"; exit 1; }
+cp "$smoke_dir/integrity.json" "$smoke_dir/integrity.run1.json"
+./target/release/experiments integrity --smoke --json "$smoke_dir"
+diff "$smoke_dir/integrity.run1.json" "$smoke_dir/integrity.json" \
+    || { echo "integrity sweep is not deterministic across runs"; exit 1; }
 
 echo "== bench smoke =="
 # Reduced-size kernel + model benches: the run itself asserts batched logits

@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|bench|host]...
+//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|integrity|bench|host]...
 //!             [--json DIR] [--smoke]
 //! ```
 //!
@@ -91,6 +91,9 @@ fn main() {
     }
     if run("overload") {
         overload(&save, smoke);
+    }
+    if run("integrity") {
+        integrity(&save, smoke);
     }
     if run("bench") {
         bench(&save, smoke);
@@ -263,6 +266,87 @@ fn overload(save: &dyn Fn(&str, String), smoke: bool) {
     }
     println!("  self-check: conservation at every point, bit-identical rerun — all OK");
     save("overload", serde_json::to_string_pretty(&exp).unwrap());
+}
+
+fn integrity(save: &dyn Fn(&str, String), smoke: bool) {
+    println!("== Extension: silent-data-corruption detection & recovery ==");
+    // The runner self-asserts per-cell conservation, full-ladder
+    // containment (escaped == 0 everywhere), and unguarded escape (> 0 per
+    // platform). Here we additionally require a bit-identical rerun — the
+    // property the CI artifact-drift gate leans on.
+    let exp = exp::integrity();
+    let rerun = exp::integrity();
+    assert_eq!(
+        serde_json::to_string(&exp).unwrap(),
+        serde_json::to_string(&rerun).unwrap(),
+        "integrity sweep must be bit-reproducible"
+    );
+    if !smoke {
+        let table: Vec<Vec<String>> = exp
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.platform.clone(),
+                    c.family.clone(),
+                    format!("{:.0e}", c.rate),
+                    c.detectors.clone(),
+                    format!("{}/{}", c.completed, c.submitted),
+                    (c.injected_weight_flips + c.injected_activation_flips).to_string(),
+                    c.detected.to_string(),
+                    c.recovered.to_string(),
+                    c.quarantined.to_string(),
+                    c.masked.to_string(),
+                    c.escaped.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(
+                &[
+                    "Platform",
+                    "Fault",
+                    "Rate",
+                    "Detectors",
+                    "Done/Sub",
+                    "Flips",
+                    "Detected",
+                    "Recovered",
+                    "Quarant.",
+                    "Masked",
+                    "Escaped",
+                ],
+                &table
+            )
+        );
+        println!("== Detector overhead (fault-free, micro ViT, this machine) ==");
+        let rows = exp::detector_overhead(&[1, 16, 64]);
+        let otab: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.batch.to_string(),
+                    format!("{:.3}", r.plain_ms),
+                    format!("{:+.1}%", r.sentinels_pct),
+                    format!("{:+.1}%", r.checksums_pct),
+                    format!("{:+.1}%", r.full_pct),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(
+                &["Batch", "Plain ms/img", "Sentinels", "Checksums", "Full"],
+                &otab
+            )
+        );
+    }
+    println!(
+        "  self-check: conservation in every cell, escaped == 0 under the full ladder, \
+         escaped > 0 unguarded, bit-identical rerun — all OK"
+    );
+    save("integrity", serde_json::to_string_pretty(&exp).unwrap());
 }
 
 fn resilience(save: &dyn Fn(&str, String)) {

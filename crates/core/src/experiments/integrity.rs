@@ -1,0 +1,414 @@
+//! Integrity sweep: silent-data-corruption injection vs the detector
+//! ladder, on the real execution path.
+//!
+//! The paper's serving stack assumes the accelerator computes what the
+//! kernels say; fleet experience says otherwise — DRAM and datapath bit
+//! flips ship wrong logits without a single error code. This experiment
+//! injects deterministic corruption (weight bit flips, sticky "failing
+//! cell" weight flips, activation bit flips at a named pass) into real
+//! cluster serving on all three platform shapes, and sweeps the detector
+//! ladder from nothing to the full checksums + sentinels + reference
+//! cross-check stack. Every cell reports conservation-checked counters;
+//! the headline invariants, asserted on every run:
+//!
+//! * **full ladder ⇒ `escaped == 0`** — no materially corrupted logits
+//!   reach a client on any platform at any swept fault rate;
+//! * **no detectors ⇒ `escaped > 0`** — the same faults, unguarded, do
+//!   reach clients (the sweep proves the detectors earn their keep);
+//! * **accounting conserves** — every detection resolves to recovery or
+//!   quarantine, every batch has exactly one disposition.
+//!
+//! Everything is counter-based and deterministic: repeated runs (and runs
+//! at any thread count) serialize byte-identically, which CI gates.
+
+use harvest_models::{vit, Graph, VitConfig};
+use harvest_serving::{
+    BatcherConfig, BreakerConfig, DetectorConfig, IntegrityCluster, IntegrityStats,
+};
+use harvest_simkit::{FaultPlan, SimTime};
+use harvest_tensor::Tensor;
+use serde::Serialize;
+
+/// Fault families swept.
+pub const FAMILIES: [&str; 3] = ["weight", "weight-sticky", "activation"];
+
+/// Per-element fault rates swept (both land ≳1 expected flip per batch on
+/// the micro model's ~9k parameters).
+pub const RATES: [f64; 2] = [1e-4, 1e-3];
+
+/// Detector rungs swept, weakest to strongest.
+pub const RUNGS: [&str; 4] = ["off", "sentinels", "checksums", "full"];
+
+/// Finite-activation ceiling for the sentinels: far above anything the
+/// micro model produces honestly, so the guard only fires on exponent-bit
+/// explosions.
+const RANGE_LIMIT: f32 = 1e6;
+
+/// The activation pass the injector targets (a real node of the micro
+/// ViT).
+const TARGET_PASS: &str = "blocks.0.mlp";
+
+/// One (platform, family, rate, detector) cell of the sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct IntegrityCell {
+    /// Platform short name (parameterizes nodes × batch).
+    pub platform: String,
+    /// Cluster nodes.
+    pub nodes: u32,
+    /// Serving batch size.
+    pub batch: u32,
+    /// Fault family: `weight`, `weight-sticky`, or `activation`.
+    pub family: String,
+    /// Per-element fault rate.
+    pub rate: f64,
+    /// Detector rung: `off`, `sentinels`, `checksums`, or `full`.
+    pub detectors: String,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests completed with logits.
+    pub completed: u64,
+    /// Requests dropped (quarantine casualties past their one retry, or
+    /// no dispatchable node left).
+    pub dropped: u64,
+    /// Nodes quarantined by the end of the run.
+    pub quarantined_nodes: u64,
+    /// Batches through the integrity state machine.
+    pub batches: u64,
+    /// Weight bits flipped by injection.
+    pub injected_weight_flips: u64,
+    /// Activation bits flipped by injection.
+    pub injected_activation_flips: u64,
+    /// Batches whose first attempt tripped a detector.
+    pub detected: u64,
+    /// Detections resolved by re-materialize + retry.
+    pub recovered: u64,
+    /// Detections resolved by node quarantine.
+    pub quarantined: u64,
+    /// Emitted batches bit-identical to the clean oracle.
+    pub clean: u64,
+    /// Emitted batches within tolerance of clean (corruption masked).
+    pub masked: u64,
+    /// Emitted batches materially wrong — SDC that reached a client.
+    pub escaped: u64,
+    /// Both accounting invariants held.
+    pub conserved: bool,
+    /// Request conservation: completed + dropped == submitted.
+    pub requests_conserved: bool,
+}
+
+/// The full experiment artifact (counters only — deterministic by
+/// construction, no timings).
+#[derive(Clone, Debug, Serialize)]
+pub struct IntegrityExperiment {
+    /// Cross-check detection tolerance (max-abs vs reference).
+    pub detect_tol: f32,
+    /// Ground-truth escape tolerance (max-abs vs clean oracle).
+    pub escape_tol: f32,
+    /// The sweep grid.
+    pub cells: Vec<IntegrityCell>,
+}
+
+struct PlatformShape {
+    name: &'static str,
+    nodes: u32,
+    batch: u32,
+}
+
+/// The three platform serving shapes of the paper's continuum: big-batch
+/// cloud, mid-batch campus, tiny-batch edge.
+const SHAPES: [PlatformShape; 3] = [
+    PlatformShape {
+        name: "MRI A100",
+        nodes: 3,
+        batch: 16,
+    },
+    PlatformShape {
+        name: "Pitzer V100",
+        nodes: 3,
+        batch: 8,
+    },
+    PlatformShape {
+        name: "Jetson Orin Nano",
+        nodes: 2,
+        batch: 2,
+    },
+];
+
+/// The micro ViT every cell serves: small enough that a 72-cell sweep of
+/// real cluster execution (with oracle re-runs and reference cross-checks)
+/// stays a smoke-test cost, structurally identical to the zoo's ViTs.
+fn micro_vit() -> Graph {
+    vit(
+        "micro-integrity",
+        &VitConfig {
+            dim: 32,
+            depth: 1,
+            heads: 2,
+            patch: 4,
+            img: 16,
+            mlp_ratio: 2,
+            classes: 4,
+        },
+    )
+}
+
+fn rung_config(rung: &str) -> DetectorConfig {
+    match rung {
+        "off" => DetectorConfig::off(),
+        "sentinels" => DetectorConfig::sentinels(RANGE_LIMIT),
+        "checksums" => DetectorConfig::checksums(RANGE_LIMIT),
+        "full" => DetectorConfig::full(RANGE_LIMIT),
+        other => unreachable!("unknown rung {other}"),
+    }
+}
+
+/// The fault plan for `node` in a given (family, rate) cell. Seeds are
+/// salted per (family, rate, node) so nodes corrupt independently and no
+/// two cells share coins. The sticky family afflicts only node 0 — a
+/// single failing DIMM, with healthy siblings to absorb its work.
+fn node_plan(family: &str, rate_idx: usize, rate: f64, node: u32) -> FaultPlan {
+    let seed = 0x051D_C0DE + (rate_idx as u64) * 1009 + (node as u64) * 7919;
+    match family {
+        "weight" => FaultPlan::new(seed).with_weight_bit_flips(rate, false),
+        "weight-sticky" => {
+            if node == 0 {
+                FaultPlan::new(seed).with_weight_bit_flips(rate, true)
+            } else {
+                FaultPlan::none()
+            }
+        }
+        "activation" => FaultPlan::new(seed).with_activation_bit_flips(rate, TARGET_PASS),
+        other => unreachable!("unknown family {other}"),
+    }
+}
+
+fn run_cell(
+    graph: &Graph,
+    shape: &PlatformShape,
+    family: &str,
+    rate_idx: usize,
+    rate: f64,
+    rung: &str,
+) -> IntegrityCell {
+    let mut cluster = IntegrityCluster::new(
+        graph,
+        7,
+        shape.nodes,
+        BatcherConfig::new(shape.batch, SimTime::from_millis(10)),
+        BreakerConfig::default(),
+        rung_config(rung),
+        |node| node_plan(family, rate_idx, rate, node),
+    )
+    .expect("valid cluster config");
+    let submitted = (shape.batch as u64) * (shape.nodes as u64) * 3;
+    let mut completed = 0u64;
+    let mut dropped = 0u64;
+    for id in 0..submitted {
+        let out = cluster.submit(
+            id,
+            Tensor::random(&[3, 16, 16], id + 1, 1.0),
+            SimTime::from_micros(id * 100),
+        );
+        completed += out.completed.len() as u64;
+        dropped += out.dropped.len() as u64;
+    }
+    let out = cluster.flush(SimTime::from_micros(submitted * 100));
+    completed += out.completed.len() as u64;
+    dropped += out.dropped.len() as u64;
+    let stats: IntegrityStats = cluster.stats();
+    IntegrityCell {
+        platform: shape.name.to_string(),
+        nodes: shape.nodes,
+        batch: shape.batch,
+        family: family.to_string(),
+        rate,
+        detectors: rung.to_string(),
+        submitted,
+        completed,
+        dropped,
+        quarantined_nodes: cluster.quarantined_nodes().len() as u64,
+        batches: stats.batches,
+        injected_weight_flips: stats.injected_weight_flips,
+        injected_activation_flips: stats.injected_activation_flips,
+        detected: stats.detected,
+        recovered: stats.recovered,
+        quarantined: stats.quarantined,
+        clean: stats.clean,
+        masked: stats.masked,
+        escaped: stats.escaped,
+        conserved: stats.conserved(),
+        requests_conserved: completed + dropped == submitted,
+    }
+}
+
+/// Run the full sweep: 3 platform shapes × 3 fault families × 2 rates × 4
+/// detector rungs. Asserts the headline invariants before returning.
+pub fn integrity() -> IntegrityExperiment {
+    let graph = micro_vit();
+    let mut cells = Vec::with_capacity(SHAPES.len() * FAMILIES.len() * RATES.len() * RUNGS.len());
+    for shape in &SHAPES {
+        for family in FAMILIES {
+            for (rate_idx, &rate) in RATES.iter().enumerate() {
+                for rung in RUNGS {
+                    cells.push(run_cell(&graph, shape, family, rate_idx, rate, rung));
+                }
+            }
+        }
+    }
+    for cell in &cells {
+        assert!(
+            cell.conserved,
+            "{} {} r={} {}: integrity counters leak",
+            cell.platform, cell.family, cell.rate, cell.detectors
+        );
+        assert!(
+            cell.requests_conserved,
+            "{} {} r={} {}: requests leak ({} + {} != {})",
+            cell.platform,
+            cell.family,
+            cell.rate,
+            cell.detectors,
+            cell.completed,
+            cell.dropped,
+            cell.submitted
+        );
+        if cell.detectors == "full" {
+            assert_eq!(
+                cell.escaped, 0,
+                "{} {} r={}: corruption escaped the full ladder",
+                cell.platform, cell.family, cell.rate
+            );
+        }
+    }
+    for shape in &SHAPES {
+        let escaped_unguarded: u64 = cells
+            .iter()
+            .filter(|c| c.platform == shape.name && c.detectors == "off")
+            .map(|c| c.escaped)
+            .sum();
+        assert!(
+            escaped_unguarded > 0,
+            "{}: unguarded faults never escaped — the sweep proves nothing",
+            shape.name
+        );
+        let detected_guarded: u64 = cells
+            .iter()
+            .filter(|c| c.platform == shape.name && c.detectors == "full")
+            .map(|c| c.detected)
+            .sum();
+        assert!(
+            detected_guarded > 0,
+            "{}: full ladder never detected anything",
+            shape.name
+        );
+    }
+    IntegrityExperiment {
+        detect_tol: harvest_serving::DETECT_TOL,
+        escape_tol: harvest_serving::ESCAPE_TOL,
+        cells,
+    }
+}
+
+/// Detector cost at one batch size: wall-clock per image for the plain
+/// path and each ladder rung (fault-free, so the numbers are pure detector
+/// overhead). Not part of the artifact — timings are machine-dependent;
+/// the experiments binary prints them in full mode.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Batch size measured.
+    pub batch: usize,
+    /// Plain `forward_batch` ms/image.
+    pub plain_ms: f64,
+    /// Sentinels-only overhead vs plain, percent.
+    pub sentinels_pct: f64,
+    /// Checksums (+ sentinels) overhead vs plain, percent.
+    pub checksums_pct: f64,
+    /// Full ladder (+ per-request reference cross-check) overhead vs
+    /// plain, percent.
+    pub full_pct: f64,
+}
+
+/// Measure detector overhead on the micro ViT at the given batch sizes.
+pub fn detector_overhead(batches: &[usize]) -> Vec<OverheadRow> {
+    use harvest_engine::{ActivationGuard, Executor};
+    use std::time::Instant;
+    let graph = micro_vit();
+    let exec = Executor::new(&graph, 7);
+    let guard = ActivationGuard {
+        range_limit: Some(RANGE_LIMIT),
+    };
+    let reps = 30;
+    batches
+        .iter()
+        .map(|&b| {
+            let inputs: Vec<Tensor> = (0..b)
+                .map(|i| Tensor::random(&[3, 16, 16], i as u64 + 1, 1.0))
+                .collect();
+            let time = |f: &dyn Fn()| {
+                f(); // warm
+                let t = Instant::now();
+                for _ in 0..reps {
+                    f();
+                }
+                t.elapsed().as_secs_f64() * 1e3 / (reps * b) as f64
+            };
+            let plain = time(&|| {
+                std::hint::black_box(exec.forward_batch(&inputs));
+            });
+            let sentinels = time(&|| {
+                std::hint::black_box(exec.forward_batch_checked(&inputs, Some(&guard), None));
+            });
+            let checksums = time(&|| {
+                assert!(exec.verify_weights().is_ok());
+                std::hint::black_box(exec.forward_batch_checked(&inputs, Some(&guard), None));
+            });
+            let full = time(&|| {
+                assert!(exec.verify_weights().is_ok());
+                let out = exec.forward_batch_checked(&inputs, Some(&guard), None);
+                for (x, y) in inputs.iter().zip(&out.outputs) {
+                    assert!(exec.reference_gap(x, y) <= harvest_serving::DETECT_TOL);
+                }
+            });
+            let pct = |ms: f64| 100.0 * (ms - plain) / plain;
+            OverheadRow {
+                batch: b,
+                plain_ms: plain,
+                sentinels_pct: pct(sentinels),
+                checksums_pct: pct(checksums),
+                full_pct: pct(full),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_holds_its_invariants_and_reproduces() {
+        // `integrity()` self-asserts conservation, full-ladder containment
+        // (escaped == 0), and unguarded escape (> 0) internally; here we
+        // additionally pin byte-identical reruns — the property the CI
+        // artifact-drift gate relies on.
+        let a = integrity();
+        let b = integrity();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "integrity sweep must be bit-reproducible"
+        );
+        assert_eq!(
+            a.cells.len(),
+            SHAPES.len() * FAMILIES.len() * RATES.len() * RUNGS.len()
+        );
+        // The sticky family must actually exercise the quarantine path at
+        // the full rung somewhere in the sweep.
+        assert!(
+            a.cells
+                .iter()
+                .any(|c| c.family == "weight-sticky" && c.detectors == "full" && c.quarantined > 0),
+            "sticky faults never quarantined a node"
+        );
+    }
+}

@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod integrity;
 pub mod overload;
 pub mod resilience;
 pub mod scaling;
@@ -24,6 +25,9 @@ pub use fig5::{fig5, Fig5Platform, Fig5Point, Fig5Series};
 pub use fig6::{fig6, Fig6Platform, Fig6Point, Fig6Series};
 pub use fig7::{fig7, Fig7Cell, Fig7Platform};
 pub use fig8::{fig8, Fig8Cell, Fig8Platform};
+pub use integrity::{
+    detector_overhead, integrity, IntegrityCell, IntegrityExperiment, OverheadRow,
+};
 pub use overload::{
     overload, BreakerScenarioReport, LadderScenarioReport, OverloadExperiment, OverloadRow,
 };

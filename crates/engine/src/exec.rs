@@ -26,9 +26,21 @@
 //!   `gemm_bt`, INT8 weights re-transposed and re-quantized per call. It is
 //!   the correctness oracle for the batched path and the baseline the
 //!   `experiments bench` harness measures speedups against.
+//!
+//! On top of the production path sits the **integrity layer**: every
+//! materialized tensor carries an FNV-1a checksum taken at construction
+//! ([`MaterializedWeights::verify_integrity`] detects any bit of weight
+//! corruption), [`Executor::forward_batch_checked`] adds opt-in NaN/Inf/
+//! range sentinels after each GEMM stage plus deterministic activation-flip
+//! injection, and [`Executor::reference_gap`] is the sampled cross-check
+//! that re-runs a request through the reference path. The default
+//! `forward_batch` takes none of these branches, so the integrity-off path
+//! is bit-identical to the PR-3 engine.
 
 use harvest_models::{Graph, Node, NodeId, Op, Shape};
+use harvest_simkit::fault::FaultPlan;
 use harvest_tensor::attention::AttentionWeights;
+use harvest_tensor::integrity::{checksum_f32, flip_bit_in, max_abs_gap, scan_f32, ScanReport};
 use harvest_tensor::quant::{quantize_symmetric, QuantizedTensor};
 use harvest_tensor::{
     add_bias, avg_pool2d_global, conv2d, conv2d_into, gelu, layernorm, max_pool2d,
@@ -131,14 +143,150 @@ enum NodeWeights {
     },
 }
 
+impl NodeWeights {
+    /// Every f32 buffer this node owns, tagged with a stable role index.
+    /// Enumeration order is fixed (struct-field order), which keeps
+    /// checksum and injection identities stable across runs.
+    fn buffers(&self) -> Vec<(u64, &[f32])> {
+        match self {
+            NodeWeights::None => Vec::new(),
+            NodeWeights::Conv { weight, bias } => vec![(0, weight.data()), (1, bias.data())],
+            NodeWeights::BatchNorm {
+                gamma,
+                beta,
+                mean,
+                var,
+            } => vec![(0, gamma), (1, beta.data()), (2, mean), (3, var)],
+            NodeWeights::LayerNorm { gamma, beta } => vec![(0, &gamma[..]), (1, beta)],
+            NodeWeights::Linear { w, bias } => {
+                let mut v = vec![(0, &w.kxn[..])];
+                if let Some(b) = bias {
+                    v.push((1, b.data()));
+                }
+                v
+            }
+            NodeWeights::PatchEmbed {
+                weight,
+                bias,
+                cls,
+                pos,
+            } => vec![
+                (0, weight.data()),
+                (1, bias.data()),
+                (2, cls.data()),
+                (3, pos.data()),
+            ],
+            NodeWeights::Attention {
+                w_qkv,
+                b_qkv,
+                w_out,
+                b_out,
+            } => vec![
+                (0, &w_qkv.kxn[..]),
+                (1, b_qkv.data()),
+                (2, &w_out.kxn[..]),
+                (3, b_out.data()),
+            ],
+            NodeWeights::LinearAttention { w_rkv, w_out } => {
+                vec![(0, &w_rkv.kxn[..]), (1, &w_out.kxn[..])]
+            }
+            NodeWeights::Mlp { w1, b1, w2, b2 } => vec![
+                (0, &w1.kxn[..]),
+                (1, b1.data()),
+                (2, &w2.kxn[..]),
+                (3, b2.data()),
+            ],
+        }
+    }
+
+    /// Mutable twin of [`NodeWeights::buffers`], same roles and order.
+    fn buffers_mut(&mut self) -> Vec<(u64, &mut [f32])> {
+        match self {
+            NodeWeights::None => Vec::new(),
+            NodeWeights::Conv { weight, bias } => {
+                vec![(0, weight.data_mut()), (1, bias.data_mut())]
+            }
+            NodeWeights::BatchNorm {
+                gamma,
+                beta,
+                mean,
+                var,
+            } => vec![
+                (0, &mut gamma[..]),
+                (1, beta.data_mut()),
+                (2, &mut mean[..]),
+                (3, &mut var[..]),
+            ],
+            NodeWeights::LayerNorm { gamma, beta } => {
+                vec![(0, &mut gamma[..]), (1, &mut beta[..])]
+            }
+            NodeWeights::Linear { w, bias } => {
+                let mut v = vec![(0, &mut w.kxn[..])];
+                if let Some(b) = bias {
+                    v.push((1, b.data_mut()));
+                }
+                v
+            }
+            NodeWeights::PatchEmbed {
+                weight,
+                bias,
+                cls,
+                pos,
+            } => vec![
+                (0, weight.data_mut()),
+                (1, bias.data_mut()),
+                (2, cls.data_mut()),
+                (3, pos.data_mut()),
+            ],
+            NodeWeights::Attention {
+                w_qkv,
+                b_qkv,
+                w_out,
+                b_out,
+            } => vec![
+                (0, &mut w_qkv.kxn[..]),
+                (1, b_qkv.data_mut()),
+                (2, &mut w_out.kxn[..]),
+                (3, b_out.data_mut()),
+            ],
+            NodeWeights::LinearAttention { w_rkv, w_out } => {
+                vec![(0, &mut w_rkv.kxn[..]), (1, &mut w_out.kxn[..])]
+            }
+            NodeWeights::Mlp { w1, b1, w2, b2 } => vec![
+                (0, &mut w1.kxn[..]),
+                (1, b1.data_mut()),
+                (2, &mut w2.kxn[..]),
+                (3, b2.data_mut()),
+            ],
+        }
+    }
+}
+
+/// A weight tensor whose current bits no longer match the checksum taken at
+/// materialization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightCorruption {
+    /// Graph node owning the corrupt tensor.
+    pub node: usize,
+    /// Role index of the tensor within the node (enumeration order of
+    /// `NodeWeights::buffers`).
+    pub role: u64,
+}
+
 /// All weights of a graph, generated once and stored in the layouts the
 /// batched engine consumes — pre-transposed `k×n` matmul operands and
 /// (for INT8 executors) pre-quantized weight matrices. Building this once
 /// per [`Executor`] replaces the seed behavior of regenerating every
 /// weight tensor from the seed on *every* forward pass.
+///
+/// Each tensor's FNV-1a checksum is taken at construction; since weights
+/// are immutable during normal serving, any later mismatch is silent data
+/// corruption by definition.
 pub struct MaterializedWeights {
     nodes: Vec<NodeWeights>,
     f32_elements: usize,
+    /// `(node << 3 | role, checksum)` per tensor, in enumeration order.
+    checksums: Vec<(u64, u64)>,
 }
 
 impl MaterializedWeights {
@@ -274,9 +422,11 @@ impl MaterializedWeights {
                 }
             })
             .sum();
+        let checksums = Self::compute_checksums(&nodes);
         MaterializedWeights {
             nodes,
             f32_elements,
+            checksums,
         }
     }
 
@@ -287,6 +437,47 @@ impl MaterializedWeights {
 
     fn of(&self, id: NodeId) -> &NodeWeights {
         &self.nodes[id.0]
+    }
+
+    fn compute_checksums(nodes: &[NodeWeights]) -> Vec<(u64, u64)> {
+        let mut sums = Vec::new();
+        for (node, w) in nodes.iter().enumerate() {
+            for (role, buf) in w.buffers() {
+                sums.push(((node as u64) << 3 | role, checksum_f32(buf)));
+            }
+        }
+        sums
+    }
+
+    /// Re-hash every tensor and compare against the construction-time
+    /// checksums; reports the first corrupt tensor found. O(parameters) —
+    /// cheap relative to a batch forward, so serving layers can afford to
+    /// run it per dispatched batch.
+    pub fn verify_integrity(&self) -> Result<(), WeightCorruption> {
+        for ((id, expect), actual) in self
+            .checksums
+            .iter()
+            .zip(Self::compute_checksums(&self.nodes))
+        {
+            debug_assert_eq!(*id, actual.0);
+            if *expect != actual.1 {
+                return Err(WeightCorruption {
+                    node: (*id >> 3) as usize,
+                    role: *id & 7,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Visit every f32 weight buffer mutably, tagged with its stable tensor
+    /// id (`node << 3 | role`). The corruption injector's entry point.
+    pub fn for_each_buffer_mut(&mut self, mut f: impl FnMut(u64, &mut [f32])) {
+        for (node, w) in self.nodes.iter_mut().enumerate() {
+            for (role, buf) in w.buffers_mut() {
+                f((node as u64) << 3 | role, buf);
+            }
+        }
     }
 }
 
@@ -333,6 +524,65 @@ impl Arena {
 struct BatchVal {
     data: Vec<f32>,
     per_image: usize,
+}
+
+/// Activation-sentinel configuration for [`Executor::forward_batch_checked`]:
+/// after every GEMM-stage node, scan the output for NaN/Inf and (optionally)
+/// finite values with |v| above `range_limit`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ActivationGuard {
+    /// Finite-magnitude ceiling; `None` checks only NaN/Inf.
+    pub range_limit: Option<f32>,
+}
+
+/// A sentinel firing: which node's output violated the guard, and what the
+/// scan saw.
+#[derive(Clone, Debug)]
+pub struct GuardViolation {
+    /// Name of the graph node whose output tripped the sentinel.
+    pub node: String,
+    /// The offending scan.
+    pub scan: ScanReport,
+}
+
+/// Deterministic activation-corruption context for a guarded forward pass:
+/// `plan`'s coins are drawn per element of the targeted pass's output,
+/// keyed by (`batch`, `attempt`) so a retry of the same batch redraws —
+/// transient SDC, not a stuck fault.
+#[derive(Clone, Copy)]
+pub struct ActivationInjection<'p> {
+    /// Fault plan supplying the pass name and the per-element coins.
+    pub plan: &'p FaultPlan,
+    /// Batch identity (stable across retries of the same batch).
+    pub batch: u64,
+    /// Execution attempt (0 first try, 1 retry, ...).
+    pub attempt: u32,
+}
+
+/// Result of a guarded forward pass.
+pub struct CheckedForward {
+    /// Per-input outputs; empty when a sentinel aborted the pass.
+    pub outputs: Vec<Tensor>,
+    /// The sentinel violation that aborted the pass, if any.
+    pub violation: Option<GuardViolation>,
+    /// Activation bits actually flipped by the injection context.
+    pub activation_flips: u64,
+}
+
+/// The ops whose outputs the activation sentinel scans: every node that
+/// runs a GEMM-class kernel (where a corrupted multiply-accumulate would
+/// surface). Cheap element-wise/reshape ops are skipped — their inputs were
+/// already scanned.
+fn is_gemm_stage(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Conv2d { .. }
+            | Op::Linear { .. }
+            | Op::PatchEmbed { .. }
+            | Op::Attention { .. }
+            | Op::LinearAttention { .. }
+            | Op::Mlp { .. }
+    )
 }
 
 /// Executes a graph on the host kernels: batched, weight-cached production
@@ -444,8 +694,89 @@ impl<'g> Executor<'g> {
     /// of live activation f32 elements — the quantity the liveness pass
     /// bounds (weights excluded).
     pub fn forward_batch_with_peak(&self, inputs: &[Tensor]) -> (Vec<Tensor>, usize) {
+        let (outputs, peak, violation, _) = self.forward_batch_inner(inputs, None, None);
+        debug_assert!(violation.is_none(), "no guard, no violation");
+        (outputs, peak)
+    }
+
+    /// [`Executor::forward_batch`] with the integrity hooks engaged: after
+    /// each GEMM-stage node the output activation is scanned against
+    /// `guard` (NaN/Inf and optional |v| range), and — when an injection
+    /// context is supplied — the targeted pass's output gets deterministic
+    /// bit flips before the scan. A violation aborts the pass immediately
+    /// (no outputs), which is what makes the sentinel cheap: corrupted work
+    /// is cut short instead of completed and discarded.
+    pub fn forward_batch_checked(
+        &self,
+        inputs: &[Tensor],
+        guard: Option<&ActivationGuard>,
+        inject: Option<&ActivationInjection<'_>>,
+    ) -> CheckedForward {
+        let (outputs, _, violation, activation_flips) =
+            self.forward_batch_inner(inputs, guard, inject);
+        CheckedForward {
+            outputs,
+            violation,
+            activation_flips,
+        }
+    }
+
+    /// Inject deterministic weight bit flips from `plan` into the
+    /// materialized weights, drawing one coin per (tensor, element) keyed
+    /// by `round`. Returns the number of bits flipped. The stored checksums
+    /// are *not* updated — that is the point: [`Executor::verify_weights`]
+    /// afterwards reports exactly the corruption introduced here.
+    pub fn inject_weight_flips(&mut self, plan: &FaultPlan, round: u64) -> u64 {
+        if !plan.corrupts_weights() {
+            return 0;
+        }
+        let mut flips = 0u64;
+        self.materialized.for_each_buffer_mut(|tensor_id, buf| {
+            for e in 0..buf.len() {
+                if let Some(bit) = plan.weight_flip(round, tensor_id, e as u64) {
+                    flip_bit_in(buf, e, bit);
+                    flips += 1;
+                }
+            }
+        });
+        flips
+    }
+
+    /// Re-checksum every materialized tensor against the sums taken at
+    /// materialization; on mismatch names the corrupted node.
+    pub fn verify_weights(&self) -> Result<(), (WeightCorruption, String)> {
+        self.materialized.verify_integrity().map_err(|c| {
+            let name = self.graph.nodes()[c.node].name.clone();
+            (c, name)
+        })
+    }
+
+    /// Rebuild the materialized weights from the (pristine, seed-derived)
+    /// weight store — the recovery action after detected weight corruption.
+    /// Checksums are recomputed, so a subsequent
+    /// [`Executor::verify_weights`] passes.
+    pub fn rematerialize(&mut self) {
+        self.materialized = MaterializedWeights::new(self.graph, &self.weights, self.int8_linears);
+    }
+
+    /// Largest absolute element-wise gap between `output` and the reference
+    /// path's result for `input` — the sampled cross-check detector. The
+    /// reference path regenerates weights from the seed on every call, so
+    /// it is immune to materialized-weight corruption; a corrupted batched
+    /// pass therefore shows up as a large gap.
+    pub fn reference_gap(&self, input: &Tensor, output: &Tensor) -> f32 {
+        let reference = self.forward_reference(input);
+        max_abs_gap(output.data(), reference.data())
+    }
+
+    fn forward_batch_inner(
+        &self,
+        inputs: &[Tensor],
+        guard: Option<&ActivationGuard>,
+        inject: Option<&ActivationInjection<'_>>,
+    ) -> (Vec<Tensor>, usize, Option<GuardViolation>, u64) {
         if inputs.is_empty() {
-            return (Vec::new(), 0);
+            return (Vec::new(), 0, None, 0);
         }
         for x in inputs {
             self.check_input(x);
@@ -467,8 +798,37 @@ impl<'g> Executor<'g> {
         let mut arena = Arena::default();
         let mut live = b * per;
         let mut peak = live;
+        let mut flips = 0u64;
         for node in self.graph.nodes().iter().skip(1) {
-            let out = self.eval_batch(node, &mut values, b, &mut arena);
+            let mut out = self.eval_batch(node, &mut values, b, &mut arena);
+            if let Some(inj) = inject {
+                if inj.plan.activation_pass() == Some(node.name.as_str()) {
+                    for e in 0..out.data.len() {
+                        if let Some(bit) =
+                            inj.plan.activation_flip(inj.batch, inj.attempt, e as u64)
+                        {
+                            flip_bit_in(&mut out.data, e, bit);
+                            flips += 1;
+                        }
+                    }
+                }
+            }
+            if let Some(g) = guard {
+                if is_gemm_stage(&node.op) {
+                    let scan = scan_f32(&out.data);
+                    if scan.violates(g.range_limit) {
+                        return (
+                            Vec::new(),
+                            peak,
+                            Some(GuardViolation {
+                                node: node.name.clone(),
+                                scan,
+                            }),
+                            flips,
+                        );
+                    }
+                }
+            }
             live += out.data.len();
             peak = peak.max(live);
             values[node.id.0] = Some(out);
@@ -491,7 +851,7 @@ impl<'g> Executor<'g> {
         let result = (0..b)
             .map(|i| Tensor::from_vec(&dims, out.data[i * per_out..(i + 1) * per_out].to_vec()))
             .collect();
-        (result, peak)
+        (result, peak, None, flips)
     }
 
     /// Matrix multiply `x[rows×k] → out[rows×n]` against a materialized
@@ -1655,5 +2015,169 @@ mod tests {
         let g = small_vit();
         let exec = Executor::new(&g, 3);
         assert!(exec.forward_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn weight_checksums_catch_injected_flips_and_rematerialize_recovers() {
+        let g = small_vit();
+        let mut exec = Executor::new(&g, 42);
+        assert!(exec.verify_weights().is_ok(), "pristine weights must pass");
+
+        let plan = FaultPlan::new(9001).with_weight_bit_flips(1e-4, false);
+        let flips = exec.inject_weight_flips(&plan, 0);
+        assert!(flips > 0, "rate 1e-4 over ~200k params should hit");
+        let (corruption, node) = exec.verify_weights().expect_err("flip must be detected");
+        assert_eq!(node, g.nodes()[corruption.node].name);
+
+        exec.rematerialize();
+        assert!(exec.verify_weights().is_ok(), "rematerialize must restore");
+        // And the restored weights compute the clean logits again.
+        let x = Tensor::random(&[3, 16, 16], 7, 1.0);
+        let clean = Executor::new(&g, 42).forward(&x);
+        assert_eq!(exec.forward(&x).data(), clean.data());
+    }
+
+    #[test]
+    fn checksum_catches_even_a_mantissa_lsb_flip() {
+        // The flip no magnitude-based detector can see.
+        let g = small_vit();
+        let mut exec = Executor::new(&g, 42);
+        let mut done = false;
+        exec.materialized.for_each_buffer_mut(|_, buf| {
+            if !done && !buf.is_empty() {
+                harvest_tensor::flip_bit_in(buf, 0, 0);
+                done = true;
+            }
+        });
+        assert!(done, "model must have at least one weight buffer");
+        assert!(exec.verify_weights().is_err());
+    }
+
+    #[test]
+    fn sticky_weight_flips_reappear_identically_across_rounds() {
+        let g = small_vit();
+        let plan = FaultPlan::new(4242).with_weight_bit_flips(1e-4, true);
+        let mut a = Executor::new(&g, 42);
+        let mut b = Executor::new(&g, 42);
+        a.inject_weight_flips(&plan, 3);
+        b.inject_weight_flips(&plan, 3);
+        // Same plan + same round ⇒ bit-identical corrupted weights.
+        let x = Tensor::random(&[3, 16, 16], 11, 1.0);
+        assert_eq!(a.forward(&x).data(), b.forward(&x).data());
+    }
+
+    #[test]
+    fn activation_sentinel_catches_injected_exponent_explosion() {
+        let g = small_vit();
+        let exec = Executor::new(&g, 42);
+        let xs = vec![Tensor::random(&[3, 16, 16], 5, 1.0)];
+        // High rate so a bit-30 flip (the one that turns a ~|1| activation
+        // into ~1e38) is certain to land somewhere in the mlp output.
+        let plan = FaultPlan::new(77).with_activation_bit_flips(0.25, "blocks.0.mlp");
+        let guard = ActivationGuard {
+            range_limit: Some(1e4),
+        };
+        let inj = ActivationInjection {
+            plan: &plan,
+            batch: 0,
+            attempt: 0,
+        };
+        let r = exec.forward_batch_checked(&xs, Some(&guard), Some(&inj));
+        assert!(r.activation_flips > 0, "flips must land");
+        let v = r.violation.expect("sentinel must fire on exponent flips");
+        assert!(r.outputs.is_empty(), "violating pass yields no outputs");
+        // The sentinel fires at the corrupted pass or a GEMM stage downstream
+        // of it, never upstream.
+        assert!(!v.node.starts_with("patch_embed") || v.node == "blocks.0.mlp");
+    }
+
+    #[test]
+    fn guarded_pass_without_faults_is_bit_identical_to_plain_batch() {
+        let g = small_vit();
+        let exec = Executor::new(&g, 42);
+        let xs: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::random(&[3, 16, 16], 100 + i, 1.0))
+            .collect();
+        let plain = exec.forward_batch(&xs);
+        let guard = ActivationGuard {
+            range_limit: Some(1e6),
+        };
+        let checked = exec.forward_batch_checked(&xs, Some(&guard), None);
+        assert!(checked.violation.is_none());
+        assert_eq!(checked.activation_flips, 0);
+        for (a, b) in plain.iter().zip(&checked.outputs) {
+            assert_eq!(a.data(), b.data(), "guard must not perturb the math");
+        }
+    }
+
+    #[test]
+    fn reference_gap_is_small_clean_and_large_under_weight_corruption() {
+        let g = small_vit();
+        let mut exec = Executor::new(&g, 42);
+        let x = Tensor::random(&[3, 16, 16], 21, 1.0);
+        let clean_out = exec.forward(&x);
+        let clean_gap = exec.reference_gap(&x, &clean_out);
+        assert!(
+            clean_gap.is_finite() && clean_gap < 1e-3,
+            "clean batched-vs-reference gap {clean_gap} too large"
+        );
+        // Corrupt a high exponent bit of the first weight buffer: the
+        // output moves, and the reference (regenerated from seed, immune to
+        // materialized corruption) exposes it.
+        let mut done = false;
+        exec.materialized.for_each_buffer_mut(|_, buf| {
+            if !done && !buf.is_empty() {
+                harvest_tensor::flip_bit_in(buf, 0, 30);
+                done = true;
+            }
+        });
+        let bad_out = exec.forward(&x);
+        let bad_gap = exec.reference_gap(&x, &bad_out);
+        assert!(
+            bad_gap > 1e-3,
+            "corrupted gap {bad_gap} should exceed the detect tolerance"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        /// Same FaultPlan seed ⇒ bit-identical corrupted tensors, regardless
+        /// of which executor instance performs the injection.
+        #[test]
+        fn prop_weight_injection_is_deterministic(seed in 0u64..1_000_000, round in 0u64..4) {
+            let g = small_vit();
+            let plan = FaultPlan::new(seed).with_weight_bit_flips(5e-5, false);
+            let mut a = Executor::new(&g, 42);
+            let mut b = Executor::new(&g, 42);
+            let fa = a.inject_weight_flips(&plan, round);
+            let fb = b.inject_weight_flips(&plan, round);
+            proptest::prop_assert_eq!(fa, fb);
+            let x = Tensor::random(&[3, 16, 16], 3, 1.0);
+            let (ya, yb) = (a.forward(&x), b.forward(&x));
+            proptest::prop_assert_eq!(ya.data(), yb.data());
+        }
+
+        /// Activation injection draws identical coins for identical
+        /// (batch, attempt) and fresh coins when the attempt changes.
+        #[test]
+        fn prop_activation_injection_keyed_by_attempt(seed in 0u64..1_000_000) {
+            let g = small_vit();
+            let plan = FaultPlan::new(seed).with_activation_bit_flips(1e-3, "blocks.0.mlp");
+            let exec = Executor::new(&g, 42);
+            let xs = vec![Tensor::random(&[3, 16, 16], 9, 1.0)];
+            let run = |attempt: u32| {
+                let inj = ActivationInjection { plan: &plan, batch: 5, attempt };
+                exec.forward_batch_checked(&xs, None, Some(&inj))
+            };
+            let a0 = run(0);
+            let a0b = run(0);
+            proptest::prop_assert_eq!(a0.activation_flips, a0b.activation_flips);
+            proptest::prop_assert_eq!(
+                a0.outputs[0].data(),
+                a0b.outputs[0].data(),
+                "same attempt must replay identically"
+            );
+        }
     }
 }

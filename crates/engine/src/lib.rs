@@ -26,6 +26,9 @@ pub mod passes;
 pub mod planner;
 
 pub use engine::{Engine, EngineError};
-pub use exec::{Executor, MaterializedWeights, WeightStore};
+pub use exec::{
+    ActivationGuard, ActivationInjection, CheckedForward, Executor, GuardViolation,
+    MaterializedWeights, WeightCorruption, WeightStore,
+};
 pub use passes::{compile, ExecPlan, ExecStep, StepKind};
 pub use planner::{plan_activations, ActivationPlan};

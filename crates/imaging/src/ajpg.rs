@@ -9,11 +9,21 @@
 //! cost scales with pixel count and block activity, which is exactly the
 //! property the Fig. 7 preprocessing characterization depends on.
 
-use crate::bitio::{BitReader, BitWriter};
+use crate::bitio::{read_u32_le, BitReader, BitWriter};
 use crate::dct::{dct2_8x8, idct2_8x8, ZIGZAG};
 use crate::image::RgbImage;
 
 const MAGIC: &[u8; 4] = b"AJPG";
+
+/// Largest per-axis dimension the decoder will allocate for. A corrupt
+/// header can claim up to 4 Gpx per axis; anything past survey-stitch
+/// scale is rejected before any plane is allocated.
+const MAX_DIM: usize = 1 << 14;
+
+/// Largest total pixel count the decoder will allocate for (~16 Mpx —
+/// three f32 planes ≈ 200 MiB, the ceiling of what a decode is allowed to
+/// cost).
+const MAX_PIXELS: usize = 1 << 24;
 
 /// Encoder options.
 #[derive(Clone, Copy, Debug)]
@@ -166,7 +176,9 @@ fn decode_plane(plane: &mut Plane, table: &[u16; 64], r: &mut BitReader<'_>) -> 
     let mut prev_dc = 0i64;
     for bi in 0..plane.blocks() {
         let mut quant = [0i64; 64];
-        prev_dc += r.get_se()?;
+        prev_dc = prev_dc
+            .checked_add(r.get_se()?)
+            .ok_or_else(|| format!("DC accumulator overflow in block {bi}"))?;
         quant[0] = prev_dc;
         let mut zi = 1usize;
         loop {
@@ -174,15 +186,16 @@ fn decode_plane(plane: &mut Plane, table: &[u16; 64], r: &mut BitReader<'_>) -> 
             if run == 63 {
                 break; // EOB
             }
+            if run > 62 {
+                // Valid AC runs are 0..=62 (63 coefficients); 63 is EOB.
+                return Err(format!("AC run {run} out of range in block {bi}"));
+            }
             zi += run as usize;
             if zi >= 64 {
                 return Err(format!("AC index overflow in block {bi}"));
             }
             quant[zi] = r.get_se()?;
             zi += 1;
-            if zi > 64 {
-                return Err(format!("AC overrun in block {bi}"));
-            }
         }
         let mut coeffs = [0.0f32; 64];
         for (zi, &dst) in ZIGZAG.iter().enumerate() {
@@ -267,15 +280,18 @@ pub fn ajpg_encode(img: &RgbImage, opts: &AjpgOptions) -> Vec<u8> {
 
 /// Decode AJPG bytes back to an RGB image.
 pub fn ajpg_decode(bytes: &[u8]) -> Result<RgbImage, String> {
-    if bytes.len() < 14 || &bytes[..4] != MAGIC {
+    if bytes.get(..4) != Some(MAGIC.as_slice()) {
         return Err("not an AJPG stream".into());
     }
-    let w = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
-    let h = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
-    let quality = bytes[12];
-    let subsample = bytes[13] != 0;
+    let w = read_u32_le(bytes, 4)? as usize;
+    let h = read_u32_le(bytes, 8)? as usize;
+    let quality = *bytes.get(12).ok_or("truncated AJPG header")?;
+    let subsample = *bytes.get(13).ok_or("truncated AJPG header")? != 0;
     if w == 0 || h == 0 {
         return Err("degenerate dimensions".into());
+    }
+    if w > MAX_DIM || h > MAX_DIM || w * h > MAX_PIXELS {
+        return Err(format!("implausible dimensions {w}x{h}"));
     }
     let (cw, ch) = if subsample {
         (w.div_ceil(2), h.div_ceil(2))

@@ -1,5 +1,16 @@
 //! Bit-level I/O and exp-Golomb coding for the AJPG entropy stage.
 
+/// Bounds-checked little-endian u32 read, for container headers. Returns
+/// `Err` (never panics) when the stream is too short.
+pub fn read_u32_le(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let b: [u8; 4] = at
+        .checked_add(4)
+        .and_then(|end| bytes.get(at..end))
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| format!("truncated header at byte {at}"))?;
+    Ok(u32::from_le_bytes(b))
+}
+
 /// MSB-first bit writer.
 #[derive(Default)]
 pub struct BitWriter {
@@ -203,5 +214,15 @@ mod tests {
         w.put_bit(true);
         let buf = w.finish();
         assert_eq!(buf, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn header_reads_are_bounds_checked() {
+        let buf = [1u8, 0, 0, 0, 0xFF];
+        assert_eq!(read_u32_le(&buf, 0).unwrap(), 1);
+        assert_eq!(read_u32_le(&buf, 1).unwrap(), 0xFF00_0000);
+        assert!(read_u32_le(&buf, 2).is_err());
+        assert!(read_u32_le(&buf, usize::MAX - 1).is_err());
+        assert!(read_u32_le(&[], 0).is_err());
     }
 }

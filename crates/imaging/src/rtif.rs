@@ -5,6 +5,7 @@
 //! spectrum the paper attributes the PyTorch-baseline variance to
 //! ("differences in image encoding formats (e.g., TIFF vs JPEG)", §4.2).
 
+use crate::bitio::read_u32_le;
 use crate::image::RgbImage;
 
 const MAGIC: &[u8; 4] = b"RTIF";
@@ -21,11 +22,11 @@ pub fn rtif_encode(img: &RgbImage) -> Vec<u8> {
 
 /// Decode raw container bytes.
 pub fn rtif_decode(bytes: &[u8]) -> Result<RgbImage, String> {
-    if bytes.len() < 12 || &bytes[..4] != MAGIC {
+    if bytes.get(..4) != Some(MAGIC.as_slice()) {
         return Err("not an RTIF stream".into());
     }
-    let w = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
-    let h = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let w = read_u32_le(bytes, 4)? as usize;
+    let h = read_u32_le(bytes, 8)? as usize;
     let want = w
         .checked_mul(h)
         .and_then(|p| p.checked_mul(3))

@@ -186,6 +186,15 @@ impl CircuitBreaker {
         }
     }
 
+    /// Trip the breaker open unconditionally, regardless of EWMAs or the
+    /// warm-up guard — the integrity layer's quarantine action after a node
+    /// fails its post-recovery retry. The normal cooldown → half-open →
+    /// probe cycle still applies afterwards, so a node whose corruption was
+    /// transient re-admits itself.
+    pub fn force_open(&mut self, now: SimTime) {
+        self.trip(now);
+    }
+
     fn advance(&mut self, now: SimTime) {
         if self.state == BreakerState::Open && now >= self.opened_at + self.config.cooldown {
             self.state = BreakerState::HalfOpen;
@@ -273,6 +282,11 @@ impl BreakerBank {
         self.breakers[node as usize]
             .borrow_mut()
             .record_failure(now);
+    }
+
+    /// Force `node`'s breaker open (integrity quarantine).
+    pub fn force_open(&self, node: u32, now: SimTime) {
+        self.breakers[node as usize].borrow_mut().force_open(now);
     }
 
     /// `node`'s state at `now`.

@@ -25,10 +25,16 @@
 //! * [`realexec`] — the batcher driving *actual* host inference: dispatched
 //!   batches run through the batched execution engine and completions carry
 //!   real logits.
+//! * [`integrity`] — silent-data-corruption defense on the real path:
+//!   deterministic bit-flip injection, a detector ladder (weight checksums,
+//!   activation sentinels, reference cross-check), re-materialize-and-retry
+//!   recovery, and breaker-backed node quarantine, all under conservation-
+//!   checked counters.
 
 pub mod batcher;
 pub mod breaker;
 pub mod cluster;
+pub mod integrity;
 pub mod multimodel;
 pub mod overload;
 pub mod realexec;
@@ -41,6 +47,10 @@ pub use breaker::{BreakerBank, BreakerConfig, BreakerState, CircuitBreaker};
 pub use cluster::{
     run_cluster_offline, run_cluster_offline_faulted, run_cluster_offline_protected, ClusterConfig,
     ClusterReport, Dispatch,
+};
+pub use integrity::{
+    ClusterOutcome, DetectorConfig, IntegrityCluster, IntegrityStats, NodeIntegrity, DETECT_TOL,
+    ESCAPE_TOL,
 };
 pub use multimodel::{HostedModel, LadderConfig, LadderSummary, MultiModelServer};
 pub use overload::{run_online_protected, run_online_protected_faulted, OverloadReport};

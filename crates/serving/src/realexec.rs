@@ -11,8 +11,10 @@
 //! backends: the DES uses modeled service times, this one does the math.
 
 use crate::batcher::{BatcherConfig, BatcherConfigError, DynamicBatcher, QueuedRequest};
-use harvest_engine::Executor;
+use crate::integrity::{IntegrityStats, NodeIntegrity, DETECT_TOL, ESCAPE_TOL};
+use harvest_engine::{ActivationInjection, Executor};
 use harvest_simkit::SimTime;
+use harvest_tensor::integrity::max_abs_gap;
 use harvest_tensor::Tensor;
 use std::collections::HashMap;
 
@@ -46,6 +48,13 @@ pub struct RealBatchServer<'g> {
     pending: HashMap<u64, Tensor>,
     executed_batches: u64,
     executed_requests: u64,
+    /// Integrity state machine (fault injection + detection + recovery);
+    /// `None` keeps the plain path, bit-identical to the pre-integrity
+    /// server.
+    integrity: Option<NodeIntegrity<'g>>,
+    /// Requests whose batch was quarantined: id + payload, awaiting the
+    /// cluster's sibling re-dispatch.
+    failed: Vec<(u64, Tensor)>,
 }
 
 impl<'g> RealBatchServer<'g> {
@@ -57,7 +66,39 @@ impl<'g> RealBatchServer<'g> {
             pending: HashMap::new(),
             executed_batches: 0,
             executed_requests: 0,
+            integrity: None,
+            failed: Vec::new(),
         })
+    }
+
+    /// A server whose batches run through the integrity state machine:
+    /// fault injection from the node's plan, the configured detector
+    /// ladder, re-materialize-and-retry recovery, and quarantine when the
+    /// retry also fails.
+    pub fn with_integrity(
+        exec: Executor<'g>,
+        config: BatcherConfig,
+        integrity: NodeIntegrity<'g>,
+    ) -> Result<Self, BatcherConfigError> {
+        let mut server = Self::new(exec, config)?;
+        server.integrity = Some(integrity);
+        Ok(server)
+    }
+
+    /// The node's integrity counters, when integrity is enabled.
+    pub fn integrity_stats(&self) -> Option<&IntegrityStats> {
+        self.integrity.as_ref().map(|i| &i.stats)
+    }
+
+    /// Has this node been quarantined by the integrity layer?
+    pub fn is_quarantined(&self) -> bool {
+        self.integrity.as_ref().is_some_and(|i| i.quarantined)
+    }
+
+    /// Drain the requests whose batches failed under quarantine (id +
+    /// payload), for re-dispatch elsewhere.
+    pub fn take_failed(&mut self) -> Vec<(u64, Tensor)> {
+        std::mem::take(&mut self.failed)
     }
 
     /// The executor backing this server.
@@ -127,7 +168,16 @@ impl<'g> RealBatchServer<'g> {
             .iter()
             .map(|r| self.pending.remove(&r.id).expect("payload for queued id"))
             .collect();
-        let outputs = self.exec.forward_batch(&inputs);
+        let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+        let outputs = if self.integrity.is_some() {
+            match self.run_batch_integrity(&ids, inputs) {
+                Some(outputs) => outputs,
+                // Quarantined: the batch failed, nothing completes.
+                None => return Vec::new(),
+            }
+        } else {
+            self.exec.forward_batch(&inputs)
+        };
         self.executed_batches += 1;
         self.executed_requests += batch.len() as u64;
         let batch_size = batch.len();
@@ -140,6 +190,106 @@ impl<'g> RealBatchServer<'g> {
                 batch_size,
             })
             .collect()
+    }
+
+    /// The integrity state machine for one dispatched batch. Returns the
+    /// outputs to emit, or `None` when the batch was quarantined (its
+    /// requests moved to the failed list).
+    ///
+    /// Per batch: inject weight flips (round-keyed, so reruns replay
+    /// identically) → attempt 0: verify checksums, run the guarded forward
+    /// with activation injection, cross-check against the reference path →
+    /// on any detection, re-materialize the weights (re-injecting when the
+    /// fault is sticky — a failing cell, not a transient hit) and retry
+    /// once with fresh activation coins → a second detection quarantines
+    /// the node. Every emitted batch is classified against the clean
+    /// oracle: bit-identical (`clean`), within tolerance (`masked`), or
+    /// materially wrong (`escaped`).
+    fn run_batch_integrity(&mut self, ids: &[u64], inputs: Vec<Tensor>) -> Option<Vec<Tensor>> {
+        let intg = self.integrity.as_mut().expect("integrity enabled");
+        if intg.quarantined {
+            self.failed
+                .extend(ids.iter().copied().zip(inputs.iter().cloned()));
+            return None;
+        }
+        let round = intg.stats.batches;
+        intg.stats.batches += 1;
+        intg.stats.injected_weight_flips += self.exec.inject_weight_flips(&intg.plan, round);
+
+        let mut detected_once = false;
+        for attempt in 0..=1u32 {
+            let mut detected = intg.config.weight_checksums && self.exec.verify_weights().is_err();
+            let mut outputs = None;
+            if !detected {
+                let inj_ctx = ActivationInjection {
+                    plan: &intg.plan,
+                    batch: round,
+                    attempt,
+                };
+                let inject = intg.plan.corrupts_activations().then_some(&inj_ctx);
+                let run =
+                    self.exec
+                        .forward_batch_checked(&inputs, intg.config.guard.as_ref(), inject);
+                intg.stats.injected_activation_flips += run.activation_flips;
+                if run.violation.is_some() {
+                    detected = true;
+                } else {
+                    outputs = Some(run.outputs);
+                }
+            }
+            if let Some(outs) = &outputs {
+                if intg.config.cross_checks(round) {
+                    for (x, y) in inputs.iter().zip(outs) {
+                        if self.exec.reference_gap(x, y) > DETECT_TOL {
+                            detected = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !detected {
+                let outs = outputs.expect("undetected attempt has outputs");
+                if detected_once {
+                    intg.stats.recovered += 1;
+                }
+                // Ground-truth disposition of what we are about to emit.
+                let clean = intg.oracle.forward_batch(&inputs);
+                let mut worst = 0.0f32;
+                let mut bit_identical = true;
+                for (y, c) in outs.iter().zip(&clean) {
+                    if y.data() != c.data() {
+                        bit_identical = false;
+                        worst = worst.max(max_abs_gap(y.data(), c.data()));
+                    }
+                }
+                if bit_identical {
+                    intg.stats.clean += 1;
+                } else if worst > ESCAPE_TOL {
+                    intg.stats.escaped += 1;
+                } else {
+                    intg.stats.masked += 1;
+                }
+                return Some(outs);
+            }
+            if attempt == 0 {
+                detected_once = true;
+                intg.stats.detected += 1;
+                self.exec.rematerialize();
+                if intg.plan.weight_flips_sticky() {
+                    // The failing cell corrupts the fresh copy too: same
+                    // round key, identical flips.
+                    intg.stats.injected_weight_flips +=
+                        self.exec.inject_weight_flips(&intg.plan, round);
+                }
+            } else {
+                intg.stats.quarantined += 1;
+                intg.quarantined = true;
+                self.failed
+                    .extend(ids.iter().copied().zip(inputs.iter().cloned()));
+                return None;
+            }
+        }
+        unreachable!("attempt loop emits or quarantines")
     }
 }
 
@@ -246,5 +396,199 @@ mod tests {
         let done = server.flush();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, 0);
+    }
+
+    #[test]
+    fn full_queue_conserves_every_request_exactly_once() {
+        // Under sustained overload with a bounded queue and DropOldest,
+        // every submitted id must end up in exactly one of
+        // {completed, shed, rejected} — none lost, none duplicated.
+        let g = tiny_graph();
+        let mut config = BatcherConfig::new(4, SimTime::from_millis(1000));
+        config.max_queue = 3;
+        config.shed = ShedPolicy::DropOldest;
+        let mut server = RealBatchServer::new(Executor::new(&g, 7), config).expect("valid config");
+        let total = 25u64;
+        let mut completed = Vec::new();
+        let mut shed = Vec::new();
+        let mut rejected = Vec::new();
+        for id in 0..total {
+            let out = server.submit(id, input(id + 1), SimTime::from_millis(id));
+            if !out.admitted {
+                rejected.push(id);
+            }
+            shed.extend(out.shed);
+            completed.extend(out.completed.iter().map(|c| c.id));
+        }
+        completed.extend(server.flush().iter().map(|c| c.id));
+        let mut all: Vec<u64> = completed
+            .iter()
+            .chain(&shed)
+            .chain(&rejected)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..total).collect();
+        assert_eq!(all, expected, "conservation across completed/shed/rejected");
+        assert_eq!(completed.len() as u64, server.executed_requests());
+        assert!(!shed.is_empty(), "overload must actually shed");
+    }
+
+    #[test]
+    fn batched_outputs_follow_per_request_submission_order() {
+        let g = tiny_graph();
+        let oracle = Executor::new(&g, 7);
+        let mut server = RealBatchServer::new(
+            Executor::new(&g, 7),
+            BatcherConfig::new(4, SimTime::from_millis(1000)),
+        )
+        .expect("valid config");
+        // Submit out-of-numeric-order ids: completion order must follow
+        // submission order, not id order, and each output must be the
+        // logits of *that* request's input.
+        let ids = [9u64, 3, 7, 1, 8, 2, 6, 0];
+        let mut completed = Vec::new();
+        for (k, &id) in ids.iter().enumerate() {
+            let out = server.submit(id, input(100 + id), SimTime::from_millis(k as u64));
+            completed.extend(out.completed);
+        }
+        completed.extend(server.flush());
+        assert_eq!(completed.len(), ids.len());
+        for (k, c) in completed.iter().enumerate() {
+            assert_eq!(c.id, ids[k], "completion order = submission order");
+            assert_eq!(
+                c.output,
+                oracle.forward(&input(100 + c.id)),
+                "output belongs to the request's own input"
+            );
+        }
+    }
+
+    // --- integrity state machine ---
+
+    use crate::integrity::{DetectorConfig, NodeIntegrity};
+    use harvest_simkit::fault::FaultPlan;
+
+    fn integrity_server<'g>(
+        g: &'g harvest_models::Graph,
+        plan: FaultPlan,
+        config: DetectorConfig,
+        batch: u32,
+    ) -> RealBatchServer<'g> {
+        RealBatchServer::with_integrity(
+            Executor::new(g, 7),
+            BatcherConfig::new(batch, SimTime::from_millis(1000)),
+            NodeIntegrity::new(g, 7, plan, config),
+        )
+        .expect("valid config")
+    }
+
+    fn drive(server: &mut RealBatchServer<'_>, n: u64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        for id in 0..n {
+            done.extend(
+                server
+                    .submit(id, input(id + 1), SimTime::from_millis(id))
+                    .completed,
+            );
+        }
+        done.extend(server.flush());
+        done
+    }
+
+    #[test]
+    fn integrity_off_plan_none_is_bit_identical_to_plain_server() {
+        let g = tiny_graph();
+        let mut plain = RealBatchServer::new(
+            Executor::new(&g, 7),
+            BatcherConfig::new(4, SimTime::from_millis(1000)),
+        )
+        .expect("valid config");
+        let mut guarded = integrity_server(&g, FaultPlan::none(), DetectorConfig::full(1e6), 4);
+        let mut a = drive(&mut plain, 8);
+        let mut b = drive(&mut guarded, 8);
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.output, y.output, "full detectors must not change logits");
+        }
+        let stats = *guarded.integrity_stats().expect("integrity on");
+        assert_eq!(stats.detected, 0);
+        assert_eq!(stats.clean, stats.batches);
+        assert!(stats.conserved(), "{stats:?}");
+    }
+
+    #[test]
+    fn transient_weight_corruption_is_detected_recovered_and_never_escapes() {
+        let g = tiny_graph();
+        let plan = FaultPlan::new(2024).with_weight_bit_flips(1e-3, false);
+        let mut server = integrity_server(&g, plan, DetectorConfig::full(1e6), 2);
+        let done = drive(&mut server, 16);
+        assert_eq!(done.len(), 16, "transient faults recover, nothing fails");
+        let oracle = Executor::new(&g, 7);
+        for c in &done {
+            // Recovery re-materializes, so emitted logits are the clean ones.
+            assert_eq!(c.output, oracle.forward(&input(c.id + 1)));
+        }
+        let stats = *server.integrity_stats().expect("integrity on");
+        assert!(stats.injected_weight_flips > 0, "rate must land flips");
+        assert!(stats.detected > 0, "checksums must notice");
+        assert_eq!(
+            stats.detected, stats.recovered,
+            "transient ⇒ retry succeeds"
+        );
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.escaped, 0, "full ladder lets nothing out");
+        assert!(stats.conserved(), "{stats:?}");
+        assert!(!server.is_quarantined());
+    }
+
+    #[test]
+    fn sticky_weight_corruption_quarantines_after_one_retry() {
+        let g = tiny_graph();
+        let plan = FaultPlan::new(300).with_weight_bit_flips(5e-3, true);
+        let mut server = integrity_server(&g, plan, DetectorConfig::full(1e6), 2);
+        let done = drive(&mut server, 6);
+        let stats = *server.integrity_stats().expect("integrity on");
+        assert!(server.is_quarantined(), "sticky fault must quarantine");
+        assert_eq!(stats.quarantined, 1, "exactly one quarantine event");
+        assert_eq!(stats.escaped, 0);
+        assert!(stats.conserved(), "{stats:?}");
+        let failed = server.take_failed();
+        assert!(!failed.is_empty(), "quarantined batch requests surface");
+        assert_eq!(
+            done.len() + failed.len(),
+            6,
+            "every request completes or fails, none vanish"
+        );
+    }
+
+    #[test]
+    fn corruption_escapes_when_detectors_are_off() {
+        let g = tiny_graph();
+        let plan = FaultPlan::new(2024).with_weight_bit_flips(1e-3, false);
+        let mut server = integrity_server(&g, plan, DetectorConfig::off(), 2);
+        let done = drive(&mut server, 16);
+        assert_eq!(done.len(), 16, "nothing is detected, everything emits");
+        let stats = *server.integrity_stats().expect("integrity on");
+        assert_eq!(stats.detected, 0);
+        assert!(
+            stats.escaped > 0,
+            "unguarded weight flips must ship wrong logits: {stats:?}"
+        );
+        assert!(stats.conserved(), "{stats:?}");
+    }
+
+    #[test]
+    fn activation_corruption_never_escapes_under_full_ladder() {
+        let g = tiny_graph();
+        let plan = FaultPlan::new(77).with_activation_bit_flips(2e-3, "blocks.0.mlp");
+        let mut server = integrity_server(&g, plan, DetectorConfig::full(1e6), 2);
+        drive(&mut server, 16);
+        let stats = *server.integrity_stats().expect("integrity on");
+        assert!(stats.injected_activation_flips > 0, "flips must land");
+        assert!(stats.detected > 0, "cross-check must notice");
+        assert_eq!(stats.escaped, 0, "{stats:?}");
+        assert!(stats.conserved(), "{stats:?}");
     }
 }

@@ -10,14 +10,20 @@
 //! * **link degradation** — windows during which the frontend's per-request
 //!   dispatch cost is multiplied (a congested or flapping uplink);
 //! * **transient per-request errors** — each (request, attempt) pair fails
-//!   with a fixed probability.
+//!   with a fixed probability;
+//! * **silent data corruption** — weight bit-flips by (round, tensor,
+//!   element), activation bit-flips at a named graph pass, and input-byte
+//!   truncation/garbling, all decided per element by independent hash coins.
 //!
 //! Everything is a pure function of the plan: window queries are lookups and
 //! the transient-error coin is a hash of `(seed, request id, attempt)`, not
 //! a draw from a shared stream. That makes every fault decision independent
 //! of event-loop interleaving, so a chaos run is exactly as bit-reproducible
 //! as a healthy one — which is what turns chaos testing into assertable
-//! regression tests.
+//! regression tests. The corruption coins follow the same discipline: the
+//! set of flipped bits is a pure function of `(seed, identifiers)`, never of
+//! iteration order or thread count, so an injected-corruption run produces
+//! bit-identical corrupted tensors on every rerun.
 
 use crate::time::SimTime;
 
@@ -86,7 +92,18 @@ pub struct FaultPlan {
     preproc_stalls: Vec<PreprocStall>,
     link_degradations: Vec<LinkDegradation>,
     transient_error_rate: f64,
+    weight_flip_rate: f64,
+    weight_flips_sticky: bool,
+    activation_flip_rate: f64,
+    activation_pass: Option<String>,
+    input_corruption_rate: f64,
 }
+
+/// Domain-separation constants so each corruption coin is an independent
+/// hash family (same structure as the transient/backoff split).
+const WEIGHT_DOMAIN: u64 = 0x8F1B_ADD4_7C6A_913F;
+const ACTIVATION_DOMAIN: u64 = 0x1E35_A7BD_19D6_92C5;
+const INPUT_DOMAIN: u64 = 0xC2B2_AE3D_27D4_EB4F;
 
 impl FaultPlan {
     /// An empty plan: nothing ever fails.
@@ -114,6 +131,9 @@ impl FaultPlan {
             || !self.preproc_stalls.is_empty()
             || !self.link_degradations.is_empty()
             || self.transient_error_rate > 0.0
+            || self.corrupts_weights()
+            || self.corrupts_activations()
+            || self.corrupts_inputs()
     }
 
     /// Schedule an engine crash on `node` over `[start, end)`.
@@ -273,6 +293,136 @@ impl FaultPlan {
     pub fn backoff_jitter(&self, id: u64, attempt: u32) -> f64 {
         let h = hash3(self.seed ^ 0xD6E8_FEB8_6659_FD93, id, attempt as u64);
         (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Flip each weight element's bit independently with probability
+    /// `rate` per injection round, decided by a hash of
+    /// `(seed, round, tensor, element)`. `sticky` models a failing memory
+    /// cell rather than a one-off upset: re-materializing the weights and
+    /// re-injecting the same round reproduces the same flips, so recovery
+    /// by rebuild keeps failing and the node must be quarantined.
+    pub fn with_weight_bit_flips(mut self, rate: f64, sticky: bool) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "weight flip rate must be in [0, 1)"
+        );
+        self.weight_flip_rate = rate;
+        self.weight_flips_sticky = sticky;
+        self
+    }
+
+    /// Flip activation bits at the graph pass named `pass` (matched against
+    /// node names by the executor): each element of that pass's output is
+    /// flipped independently with probability `rate`, decided by a hash of
+    /// `(seed, batch, attempt, element)`. Keying on the attempt makes the
+    /// fault transient — a retried batch draws fresh coins, the way a
+    /// particle strike corrupts one execution, not the hardware.
+    pub fn with_activation_bit_flips(mut self, rate: f64, pass: &str) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "activation flip rate must be in [0, 1)"
+        );
+        self.activation_flip_rate = rate;
+        self.activation_pass = Some(pass.to_string());
+        self
+    }
+
+    /// Corrupt each request's encoded input bytes with probability `rate`:
+    /// a hash coin picks the victim requests, and a second hash picks the
+    /// damage — truncation to a prefix or garbling of a few bytes.
+    pub fn with_input_corruption(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "input corruption rate must be in [0, 1)"
+        );
+        self.input_corruption_rate = rate;
+        self
+    }
+
+    /// Can this plan flip weight bits?
+    pub fn corrupts_weights(&self) -> bool {
+        self.weight_flip_rate > 0.0
+    }
+
+    /// Do weight flips recur after a re-materialization (failing cell)?
+    pub fn weight_flips_sticky(&self) -> bool {
+        self.weight_flips_sticky
+    }
+
+    /// Can this plan flip activation bits?
+    pub fn corrupts_activations(&self) -> bool {
+        self.activation_flip_rate > 0.0
+    }
+
+    /// The graph pass whose output activation flips target.
+    pub fn activation_pass(&self) -> Option<&str> {
+        self.activation_pass.as_deref()
+    }
+
+    /// Can this plan corrupt input byte streams?
+    pub fn corrupts_inputs(&self) -> bool {
+        self.input_corruption_rate > 0.0
+    }
+
+    /// Should `element` of `tensor` be flipped in injection round `round`,
+    /// and if so which bit (0 = mantissa LSB, 31 = sign)? Pure hash coin:
+    /// the flipped set is independent of traversal order and thread count.
+    pub fn weight_flip(&self, round: u64, tensor: u64, element: u64) -> Option<u32> {
+        if self.weight_flip_rate <= 0.0 {
+            return None;
+        }
+        let h = hash3(
+            self.seed ^ WEIGHT_DOMAIN ^ tensor.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            round,
+            element,
+        );
+        // Coin from bits 11..64, bit choice from the disjoint bits 0..5.
+        let hit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < self.weight_flip_rate;
+        hit.then_some((h & 31) as u32)
+    }
+
+    /// Should `element` of the targeted pass's output be flipped while
+    /// serving `(batch, attempt)`, and if so which bit? Same pure-coin
+    /// contract as [`FaultPlan::weight_flip`].
+    pub fn activation_flip(&self, batch: u64, attempt: u32, element: u64) -> Option<u32> {
+        if self.activation_flip_rate <= 0.0 {
+            return None;
+        }
+        let h = hash3(
+            self.seed ^ ACTIVATION_DOMAIN ^ (attempt as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+            batch,
+            element,
+        );
+        let hit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < self.activation_flip_rate;
+        hit.then_some((h & 31) as u32)
+    }
+
+    /// Corrupt request `id`'s encoded bytes in place, returning whether any
+    /// damage was done. Half the victims are truncated to a hash-derived
+    /// prefix (a dropped connection mid-frame), half get 1–8 bytes garbled
+    /// (bus/storage bit rot). Deterministic per `(seed, id, bytes.len())`.
+    pub fn corrupt_input(&self, id: u64, bytes: &mut Vec<u8>) -> bool {
+        if self.input_corruption_rate <= 0.0 || bytes.is_empty() {
+            return false;
+        }
+        let h = hash3(self.seed ^ INPUT_DOMAIN, id, 0);
+        if (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64) >= self.input_corruption_rate {
+            return false;
+        }
+        if h & 1 == 0 {
+            let keep = hash3(self.seed ^ INPUT_DOMAIN, id, 1) as usize % bytes.len();
+            bytes.truncate(keep);
+        } else {
+            let flips = 1 + (h >> 33) % 8;
+            for k in 0..flips {
+                let hk = hash3(self.seed ^ INPUT_DOMAIN, id, 2 + k);
+                let pos = hk as usize % bytes.len();
+                // Guarantee the byte actually changes: any XOR mask works
+                // as long as it is nonzero.
+                bytes[pos] ^= ((hk >> 32) as u8) | 1;
+            }
+        }
+        true
     }
 
     /// Total engine downtime on `node` overlapping `[0, until)`.
@@ -476,5 +626,76 @@ mod tests {
             assert!((0.0..1.0).contains(&j));
             assert_eq!(j, plan.backoff_jitter(id, 3));
         }
+    }
+
+    #[test]
+    fn corruption_free_plan_never_corrupts() {
+        let plan = FaultPlan::new(5);
+        assert!(!plan.corrupts_weights());
+        assert!(!plan.corrupts_activations());
+        assert!(!plan.corrupts_inputs());
+        assert_eq!(plan.weight_flip(0, 0, 0), None);
+        assert_eq!(plan.activation_flip(0, 0, 0), None);
+        let mut bytes = vec![1u8, 2, 3];
+        assert!(!plan.corrupt_input(0, &mut bytes));
+        assert_eq!(bytes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn weight_flip_coin_is_deterministic_and_calibrated() {
+        let plan = FaultPlan::new(9).with_weight_bit_flips(0.01, false);
+        assert!(plan.is_active());
+        let mut hits = 0u64;
+        for e in 0..100_000u64 {
+            let a = plan.weight_flip(3, 7, e);
+            assert_eq!(a, plan.weight_flip(3, 7, e), "coin not pure");
+            if let Some(bit) = a {
+                assert!(bit < 32);
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / 1e5;
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate}");
+        // Different rounds and tensors draw independent coins.
+        let same_round = (0..10_000u64)
+            .filter(|&e| plan.weight_flip(3, 7, e).is_some() == plan.weight_flip(4, 7, e).is_some())
+            .count();
+        assert!(same_round < 10_000, "rounds perfectly correlated");
+    }
+
+    #[test]
+    fn activation_flip_attempts_draw_fresh_coins() {
+        let plan = FaultPlan::new(21).with_activation_bit_flips(0.05, "blk0.mlp");
+        assert_eq!(plan.activation_pass(), Some("blk0.mlp"));
+        let first: Vec<u64> = (0..10_000u64)
+            .filter(|&e| plan.activation_flip(2, 0, e).is_some())
+            .collect();
+        let retry: Vec<u64> = (0..10_000u64)
+            .filter(|&e| plan.activation_flip(2, 1, e).is_some())
+            .collect();
+        assert!(!first.is_empty());
+        assert_ne!(first, retry, "retry must re-draw the fault coins");
+    }
+
+    #[test]
+    fn input_corruption_damages_victims_deterministically() {
+        let plan = FaultPlan::new(33).with_input_corruption(0.5);
+        let original: Vec<u8> = (0..64u8).collect();
+        let mut damaged = 0;
+        for id in 0..200u64 {
+            let mut a = original.clone();
+            let mut b = original.clone();
+            let hit_a = plan.corrupt_input(id, &mut a);
+            let hit_b = plan.corrupt_input(id, &mut b);
+            assert_eq!(hit_a, hit_b);
+            assert_eq!(a, b, "corruption must be reproducible");
+            if hit_a {
+                assert_ne!(a, original, "a hit must actually change the bytes");
+                damaged += 1;
+            } else {
+                assert_eq!(a, original);
+            }
+        }
+        assert!(damaged > 50 && damaged < 150, "damaged {damaged}/200");
     }
 }

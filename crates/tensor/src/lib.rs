@@ -22,6 +22,7 @@ pub mod attention;
 pub mod conv;
 pub mod gemm;
 pub mod image;
+pub mod integrity;
 pub mod ops;
 pub mod quant;
 pub mod tensor;
@@ -33,6 +34,7 @@ pub use image::{
     center_crop, chw_to_hwc_u8, hwc_u8_to_chw, normalize_chw, perspective_warp, resize_bilinear,
     Homography,
 };
+pub use integrity::{checksum_bytes, checksum_f32, flip_bit_in, max_abs_gap, scan_f32, ScanReport};
 pub use ops::{add_bias, batchnorm_inference, gelu, layernorm, relu, softmax_rows};
 pub use quant::{dequantize, gemm_i8, quantize_symmetric, quantized_gemm, QuantizedTensor};
 pub use tensor::Tensor;
