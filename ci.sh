@@ -3,10 +3,15 @@
 #
 #   1. formatting        cargo fmt --check
 #   2. lints             cargo clippy -D warnings (core crates of this stack)
-#   3. tier-1 tests      cargo build --release && cargo test -q
+#   3. tier-1 tests      cargo build --release && cargo test -q, run twice:
+#                        once with the harvest-threads pool forced sequential
+#                        (HARVEST_THREADS=1) and once at the host default
 #   4. overload smoke    experiments overload --smoke + artifact drift check
 #   5. integrity smoke   experiments integrity --smoke + schema/drift/determinism
-#   6. bench smoke       experiments bench --smoke + schema/determinism check
+#   6. bench smoke       experiments bench --smoke + schema/determinism check,
+#                        with fingerprints gated against the committed
+#                        artifacts/BENCH_fingerprints.txt baseline at both
+#                        HARVEST_THREADS=1 and the host default
 #
 # Everything runs offline: the crates.io dependencies are vendored as
 # API-compatible shims under shims/, wired via workspace path deps.
@@ -21,12 +26,23 @@ cargo clippy --offline --release \
     -p harvest-simkit -p harvest-serving -p harvest-core -p harvest-bench \
     -p harvest -p harvest-perf -p harvest-models \
     -p harvest-engine -p harvest-tensor -p harvest-imaging \
+    -p harvest-threads \
     --all-targets -- -D warnings
 
 echo "== tier-1: build =="
 cargo build --offline --release
+# The root package does not depend on harvest-bench, so the experiments
+# binary the smoke gates below run must be built explicitly — otherwise a
+# stale binary from a previous checkout could be gated instead of the code
+# under review.
+cargo build --offline --release -p harvest-bench
 
-echo "== tier-1: tests =="
+echo "== tier-1: tests (sequential pool) =="
+# HARVEST_THREADS=1 reproduces the pre-pool sequential execution exactly —
+# the suite must hold there, not just at the host's default width.
+HARVEST_THREADS=1 cargo test --offline -q
+
+echo "== tier-1: tests (default pool) =="
 cargo test --offline -q
 
 echo "== overload smoke =="
@@ -58,19 +74,27 @@ diff "$smoke_dir/integrity.run1.json" "$smoke_dir/integrity.json" \
 
 echo "== bench smoke =="
 # Reduced-size kernel + model benches: the run itself asserts batched logits
-# match the per-image reference (< 1e-4 rel) and that reruns are
-# bit-identical. Here we gate the BENCH.json schema and, by running twice,
-# that the logits fingerprints are deterministic (timings may differ).
+# match the per-image reference (< 1e-4 rel), that reruns are bit-identical,
+# and that the thread-scaling sweep's fingerprints agree at every pool
+# width. Here we gate the BENCH.json schema and pin the model fingerprints
+# against the committed baseline — at the host's default pool width AND
+# with the pool forced sequential, in one stroke proving determinism,
+# thread-invariance, and that the kernels still compute the seed's bits.
 ./target/release/experiments bench --smoke --json "$smoke_dir"
 for key in kernels models speedup logits_fingerprint rel_err_vs_reference \
-    imgs_per_s_batched achieved_gflops peak_live_f32; do
+    imgs_per_s_batched achieved_gflops peak_live_f32 \
+    host_threads thread_scaling_kernels thread_scaling_models speedup_vs_1; do
     grep -q "\"$key\"" "$smoke_dir/BENCH.json" \
         || { echo "BENCH.json missing key: $key"; exit 1; }
 done
-grep '"logits_fingerprint"' "$smoke_dir/BENCH.json" > "$smoke_dir/fp1"
-./target/release/experiments bench --smoke --json "$smoke_dir"
-grep '"logits_fingerprint"' "$smoke_dir/BENCH.json" > "$smoke_dir/fp2"
-diff "$smoke_dir/fp1" "$smoke_dir/fp2" \
-    || { echo "bench logits fingerprints are not deterministic"; exit 1; }
+grep -o '"logits_fingerprint": "[0-9a-f]*"' "$smoke_dir/BENCH.json" \
+    | sort -u > "$smoke_dir/fp_default"
+diff artifacts/BENCH_fingerprints.txt "$smoke_dir/fp_default" \
+    || { echo "bench fingerprints drifted from the committed baseline"; exit 1; }
+HARVEST_THREADS=1 ./target/release/experiments bench --smoke --json "$smoke_dir"
+grep -o '"logits_fingerprint": "[0-9a-f]*"' "$smoke_dir/BENCH.json" \
+    | sort -u > "$smoke_dir/fp_seq"
+diff artifacts/BENCH_fingerprints.txt "$smoke_dir/fp_seq" \
+    || { echo "bench fingerprints depend on the pool width"; exit 1; }
 
 echo "CI gate passed."

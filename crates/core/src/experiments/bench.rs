@@ -18,6 +18,12 @@
 //! must be bit-identical across reruns — the determinism CI gates on.
 //! Timings themselves vary run to run; the *schema* and the fingerprints
 //! do not.
+//!
+//! The report also carries a **thread-scaling sweep**: the hot kernels and
+//! the headline model forwards re-timed with the `harvest-threads` pool
+//! forced to 1/2/4/max workers. Each sweep row records its output
+//! fingerprint, and the sweep asserts those are identical across thread
+//! counts — wall time may scale, bytes may not.
 
 use harvest_engine::Executor;
 use harvest_models::{resnet50, vit, vit_tiny, Graph, GraphBuilder, Op, Shape, VitConfig};
@@ -77,28 +83,88 @@ pub struct BenchModel {
     pub peak_live_f32: usize,
 }
 
+/// One kernel timed with the pool forced to a given width.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchThreadKernel {
+    /// Kernel name.
+    pub kernel: String,
+    /// Problem shape, human-readable.
+    pub shape: String,
+    /// Forced pool width (`with_threads`).
+    pub threads: usize,
+    /// Best wall time per call, milliseconds.
+    pub ms: f64,
+    /// Achieved GFLOP/s at this width.
+    pub gflops: f64,
+    /// FNV-1a 64 over the output bits — identical for every `threads`
+    /// value in the sweep (asserted when the report is built).
+    pub fingerprint: String,
+    /// Throughput relative to this kernel's `threads = 1` row.
+    pub speedup_vs_1: f64,
+}
+
+/// One model forward timed with the pool forced to a given width.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchThreadModel {
+    /// Model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Forced pool width (`with_threads`).
+    pub threads: usize,
+    /// Batched path: milliseconds per image at this width.
+    pub ms_per_image: f64,
+    /// Throughput, images per second.
+    pub imgs_per_s: f64,
+    /// Achieved GFLOP/s (2 · analytic MACs · img/s).
+    pub achieved_gflops: f64,
+    /// Throughput relative to this model's `threads = 1` row.
+    pub speedup_vs_1: f64,
+    /// Logit fingerprint — identical for every `threads` value (asserted).
+    pub logits_fingerprint: String,
+}
+
 /// The measured-execution report (`BENCH.json`).
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchReport {
     /// True when produced by the CI smoke configuration (tiny shapes).
     pub smoke: bool,
+    /// Hardware threads of the host that produced the report (the pool's
+    /// default width when `HARVEST_THREADS` is unset).
+    pub host_threads: usize,
     /// Kernel microbenchmarks.
     pub kernels: Vec<BenchKernel>,
     /// Whole-model rows.
     pub models: Vec<BenchModel>,
+    /// Kernel thread-scaling sweep.
+    pub thread_scaling_kernels: Vec<BenchThreadKernel>,
+    /// Model-forward thread-scaling sweep.
+    pub thread_scaling_models: Vec<BenchThreadModel>,
+}
+
+/// FNV-1a 64 step over one f32 slice's bit patterns.
+fn fnv_update(h: &mut u64, data: &[f32]) {
+    for &v in data {
+        for byte in v.to_bits().to_le_bytes() {
+            *h ^= byte as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
 }
 
 /// Order-sensitive FNV-1a 64 over the bit patterns of a batch of logits.
 fn fingerprint(outputs: &[Tensor]) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for t in outputs {
-        for &v in t.data() {
-            for byte in v.to_bits().to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
+        fnv_update(&mut h, t.data());
     }
+    format!("{h:016x}")
+}
+
+/// Order-sensitive FNV-1a 64 over one raw f32 buffer.
+fn fingerprint_f32(data: &[f32]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv_update(&mut h, data);
     format!("{h:016x}")
 }
 
@@ -282,6 +348,204 @@ fn bench_model(
         .collect()
 }
 
+/// Pool widths the scaling sweep visits: 1/2/4/max, deduplicated — on a
+/// single-core host this degenerates to `[1]` plus whatever small widths
+/// still exercise the pool machinery.
+fn sweep_widths(smoke: bool) -> Vec<usize> {
+    let mut widths = if smoke {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, harvest_threads::hardware_threads()]
+    };
+    widths.sort_unstable();
+    widths.dedup();
+    widths
+}
+
+/// Time the hot kernels and the headline model forwards at every sweep
+/// width, asserting the outputs stay bit-identical while only the wall
+/// time moves.
+fn bench_thread_scaling(smoke: bool) -> (Vec<BenchThreadKernel>, Vec<BenchThreadModel>) {
+    let widths = sweep_widths(smoke);
+    let reps = if smoke { 2 } else { 3 };
+    let mut kernels = Vec::new();
+
+    // Each entry runs the kernel once per width under `with_threads`,
+    // fingerprinting the produced output outside the timed region
+    // (`run(true)` fingerprints, `run(false)` only computes).
+    let mut sweep_kernel =
+        |name: &str, shape: String, macs: f64, run: &mut dyn FnMut(bool) -> String| {
+            let mut base_ms = f64::NAN;
+            let mut base_fp = String::new();
+            for &t in &widths {
+                let (ms, fp) = harvest_threads::with_threads(t, || {
+                    let fp = run(true);
+                    (
+                        time_best_ms(reps, || {
+                            run(false);
+                        }),
+                        fp,
+                    )
+                });
+                if t == widths[0] {
+                    base_ms = ms;
+                    base_fp = fp.clone();
+                }
+                assert_eq!(
+                    fp, base_fp,
+                    "{name} ({shape}): output bits changed at {t} threads"
+                );
+                kernels.push(BenchThreadKernel {
+                    kernel: name.to_string(),
+                    shape: shape.clone(),
+                    threads: t,
+                    ms,
+                    gflops: 2.0 * macs / (ms / 1e3) / 1e9,
+                    fingerprint: fp,
+                    speedup_vs_1: base_ms / ms,
+                });
+            }
+        };
+
+    // GEMM: row-block parallelism.
+    let n = if smoke { 64 } else { 256 };
+    let a = rand_vec(n * n, 21);
+    let b = rand_vec(n * n, 22);
+    let mut c = vec![0.0f32; n * n];
+    sweep_kernel(
+        "gemm",
+        format!("{n}x{n}x{n}"),
+        (n * n * n) as f64,
+        &mut |want_fp| {
+            gemm(&a, &b, &mut c, n, n, n);
+            if want_fp {
+                fingerprint_f32(&c)
+            } else {
+                String::new()
+            }
+        },
+    );
+
+    // Conv: per-image parallelism, so run a small batch.
+    let (cb, cin, cout, hw, k) = if smoke {
+        (4, 8, 8, 14, 3)
+    } else {
+        (4, 64, 64, 56, 3)
+    };
+    let input = rand_vec(cb * cin * hw * hw, 23);
+    let weight = rand_vec(cout * cin * k * k, 24);
+    sweep_kernel(
+        "conv2d",
+        format!("B{cb} {cin}x{hw}x{hw} -> {cout}, k{k}"),
+        (cb * cout * cin * k * k * hw * hw) as f64,
+        &mut |want_fp| {
+            let out = conv2d(&input, &weight, &[], cb, cin, hw, hw, cout, k, 1, 1);
+            if want_fp {
+                fingerprint_f32(&out)
+            } else {
+                std::hint::black_box(&out);
+                String::new()
+            }
+        },
+    );
+
+    // Attention: per-head parallelism.
+    let (s, d, heads) = if smoke { (17, 32, 2) } else { (257, 192, 3) };
+    let x = rand_vec(s * d, 25);
+    let w_qkv = rand_vec(3 * d * d, 26);
+    let b_qkv = rand_vec(3 * d, 27);
+    let w_out = rand_vec(d * d, 28);
+    let b_out = rand_vec(d, 29);
+    let weights = AttentionWeights {
+        w_qkv: &w_qkv,
+        b_qkv: &b_qkv,
+        w_out: &w_out,
+        b_out: &b_out,
+    };
+    sweep_kernel(
+        "attention",
+        format!("s{s} d{d} h{heads}"),
+        (4 * d * d * s + 2 * s * s * d) as f64,
+        &mut |want_fp| {
+            let out = multi_head_attention(&x, s, d, heads, &weights);
+            if want_fp {
+                fingerprint_f32(&out)
+            } else {
+                std::hint::black_box(&out);
+                String::new()
+            }
+        },
+    );
+
+    // Whole-model forwards at the headline batch sizes.
+    let mut models = Vec::new();
+    let configs: Vec<(Graph, &str, usize)> = if smoke {
+        vec![(
+            vit(
+                "vit-micro",
+                &VitConfig {
+                    dim: 64,
+                    depth: 2,
+                    heads: 2,
+                    patch: 4,
+                    img: 16,
+                    mlp_ratio: 4,
+                    classes: 10,
+                },
+            ),
+            "vit-micro",
+            4,
+        )]
+    } else {
+        vec![
+            (vit_tiny(39), "vit-tiny", 16),
+            (resnet50(1000), "resnet50", 16),
+        ]
+    };
+    for (graph, name, batch) in &configs {
+        let exec = Executor::new(graph, 42);
+        let side = match graph.input_shape() {
+            Shape::Chw { h, .. } => h,
+            s => panic!("image models only, got {s}"),
+        };
+        let inputs: Vec<Tensor> = (0..*batch)
+            .map(|i| Tensor::random(&[3, side, side], 2000 + i as u64, 1.0))
+            .collect();
+        let macs = graph.stats().macs_with_attention;
+        let mut base_ms = f64::NAN;
+        let mut base_fp = String::new();
+        for &t in &widths {
+            let (ms, fp) = harvest_threads::with_threads(t, || {
+                let fp = fingerprint(&exec.forward_batch(&inputs));
+                let ms = time_best_ms(reps, || {
+                    std::hint::black_box(exec.forward_batch(&inputs));
+                }) / *batch as f64;
+                (ms, fp)
+            });
+            if t == widths[0] {
+                base_ms = ms;
+                base_fp = fp.clone();
+            }
+            assert_eq!(
+                fp, base_fp,
+                "{name} B={batch}: logits changed at {t} threads"
+            );
+            let imgs_per_s = 1e3 / ms;
+            models.push(BenchThreadModel {
+                model: name.to_string(),
+                batch: *batch,
+                threads: t,
+                ms_per_image: ms,
+                imgs_per_s,
+                achieved_gflops: 2.0 * macs * imgs_per_s / 1e9,
+                speedup_vs_1: base_ms / ms,
+                logits_fingerprint: fp,
+            });
+        }
+    }
+    (kernels, models)
+}
+
 /// A small plain CNN so the smoke run covers the conv/pool/BN path too.
 fn micro_cnn() -> Graph {
     let (mut b, input) = GraphBuilder::new("cnn-micro", Shape::Chw { c: 3, h: 16, w: 16 });
@@ -364,22 +628,29 @@ pub fn bench(smoke: bool) -> BenchReport {
         let r50 = resnet50(1000);
         models.extend(bench_model(&r50, "resnet50", &[1, 8], 2, 1));
         // Regression floor for the headline row: batched ViT-Tiny at B=16
-        // must beat the seed per-image path by a wide margin (measured
-        // ~4-5x; the floor leaves slack for noisy CI hosts).
+        // must beat the per-image reference path. The floor was 2.0 when
+        // the reference still ran scalar out-major linears (~2.9 GFLOP/s);
+        // `gemm_bt` now packs into the same blocked kernel the batched
+        // path uses, so the remaining gain is weight caching + batch
+        // folding — measured ~1.2x, floored with slack for noisy hosts.
         let headline = models
             .iter()
             .find(|m| m.model == "vit-tiny" && m.batch == 16)
             .expect("headline row present");
         assert!(
-            headline.speedup >= 2.0,
+            headline.speedup >= 1.02,
             "vit-tiny B=16 speedup regressed: {:.2}x",
             headline.speedup
         );
     }
+    let (thread_scaling_kernels, thread_scaling_models) = bench_thread_scaling(smoke);
     BenchReport {
         smoke,
+        host_threads: harvest_threads::hardware_threads(),
         kernels,
         models,
+        thread_scaling_kernels,
+        thread_scaling_models,
     }
 }
 
@@ -391,6 +662,7 @@ mod tests {
     fn smoke_report_is_well_formed() {
         let report = bench(true);
         assert!(report.smoke);
+        assert!(report.host_threads >= 1);
         assert_eq!(report.kernels.len(), 5);
         assert_eq!(report.models.len(), 4, "two models x two batch sizes");
         for k in &report.kernels {
@@ -401,6 +673,31 @@ mod tests {
             assert_eq!(m.logits_fingerprint.len(), 16);
             assert!(m.peak_live_f32 > 0);
             assert!(m.imgs_per_s_batched > 0.0);
+        }
+        // Thread-scaling sweep: 3 kernels and 1 model, at widths {1, 2}.
+        assert_eq!(report.thread_scaling_kernels.len(), 6);
+        assert_eq!(report.thread_scaling_models.len(), 2);
+        for rows in [
+            report
+                .thread_scaling_kernels
+                .iter()
+                .map(|k| (&k.kernel, &k.fingerprint))
+                .collect::<Vec<_>>(),
+            report
+                .thread_scaling_models
+                .iter()
+                .map(|m| (&m.model, &m.logits_fingerprint))
+                .collect::<Vec<_>>(),
+        ] {
+            for window in rows.windows(2) {
+                if window[0].0 == window[1].0 {
+                    assert_eq!(
+                        window[0].1, window[1].1,
+                        "{}: sweep fingerprints must not depend on thread count",
+                        window[0].0
+                    );
+                }
+            }
         }
     }
 
@@ -438,6 +735,10 @@ mod tests {
             "\"rel_err_vs_reference\"",
             "\"achieved_gflops\"",
             "\"peak_live_f32\"",
+            "\"host_threads\"",
+            "\"thread_scaling_kernels\"",
+            "\"thread_scaling_models\"",
+            "\"speedup_vs_1\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

@@ -1092,19 +1092,24 @@ impl<'g> Executor<'g> {
                     &mut conv,
                 );
                 let mut seq = arena.take(b * s * d);
-                for img in 0..b {
-                    let conv_img = &conv[img * dim * n_patches..(img + 1) * dim * n_patches];
-                    let seq_img = &mut seq[img * s * d..(img + 1) * s * d];
-                    seq_img[..d].copy_from_slice(cls.data());
-                    for p in 0..n_patches {
-                        for c in 0..d {
-                            seq_img[(p + 1) * d + c] = conv_img[c * n_patches + p];
+                // Token rearrangement is a pure per-image transpose+add:
+                // parallel over images, each task owning one sequence slice.
+                harvest_threads::for_each_chunk_mut(
+                    &mut seq[..b * s * d],
+                    s * d,
+                    |img, seq_img| {
+                        let conv_img = &conv[img * dim * n_patches..(img + 1) * dim * n_patches];
+                        seq_img[..d].copy_from_slice(cls.data());
+                        for p in 0..n_patches {
+                            for c in 0..d {
+                                seq_img[(p + 1) * d + c] = conv_img[c * n_patches + p];
+                            }
                         }
-                    }
-                    for (v, p) in seq_img.iter_mut().zip(pos.data()) {
-                        *v += p;
-                    }
-                }
+                        for (v, p) in seq_img.iter_mut().zip(pos.data()) {
+                            *v += p;
+                        }
+                    },
+                );
                 arena.give(conv);
                 BatchVal {
                     data: seq,
@@ -1137,39 +1142,52 @@ impl<'g> Executor<'g> {
                 self.matmul_into(&x.data, w_qkv, bs, b, &mut qkv);
                 add_bias(&mut qkv, b_qkv.data());
                 let mut mixed = arena.take(bs * dim);
-                // Per-(image, head) attention core. K is gathered already
+                // Per-(image, head) attention cores fan out over the pool —
+                // each task reads its own slice of the shared QKV buffer and
+                // returns an independent head output, so scheduling order
+                // cannot change a single bit. K is gathered already
                 // transposed so the score matmul runs through the blocked
-                // GEMM too.
-                let mut q = vec![0.0f32; s * head_dim];
-                let mut k_t = vec![0.0f32; head_dim * s];
-                let mut v = vec![0.0f32; s * head_dim];
-                let mut scores = vec![0.0f32; s * s];
-                let mut outh = vec![0.0f32; s * head_dim];
-                for img in 0..b {
+                // GEMM too (sequentially: the task already sits on a pool
+                // worker, so the nested GEMM takes its single-thread path).
+                let dim = *dim;
+                let heads = *heads;
+                let head_outputs = harvest_threads::par_map(b * heads, |ih| {
+                    let (img, h) = (ih / heads, ih % heads);
                     let qkv_img = &qkv[img * s * 3 * dim..(img + 1) * s * 3 * dim];
-                    for h in 0..*heads {
-                        let off = h * head_dim;
-                        for t in 0..s {
-                            let row = &qkv_img[t * 3 * dim..(t + 1) * 3 * dim];
-                            q[t * head_dim..(t + 1) * head_dim]
-                                .copy_from_slice(&row[off..off + head_dim]);
-                            for i in 0..head_dim {
-                                k_t[i * s + t] = row[dim + off + i];
-                            }
-                            v[t * head_dim..(t + 1) * head_dim]
-                                .copy_from_slice(&row[2 * dim + off..2 * dim + off + head_dim]);
+                    let off = h * head_dim;
+                    let mut q = vec![0.0f32; s * head_dim];
+                    let mut k_t = vec![0.0f32; head_dim * s];
+                    let mut v = vec![0.0f32; s * head_dim];
+                    let mut scores = vec![0.0f32; s * s];
+                    let mut outh = vec![0.0f32; s * head_dim];
+                    for t in 0..s {
+                        let row = &qkv_img[t * 3 * dim..(t + 1) * 3 * dim];
+                        q[t * head_dim..(t + 1) * head_dim]
+                            .copy_from_slice(&row[off..off + head_dim]);
+                        for i in 0..head_dim {
+                            k_t[i * s + t] = row[dim + off + i];
                         }
-                        harvest_tensor::gemm::gemm(&q, &k_t, &mut scores, s, head_dim, s);
-                        for sc in scores.iter_mut() {
-                            *sc *= scale;
-                        }
-                        softmax_rows(&mut scores, s);
-                        harvest_tensor::gemm::gemm(&scores, &v, &mut outh, s, s, head_dim);
-                        let mixed_img = &mut mixed[img * s * dim..(img + 1) * s * dim];
-                        for t in 0..s {
-                            mixed_img[t * dim + off..t * dim + off + head_dim]
-                                .copy_from_slice(&outh[t * head_dim..(t + 1) * head_dim]);
-                        }
+                        v[t * head_dim..(t + 1) * head_dim]
+                            .copy_from_slice(&row[2 * dim + off..2 * dim + off + head_dim]);
+                    }
+                    harvest_tensor::gemm::gemm(&q, &k_t, &mut scores, s, head_dim, s);
+                    for sc in scores.iter_mut() {
+                        *sc *= scale;
+                    }
+                    softmax_rows(&mut scores, s);
+                    harvest_tensor::gemm::gemm(&scores, &v, &mut outh, s, s, head_dim);
+                    outh
+                });
+                // Ordered scatter of the strided head columns (cheap copies;
+                // destinations interleave within a token row, so this stays
+                // on the calling thread).
+                for (ih, outh) in head_outputs.iter().enumerate() {
+                    let (img, h) = (ih / heads, ih % heads);
+                    let off = h * head_dim;
+                    let mixed_img = &mut mixed[img * s * dim..(img + 1) * s * dim];
+                    for t in 0..s {
+                        mixed_img[t * dim + off..t * dim + off + head_dim]
+                            .copy_from_slice(&outh[t * head_dim..(t + 1) * head_dim]);
                     }
                 }
                 arena.give(qkv);
@@ -1198,15 +1216,21 @@ impl<'g> Executor<'g> {
                 let mut rkv = arena.take(bs * 3 * dim);
                 self.matmul_into(&x.data, w_rkv, bs, b, &mut rkv);
                 let mut mixed = arena.take(bs * dim);
-                for img in 0..b {
-                    linear_attention_mix(
-                        &rkv[img * s * 3 * dim..(img + 1) * s * 3 * dim],
-                        s,
-                        *dim,
-                        *heads,
-                        &mut mixed[img * s * dim..(img + 1) * s * dim],
-                    );
-                }
+                // Per-image mixes are independent: each task owns one
+                // image's slice of `mixed` and reads its slice of `rkv`.
+                harvest_threads::for_each_chunk_mut(
+                    &mut mixed[..bs * dim],
+                    s * dim,
+                    |img, mixed_img| {
+                        linear_attention_mix(
+                            &rkv[img * s * 3 * dim..(img + 1) * s * 3 * dim],
+                            s,
+                            *dim,
+                            *heads,
+                            mixed_img,
+                        );
+                    },
+                );
                 arena.give(rkv);
                 let mut y = arena.take(bs * dim);
                 self.matmul_into(&mixed, w_out, bs, b, &mut y);

@@ -3,6 +3,7 @@
 
 use harvest_engine::{compile, plan_activations, Executor};
 use harvest_models::{vit, Precision, VitConfig};
+use harvest_simkit::fault::FaultPlan;
 use harvest_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -163,5 +164,62 @@ proptest! {
         let deep = plan_activations(&vit("d", &cfg), Precision::Fp16);
         prop_assert_eq!(deep.peak_bytes, shallow.peak_bytes);
         prop_assert!(deep.total_bytes > shallow.total_bytes);
+    }
+}
+
+// --- thread-count determinism ----------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn forward_batch_is_bit_identical_across_thread_counts(
+        (cfg, b, seed) in (exec_vit_config(), 2usize..=4, 0u64..1000)
+    ) {
+        // The pool fans out GEMM row blocks, per-image conv, and
+        // per-(image, head) attention; whatever the width, the logits must
+        // be byte-equal to the sequential run.
+        let g = vit("prop-threads", &cfg);
+        let exec = Executor::new(&g, 3000 + seed);
+        let side = cfg.img;
+        let inputs: Vec<Tensor> = (0..b)
+            .map(|i| Tensor::random(&[3, side, side], seed * 13 + i as u64, 1.0))
+            .collect();
+        let sequential = harvest_threads::with_threads(1, || exec.forward_batch(&inputs));
+        for threads in [2usize, 4] {
+            let pooled = harvest_threads::with_threads(threads, || exec.forward_batch(&inputs));
+            for (x, y) in sequential.iter().zip(&pooled) {
+                prop_assert_eq!(x.data(), y.data(), "threads={}", threads);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injection_lands_identical_flips_at_any_thread_count(
+        (cfg, seed, round) in (exec_vit_config(), 0u64..500, 0u64..8)
+    ) {
+        // The integrity layer's replay guarantee: a fault plan keyed by
+        // round must flip the same weight bits — and produce the same
+        // corrupted logits — whether the engine runs sequentially or on a
+        // wide pool.
+        let g = vit("prop-faults", &cfg);
+        let plan = FaultPlan::new(4000 + seed).with_weight_bit_flips(1e-3, false);
+        let input = Tensor::random(&[3, cfg.img, cfg.img], seed + 7, 1.0);
+        let run = |threads: usize| {
+            harvest_threads::with_threads(threads, || {
+                let mut exec = Executor::new(&g, 5000 + seed);
+                let flips = exec.inject_weight_flips(&plan, round);
+                let out = exec.forward_batch(std::slice::from_ref(&input));
+                (flips, out)
+            })
+        };
+        let (flips_seq, out_seq) = run(1);
+        for threads in [2usize, 4] {
+            let (flips_par, out_par) = run(threads);
+            prop_assert_eq!(flips_seq, flips_par, "flip count at threads={}", threads);
+            for (x, y) in out_seq.iter().zip(&out_par) {
+                prop_assert_eq!(x.data(), y.data(), "corrupted logits at threads={}", threads);
+            }
+        }
     }
 }

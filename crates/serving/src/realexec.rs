@@ -9,6 +9,13 @@
 //! [`Executor::forward_batch`] — the batched, weight-cached engine — so
 //! every completion carries real logits. One batcher decision layer, two
 //! backends: the DES uses modeled service times, this one does the math.
+//!
+//! Dispatched batches run under the `harvest-threads` work pool (GEMM row
+//! blocks, per-image conv, per-(image, head) attention fan out across
+//! cores). The pool's determinism contract means the logits a completion
+//! carries are bit-identical at every `HARVEST_THREADS` setting — the
+//! thread-invariance test below pins this, and the integrity layer's
+//! bit-exact oracle comparisons rely on it.
 
 use crate::batcher::{BatcherConfig, BatcherConfigError, DynamicBatcher, QueuedRequest};
 use crate::integrity::{IntegrityStats, NodeIntegrity, DETECT_TOL, ESCAPE_TOL};
@@ -461,6 +468,45 @@ mod tests {
                 oracle.forward(&input(100 + c.id)),
                 "output belongs to the request's own input"
             );
+        }
+    }
+
+    #[test]
+    fn served_logits_are_bit_identical_across_thread_counts() {
+        // The whole serving path — batcher, weight-cached executor, pooled
+        // kernels — must produce byte-equal logits whatever the pool width.
+        let g = tiny_graph();
+        let run = |threads: usize| {
+            harvest_threads::with_threads(threads, || {
+                let mut server = RealBatchServer::new(
+                    Executor::new(&g, 7),
+                    BatcherConfig::new(4, SimTime::from_millis(1000)),
+                )
+                .expect("valid config");
+                let mut done = Vec::new();
+                for id in 0..6u64 {
+                    done.extend(
+                        server
+                            .submit(id, input(id + 1), SimTime::from_millis(id))
+                            .completed,
+                    );
+                }
+                done.extend(server.flush());
+                done
+            })
+        };
+        let sequential = run(1);
+        assert_eq!(sequential.len(), 6);
+        for threads in [2, 4] {
+            let pooled = run(threads);
+            assert_eq!(pooled.len(), sequential.len());
+            for (a, b) in sequential.iter().zip(&pooled) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(
+                    a.output, b.output,
+                    "threads={threads}: serving logits must not depend on pool width"
+                );
+            }
         }
     }
 

@@ -324,3 +324,119 @@ proptest! {
         prop_assert_eq!(back, pixels);
     }
 }
+
+// --- thread-count determinism ----------------------------------------------
+//
+// The harvest-threads pool promises bit-identical results at every width:
+// each task owns a disjoint output region with a fixed per-element
+// accumulation order, so scheduling can move wall time but never bytes.
+// These properties drive the kernels at widths {1, 2, 4} over shapes big
+// enough to actually cross the parallel thresholds.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn gemm_is_bit_identical_across_thread_counts(
+        (m, k, n, a, b) in (64usize..144, 48usize..112, 48usize..112).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), vecf(m * k), vecf(k * n))
+        })
+    ) {
+        let run = |threads: usize| {
+            harvest_threads::with_threads(threads, || {
+                let mut c = vec![0.0f32; m * n];
+                gemm(&a, &b, &mut c, m, k, n);
+                c
+            })
+        };
+        let sequential = run(1);
+        for threads in [2usize, 4] {
+            let pooled = run(threads);
+            for (i, (x, y)) in sequential.iter().zip(&pooled).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "threads={} idx {}: {} vs {}", threads, i, x, y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bt_is_bitwise_the_packed_gemm(
+        (m, k, n, a, bt) in (1usize..48, 1usize..48, 1usize..48).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), vecf(m * k), vecf(n * k))
+        })
+    ) {
+        // The transposed-weight entry point packs and reuses the blocked
+        // kernel; its bits must equal an explicit transpose + gemm.
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let mut c_gemm = vec![0.0f32; m * n];
+        let mut c_bt = vec![0.0f32; m * n];
+        gemm(&a, &b, &mut c_gemm, m, k, n);
+        gemm_bt(&a, &bt, &mut c_bt, m, k, n);
+        for (x, y) in c_gemm.iter().zip(&c_bt) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn conv2d_is_bit_identical_across_thread_counts(
+        (imgs, cin, cout, hw, input, weight) in
+            (2usize..5, 1usize..5, 1usize..5, 6usize..14).prop_flat_map(|(imgs, cin, cout, hw)| {
+                (
+                    Just(imgs), Just(cin), Just(cout), Just(hw),
+                    vecf(imgs * cin * hw * hw), vecf(cout * cin * 9),
+                )
+            })
+    ) {
+        let run = |threads: usize| {
+            harvest_threads::with_threads(threads, || {
+                conv2d(&input, &weight, &[], imgs, cin, hw, hw, cout, 3, 1, 1)
+            })
+        };
+        let sequential = run(1);
+        for threads in [2usize, 4] {
+            let pooled = run(threads);
+            for (x, y) in sequential.iter().zip(&pooled) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "threads={}", threads);
+            }
+        }
+    }
+
+    #[test]
+    fn attention_is_bit_identical_across_thread_counts(
+        (s, hd, heads, x, w_qkv, b_qkv, w_out, b_out) in
+            (2usize..18, 1usize..5, 1usize..5).prop_flat_map(|(s, hd_x8, heads)| {
+                let d = hd_x8 * 8 * heads;
+                (
+                    Just(s), Just(hd_x8 * 8), Just(heads),
+                    vecf(s * d), vecf(3 * d * d), vecf(3 * d), vecf(d * d), vecf(d),
+                )
+            })
+    ) {
+        let d = hd * heads;
+        let weights = harvest_tensor::attention::AttentionWeights {
+            w_qkv: &w_qkv,
+            b_qkv: &b_qkv,
+            w_out: &w_out,
+            b_out: &b_out,
+        };
+        let run = |threads: usize| {
+            harvest_threads::with_threads(threads, || {
+                harvest_tensor::multi_head_attention(&x, s, d, heads, &weights)
+            })
+        };
+        let sequential = run(1);
+        for threads in [2usize, 4] {
+            let pooled = run(threads);
+            for (a, b) in sequential.iter().zip(&pooled) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "threads={}", threads);
+            }
+        }
+    }
+}

@@ -1,78 +1,98 @@
-//! Sequential stand-in for the subset of the rayon API this workspace uses.
+//! The subset of the rayon API this workspace uses, backed by the **real**
+//! work-sharing pool in `harvest-threads`.
 //!
-//! The build container has no network access and no vendored registry, so
-//! the real rayon cannot be fetched. The numeric kernels only use rayon for
-//! embarrassingly-parallel slice chunking; running those loops sequentially
-//! is semantically identical (and still fast at test sizes thanks to the
-//! opt-level overrides on the kernel crates). Every `par_*` method here
-//! returns the corresponding `std` iterator, so downstream adapter chains
-//! (`zip`, `enumerate`, `for_each`, …) compile unchanged.
+//! Historically this shim returned plain `std` iterators, so every
+//! `par_*` call site ran sequentially. It is now a thin facade over
+//! [`harvest_threads`]: `par_chunks_mut`, `par_chunks`, `into_par_iter` and
+//! friends dispatch onto a `std::thread::scope`-based pool whose worker
+//! count comes from `HARVEST_THREADS` (default: the host's available
+//! parallelism; `1` reproduces the old sequential behaviour exactly).
+//! Adapter chains are restricted to the combinators the kernels actually
+//! use (`enumerate`, `zip`, `map`, `for_each`, `collect`) — see
+//! `harvest_threads::iter` for the concrete types.
+//!
+//! Results are bit-identical at every thread count: each chunk/index task
+//! owns a disjoint output region and a fixed per-element arithmetic order,
+//! so parallelism changes wall time, never bytes.
 
-/// Number of "worker threads": the host's available parallelism. Callers use
-/// this only to size work blocks, so reporting real parallelism keeps block
-/// sizes sensible even though execution is sequential.
+pub use harvest_threads::iter::{
+    Enumerated, ParChunks, ParChunksExact, ParChunksExactMut, ParChunksMut, ParRange, ParRangeMap,
+    Zipped,
+};
+
+/// Number of worker threads a parallel region started here would use
+/// (`harvest_threads::max_threads`): 1 inside a pool worker or when
+/// `HARVEST_THREADS=1`, otherwise the env knob / host parallelism.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    harvest_threads::max_threads()
 }
 
 /// Immutable slice chunking, `rayon::slice::ParallelSlice` analog.
 pub trait ParallelSlice<T> {
-    /// Sequential stand-in for `par_chunks`.
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    /// Sequential stand-in for `par_chunks_exact`.
-    fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T>;
+    /// Parallel chunks (last may be short).
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    /// Parallel complete chunks.
+    fn par_chunks_exact(&self, chunk_size: usize) -> ParChunksExact<'_, T>;
 }
 
 impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        harvest_threads::iter::par_chunks(self, chunk_size)
     }
-    fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T> {
-        self.chunks_exact(chunk_size)
+    fn par_chunks_exact(&self, chunk_size: usize) -> ParChunksExact<'_, T> {
+        harvest_threads::iter::par_chunks_exact(self, chunk_size)
     }
 }
 
 /// Mutable slice chunking, `rayon::slice::ParallelSliceMut` analog.
 pub trait ParallelSliceMut<T> {
-    /// Sequential stand-in for `par_chunks_mut`.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    /// Sequential stand-in for `par_chunks_exact_mut`.
-    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T>;
+    /// Parallel mutable chunks (last may be short).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    /// Parallel complete mutable chunks.
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T>;
 }
 
 impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        harvest_threads::iter::par_chunks_mut(self, chunk_size)
     }
-    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T> {
-        self.chunks_exact_mut(chunk_size)
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T> {
+        harvest_threads::iter::par_chunks_exact_mut(self, chunk_size)
     }
 }
 
-/// `IntoParallelIterator` analog: hands back the ordinary iterator.
+/// `IntoParallelIterator` analog for the index ranges the kernels fan out
+/// over (`(0..heads).into_par_iter()`).
 pub trait IntoParallelIterator {
-    /// The underlying sequential iterator type.
+    /// The parallel iterator type.
     type Iter;
-    /// Sequential stand-in for `into_par_iter`.
+    /// Convert into a parallel iterator over the pool.
     fn into_par_iter(self) -> Self::Iter;
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    fn into_par_iter(self) -> I::IntoIter {
-        self.into_iter()
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        harvest_threads::iter::par_range(self)
     }
 }
 
-/// `rayon::join` analog: runs both closures sequentially.
+/// `rayon::join` analog: runs both closures, in parallel when the budget
+/// allows (`b` on a scoped worker, `a` on the caller).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
 {
-    (a(), b())
+    if harvest_threads::max_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined closure panicked"))
+    })
 }
 
 pub mod prelude {
@@ -83,27 +103,60 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use harvest_threads::with_threads;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
-    fn chunking_matches_std() {
+    fn chunking_covers_the_slice_at_any_thread_count() {
         let v: Vec<u32> = (0..10).collect();
-        let par: Vec<&[u32]> = v.par_chunks(3).collect();
-        let seq: Vec<&[u32]> = v.chunks(3).collect();
-        assert_eq!(par, seq);
+        for threads in [1, 2, 4] {
+            let sum = AtomicU64::new(0);
+            with_threads(threads, || {
+                v.par_chunks(3).for_each(|c| {
+                    sum.fetch_add(c.iter().map(|&x| x as u64).sum(), Ordering::Relaxed);
+                })
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 45, "threads={threads}");
+        }
     }
 
     #[test]
     fn mutable_chunks_cover_everything() {
         let mut v = vec![0u32; 8];
-        v.par_chunks_exact_mut(2)
-            .enumerate()
-            .for_each(|(i, c)| c.fill(i as u32));
+        with_threads(4, || {
+            v.par_chunks_exact_mut(2)
+                .enumerate()
+                .for_each(|(i, c)| c.fill(i as u32));
+        });
         assert_eq!(v, [0, 0, 1, 1, 2, 2, 3, 3]);
     }
 
     #[test]
-    fn into_par_iter_is_sequential_iter() {
-        let s: u64 = (0u64..5).into_par_iter().sum();
-        assert_eq!(s, 10);
+    fn into_par_iter_maps_and_collects_in_order() {
+        let collected: Vec<usize> =
+            with_threads(3, || (0..5).into_par_iter().map(|i| i * 10).collect());
+        assert_eq!(collected, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn zip_pairs_read_and_write_chunks() {
+        let a: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let mut b = vec![0.0f32; 9];
+        with_threads(4, || {
+            a.par_chunks_exact(3)
+                .zip(b.par_chunks_exact_mut(3))
+                .for_each(|(src, dst)| {
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d = s * 2.0;
+                    }
+                });
+        });
+        assert_eq!(b, (0..9).map(|i| i as f32 * 2.0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "forty".len());
+        assert_eq!((a, b), (4, 5));
     }
 }
