@@ -12,6 +12,11 @@
 #                        with fingerprints gated against the committed
 #                        artifacts/BENCH_fingerprints.txt baseline at both
 #                        HARVEST_THREADS=1 and the host default
+#   7. simd kernels      clippy + the differential kernel-conformance suite
+#                        under --features simd, then a SIMD-build bench
+#                        smoke run twice: per-variant fingerprints must be
+#                        byte-identical across reruns, and the committed
+#                        scalar fingerprint set must survive as a subset
 #
 # Everything runs offline: the crates.io dependencies are vendored as
 # API-compatible shims under shims/, wired via workspace path deps.
@@ -96,5 +101,41 @@ grep -o '"logits_fingerprint": "[0-9a-f]*"' "$smoke_dir/BENCH.json" \
     | sort -u > "$smoke_dir/fp_seq"
 diff artifacts/BENCH_fingerprints.txt "$smoke_dir/fp_seq" \
     || { echo "bench fingerprints depend on the pool width"; exit 1; }
+
+echo "== simd: clippy + kernel conformance =="
+# The same differential suite that gates the scalar build must hold with
+# the `std::arch` kernels compiled in (AVX2/FMA/AVX-512 paths runtime-
+# detect; on hosts without them the suite still runs via the fallbacks).
+cargo clippy --offline --release \
+    -p harvest-tensor -p harvest-engine -p harvest-core -p harvest-bench \
+    --features harvest-tensor/simd,harvest-engine/simd,harvest-core/simd,harvest-bench/simd \
+    --all-targets -- -D warnings
+cargo test --offline -q -p harvest-tensor --test kernel_conformance
+cargo test --offline -q -p harvest-tensor --features simd --test kernel_conformance
+cargo test --offline -q -p harvest-engine --features simd
+cargo test --offline -q -p harvest-core --features simd
+
+echo "== simd: bench smoke determinism =="
+# The SIMD build adds per-variant rows with their own fingerprints. Those
+# are host-dependent (FMA bits differ from scalar bits by design), so they
+# are not pinned to a committed file; instead two fresh runs must agree
+# byte for byte, and every committed scalar fingerprint must still appear
+# (the scalar/unrolled rows may not move even with SIMD compiled in).
+cargo build --offline --release -p harvest-bench --features simd
+./target/release/experiments tune --smoke --json "$smoke_dir"
+HARVEST_TUNE="$smoke_dir/TUNE.json" ./target/release/experiments bench --smoke --json "$smoke_dir"
+grep -o '"logits_fingerprint": "[0-9a-f]*"' "$smoke_dir/BENCH.json" \
+    | sort -u > "$smoke_dir/fp_simd1"
+HARVEST_TUNE="$smoke_dir/TUNE.json" ./target/release/experiments bench --smoke --json "$smoke_dir"
+grep -o '"logits_fingerprint": "[0-9a-f]*"' "$smoke_dir/BENCH.json" \
+    | sort -u > "$smoke_dir/fp_simd2"
+diff "$smoke_dir/fp_simd1" "$smoke_dir/fp_simd2" \
+    || { echo "simd bench fingerprints differ between reruns"; exit 1; }
+if [ -n "$(comm -23 artifacts/BENCH_fingerprints.txt "$smoke_dir/fp_simd1")" ]; then
+    echo "simd build lost committed scalar fingerprints"; exit 1
+fi
+# Leave a default-features binary behind so later manual runs match the
+# committed scalar artifacts.
+cargo build --offline --release -p harvest-bench
 
 echo "CI gate passed."

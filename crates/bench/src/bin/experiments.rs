@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|integrity|bench|host]...
+//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|integrity|bench|tune|host]...
 //!             [--json DIR] [--smoke]
 //! ```
 //!
@@ -98,6 +98,9 @@ fn main() {
     if run("bench") {
         bench(&save, smoke);
     }
+    if run("tune") {
+        tune(&save, smoke);
+    }
     if run("host") {
         host();
     }
@@ -112,14 +115,14 @@ fn bench(save: &dyn Fn(&str, String), smoke: bool) {
     let rerun = exp::bench(smoke);
     for (a, b) in report.models.iter().zip(&rerun.models) {
         assert_eq!(
-            (a.model.as_str(), a.batch),
-            (b.model.as_str(), b.batch),
+            (a.model.as_str(), a.variant.as_str(), a.batch),
+            (b.model.as_str(), b.variant.as_str(), b.batch),
             "model rows diverged between runs"
         );
         assert_eq!(
             a.logits_fingerprint, b.logits_fingerprint,
-            "{} B={}: logits not reproducible across runs",
-            a.model, a.batch
+            "{} [{}] B={}: logits not reproducible across runs",
+            a.model, a.variant, a.batch
         );
     }
     if !smoke {
@@ -129,6 +132,7 @@ fn bench(save: &dyn Fn(&str, String), smoke: bool) {
             .map(|k| {
                 vec![
                     k.kernel.clone(),
+                    k.variant.clone(),
                     k.shape.clone(),
                     format!("{:.3}", k.ms),
                     pretty(k.gflops, 2),
@@ -137,7 +141,7 @@ fn bench(save: &dyn Fn(&str, String), smoke: bool) {
             .collect();
         println!(
             "{}",
-            text_table(&["Kernel", "Shape", "ms/call", "GFLOP/s"], &ktab)
+            text_table(&["Kernel", "Variant", "Shape", "ms/call", "GFLOP/s"], &ktab)
         );
         let mtab: Vec<Vec<String>> = report
             .models
@@ -145,6 +149,7 @@ fn bench(save: &dyn Fn(&str, String), smoke: bool) {
             .map(|m| {
                 vec![
                     m.model.clone(),
+                    m.variant.clone(),
                     m.batch.to_string(),
                     format!("{:.2}", m.per_image_baseline_ms),
                     format!("{:.2}", m.batched_ms_per_image),
@@ -161,6 +166,7 @@ fn bench(save: &dyn Fn(&str, String), smoke: bool) {
             text_table(
                 &[
                     "Model",
+                    "Variant",
                     "Batch",
                     "Base ms/img",
                     "Batched ms/img",
@@ -176,6 +182,31 @@ fn bench(save: &dyn Fn(&str, String), smoke: bool) {
     }
     println!("  self-check: rel err < 1e-4, bit-identical logits across reruns — all OK");
     save("BENCH", serde_json::to_string_pretty(&report).unwrap());
+}
+
+fn tune(save: &dyn Fn(&str, String), smoke: bool) {
+    use harvest_tensor::tune as kt;
+    println!("== Kernel autotuner: GEMM micro-shape search ==");
+    let (size, reps) = if smoke { (64, 2) } else { (256, 5) };
+    let report = kt::tune(size, reps);
+    let tab: Vec<Vec<String>> = report
+        .entries
+        .iter()
+        .map(|e| {
+            let marker = if e.shape == report.best {
+                " <- best"
+            } else {
+                ""
+            };
+            vec![format!("{}{marker}", e.shape.name()), pretty(e.gflops, 2)]
+        })
+        .collect();
+    println!("{}", text_table(&["Micro-shape", "GFLOP/s"], &tab));
+    println!(
+        "  best: {} at {size}x{size}x{size} (best of {reps} reps per shape)",
+        report.best.name()
+    );
+    save("TUNE", report.to_json());
 }
 
 fn overload(save: &dyn Fn(&str, String), smoke: bool) {

@@ -29,24 +29,30 @@ use harvest_engine::Executor;
 use harvest_models::{resnet50, vit, vit_tiny, Graph, GraphBuilder, Op, Shape, VitConfig};
 use harvest_tensor::attention::AttentionWeights;
 use harvest_tensor::gemm::{gemm, gemm_bt};
-use harvest_tensor::quant::quantized_gemm;
-use harvest_tensor::{conv2d, multi_head_attention, Tensor};
+use harvest_tensor::quant::{gemm_i8, quantize_symmetric, quantized_gemm};
+use harvest_tensor::{
+    conv2d, conv2d_v, gemm_v, multi_head_attention, multi_head_attention_v, tune, KernelVariant,
+    Tensor,
+};
 use serde::Serialize;
 use std::time::Instant;
 
 /// One timed kernel configuration.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchKernel {
-    /// Kernel name (`gemm`, `gemm_bt`, `quantized_gemm`, `conv2d`,
-    /// `attention`).
+    /// Kernel name (`gemm`, `gemm_bt`, `quantized_gemm`, `gemm_i8`,
+    /// `conv2d`, `attention`).
     pub kernel: String,
+    /// GEMM kernel variant servicing the row (`scalar`, `unrolled`,
+    /// `simd`), or `int8-packed` for the integer kernel.
+    pub variant: String,
     /// Problem shape, human-readable.
     pub shape: String,
     /// Timing repetitions (best-of).
     pub reps: usize,
     /// Best wall time per call, milliseconds.
     pub ms: f64,
-    /// Achieved GFLOP/s (2 FLOPs per MAC).
+    /// Achieved GFLOP/s (2 FLOPs per MAC; integer ops for `gemm_i8`).
     pub gflops: f64,
 }
 
@@ -56,6 +62,10 @@ pub struct BenchKernel {
 pub struct BenchModel {
     /// Model name.
     pub model: String,
+    /// GEMM kernel variant the batched path ran under. `scalar` and
+    /// `unrolled` rows share one fingerprint; `simd` rows have their own
+    /// pin (identical across reruns, gated by CI on SIMD builds).
+    pub variant: String,
     /// Batch size.
     pub batch: usize,
     /// Timing repetitions for the batched path (best-of).
@@ -183,9 +193,17 @@ fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
     Tensor::random(&[len], seed, 1.0).into_vec()
 }
 
-fn kernel_row(kernel: &str, shape: String, reps: usize, ms: f64, macs: f64) -> BenchKernel {
+fn kernel_row(
+    kernel: &str,
+    variant: &str,
+    shape: String,
+    reps: usize,
+    ms: f64,
+    macs: f64,
+) -> BenchKernel {
     BenchKernel {
         kernel: kernel.to_string(),
+        variant: variant.to_string(),
         shape,
         reps,
         ms,
@@ -197,17 +215,28 @@ fn bench_kernels(smoke: bool) -> Vec<BenchKernel> {
     let reps = if smoke { 2 } else { 5 };
     let mut rows = Vec::new();
 
-    // Square GEMM at the three precisions/layouts the executor uses.
+    // Square GEMM: one row per kernel variant, plus the two layouts/
+    // precisions the executor uses and the packed INT8 integer kernel.
     let n = if smoke { 64 } else { 256 };
     let a = rand_vec(n * n, 1);
     let b = rand_vec(n * n, 2);
     let mut c = vec![0.0f32; n * n];
     let macs = (n * n * n) as f64;
-    let ms = time_best_ms(reps, || gemm(&a, &b, &mut c, n, n, n));
-    rows.push(kernel_row("gemm", format!("{n}x{n}x{n}"), reps, ms, macs));
+    for variant in KernelVariant::available() {
+        let ms = time_best_ms(reps, || gemm_v(variant, &a, &b, &mut c, n, n, n));
+        rows.push(kernel_row(
+            "gemm",
+            variant.name(),
+            format!("{n}x{n}x{n}"),
+            reps,
+            ms,
+            macs,
+        ));
+    }
     let ms = time_best_ms(reps, || gemm_bt(&a, &b, &mut c, n, n, n));
     rows.push(kernel_row(
         "gemm_bt",
+        "scalar",
         format!("{n}x{n}x{n}"),
         reps,
         ms,
@@ -218,13 +247,29 @@ fn bench_kernels(smoke: bool) -> Vec<BenchKernel> {
     });
     rows.push(kernel_row(
         "quantized_gemm",
+        "scalar",
+        format!("{n}x{n}x{n}"),
+        reps,
+        ms,
+        macs,
+    ));
+    // Apples-to-apples INT8: weights and activations quantized outside the
+    // timed region, exactly as the executor's cached-weight path sees them.
+    let qa = quantize_symmetric(&a);
+    let qb = quantize_symmetric(&b);
+    let ms = time_best_ms(reps, || {
+        std::hint::black_box(gemm_i8(&qa.data, &qb.data, n, n, n));
+    });
+    rows.push(kernel_row(
+        "gemm_i8",
+        "int8-packed",
         format!("{n}x{n}x{n}"),
         reps,
         ms,
         macs,
     ));
 
-    // im2col convolution at a ResNet-interior shape.
+    // im2col convolution at a ResNet-interior shape, per variant.
     let (cin, cout, hw, k) = if smoke {
         (8, 8, 14, 3)
     } else {
@@ -232,18 +277,34 @@ fn bench_kernels(smoke: bool) -> Vec<BenchKernel> {
     };
     let input = rand_vec(cin * hw * hw, 3);
     let weight = rand_vec(cout * cin * k * k, 4);
-    let ms = time_best_ms(reps, || {
-        std::hint::black_box(conv2d(&input, &weight, &[], 1, cin, hw, hw, cout, k, 1, 1));
-    });
-    rows.push(kernel_row(
-        "conv2d",
-        format!("{cin}x{hw}x{hw} -> {cout}, k{k}"),
-        reps,
-        ms,
-        (cout * cin * k * k * hw * hw) as f64,
-    ));
+    for variant in KernelVariant::available() {
+        let ms = time_best_ms(reps, || {
+            std::hint::black_box(conv2d_v(
+                variant,
+                &input,
+                &weight,
+                &[],
+                1,
+                cin,
+                hw,
+                hw,
+                cout,
+                k,
+                1,
+                1,
+            ));
+        });
+        rows.push(kernel_row(
+            "conv2d",
+            variant.name(),
+            format!("{cin}x{hw}x{hw} -> {cout}, k{k}"),
+            reps,
+            ms,
+            (cout * cin * k * k * hw * hw) as f64,
+        ));
+    }
 
-    // Multi-head attention at ViT-Tiny geometry.
+    // Multi-head attention at ViT-Tiny geometry, per variant.
     let (s, d, heads) = if smoke { (17, 32, 2) } else { (257, 192, 3) };
     let x = rand_vec(s * d, 5);
     let w_qkv = rand_vec(3 * d * d, 6);
@@ -256,17 +317,20 @@ fn bench_kernels(smoke: bool) -> Vec<BenchKernel> {
         w_out: &w_out,
         b_out: &b_out,
     };
-    let ms = time_best_ms(reps, || {
-        std::hint::black_box(multi_head_attention(&x, s, d, heads, &weights));
-    });
     let attn_macs = (4 * d * d * s + 2 * s * s * d) as f64;
-    rows.push(kernel_row(
-        "attention",
-        format!("s{s} d{d} h{heads}"),
-        reps,
-        ms,
-        attn_macs,
-    ));
+    for variant in KernelVariant::available() {
+        let ms = time_best_ms(reps, || {
+            std::hint::black_box(multi_head_attention_v(variant, &x, s, d, heads, &weights));
+        });
+        rows.push(kernel_row(
+            "attention",
+            variant.name(),
+            format!("s{s} d{d} h{heads}"),
+            reps,
+            ms,
+            attn_macs,
+        ));
+    }
     rows
 }
 
@@ -278,8 +342,9 @@ fn bench_model(
     batches: &[usize],
     reps: usize,
     baseline_images: usize,
+    variant: KernelVariant,
 ) -> Vec<BenchModel> {
-    let exec = Executor::new(graph, 42);
+    let exec = Executor::new(graph, 42).with_kernel_variant(variant);
     let side = match graph.input_shape() {
         Shape::Chw { h, .. } => h,
         s => panic!("image models only, got {s}"),
@@ -332,6 +397,7 @@ fn bench_model(
             let imgs_per_s_batched = 1e3 / batched_ms;
             BenchModel {
                 model: name.to_string(),
+                variant: variant.name().to_string(),
                 batch: b,
                 reps,
                 per_image_baseline_ms: baseline_ms,
@@ -602,7 +668,47 @@ fn micro_cnn() -> Graph {
 /// models so CI can regenerate and gate the report in seconds; the full
 /// configuration times the real zoo at the Fig-5 batch sizes.
 pub fn bench(smoke: bool) -> BenchReport {
+    // Activate the autotuned micro-shape if an artifact is present (the
+    // `experiments tune` subcommand writes it). Safe on every build: shapes
+    // the host/build cannot run degrade to the unrolled kernel, and the
+    // Simd variant's bits are invariant to the shape choice.
+    let tune_path =
+        std::env::var("HARVEST_TUNE").unwrap_or_else(|_| "artifacts/TUNE.json".to_string());
+    if let Some(shape) = tune::load_artifact(std::path::Path::new(&tune_path)) {
+        tune::set_active_shape(shape);
+    }
+
     let kernels = bench_kernels(smoke);
+    // Regression gate from the kernel rewrite: the packed INT8 kernel must
+    // beat every f32 GEMM variant measured in this same process — the
+    // property that makes INT8 serving worth its accuracy cost. (Integer
+    // SIMD is always on for x86_64; elsewhere the fallback has no such
+    // guarantee.)
+    #[cfg(target_arch = "x86_64")]
+    {
+        let int8 = kernels
+            .iter()
+            .find(|k| k.kernel == "gemm_i8")
+            .expect("int8 row present");
+        for f32_row in kernels.iter().filter(|k| k.kernel == "gemm") {
+            assert!(
+                int8.gflops > f32_row.gflops,
+                "INT8 GEMM ({:.1} GOPS) not faster than f32 {} ({:.1} GFLOPS)",
+                int8.gflops,
+                f32_row.variant,
+                f32_row.gflops
+            );
+        }
+    }
+
+    // Extra kernel variants run the headline model too: `unrolled` must
+    // reproduce the scalar fingerprint bit for bit (same row dedups in the
+    // CI gate), `simd` pins its own.
+    let extra_variants: Vec<KernelVariant> = KernelVariant::available()
+        .into_iter()
+        .filter(|v| *v != KernelVariant::Scalar)
+        .collect();
+
     let mut models = Vec::new();
     if smoke {
         let micro_vit = vit(
@@ -617,16 +723,71 @@ pub fn bench(smoke: bool) -> BenchReport {
                 classes: 10,
             },
         );
-        models.extend(bench_model(&micro_vit, "vit-micro", &[1, 4], 2, 2));
+        models.extend(bench_model(
+            &micro_vit,
+            "vit-micro",
+            &[1, 4],
+            2,
+            2,
+            KernelVariant::Scalar,
+        ));
         let cnn = micro_cnn();
-        models.extend(bench_model(&cnn, "cnn-micro", &[1, 4], 2, 2));
+        models.extend(bench_model(
+            &cnn,
+            "cnn-micro",
+            &[1, 4],
+            2,
+            2,
+            KernelVariant::Scalar,
+        ));
+        for &variant in &extra_variants {
+            models.extend(bench_model(&micro_vit, "vit-micro", &[4], 2, 2, variant));
+        }
+        let scalar_fp = models
+            .iter()
+            .find(|m| m.model == "vit-micro" && m.batch == 4 && m.variant == "scalar")
+            .map(|m| m.logits_fingerprint.clone())
+            .expect("scalar headline row");
+        if let Some(unrolled) = models
+            .iter()
+            .find(|m| m.model == "vit-micro" && m.batch == 4 && m.variant == "unrolled")
+        {
+            assert_eq!(
+                unrolled.logits_fingerprint, scalar_fp,
+                "unrolled variant must reproduce the scalar logits bit for bit"
+            );
+        }
     } else {
         let tiny = vit_tiny(39);
-        models.extend(bench_model(&tiny, "vit-tiny", &[1, 4, 16, 64], 2, 2));
+        models.extend(bench_model(
+            &tiny,
+            "vit-tiny",
+            &[1, 4, 16, 64],
+            2,
+            2,
+            KernelVariant::Scalar,
+        ));
         let small = harvest_models::vit_small(39);
-        models.extend(bench_model(&small, "vit-small", &[1, 16], 2, 1));
+        models.extend(bench_model(
+            &small,
+            "vit-small",
+            &[1, 16],
+            2,
+            1,
+            KernelVariant::Scalar,
+        ));
         let r50 = resnet50(1000);
-        models.extend(bench_model(&r50, "resnet50", &[1, 8], 2, 1));
+        models.extend(bench_model(
+            &r50,
+            "resnet50",
+            &[1, 8],
+            2,
+            1,
+            KernelVariant::Scalar,
+        ));
+        for &variant in &extra_variants {
+            models.extend(bench_model(&tiny, "vit-tiny", &[16], 2, 2, variant));
+        }
         // Regression floor for the headline row: batched ViT-Tiny at B=16
         // must beat the per-image reference path. The floor was 2.0 when
         // the reference still ran scalar out-major linears (~2.9 GFLOP/s);
@@ -635,7 +796,7 @@ pub fn bench(smoke: bool) -> BenchReport {
         // folding — measured ~1.2x, floored with slack for noisy hosts.
         let headline = models
             .iter()
-            .find(|m| m.model == "vit-tiny" && m.batch == 16)
+            .find(|m| m.model == "vit-tiny" && m.batch == 16 && m.variant == "scalar")
             .expect("headline row present");
         assert!(
             headline.speedup >= 1.02,
@@ -663,11 +824,20 @@ mod tests {
         let report = bench(true);
         assert!(report.smoke);
         assert!(report.host_threads >= 1);
-        assert_eq!(report.kernels.len(), 5);
-        assert_eq!(report.models.len(), 4, "two models x two batch sizes");
+        // gemm/conv2d/attention run once per available variant; gemm_bt,
+        // quantized_gemm and gemm_i8 are one row each.
+        let variants = KernelVariant::available().len();
+        assert_eq!(report.kernels.len(), 3 * variants + 3);
+        assert_eq!(
+            report.models.len(),
+            4 + (variants - 1),
+            "two models x two batch sizes + per-variant headline rows"
+        );
         for k in &report.kernels {
             assert!(k.ms > 0.0 && k.gflops > 0.0, "{}: empty timing", k.kernel);
+            assert!(!k.variant.is_empty());
         }
+        assert!(report.kernels.iter().any(|k| k.kernel == "gemm_i8"));
         for m in &report.models {
             assert!(m.rel_err_vs_reference < 1e-4);
             assert_eq!(m.logits_fingerprint.len(), 16);
@@ -730,6 +900,7 @@ mod tests {
         for key in [
             "\"kernels\"",
             "\"models\"",
+            "\"variant\"",
             "\"speedup\"",
             "\"logits_fingerprint\"",
             "\"rel_err_vs_reference\"",

@@ -43,8 +43,8 @@ use harvest_tensor::attention::AttentionWeights;
 use harvest_tensor::integrity::{checksum_f32, flip_bit_in, max_abs_gap, scan_f32, ScanReport};
 use harvest_tensor::quant::{quantize_symmetric, QuantizedTensor};
 use harvest_tensor::{
-    add_bias, avg_pool2d_global, conv2d, conv2d_into, gelu, layernorm, max_pool2d,
-    multi_head_attention, relu, softmax_rows, Tensor,
+    add_bias, avg_pool2d_global, conv2d, conv2d_into_v, gelu, gemm_v, layernorm, max_pool2d,
+    multi_head_attention, relu, softmax_rows, KernelVariant, Tensor,
 };
 
 /// Deterministic per-node weights for a graph.
@@ -599,6 +599,11 @@ pub struct Executor<'g> {
     /// `last_use[i]` = topological index of node `i`'s final consumer
     /// (`usize::MAX` for the output, which must outlive the pass).
     last_use: Vec<usize>,
+    /// GEMM implementation for the batched path (f32 matmuls, im2col conv,
+    /// attention cores). `Scalar`/`Unrolled` are bit-identical; `Simd`
+    /// carries its own pinned fingerprints. The reference path and the INT8
+    /// integer kernels are variant-independent.
+    kernel_variant: KernelVariant,
 }
 
 fn compute_last_use(graph: &Graph) -> Vec<usize> {
@@ -646,7 +651,23 @@ impl<'g> Executor<'g> {
             int8_linears,
             int8_cache,
             last_use,
+            kernel_variant: KernelVariant::Scalar,
         }
+    }
+
+    /// Select which GEMM kernel variant services the batched path. The
+    /// default is [`KernelVariant::Scalar`], whose outputs every committed
+    /// fingerprint artifact is pinned against; [`KernelVariant::Unrolled`]
+    /// is bit-identical to it, and [`KernelVariant::Simd`] (behind the
+    /// `simd` feature + runtime CPU detection) has its own pins.
+    pub fn with_kernel_variant(mut self, variant: KernelVariant) -> Self {
+        self.kernel_variant = variant;
+        self
+    }
+
+    /// The GEMM variant servicing the batched path.
+    pub fn kernel_variant(&self) -> KernelVariant {
+        self.kernel_variant
     }
 
     /// The underlying graph.
@@ -888,7 +909,7 @@ impl<'g> Executor<'g> {
                     }
                 }
             }
-            _ => harvest_tensor::gemm::gemm(x, &w.kxn, out, rows, w.k, w.n),
+            _ => gemm_v(self.kernel_variant, x, &w.kxn, out, rows, w.k, w.n),
         }
     }
 
@@ -947,7 +968,8 @@ impl<'g> Executor<'g> {
                     .as_ref()
                     .expect("topological order");
                 let mut out = arena.take(b * per_out);
-                conv2d_into(
+                conv2d_into_v(
+                    self.kernel_variant,
                     &x.data,
                     weight.data(),
                     bias.data(),
@@ -1077,7 +1099,8 @@ impl<'g> Executor<'g> {
                 // Strided conv with kernel = stride = patch, whole batch at
                 // once, then per-image token rearrangement.
                 let mut conv = arena.take(b * dim * n_patches);
-                conv2d_into(
+                conv2d_into_v(
+                    self.kernel_variant,
                     &x.data,
                     weight.data(),
                     bias.data(),
@@ -1151,6 +1174,7 @@ impl<'g> Executor<'g> {
                 // worker, so the nested GEMM takes its single-thread path).
                 let dim = *dim;
                 let heads = *heads;
+                let variant = self.kernel_variant;
                 let head_outputs = harvest_threads::par_map(b * heads, |ih| {
                     let (img, h) = (ih / heads, ih % heads);
                     let qkv_img = &qkv[img * s * 3 * dim..(img + 1) * s * 3 * dim];
@@ -1170,12 +1194,12 @@ impl<'g> Executor<'g> {
                         v[t * head_dim..(t + 1) * head_dim]
                             .copy_from_slice(&row[2 * dim + off..2 * dim + off + head_dim]);
                     }
-                    harvest_tensor::gemm::gemm(&q, &k_t, &mut scores, s, head_dim, s);
+                    gemm_v(variant, &q, &k_t, &mut scores, s, head_dim, s);
                     for sc in scores.iter_mut() {
                         *sc *= scale;
                     }
                     softmax_rows(&mut scores, s);
-                    harvest_tensor::gemm::gemm(&scores, &v, &mut outh, s, s, head_dim);
+                    gemm_v(variant, &scores, &v, &mut outh, s, s, head_dim);
                     outh
                 });
                 // Ordered scatter of the strided head columns (cheap copies;
@@ -1762,6 +1786,42 @@ mod tests {
             assert!(err < 0.25, "input {i}: logit error {err}");
         }
         assert!(agree * 3 >= n * 2, "only {agree}/{n} argmax agreements");
+    }
+
+    #[test]
+    fn unrolled_variant_logits_bit_identical_to_scalar() {
+        // The Unrolled kernel keeps the scalar accumulation contract, so a
+        // whole-model forward (patch-embed conv, attention cores, linears)
+        // must agree with the default executor bit for bit.
+        let g = small_vit();
+        let scalar = Executor::new(&g, 11);
+        let unrolled = Executor::new(&g, 11).with_kernel_variant(KernelVariant::Unrolled);
+        let x = Tensor::random(&[3, 16, 16], 5, 1.0);
+        let a = scalar.forward(&x);
+        let b = unrolled.forward(&x);
+        for (i, (va, vb)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(va.to_bits(), vb.to_bits(), "logit {i}: {va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn simd_variant_logits_match_scalar_closely() {
+        // Simd reassociates the k-loop (FMA, register accumulation), so
+        // bit-identity to Scalar is not expected — but whole-model logits
+        // must stay numerically indistinguishable for classification.
+        // Without the `simd` feature (or on hosts without AVX2+FMA) the
+        // variant falls back to Unrolled and this still holds trivially.
+        let g = small_vit();
+        let scalar = Executor::new(&g, 11);
+        let simd = Executor::new(&g, 11).with_kernel_variant(KernelVariant::Simd);
+        assert_eq!(simd.kernel_variant(), KernelVariant::Simd);
+        let x = Tensor::random(&[3, 16, 16], 5, 1.0);
+        let a = scalar.forward(&x);
+        let b = simd.forward(&x);
+        assert!(b.data().iter().all(|v| v.is_finite()));
+        let err = relative_l2(&a, &b);
+        assert!(err < 1e-4, "scalar-vs-simd logit error {err}");
+        assert_eq!(a.argmax(), b.argmax());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! module composes exactly those kernels so the executable path and the
 //! analytic FLOPs model in `harvest-models` count the same operations.
 
-use crate::gemm::{gemm, gemm_bt};
+use crate::kernel::{gemm_bt_v, gemm_v, KernelVariant};
 use crate::ops::{add_bias, softmax_rows};
 use rayon::prelude::*;
 
@@ -34,6 +34,19 @@ pub fn multi_head_attention(
     heads: usize,
     w: &AttentionWeights<'_>,
 ) -> Vec<f32> {
+    multi_head_attention_v(KernelVariant::Scalar, x, seq, dim, heads, w)
+}
+
+/// [`multi_head_attention`] with all four GEMMs serviced by an explicit
+/// [`KernelVariant`]. The softmax and bias stages are variant-independent.
+pub fn multi_head_attention_v(
+    variant: KernelVariant,
+    x: &[f32],
+    seq: usize,
+    dim: usize,
+    heads: usize,
+    w: &AttentionWeights<'_>,
+) -> Vec<f32> {
     assert_eq!(x.len(), seq * dim);
     assert!(
         heads > 0 && dim.is_multiple_of(heads),
@@ -46,7 +59,7 @@ pub fn multi_head_attention(
 
     // Fused QKV projection: [seq, 3·dim].
     let mut qkv = vec![0.0f32; seq * 3 * dim];
-    gemm_bt(x, w.w_qkv, &mut qkv, seq, dim, 3 * dim);
+    gemm_bt_v(variant, x, w.w_qkv, &mut qkv, seq, dim, 3 * dim);
     if !w.b_qkv.is_empty() {
         add_bias(&mut qkv, w.b_qkv);
     }
@@ -71,14 +84,14 @@ pub fn multi_head_attention(
             }
             // scores = Q · Kᵀ / sqrt(d): [seq, seq]
             let mut scores = vec![0.0f32; seq * seq];
-            gemm_bt(&q, &k, &mut scores, seq, head_dim, seq);
+            gemm_bt_v(variant, &q, &k, &mut scores, seq, head_dim, seq);
             for s in scores.iter_mut() {
                 *s *= scale;
             }
             softmax_rows(&mut scores, seq);
             // out = scores · V: [seq, head_dim]
             let mut out = vec![0.0f32; seq * head_dim];
-            gemm(&scores, &v, &mut out, seq, seq, head_dim);
+            gemm_v(variant, &scores, &v, &mut out, seq, seq, head_dim);
             (h, out)
         })
         .collect();
@@ -92,7 +105,7 @@ pub fn multi_head_attention(
 
     // Output projection.
     let mut y = vec![0.0f32; seq * dim];
-    gemm_bt(&heads_out, w.w_out, &mut y, seq, dim, dim);
+    gemm_bt_v(variant, &heads_out, w.w_out, &mut y, seq, dim, dim);
     if !w.b_out.is_empty() {
         add_bias(&mut y, w.b_out);
     }

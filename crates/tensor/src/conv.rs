@@ -5,7 +5,7 @@
 //! `[cout] × [cin·k·k] · [cin·k·k] × [oh·ow]` — so building it this way keeps
 //! our host kernels and the analytic FLOPs model in exact agreement.
 
-use crate::gemm::gemm;
+use crate::kernel::{gemm_v, KernelVariant};
 use rayon::prelude::*;
 
 /// Shape of a conv output for given input spatial size and geometry.
@@ -79,10 +79,43 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> Vec<f32> {
+    conv2d_v(
+        KernelVariant::Scalar,
+        input,
+        weight,
+        bias,
+        n,
+        cin,
+        h,
+        w,
+        cout,
+        kernel,
+        stride,
+        pad,
+    )
+}
+
+/// [`conv2d`] with the im2col GEMM serviced by an explicit [`KernelVariant`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_v(
+    variant: KernelVariant,
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    n: usize,
+    cin: usize,
+    h: usize,
+    w: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
     let oh = conv_out_dim(h, kernel, stride, pad);
     let ow = conv_out_dim(w, kernel, stride, pad);
     let mut output = vec![0.0f32; n * cout * oh * ow];
-    conv2d_into(
+    conv2d_into_v(
+        variant,
         input,
         weight,
         bias,
@@ -117,6 +150,42 @@ pub fn conv2d_into(
     pad: usize,
     output: &mut [f32],
 ) {
+    conv2d_into_v(
+        KernelVariant::Scalar,
+        input,
+        weight,
+        bias,
+        n,
+        cin,
+        h,
+        w,
+        cout,
+        kernel,
+        stride,
+        pad,
+        output,
+    );
+}
+
+/// [`conv2d_into`] with the im2col GEMM serviced by an explicit
+/// [`KernelVariant`]. `Scalar` and `Unrolled` are bit-identical; `Simd`
+/// carries its own fingerprint pin (see `kernel` module docs).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into_v(
+    variant: KernelVariant,
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    n: usize,
+    cin: usize,
+    h: usize,
+    w: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    output: &mut [f32],
+) {
     assert_eq!(input.len(), n * cin * h * w, "input shape");
     assert_eq!(weight.len(), cout * cin * kernel * kernel, "weight shape");
     assert!(bias.is_empty() || bias.len() == cout, "bias shape");
@@ -132,7 +201,7 @@ pub fn conv2d_into(
     let per_image = |(img_in, img_out): (&[f32], &mut [f32])| {
         let mut col = vec![0.0f32; col_rows * out_spatial];
         im2col(img_in, cin, h, w, kernel, stride, pad, &mut col);
-        gemm(weight, &col, img_out, cout, col_rows, out_spatial);
+        gemm_v(variant, weight, &col, img_out, cout, col_rows, out_spatial);
         if !bias.is_empty() {
             for (c, plane) in img_out.chunks_exact_mut(out_spatial).enumerate() {
                 let b = bias[c];

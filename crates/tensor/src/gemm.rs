@@ -23,8 +23,10 @@ const NC: usize = 512;
 
 /// Problems smaller than this many multiply-accumulates stay single-threaded.
 /// The pool spawns scoped threads per region (no persistent workers), so the
-/// crossover sits higher than a work-stealing runtime's would.
-const PAR_THRESHOLD_MACS: usize = 1 << 20;
+/// crossover sits higher than a work-stealing runtime's would. Shared with
+/// the variant kernels in `crate::kernel` so every variant crosses over at
+/// the same point.
+pub(crate) const PAR_THRESHOLD_MACS: usize = 1 << 20;
 
 /// `c[m×n] = a[m×k] · b[k×n]` — reference triple loop (ikj order so the inner
 /// loop streams through `b` and `c` rows).
@@ -172,6 +174,18 @@ fn gemm_blocked_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: 
 /// enough to amortize fork/join, otherwise the blocked kernel.
 pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     check_dims(a, b, c, m, k, n);
+    // Explicit degenerate-dimension guards. The blocked kernel handles all
+    // of these by falling through empty loops, but the packed variant
+    // kernels dispatched alongside this one (see `crate::kernel`) index
+    // panel buffers whose sizes derive from these dims — keep the contract
+    // uniform and early-out before any path can divide or chunk by zero.
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
     if m * n * k < PAR_THRESHOLD_MACS || m < 2 {
         c.fill(0.0);
         gemm_blocked_acc(a, b, c, m, k, n);
@@ -347,6 +361,28 @@ mod tests {
         let mut c2 = vec![5.0f32; 6];
         gemm_blocked(&a, &b, &mut c2, 2, 0, 3);
         assert!(c2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn degenerate_m_or_n_zero_is_a_clean_noop() {
+        // m == 0: every output slice is empty; must not panic.
+        let b = rand_vec(3 * 4, 41);
+        let mut c: Vec<f32> = vec![];
+        gemm(&[], &b, &mut c, 0, 3, 4);
+        assert!(c.is_empty());
+        // n == 0: zero-width rows; the parallel path would otherwise chunk
+        // by zero columns.
+        let a = rand_vec(5 * 3, 43);
+        let mut c2: Vec<f32> = vec![];
+        gemm(&a, &[], &mut c2, 5, 3, 0);
+        assert!(c2.is_empty());
+    }
+
+    #[test]
+    fn degenerate_k_zero_zeroes_stale_output() {
+        let mut c = vec![9.0f32; 4 * 6];
+        gemm(&[], &[], &mut c, 4, 0, 6);
+        assert!(c.iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -23,18 +23,25 @@ pub mod conv;
 pub mod gemm;
 pub mod image;
 pub mod integrity;
+pub mod kernel;
 pub mod ops;
 pub mod quant;
 pub mod tensor;
+pub mod tune;
 
-pub use attention::multi_head_attention;
-pub use conv::{avg_pool2d_global, conv2d, conv2d_into, max_pool2d};
+pub use attention::{multi_head_attention, multi_head_attention_v};
+pub use conv::{avg_pool2d_global, conv2d, conv2d_into, conv2d_into_v, conv2d_v, max_pool2d};
 pub use gemm::{gemm, gemm_naive};
 pub use image::{
     center_crop, chw_to_hwc_u8, hwc_u8_to_chw, normalize_chw, perspective_warp, resize_bilinear,
     Homography,
 };
 pub use integrity::{checksum_bytes, checksum_f32, flip_bit_in, max_abs_gap, scan_f32, ScanReport};
+pub use kernel::{
+    gemm_bt_v, gemm_fma_oracle, gemm_unrolled, gemm_v, gemm_with_shape, KernelVariant,
+};
 pub use ops::{add_bias, batchnorm_inference, gelu, layernorm, relu, softmax_rows};
-pub use quant::{dequantize, gemm_i8, quantize_symmetric, quantized_gemm, QuantizedTensor};
+pub use quant::{
+    dequantize, gemm_i8, gemm_i8_naive, quantize_symmetric, quantized_gemm, QuantizedTensor,
+};
 pub use tensor::Tensor;
