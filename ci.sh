@@ -12,7 +12,11 @@
 #                        with fingerprints gated against the committed
 #                        artifacts/BENCH_fingerprints.txt baseline at both
 #                        HARVEST_THREADS=1 and the host default
-#   7. simd kernels      clippy + the differential kernel-conformance suite
+#   7. wire smoke        experiments wire --smoke: fixed-seed socket-chaos
+#                        loadgen against the live HTTP front-end; schema
+#                        check, drift vs artifacts/wire.json, and a
+#                        byte-identical cross-process rerun
+#   8. simd kernels      clippy + the differential kernel-conformance suite
 #                        under --features simd, then a SIMD-build bench
 #                        smoke run twice: per-variant fingerprints must be
 #                        byte-identical across reruns, and the committed
@@ -31,7 +35,7 @@ cargo clippy --offline --release \
     -p harvest-simkit -p harvest-serving -p harvest-core -p harvest-bench \
     -p harvest -p harvest-perf -p harvest-models \
     -p harvest-engine -p harvest-tensor -p harvest-imaging \
-    -p harvest-threads \
+    -p harvest-threads -p harvest-net \
     --all-targets -- -D warnings
 
 echo "== tier-1: build =="
@@ -101,6 +105,31 @@ grep -o '"logits_fingerprint": "[0-9a-f]*"' "$smoke_dir/BENCH.json" \
     | sort -u > "$smoke_dir/fp_seq"
 diff artifacts/BENCH_fingerprints.txt "$smoke_dir/fp_seq" \
     || { echo "bench fingerprints depend on the pool width"; exit 1; }
+
+echo "== wire smoke =="
+# Chaos loadgen against the live socket front-end. The run itself asserts
+# client- and server-side outcome conservation in every scenario (clean,
+# seeded chaos, drain) plus a bit-identical in-process rerun per scenario.
+# Here we gate the deterministic ledger's schema, drift vs the committed
+# artifact, cross-process determinism, and the latency artifact's schema
+# (latencies are wall-clock, so only their shape is gated).
+./target/release/experiments wire --smoke --json "$smoke_dir"
+for key in scenarios fates sent cut responded statuses classes lost dup \
+    client_errors fingerprint accepted responded_ok rejected shed \
+    bad_requests incomplete timeouts threads_joined; do
+    grep -q "\"$key\"" "$smoke_dir/wire.json" \
+        || { echo "wire.json missing key: $key"; exit 1; }
+done
+for key in scenario p50_ms p99_ms buckets_ms histogram; do
+    grep -q "\"$key\"" "$smoke_dir/wire_latency.json" \
+        || { echo "wire_latency.json missing key: $key"; exit 1; }
+done
+diff artifacts/wire.json "$smoke_dir/wire.json" \
+    || { echo "artifacts/wire.json drifted from the code"; exit 1; }
+cp "$smoke_dir/wire.json" "$smoke_dir/wire.run1.json"
+./target/release/experiments wire --smoke --json "$smoke_dir"
+diff "$smoke_dir/wire.run1.json" "$smoke_dir/wire.json" \
+    || { echo "wire ledger is not deterministic across processes"; exit 1; }
 
 echo "== simd: clippy + kernel conformance =="
 # The same differential suite that gates the scalar build must hold with

@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|integrity|bench|tune|host]...
+//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|integrity|bench|tune|wire|host]...
 //!             [--json DIR] [--smoke]
 //! ```
 //!
@@ -101,9 +101,185 @@ fn main() {
     if run("tune") {
         tune(&save, smoke);
     }
+    if run("wire") {
+        wire(&save, smoke);
+    }
     if run("host") {
         host();
     }
+}
+
+/// The wire front-end under load: clean serving, seeded socket chaos, and
+/// a drain scenario, each conservation-checked and replayed to assert a
+/// bit-identical outcome fingerprint. The deterministic ledger goes to
+/// `wire.json` (drift-gated in CI); wall-clock latency percentiles go to
+/// `wire_latency.json` (schema-gated only — real time is not replayable).
+fn wire(save: &dyn Fn(&str, String), smoke: bool) {
+    use harvest_net::{run_loadgen, LoadgenConfig, LoadgenReport, WireConfig, WireServer};
+    use harvest_simkit::SocketFaultPlan;
+
+    println!("== Extension: hardened wire front-end (HTTP/1.1 serving under socket chaos) ==");
+
+    struct Scenario {
+        name: &'static str,
+        requests: u64,
+        plan: SocketFaultPlan,
+        drain_first: bool,
+    }
+    let chaos_plan = SocketFaultPlan::new(2024)
+        .with_resets(0.08)
+        .with_truncations(0.08)
+        .with_garbling(0.08)
+        .with_stalls(0.06, 400)
+        .with_short_chunks();
+    let scenarios = [
+        Scenario {
+            name: "clean",
+            requests: 24,
+            plan: SocketFaultPlan::none(),
+            drain_first: false,
+        },
+        Scenario {
+            name: "chaos",
+            requests: 48,
+            plan: chaos_plan,
+            drain_first: false,
+        },
+        Scenario {
+            name: "drain",
+            requests: 8,
+            plan: SocketFaultPlan::none(),
+            drain_first: true,
+        },
+    ];
+
+    let run_scenario = |s: &Scenario| {
+        let server = WireServer::start(WireConfig::default()).expect("start wire server");
+        if s.drain_first {
+            server.begin_drain();
+        }
+        let report = run_loadgen(
+            server.addr(),
+            &LoadgenConfig {
+                requests: s.requests,
+                client_threads: 8,
+                plan: s.plan,
+                ..LoadgenConfig::default()
+            },
+        );
+        let drain = server.shutdown();
+        assert!(
+            report.conserved(),
+            "{}: client ledger must conserve (lost {}, dup {}, client_errors {})",
+            s.name,
+            report.lost,
+            report.dup,
+            report.client_errors
+        );
+        assert!(
+            drain.stats.conserved(),
+            "{}: server ledger must conserve: {:?}",
+            s.name,
+            drain.stats
+        );
+        (report, drain)
+    };
+
+    let scenario_doc = |report: &LoadgenReport, drain: &harvest_net::DrainReport| {
+        serde_json::json!({
+            "requests": report.requests,
+            "fates": serde_json::json!({
+                "clean": report.fates.clean,
+                "reset": report.fates.reset,
+                "truncate": report.fates.truncate,
+                "garble": report.fates.garble,
+                "stall": report.fates.stall,
+            }),
+            "sent": report.sent,
+            "cut": report.cut,
+            "responded": report.responded,
+            "statuses": report.statuses.iter().map(|&(s, n)| serde_json::json!([s, n])).collect::<Vec<_>>(),
+            "classes": report.classes.iter().map(|&(c, n)| serde_json::json!([c, n])).collect::<Vec<_>>(),
+            "lost": report.lost,
+            "dup": report.dup,
+            "client_errors": report.client_errors,
+            "fingerprint": format!("{:016x}", report.fingerprint),
+            "server": serde_json::json!({
+                "accepted": drain.stats.accepted,
+                "responded_ok": drain.stats.responded_ok,
+                "responded_error": drain.stats.responded_error,
+                "rejected": drain.stats.rejected,
+                "shed": drain.stats.shed,
+                "bad_requests": drain.stats.bad_requests,
+                "incomplete": drain.stats.incomplete,
+                "timeouts": drain.stats.timeouts,
+                "threads_joined": drain.threads_joined,
+            }),
+        })
+    };
+
+    let mut docs = Vec::new();
+    let mut latency_docs = Vec::new();
+    for s in &scenarios {
+        let (report, drain) = run_scenario(s);
+        // The headline self-check: a second run on a fresh server, same
+        // seed, must replay to the identical outcome fingerprint and the
+        // identical server-side ledger.
+        let (rerun, redrain) = run_scenario(s);
+        assert_eq!(
+            report.fingerprint, rerun.fingerprint,
+            "{}: outcome fingerprint must replay bit for bit",
+            s.name
+        );
+        assert_eq!(
+            drain.stats, redrain.stats,
+            "{}: server ledger must replay exactly",
+            s.name
+        );
+        if s.drain_first {
+            assert_eq!(
+                drain.stats.rejected, s.requests,
+                "drain scenario: every request draws an explicit 503"
+            );
+        }
+        if !smoke {
+            println!(
+                "  {:<6} requests {:>3}  sent {:>3}  cut {:>2}  responded {:>3}  \
+                 ok {:>3}  rejected {:>2}  fingerprint {:016x}",
+                s.name,
+                report.requests,
+                report.sent,
+                report.cut,
+                report.responded,
+                drain.stats.responded_ok,
+                drain.stats.rejected,
+                report.fingerprint
+            );
+        }
+        latency_docs.push(serde_json::json!({
+            "scenario": s.name,
+            "p50_ms": report.percentile_ms(50.0),
+            "p99_ms": report.percentile_ms(99.0),
+            "buckets_ms": harvest_net::LATENCY_BUCKETS_MS.to_vec(),
+            "histogram": report.latency_histogram(),
+        }));
+        docs.push(serde_json::json!({
+            "scenario": s.name,
+            "ledger": scenario_doc(&report, &drain),
+        }));
+    }
+    println!(
+        "  self-check: client+server conservation in every scenario, drain answers 503, \
+         bit-identical rerun fingerprints — all OK"
+    );
+    save(
+        "wire",
+        serde_json::to_string_pretty(&serde_json::json!({ "scenarios": docs })).unwrap(),
+    );
+    save(
+        "wire_latency",
+        serde_json::to_string_pretty(&serde_json::json!({ "scenarios": latency_docs })).unwrap(),
+    );
 }
 
 fn bench(save: &dyn Fn(&str, String), smoke: bool) {

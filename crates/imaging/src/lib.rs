@@ -77,6 +77,18 @@ impl ImageFormat {
     }
 }
 
+/// Decode a byte stream whose format is unknown, sniffing the container
+/// magic — the entry point for request bodies arriving over a wire, where
+/// no dataset registry says what the client sent. Same hardening contract
+/// as the codecs themselves: any byte soup returns `Err`, never panics.
+pub fn decode_auto(bytes: &[u8]) -> Result<RgbImage, String> {
+    match bytes.get(..4) {
+        Some(b"AJPG") => ajpg_decode(bytes),
+        Some(b"RTIF") => rtif_decode(bytes),
+        _ => Err("unrecognized image container (expected AJPG or RTIF magic)".into()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +108,29 @@ mod tests {
             assert_eq!(back.width(), 32);
             assert_eq!(back.height(), 24);
         }
+    }
+
+    #[test]
+    fn decode_auto_sniffs_both_containers_and_rejects_soup() {
+        let img = RgbImage::checkerboard(24, 16, 4);
+        for fmt in [
+            ImageFormat::Rtif,
+            ImageFormat::Ajpg {
+                quality: 90,
+                subsample: false,
+            },
+        ] {
+            let bytes = fmt.encode(&img);
+            let back = decode_auto(&bytes).expect("sniffed decode");
+            assert_eq!((back.width(), back.height()), (24, 16));
+        }
+        assert!(decode_auto(b"").is_err());
+        assert!(decode_auto(b"AJP").is_err(), "short of the magic");
+        assert!(decode_auto(b"PNG\r\x1a\n").is_err());
+        // Magic alone is not a valid stream either — the codec must still
+        // reject the truncated remainder, not panic.
+        assert!(decode_auto(b"AJPG").is_err());
+        assert!(decode_auto(b"RTIF\x01\x02").is_err());
     }
 
     #[test]

@@ -1,0 +1,997 @@
+//! The wire server: hardened HTTP/1.1 serving over the real batch engine.
+//!
+//! Architecture: `accept_threads` accept loops share one
+//! `std::net::TcpListener`, each handling its accepted connection to
+//! completion (parse → decode → preprocess → submit). Inference runs on a
+//! single dedicated **engine thread** that owns the model graph and the
+//! [`RealBatchServer`]; connections talk to it over an mpsc channel and
+//! block on a per-request reply channel, so batches form across
+//! connections while the `harvest-threads` pool parallelizes inside each
+//! forward.
+//!
+//! Hardening contract:
+//!
+//! * every connection runs under read/write deadlines (slowloris defense)
+//!   and the parser's byte caps (oversize defense) — a hostile peer can
+//!   cost at most one bounded buffer and one deadline tick;
+//! * every fully parsed request gets **exactly one** response: a
+//!   classification, a typed error, or an explicit `503 Retry-After`.
+//!   [`WireStats::conserved`] checks the ledger:
+//!   `responded_ok + responded_error + rejected + shed == accepted`;
+//! * graceful drain ([`WireServer::begin_drain`] /
+//!   [`WireServer::shutdown`]): in-flight batches flush to completion, new
+//!   work is answered `503` with `Retry-After`, and every spawned thread is
+//!   joined — the [`DrainReport`] counts them so leaks are a test failure,
+//!   not a mystery.
+
+use crate::http::{parse_request, write_response, HttpLimits, Method, Parsed, Request};
+use harvest_imaging::decode_auto;
+use harvest_models::{vit, VitConfig};
+use harvest_preproc::preprocess_decoded;
+use harvest_serving::{BatcherConfig, RealBatchServer, ServeFault, ServingLimits, ShedPolicy};
+use harvest_simkit::SimTime;
+use harvest_tensor::Tensor;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use harvest_engine::Executor;
+
+/// Everything the wire needs to come up.
+#[derive(Clone, Debug)]
+pub struct WireConfig {
+    /// Address to bind; port 0 picks a free one.
+    pub addr: String,
+    /// Accept loops ("thread per core" on the target edge boxes).
+    pub accept_threads: usize,
+    /// Batch the engine prefers (size trigger).
+    pub preferred_batch: u32,
+    /// Delay trigger for partial batches, milliseconds.
+    pub max_queue_delay_ms: u64,
+    /// Shared serving bounds (body cap, queue bound, in-flight bound) —
+    /// the single source of truth the HTTP layer and batcher both obey.
+    pub limits: ServingLimits,
+    /// Shed the oldest queued request instead of rejecting new ones.
+    pub drop_oldest: bool,
+    /// Per-connection read deadline, milliseconds.
+    pub read_timeout_ms: u64,
+    /// Per-connection write deadline, milliseconds.
+    pub write_timeout_ms: u64,
+    /// Model input resolution (decoded images are resized to this).
+    pub out_res: usize,
+    /// The model the engine serves.
+    pub model: VitConfig,
+    /// Weight seed for the served model.
+    pub model_seed: u64,
+}
+
+impl Default for WireConfig {
+    /// A small-but-real deployment: the tiny ViT the serving tests use,
+    /// four accept loops, 4-way batching with a 5 ms delay trigger, and
+    /// deadlines tuned for loopback tests.
+    fn default() -> Self {
+        WireConfig {
+            addr: "127.0.0.1:0".to_string(),
+            accept_threads: 4,
+            preferred_batch: 4,
+            max_queue_delay_ms: 5,
+            limits: ServingLimits::default(),
+            drop_oldest: false,
+            read_timeout_ms: 250,
+            write_timeout_ms: 1000,
+            out_res: 16,
+            model: VitConfig {
+                dim: 32,
+                depth: 1,
+                heads: 2,
+                patch: 4,
+                img: 16,
+                mlp_ratio: 2,
+                classes: 4,
+            },
+            model_seed: 7,
+        }
+    }
+}
+
+/// Outcome counters, updated live by every connection.
+///
+/// The conservation classes: `accepted` counts fully parsed requests, and
+/// each accepted request lands in exactly one of `responded_ok`,
+/// `responded_error`, `rejected`, `shed`. Connection-level failures that
+/// never produced a parsed request (`bad_requests`, `timeouts`,
+/// `incomplete`, `idle_closes`) sit outside the ledger — nothing was
+/// promised for them beyond the error/close they got.
+#[derive(Debug, Default)]
+pub struct WireStats {
+    /// Connections that delivered at least one byte.
+    pub connections: AtomicU64,
+    /// Fully parsed requests (the conservation base).
+    pub accepted: AtomicU64,
+    /// 2xx responses.
+    pub responded_ok: AtomicU64,
+    /// 4xx/5xx responses to accepted requests (404/405/422/500).
+    pub responded_error: AtomicU64,
+    /// Explicit 503s: queue full, in-flight cap, or draining.
+    pub rejected: AtomicU64,
+    /// Explicit 503s for requests shed from the queue by DropOldest.
+    pub shed: AtomicU64,
+    /// Malformed requests answered with the parser's typed status.
+    pub bad_requests: AtomicU64,
+    /// Connections that died mid-request (reset/EOF with bytes pending).
+    pub incomplete: AtomicU64,
+    /// Read deadlines that fired with a partial request (answered 408).
+    pub timeouts: AtomicU64,
+    /// Clean closes with no partial request pending.
+    pub idle_closes: AtomicU64,
+    /// Responses the peer was gone for (diagnostic; the outcome above
+    /// still counts — the server kept its side of the ledger).
+    pub write_failures: AtomicU64,
+}
+
+/// A point-in-time copy of [`WireStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireSnapshot {
+    /// See [`WireStats::connections`].
+    pub connections: u64,
+    /// See [`WireStats::accepted`].
+    pub accepted: u64,
+    /// See [`WireStats::responded_ok`].
+    pub responded_ok: u64,
+    /// See [`WireStats::responded_error`].
+    pub responded_error: u64,
+    /// See [`WireStats::rejected`].
+    pub rejected: u64,
+    /// See [`WireStats::shed`].
+    pub shed: u64,
+    /// See [`WireStats::bad_requests`].
+    pub bad_requests: u64,
+    /// See [`WireStats::incomplete`].
+    pub incomplete: u64,
+    /// See [`WireStats::timeouts`].
+    pub timeouts: u64,
+    /// See [`WireStats::idle_closes`].
+    pub idle_closes: u64,
+    /// See [`WireStats::write_failures`].
+    pub write_failures: u64,
+}
+
+impl WireSnapshot {
+    /// Does the outcome ledger balance? Every accepted request must be in
+    /// exactly one outcome class — none lost, none double-counted.
+    pub fn conserved(&self) -> bool {
+        self.responded_ok + self.responded_error + self.rejected + self.shed == self.accepted
+    }
+}
+
+impl WireStats {
+    fn snapshot(&self) -> WireSnapshot {
+        WireSnapshot {
+            connections: self.connections.load(Ordering::SeqCst),
+            accepted: self.accepted.load(Ordering::SeqCst),
+            responded_ok: self.responded_ok.load(Ordering::SeqCst),
+            responded_error: self.responded_error.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            bad_requests: self.bad_requests.load(Ordering::SeqCst),
+            incomplete: self.incomplete.load(Ordering::SeqCst),
+            timeouts: self.timeouts.load(Ordering::SeqCst),
+            idle_closes: self.idle_closes.load(Ordering::SeqCst),
+            write_failures: self.write_failures.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// What shutdown left behind.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Final counters.
+    pub stats: WireSnapshot,
+    /// Threads joined on the way down (accept loops + engine). A value
+    /// short of `accept_threads + 1` means something leaked.
+    pub threads_joined: usize,
+}
+
+/// One request's resolution, sent back from the engine thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WireOutcome {
+    /// Inference ran; argmax class and the batch the request rode in.
+    Done { class: usize, batch: usize },
+    /// Bounded queue (or drain) turned the request away.
+    Rejected,
+    /// DropOldest evicted the request to admit newer work.
+    Shed,
+    /// Internal fault ([`ServeFault`]); answered 500.
+    Failed,
+}
+
+enum EngineMsg {
+    Submit {
+        id: u64,
+        input: Tensor,
+        reply: mpsc::Sender<WireOutcome>,
+    },
+    /// Flush every queued request and refuse new ones.
+    Drain,
+}
+
+/// State shared by the accept loops and the shutdown path.
+struct Shared {
+    stats: WireStats,
+    draining: AtomicBool,
+    stopping: AtomicBool,
+    next_id: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// A running wire front-end. Dropping it without [`WireServer::shutdown`]
+/// leaks the serving threads; tests should always drain.
+pub struct WireServer {
+    addr: SocketAddr,
+    config: WireConfig,
+    shared: Arc<Shared>,
+    engine_tx: Mutex<Option<mpsc::Sender<EngineMsg>>>,
+    accept_handles: Vec<JoinHandle<()>>,
+    engine_handle: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Bind, spawn the engine and the accept loops, and start serving.
+    pub fn start(config: WireConfig) -> io::Result<WireServer> {
+        let mut batcher = config
+            .limits
+            .batcher_config(
+                config.preferred_batch,
+                SimTime::from_millis(config.max_queue_delay_ms),
+            )
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        if config.drop_oldest {
+            batcher.shed = ShedPolicy::DropOldest;
+        }
+        // The derived config must still agree with the limits it came from.
+        config
+            .limits
+            .check_batcher(&batcher)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        if config.accept_threads == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "accept_threads must be at least 1",
+            ));
+        }
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stats: WireStats::default(),
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+        });
+
+        let (tx, rx) = mpsc::channel::<EngineMsg>();
+        let engine_handle = {
+            let model = config.model;
+            let seed = config.model_seed;
+            let tick = Duration::from_millis(config.max_queue_delay_ms.div_ceil(2).max(1));
+            std::thread::Builder::new()
+                .name("wire-engine".to_string())
+                .spawn(move || engine_loop(rx, model, seed, batcher, tick))?
+        };
+
+        let mut accept_handles = Vec::with_capacity(config.accept_threads);
+        for worker in 0..config.accept_threads {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            let config = config.clone();
+            accept_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wire-accept-{worker}"))
+                    .spawn(move || accept_loop(listener, addr, shared, tx, config))?,
+            );
+        }
+
+        Ok(WireServer {
+            addr,
+            config,
+            shared,
+            engine_tx: Mutex::new(Some(tx)),
+            accept_handles,
+            engine_handle: Some(engine_handle),
+        })
+    }
+
+    /// Where the server is listening.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The configuration this server was started with.
+    pub fn config(&self) -> &WireConfig {
+        &self.config
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> WireSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Enter drain mode: flush the queued work, answer everything new with
+    /// `503 Retry-After`. Idempotent; the listener stays up so clients get
+    /// explicit refusals instead of connection errors.
+    pub fn begin_drain(&self) {
+        if !self.shared.draining.swap(true, Ordering::SeqCst) {
+            if let Some(tx) = self.engine_tx.lock().expect("engine tx lock").as_ref() {
+                let _ = tx.send(EngineMsg::Drain);
+            }
+        }
+    }
+
+    /// Drain, stop accepting, and join every thread.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.begin_drain();
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Wake one accept loop; each exiting loop relays the wake-up so a
+        // single nudge unwinds all of them regardless of which thread wins
+        // each accept race.
+        let _ = TcpStream::connect(self.addr);
+        let mut joined = 0;
+        for handle in self.accept_handles.drain(..) {
+            if handle.join().is_ok() {
+                joined += 1;
+            }
+        }
+        // All accept-side senders are gone; dropping ours disconnects the
+        // engine's channel and ends its loop.
+        *self.engine_tx.lock().expect("engine tx lock") = None;
+        if let Some(handle) = self.engine_handle.take() {
+            if handle.join().is_ok() {
+                joined += 1;
+            }
+        }
+        DrainReport {
+            stats: self.shared.stats.snapshot(),
+            threads_joined: joined,
+        }
+    }
+}
+
+/// The engine thread: owns the graph and the batch server, turns channel
+/// messages into batcher calls, and guarantees **exactly one** reply per
+/// submitted id (completion, shed, rejection, or typed failure).
+fn engine_loop(
+    rx: mpsc::Receiver<EngineMsg>,
+    model: VitConfig,
+    seed: u64,
+    batcher: BatcherConfig,
+    tick: Duration,
+) {
+    let graph = vit("wire-served", &model);
+    let mut server = RealBatchServer::new(Executor::new(&graph, seed), batcher)
+        .expect("batcher config validated at start()");
+    let start = Instant::now();
+    let now = |start: &Instant| SimTime::from_nanos(start.elapsed().as_nanos() as u64);
+    let mut waiting: std::collections::HashMap<u64, mpsc::Sender<WireOutcome>> =
+        std::collections::HashMap::new();
+    let mut drained = false;
+
+    let deliver = |waiting: &mut std::collections::HashMap<u64, mpsc::Sender<WireOutcome>>,
+                   server: &mut RealBatchServer<'_>,
+                   completed: Vec<harvest_serving::Completion>,
+                   shed: Vec<u64>| {
+        for c in completed {
+            if let Some(tx) = waiting.remove(&c.id) {
+                let _ = tx.send(WireOutcome::Done {
+                    class: argmax(c.output.data()),
+                    batch: c.batch_size,
+                });
+            }
+        }
+        for id in shed {
+            if let Some(tx) = waiting.remove(&id) {
+                let _ = tx.send(WireOutcome::Shed);
+            }
+        }
+        for fault in server.take_faults() {
+            if let ServeFault::MissingPayload { id } = fault {
+                if let Some(tx) = waiting.remove(&id) {
+                    let _ = tx.send(WireOutcome::Failed);
+                }
+            }
+        }
+    };
+
+    loop {
+        match rx.recv_timeout(tick) {
+            Ok(EngineMsg::Submit { id, input, reply }) => {
+                if drained {
+                    let _ = reply.send(WireOutcome::Rejected);
+                    continue;
+                }
+                waiting.insert(id, reply);
+                let t = now(&start);
+                let sub = server.submit(id, input, t);
+                if !sub.admitted {
+                    if let Some(tx) = waiting.remove(&id) {
+                        let _ = tx.send(WireOutcome::Rejected);
+                    }
+                }
+                deliver(&mut waiting, &mut server, sub.completed, sub.shed);
+                // A submission may also have pushed the oldest request past
+                // the delay bound.
+                let late = server.poll(now(&start));
+                deliver(&mut waiting, &mut server, late, Vec::new());
+            }
+            Ok(EngineMsg::Drain) => {
+                let done = server.flush();
+                deliver(&mut waiting, &mut server, done, Vec::new());
+                // Flush answers everything it executed; anything still
+                // waiting hit bookkeeping skew — fail it explicitly rather
+                // than hang its connection.
+                for (_, tx) in waiting.drain() {
+                    let _ = tx.send(WireOutcome::Failed);
+                }
+                drained = true;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let done = server.poll(now(&start));
+                deliver(&mut waiting, &mut server, done, Vec::new());
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// First maximum wins, so ties are deterministic.
+fn argmax(data: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in data.iter().enumerate() {
+        if v > data[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    tx: mpsc::Sender<EngineMsg>,
+    config: WireConfig,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            // Relay the shutdown wake-up to the next blocked loop, then
+            // exit. The final relay lands in the backlog and dies with the
+            // listener.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+        handle_connection(stream, &shared, &tx, &config);
+    }
+}
+
+/// Serve one connection, then close it *politely*: shut down the write
+/// half and drain whatever the peer is still sending before dropping the
+/// socket. Without the drain, closing while unread request bytes are in
+/// flight raises a TCP reset that can destroy the error response sitting
+/// in the peer's receive buffer — turning a deterministic "you sent
+/// garbage, here is a 400" into a racy connection error.
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    tx: &mpsc::Sender<EngineMsg>,
+    config: &WireConfig,
+) {
+    serve_connection(&mut stream, shared, tx, config);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Serve one connection to completion: accumulate bytes under deadline,
+/// parse bounded requests, answer each exactly once, keep-alive until the
+/// peer closes, errors, or goes quiet.
+fn serve_connection(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    tx: &mpsc::Sender<EngineMsg>,
+    config: &WireConfig,
+) {
+    let limits = HttpLimits::from_serving(&config.limits);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms.max(1))));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms.max(1))));
+    let _ = stream.set_nodelay(true);
+
+    let stats = &shared.stats;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut counted_conn = false;
+
+    loop {
+        // Drain every complete request already buffered before reading
+        // more (bounded pipelining: the buffer itself is capped).
+        match parse_request(&buf, &limits) {
+            Ok(Parsed::Complete { request, consumed }) => {
+                buf.drain(..consumed);
+                stats.accepted.fetch_add(1, Ordering::SeqCst);
+                let keep = respond(stream, &request, shared, tx, config);
+                if !keep || !request.keep_alive {
+                    return;
+                }
+                continue;
+            }
+            Ok(Parsed::NeedMore) => {}
+            Err(e) => {
+                let (status, reason) = e.status();
+                stats.bad_requests.fetch_add(1, Ordering::SeqCst);
+                let body = format!("{{\"error\":\"{e:?}\"}}");
+                send_response(stream, stats, status, reason, &[], body.as_bytes(), false);
+                return;
+            }
+        }
+        if buf.len() > limits.max_buffered() {
+            // Defense in depth: the parser's caps should make this
+            // unreachable, but never let a connection grow without bound.
+            stats.bad_requests.fetch_add(1, Ordering::SeqCst);
+            send_response(
+                stream,
+                stats,
+                431,
+                "Request Header Fields Too Large",
+                &[],
+                b"{\"error\":\"buffer cap\"}",
+                false,
+            );
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    stats.idle_closes.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    stats.incomplete.fetch_add(1, Ordering::SeqCst);
+                }
+                return;
+            }
+            Ok(n) => {
+                if !counted_conn {
+                    counted_conn = true;
+                    stats.connections.fetch_add(1, Ordering::SeqCst);
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if buf.is_empty() {
+                    stats.idle_closes.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    // Slowloris: a partial request that stopped making
+                    // progress. Answer and hang up.
+                    stats.timeouts.fetch_add(1, Ordering::SeqCst);
+                    send_response(
+                        stream,
+                        stats,
+                        408,
+                        "Request Timeout",
+                        &[],
+                        b"{\"error\":\"request timeout\"}",
+                        false,
+                    );
+                }
+                return;
+            }
+            Err(_) => {
+                if buf.is_empty() {
+                    stats.idle_closes.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    stats.incomplete.fetch_add(1, Ordering::SeqCst);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Answer one accepted request. Returns whether the connection may
+/// continue (false on write failure).
+fn respond(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Shared,
+    tx: &mpsc::Sender<EngineMsg>,
+    config: &WireConfig,
+) -> bool {
+    let stats = &shared.stats;
+    let keep = request.keep_alive;
+    match (request.method, request.path.as_str()) {
+        (Method::Get, "/healthz") => {
+            let draining = shared.draining.load(Ordering::SeqCst);
+            stats.responded_ok.fetch_add(1, Ordering::SeqCst);
+            let body = format!("{{\"ok\":true,\"draining\":{draining}}}");
+            send_response(stream, stats, 200, "OK", &[], body.as_bytes(), keep)
+        }
+        (Method::Post, "/classify") => classify(stream, request, shared, tx, config),
+        (_, "/healthz") | (_, "/classify") => {
+            stats.responded_error.fetch_add(1, Ordering::SeqCst);
+            send_response(
+                stream,
+                stats,
+                405,
+                "Method Not Allowed",
+                &[],
+                b"{\"error\":\"method not allowed\"}",
+                keep,
+            )
+        }
+        _ => {
+            stats.responded_error.fetch_add(1, Ordering::SeqCst);
+            send_response(
+                stream,
+                stats,
+                404,
+                "Not Found",
+                &[],
+                b"{\"error\":\"not found\"}",
+                keep,
+            )
+        }
+    }
+}
+
+/// The classification path: decode → preprocess → engine round-trip.
+fn classify(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Shared,
+    tx: &mpsc::Sender<EngineMsg>,
+    config: &WireConfig,
+) -> bool {
+    let stats = &shared.stats;
+    let keep = request.keep_alive;
+    let retry = [("Retry-After", "1")];
+    if shared.draining.load(Ordering::SeqCst) {
+        stats.rejected.fetch_add(1, Ordering::SeqCst);
+        return send_response(
+            stream,
+            stats,
+            503,
+            "Service Unavailable",
+            &retry,
+            b"{\"error\":\"draining\"}",
+            keep,
+        );
+    }
+    let img = match decode_auto(&request.body) {
+        Ok(img) => img,
+        Err(e) => {
+            stats.responded_error.fetch_add(1, Ordering::SeqCst);
+            let body = format!("{{\"error\":\"bad image: {e}\"}}");
+            return send_response(
+                stream,
+                stats,
+                422,
+                "Unprocessable Content",
+                &[],
+                body.as_bytes(),
+                keep,
+            );
+        }
+    };
+    // In-flight gate (part of the shared ServingLimits contract).
+    let cap = config.limits.max_in_flight;
+    if cap > 0 {
+        let admitted = shared
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            stats.rejected.fetch_add(1, Ordering::SeqCst);
+            return send_response(
+                stream,
+                stats,
+                503,
+                "Service Unavailable",
+                &retry,
+                b"{\"error\":\"overloaded\"}",
+                keep,
+            );
+        }
+    }
+    let input = preprocess_decoded(&img, config.out_res);
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let outcome = if tx
+        .send(EngineMsg::Submit {
+            id,
+            input,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        WireOutcome::Rejected
+    } else {
+        // The engine guarantees one reply per submit; the timeout is a
+        // last-ditch bound so a broken engine fails requests instead of
+        // hanging connections forever.
+        reply_rx
+            .recv_timeout(Duration::from_secs(30))
+            .unwrap_or(WireOutcome::Failed)
+    };
+    if cap > 0 {
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+    match outcome {
+        WireOutcome::Done { class, batch } => {
+            stats.responded_ok.fetch_add(1, Ordering::SeqCst);
+            let body = format!("{{\"class\":{class},\"batch\":{batch}}}");
+            send_response(stream, stats, 200, "OK", &[], body.as_bytes(), keep)
+        }
+        WireOutcome::Rejected => {
+            stats.rejected.fetch_add(1, Ordering::SeqCst);
+            send_response(
+                stream,
+                stats,
+                503,
+                "Service Unavailable",
+                &retry,
+                b"{\"error\":\"queue full\"}",
+                keep,
+            )
+        }
+        WireOutcome::Shed => {
+            stats.shed.fetch_add(1, Ordering::SeqCst);
+            send_response(
+                stream,
+                stats,
+                503,
+                "Service Unavailable",
+                &retry,
+                b"{\"error\":\"shed\"}",
+                keep,
+            )
+        }
+        WireOutcome::Failed => {
+            stats.responded_error.fetch_add(1, Ordering::SeqCst);
+            send_response(
+                stream,
+                stats,
+                500,
+                "Internal Server Error",
+                &[],
+                b"{\"error\":\"internal fault\"}",
+                keep,
+            )
+        }
+    }
+}
+
+/// Write one response; a failed write closes the connection but never
+/// un-counts the outcome (the ledger tracks what the server resolved, not
+/// what the peer managed to read).
+fn send_response(
+    stream: &mut TcpStream,
+    stats: &WireStats,
+    status: u16,
+    reason: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> bool {
+    let mut out = Vec::with_capacity(128 + body.len());
+    write_response(&mut out, status, reason, extra, body, keep_alive);
+    match stream.write_all(&out).and_then(|()| stream.flush()) {
+        Ok(()) => true,
+        Err(_) => {
+            stats.write_failures.fetch_add(1, Ordering::SeqCst);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::parse_response;
+    use harvest_imaging::{ajpg_encode, AjpgOptions, RgbImage};
+
+    fn post_classify(addr: SocketAddr, body: &[u8]) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut req = format!(
+            "POST /classify HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        req.extend_from_slice(body);
+        stream.write_all(&req).expect("send");
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).expect("recv");
+        let (status, consumed) = parse_response(&resp, &HttpLimits::default())
+            .expect("well-formed response")
+            .expect("complete response");
+        let head_end = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+        let body = String::from_utf8_lossy(&resp[head_end + 4..consumed]).into_owned();
+        (status, body)
+    }
+
+    fn sample_image() -> Vec<u8> {
+        let img = RgbImage::checkerboard(24, 24, 4);
+        ajpg_encode(&img, &AjpgOptions::default())
+    }
+
+    #[test]
+    fn serves_health_classify_and_errors_then_drains_clean() {
+        let server = WireServer::start(WireConfig {
+            accept_threads: 2,
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+
+        // Health check.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("send");
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).expect("recv");
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("\"draining\":false"), "{text}");
+
+        // A real classification.
+        let (status, body) = post_classify(addr, &sample_image());
+        assert_eq!(status, 200, "{body}");
+        assert!(body.starts_with("{\"class\":"), "{body}");
+
+        // Garbage body: typed 422, not a closed socket.
+        let (status, body) = post_classify(addr, b"not an image at all");
+        assert_eq!(status, 422, "{body}");
+
+        // Unknown path and wrong method.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("send");
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).expect("recv");
+        assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 404"));
+
+        let report = server.shutdown();
+        assert_eq!(report.threads_joined, 2 + 1, "accept loops + engine");
+        assert!(report.stats.conserved(), "{:?}", report.stats);
+        assert_eq!(report.stats.responded_ok, 2, "healthz + classify");
+        assert_eq!(report.stats.responded_error, 2, "422 + 404");
+    }
+
+    #[test]
+    fn malformed_bytes_get_typed_statuses_and_stay_out_of_the_ledger() {
+        let server = WireServer::start(WireConfig {
+            accept_threads: 1,
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+        for (raw, expect) in [
+            (&b"GARBAGE\r\n\r\n"[..], "HTTP/1.1 400"),
+            (&b"DELETE / HTTP/1.1\r\n\r\n"[..], "HTTP/1.1 501"),
+            (
+                &b"POST /classify HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+                "HTTP/1.1 501",
+            ),
+        ] {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(raw).expect("send");
+            let mut resp = Vec::new();
+            stream.read_to_end(&mut resp).expect("recv");
+            let text = String::from_utf8_lossy(&resp);
+            assert!(text.starts_with(expect), "{raw:?} -> {text}");
+        }
+        // Oversize declared body is refused before any body bytes arrive.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let huge = format!(
+            "POST /classify HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            ServingLimits::default().max_body_bytes + 1
+        );
+        stream.write_all(huge.as_bytes()).expect("send");
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).expect("recv");
+        assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 413"));
+
+        let report = server.shutdown();
+        assert_eq!(report.stats.accepted, 0, "nothing well-formed arrived");
+        assert_eq!(report.stats.bad_requests, 4);
+        assert!(report.stats.conserved());
+    }
+
+    #[test]
+    fn keep_alive_pipelining_answers_every_request_in_order() {
+        let server = WireServer::start(WireConfig {
+            accept_threads: 1,
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+        let img = sample_image();
+        let mut wire = Vec::new();
+        for _ in 0..3 {
+            wire.extend_from_slice(
+                format!(
+                    "POST /classify HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    img.len()
+                )
+                .as_bytes(),
+            );
+            wire.extend_from_slice(&img);
+        }
+        wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&wire).expect("send");
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).expect("recv");
+        let limits = HttpLimits::default();
+        let mut statuses = Vec::new();
+        let mut rest = &resp[..];
+        while !rest.is_empty() {
+            let (status, consumed) = parse_response(rest, &limits)
+                .expect("well-formed")
+                .expect("complete");
+            statuses.push(status);
+            rest = &rest[consumed..];
+        }
+        assert_eq!(statuses, vec![200, 200, 200, 200]);
+        let report = server.shutdown();
+        assert_eq!(report.stats.accepted, 4);
+        assert_eq!(report.stats.connections, 1, "one pipelined connection");
+        assert!(report.stats.conserved());
+    }
+
+    #[test]
+    fn slow_partial_requests_get_408_idle_connections_close_quietly() {
+        let server = WireServer::start(WireConfig {
+            accept_threads: 1,
+            read_timeout_ms: 60,
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+        // Slowloris: a partial head, then silence.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"POST /classify HTT").expect("send");
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).expect("recv");
+        assert!(
+            String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 408"),
+            "{}",
+            String::from_utf8_lossy(&resp)
+        );
+        // Idle: connect, say nothing; the server hangs up without a fuss.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).expect("recv");
+        assert!(resp.is_empty());
+        let report = server.shutdown();
+        assert_eq!(report.stats.timeouts, 1);
+        assert!(report.stats.idle_closes >= 1);
+        assert_eq!(report.stats.accepted, 0);
+        assert!(report.stats.conserved());
+    }
+}

@@ -1,0 +1,232 @@
+//! Fuzz suite for the wire front-end's HTTP/1.1 parser (satellite of the
+//! hardened-wire PR): arbitrary bytes must yield `Ok` or a typed `Err`,
+//! never a panic, and a `Complete` parse must never claim bytes past the
+//! buffer nor a body that disagrees with the declared `Content-Length`.
+//!
+//! Three attack families are covered exhaustively (every prefix length,
+//! every byte position × a mask set) over a corpus of realistic requests,
+//! then proptest closes the gaps with random byte soup, random truncation,
+//! and random splices for both `parse_request` and `parse_response`.
+
+use harvest_net::{parse_request, parse_response, write_response, HttpLimits, ParseError, Parsed};
+use proptest::prelude::*;
+
+fn limits() -> HttpLimits {
+    HttpLimits::default()
+}
+
+/// Realistic requests the server actually sees, plus keep-alive variants.
+fn corpus() -> Vec<Vec<u8>> {
+    let mut c: Vec<Vec<u8>> = vec![
+        b"GET /healthz HTTP/1.1\r\nHost: edge\r\n\r\n".to_vec(),
+        b"GET /stats HTTP/1.0\r\n\r\n".to_vec(),
+        b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+        b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n".to_vec(),
+        b"POST /classify HTTP/1.1\r\nContent-Length: 0\r\n\r\n".to_vec(),
+    ];
+    let mut post = b"POST /classify HTTP/1.1\r\nHost: edge\r\nContent-Length: 96\r\n\r\n".to_vec();
+    post.extend((0..96u16).map(|i| (i % 251) as u8));
+    c.push(post);
+    let mut close =
+        b"POST /classify HTTP/1.1\r\nConnection: close\r\nContent-Length: 7\r\n\r\n".to_vec();
+    close.extend_from_slice(b"payload");
+    c.push(close);
+    c
+}
+
+/// The invariants any parse result must satisfy, regardless of input.
+fn check_request_invariants(buf: &[u8]) {
+    match parse_request(buf, &limits()) {
+        Ok(Parsed::NeedMore) | Err(_) => {}
+        Ok(Parsed::Complete { request, consumed }) => {
+            assert!(
+                consumed <= buf.len(),
+                "consumed {consumed} > buffered {}",
+                buf.len()
+            );
+            assert!(
+                request.body.len() <= consumed,
+                "body cannot exceed the bytes consumed"
+            );
+            assert!(
+                request.body.len() <= limits().max_body_bytes,
+                "body cap must hold on every accepted request"
+            );
+            // The body is exactly the tail of what was consumed.
+            assert_eq!(
+                &buf[consumed - request.body.len()..consumed],
+                &request.body[..],
+                "body bytes are lifted verbatim from the buffer"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_prefix_of_every_corpus_request_is_needmore_or_complete() {
+    for (i, req) in corpus().iter().enumerate() {
+        for cut in 0..req.len() {
+            match parse_request(&req[..cut], &limits()) {
+                Ok(Parsed::NeedMore) => {}
+                Ok(Parsed::Complete { consumed, .. }) => {
+                    // Only a zero-body request completing exactly at its end.
+                    assert_eq!(consumed, cut, "corpus {i} cut {cut}");
+                }
+                Err(e) => panic!("corpus {i} cut {cut}: prefix of valid request errored: {e}"),
+            }
+        }
+        let Ok(Parsed::Complete { consumed, .. }) = parse_request(req, &limits()) else {
+            panic!("corpus {i}: full request must parse");
+        };
+        assert_eq!(consumed, req.len(), "corpus {i}: exact framing");
+    }
+}
+
+#[test]
+fn every_single_bit_flip_parses_or_rejects_without_panic() {
+    let masks = [0x01u8, 0x20, 0x80, 0xff];
+    for (i, req) in corpus().iter().enumerate() {
+        for pos in 0..req.len() {
+            for &mask in &masks {
+                let mut bytes = req.clone();
+                bytes[pos] ^= mask;
+                // Whole-buffer parse, plus every prefix of the damaged
+                // request (a flip can move the head terminator).
+                check_request_invariants(&bytes);
+                for cut in [pos, pos + 1, bytes.len() - 1] {
+                    check_request_invariants(&bytes[..cut.min(bytes.len())]);
+                }
+                let _ = (i, pos);
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_content_lengths_get_typed_errors() {
+    let cases: Vec<(&[u8], ParseError)> = vec![
+        (
+            b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+            ParseError::BadContentLength,
+        ),
+        (
+            b"POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\n",
+            ParseError::BadContentLength,
+        ),
+        (
+            b"POST / HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n",
+            ParseError::BadContentLength,
+        ),
+        (
+            b"POST / HTTP/1.1\r\nContent-Length: 18446744073709551616\r\n\r\n",
+            ParseError::BadContentLength,
+        ),
+        (
+            b"POST / HTTP/1.1\r\nContent-Length: 1 2\r\n\r\n",
+            ParseError::BadContentLength,
+        ),
+        (
+            b"POST / HTTP/1.1\r\nContent-Length:\r\n\r\n",
+            ParseError::BadContentLength,
+        ),
+    ];
+    for (bytes, want) in cases {
+        let got = parse_request(bytes, &limits()).expect_err("must reject");
+        assert_eq!(got, want, "{:?}", String::from_utf8_lossy(bytes));
+        // Every typed error carries a serveable status.
+        let (status, reason) = got.status();
+        assert!((400..600).contains(&status));
+        assert!(!reason.is_empty());
+    }
+}
+
+#[test]
+fn garbled_header_blocks_never_panic() {
+    // Structured nastiness the random soup is unlikely to hit: bare CR,
+    // bare LF, colon torture, whitespace-only names, embedded NULs.
+    let heads: Vec<Vec<u8>> = vec![
+        b"GET / HTTP/1.1\r\n:\r\n\r\n".to_vec(),
+        b"GET / HTTP/1.1\r\n: value\r\n\r\n".to_vec(),
+        b"GET / HTTP/1.1\r\nname :v\r\n\r\n".to_vec(),
+        b"GET / HTTP/1.1\r\nna\x00me: v\r\n\r\n".to_vec(),
+        b"GET / HTTP/1.1\nHost: x\n\n".to_vec(),
+        b"GET / HTTP/1.1\r\rHost: x\r\n\r\n".to_vec(),
+        b"GET / HTTP/1.1\r\nA: b\r\nA: c\r\n\r\n".to_vec(),
+        b"GET  /  HTTP/1.1\r\n\r\n".to_vec(),
+        b"\r\n\r\n".to_vec(),
+        b"\x00\x00\x00\x00\r\n\r\n".to_vec(),
+    ];
+    for head in &heads {
+        check_request_invariants(head);
+        for cut in 0..head.len() {
+            check_request_invariants(&head[..cut]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn random_byte_soup_never_panics_request(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600)
+    ) {
+        check_request_invariants(&bytes);
+    }
+
+    #[test]
+    fn random_byte_soup_never_panics_response(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600)
+    ) {
+        match parse_response(&bytes, &limits()) {
+            Ok(None) | Err(_) => {}
+            Ok(Some((_, consumed))) => {
+                prop_assert!(consumed <= bytes.len(), "response over-read");
+            }
+        }
+    }
+
+    #[test]
+    fn random_truncation_of_valid_requests_is_monotone(
+        (idx, cut_frac) in (0usize..7, 0.0f64..1.0)
+    ) {
+        let reqs = corpus();
+        let req = &reqs[idx % reqs.len()];
+        let cut = ((req.len() as f64) * cut_frac) as usize;
+        match parse_request(&req[..cut.min(req.len())], &limits()) {
+            Ok(_) => {}
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "truncated valid request errored at {cut}: {e}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn random_splices_of_two_requests_keep_framing_sane(
+        (a, b, cut) in (0usize..7, 0usize..7, 0usize..200)
+    ) {
+        // Tail of one request glued to the head of another: the parser
+        // must either reject, wait, or frame a request entirely inside
+        // the buffer — pipelined leftovers are the next parse's problem.
+        let reqs = corpus();
+        let (ra, rb) = (&reqs[a % reqs.len()], &reqs[b % reqs.len()]);
+        let mut spliced = ra[..cut.min(ra.len())].to_vec();
+        spliced.extend_from_slice(rb);
+        check_request_invariants(&spliced);
+    }
+
+    #[test]
+    fn responses_roundtrip_and_any_prefix_waits(
+        (status, body) in (100u16..600, proptest::collection::vec(any::<u8>(), 0..128))
+    ) {
+        let mut out = Vec::new();
+        write_response(&mut out, status, "Reason", &[], &body, false);
+        let parsed = parse_response(&out, &limits());
+        prop_assert_eq!(parsed, Ok(Some((status, out.len()))));
+        // Cut at a pseudo-random but deterministic spot.
+        let cut = (body.len() * 7 + status as usize * 3) % out.len();
+        prop_assert_eq!(parse_response(&out[..cut], &limits()), Ok(None));
+    }
+}

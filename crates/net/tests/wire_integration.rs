@@ -1,0 +1,239 @@
+//! Live-socket integration tests for the wire front-end: graceful drain
+//! under sustained load, rerun determinism of chaos runs, and conservation
+//! under overload. Every test boots a real `WireServer` on a loopback
+//! port, talks real HTTP over real TCP, and shuts the server down,
+//! asserting no accept or engine thread leaks (`threads_joined` accounts
+//! for every spawned thread).
+
+use harvest_imaging::{ajpg_encode, AjpgOptions, RgbImage};
+use harvest_net::{parse_response, run_loadgen, HttpLimits, LoadgenConfig, WireConfig, WireServer};
+use harvest_serving::ServingLimits;
+use harvest_simkit::SocketFaultPlan;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small decodable test image, deterministic per `salt`.
+fn image_body(salt: u64) -> Vec<u8> {
+    let side = 16;
+    let mut img = RgbImage::new(side, side);
+    for y in 0..side {
+        for x in 0..side {
+            let v = ((x * 17 + y * 29) as u64 + salt * 31) % 256;
+            img.put(
+                x,
+                y,
+                [
+                    v as u8,
+                    (v as u8).wrapping_add(85),
+                    (v as u8).wrapping_add(170),
+                ],
+            );
+        }
+    }
+    ajpg_encode(&img, &AjpgOptions::default())
+}
+
+/// One connection, one classify POST, first response status.
+fn classify_once(addr: std::net::SocketAddr, body: &[u8]) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut req = format!(
+        "POST /classify HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    stream.write_all(&req).expect("send");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((status, _)) = parse_response(&buf, &HttpLimits::default()).expect("response") {
+            return status;
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "connection closed before a complete response");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+#[test]
+fn drain_flips_requests_to_503_and_shutdown_joins_every_thread() {
+    let server = WireServer::start(WireConfig {
+        accept_threads: 2,
+        ..WireConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+    let body = image_body(1);
+
+    // Phase 1: before the drain every valid request classifies.
+    for _ in 0..4 {
+        assert_eq!(classify_once(addr, &body), 200);
+    }
+    server.begin_drain();
+    // Phase 2: after the drain every request draws an explicit 503 —
+    // never a dropped connection, never silence.
+    for _ in 0..4 {
+        assert_eq!(classify_once(addr, &body), 503);
+    }
+
+    let report = server.shutdown();
+    assert_eq!(
+        report.threads_joined, 3,
+        "2 accept loops + 1 engine thread, no leaks"
+    );
+    assert!(report.stats.conserved(), "ledger: {:?}", report.stats);
+    assert_eq!(report.stats.accepted, 8);
+    assert_eq!(report.stats.responded_ok, 4);
+    assert_eq!(report.stats.rejected, 4);
+    assert_eq!(report.stats.shed, 0);
+    assert_eq!(report.stats.responded_error, 0);
+}
+
+#[test]
+fn drain_mid_burst_answers_every_request_exactly_once() {
+    let server = WireServer::start(WireConfig {
+        accept_threads: 3,
+        ..WireConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+    let draining = Arc::new(AtomicBool::new(false));
+
+    // Sustained load: 4 client threads, 10 sequential requests each,
+    // with the drain flipped partway through the burst.
+    let workers: Vec<_> = (0..4u64)
+        .map(|w| {
+            let draining = Arc::clone(&draining);
+            std::thread::spawn(move || {
+                let body = image_body(w);
+                let mut statuses = Vec::new();
+                for i in 0..10 {
+                    let drain_was_on = draining.load(Ordering::SeqCst);
+                    let status = classify_once(addr, &body);
+                    statuses.push((status, drain_was_on));
+                    let _ = i;
+                    std::thread::sleep(Duration::from_millis(4));
+                }
+                statuses
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(60));
+    server.begin_drain();
+    draining.store(true, Ordering::SeqCst);
+
+    let mut all: Vec<(u16, bool)> = Vec::new();
+    for w in workers {
+        all.extend(w.join().expect("client thread"));
+    }
+    assert_eq!(all.len(), 40, "every request produced exactly one response");
+    for &(status, drain_was_on) in &all {
+        assert!(
+            status == 200 || status == 503,
+            "only success or explicit rejection, got {status}"
+        );
+        if drain_was_on {
+            // A request issued after the drain flag was visibly set can
+            // never classify: the server rejects before admission.
+            assert_eq!(status, 503, "post-drain request must be rejected");
+        }
+    }
+    let ok = all.iter().filter(|&&(s, _)| s == 200).count() as u64;
+    let rejected = all.iter().filter(|&&(s, _)| s == 503).count() as u64;
+    assert!(ok > 0, "some requests must land before the drain");
+    assert!(rejected > 0, "some requests must hit the drain");
+
+    let report = server.shutdown();
+    assert_eq!(report.threads_joined, 4, "3 accept loops + 1 engine");
+    assert!(report.stats.conserved(), "ledger: {:?}", report.stats);
+    assert_eq!(report.stats.accepted, 40);
+    assert_eq!(report.stats.responded_ok, ok);
+    assert_eq!(report.stats.rejected + report.stats.shed, rejected);
+}
+
+#[test]
+fn chaos_runs_replay_to_the_same_fingerprint_on_fresh_servers() {
+    let plan = SocketFaultPlan::new(4242)
+        .with_resets(0.1)
+        .with_truncations(0.1)
+        .with_garbling(0.1)
+        .with_stalls(0.05, 350)
+        .with_short_chunks();
+    let config = LoadgenConfig {
+        requests: 32,
+        client_threads: 8,
+        plan,
+        ..LoadgenConfig::default()
+    };
+
+    let mut fingerprints = Vec::new();
+    let mut snapshots = Vec::new();
+    for _ in 0..2 {
+        let server = WireServer::start(WireConfig::default()).expect("start");
+        let report = run_loadgen(server.addr(), &config);
+        let drain = server.shutdown();
+        assert!(report.conserved(), "client ledger must conserve");
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.dup, 0);
+        assert_eq!(report.client_errors, 0);
+        assert!(drain.stats.conserved(), "server ledger: {:?}", drain.stats);
+        assert_eq!(drain.threads_joined, 5);
+        fingerprints.push(report.fingerprint);
+        snapshots.push(drain.stats);
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "same seed, fresh server → identical outcome fingerprint"
+    );
+    assert_eq!(
+        snapshots[0], snapshots[1],
+        "server-side ledger replays exactly too"
+    );
+}
+
+#[test]
+fn overload_with_drop_oldest_sheds_but_conserves() {
+    // A queue of 2 with a long delay trigger and a big burst: the batcher
+    // must shed, and every shed request must still draw its 503.
+    let server = WireServer::start(WireConfig {
+        accept_threads: 4,
+        preferred_batch: 8,
+        max_queue_delay_ms: 40,
+        drop_oldest: true,
+        limits: ServingLimits {
+            max_queue: 2,
+            ..ServingLimits::default()
+        },
+        ..WireConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    let workers: Vec<_> = (0..16u64)
+        .map(|w| std::thread::spawn(move || classify_once(addr, &image_body(w))))
+        .collect();
+    let statuses: Vec<u16> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client"))
+        .collect();
+    assert_eq!(statuses.len(), 16);
+    for &s in &statuses {
+        assert!(s == 200 || s == 503, "got {s}");
+    }
+
+    let report = server.shutdown();
+    assert!(report.stats.conserved(), "ledger: {:?}", report.stats);
+    assert_eq!(report.stats.accepted, 16);
+    assert_eq!(
+        report.stats.responded_ok + report.stats.rejected + report.stats.shed,
+        16,
+        "every accepted request is accounted: {:?}",
+        report.stats
+    );
+}

@@ -38,6 +38,25 @@ impl RealPreprocResult {
     }
 }
 
+/// Model transform for an already-decoded image: CHW float → resize to
+/// `out_res` → ImageNet normalization → `[3, out_res, out_res]` tensor.
+///
+/// This is the wire-serving entry point: a request body has already been
+/// decoded (and its format sniffed) by the frontend, and no dataset stage
+/// applies to traffic of unknown provenance. Bit-identical to the
+/// resize+normalize stages of [`run_real`] for the same pixels.
+pub fn preprocess_decoded(img: &RgbImage, out_res: usize) -> Tensor {
+    let mut chw = hwc_u8_to_chw(img.data(), img.height(), img.width(), 3);
+    let (mut h, mut w) = (img.height(), img.width());
+    if (h, w) != (out_res, out_res) {
+        chw = resize_bilinear(&chw, 3, h, w, out_res, out_res);
+        h = out_res;
+        w = out_res;
+    }
+    normalize_chw(&mut chw, 3, &NORM_MEAN, &NORM_STD);
+    Tensor::from_vec(&[3, h, w], chw)
+}
+
 /// Run the full real preprocessing pipeline on one encoded sample.
 pub fn run_real(
     spec: &DatasetSpec,
@@ -128,6 +147,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn preprocess_decoded_matches_run_real_without_dataset_stage() {
+        // Plant Village has no perspective stage, so decoding its sample
+        // and running the decoded-image path must reproduce run_real's
+        // tensor bit for bit.
+        let sampler = Sampler::new(DatasetId::PlantVillage, 13);
+        let sample = sampler.encode(2);
+        let full = run_real(sampler.spec(), &sample, 64).expect("full pipeline");
+        let img = sampler.spec().format.decode(&sample.bytes).expect("decode");
+        let direct = preprocess_decoded(&img, 64);
+        assert_eq!(direct.shape(), &[3, 64, 64]);
+        assert_eq!(direct.data(), full.tensor.data(), "paths must agree");
+        // Identity resolution skips the resize without changing layout.
+        let native = preprocess_decoded(&img, img.height());
+        assert_eq!(native.shape(), &[3, img.height(), img.width()]);
     }
 
     #[test]

@@ -52,7 +52,7 @@ impl std::fmt::Display for BatcherConfigError {
 impl std::error::Error for BatcherConfigError {}
 
 /// Batcher policy knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BatcherConfig {
     /// Dispatch as soon as this many requests are queued.
     pub preferred_batch: u32,
@@ -251,9 +251,14 @@ impl DynamicBatcher {
         if out.admitted && self.config.max_queue != 0 && self.queue.len() >= self.config.max_queue {
             match self.config.shed {
                 ShedPolicy::DropOldest => {
+                    // The loop guard saw a full queue, so pop_front yields a
+                    // victim — but never panic on the admission hot path: an
+                    // unexpectedly empty queue just means there is room.
                     while self.queue.len() >= self.config.max_queue {
-                        let victim = self.queue.pop_front().expect("non-empty full queue");
-                        out.shed.push(victim);
+                        match self.queue.pop_front() {
+                            Some(victim) => out.shed.push(victim),
+                            None => break,
+                        }
                     }
                 }
                 ShedPolicy::RejectNew | ShedPolicy::DeadlineAware { .. } => {

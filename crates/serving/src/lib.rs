@@ -25,6 +25,9 @@
 //! * [`realexec`] — the batcher driving *actual* host inference: dispatched
 //!   batches run through the batched execution engine and completions carry
 //!   real logits.
+//! * [`limits`] — shared serving limits: the body-size / queue / in-flight
+//!   bounds the wire front-end and the queueing layer must agree on, with
+//!   drift-catching validation (single source of truth).
 //! * [`integrity`] — silent-data-corruption defense on the real path:
 //!   deterministic bit-flip injection, a detector ladder (weight checksums,
 //!   activation sentinels, reference cross-check), re-materialize-and-retry
@@ -35,6 +38,7 @@ pub mod batcher;
 pub mod breaker;
 pub mod cluster;
 pub mod integrity;
+pub mod limits;
 pub mod multimodel;
 pub mod overload;
 pub mod realexec;
@@ -52,9 +56,10 @@ pub use integrity::{
     ClusterOutcome, DetectorConfig, IntegrityCluster, IntegrityStats, NodeIntegrity, DETECT_TOL,
     ESCAPE_TOL,
 };
+pub use limits::{LimitsError, ServingLimits};
 pub use multimodel::{HostedModel, LadderConfig, LadderSummary, MultiModelServer};
 pub use overload::{run_online_protected, run_online_protected_faulted, OverloadReport};
-pub use realexec::{Completion, RealBatchServer, Submission};
+pub use realexec::{Completion, RealBatchServer, ServeFault, Submission};
 pub use resilience::{FaultInjection, ResilienceStats, ResilienceSummary, RetryPolicy};
 pub use scenario::{
     run_offline, run_online, run_online_faulted, run_realtime, run_realtime_degraded,

@@ -47,6 +47,47 @@ pub struct Submission {
     pub completed: Vec<Completion>,
 }
 
+/// Internal-state skew detected on the serving hot path.
+///
+/// These are "can't happen" conditions — invariants the batcher/payload
+/// bookkeeping is supposed to make impossible. With a wire attached they
+/// must surface as a 500 for the affected request (and a quarantined
+/// attempt for the integrity path), never as a process panic: one skewed
+/// request must not take down every other connection on the box.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeFault {
+    /// A dispatched batch referenced a queued id whose payload was missing
+    /// from the pending map. The request cannot execute; its id is reported
+    /// so the frontend can answer it with an explicit error.
+    MissingPayload {
+        /// The orphaned request id.
+        id: u64,
+    },
+    /// An integrity-path attempt finished undetected but carried no
+    /// outputs (the detect/emit bookkeeping skewed). The attempt is treated
+    /// as a detection so the retry/quarantine ladder contains it.
+    IntegrityStateSkew {
+        /// The integrity round (batch counter) in which the skew appeared.
+        round: u64,
+    },
+}
+
+impl std::fmt::Display for ServeFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeFault::MissingPayload { id } => {
+                write!(f, "dispatched request {id} had no pending payload")
+            }
+            ServeFault::IntegrityStateSkew { round } => {
+                write!(
+                    f,
+                    "integrity round {round}: undetected attempt without outputs"
+                )
+            }
+        }
+    }
+}
+
 /// A serving frontend that batches real inference requests and executes
 /// dispatched batches on the host engine.
 pub struct RealBatchServer<'g> {
@@ -62,6 +103,8 @@ pub struct RealBatchServer<'g> {
     /// Requests whose batch was quarantined: id + payload, awaiting the
     /// cluster's sibling re-dispatch.
     failed: Vec<(u64, Tensor)>,
+    /// Internal-state skews observed on the hot path (see [`ServeFault`]).
+    faults: Vec<ServeFault>,
 }
 
 impl<'g> RealBatchServer<'g> {
@@ -75,6 +118,7 @@ impl<'g> RealBatchServer<'g> {
             executed_requests: 0,
             integrity: None,
             failed: Vec::new(),
+            faults: Vec::new(),
         })
     }
 
@@ -106,6 +150,20 @@ impl<'g> RealBatchServer<'g> {
     /// payload), for re-dispatch elsewhere.
     pub fn take_failed(&mut self) -> Vec<(u64, Tensor)> {
         std::mem::take(&mut self.failed)
+    }
+
+    /// Drain the internal-state skews observed since the last call. A wire
+    /// frontend maps each to a 500 for the affected request; an empty list
+    /// is the steady state.
+    pub fn take_faults(&mut self) -> Vec<ServeFault> {
+        std::mem::take(&mut self.faults)
+    }
+
+    /// Drop a pending payload, simulating bookkeeping skew between the
+    /// batcher queue and the payload map (test hook for the fault path).
+    #[cfg(test)]
+    fn drop_payload(&mut self, id: u64) {
+        self.pending.remove(&id);
     }
 
     /// The executor backing this server.
@@ -171,11 +229,24 @@ impl<'g> RealBatchServer<'g> {
     }
 
     fn run_batch(&mut self, batch: &[QueuedRequest]) -> Vec<Completion> {
-        let inputs: Vec<Tensor> = batch
-            .iter()
-            .map(|r| self.pending.remove(&r.id).expect("payload for queued id"))
-            .collect();
-        let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+        // Pair each queued id with its payload. A queued id without a
+        // payload is bookkeeping skew ("can't happen"): record a typed
+        // fault for the frontend to answer with a 500 and execute the rest
+        // of the batch — one skewed request must not fail its batchmates.
+        let mut ids: Vec<u64> = Vec::with_capacity(batch.len());
+        let mut inputs: Vec<Tensor> = Vec::with_capacity(batch.len());
+        for r in batch {
+            match self.pending.remove(&r.id) {
+                Some(input) => {
+                    ids.push(r.id);
+                    inputs.push(input);
+                }
+                None => self.faults.push(ServeFault::MissingPayload { id: r.id }),
+            }
+        }
+        if ids.is_empty() {
+            return Vec::new();
+        }
         let outputs = if self.integrity.is_some() {
             match self.run_batch_integrity(&ids, inputs) {
                 Some(outputs) => outputs,
@@ -186,13 +257,12 @@ impl<'g> RealBatchServer<'g> {
             self.exec.forward_batch(&inputs)
         };
         self.executed_batches += 1;
-        self.executed_requests += batch.len() as u64;
-        let batch_size = batch.len();
-        batch
-            .iter()
+        self.executed_requests += ids.len() as u64;
+        let batch_size = ids.len();
+        ids.iter()
             .zip(outputs)
-            .map(|(r, output)| Completion {
-                id: r.id,
+            .map(|(&id, output)| Completion {
+                id,
                 output,
                 batch_size,
             })
@@ -213,7 +283,15 @@ impl<'g> RealBatchServer<'g> {
     /// oracle: bit-identical (`clean`), within tolerance (`masked`), or
     /// materially wrong (`escaped`).
     fn run_batch_integrity(&mut self, ids: &[u64], inputs: Vec<Tensor>) -> Option<Vec<Tensor>> {
-        let intg = self.integrity.as_mut().expect("integrity enabled");
+        let Some(intg) = self.integrity.as_mut() else {
+            // Only reachable if the integrity flag and state drift apart.
+            // Record the skew and serve the batch plainly rather than
+            // panicking or silently dropping it.
+            self.faults.push(ServeFault::IntegrityStateSkew {
+                round: self.executed_batches,
+            });
+            return Some(self.exec.forward_batch(&inputs));
+        };
         if intg.quarantined {
             self.failed
                 .extend(ids.iter().copied().zip(inputs.iter().cloned()));
@@ -255,28 +333,34 @@ impl<'g> RealBatchServer<'g> {
                 }
             }
             if !detected {
-                let outs = outputs.expect("undetected attempt has outputs");
-                if detected_once {
-                    intg.stats.recovered += 1;
-                }
-                // Ground-truth disposition of what we are about to emit.
-                let clean = intg.oracle.forward_batch(&inputs);
-                let mut worst = 0.0f32;
-                let mut bit_identical = true;
-                for (y, c) in outs.iter().zip(&clean) {
-                    if y.data() != c.data() {
-                        bit_identical = false;
-                        worst = worst.max(max_abs_gap(y.data(), c.data()));
+                if let Some(outs) = outputs {
+                    if detected_once {
+                        intg.stats.recovered += 1;
                     }
+                    // Ground-truth disposition of what we are about to emit.
+                    let clean = intg.oracle.forward_batch(&inputs);
+                    let mut worst = 0.0f32;
+                    let mut bit_identical = true;
+                    for (y, c) in outs.iter().zip(&clean) {
+                        if y.data() != c.data() {
+                            bit_identical = false;
+                            worst = worst.max(max_abs_gap(y.data(), c.data()));
+                        }
+                    }
+                    if bit_identical {
+                        intg.stats.clean += 1;
+                    } else if worst > ESCAPE_TOL {
+                        intg.stats.escaped += 1;
+                    } else {
+                        intg.stats.masked += 1;
+                    }
+                    return Some(outs);
                 }
-                if bit_identical {
-                    intg.stats.clean += 1;
-                } else if worst > ESCAPE_TOL {
-                    intg.stats.escaped += 1;
-                } else {
-                    intg.stats.masked += 1;
-                }
-                return Some(outs);
+                // An undetected attempt must carry outputs; the detect/emit
+                // bookkeeping skewed. Surface a typed fault and fall through
+                // to the detection ladder (retry, then quarantine) instead
+                // of panicking.
+                self.faults.push(ServeFault::IntegrityStateSkew { round });
             }
             if attempt == 0 {
                 detected_once = true;
@@ -508,6 +592,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn missing_payload_surfaces_as_typed_fault_not_panic() {
+        let g = tiny_graph();
+        let oracle = Executor::new(&g, 7);
+        let mut server = RealBatchServer::new(
+            Executor::new(&g, 7),
+            BatcherConfig::new(3, SimTime::from_millis(100)),
+        )
+        .expect("valid config");
+        assert!(server.take_faults().is_empty(), "steady state is empty");
+        server.submit(0, input(1), SimTime::ZERO);
+        server.submit(1, input(2), SimTime::ZERO);
+        server.drop_payload(1); // skew the books behind the batcher
+        let out = server.submit(2, input(3), SimTime::ZERO);
+        // The skewed request is reported; its batchmates still complete
+        // with the right logits.
+        let ids: Vec<u64> = out.completed.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert!(out.completed.iter().all(|c| c.batch_size == 2));
+        assert_eq!(out.completed[0].output, oracle.forward(&input(1)));
+        assert_eq!(out.completed[1].output, oracle.forward(&input(3)));
+        assert_eq!(server.executed_requests(), 2);
+        assert_eq!(
+            server.take_faults(),
+            vec![ServeFault::MissingPayload { id: 1 }]
+        );
+        assert!(server.take_faults().is_empty(), "faults drain once");
+    }
+
+    #[test]
+    fn fully_skewed_batch_executes_nothing_and_reports_every_id() {
+        let g = tiny_graph();
+        let mut server = RealBatchServer::new(
+            Executor::new(&g, 7),
+            BatcherConfig::new(4, SimTime::from_millis(1000)),
+        )
+        .expect("valid config");
+        server.submit(0, input(1), SimTime::ZERO);
+        server.submit(1, input(2), SimTime::ZERO);
+        server.drop_payload(0);
+        server.drop_payload(1);
+        let done = server.flush();
+        assert!(done.is_empty());
+        assert_eq!(server.executed_batches(), 0, "nothing to run");
+        assert_eq!(
+            server.take_faults(),
+            vec![
+                ServeFault::MissingPayload { id: 0 },
+                ServeFault::MissingPayload { id: 1 }
+            ]
+        );
     }
 
     // --- integrity state machine ---

@@ -466,6 +466,216 @@ impl FaultPlan {
     }
 }
 
+/// Domain constant for the socket-layer coins, disjoint from the weight/
+/// activation/input corruption families above.
+const SOCKET_DOMAIN: u64 = 0xA076_1D64_78BD_642F;
+
+/// What a chaos transport does to one connection's request stream.
+///
+/// Exactly one fate per connection, drawn from a single partitioned coin:
+/// the fates are mutually exclusive, so their plan-level rates sum directly
+/// and the per-fate connection counts are a pure function of the plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocketFate {
+    /// The request goes through undamaged.
+    Clean,
+    /// The client cuts the connection after writing `after` bytes and never
+    /// reads a response (a mid-request reset).
+    Reset {
+        /// Request-stream offset at which the cut happens.
+        after: usize,
+    },
+    /// The client stops writing after `after` bytes but half-closes
+    /// cleanly and still tries to read (a truncated upload).
+    Truncate {
+        /// Request-stream offset at which writing stops.
+        after: usize,
+    },
+    /// One request byte is XORed with `mask` at offset `pos` in flight.
+    Garble {
+        /// Request-stream offset of the damaged byte.
+        pos: usize,
+        /// Nonzero XOR mask, so the byte always actually changes.
+        mask: u8,
+    },
+    /// The client stops mid-request at offset `at` and goes silent for
+    /// `millis` — the slowloris shape a read deadline must defend against.
+    Stall {
+        /// Request-stream offset at which the client goes quiet.
+        at: usize,
+        /// How long the client stays silent, milliseconds.
+        millis: u64,
+    },
+}
+
+/// Deterministic socket-layer chaos: the [`FaultPlan`] philosophy applied
+/// to a wire. Every decision — which connections are damaged, how, and
+/// where in the byte stream — is a pure hash of `(seed, connection id)`,
+/// never of timing or thread interleaving, so a chaos load run is exactly
+/// as replayable as a clean one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SocketFaultPlan {
+    seed: u64,
+    reset_rate: f64,
+    truncate_rate: f64,
+    garble_rate: f64,
+    stall_rate: f64,
+    stall_millis: u64,
+    short_chunks: bool,
+}
+
+impl SocketFaultPlan {
+    /// A plan that never damages anything.
+    pub fn none() -> Self {
+        SocketFaultPlan::default()
+    }
+
+    /// An empty plan with a seed for the fate coins.
+    pub fn new(seed: u64) -> Self {
+        SocketFaultPlan {
+            seed,
+            ..SocketFaultPlan::default()
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Reset a fraction `rate` of connections mid-request.
+    pub fn with_resets(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "reset rate must be in [0, 1)");
+        self.reset_rate = rate;
+        self.assert_rates();
+        self
+    }
+
+    /// Truncate a fraction `rate` of request streams (clean half-close).
+    pub fn with_truncations(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "truncate rate must be in [0, 1)"
+        );
+        self.truncate_rate = rate;
+        self.assert_rates();
+        self
+    }
+
+    /// Garble one request byte on a fraction `rate` of connections.
+    pub fn with_garbling(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "garble rate must be in [0, 1)");
+        self.garble_rate = rate;
+        self.assert_rates();
+        self
+    }
+
+    /// Stall a fraction `rate` of connections mid-request for `millis`.
+    pub fn with_stalls(mut self, rate: f64, millis: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "stall rate must be in [0, 1)");
+        assert!(millis > 0, "a stall must have positive duration");
+        self.stall_rate = rate;
+        self.stall_millis = millis;
+        self.assert_rates();
+        self
+    }
+
+    /// Deliver reads and writes in deterministically-sized partial chunks,
+    /// exercising short-read/short-write handling on both ends of the wire
+    /// without changing what bytes arrive.
+    pub fn with_short_chunks(mut self) -> Self {
+        self.short_chunks = true;
+        self
+    }
+
+    fn assert_rates(&self) {
+        assert!(
+            self.reset_rate + self.truncate_rate + self.garble_rate + self.stall_rate <= 1.0,
+            "fate rates are mutually exclusive and must sum to at most 1"
+        );
+    }
+
+    /// Does any fault fire with nonzero probability?
+    pub fn is_active(&self) -> bool {
+        self.reset_rate > 0.0
+            || self.truncate_rate > 0.0
+            || self.garble_rate > 0.0
+            || self.stall_rate > 0.0
+            || self.short_chunks
+    }
+
+    /// The fate of connection `conn` whose full request stream is
+    /// `request_len` bytes. One uniform draw, partitioned by the cumulative
+    /// rates, so fates are mutually exclusive; damage offsets come from
+    /// disjoint hash lanes. Pure: independent of call order, thread count,
+    /// and wall clock.
+    pub fn fate(&self, conn: u64, request_len: usize) -> SocketFate {
+        if request_len == 0 {
+            return SocketFate::Clean;
+        }
+        let u = unit(hash3(self.seed ^ SOCKET_DOMAIN, conn, 0));
+        let mut edge = self.reset_rate;
+        if u < edge {
+            return SocketFate::Reset {
+                after: self.cut_offset(conn, request_len),
+            };
+        }
+        edge += self.truncate_rate;
+        if u < edge {
+            return SocketFate::Truncate {
+                after: self.cut_offset(conn, request_len),
+            };
+        }
+        edge += self.garble_rate;
+        if u < edge {
+            let h = hash3(self.seed ^ SOCKET_DOMAIN, conn, 2);
+            return SocketFate::Garble {
+                pos: h as usize % request_len,
+                mask: ((h >> 32) as u8) | 1,
+            };
+        }
+        edge += self.stall_rate;
+        if u < edge {
+            return SocketFate::Stall {
+                at: self.cut_offset(conn, request_len),
+                millis: self.stall_millis,
+            };
+        }
+        SocketFate::Clean
+    }
+
+    /// Where a reset/truncate/stall cuts the stream: always at least one
+    /// byte in (the connection is seen by the server) and always before the
+    /// end (the request never completes).
+    fn cut_offset(&self, conn: u64, request_len: usize) -> usize {
+        let h = hash3(self.seed ^ SOCKET_DOMAIN, conn, 1);
+        1 + h as usize % request_len.max(2).saturating_sub(1)
+    }
+
+    /// Size of the next partial read/write chunk for transfer call `call`
+    /// on connection `conn`, at most `len` (≥ 1). Identity when short
+    /// chunks are disabled.
+    pub fn chunk_len(&self, conn: u64, call: u64, len: usize) -> usize {
+        if !self.short_chunks || len <= 1 {
+            return len;
+        }
+        let h = hash3(
+            self.seed ^ SOCKET_DOMAIN ^ 0x5851_F42D_4C95_7F2D,
+            conn,
+            call,
+        );
+        // 1..=min(len, 512): small enough to fragment every request head,
+        // large enough to keep call counts bounded.
+        1 + h as usize % len.min(512)
+    }
+}
+
+/// Map a hash to a uniform draw in `[0, 1)` (same contract as the other
+/// fault coins).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// SplitMix64-style 3-word hash used for the order-independent fault coins.
 fn hash3(a: u64, b: u64, c: u64) -> u64 {
     let mut z = a
@@ -697,5 +907,115 @@ mod tests {
             }
         }
         assert!(damaged > 50 && damaged < 150, "damaged {damaged}/200");
+    }
+
+    // --- socket fault plan ---
+
+    #[test]
+    fn empty_socket_plan_is_clean_everywhere() {
+        let plan = SocketFaultPlan::none();
+        assert!(!plan.is_active());
+        for conn in 0..100u64 {
+            assert_eq!(plan.fate(conn, 4096), SocketFate::Clean);
+            assert_eq!(plan.chunk_len(conn, 0, 100), 100);
+        }
+    }
+
+    #[test]
+    fn socket_fates_are_pure_and_calibrated() {
+        let plan = SocketFaultPlan::new(42)
+            .with_resets(0.10)
+            .with_truncations(0.10)
+            .with_garbling(0.10)
+            .with_stalls(0.10, 500);
+        assert!(plan.is_active());
+        let mut counts = [0u64; 5];
+        for conn in 0..100_000u64 {
+            let fate = plan.fate(conn, 1000);
+            assert_eq!(fate, plan.fate(conn, 1000), "fate not pure");
+            let k = match fate {
+                SocketFate::Clean => 0,
+                SocketFate::Reset { .. } => 1,
+                SocketFate::Truncate { .. } => 2,
+                SocketFate::Garble { .. } => 3,
+                SocketFate::Stall { .. } => 4,
+            };
+            counts[k] += 1;
+        }
+        assert!((counts[0] as f64 / 1e5 - 0.60).abs() < 0.01, "{counts:?}");
+        for k in 1..5 {
+            assert!((counts[k] as f64 / 1e5 - 0.10).abs() < 0.01, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn socket_damage_offsets_stay_in_bounds() {
+        let plan = SocketFaultPlan::new(9)
+            .with_resets(0.25)
+            .with_truncations(0.25)
+            .with_garbling(0.25)
+            .with_stalls(0.24, 100);
+        for len in [1usize, 2, 3, 64, 4096] {
+            for conn in 0..2000u64 {
+                match plan.fate(conn, len) {
+                    SocketFate::Clean => {}
+                    SocketFate::Reset { after }
+                    | SocketFate::Truncate { after }
+                    | SocketFate::Stall { at: after, .. } => {
+                        assert!(after >= 1, "cut before any byte");
+                        assert!(after < len.max(2), "cut at/past the end: {after}/{len}");
+                    }
+                    SocketFate::Garble { pos, mask } => {
+                        assert!(pos < len);
+                        assert_ne!(mask, 0, "mask must change the byte");
+                    }
+                }
+            }
+        }
+        // Zero-length streams have nothing to damage.
+        assert_eq!(plan.fate(7, 0), SocketFate::Clean);
+    }
+
+    #[test]
+    fn socket_fate_rates_must_not_exceed_one() {
+        let result = std::panic::catch_unwind(|| {
+            SocketFaultPlan::new(1)
+                .with_resets(0.6)
+                .with_truncations(0.5)
+        });
+        assert!(result.is_err(), "rates summing past 1 must be rejected");
+    }
+
+    #[test]
+    fn short_chunks_are_pure_and_positive() {
+        let plan = SocketFaultPlan::new(5).with_short_chunks();
+        assert!(plan.is_active());
+        for conn in 0..50u64 {
+            for call in 0..50u64 {
+                let c = plan.chunk_len(conn, call, 9000);
+                assert!((1..=512).contains(&c));
+                assert_eq!(c, plan.chunk_len(conn, call, 9000), "chunk not pure");
+            }
+        }
+        assert_eq!(plan.chunk_len(0, 0, 1), 1);
+        assert_eq!(plan.chunk_len(0, 0, 0), 0);
+        // Different calls fragment differently (not a constant chunk size).
+        let distinct: std::collections::HashSet<usize> = (0..100u64)
+            .map(|call| plan.chunk_len(3, call, 9000))
+            .collect();
+        assert!(distinct.len() > 10, "chunks barely vary: {distinct:?}");
+    }
+
+    #[test]
+    fn socket_seeds_decorrelate_fates() {
+        let a = SocketFaultPlan::new(1).with_resets(0.5);
+        let b = SocketFaultPlan::new(2).with_resets(0.5);
+        let agree = (0..1000u64)
+            .filter(|&c| {
+                matches!(a.fate(c, 100), SocketFate::Clean)
+                    == matches!(b.fate(c, 100), SocketFate::Clean)
+            })
+            .count();
+        assert!(agree > 300 && agree < 700, "agreement {agree}/1000");
     }
 }

@@ -30,7 +30,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use fault::{FaultPlan, FaultWindow};
+pub use fault::{FaultPlan, FaultWindow, SocketFate, SocketFaultPlan};
 pub use rng::SimRng;
 pub use server::{JobStats, Server};
 pub use stats::{Histogram, Reservoir, Streaming};
