@@ -16,7 +16,11 @@
 #                        loadgen against the live HTTP front-end; schema
 #                        check, drift vs artifacts/wire.json, and a
 #                        byte-identical cross-process rerun
-#   8. simd kernels      clippy + the differential kernel-conformance suite
+#   8. fleet smoke       experiments fleet --smoke: the sharded calendar-
+#                        queue simulator at worker widths 1/2/4/8; schema
+#                        check, drift vs artifacts/fleet.json, and a
+#                        byte-identical cross-process rerun
+#   9. simd kernels      clippy + the differential kernel-conformance suite
 #                        under --features simd, then a SIMD-build bench
 #                        smoke run twice: per-variant fingerprints must be
 #                        byte-identical across reruns, and the committed
@@ -92,7 +96,8 @@ echo "== bench smoke =="
 ./target/release/experiments bench --smoke --json "$smoke_dir"
 for key in kernels models speedup logits_fingerprint rel_err_vs_reference \
     imgs_per_s_batched achieved_gflops peak_live_f32 \
-    host_threads thread_scaling_kernels thread_scaling_models speedup_vs_1; do
+    host_threads thread_scaling_kernels thread_scaling_models speedup_vs_1 \
+    event_core events_per_sec speedup_vs_heap; do
     grep -q "\"$key\"" "$smoke_dir/BENCH.json" \
         || { echo "BENCH.json missing key: $key"; exit 1; }
 done
@@ -130,6 +135,28 @@ cp "$smoke_dir/wire.json" "$smoke_dir/wire.run1.json"
 ./target/release/experiments wire --smoke --json "$smoke_dir"
 diff "$smoke_dir/wire.run1.json" "$smoke_dir/wire.json" \
     || { echo "wire ledger is not deterministic across processes"; exit 1; }
+
+echo "== fleet smoke =="
+# Sharded fleet simulation on the calendar-queue core. The run itself
+# asserts XOR-ledger conservation at every worker width, bit-identical
+# fingerprints across widths 1/2/4/8, and a width-1 replay. Here we gate
+# the artifact schema, drift vs the committed copy, and cross-process
+# determinism by running twice. (The committed fleet_full.json is the
+# million-user sweep — same code path, too slow for this gate.)
+./target/release/experiments fleet --smoke --json "$smoke_dir"
+for key in users regions days lookahead_ms runs shards threads submitted \
+    completed good shed rejected forwarded failures trips goodput p99_ms \
+    mean_ms imbalance busy_wh idle_wh mj_per_image windows messages events \
+    conserved fingerprint region forwarded_out forwarded_in total_wh; do
+    grep -q "\"$key\"" "$smoke_dir/fleet.json" \
+        || { echo "fleet.json missing key: $key"; exit 1; }
+done
+diff artifacts/fleet.json "$smoke_dir/fleet.json" \
+    || { echo "artifacts/fleet.json drifted from the code"; exit 1; }
+cp "$smoke_dir/fleet.json" "$smoke_dir/fleet.run1.json"
+./target/release/experiments fleet --smoke --json "$smoke_dir"
+diff "$smoke_dir/fleet.run1.json" "$smoke_dir/fleet.json" \
+    || { echo "fleet sweep is not deterministic across processes"; exit 1; }
 
 echo "== simd: clippy + kernel conformance =="
 # The same differential suite that gates the scalar build must hold with

@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|integrity|bench|tune|wire|host]...
+//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|integrity|bench|tune|wire|fleet|host]...
 //!             [--json DIR] [--smoke]
 //! ```
 //!
@@ -104,9 +104,112 @@ fn main() {
     if run("wire") {
         wire(&save, smoke);
     }
+    if run("fleet") {
+        fleet(&save, smoke);
+    }
     if run("host") {
         host();
     }
+}
+
+/// Fleet-scale continuum sweep: the multi-day, million-user (full mode)
+/// trace on the sharded conservative-sync simulator, run at worker widths
+/// 1/2/4/8. The runner itself asserts conservation on every run and
+/// fingerprint equality across the sweep plus a replay; everything in the
+/// artifact is simulated-time accounting, so both artifacts are
+/// byte-stable. Smoke writes `fleet.json` (drift-gated in CI); the full
+/// million-user sweep writes `fleet_full.json` (committed for the record,
+/// too slow to regenerate in the CI gate).
+fn fleet(save: &dyn Fn(&str, String), smoke: bool) {
+    println!(
+        "== Extension: fleet-scale sharded simulation (calendar queue + conservative sync) =="
+    );
+    let exp = exp::fleet(smoke);
+    println!(
+        "  fleet: {} users, {} regions, {} days, lookahead {} ms",
+        exp.users, exp.regions, exp.days, exp.lookahead_ms
+    );
+    if !smoke {
+        let rtab: Vec<Vec<String>> = exp
+            .runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.threads.to_string(),
+                    r.submitted.to_string(),
+                    r.completed.to_string(),
+                    format!("{:.4}", r.goodput),
+                    format!("{:.1}", r.p99_ms),
+                    r.shed.to_string(),
+                    r.rejected.to_string(),
+                    r.forwarded.to_string(),
+                    r.trips.to_string(),
+                    format!("{:.2}", r.imbalance),
+                    format!("{:.1}", r.busy_wh + r.idle_wh),
+                    format!("{:.2}", r.mj_per_image),
+                    r.fingerprint.clone(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(
+                &[
+                    "Threads",
+                    "Submitted",
+                    "Completed",
+                    "Goodput",
+                    "p99 ms",
+                    "Shed",
+                    "Rejected",
+                    "Forwarded",
+                    "Trips",
+                    "Imbalance",
+                    "Wh",
+                    "mJ/img",
+                    "Fingerprint",
+                ],
+                &rtab
+            )
+        );
+        let stab: Vec<Vec<String>> = exp
+            .shards
+            .iter()
+            .map(|s| {
+                vec![
+                    s.region.to_string(),
+                    s.submitted.to_string(),
+                    s.completed.to_string(),
+                    s.forwarded_out.to_string(),
+                    s.forwarded_in.to_string(),
+                    s.failures.to_string(),
+                    format!("{:.1}", s.p99_ms),
+                    format!("{:.1}", s.total_wh),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(
+                &[
+                    "Region",
+                    "Submitted",
+                    "Completed",
+                    "Fwd out",
+                    "Fwd in",
+                    "Failures",
+                    "p99 ms",
+                    "Wh",
+                ],
+                &stab
+            )
+        );
+    }
+    println!(
+        "  self-check: conservation at every width, fingerprints identical at 1/2/4/8 workers + replay — all OK"
+    );
+    let name = if smoke { "fleet" } else { "fleet_full" };
+    save(name, serde_json::to_string_pretty(&exp).unwrap());
 }
 
 /// The wire front-end under load: clean serving, seeded socket chaos, and
@@ -353,6 +456,26 @@ fn bench(save: &dyn Fn(&str, String), smoke: bool) {
                     "Fingerprint",
                 ],
                 &mtab
+            )
+        );
+        let etab: Vec<Vec<String>> = report
+            .event_core
+            .iter()
+            .map(|e| {
+                vec![
+                    e.engine.clone(),
+                    e.pending.to_string(),
+                    format!("{:.1}", e.ms),
+                    pretty(e.events_per_sec, 0),
+                    format!("{:.1}x", e.speedup_vs_heap),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(
+                &["Event engine", "Pending", "ms", "events/s", "vs heap"],
+                &etab
             )
         );
     }

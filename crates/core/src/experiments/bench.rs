@@ -134,6 +134,27 @@ pub struct BenchThreadModel {
     pub logits_fingerprint: String,
 }
 
+/// One event-core hold-model row: the simulator's pending-event queue
+/// timed at a steady-state population (classic hold benchmark: pop the
+/// earliest event, reschedule it a random delay ahead, repeat).
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchEventCore {
+    /// Queue engine: `heap` (the seed's `BinaryHeap` oracle) or
+    /// `calendar` (the ladder/calendar queue that replaced it).
+    pub engine: String,
+    /// Steady-state pending-event population.
+    pub pending: u64,
+    /// Hold operations timed (one pop + one push each).
+    pub ops: u64,
+    /// Best wall time for the whole hold run, milliseconds.
+    pub ms: f64,
+    /// Hold operations per second (the events/sec figure of merit).
+    pub events_per_sec: f64,
+    /// Throughput relative to the `heap` engine at the same population
+    /// (1.0 on heap rows).
+    pub speedup_vs_heap: f64,
+}
+
 /// The measured-execution report (`BENCH.json`).
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchReport {
@@ -150,6 +171,9 @@ pub struct BenchReport {
     pub thread_scaling_kernels: Vec<BenchThreadKernel>,
     /// Model-forward thread-scaling sweep.
     pub thread_scaling_models: Vec<BenchThreadModel>,
+    /// Event-core hold benchmark: heap vs calendar queue at several
+    /// pending-event populations.
+    pub event_core: Vec<BenchEventCore>,
 }
 
 /// FNV-1a 64 step over one f32 slice's bit patterns.
@@ -805,6 +829,7 @@ pub fn bench(smoke: bool) -> BenchReport {
         );
     }
     let (thread_scaling_kernels, thread_scaling_models) = bench_thread_scaling(smoke);
+    let event_core = bench_event_core(smoke);
     BenchReport {
         smoke,
         host_threads: harvest_threads::hardware_threads(),
@@ -812,7 +837,110 @@ pub fn bench(smoke: bool) -> BenchReport {
         models,
         thread_scaling_kernels,
         thread_scaling_models,
+        event_core,
     }
+}
+
+/// Hold-model benchmark of the simulator's event core: the seed's
+/// `BinaryHeap` ordering vs the calendar queue that replaced it, at
+/// several steady-state populations. Each engine consumes the identical
+/// deterministic delay stream, so the rows compare data structures, not
+/// workloads. Ops scale with the population (4 full queue turnovers) so
+/// the calendar's amortized rung respawns are charged at their steady-state
+/// rate rather than being dominated by the initial fill. In the full
+/// configuration the largest population is 2M pending events — the
+/// fleet-scale regime (>= 1M) the calendar queue exists for, where the
+/// heap's pointer-chased sift has fallen out of cache — and that row
+/// asserts the >= 10x replacement floor.
+fn bench_event_core(smoke: bool) -> Vec<BenchEventCore> {
+    use harvest_simkit::{CalendarQueue, SimRng};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let populations: &[u64] = if smoke {
+        &[1_000, 10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000, 2_000_000]
+    };
+    let reps = 2;
+    // Delays spread events across ~1 simulated second so the calendar
+    // rungs see a realistic mixed density, not a degenerate spike.
+    let max_delay_ns: u64 = 1_000_000_000;
+
+    let mut rows = Vec::new();
+    for &pending in populations {
+        let ops = if smoke {
+            20_000
+        } else {
+            (4 * pending).max(500_000)
+        };
+
+        let mut heap_best = f64::INFINITY;
+        let mut calendar_best = f64::INFINITY;
+        for _ in 0..reps {
+            // Seed's engine: BinaryHeap over Reverse<(time, seq)>.
+            let mut rng = SimRng::new(0xe7e1);
+            let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            for _ in 0..pending {
+                heap.push(Reverse((rng.below(max_delay_ns), seq)));
+                seq += 1;
+            }
+            let start = Instant::now();
+            for _ in 0..ops {
+                let Reverse((t, _)) = heap.pop().expect("population never drains");
+                heap.push(Reverse((t + 1 + rng.below(max_delay_ns), seq)));
+                seq += 1;
+            }
+            heap_best = heap_best.min(start.elapsed().as_secs_f64());
+            std::hint::black_box(&heap);
+
+            // Replacement engine: the calendar queue (internal FIFO seq).
+            let mut rng = SimRng::new(0xe7e1);
+            let mut cal: CalendarQueue<()> = CalendarQueue::new();
+            for _ in 0..pending {
+                cal.push(rng.below(max_delay_ns), ());
+            }
+            let start = Instant::now();
+            for _ in 0..ops {
+                let (t, ()) = cal.pop().expect("population never drains");
+                cal.push(t + 1 + rng.below(max_delay_ns), ());
+            }
+            calendar_best = calendar_best.min(start.elapsed().as_secs_f64());
+            std::hint::black_box(&cal);
+        }
+
+        let heap_eps = ops as f64 / heap_best;
+        let calendar_eps = ops as f64 / calendar_best;
+        rows.push(BenchEventCore {
+            engine: "heap".to_string(),
+            pending,
+            ops,
+            ms: heap_best * 1e3,
+            events_per_sec: heap_eps,
+            speedup_vs_heap: 1.0,
+        });
+        rows.push(BenchEventCore {
+            engine: "calendar".to_string(),
+            pending,
+            ops,
+            ms: calendar_best * 1e3,
+            events_per_sec: calendar_eps,
+            speedup_vs_heap: calendar_eps / heap_eps,
+        });
+    }
+    if !smoke {
+        let flagship = rows
+            .iter()
+            .find(|r| r.engine == "calendar" && r.pending == 2_000_000)
+            .expect("2M calendar row present");
+        assert!(
+            flagship.speedup_vs_heap >= 10.0,
+            "calendar queue at 2M pending is only {:.1}x the heap (floor 10x)",
+            flagship.speedup_vs_heap
+        );
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -843,6 +971,12 @@ mod tests {
             assert_eq!(m.logits_fingerprint.len(), 16);
             assert!(m.peak_live_f32 > 0);
             assert!(m.imgs_per_s_batched > 0.0);
+        }
+        // Event-core hold rows: two engines at two smoke populations.
+        assert_eq!(report.event_core.len(), 4);
+        for row in &report.event_core {
+            assert!(row.ms > 0.0 && row.events_per_sec > 0.0);
+            assert!(row.speedup_vs_heap > 0.0);
         }
         // Thread-scaling sweep: 3 kernels and 1 model, at widths {1, 2}.
         assert_eq!(report.thread_scaling_kernels.len(), 6);
@@ -910,6 +1044,9 @@ mod tests {
             "\"thread_scaling_kernels\"",
             "\"thread_scaling_models\"",
             "\"speedup_vs_1\"",
+            "\"event_core\"",
+            "\"events_per_sec\"",
+            "\"speedup_vs_heap\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

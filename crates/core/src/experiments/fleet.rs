@@ -1,0 +1,254 @@
+//! Fleet-scale continuum sweep: the million-user, multi-day trace the
+//! calendar queue + sharded conservative-sync engine exist for.
+//!
+//! The full configuration replays a 2-day diurnal trace from 1,000,003
+//! users across 16 region clusters (each a Jetson/V100/A100 continuum
+//! slice), with a harvest surge on day 1, drone-survey bursts, PR-1
+//! periodic engine-crash windows and PR-2 per-node circuit breakers, and
+//! cross-region WAN failover. The smoke configuration shrinks the fleet so
+//! CI can regenerate and drift-gate the artifact in seconds.
+//!
+//! Everything reported is simulated-time accounting, so the artifact is
+//! bit-reproducible: the runner executes the identical scenario at worker
+//! widths 1/2/4/8, asserts the [`FleetReport`] fingerprints match across
+//! the sweep, reruns the first width to prove replayability, and checks
+//! the fleet-wide conservation law (completed + shed + rejected ==
+//! submitted, XOR id-ledger zero) on every run.
+
+use harvest_serving::fleet::{run_fleet, FleetConfig};
+use harvest_simkit::{FleetTraceConfig, SimTime};
+use serde::Serialize;
+
+/// One run of the identical scenario at a forced worker width.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetRunRow {
+    /// Forced `harvest-threads` worker count.
+    pub threads: usize,
+    /// Requests submitted fleet-wide.
+    pub submitted: u64,
+    /// Requests completed (anywhere in the fleet).
+    pub completed: u64,
+    /// Completions within the goodput deadline.
+    pub good: u64,
+    /// Requests shed after admission.
+    pub shed: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Cross-region WAN failovers.
+    pub forwarded: u64,
+    /// Batch failures on crashed nodes.
+    pub failures: u64,
+    /// Circuit-breaker trips fleet-wide.
+    pub trips: u64,
+    /// good / submitted.
+    pub goodput: f64,
+    /// Fleet-wide p99 completion latency, milliseconds.
+    pub p99_ms: f64,
+    /// Fleet-wide mean completion latency, milliseconds.
+    pub mean_ms: f64,
+    /// Max-over-mean per-shard completions (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Energy burned executing batches, watt-hours.
+    pub busy_wh: f64,
+    /// Energy burned holding idle floors, watt-hours.
+    pub idle_wh: f64,
+    /// Millijoules per classified image, idle amortized in.
+    pub mj_per_image: f64,
+    /// Conservative-sync windows executed.
+    pub windows: u64,
+    /// Cross-shard messages routed.
+    pub messages: u64,
+    /// Shard-loop events fired.
+    pub events: u64,
+    /// Conservation law held (always asserted true before reporting).
+    pub conserved: bool,
+    /// FNV-1a outcome fingerprint, hex — identical on every row.
+    pub fingerprint: String,
+}
+
+/// Per-region slice of the canonical (first) run.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetShardRow {
+    /// Region index.
+    pub region: u32,
+    /// Requests this region's users submitted.
+    pub submitted: u64,
+    /// Requests completed at this region's cluster.
+    pub completed: u64,
+    /// Requests shed here.
+    pub shed: u64,
+    /// Requests rejected here.
+    pub rejected: u64,
+    /// Failovers sent to the neighbour.
+    pub forwarded_out: u64,
+    /// Failover work accepted from the neighbour.
+    pub forwarded_in: u64,
+    /// Batch failures here.
+    pub failures: u64,
+    /// p99 completion latency at this cluster, milliseconds.
+    pub p99_ms: f64,
+    /// Total energy at this cluster, watt-hours.
+    pub total_wh: f64,
+    /// Events this shard's loop fired.
+    pub events: u64,
+}
+
+/// The `fleet.json` artifact.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetExperiment {
+    /// True when produced by the CI smoke configuration.
+    pub smoke: bool,
+    /// Fleet population.
+    pub users: u64,
+    /// Region-cluster count.
+    pub regions: u32,
+    /// Trace length, days.
+    pub days: u32,
+    /// Conservative-sync lookahead, milliseconds.
+    pub lookahead_ms: u64,
+    /// The identical scenario at each worker width (fingerprints match).
+    pub runs: Vec<FleetRunRow>,
+    /// Per-region slices of the first run.
+    pub shards: Vec<FleetShardRow>,
+}
+
+/// The scenario: smoke shrinks population and horizon, not structure —
+/// both configurations exercise surge, bursts, crashes, and failover.
+fn config(smoke: bool) -> FleetConfig {
+    let mut trace = if smoke {
+        FleetTraceConfig::new(0x41e7, 20_000, 4, 1)
+    } else {
+        FleetTraceConfig::new(0x41e7, 1_000_003, 16, 2)
+    };
+    trace.surge_day = Some(if smoke { 0 } else { 1 });
+    trace.surge_gain = 4.0;
+    let mut cfg = FleetConfig::new(trace);
+    cfg.lookahead = SimTime::from_secs(1);
+    cfg.wan_latency = SimTime::from_secs(1);
+    // Hour-scale node outages, a few per node over the horizon.
+    cfg.crashes = Some((if smoke { 2 } else { 4 }, SimTime::from_secs(1800)));
+    cfg
+}
+
+/// Run the fleet sweep. Panics (failing CI) if any run breaks
+/// conservation or any worker width diverges from the width-1 fingerprint.
+pub fn fleet(smoke: bool) -> FleetExperiment {
+    let cfg = config(smoke);
+    let widths: [usize; 4] = [1, 2, 4, 8];
+
+    let mut runs = Vec::new();
+    let mut shards = Vec::new();
+    let mut base_fingerprint = None;
+    for &threads in &widths {
+        let report = harvest_threads::with_threads(threads, || run_fleet(&cfg));
+        assert!(
+            report.conserved(),
+            "threads={threads}: conservation violated \
+             (completed {} + shed {} + rejected {} vs submitted {}, ledger_ok {})",
+            report.completed,
+            report.shed,
+            report.rejected,
+            report.submitted,
+            report.ledger_ok
+        );
+        match base_fingerprint {
+            None => {
+                base_fingerprint = Some(report.fingerprint);
+                shards = report
+                    .shards
+                    .iter()
+                    .map(|s| FleetShardRow {
+                        region: s.region,
+                        submitted: s.stats.submitted,
+                        completed: s.stats.completed,
+                        shed: s.stats.shed,
+                        rejected: s.stats.rejected,
+                        forwarded_out: s.stats.forwarded_out,
+                        forwarded_in: s.stats.forwarded_in,
+                        failures: s.stats.failures,
+                        p99_ms: s.p99_ms,
+                        total_wh: s.energy.watt_hours(),
+                        events: s.events,
+                    })
+                    .collect();
+            }
+            Some(base) => assert_eq!(
+                report.fingerprint, base,
+                "threads={threads}: outcome diverged from the width-1 run"
+            ),
+        }
+        runs.push(FleetRunRow {
+            threads,
+            submitted: report.submitted,
+            completed: report.completed,
+            good: report.good,
+            shed: report.shed,
+            rejected: report.rejected,
+            forwarded: report.forwarded,
+            failures: report.failures,
+            trips: report.trips,
+            goodput: report.goodput,
+            p99_ms: report.p99_ms,
+            mean_ms: report.mean_ms,
+            imbalance: report.imbalance,
+            busy_wh: report.energy.busy_joules() / 3_600.0,
+            idle_wh: report.energy.idle_joules() / 3_600.0,
+            mj_per_image: report.energy.mj_per_image(),
+            windows: report.windows,
+            messages: report.messages,
+            events: report.events,
+            conserved: true,
+            fingerprint: format!("{:016x}", report.fingerprint),
+        });
+    }
+
+    // Replayability: the same width twice must reproduce the outcome bit
+    // for bit (this is what the artifact drift gate relies on).
+    let rerun = harvest_threads::with_threads(widths[0], || run_fleet(&cfg));
+    assert_eq!(
+        Some(rerun.fingerprint),
+        base_fingerprint,
+        "rerun at width {} not bit-identical",
+        widths[0]
+    );
+
+    FleetExperiment {
+        smoke,
+        users: cfg.trace.users,
+        regions: cfg.trace.regions,
+        days: cfg.trace.days,
+        lookahead_ms: cfg.lookahead.as_nanos() / 1_000_000,
+        runs,
+        shards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_fleet_sweeps_and_conserves() {
+        let exp = fleet(true);
+        assert!(exp.smoke);
+        assert_eq!(exp.runs.len(), 4);
+        assert_eq!(exp.shards.len(), exp.regions as usize);
+        let first = &exp.runs[0];
+        assert!(first.submitted > 10_000, "submitted={}", first.submitted);
+        assert!(first.failures > 0, "crash plan produced no failures");
+        for run in &exp.runs {
+            assert!(run.conserved);
+            assert_eq!(run.fingerprint, first.fingerprint);
+            assert_eq!(run.submitted, first.submitted);
+        }
+        let shard_submitted: u64 = exp.shards.iter().map(|s| s.submitted).sum();
+        assert_eq!(shard_submitted, first.submitted);
+    }
+
+    #[test]
+    fn smoke_artifact_is_byte_identical_across_calls() {
+        let a = serde_json::to_string(&fleet(true)).unwrap();
+        let b = serde_json::to_string(&fleet(true)).unwrap();
+        assert_eq!(a, b, "fleet artifact must be byte-identical");
+    }
+}

@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet;
 pub mod integrity;
 pub mod overload;
 pub mod resilience;
@@ -19,12 +20,13 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
-pub use bench::{bench, BenchKernel, BenchModel, BenchReport};
+pub use bench::{bench, BenchEventCore, BenchKernel, BenchModel, BenchReport};
 pub use fig4::{fig4, Fig4Dataset};
 pub use fig5::{fig5, Fig5Platform, Fig5Point, Fig5Series};
 pub use fig6::{fig6, Fig6Platform, Fig6Point, Fig6Series};
 pub use fig7::{fig7, Fig7Cell, Fig7Platform};
 pub use fig8::{fig8, Fig8Cell, Fig8Platform};
+pub use fleet::{fleet, FleetExperiment, FleetRunRow, FleetShardRow};
 pub use integrity::{
     detector_overhead, integrity, IntegrityCell, IntegrityExperiment, OverheadRow,
 };

@@ -28,7 +28,10 @@ use crate::http::{parse_request, write_response, HttpLimits, Method, Parsed, Req
 use harvest_imaging::decode_auto;
 use harvest_models::{vit, VitConfig};
 use harvest_preproc::preprocess_decoded;
-use harvest_serving::{BatcherConfig, RealBatchServer, ServeFault, ServingLimits, ShedPolicy};
+use harvest_serving::{
+    BatcherConfig, BreakerConfig, BreakerState, CircuitBreaker, RealBatchServer, ServeFault,
+    ServingLimits, ShedPolicy,
+};
 use harvest_simkit::SimTime;
 use harvest_tensor::Tensor;
 use std::io::{self, Read, Write};
@@ -66,6 +69,15 @@ pub struct WireConfig {
     pub model: VitConfig,
     /// Weight seed for the served model.
     pub model_seed: u64,
+    /// Admission breaker in front of the engine: engine faults feed its
+    /// error EWMA, and an open breaker turns `/classify` away with
+    /// `503 Retry-After` instead of queueing doomed work.
+    pub breaker: BreakerConfig,
+    /// Degradation ladder rung: while the breaker is half-open, requests
+    /// are served by this cheaper model instead of probing the full one.
+    /// Must share `img` and `classes` with `model`. `None` probes the full
+    /// model directly.
+    pub degraded_model: Option<VitConfig>,
 }
 
 impl Default for WireConfig {
@@ -93,6 +105,16 @@ impl Default for WireConfig {
                 classes: 4,
             },
             model_seed: 7,
+            breaker: BreakerConfig::default(),
+            degraded_model: Some(VitConfig {
+                dim: 16,
+                depth: 1,
+                heads: 1,
+                patch: 4,
+                img: 16,
+                mlp_ratio: 2,
+                classes: 4,
+            }),
         }
     }
 }
@@ -130,6 +152,12 @@ pub struct WireStats {
     /// Responses the peer was gone for (diagnostic; the outcome above
     /// still counts — the server kept its side of the ledger).
     pub write_failures: AtomicU64,
+    /// Diagnostic overlap counter: 503s issued because the admission
+    /// breaker was open (every one is also counted in `rejected`).
+    pub breaker_open: AtomicU64,
+    /// Diagnostic overlap counter: 2xx responses served by the degraded
+    /// ladder rung (every one is also counted in `responded_ok`).
+    pub degraded_ok: AtomicU64,
 }
 
 /// A point-in-time copy of [`WireStats`].
@@ -157,6 +185,10 @@ pub struct WireSnapshot {
     pub idle_closes: u64,
     /// See [`WireStats::write_failures`].
     pub write_failures: u64,
+    /// See [`WireStats::breaker_open`].
+    pub breaker_open: u64,
+    /// See [`WireStats::degraded_ok`].
+    pub degraded_ok: u64,
 }
 
 impl WireSnapshot {
@@ -181,6 +213,8 @@ impl WireStats {
             timeouts: self.timeouts.load(Ordering::SeqCst),
             idle_closes: self.idle_closes.load(Ordering::SeqCst),
             write_failures: self.write_failures.load(Ordering::SeqCst),
+            breaker_open: self.breaker_open.load(Ordering::SeqCst),
+            degraded_ok: self.degraded_ok.load(Ordering::SeqCst),
         }
     }
 }
@@ -198,10 +232,17 @@ pub struct DrainReport {
 /// One request's resolution, sent back from the engine thread.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum WireOutcome {
-    /// Inference ran; argmax class and the batch the request rode in.
-    Done { class: usize, batch: usize },
+    /// Inference ran; argmax class, the batch the request rode in, and
+    /// whether the degraded ladder rung served it.
+    Done {
+        class: usize,
+        batch: usize,
+        degraded: bool,
+    },
     /// Bounded queue (or drain) turned the request away.
     Rejected,
+    /// The admission breaker is open; answered 503 with Retry-After.
+    BreakerOpen,
     /// DropOldest evicted the request to admit newer work.
     Shed,
     /// Internal fault ([`ServeFault`]); answered 500.
@@ -214,6 +255,9 @@ enum EngineMsg {
         input: Tensor,
         reply: mpsc::Sender<WireOutcome>,
     },
+    /// Force the admission breaker open (operator hook; also what the
+    /// deterministic wire tests use to stage an outage).
+    TripBreaker,
     /// Flush every queued request and refuse new ones.
     Drain,
 }
@@ -273,14 +317,31 @@ impl WireServer {
             in_flight: AtomicU64::new(0),
         });
 
+        config
+            .breaker
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        if let Some(d) = &config.degraded_model {
+            if d.img != config.model.img || d.classes != config.model.classes {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "degraded_model must share img and classes with model",
+                ));
+            }
+        }
+
         let (tx, rx) = mpsc::channel::<EngineMsg>();
         let engine_handle = {
             let model = config.model;
+            let degraded_model = config.degraded_model;
             let seed = config.model_seed;
+            let breaker = config.breaker;
             let tick = Duration::from_millis(config.max_queue_delay_ms.div_ceil(2).max(1));
             std::thread::Builder::new()
                 .name("wire-engine".to_string())
-                .spawn(move || engine_loop(rx, model, seed, batcher, tick))?
+                .spawn(move || {
+                    engine_loop(rx, model, degraded_model, seed, batcher, breaker, tick)
+                })?
         };
 
         let mut accept_handles = Vec::with_capacity(config.accept_threads);
@@ -319,6 +380,16 @@ impl WireServer {
     /// Live counters.
     pub fn stats(&self) -> WireSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Force the admission breaker open: `/classify` answers
+    /// `503 Retry-After` until the cooldown elapses, then the half-open
+    /// probes run through the degradation ladder. Operator hook — also the
+    /// deterministic way for tests to stage an engine outage.
+    pub fn trip_breaker(&self) {
+        if let Some(tx) = self.engine_tx.lock().expect("engine tx lock").as_ref() {
+            let _ = tx.send(EngineMsg::TripBreaker);
+        }
     }
 
     /// Enter drain mode: flush the queued work, answer everything new with
@@ -361,50 +432,81 @@ impl WireServer {
     }
 }
 
-/// The engine thread: owns the graph and the batch server, turns channel
+/// A request the engine has admitted but not yet resolved.
+struct PendingReply {
+    tx: mpsc::Sender<WireOutcome>,
+    submitted: SimTime,
+    degraded: bool,
+}
+
+/// The engine thread: owns the graphs and the batch servers, turns channel
 /// messages into batcher calls, and guarantees **exactly one** reply per
 /// submitted id (completion, shed, rejection, or typed failure).
+///
+/// Admission runs through a [`CircuitBreaker`] whose ladder is: **closed**
+/// → the full model serves; **half-open** → admitted probes run on the
+/// degraded model (cheap capacity while confidence rebuilds), non-admitted
+/// ones get `503`; **open** → everything gets `503 Retry-After`.
+/// Completions feed the breaker's success EWMA, engine faults feed its
+/// error EWMA.
 fn engine_loop(
     rx: mpsc::Receiver<EngineMsg>,
     model: VitConfig,
+    degraded_model: Option<VitConfig>,
     seed: u64,
     batcher: BatcherConfig,
+    breaker_config: BreakerConfig,
     tick: Duration,
 ) {
     let graph = vit("wire-served", &model);
     let mut server = RealBatchServer::new(Executor::new(&graph, seed), batcher)
         .expect("batcher config validated at start()");
+    let degraded_graph = degraded_model.map(|m| vit("wire-degraded", &m));
+    let mut degraded_server = degraded_graph.as_ref().map(|g| {
+        RealBatchServer::new(Executor::new(g, seed ^ 0x0ddu64), batcher)
+            .expect("batcher config validated at start()")
+    });
+    let mut breaker = CircuitBreaker::new(breaker_config);
     let start = Instant::now();
     let now = |start: &Instant| SimTime::from_nanos(start.elapsed().as_nanos() as u64);
-    let mut waiting: std::collections::HashMap<u64, mpsc::Sender<WireOutcome>> =
+    let mut waiting: std::collections::HashMap<u64, PendingReply> =
         std::collections::HashMap::new();
     let mut drained = false;
 
-    let deliver = |waiting: &mut std::collections::HashMap<u64, mpsc::Sender<WireOutcome>>,
-                   server: &mut RealBatchServer<'_>,
-                   completed: Vec<harvest_serving::Completion>,
-                   shed: Vec<u64>| {
+    /// Resolve one server's outputs against the waiting map and the
+    /// breaker (successes close it, faults trip it).
+    fn deliver(
+        waiting: &mut std::collections::HashMap<u64, PendingReply>,
+        breaker: &mut CircuitBreaker,
+        now: SimTime,
+        completed: Vec<harvest_serving::Completion>,
+        shed: Vec<u64>,
+        faults: Vec<ServeFault>,
+    ) {
         for c in completed {
-            if let Some(tx) = waiting.remove(&c.id) {
-                let _ = tx.send(WireOutcome::Done {
+            if let Some(p) = waiting.remove(&c.id) {
+                breaker.record_success(now, now.saturating_sub(p.submitted));
+                let _ = p.tx.send(WireOutcome::Done {
                     class: argmax(c.output.data()),
                     batch: c.batch_size,
+                    degraded: p.degraded,
                 });
             }
         }
         for id in shed {
-            if let Some(tx) = waiting.remove(&id) {
-                let _ = tx.send(WireOutcome::Shed);
+            if let Some(p) = waiting.remove(&id) {
+                let _ = p.tx.send(WireOutcome::Shed);
             }
         }
-        for fault in server.take_faults() {
+        for fault in faults {
             if let ServeFault::MissingPayload { id } = fault {
-                if let Some(tx) = waiting.remove(&id) {
-                    let _ = tx.send(WireOutcome::Failed);
+                breaker.record_failure(now);
+                if let Some(p) = waiting.remove(&id) {
+                    let _ = p.tx.send(WireOutcome::Failed);
                 }
             }
         }
-    };
+    }
 
     loop {
         match rx.recv_timeout(tick) {
@@ -413,34 +515,83 @@ fn engine_loop(
                     let _ = reply.send(WireOutcome::Rejected);
                     continue;
                 }
-                waiting.insert(id, reply);
                 let t = now(&start);
-                let sub = server.submit(id, input, t);
+                // The ladder: closed → full model; half-open → degraded
+                // probes; open → explicit refusal.
+                let use_degraded = match breaker.state(t) {
+                    BreakerState::Closed => false,
+                    BreakerState::HalfOpen if breaker.allow(t) => degraded_server.is_some(),
+                    BreakerState::HalfOpen | BreakerState::Open => {
+                        let _ = reply.send(WireOutcome::BreakerOpen);
+                        continue;
+                    }
+                };
+                waiting.insert(
+                    id,
+                    PendingReply {
+                        tx: reply,
+                        submitted: t,
+                        degraded: use_degraded,
+                    },
+                );
+                let target = if use_degraded {
+                    degraded_server.as_mut().expect("checked above")
+                } else {
+                    &mut server
+                };
+                let sub = target.submit(id, input, t);
                 if !sub.admitted {
-                    if let Some(tx) = waiting.remove(&id) {
-                        let _ = tx.send(WireOutcome::Rejected);
+                    if let Some(p) = waiting.remove(&id) {
+                        let _ = p.tx.send(WireOutcome::Rejected);
                     }
                 }
-                deliver(&mut waiting, &mut server, sub.completed, sub.shed);
+                let faults = target.take_faults();
+                deliver(
+                    &mut waiting,
+                    &mut breaker,
+                    t,
+                    sub.completed,
+                    sub.shed,
+                    faults,
+                );
                 // A submission may also have pushed the oldest request past
                 // the delay bound.
-                let late = server.poll(now(&start));
-                deliver(&mut waiting, &mut server, late, Vec::new());
+                let t = now(&start);
+                let late = target.poll(t);
+                let faults = target.take_faults();
+                deliver(&mut waiting, &mut breaker, t, late, Vec::new(), faults);
+            }
+            Ok(EngineMsg::TripBreaker) => {
+                breaker.force_open(now(&start));
             }
             Ok(EngineMsg::Drain) => {
+                let t = now(&start);
                 let done = server.flush();
-                deliver(&mut waiting, &mut server, done, Vec::new());
+                let faults = server.take_faults();
+                deliver(&mut waiting, &mut breaker, t, done, Vec::new(), faults);
+                if let Some(d) = degraded_server.as_mut() {
+                    let done = d.flush();
+                    let faults = d.take_faults();
+                    deliver(&mut waiting, &mut breaker, t, done, Vec::new(), faults);
+                }
                 // Flush answers everything it executed; anything still
                 // waiting hit bookkeeping skew — fail it explicitly rather
                 // than hang its connection.
-                for (_, tx) in waiting.drain() {
-                    let _ = tx.send(WireOutcome::Failed);
+                for (_, p) in waiting.drain() {
+                    let _ = p.tx.send(WireOutcome::Failed);
                 }
                 drained = true;
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                let done = server.poll(now(&start));
-                deliver(&mut waiting, &mut server, done, Vec::new());
+                let t = now(&start);
+                let done = server.poll(t);
+                let faults = server.take_faults();
+                deliver(&mut waiting, &mut breaker, t, done, Vec::new(), faults);
+                if let Some(d) = degraded_server.as_mut() {
+                    let done = d.poll(t);
+                    let faults = d.take_faults();
+                    deliver(&mut waiting, &mut breaker, t, done, Vec::new(), faults);
+                }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
@@ -740,10 +891,30 @@ fn classify(
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
     match outcome {
-        WireOutcome::Done { class, batch } => {
+        WireOutcome::Done {
+            class,
+            batch,
+            degraded,
+        } => {
             stats.responded_ok.fetch_add(1, Ordering::SeqCst);
-            let body = format!("{{\"class\":{class},\"batch\":{batch}}}");
+            if degraded {
+                stats.degraded_ok.fetch_add(1, Ordering::SeqCst);
+            }
+            let body = format!("{{\"class\":{class},\"batch\":{batch},\"degraded\":{degraded}}}");
             send_response(stream, stats, 200, "OK", &[], body.as_bytes(), keep)
+        }
+        WireOutcome::BreakerOpen => {
+            stats.rejected.fetch_add(1, Ordering::SeqCst);
+            stats.breaker_open.fetch_add(1, Ordering::SeqCst);
+            send_response(
+                stream,
+                stats,
+                503,
+                "Service Unavailable",
+                &retry,
+                b"{\"error\":\"breaker open\"}",
+                keep,
+            )
         }
         WireOutcome::Rejected => {
             stats.rejected.fetch_add(1, Ordering::SeqCst);
@@ -993,5 +1164,68 @@ mod tests {
         assert!(report.stats.idle_closes >= 1);
         assert_eq!(report.stats.accepted, 0);
         assert!(report.stats.conserved());
+    }
+
+    #[test]
+    fn breaker_ladder_refuses_degrades_then_recovers_on_the_wire() {
+        let server = WireServer::start(WireConfig {
+            accept_threads: 1,
+            breaker: BreakerConfig {
+                cooldown: harvest_simkit::SimTime::from_millis(150),
+                close_after: 2,
+                ..BreakerConfig::default()
+            },
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+        let img = sample_image();
+
+        // Healthy breaker: the full model answers.
+        let (status, body) = post_classify(addr, &img);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"degraded\":false"), "{body}");
+
+        // Open breaker: the wire refuses with 503 + Retry-After before any
+        // work is queued. trip_breaker() and the next Submit travel the same
+        // engine channel, so the ordering is deterministic.
+        server.trip_breaker();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut req = format!(
+            "POST /classify HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            img.len()
+        )
+        .into_bytes();
+        req.extend_from_slice(&img);
+        stream.write_all(&req).expect("send");
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).expect("recv");
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+        assert!(text.contains("Retry-After"), "{text}");
+        assert!(text.contains("breaker open"), "{text}");
+
+        // After the cooldown the breaker half-opens and probes run on the
+        // degraded model.
+        std::thread::sleep(Duration::from_millis(300));
+        let (status, body) = post_classify(addr, &img);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"degraded\":true"), "{body}");
+
+        // Enough successful probes close the breaker; the full model is back.
+        let mut recovered = false;
+        for _ in 0..10 {
+            let (status, body) = post_classify(addr, &img);
+            if status == 200 && body.contains("\"degraded\":false") {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "breaker never closed after successful probes");
+
+        let report = server.shutdown();
+        assert!(report.stats.conserved(), "{:?}", report.stats);
+        assert!(report.stats.breaker_open >= 1, "{:?}", report.stats);
+        assert!(report.stats.degraded_ok >= 1, "{:?}", report.stats);
     }
 }

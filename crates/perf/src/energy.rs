@@ -75,6 +75,11 @@ impl EnergyModel {
         }
     }
 
+    /// Board power while idling, watts (the floor between batches).
+    pub fn idle_power_w(&self) -> f64 {
+        self.board_w * IDLE_FRACTION
+    }
+
     /// The energy-optimal batch from an axis (most images per joule).
     pub fn best_batch(&self, axis: &[u32]) -> EnergyPoint {
         axis.iter()
@@ -85,6 +90,86 @@ impl EnergyModel {
                     .expect("finite")
             })
             .expect("non-empty axis")
+    }
+}
+
+/// Fleet-wide energy rollup: accumulates busy and idle joules across many
+/// nodes (and, merged shard-by-shard in index order, across a whole
+/// sharded fleet — the fixed merge order keeps float sums deterministic).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetEnergy {
+    busy_joules: f64,
+    idle_joules: f64,
+    busy_seconds: f64,
+    images: u64,
+}
+
+impl FleetEnergy {
+    /// An empty rollup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account a batch execution: `power_w` for `seconds`, producing
+    /// `images` classified images (see [`EnergyModel::power_w`]).
+    pub fn record_busy(&mut self, power_w: f64, seconds: f64, images: u64) {
+        self.busy_joules += power_w * seconds;
+        self.busy_seconds += seconds;
+        self.images += images;
+    }
+
+    /// Account idle floor power: `idle_power_w` across `seconds` of
+    /// node-time not covered by batches.
+    pub fn record_idle(&mut self, idle_power_w: f64, seconds: f64) {
+        self.idle_joules += idle_power_w * seconds;
+    }
+
+    /// Fold another rollup in (call in a fixed order for bit-stable sums).
+    pub fn merge(&mut self, other: &FleetEnergy) {
+        self.busy_joules += other.busy_joules;
+        self.idle_joules += other.idle_joules;
+        self.busy_seconds += other.busy_seconds;
+        self.images += other.images;
+    }
+
+    /// Joules spent executing batches.
+    pub fn busy_joules(&self) -> f64 {
+        self.busy_joules
+    }
+
+    /// Joules spent holding the idle floor.
+    pub fn idle_joules(&self) -> f64 {
+        self.idle_joules
+    }
+
+    /// Node-seconds spent executing batches.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_seconds
+    }
+
+    /// Images accounted through [`FleetEnergy::record_busy`].
+    pub fn images(&self) -> u64 {
+        self.images
+    }
+
+    /// Total joules, busy plus idle.
+    pub fn total_joules(&self) -> f64 {
+        self.busy_joules + self.idle_joules
+    }
+
+    /// Millijoules per image over the whole rollup (idle amortized in) —
+    /// the fleet-level figure of merit. Zero images yields 0.
+    pub fn mj_per_image(&self) -> f64 {
+        if self.images == 0 {
+            0.0
+        } else {
+            self.total_joules() * 1e3 / self.images as f64
+        }
+    }
+
+    /// Total energy in watt-hours (dashboards speak Wh, not joules).
+    pub fn watt_hours(&self) -> f64 {
+        self.total_joules() / 3_600.0
     }
 }
 
@@ -171,6 +256,29 @@ mod tests {
         let e_tiny = EnergyModel::new(PlatformId::JetsonOrinNano, ModelId::VitTiny).point(8);
         let e_base = EnergyModel::new(PlatformId::JetsonOrinNano, ModelId::VitBase).point(8);
         assert!(e_tiny.mj_per_image < e_base.mj_per_image);
+    }
+
+    #[test]
+    fn fleet_rollup_accounts_busy_idle_and_merge() {
+        let jetson = EnergyModel::new(PlatformId::JetsonOrinNano, ModelId::VitTiny);
+        let mut a = FleetEnergy::new();
+        a.record_busy(jetson.power_w(8), 2.0, 16);
+        a.record_idle(jetson.idle_power_w(), 10.0);
+        assert!((a.busy_joules() - jetson.power_w(8) * 2.0).abs() < 1e-9);
+        assert!((a.idle_joules() - 25.0 * IDLE_FRACTION * 10.0).abs() < 1e-9);
+        assert_eq!(a.images(), 16);
+        assert!((a.total_joules() - (a.busy_joules() + a.idle_joules())).abs() < 1e-12);
+        assert!((a.watt_hours() * 3600.0 - a.total_joules()).abs() < 1e-9);
+
+        let mut b = FleetEnergy::new();
+        b.record_busy(100.0, 1.0, 4);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.images(), 20);
+        assert!((merged.total_joules() - (a.total_joules() + b.total_joules())).abs() < 1e-9);
+        // mJ/image amortizes idle across the produced images.
+        assert!(merged.mj_per_image() > 0.0);
+        assert_eq!(FleetEnergy::new().mj_per_image(), 0.0);
     }
 
     #[test]

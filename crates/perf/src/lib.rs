@@ -32,7 +32,7 @@ pub mod mfu;
 pub mod roofline;
 
 pub use batch_axis::{batch_axis, LATENCY_BOUND_60QPS_MS};
-pub use energy::{EnergyModel, EnergyPoint};
+pub use energy::{EnergyModel, EnergyPoint, FleetEnergy};
 pub use memory_model::{max_batch_under_memory, EngineMemoryModel, MemoryContext};
 pub use mfu::{EnginePerfModel, MfuCurve};
 pub use roofline::{Roofline, RooflineBound};

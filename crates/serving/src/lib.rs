@@ -33,10 +33,17 @@
 //!   activation sentinels, reference cross-check), re-materialize-and-retry
 //!   recovery, and breaker-backed node quarantine, all under conservation-
 //!   checked counters.
+//! * [`fleet`] — fleet-scale continuum serving: region-sharded clusters
+//!   replaying million-user [`harvest_simkit::trace`] workloads on the
+//!   conservative-sync [`harvest_simkit::fleet`] engine, with per-node
+//!   breakers, crash-plan faults, cross-region WAN failover, energy
+//!   rollups, and XOR-ledger conservation checks — bit-identical at every
+//!   worker thread count.
 
 pub mod batcher;
 pub mod breaker;
 pub mod cluster;
+pub mod fleet;
 pub mod integrity;
 pub mod limits;
 pub mod multimodel;
@@ -51,6 +58,9 @@ pub use breaker::{BreakerBank, BreakerConfig, BreakerState, CircuitBreaker};
 pub use cluster::{
     run_cluster_offline, run_cluster_offline_faulted, run_cluster_offline_protected, ClusterConfig,
     ClusterReport, Dispatch,
+};
+pub use fleet::{
+    run_fleet, FleetConfig, FleetReport, RegionShard, ShardReport, ShardStats, TierSpec,
 };
 pub use integrity::{
     ClusterOutcome, DetectorConfig, IntegrityCluster, IntegrityStats, NodeIntegrity, DETECT_TOL,

@@ -18,24 +18,38 @@
 //! * [`fault`] — seeded, schedulable fault plans (engine crashes, preproc
 //!   stalls, link degradation, transient errors) whose every decision is a
 //!   pure function of the plan, keeping chaos runs bit-reproducible.
+//! * [`calendar`] — the hierarchical calendar/bucket queue backing the event
+//!   loop: O(1) amortized schedule/pop at millions of pending events, with
+//!   the seed's `BinaryHeap` engine kept verbatim as a conformance oracle
+//!   (see [`Sim::new_oracle`]).
+//! * [`fleet`] — conservative-sync sharded simulation: independent per-shard
+//!   event loops advanced in lookahead windows on `harvest-threads` workers,
+//!   with a deterministic cross-shard message merge so fleet runs are
+//!   bit-identical at every thread count.
 //!
-//! The simulator is single-threaded by design: determinism matters more than
-//! parallel speed here, and every experiment in the paper fits comfortably in
-//! one core once the heavy numeric work is delegated to analytic models.
+//! A single [`Sim`] event loop stays single-threaded by design — determinism
+//! matters more than parallel speed, and handler closures are not `Send`.
+//! Fleet-scale parallelism lives one level up: [`fleet::FleetSim`] runs many
+//! independent shards concurrently and merges their cross-shard traffic
+//! deterministically between lookahead windows.
 
+pub mod calendar;
 pub mod fault;
+pub mod fleet;
 pub mod rng;
 pub mod server;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use calendar::CalendarQueue;
 pub use fault::{FaultPlan, FaultWindow, SocketFate, SocketFaultPlan};
+pub use fleet::{FleetSim, Outbox, Shard};
 pub use rng::SimRng;
 pub use server::{JobStats, Server};
 pub use stats::{Histogram, Reservoir, Streaming};
 pub use time::SimTime;
-pub use trace::{Timeline, TraceEvent};
+pub use trace::{FleetTraceConfig, RegionTrace, RequestKind, Timeline, TraceEvent, TraceRequest};
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -68,6 +82,18 @@ impl Ord for Scheduled {
     }
 }
 
+/// A scheduled event's action.
+type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+/// The pending-event store. [`Queue::Calendar`] is the production engine;
+/// [`Queue::Heap`] preserves the seed's `BinaryHeap` path verbatim as the
+/// conformance oracle the differential suite replays against. Both order
+/// events by `(at, seq)` — time order with FIFO tie-breaking.
+enum Queue {
+    Calendar(CalendarQueue<EventFn>),
+    Heap(BinaryHeap<Reverse<Scheduled>>),
+}
+
 /// The discrete-event simulator.
 ///
 /// ```
@@ -87,7 +113,7 @@ pub struct Sim {
     now: SimTime,
     seq: u64,
     fired: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: Queue,
 }
 
 impl Default for Sim {
@@ -97,13 +123,28 @@ impl Default for Sim {
 }
 
 impl Sim {
-    /// Create an empty simulator with the clock at zero.
+    /// Create an empty simulator with the clock at zero, backed by the
+    /// calendar queue (the fast engine).
     pub fn new() -> Self {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
             fired: 0,
-            queue: BinaryHeap::new(),
+            queue: Queue::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    /// Create an empty simulator backed by the seed's `BinaryHeap` engine.
+    ///
+    /// This path is kept verbatim as the conformance oracle: the differential
+    /// suite runs identical workloads through both engines and asserts the
+    /// event fire order matches bit-for-bit.
+    pub fn new_oracle() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            fired: 0,
+            queue: Queue::Heap(BinaryHeap::new()),
         }
     }
 
@@ -122,7 +163,10 @@ impl Sim {
     /// Number of events still pending.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        match &self.queue {
+            Queue::Calendar(q) => q.len(),
+            Queue::Heap(q) => q.len(),
+        }
     }
 
     /// Schedule `action` to fire at absolute time `at`.
@@ -137,11 +181,14 @@ impl Sim {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            at,
-            seq,
-            action: Box::new(action),
-        }));
+        match &mut self.queue {
+            Queue::Calendar(q) => q.push(at.as_nanos(), Box::new(action)),
+            Queue::Heap(q) => q.push(Reverse(Scheduled {
+                at,
+                seq,
+                action: Box::new(action),
+            })),
+        }
     }
 
     /// Schedule `action` to fire `delay` after the current time.
@@ -152,15 +199,28 @@ impl Sim {
 
     /// Fire the single earliest event. Returns `false` if the queue is empty.
     pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
-            Some(Reverse(ev)) => {
-                debug_assert!(ev.at >= self.now);
-                self.now = ev.at;
-                self.fired += 1;
-                (ev.action)(self);
-                true
-            }
-            None => false,
+        match &mut self.queue {
+            Queue::Calendar(q) => match q.pop() {
+                Some((at_ns, action)) => {
+                    let at = SimTime::from_nanos(at_ns);
+                    debug_assert!(at >= self.now);
+                    self.now = at;
+                    self.fired += 1;
+                    action(self);
+                    true
+                }
+                None => false,
+            },
+            Queue::Heap(q) => match q.pop() {
+                Some(Reverse(ev)) => {
+                    debug_assert!(ev.at >= self.now);
+                    self.now = ev.at;
+                    self.fired += 1;
+                    (ev.action)(self);
+                    true
+                }
+                None => false,
+            },
         }
     }
 
@@ -177,8 +237,12 @@ impl Sim {
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let start = self.fired;
         loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.at <= deadline => {
+            let next = match &mut self.queue {
+                Queue::Calendar(q) => q.peek_time().map(SimTime::from_nanos),
+                Queue::Heap(q) => q.peek().map(|Reverse(ev)| ev.at),
+            };
+            match next {
+                Some(at) if at <= deadline => {
                     self.step();
                 }
                 _ => break,
@@ -188,6 +252,14 @@ impl Sim {
             self.now = deadline;
         }
         self.fired - start
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        match &mut self.queue {
+            Queue::Calendar(q) => q.peek_time().map(SimTime::from_nanos),
+            Queue::Heap(q) => q.peek().map(|Reverse(ev)| ev.at),
+        }
     }
 }
 

@@ -124,6 +124,41 @@ impl SimRng {
         -(self.f64().max(1e-300)).ln() / rate
     }
 
+    /// Poisson-distributed count with the given mean. Used by the trace
+    /// generators to draw per-bin arrival counts for non-homogeneous
+    /// processes (the bin rate varies, the draw inside a bin does not).
+    ///
+    /// Small means use Knuth's product method (exact); large means use the
+    /// normal approximation with continuity correction, which is within the
+    /// noise floor of any workload model at `lambda >= 32`.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "poisson({lambda}) needs a finite non-negative mean"
+        );
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda < 32.0 {
+            let limit = (-lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= self.f64();
+                if p <= limit {
+                    return k;
+                }
+                k += 1;
+            }
+        }
+        let draw = self.normal(lambda, lambda.sqrt()) + 0.5;
+        if draw <= 0.0 {
+            0
+        } else {
+            draw as u64
+        }
+    }
+
     /// Pick one element of a slice uniformly.
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         assert!(!items.is_empty());
@@ -219,6 +254,29 @@ mod tests {
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
         assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_moments_in_both_regimes() {
+        let mut rng = SimRng::new(23);
+        for &lambda in &[0.5, 4.0, 20.0, 200.0] {
+            let n = 50_000;
+            let (mut sum, mut sum2) = (0.0f64, 0.0f64);
+            for _ in 0..n {
+                let x = rng.poisson(lambda) as f64;
+                sum += x;
+                sum2 += x * x;
+            }
+            let mean = sum / n as f64;
+            let var = sum2 / n as f64 - mean * mean;
+            let tol = 4.0 * (lambda / n as f64).sqrt().max(0.01);
+            assert!((mean - lambda).abs() < tol, "lambda={lambda} mean={mean}");
+            assert!(
+                (var - lambda).abs() < lambda * 0.1 + 0.05,
+                "lambda={lambda} var={var}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
     }
 
     #[test]

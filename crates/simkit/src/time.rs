@@ -10,10 +10,14 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// A point in (or span of) simulated time, in nanoseconds.
 ///
-/// `SimTime` doubles as a duration; the arithmetic ops are saturating on
-/// subtraction and checked-in-debug on addition, which is the behaviour the
-/// simulator wants (a lagging timestamp clamps to zero wait rather than
-/// wrapping around).
+/// `SimTime` doubles as a duration; the operators are saturating on
+/// subtraction (a lagging timestamp clamps to zero wait rather than
+/// wrapping) and checked on addition and scaling — overflow panics rather
+/// than silently wrapping a multi-day horizon back into the trace. Paths
+/// that want graceful degradation instead use the explicit
+/// [`SimTime::checked_add`]/[`SimTime::checked_mul`] (`None` on overflow)
+/// or [`SimTime::saturating_add`]/[`SimTime::saturating_mul`] (clamp at
+/// [`SimTime::MAX`], the "far future") forms.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
@@ -42,6 +46,18 @@ impl SimTime {
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
         SimTime(s * 1_000_000_000)
+    }
+    /// From whole hours (multi-day trace horizons).
+    #[inline]
+    pub const fn from_hours(h: u64) -> Self {
+        SimTime(h * 3_600_000_000_000)
+    }
+    /// From whole days. A `u64` of nanoseconds holds ~213,500 days, so
+    /// week- and season-long traces are far from the edge — but the checked
+    /// arithmetic below still guards the paths that multiply spans up.
+    #[inline]
+    pub const fn from_days(d: u64) -> Self {
+        SimTime(d * 86_400_000_000_000)
     }
 
     /// From fractional seconds. Negative and non-finite inputs clamp to zero:
@@ -86,6 +102,35 @@ impl SimTime {
     #[inline]
     pub fn saturating_sub(self, earlier: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition: `None` on overflow instead of the panic the `+`
+    /// operator raises. Use where an overflowing deadline should degrade
+    /// (e.g. to "never") rather than abort the simulation.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Saturating addition: clamps at [`SimTime::MAX`] (the "far future"),
+    /// which a week-long trace horizon plus a retry backoff can legitimately
+    /// hit when deadlines are computed from `MAX` sentinels.
+    #[inline]
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked span scaling: `None` on overflow instead of the panic the
+    /// `*` operator raises.
+    #[inline]
+    pub fn checked_mul(self, rhs: u64) -> Option<SimTime> {
+        self.0.checked_mul(rhs).map(SimTime)
+    }
+
+    /// Saturating span scaling: clamps at [`SimTime::MAX`].
+    #[inline]
+    pub fn saturating_mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(rhs))
     }
 
     /// The larger of two times.
@@ -218,6 +263,62 @@ mod tests {
         assert_eq!(c, SimTime::from_millis(20));
         c -= a;
         assert_eq!(c, a);
+    }
+
+    #[test]
+    fn multi_day_horizons_do_not_wrap() {
+        // A week-long, per-region trace horizon: comfortably representable.
+        let week = SimTime::from_days(7);
+        assert_eq!(week.as_nanos(), 7 * 86_400_000_000_000);
+        assert_eq!(SimTime::from_hours(24), SimTime::from_days(1));
+        assert_eq!(SimTime::from_hours(24 * 7), week);
+        // Offsetting a week by per-region time zones and scaling to a
+        // harvest season stays exact.
+        let season = week.checked_mul(13).expect("a quarter fits");
+        assert_eq!(season, SimTime::from_days(91));
+        assert!((season.as_secs_f64() - 91.0 * 86_400.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn checked_and_saturating_arithmetic_at_the_edge() {
+        let near_max = SimTime::MAX - SimTime::from_nanos(5);
+        // checked_*: overflow reports None, in-range matches the operators.
+        assert_eq!(near_max.checked_add(SimTime::from_nanos(10)), None);
+        assert_eq!(
+            near_max.checked_add(SimTime::from_nanos(5)),
+            Some(SimTime::MAX)
+        );
+        assert_eq!(SimTime::MAX.checked_mul(2), None);
+        assert_eq!(
+            SimTime::from_days(7).checked_mul(3),
+            Some(SimTime::from_days(21))
+        );
+        // saturating_*: clamp at MAX instead of wrapping past a multi-day
+        // horizon (the silent-wrap failure mode this satellite guards).
+        assert_eq!(near_max.saturating_add(SimTime::from_days(7)), SimTime::MAX);
+        assert_eq!(SimTime::MAX.saturating_mul(u64::MAX), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_days(7).saturating_add(SimTime::from_days(7)),
+            SimTime::from_days(14)
+        );
+        assert_eq!(
+            SimTime::from_days(7).saturating_mul(4),
+            SimTime::from_days(28)
+        );
+        // A saturated deadline stays ordered after any real timestamp.
+        assert!(near_max.saturating_add(SimTime::from_days(1)) > SimTime::from_days(200_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn operator_add_overflow_panics_loudly() {
+        let _ = SimTime::MAX + SimTime::from_nanos(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn operator_mul_overflow_panics_loudly() {
+        let _ = SimTime::MAX * 2;
     }
 
     #[test]
