@@ -3,6 +3,8 @@
 #
 #   1. formatting        cargo fmt --check
 #   2. lints             cargo clippy -D warnings (core crates of this stack)
+#                        and rustdoc over the whole workspace with warnings
+#                        promoted to errors (public-API docs can't rot)
 #   3. tier-1 tests      cargo build --release && cargo test -q, run twice:
 #                        once with the harvest-threads pool forced sequential
 #                        (HARVEST_THREADS=1) and once at the host default
@@ -16,11 +18,16 @@
 #                        loadgen against the live HTTP front-end; schema
 #                        check, drift vs artifacts/wire.json, and a
 #                        byte-identical cross-process rerun
-#   8. fleet smoke       experiments fleet --smoke: the sharded calendar-
+#   8. swap smoke        experiments swap --smoke: ≥100 hot swaps per
+#                        scenario under live traffic across the artifact-
+#                        chaos grid (corrupt/truncate/crash/poison); schema
+#                        check, drift vs artifacts/swap.json, and a
+#                        byte-identical cross-process rerun
+#   9. fleet smoke       experiments fleet --smoke: the sharded calendar-
 #                        queue simulator at worker widths 1/2/4/8; schema
 #                        check, drift vs artifacts/fleet.json, and a
 #                        byte-identical cross-process rerun
-#   9. simd kernels      clippy + the differential kernel-conformance suite
+#  10. simd kernels      clippy + the differential kernel-conformance suite
 #                        under --features simd, then a SIMD-build bench
 #                        smoke run twice: per-variant fingerprints must be
 #                        byte-identical across reruns, and the committed
@@ -41,6 +48,11 @@ cargo clippy --offline --release \
     -p harvest-engine -p harvest-tensor -p harvest-imaging \
     -p harvest-threads -p harvest-net \
     --all-targets -- -D warnings
+
+echo "== docs =="
+# Broken intra-doc links, ambiguous paths, and links to private items are
+# errors: the public-API docs must keep building clean.
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
 
 echo "== tier-1: build =="
 cargo build --offline --release
@@ -135,6 +147,34 @@ cp "$smoke_dir/wire.json" "$smoke_dir/wire.run1.json"
 ./target/release/experiments wire --smoke --json "$smoke_dir"
 diff "$smoke_dir/wire.run1.json" "$smoke_dir/wire.json" \
     || { echo "wire ledger is not deterministic across processes"; exit 1; }
+
+echo "== swap smoke =="
+# Hot-swap sweep: 120 swap attempts per scenario interleaved with live
+# traffic across the seeded artifact-chaos grid. The run itself asserts
+# conservation + exactly-once completion, load-gate rejection of every
+# damaged artifact, rollback + quarantine of every poisoned generation
+# with zero escapes, and a bit-identical in-process rerun per scenario.
+# Here we gate the ledger schema, drift vs the committed artifact,
+# cross-process determinism, and the latency artifact's schema (the
+# verify+publish latencies are wall-clock, so only their shape is gated).
+./target/release/experiments swap --smoke --json "$smoke_dir"
+for key in scenario swaps_attempted fates clean corrupt truncate crash \
+    poison published rejected_loads rollbacks quarantined final_generation \
+    requests submitted completed shed rejected lost dup escaped conserved \
+    fingerprint; do
+    grep -q "\"$key\"" "$smoke_dir/swap.json" \
+        || { echo "swap.json missing key: $key"; exit 1; }
+done
+for key in scenario p50_us p99_us max_us; do
+    grep -q "\"$key\"" "$smoke_dir/swap_latency.json" \
+        || { echo "swap_latency.json missing key: $key"; exit 1; }
+done
+diff artifacts/swap.json "$smoke_dir/swap.json" \
+    || { echo "artifacts/swap.json drifted from the code"; exit 1; }
+cp "$smoke_dir/swap.json" "$smoke_dir/swap.run1.json"
+./target/release/experiments swap --smoke --json "$smoke_dir"
+diff "$smoke_dir/swap.run1.json" "$smoke_dir/swap.json" \
+    || { echo "swap ledger is not deterministic across processes"; exit 1; }
 
 echo "== fleet smoke =="
 # Sharded fleet simulation on the calendar-queue core. The run itself

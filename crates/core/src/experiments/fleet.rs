@@ -10,7 +10,7 @@
 //!
 //! Everything reported is simulated-time accounting, so the artifact is
 //! bit-reproducible: the runner executes the identical scenario at worker
-//! widths 1/2/4/8, asserts the [`FleetReport`] fingerprints match across
+//! widths 1/2/4/8, asserts the [`harvest_serving::FleetReport`] fingerprints match across
 //! the sweep, reruns the first width to prove replayability, and checks
 //! the fleet-wide conservation law (completed + shed + rejected ==
 //! submitted, XOR id-ledger zero) on every run.

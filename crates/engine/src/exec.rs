@@ -46,6 +46,7 @@ use harvest_tensor::{
     add_bias, avg_pool2d_global, conv2d, conv2d_into_v, gelu, gemm_v, layernorm, max_pool2d,
     multi_head_attention, relu, softmax_rows, KernelVariant, Tensor,
 };
+use std::sync::Arc;
 
 /// Deterministic per-node weights for a graph.
 pub struct WeightStore {
@@ -71,6 +72,7 @@ impl WeightStore {
 /// A matmul weight in the layout the fast path wants: `k×n`, ready to be
 /// the B operand of [`harvest_tensor::gemm::gemm`], with an optional cached
 /// symmetric INT8 quantization of the same matrix.
+#[derive(Clone)]
 struct LinearWeight {
     k: usize,
     n: usize,
@@ -100,6 +102,7 @@ impl LinearWeight {
 }
 
 /// Per-node weights in execution-ready form.
+#[derive(Clone)]
 enum NodeWeights {
     /// No learned state (input, activations, pooling, add, softmax, …).
     None,
@@ -282,11 +285,26 @@ pub struct WeightCorruption {
 /// Each tensor's FNV-1a checksum is taken at construction; since weights
 /// are immutable during normal serving, any later mismatch is silent data
 /// corruption by definition.
+///
+/// `Clone` is what makes generation swaps safe: the swap layer keeps a
+/// pristine copy behind an `Arc` while an executor's in-place corruption
+/// (fault injection) works on a copy-on-write clone.
+#[derive(Clone)]
 pub struct MaterializedWeights {
     nodes: Vec<NodeWeights>,
     f32_elements: usize,
     /// `(node << 3 | role, checksum)` per tensor, in enumeration order.
     checksums: Vec<(u64, u64)>,
+}
+
+impl std::fmt::Debug for MaterializedWeights {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaterializedWeights")
+            .field("nodes", &self.nodes.len())
+            .field("f32_elements", &self.f32_elements)
+            .field("fingerprint", &format_args!("{:#018x}", self.fingerprint()))
+            .finish()
+    }
 }
 
 impl MaterializedWeights {
@@ -479,6 +497,49 @@ impl MaterializedWeights {
             }
         }
     }
+
+    /// Read-only twin of [`MaterializedWeights::for_each_buffer_mut`], same
+    /// tensor ids and enumeration order — the artifact serializer's walk.
+    pub fn for_each_buffer(&self, mut f: impl FnMut(u64, &[f32])) {
+        for (node, w) in self.nodes.iter().enumerate() {
+            for (role, buf) in w.buffers() {
+                f((node as u64) << 3 | role, buf);
+            }
+        }
+    }
+
+    /// A single FNV-1a fingerprint over every `(tensor id, checksum)` pair —
+    /// the identity of a weight *generation*. Two materializations collide
+    /// only if every tensor has identical bits (up to hash collisions).
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.checksums.len() * 16);
+        for (id, sum) in &self.checksums {
+            bytes.extend_from_slice(&id.to_le_bytes());
+            bytes.extend_from_slice(&sum.to_le_bytes());
+        }
+        harvest_tensor::integrity::checksum_bytes(&bytes)
+    }
+
+    /// Recompute every derived form after the f32 buffers were overwritten
+    /// in bulk (an artifact load): cached INT8 quantizations are re-derived
+    /// from the new `k×n` matrices and the construction-time checksums are
+    /// re-taken, so [`MaterializedWeights::verify_integrity`] passes against
+    /// the *new* bits.
+    pub fn rebuild_derived(&mut self) {
+        for w in &mut self.nodes {
+            let linears: Vec<&mut LinearWeight> = match w {
+                NodeWeights::Linear { w, .. } => vec![w],
+                NodeWeights::Mlp { w1, w2, .. } => vec![w1, w2],
+                _ => Vec::new(),
+            };
+            for lw in linears {
+                if lw.int8.is_some() {
+                    lw.int8 = Some(quantize_symmetric(&lw.kxn));
+                }
+            }
+        }
+        self.checksums = Self::compute_checksums(&self.nodes);
+    }
 }
 
 /// Buffer pool for one forward pass: freed intermediates come back here and
@@ -590,7 +651,7 @@ fn is_gemm_stage(op: &Op) -> bool {
 pub struct Executor<'g> {
     graph: &'g Graph,
     weights: WeightStore,
-    materialized: MaterializedWeights,
+    materialized: Arc<MaterializedWeights>,
     int8_linears: bool,
     /// When false (validation knob), the INT8 path re-quantizes the weight
     /// matrix from the cached f32 form on every call instead of using the
@@ -642,7 +703,7 @@ impl<'g> Executor<'g> {
 
     fn build(graph: &'g Graph, seed: u64, int8_linears: bool, int8_cache: bool) -> Self {
         let weights = WeightStore::new(seed);
-        let materialized = MaterializedWeights::new(graph, &weights, int8_linears);
+        let materialized = Arc::new(MaterializedWeights::new(graph, &weights, int8_linears));
         let last_use = compute_last_use(graph);
         Executor {
             graph,
@@ -678,6 +739,31 @@ impl<'g> Executor<'g> {
     /// The execution-ready weight store.
     pub fn materialized(&self) -> &MaterializedWeights {
         &self.materialized
+    }
+
+    /// Whether linear weights carry cached INT8 quantizations.
+    pub fn int8_linears(&self) -> bool {
+        self.int8_linears
+    }
+
+    /// A shared handle to the weights this executor currently serves from.
+    /// The swap layer pins this handle so an in-flight batch keeps its
+    /// generation even while a new one is published.
+    pub fn weights_handle(&self) -> Arc<MaterializedWeights> {
+        Arc::clone(&self.materialized)
+    }
+
+    /// Atomically adopt `weights` as the serving weights — an O(1) pointer
+    /// swap, the mechanism behind hot generation swaps. The caller is
+    /// responsible for having verified the new weights (checksum gate);
+    /// shape compatibility with the executor's graph is asserted.
+    pub fn install_weights(&mut self, weights: Arc<MaterializedWeights>) {
+        assert_eq!(
+            weights.nodes.len(),
+            self.graph.nodes().len(),
+            "installed weights cover a different graph"
+        );
+        self.materialized = weights;
     }
 
     fn check_input(&self, input: &Tensor) {
@@ -752,7 +838,9 @@ impl<'g> Executor<'g> {
             return 0;
         }
         let mut flips = 0u64;
-        self.materialized.for_each_buffer_mut(|tensor_id, buf| {
+        // Copy-on-write: a pristine copy held elsewhere (the swap layer's
+        // generation cell) is untouched by in-place corruption here.
+        Arc::make_mut(&mut self.materialized).for_each_buffer_mut(|tensor_id, buf| {
             for e in 0..buf.len() {
                 if let Some(bit) = plan.weight_flip(round, tensor_id, e as u64) {
                     flip_bit_in(buf, e, bit);
@@ -777,7 +865,11 @@ impl<'g> Executor<'g> {
     /// Checksums are recomputed, so a subsequent
     /// [`Executor::verify_weights`] passes.
     pub fn rematerialize(&mut self) {
-        self.materialized = MaterializedWeights::new(self.graph, &self.weights, self.int8_linears);
+        self.materialized = Arc::new(MaterializedWeights::new(
+            self.graph,
+            &self.weights,
+            self.int8_linears,
+        ));
     }
 
     /// Largest absolute element-wise gap between `output` and the reference
@@ -2127,7 +2219,7 @@ mod tests {
         let g = small_vit();
         let mut exec = Executor::new(&g, 42);
         let mut done = false;
-        exec.materialized.for_each_buffer_mut(|_, buf| {
+        Arc::make_mut(&mut exec.materialized).for_each_buffer_mut(|_, buf| {
             if !done && !buf.is_empty() {
                 harvest_tensor::flip_bit_in(buf, 0, 0);
                 done = true;
@@ -2209,7 +2301,7 @@ mod tests {
         // output moves, and the reference (regenerated from seed, immune to
         // materialized corruption) exposes it.
         let mut done = false;
-        exec.materialized.for_each_buffer_mut(|_, buf| {
+        Arc::make_mut(&mut exec.materialized).for_each_buffer_mut(|_, buf| {
             if !done && !buf.is_empty() {
                 harvest_tensor::flip_bit_in(buf, 0, 30);
                 done = true;

@@ -19,11 +19,17 @@
 //!   host: batched, weight-cached ([`MaterializedWeights`]) execution with
 //!   liveness-driven buffer reuse, plus the seed per-image reference path
 //!   used as oracle and benchmark baseline.
+//! * [`swap`] — hot-swappable weight generations: a length-framed,
+//!   checksummed artifact format ([`encode_artifact`] / [`decode_artifact`]
+//!   with typed rejection), and the double-buffered [`WeightsCell`] whose
+//!   numbered, fingerprinted [`Generation`]s let serving layers publish new
+//!   weights under live traffic and roll back in O(1).
 
 pub mod engine;
 pub mod exec;
 pub mod passes;
 pub mod planner;
+pub mod swap;
 
 pub use engine::{Engine, EngineError};
 pub use exec::{
@@ -32,3 +38,7 @@ pub use exec::{
 };
 pub use passes::{compile, ExecPlan, ExecStep, StepKind};
 pub use planner::{plan_activations, ActivationPlan};
+pub use swap::{
+    decode_artifact, decode_artifact_staged, encode_artifact, ArtifactError, Generation,
+    WeightsCell, ARTIFACT_MAGIC, ARTIFACT_VERSION,
+};

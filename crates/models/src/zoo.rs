@@ -52,10 +52,20 @@ impl ModelId {
     /// Build the IR graph with its default head.
     pub fn build(self) -> Graph {
         match self {
-            ModelId::VitTiny => vit_tiny(39),
-            ModelId::VitSmall => vit_small(39),
-            ModelId::VitBase => vit_base(39),
-            ModelId::ResNet50 => resnet50(1000),
+            ModelId::VitTiny => vit_tiny(self.classes()),
+            ModelId::VitSmall => vit_small(self.classes()),
+            ModelId::VitBase => vit_base(self.classes()),
+            ModelId::ResNet50 => resnet50(self.classes()),
+        }
+    }
+
+    /// Classifier head width of the default build (39 = Plant Village for
+    /// the ViTs, 1000 = ImageNet for ResNet50). Two models are
+    /// interchangeable in a degradation ladder only when these match.
+    pub fn classes(self) -> usize {
+        match self {
+            ModelId::VitTiny | ModelId::VitSmall | ModelId::VitBase => 39,
+            ModelId::ResNet50 => 1000,
         }
     }
 

@@ -347,7 +347,14 @@ pub fn write_response(
 ) {
     out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
     out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
-    out.extend_from_slice(b"Content-Type: application/json\r\n");
+    // JSON is the default; an explicit Content-Type in the extras (the
+    // `/metrics` text snapshot) takes its place.
+    if !extra_headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("content-type"))
+    {
+        out.extend_from_slice(b"Content-Type: application/json\r\n");
+    }
     for (name, value) in extra_headers {
         out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
     }

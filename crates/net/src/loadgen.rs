@@ -1,6 +1,6 @@
 //! Deterministic chaos load generator for the wire front-end.
 //!
-//! Drives N single-request connections at a [`WireServer`] through
+//! Drives N single-request connections at a [`crate::WireServer`] through
 //! [`FaultySocket`], so every connection acts out the fate its
 //! [`SocketFaultPlan`] assigns: clean exchange, mid-request reset,
 //! truncation + half-close, one garbled byte, or a stall past the server's

@@ -16,13 +16,20 @@
 //!   cost at most one bounded buffer and one deadline tick;
 //! * every fully parsed request gets **exactly one** response: a
 //!   classification, a typed error, or an explicit `503 Retry-After`.
-//!   [`WireStats::conserved`] checks the ledger:
+//!   [`WireSnapshot::conserved`] checks the ledger:
 //!   `responded_ok + responded_error + rejected + shed == accepted`;
 //! * graceful drain ([`WireServer::begin_drain`] /
 //!   [`WireServer::shutdown`]): in-flight batches flush to completion, new
 //!   work is answered `503` with `Retry-After`, and every spawned thread is
 //!   joined — the [`DrainReport`] counts them so leaks are a test failure,
-//!   not a mystery.
+//!   not a mystery;
+//! * live operations: `POST /admin/swap` stages a weight artifact through
+//!   the engine's integrity-gated load (one staging slot — a concurrent
+//!   swap gets `409`; a draining or breaker-open engine gets `503`), and
+//!   `GET /metrics` exposes a deterministic text snapshot of the wire
+//!   ledger, queue depths, breaker/ladder state, and the weight-generation
+//!   cell (current/previous fingerprints, swap/rollback/rejected-load
+//!   counts).
 
 use crate::http::{parse_request, write_response, HttpLimits, Method, Parsed, Request};
 use harvest_imaging::decode_auto;
@@ -41,7 +48,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use harvest_engine::Executor;
+use harvest_engine::{ActivationGuard, Executor};
 
 /// Everything the wire needs to come up.
 #[derive(Clone, Debug)]
@@ -78,6 +85,10 @@ pub struct WireConfig {
     /// Must share `img` and `classes` with `model`. `None` probes the full
     /// model directly.
     pub degraded_model: Option<VitConfig>,
+    /// Finite-magnitude ceiling for the swap sentinel that vets a freshly
+    /// swapped generation's first batch (a violation rolls the swap back);
+    /// `None` still checks for NaN/Inf.
+    pub swap_guard_range_limit: Option<f32>,
 }
 
 impl Default for WireConfig {
@@ -115,6 +126,7 @@ impl Default for WireConfig {
                 mlp_ratio: 2,
                 classes: 4,
             }),
+            swap_guard_range_limit: Some(1e6),
         }
     }
 }
@@ -232,12 +244,14 @@ pub struct DrainReport {
 /// One request's resolution, sent back from the engine thread.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum WireOutcome {
-    /// Inference ran; argmax class, the batch the request rode in, and
-    /// whether the degraded ladder rung served it.
+    /// Inference ran; argmax class, the batch the request rode in, whether
+    /// the degraded ladder rung served it, and the weight generation that
+    /// produced the logits.
     Done {
         class: usize,
         batch: usize,
         degraded: bool,
+        generation: u64,
     },
     /// Bounded queue (or drain) turned the request away.
     Rejected,
@@ -260,6 +274,28 @@ enum EngineMsg {
     TripBreaker,
     /// Flush every queued request and refuse new ones.
     Drain,
+    /// Stage a weight artifact: verify, publish, install — or reject with
+    /// a typed error and keep serving the current generation.
+    Swap {
+        body: Vec<u8>,
+        reply: mpsc::Sender<SwapOutcome>,
+    },
+    /// Snapshot the engine-side metrics (queues, breaker, generations).
+    Metrics { reply: mpsc::Sender<String> },
+}
+
+/// Resolution of one `POST /admin/swap`, sent back from the engine thread.
+enum SwapOutcome {
+    /// The artifact passed every check and now serves.
+    Swapped { generation: u64, fingerprint: u64 },
+    /// The integrity gate refused the artifact; the serving generation is
+    /// untouched.
+    Rejected { error: String },
+    /// The admission breaker is open: the engine is not healthy enough to
+    /// take a new generation.
+    BreakerOpen,
+    /// The engine has drained; no further swaps.
+    Draining,
 }
 
 /// State shared by the accept loops and the shutdown path.
@@ -269,6 +305,9 @@ struct Shared {
     stopping: AtomicBool,
     next_id: AtomicU64,
     in_flight: AtomicU64,
+    /// One swap may stage at a time: held from `/admin/swap` admission
+    /// until the engine's verdict lands; a concurrent swap gets `409`.
+    swap_staging: AtomicBool,
 }
 
 /// A running wire front-end. Dropping it without [`WireServer::shutdown`]
@@ -315,6 +354,7 @@ impl WireServer {
             stopping: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            swap_staging: AtomicBool::new(false),
         });
 
         config
@@ -336,11 +376,23 @@ impl WireServer {
             let degraded_model = config.degraded_model;
             let seed = config.model_seed;
             let breaker = config.breaker;
+            let swap_guard = ActivationGuard {
+                range_limit: config.swap_guard_range_limit,
+            };
             let tick = Duration::from_millis(config.max_queue_delay_ms.div_ceil(2).max(1));
             std::thread::Builder::new()
                 .name("wire-engine".to_string())
                 .spawn(move || {
-                    engine_loop(rx, model, degraded_model, seed, batcher, breaker, tick)
+                    engine_loop(
+                        rx,
+                        model,
+                        degraded_model,
+                        seed,
+                        batcher,
+                        breaker,
+                        swap_guard,
+                        tick,
+                    )
                 })?
         };
 
@@ -449,6 +501,7 @@ struct PendingReply {
 /// ones get `503`; **open** → everything gets `503 Retry-After`.
 /// Completions feed the breaker's success EWMA, engine faults feed its
 /// error EWMA.
+#[allow(clippy::too_many_arguments)]
 fn engine_loop(
     rx: mpsc::Receiver<EngineMsg>,
     model: VitConfig,
@@ -456,11 +509,13 @@ fn engine_loop(
     seed: u64,
     batcher: BatcherConfig,
     breaker_config: BreakerConfig,
+    swap_guard: ActivationGuard,
     tick: Duration,
 ) {
     let graph = vit("wire-served", &model);
     let mut server = RealBatchServer::new(Executor::new(&graph, seed), batcher)
         .expect("batcher config validated at start()");
+    server.set_swap_guard(swap_guard);
     let degraded_graph = degraded_model.map(|m| vit("wire-degraded", &m));
     let mut degraded_server = degraded_graph.as_ref().map(|g| {
         RealBatchServer::new(Executor::new(g, seed ^ 0x0ddu64), batcher)
@@ -490,6 +545,7 @@ fn engine_loop(
                     class: argmax(c.output.data()),
                     batch: c.batch_size,
                     degraded: p.degraded,
+                    generation: c.generation,
                 });
             }
         }
@@ -564,6 +620,38 @@ fn engine_loop(
             Ok(EngineMsg::TripBreaker) => {
                 breaker.force_open(now(&start));
             }
+            Ok(EngineMsg::Swap { body, reply }) => {
+                // Swaps serialize at batch boundaries for free: this thread
+                // alternates between whole batches and whole messages, so an
+                // in-flight batch finished on its generation before the swap
+                // ran, and the next batch picks up the new one.
+                let t = now(&start);
+                if drained {
+                    let _ = reply.send(SwapOutcome::Draining);
+                    continue;
+                }
+                if matches!(breaker.state(t), BreakerState::Open) {
+                    let _ = reply.send(SwapOutcome::BreakerOpen);
+                    continue;
+                }
+                let _ = reply.send(match server.swap_artifact(&body) {
+                    Ok(generation) => SwapOutcome::Swapped {
+                        generation,
+                        fingerprint: server.weights_cell().current().fingerprint(),
+                    },
+                    Err(e) => SwapOutcome::Rejected {
+                        error: e.to_string(),
+                    },
+                });
+            }
+            Ok(EngineMsg::Metrics { reply }) => {
+                let _ = reply.send(engine_metrics(
+                    &server,
+                    degraded_server.as_ref(),
+                    &mut breaker,
+                    now(&start),
+                ));
+            }
             Ok(EngineMsg::Drain) => {
                 let t = now(&start);
                 let done = server.flush();
@@ -596,6 +684,82 @@ fn engine_loop(
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
+}
+
+/// The engine-side half of the `/metrics` snapshot: queue depths, breaker
+/// and ladder state, integrity counters, and the weight-generation cell.
+/// One `name value` pair per line, fixed order, no timestamps — the text
+/// is a pure function of the counters, so identical runs produce identical
+/// snapshots.
+fn engine_metrics(
+    server: &RealBatchServer<'_>,
+    degraded: Option<&RealBatchServer<'_>>,
+    breaker: &mut CircuitBreaker,
+    t: SimTime,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let cell = server.weights_cell();
+    let _ = writeln!(out, "generation_current {}", cell.current().number());
+    let _ = writeln!(
+        out,
+        "generation_current_fingerprint {:#018x}",
+        cell.current().fingerprint()
+    );
+    match cell.previous() {
+        Some(p) => {
+            let _ = writeln!(out, "generation_previous {}", p.number());
+            let _ = writeln!(
+                out,
+                "generation_previous_fingerprint {:#018x}",
+                p.fingerprint()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "generation_previous -1");
+            let _ = writeln!(out, "generation_previous_fingerprint 0x0000000000000000");
+        }
+    }
+    let _ = writeln!(out, "swaps_total {}", cell.swaps());
+    let _ = writeln!(out, "rollbacks_total {}", cell.rollbacks());
+    let _ = writeln!(out, "rejected_loads_total {}", cell.rejected_loads());
+    let _ = writeln!(out, "quarantined_generations {}", cell.quarantined().len());
+    let _ = writeln!(out, "queue_depth_full {}", server.queued());
+    let _ = writeln!(out, "executed_batches_full {}", server.executed_batches());
+    let _ = writeln!(out, "executed_requests_full {}", server.executed_requests());
+    match degraded {
+        Some(d) => {
+            let _ = writeln!(out, "queue_depth_degraded {}", d.queued());
+            let _ = writeln!(out, "executed_requests_degraded {}", d.executed_requests());
+        }
+        None => {
+            let _ = writeln!(out, "queue_depth_degraded 0");
+            let _ = writeln!(out, "executed_requests_degraded 0");
+        }
+    }
+    // Ladder position doubles as the breaker state: 0 = closed (full
+    // model), 1 = half-open (degraded rung), 2 = open (refusing).
+    let ladder = match breaker.state(t) {
+        BreakerState::Closed => 0,
+        BreakerState::HalfOpen => 1,
+        BreakerState::Open => 2,
+    };
+    let _ = writeln!(out, "breaker_state {ladder}");
+    let _ = writeln!(
+        out,
+        "ladder_degraded_configured {}",
+        degraded.is_some() as u8
+    );
+    let intg = server.integrity_stats();
+    let _ = writeln!(out, "integrity_enabled {}", intg.is_some() as u8);
+    let (detected, recovered, quarantined, escaped) = intg
+        .map(|s| (s.detected, s.recovered, s.quarantined, s.escaped))
+        .unwrap_or((0, 0, 0, 0));
+    let _ = writeln!(out, "integrity_detected {detected}");
+    let _ = writeln!(out, "integrity_recovered {recovered}");
+    let _ = writeln!(out, "integrity_quarantined {quarantined}");
+    let _ = writeln!(out, "integrity_escaped {escaped}");
+    out
 }
 
 /// First maximum wins, so ties are deterministic.
@@ -778,15 +942,31 @@ fn respond(
             let body = format!("{{\"ok\":true,\"draining\":{draining}}}");
             send_response(stream, stats, 200, "OK", &[], body.as_bytes(), keep)
         }
+        (Method::Get, "/metrics") => metrics(stream, request, shared, tx),
         (Method::Post, "/classify") => classify(stream, request, shared, tx, config),
-        (_, "/healthz") | (_, "/classify") => {
+        (Method::Post, "/admin/swap") => admin_swap(stream, request, shared, tx),
+        // Known path, wrong method: 405 with the allowed method spelled
+        // out, as RFC 9110 requires.
+        (_, "/healthz") | (_, "/metrics") => {
             stats.responded_error.fetch_add(1, Ordering::SeqCst);
             send_response(
                 stream,
                 stats,
                 405,
                 "Method Not Allowed",
-                &[],
+                &[("Allow", "GET")],
+                b"{\"error\":\"method not allowed\"}",
+                keep,
+            )
+        }
+        (_, "/classify") | (_, "/admin/swap") => {
+            stats.responded_error.fetch_add(1, Ordering::SeqCst);
+            send_response(
+                stream,
+                stats,
+                405,
+                "Method Not Allowed",
+                &[("Allow", "POST")],
                 b"{\"error\":\"method not allowed\"}",
                 keep,
             )
@@ -895,12 +1075,15 @@ fn classify(
             class,
             batch,
             degraded,
+            generation,
         } => {
             stats.responded_ok.fetch_add(1, Ordering::SeqCst);
             if degraded {
                 stats.degraded_ok.fetch_add(1, Ordering::SeqCst);
             }
-            let body = format!("{{\"class\":{class},\"batch\":{batch},\"degraded\":{degraded}}}");
+            let body = format!(
+                "{{\"class\":{class},\"batch\":{batch},\"degraded\":{degraded},\"generation\":{generation}}}"
+            );
             send_response(stream, stats, 200, "OK", &[], body.as_bytes(), keep)
         }
         WireOutcome::BreakerOpen => {
@@ -953,6 +1136,157 @@ fn classify(
             )
         }
     }
+}
+
+/// The hot-swap path: stage the artifact body through the engine's
+/// integrity-gated load. One swap stages at a time (`409` for a racing
+/// second one); a draining server or an open breaker answers `503`.
+fn admin_swap(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Shared,
+    tx: &mpsc::Sender<EngineMsg>,
+) -> bool {
+    let stats = &shared.stats;
+    let keep = request.keep_alive;
+    let retry = [("Retry-After", "1")];
+    if shared.draining.load(Ordering::SeqCst) {
+        stats.rejected.fetch_add(1, Ordering::SeqCst);
+        return send_response(
+            stream,
+            stats,
+            503,
+            "Service Unavailable",
+            &retry,
+            b"{\"error\":\"draining\"}",
+            keep,
+        );
+    }
+    if shared.swap_staging.swap(true, Ordering::SeqCst) {
+        stats.responded_error.fetch_add(1, Ordering::SeqCst);
+        return send_response(
+            stream,
+            stats,
+            409,
+            "Conflict",
+            &[],
+            b"{\"error\":\"a swap is already staging\"}",
+            keep,
+        );
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let outcome = if tx
+        .send(EngineMsg::Swap {
+            body: request.body.clone(),
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        SwapOutcome::Draining
+    } else {
+        reply_rx
+            .recv_timeout(Duration::from_secs(30))
+            .unwrap_or(SwapOutcome::Rejected {
+                error: "engine timeout".to_string(),
+            })
+    };
+    shared.swap_staging.store(false, Ordering::SeqCst);
+    match outcome {
+        SwapOutcome::Swapped {
+            generation,
+            fingerprint,
+        } => {
+            stats.responded_ok.fetch_add(1, Ordering::SeqCst);
+            let body =
+                format!("{{\"generation\":{generation},\"fingerprint\":\"{fingerprint:#018x}\"}}");
+            send_response(stream, stats, 200, "OK", &[], body.as_bytes(), keep)
+        }
+        SwapOutcome::Rejected { error } => {
+            stats.responded_error.fetch_add(1, Ordering::SeqCst);
+            let body = format!("{{\"error\":\"{error}\"}}");
+            send_response(
+                stream,
+                stats,
+                422,
+                "Unprocessable Content",
+                &[],
+                body.as_bytes(),
+                keep,
+            )
+        }
+        SwapOutcome::BreakerOpen => {
+            stats.rejected.fetch_add(1, Ordering::SeqCst);
+            stats.breaker_open.fetch_add(1, Ordering::SeqCst);
+            send_response(
+                stream,
+                stats,
+                503,
+                "Service Unavailable",
+                &retry,
+                b"{\"error\":\"breaker open\"}",
+                keep,
+            )
+        }
+        SwapOutcome::Draining => {
+            stats.rejected.fetch_add(1, Ordering::SeqCst);
+            send_response(
+                stream,
+                stats,
+                503,
+                "Service Unavailable",
+                &retry,
+                b"{\"error\":\"draining\"}",
+                keep,
+            )
+        }
+    }
+}
+
+/// The live metrics snapshot: the engine's half (generations, queues,
+/// breaker, integrity) plus the wire ledger, as deterministic
+/// `name value` text lines.
+fn metrics(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Shared,
+    tx: &mpsc::Sender<EngineMsg>,
+) -> bool {
+    use std::fmt::Write as _;
+    let stats = &shared.stats;
+    let keep = request.keep_alive;
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let mut body = if tx.send(EngineMsg::Metrics { reply: reply_tx }).is_ok() {
+        reply_rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap_or_default()
+    } else {
+        String::new()
+    };
+    let snap = shared.stats.snapshot();
+    let _ = writeln!(body, "wire_connections {}", snap.connections);
+    let _ = writeln!(body, "wire_accepted {}", snap.accepted);
+    let _ = writeln!(body, "wire_responded_ok {}", snap.responded_ok);
+    let _ = writeln!(body, "wire_responded_error {}", snap.responded_error);
+    let _ = writeln!(body, "wire_rejected {}", snap.rejected);
+    let _ = writeln!(body, "wire_shed {}", snap.shed);
+    let _ = writeln!(body, "wire_bad_requests {}", snap.bad_requests);
+    let _ = writeln!(body, "wire_breaker_open {}", snap.breaker_open);
+    let _ = writeln!(body, "wire_degraded_ok {}", snap.degraded_ok);
+    let _ = writeln!(
+        body,
+        "wire_draining {}",
+        shared.draining.load(Ordering::SeqCst) as u8
+    );
+    stats.responded_ok.fetch_add(1, Ordering::SeqCst);
+    send_response(
+        stream,
+        stats,
+        200,
+        "OK",
+        &[("Content-Type", "text/plain; version=0.0.4")],
+        body.as_bytes(),
+        keep,
+    )
 }
 
 /// Write one response; a failed write closes the connection but never
@@ -1227,5 +1561,165 @@ mod tests {
         assert!(report.stats.conserved(), "{:?}", report.stats);
         assert!(report.stats.breaker_open >= 1, "{:?}", report.stats);
         assert!(report.stats.degraded_ok >= 1, "{:?}", report.stats);
+    }
+
+    /// Send one raw request, return (status, full response text).
+    fn raw_request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut req = format!(
+            "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        req.extend_from_slice(body);
+        stream.write_all(&req).expect("send");
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).expect("recv");
+        let (status, _) = parse_response(&resp, &HttpLimits::default())
+            .expect("well-formed response")
+            .expect("complete response");
+        (status, String::from_utf8_lossy(&resp).into_owned())
+    }
+
+    fn artifact_for(model: &VitConfig, seed: u64) -> Vec<u8> {
+        let g = vit("artifact", model);
+        harvest_engine::encode_artifact(&harvest_engine::MaterializedWeights::new(
+            &g,
+            &harvest_engine::WeightStore::new(seed),
+            false,
+        ))
+    }
+
+    #[test]
+    fn wrong_methods_get_405_with_allow_header() {
+        let server = WireServer::start(WireConfig {
+            accept_threads: 1,
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+        for (method, path, allow) in [
+            ("POST", "/healthz", "Allow: GET"),
+            ("POST", "/metrics", "Allow: GET"),
+            ("GET", "/classify", "Allow: POST"),
+            ("GET", "/admin/swap", "Allow: POST"),
+        ] {
+            let (status, text) = raw_request(addr, method, path, b"");
+            assert_eq!(status, 405, "{method} {path}: {text}");
+            assert!(
+                text.contains(allow),
+                "{method} {path} missing header: {text}"
+            );
+        }
+        let report = server.shutdown();
+        assert_eq!(report.stats.responded_error, 4);
+        assert!(report.stats.conserved());
+    }
+
+    #[test]
+    fn hot_swap_switches_generations_and_shows_in_metrics() {
+        let server = WireServer::start(WireConfig {
+            accept_threads: 2,
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+        let img = sample_image();
+
+        // Before any swap, classifications carry generation 0.
+        let (status, body) = post_classify(addr, &img);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"generation\":0"), "{body}");
+
+        // A verified artifact swaps in as generation 1…
+        let artifact = artifact_for(&server.config().model, 99);
+        let (status, text) = raw_request(addr, "POST", "/admin/swap", &artifact);
+        assert_eq!(status, 200, "{text}");
+        assert!(text.contains("\"generation\":1"), "{text}");
+
+        // …and the next classification runs on it.
+        let (status, body) = post_classify(addr, &img);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"generation\":1"), "{body}");
+
+        // A corrupt artifact is refused with a typed 422 and changes nothing.
+        let mut bad = artifact.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x20;
+        let (status, text) = raw_request(addr, "POST", "/admin/swap", &bad);
+        assert_eq!(status, 422, "{text}");
+        let (status, body) = post_classify(addr, &img);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"generation\":1"), "{body}");
+
+        // The metrics snapshot shows the whole story.
+        let (status, text) = raw_request(addr, "GET", "/metrics", b"");
+        assert_eq!(status, 200, "{text}");
+        assert!(text.contains("Content-Type: text/plain"), "{text}");
+        for line in [
+            "generation_current 1",
+            "generation_previous 0",
+            "swaps_total 1",
+            "rollbacks_total 0",
+            "rejected_loads_total 1",
+            "breaker_state 0",
+            "ladder_degraded_configured 1",
+            "integrity_enabled 0",
+            "wire_draining 0",
+        ] {
+            assert!(text.contains(line), "missing {line:?} in:\n{text}");
+        }
+
+        let report = server.shutdown();
+        assert!(report.stats.conserved(), "{:?}", report.stats);
+        // 3 classifies + 1 swap + 1 metrics ok; 1 rejected swap errored.
+        assert_eq!(report.stats.responded_ok, 5, "{:?}", report.stats);
+        assert_eq!(report.stats.responded_error, 1, "{:?}", report.stats);
+    }
+
+    #[test]
+    fn poisoned_swap_rolls_back_on_first_batch_over_the_wire() {
+        let server = WireServer::start(WireConfig {
+            accept_threads: 1,
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+        let img = sample_image();
+
+        // A poisoned artifact: self-consistent checksums over garbage
+        // exponents, so the load gate passes and the swap publishes.
+        let g = vit("poisoned", &server.config().model);
+        let mut w = harvest_engine::MaterializedWeights::new(
+            &g,
+            &harvest_engine::WeightStore::new(99),
+            false,
+        );
+        w.for_each_buffer_mut(|_, buf| {
+            buf[0] = f32::from_bits(buf[0].to_bits() | 0x7800_0000);
+        });
+        let poisoned = harvest_engine::encode_artifact(&w);
+        let (status, text) = raw_request(addr, "POST", "/admin/swap", &poisoned);
+        assert_eq!(status, 200, "load gate passes: {text}");
+        assert!(text.contains("\"generation\":1"), "{text}");
+
+        // The first batch trips the swap sentinel: automatic rollback, the
+        // request is answered from generation 0, generation 1 serves no one.
+        let (status, body) = post_classify(addr, &img);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"generation\":0"), "{body}");
+
+        let (status, text) = raw_request(addr, "GET", "/metrics", b"");
+        assert_eq!(status, 200);
+        for line in [
+            "generation_current 0",
+            "swaps_total 1",
+            "rollbacks_total 1",
+            "quarantined_generations 1",
+        ] {
+            assert!(text.contains(line), "missing {line:?} in:\n{text}");
+        }
+        let report = server.shutdown();
+        assert!(report.stats.conserved(), "{:?}", report.stats);
     }
 }

@@ -61,6 +61,53 @@ fn classify_once(addr: std::net::SocketAddr, body: &[u8]) -> u16 {
     }
 }
 
+/// One connection, one raw request; returns (status, full response text).
+fn request_once(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut req = format!(
+        "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    stream.write_all(&req).expect("send");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((status, _)) = parse_response(&buf, &HttpLimits::default()).expect("response") {
+            return (status, String::from_utf8_lossy(&buf).into_owned());
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "connection closed before a complete response");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Serialize fresh weights for the wire's served model.
+fn artifact_for(model: &harvest_models::VitConfig, seed: u64) -> Vec<u8> {
+    let g = harvest_models::vit("artifact", model);
+    harvest_engine::encode_artifact(&harvest_engine::MaterializedWeights::new(
+        &g,
+        &harvest_engine::WeightStore::new(seed),
+        false,
+    ))
+}
+
+/// Pull one `name value` line out of a `/metrics` snapshot.
+fn metric_line<'t>(text: &'t str, name: &str) -> &'t str {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"))
+}
+
 #[test]
 fn drain_flips_requests_to_503_and_shutdown_joins_every_thread() {
     let server = WireServer::start(WireConfig {
@@ -235,5 +282,106 @@ fn overload_with_drop_oldest_sheds_but_conserves() {
         16,
         "every accepted request is accounted: {:?}",
         report.stats
+    );
+}
+
+#[test]
+fn swap_then_drain_completes_the_swap_and_replays_identically() {
+    // Swap before drain: the swap lands, the drain follows, and a swap
+    // attempted *after* the drain is an explicit 503. The whole
+    // interleaving is deterministic — two fresh servers replay the same
+    // statuses, the same metrics lines, and the same server ledger.
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let server = WireServer::start(WireConfig {
+            accept_threads: 1,
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+        let body = image_body(1);
+        let artifact = artifact_for(&server.config().model, 99);
+
+        assert_eq!(classify_once(addr, &body), 200);
+        let (status, text) = request_once(addr, "POST", "/admin/swap", &artifact);
+        assert_eq!(status, 200, "swap before drain lands: {text}");
+        server.begin_drain();
+        // The swap is already published; draining only refuses new work.
+        let (status, _) = request_once(
+            addr,
+            "POST",
+            "/admin/swap",
+            &artifact_for(&server.config().model, 5),
+        );
+        assert_eq!(status, 503, "swap after drain is refused");
+        assert_eq!(classify_once(addr, &body), 503);
+
+        let (status, metrics) = request_once(addr, "GET", "/metrics", b"");
+        assert_eq!(status, 200);
+        assert_eq!(
+            metric_line(&metrics, "generation_current"),
+            "generation_current 1"
+        );
+        assert_eq!(metric_line(&metrics, "swaps_total"), "swaps_total 1");
+        assert_eq!(
+            metric_line(&metrics, "rollbacks_total"),
+            "rollbacks_total 0"
+        );
+        assert_eq!(metric_line(&metrics, "wire_draining"), "wire_draining 1");
+        let fingerprint = metric_line(&metrics, "generation_current_fingerprint").to_string();
+
+        let report = server.shutdown();
+        assert_eq!(report.threads_joined, 2, "1 accept loop + 1 engine");
+        assert!(report.stats.conserved(), "ledger: {:?}", report.stats);
+        runs.push((fingerprint, report.stats));
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "swap→drain interleaving replays bit-for-bit"
+    );
+}
+
+#[test]
+fn drain_then_swap_aborts_the_swap_and_replays_identically() {
+    // Drain before swap: the swap must abort — deterministically, with an
+    // explicit 503 — and the boot generation keeps serving the flush.
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let server = WireServer::start(WireConfig {
+            accept_threads: 1,
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+        let body = image_body(1);
+        let artifact = artifact_for(&server.config().model, 99);
+
+        assert_eq!(classify_once(addr, &body), 200);
+        server.begin_drain();
+        let (status, text) = request_once(addr, "POST", "/admin/swap", &artifact);
+        assert_eq!(status, 503, "swap during drain aborts: {text}");
+
+        let (status, metrics) = request_once(addr, "GET", "/metrics", b"");
+        assert_eq!(status, 200);
+        assert_eq!(
+            metric_line(&metrics, "generation_current"),
+            "generation_current 0"
+        );
+        assert_eq!(metric_line(&metrics, "swaps_total"), "swaps_total 0");
+        assert_eq!(
+            metric_line(&metrics, "rejected_loads_total"),
+            "rejected_loads_total 0",
+            "an aborted swap is a refusal, not a bad artifact"
+        );
+        let fingerprint = metric_line(&metrics, "generation_current_fingerprint").to_string();
+
+        let report = server.shutdown();
+        assert_eq!(report.threads_joined, 2, "1 accept loop + 1 engine");
+        assert!(report.stats.conserved(), "ledger: {:?}", report.stats);
+        runs.push((fingerprint, report.stats));
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "drain→swap interleaving replays bit-for-bit"
     );
 }

@@ -3,10 +3,10 @@
 //!
 //! Each [`RegionShard`] is one simulated cluster of the Jetson → V100 →
 //! A100 continuum serving its region's slice of a
-//! [`FleetTraceConfig`](harvest_simkit::FleetTraceConfig) workload:
+//! [`harvest_simkit::FleetTraceConfig`] workload:
 //!
 //! * arrivals stream from a per-region
-//!   [`RegionTrace`](harvest_simkit::RegionTrace) (never materialized
+//!   [`harvest_simkit::RegionTrace`] (never materialized
 //!   whole) and are admitted to a bounded per-tier queue — monitoring and
 //!   scouting prefer the edge tier, drone-survey bursts go straight to the
 //!   regional tier;

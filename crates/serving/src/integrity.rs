@@ -31,7 +31,8 @@
 //!
 //! The batched path and the reference path agree within `g_0 ≈ 1e-4`
 //! (asserted by engine tests). The cross-check fires when
-//! `gap(output, reference) > DETECT_TOL = 1e-3`. Because [`max_abs_gap`]
+//! `gap(output, reference) > DETECT_TOL = 1e-3`. Because
+//! [`harvest_tensor::integrity::max_abs_gap`]
 //! is a true metric, an *undetected* batch satisfies
 //! `gap(output, clean) ≤ gap(output, reference) + gap(reference, clean)
 //! ≤ 1e-3 + g_0`, which is below `ESCAPE_TOL = 4e-3` — so with the full
@@ -283,6 +284,35 @@ impl<'g> IntegrityCluster<'g> {
     /// The breaker bank fronting the nodes.
     pub fn breakers(&self) -> &BreakerBank {
         &self.bank
+    }
+
+    /// Broadcast a weight artifact to every node. Each node verifies and
+    /// publishes independently (a node rejecting the artifact keeps its
+    /// serving generation); per-node results come back in node order.
+    pub fn swap_artifact(
+        &mut self,
+        bytes: &[u8],
+    ) -> Vec<Result<u64, harvest_engine::ArtifactError>> {
+        self.servers
+            .iter_mut()
+            .map(|s| s.swap_artifact(bytes))
+            .collect()
+    }
+
+    /// Per-node `(generation, swaps, rollbacks, rejected_loads)` snapshot.
+    pub fn generations(&self) -> Vec<(u64, u64, u64, u64)> {
+        self.servers
+            .iter()
+            .map(|s| {
+                let c = s.weights_cell();
+                (
+                    c.current().number(),
+                    c.swaps(),
+                    c.rollbacks(),
+                    c.rejected_loads(),
+                )
+            })
+            .collect()
     }
 
     /// Cluster-wide integrity counters.

@@ -234,6 +234,22 @@ impl MultiModelServer {
     /// (ordered best-first). Adaptive submissions then route to the current
     /// tier, and every ladder completion updates the miss-rate window.
     pub fn enable_ladder(&mut self, config: LadderConfig) -> Result<(), EngineError> {
+        // Ladder tiers answer the *same* request, so every tier must share
+        // one classifier head — catching a 39-vs-1000-class mismatch here,
+        // at ladder construction, instead of at the first degraded forward.
+        let head = self.lanes[0].engine.model();
+        for lane in &self.lanes[1..] {
+            let tier = lane.engine.model();
+            if tier.classes() != head.classes() {
+                return Err(EngineError::InvalidConfig(format!(
+                    "ladder tiers must share one class head: {} has {} classes but {} has {}",
+                    head.name(),
+                    head.classes(),
+                    tier.name(),
+                    tier.classes()
+                )));
+            }
+        }
         if config.window == 0 {
             return Err(EngineError::InvalidConfig(
                 "ladder window must be at least 1".into(),
@@ -544,6 +560,29 @@ mod tests {
             upgrade_miss_rate: 0.05,
             hold: SimTime::from_millis(50),
         }
+    }
+
+    #[test]
+    fn mismatched_ladder_heads_are_rejected_at_construction() {
+        // ResNet50's 1000-class head cannot stand in for a 39-class ViT, and
+        // the ladder must say so up front, not at the first degraded forward.
+        let mut s = server(&[hosted(ModelId::VitBase, 8), hosted(ModelId::ResNet50, 16)]);
+        let err = s.enable_ladder(ladder_config(16_700)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("class head"), "unexpected error: {msg}");
+        assert!(
+            msg.contains("39") && msg.contains("1000"),
+            "unexpected error: {msg}"
+        );
+        // The same pair is still a legal *fan-out* host — only laddering
+        // requires head compatibility.
+        let mut fanout = server(&[hosted(ModelId::VitBase, 8), hosted(ModelId::ResNet50, 16)]);
+        for i in 0..16u64 {
+            fanout.submit_fanout(SimTime::from_micros(i * 800), &[0, 1]);
+        }
+        fanout.run_to_completion();
+        assert_eq!(fanout.completed(0), 16);
+        assert_eq!(fanout.completed(1), 16);
     }
 
     #[test]

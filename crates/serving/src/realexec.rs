@@ -19,11 +19,15 @@
 
 use crate::batcher::{BatcherConfig, BatcherConfigError, DynamicBatcher, QueuedRequest};
 use crate::integrity::{IntegrityStats, NodeIntegrity, DETECT_TOL, ESCAPE_TOL};
-use harvest_engine::{ActivationInjection, Executor};
+use harvest_engine::{
+    decode_artifact_staged, ActivationGuard, ActivationInjection, ArtifactError, Executor,
+    WeightsCell,
+};
 use harvest_simkit::SimTime;
 use harvest_tensor::integrity::max_abs_gap;
 use harvest_tensor::Tensor;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A finished request: real logits plus the batch it rode in.
 #[derive(Debug)]
@@ -34,6 +38,11 @@ pub struct Completion {
     pub output: Tensor,
     /// Size of the dispatched batch this request was part of.
     pub batch_size: usize,
+    /// Number of the weight generation that served this request. A batch
+    /// in flight when a swap lands finishes on the generation it started
+    /// with; a rolled-back batch is tagged with the generation it was
+    /// re-served on — a quarantined generation's number never appears here.
+    pub generation: u64,
 }
 
 /// Outcome of submitting one request.
@@ -105,11 +114,20 @@ pub struct RealBatchServer<'g> {
     failed: Vec<(u64, Tensor)>,
     /// Internal-state skews observed on the hot path (see [`ServeFault`]).
     faults: Vec<ServeFault>,
+    /// The double-buffered weight-generation cell: the generation serving
+    /// now plus the retained previous one, with the swap/rollback ledger.
+    cell: WeightsCell,
+    /// Sentinel applied to a fresh generation's first batch on the plain
+    /// (no integrity state machine) path, so a poisoned artifact that
+    /// passed its checksums is rolled back instead of served. `None` keeps
+    /// the plain path bit-identical to the pre-swap server.
+    swap_guard: Option<ActivationGuard>,
 }
 
 impl<'g> RealBatchServer<'g> {
     /// New server over an executor and a batching policy.
     pub fn new(exec: Executor<'g>, config: BatcherConfig) -> Result<Self, BatcherConfigError> {
+        let cell = WeightsCell::new(exec.weights_handle());
         Ok(RealBatchServer {
             exec,
             batcher: DynamicBatcher::new(config)?,
@@ -119,6 +137,8 @@ impl<'g> RealBatchServer<'g> {
             integrity: None,
             failed: Vec::new(),
             faults: Vec::new(),
+            cell,
+            swap_guard: None,
         })
     }
 
@@ -169,6 +189,67 @@ impl<'g> RealBatchServer<'g> {
     /// The executor backing this server.
     pub fn executor(&self) -> &Executor<'g> {
         &self.exec
+    }
+
+    /// The weight-generation cell: current/previous generation, swap,
+    /// rollback and rejected-load counters, quarantined generations.
+    pub fn weights_cell(&self) -> &WeightsCell {
+        &self.cell
+    }
+
+    /// Number of the generation currently serving.
+    pub fn generation(&self) -> u64 {
+        self.cell.current().number()
+    }
+
+    /// Arm the swap sentinel for the plain path: a freshly published
+    /// generation's first batch runs guarded, and a violation rolls the
+    /// swap back. The integrity path uses its own detector ladder instead.
+    pub fn set_swap_guard(&mut self, guard: ActivationGuard) {
+        self.swap_guard = Some(guard);
+    }
+
+    /// Verify `bytes` as a weight artifact and, when every check passes,
+    /// publish it as the next generation and install it for serving — the
+    /// next dispatched batch runs on it. Any framing, manifest or checksum
+    /// failure is a typed error, counts as a rejected load, and leaves the
+    /// serving generation untouched.
+    pub fn swap_artifact(&mut self, bytes: &[u8]) -> Result<u64, ArtifactError> {
+        self.swap_artifact_staged(bytes, None)
+    }
+
+    /// [`Self::swap_artifact`] with a simulated loader crash point after
+    /// `crash_after` tensors (see [`decode_artifact_staged`]): the staging
+    /// copy is dropped and the serving generation is untouched.
+    pub fn swap_artifact_staged(
+        &mut self,
+        bytes: &[u8],
+        crash_after: Option<u64>,
+    ) -> Result<u64, ArtifactError> {
+        let decoded = decode_artifact_staged(
+            bytes,
+            self.exec.graph(),
+            self.exec.int8_linears(),
+            crash_after,
+        );
+        match decoded {
+            Ok(w) => {
+                let number = self.cell.publish(Arc::new(w));
+                let weights = self.cell.current().weights();
+                self.exec.install_weights(Arc::clone(&weights));
+                if let Some(intg) = self.integrity.as_mut() {
+                    // The oracle tracks published generations so post-swap
+                    // cross-checks and dispositions compare against the new
+                    // clean weights (its copy is never injection-targeted).
+                    intg.oracle.install_weights(weights);
+                }
+                Ok(number)
+            }
+            Err(e) => {
+                self.cell.record_rejected_load();
+                Err(e)
+            }
+        }
     }
 
     /// Requests admitted but not yet dispatched.
@@ -254,19 +335,48 @@ impl<'g> RealBatchServer<'g> {
                 None => return Vec::new(),
             }
         } else {
-            self.exec.forward_batch(&inputs)
+            self.run_batch_plain(&inputs)
         };
         self.executed_batches += 1;
         self.executed_requests += ids.len() as u64;
         let batch_size = ids.len();
+        // Tagged after execution: if the batch triggered a rollback it was
+        // re-served on (and is attributed to) the rolled-back-to generation.
+        let generation = self.cell.current().number();
         ids.iter()
             .zip(outputs)
             .map(|(&id, output)| Completion {
                 id,
                 output,
                 batch_size,
+                generation,
             })
             .collect()
+    }
+
+    /// The plain execution path, with one swap hook: when a swap guard is
+    /// armed, a freshly published generation's first batch runs under the
+    /// activation sentinel. A violation means the artifact passed its
+    /// checksums but computes garbage (a poisoned producer): the swap is
+    /// rolled back and the batch re-served on the retained previous
+    /// generation — no request is ever answered from the bad one.
+    fn run_batch_plain(&mut self, inputs: &[Tensor]) -> Vec<Tensor> {
+        if self.cell.is_fresh() {
+            if let Some(guard) = self.swap_guard {
+                let run = self.exec.forward_batch_checked(inputs, Some(&guard), None);
+                if run.violation.is_none() {
+                    self.cell.mark_proven();
+                    return run.outputs;
+                }
+                if self.cell.rollback().is_some() {
+                    self.exec.install_weights(self.cell.current().weights());
+                }
+                return self.exec.forward_batch(inputs);
+            }
+            // No sentinel armed: the batch itself is the proof.
+            self.cell.mark_proven();
+        }
+        self.exec.forward_batch(inputs)
     }
 
     /// The integrity state machine for one dispatched batch. Returns the
@@ -324,10 +434,24 @@ impl<'g> RealBatchServer<'g> {
             }
             if let Some(outs) = &outputs {
                 if intg.config.cross_checks(round) {
-                    for (x, y) in inputs.iter().zip(outs) {
-                        if self.exec.reference_gap(x, y) > DETECT_TOL {
-                            detected = true;
-                            break;
+                    if self.cell.current().number() == 0 {
+                        for (x, y) in inputs.iter().zip(outs) {
+                            if self.exec.reference_gap(x, y) > DETECT_TOL {
+                                detected = true;
+                                break;
+                            }
+                        }
+                    } else {
+                        // Swapped generations have no seed-derived reference
+                        // path; cross-check against the oracle executor,
+                        // which tracks published generations and is never
+                        // injection-targeted.
+                        let clean = intg.oracle.forward_batch(&inputs);
+                        for (c, y) in clean.iter().zip(outs) {
+                            if max_abs_gap(c.data(), y.data()) > DETECT_TOL {
+                                detected = true;
+                                break;
+                            }
                         }
                     }
                 }
@@ -354,6 +478,9 @@ impl<'g> RealBatchServer<'g> {
                     } else {
                         intg.stats.masked += 1;
                     }
+                    // The generation carried a batch through the full
+                    // ladder: it has proven itself on live traffic.
+                    self.cell.mark_proven();
                     return Some(outs);
                 }
                 // An undetected attempt must carry outputs; the detect/emit
@@ -365,7 +492,20 @@ impl<'g> RealBatchServer<'g> {
             if attempt == 0 {
                 detected_once = true;
                 intg.stats.detected += 1;
-                self.exec.rematerialize();
+                // Recovery has two cases. A freshly published generation
+                // failing its very first checks is a bad artifact that
+                // slipped the load gate: roll back to the retained previous
+                // generation and quarantine it. A proven generation failing
+                // means in-memory corruption: reinstall the pristine bits
+                // of the *same* generation (the cell's copy is never
+                // injection-targeted, thanks to copy-on-write — this is the
+                // rematerialization step).
+                if self.cell.is_fresh() {
+                    self.cell.rollback();
+                }
+                let pristine = self.cell.current().weights();
+                self.exec.install_weights(Arc::clone(&pristine));
+                intg.oracle.install_weights(pristine);
                 if intg.plan.weight_flips_sticky() {
                     // The failing cell corrupts the fresh copy too: same
                     // round key, identical flips.
@@ -773,5 +913,224 @@ mod tests {
         assert!(stats.detected > 0, "cross-check must notice");
         assert_eq!(stats.escaped, 0, "{stats:?}");
         assert!(stats.conserved(), "{stats:?}");
+    }
+
+    // --- hot generation swaps ---
+
+    use harvest_engine::{encode_artifact, MaterializedWeights, WeightStore};
+
+    fn artifact_bytes(g: &harvest_models::Graph, seed: u64) -> Vec<u8> {
+        encode_artifact(&MaterializedWeights::new(g, &WeightStore::new(seed), false))
+    }
+
+    fn poisoned_bytes(g: &harvest_models::Graph, seed: u64) -> Vec<u8> {
+        let mut w = MaterializedWeights::new(g, &WeightStore::new(seed), false);
+        // Producer-side poison: exponent bits forced high *before* the
+        // checksums are taken, so the artifact is self-consistent and sails
+        // through the load gate — only an activation sentinel downstream
+        // can catch it.
+        w.for_each_buffer_mut(|_, buf| {
+            buf[0] = f32::from_bits(buf[0].to_bits() | 0x7800_0000);
+        });
+        encode_artifact(&w)
+    }
+
+    fn swapped_oracle<'g>(g: &'g harvest_models::Graph, seed: u64) -> Executor<'g> {
+        let mut oracle = Executor::new(g, 7);
+        oracle.install_weights(Arc::new(MaterializedWeights::new(
+            g,
+            &WeightStore::new(seed),
+            false,
+        )));
+        oracle
+    }
+
+    #[test]
+    fn clean_swap_switches_generation_between_batches() {
+        let g = tiny_graph();
+        let before = Executor::new(&g, 7);
+        let after = swapped_oracle(&g, 99);
+        let mut server = RealBatchServer::new(
+            Executor::new(&g, 7),
+            BatcherConfig::new(2, SimTime::from_millis(1000)),
+        )
+        .expect("valid config");
+        server.submit(0, input(1), SimTime::ZERO);
+        let first = server.submit(1, input(2), SimTime::ZERO).completed;
+        assert_eq!(first.len(), 2);
+        for c in &first {
+            assert_eq!(c.generation, 0);
+            assert_eq!(c.output, before.forward(&input(c.id + 1)));
+        }
+        let n = server
+            .swap_artifact(&artifact_bytes(&g, 99))
+            .expect("clean artifact loads");
+        assert_eq!(n, 1);
+        assert_eq!(server.generation(), 1);
+        server.submit(2, input(3), SimTime::ZERO);
+        let second = server.flush();
+        assert_eq!(second.len(), 1);
+        assert_eq!(
+            second[0].generation, 1,
+            "next batch runs the new generation"
+        );
+        assert_eq!(second[0].output, after.forward(&input(3)));
+        let cell = server.weights_cell();
+        assert_eq!(
+            (cell.swaps(), cell.rollbacks(), cell.rejected_loads()),
+            (1, 0, 0)
+        );
+        assert_eq!(
+            cell.previous().map(|p| p.number()),
+            Some(0),
+            "prior generation retained for rollback"
+        );
+    }
+
+    #[test]
+    fn rejected_artifacts_leave_the_serving_generation_untouched() {
+        let g = tiny_graph();
+        let mut server = RealBatchServer::new(
+            Executor::new(&g, 7),
+            BatcherConfig::new(2, SimTime::from_millis(1000)),
+        )
+        .expect("valid config");
+        let good = artifact_bytes(&g, 42);
+
+        let mut corrupt = good.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x10;
+        assert!(server.swap_artifact(&corrupt).is_err(), "bit flip rejects");
+        assert!(
+            server.swap_artifact(&good[..good.len() / 3]).is_err(),
+            "truncation rejects"
+        );
+        assert!(
+            matches!(
+                server.swap_artifact_staged(&good, Some(2)),
+                Err(ArtifactError::CrashedMidLoad { applied: 2, .. })
+            ),
+            "mid-load crash rejects"
+        );
+
+        assert_eq!(server.generation(), 0, "serving generation untouched");
+        let cell = server.weights_cell();
+        assert_eq!((cell.swaps(), cell.rejected_loads()), (0, 3));
+        // And it still serves the boot weights.
+        server.submit(0, input(1), SimTime::ZERO);
+        let done = server.flush();
+        assert_eq!(done[0].generation, 0);
+        assert_eq!(done[0].output, Executor::new(&g, 7).forward(&input(1)));
+    }
+
+    #[test]
+    fn poisoned_artifact_rolls_back_before_serving_anyone() {
+        let g = tiny_graph();
+        let oracle = Executor::new(&g, 7);
+        let mut server = RealBatchServer::new(
+            Executor::new(&g, 7),
+            BatcherConfig::new(2, SimTime::from_millis(1000)),
+        )
+        .expect("valid config");
+        server.set_swap_guard(ActivationGuard {
+            range_limit: Some(1e6),
+        });
+        // The poisoned artifact is internally consistent: the load gate
+        // passes and the swap publishes.
+        let n = server
+            .swap_artifact(&poisoned_bytes(&g, 99))
+            .expect("load gate passes");
+        assert_eq!(n, 1);
+        assert_eq!(server.generation(), 1);
+        // First batch under the swap sentinel: violation → rollback → the
+        // batch re-serves on generation 0. Nobody gets generation-1 logits.
+        let mut done = Vec::new();
+        done.extend(server.submit(0, input(1), SimTime::ZERO).completed);
+        done.extend(server.submit(1, input(2), SimTime::ZERO).completed);
+        done.extend(server.flush());
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            assert_eq!(c.generation, 0, "bad generation must serve nothing");
+            assert_eq!(c.output, oracle.forward(&input(c.id + 1)));
+        }
+        assert_eq!(server.generation(), 0);
+        let cell = server.weights_cell();
+        assert_eq!((cell.swaps(), cell.rollbacks()), (1, 1));
+        assert_eq!(cell.quarantined().len(), 1);
+        assert_eq!(cell.quarantined()[0].0, 1, "generation 1 quarantined");
+        // A later good swap gets a fresh number, never reusing 1.
+        assert_eq!(
+            server.swap_artifact(&artifact_bytes(&g, 4)).expect("clean"),
+            2
+        );
+    }
+
+    #[test]
+    fn integrity_ladder_serves_clean_swapped_generations() {
+        let g = tiny_graph();
+        let after = swapped_oracle(&g, 99);
+        let mut server = integrity_server(&g, FaultPlan::none(), DetectorConfig::full(1e6), 2);
+        drive(&mut server, 4);
+        assert_eq!(
+            server
+                .swap_artifact(&artifact_bytes(&g, 99))
+                .expect("clean artifact loads"),
+            1
+        );
+        let mut done = Vec::new();
+        for id in 10..14u64 {
+            done.extend(
+                server
+                    .submit(id, input(id + 1), SimTime::from_millis(id))
+                    .completed,
+            );
+        }
+        done.extend(server.flush());
+        assert_eq!(done.len(), 4);
+        for c in &done {
+            assert_eq!(c.generation, 1);
+            assert_eq!(
+                c.output,
+                after.forward(&input(c.id + 1)),
+                "swapped generation serves its own logits"
+            );
+        }
+        let stats = *server.integrity_stats().expect("integrity on");
+        assert_eq!(
+            stats.detected, 0,
+            "a legitimate swap must not read as corruption: {stats:?}"
+        );
+        assert_eq!(stats.clean, stats.batches);
+        assert_eq!(stats.escaped, 0);
+        assert!(stats.conserved(), "{stats:?}");
+    }
+
+    #[test]
+    fn integrity_ladder_rolls_back_a_poisoned_generation() {
+        let g = tiny_graph();
+        let oracle = Executor::new(&g, 7);
+        let mut server = integrity_server(&g, FaultPlan::none(), DetectorConfig::full(1e6), 2);
+        assert_eq!(
+            server
+                .swap_artifact(&poisoned_bytes(&g, 99))
+                .expect("load gate passes"),
+            1
+        );
+        let done = drive(&mut server, 4);
+        assert_eq!(done.len(), 4, "rollback recovers the batch, nothing fails");
+        for c in &done {
+            assert_eq!(c.generation, 0, "bad generation must serve nothing");
+            assert_eq!(c.output, oracle.forward(&input(c.id + 1)));
+        }
+        let stats = *server.integrity_stats().expect("integrity on");
+        assert_eq!(stats.detected, 1, "sentinel fires once, on the first batch");
+        assert_eq!(stats.recovered, 1, "retry on the rolled-back generation");
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.escaped, 0);
+        assert!(stats.conserved(), "{stats:?}");
+        let cell = server.weights_cell();
+        assert_eq!((cell.swaps(), cell.rollbacks()), (1, 1));
+        assert_eq!(cell.quarantined()[0].0, 1, "generation 1 quarantined");
+        assert!(!server.is_quarantined(), "the node itself stays healthy");
     }
 }

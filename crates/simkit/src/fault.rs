@@ -670,6 +670,192 @@ impl SocketFaultPlan {
     }
 }
 
+/// Domain constant for the weight-artifact coins, disjoint from the
+/// weight/activation/input/socket families above.
+const ARTIFACT_DOMAIN: u64 = 0xD6E8_FEB8_6659_FD93;
+
+/// What happens to one weight-swap artifact on its way to the loader.
+///
+/// Exactly one fate per artifact id, drawn from a single partitioned coin
+/// (same contract as [`SocketFate`]): fates are mutually exclusive, their
+/// rates sum directly, and everything is a pure function of
+/// `(seed, artifact id)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArtifactFate {
+    /// The artifact arrives intact and self-consistent.
+    Clean,
+    /// One artifact byte is XORed with `mask` at offset `pos` — caught by
+    /// a per-tensor or whole-artifact checksum at the load gate.
+    Corrupt {
+        /// Damaged byte offset.
+        pos: usize,
+        /// Nonzero XOR mask.
+        mask: u8,
+    },
+    /// The artifact is cut to `after` bytes — caught by framing at the
+    /// load gate.
+    Truncate {
+        /// Bytes that survive.
+        after: usize,
+    },
+    /// The loader crashes after applying `after` tensors to the staging
+    /// copy — the staged load is discarded, the serving generation
+    /// untouched.
+    Crash {
+        /// Tensors applied before the crash.
+        after: u64,
+    },
+    /// The *producer* corrupted the weights before checksumming: the
+    /// artifact is self-consistent and passes the load gate, but the
+    /// published generation misbehaves at runtime (exponent-range bit
+    /// flips) — the case only post-publication detection + rollback can
+    /// handle.
+    Poison,
+}
+
+/// Deterministic weight-artifact chaos for the swap subsystem: which swap
+/// attempts carry damaged artifacts, how they are damaged, and which
+/// elements a poisoned producer flipped, all as pure hash coins.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArtifactFaultPlan {
+    seed: u64,
+    corrupt_rate: f64,
+    truncate_rate: f64,
+    crash_rate: f64,
+    poison_rate: f64,
+    poison_flip_rate: f64,
+}
+
+impl ArtifactFaultPlan {
+    /// A plan that never damages anything.
+    pub fn none() -> Self {
+        ArtifactFaultPlan::default()
+    }
+
+    /// An empty plan with a seed for the fate coins.
+    pub fn new(seed: u64) -> Self {
+        ArtifactFaultPlan {
+            seed,
+            ..ArtifactFaultPlan::default()
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Flip one byte of a fraction `rate` of artifacts in flight.
+    pub fn with_corruption(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "corrupt rate must be in [0, 1)");
+        self.corrupt_rate = rate;
+        self.assert_rates();
+        self
+    }
+
+    /// Truncate a fraction `rate` of artifacts.
+    pub fn with_truncation(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "truncate rate must be in [0, 1)"
+        );
+        self.truncate_rate = rate;
+        self.assert_rates();
+        self
+    }
+
+    /// Crash the loader mid-load on a fraction `rate` of artifacts.
+    pub fn with_crash_points(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "crash rate must be in [0, 1)");
+        self.crash_rate = rate;
+        self.assert_rates();
+        self
+    }
+
+    /// Poison a fraction `rate` of artifacts at the producer:
+    /// `flip_rate` of their weight elements get an exponent-range bit
+    /// flip *before* checksumming, so the artifact passes the load gate.
+    pub fn with_poison(mut self, rate: f64, flip_rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "poison rate must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&flip_rate),
+            "poison flip rate must be in [0, 1)"
+        );
+        self.poison_rate = rate;
+        self.poison_flip_rate = flip_rate;
+        self.assert_rates();
+        self
+    }
+
+    fn assert_rates(&self) {
+        assert!(
+            self.corrupt_rate + self.truncate_rate + self.crash_rate + self.poison_rate <= 1.0,
+            "artifact fates are mutually exclusive and must sum to at most 1"
+        );
+    }
+
+    /// Does any fault fire with nonzero probability?
+    pub fn is_active(&self) -> bool {
+        self.corrupt_rate > 0.0
+            || self.truncate_rate > 0.0
+            || self.crash_rate > 0.0
+            || self.poison_rate > 0.0
+    }
+
+    /// The fate of artifact `artifact`, whose encoded form is `len` bytes
+    /// carrying `tensors` tensors. One uniform draw partitioned by the
+    /// cumulative rates; damage coordinates come from disjoint hash lanes.
+    pub fn fate(&self, artifact: u64, len: usize, tensors: u64) -> ArtifactFate {
+        if len == 0 {
+            return ArtifactFate::Clean;
+        }
+        let u = unit(hash3(self.seed ^ ARTIFACT_DOMAIN, artifact, 0));
+        let mut edge = self.corrupt_rate;
+        if u < edge {
+            let h = hash3(self.seed ^ ARTIFACT_DOMAIN, artifact, 1);
+            return ArtifactFate::Corrupt {
+                pos: h as usize % len,
+                mask: ((h >> 32) as u8) | 1,
+            };
+        }
+        edge += self.truncate_rate;
+        if u < edge {
+            let h = hash3(self.seed ^ ARTIFACT_DOMAIN, artifact, 2);
+            return ArtifactFate::Truncate {
+                after: h as usize % len,
+            };
+        }
+        edge += self.crash_rate;
+        if u < edge {
+            let h = hash3(self.seed ^ ARTIFACT_DOMAIN, artifact, 3);
+            return ArtifactFate::Crash {
+                after: h % tensors.max(1),
+            };
+        }
+        edge += self.poison_rate;
+        if u < edge {
+            return ArtifactFate::Poison;
+        }
+        ArtifactFate::Clean
+    }
+
+    /// For a poisoned artifact: does weight element `element` get flipped,
+    /// and at which bit? Bits land in the exponent range (27..=30), so a
+    /// poisoned generation produces activation explosions the sentinel
+    /// ladder catches. Pure function of `(seed, artifact, element)`.
+    pub fn poison_flip(&self, artifact: u64, element: u64) -> Option<u32> {
+        if self.poison_flip_rate <= 0.0 {
+            return None;
+        }
+        let h = hash3(
+            self.seed ^ ARTIFACT_DOMAIN ^ 0x9E37_79B9_7F4A_7C15,
+            artifact,
+            element,
+        );
+        (unit(h) < self.poison_flip_rate).then_some(27 + (h & 3) as u32)
+    }
+}
+
 /// Map a hash to a uniform draw in `[0, 1)` (same contract as the other
 /// fault coins).
 fn unit(h: u64) -> f64 {
@@ -1014,6 +1200,95 @@ mod tests {
             .filter(|&c| {
                 matches!(a.fate(c, 100), SocketFate::Clean)
                     == matches!(b.fate(c, 100), SocketFate::Clean)
+            })
+            .count();
+        assert!(agree > 300 && agree < 700, "agreement {agree}/1000");
+    }
+
+    #[test]
+    fn artifact_fates_are_pure_and_calibrated() {
+        let plan = ArtifactFaultPlan::new(17)
+            .with_corruption(0.10)
+            .with_truncation(0.10)
+            .with_crash_points(0.10)
+            .with_poison(0.10, 1e-3);
+        assert!(plan.is_active());
+        assert_eq!(plan.seed(), 17);
+        let mut counts = [0u64; 5];
+        for art in 0..100_000u64 {
+            let fate = plan.fate(art, 4096, 40);
+            assert_eq!(fate, plan.fate(art, 4096, 40), "fate not pure");
+            let k = match fate {
+                ArtifactFate::Clean => 0,
+                ArtifactFate::Corrupt { .. } => 1,
+                ArtifactFate::Truncate { .. } => 2,
+                ArtifactFate::Crash { .. } => 3,
+                ArtifactFate::Poison => 4,
+            };
+            counts[k] += 1;
+        }
+        assert!((counts[0] as f64 / 1e5 - 0.60).abs() < 0.01, "{counts:?}");
+        for k in 1..5 {
+            assert!((counts[k] as f64 / 1e5 - 0.10).abs() < 0.01, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn artifact_damage_coordinates_stay_in_bounds() {
+        let plan = ArtifactFaultPlan::new(5)
+            .with_corruption(0.3)
+            .with_truncation(0.3)
+            .with_crash_points(0.3);
+        for art in 0..3000u64 {
+            match plan.fate(art, 777, 12) {
+                ArtifactFate::Clean | ArtifactFate::Poison => {}
+                ArtifactFate::Corrupt { pos, mask } => {
+                    assert!(pos < 777);
+                    assert_ne!(mask, 0, "mask must change the byte");
+                }
+                ArtifactFate::Truncate { after } => assert!(after < 777),
+                ArtifactFate::Crash { after } => assert!(after < 12),
+            }
+        }
+        // Empty artifacts have nothing to damage.
+        assert_eq!(plan.fate(3, 0, 0), ArtifactFate::Clean);
+    }
+
+    #[test]
+    fn artifact_fate_rates_must_not_exceed_one() {
+        let result = std::panic::catch_unwind(|| {
+            ArtifactFaultPlan::new(1)
+                .with_corruption(0.6)
+                .with_truncation(0.5)
+        });
+        assert!(result.is_err(), "rates summing past 1 must be rejected");
+    }
+
+    #[test]
+    fn poison_flips_are_pure_exponent_range_and_calibrated() {
+        let plan = ArtifactFaultPlan::new(23).with_poison(0.5, 1e-2);
+        let mut hits = 0u64;
+        for e in 0..100_000u64 {
+            let flip = plan.poison_flip(9, e);
+            assert_eq!(flip, plan.poison_flip(9, e), "coin not pure");
+            if let Some(bit) = flip {
+                assert!((27..=30).contains(&bit), "bit {bit} not exponent-range");
+                hits += 1;
+            }
+        }
+        assert!((hits as f64 / 1e5 - 1e-2).abs() < 1.5e-3, "hits {hits}");
+        // An inert plan draws no flips.
+        assert_eq!(ArtifactFaultPlan::none().poison_flip(9, 3), None);
+    }
+
+    #[test]
+    fn artifact_seeds_decorrelate_fates() {
+        let a = ArtifactFaultPlan::new(1).with_corruption(0.5);
+        let b = ArtifactFaultPlan::new(2).with_corruption(0.5);
+        let agree = (0..1000u64)
+            .filter(|&c| {
+                matches!(a.fate(c, 100, 10), ArtifactFate::Clean)
+                    == matches!(b.fate(c, 100, 10), ArtifactFate::Clean)
             })
             .count();
         assert!(agree > 300 && agree < 700, "agreement {agree}/1000");

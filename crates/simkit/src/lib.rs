@@ -43,7 +43,9 @@ pub mod time;
 pub mod trace;
 
 pub use calendar::CalendarQueue;
-pub use fault::{FaultPlan, FaultWindow, SocketFate, SocketFaultPlan};
+pub use fault::{
+    ArtifactFate, ArtifactFaultPlan, FaultPlan, FaultWindow, SocketFate, SocketFaultPlan,
+};
 pub use fleet::{FleetSim, Outbox, Shard};
 pub use rng::SimRng;
 pub use server::{JobStats, Server};

@@ -1,16 +1,16 @@
 //! Kernel variants: the SIMD rewrite of the hot GEMM inner loops.
 //!
 //! Table 1 of the paper reports 75–83 % GEMM efficiency on its platforms;
-//! the scalar micro-kernels in [`crate::gemm`] reach a fraction of host
+//! the scalar micro-kernels in [`mod@crate::gemm`] reach a fraction of host
 //! peak because the baseline `x86-64` target only emits 128-bit SSE2 from
 //! autovectorization. This module closes that gap with three explicit
 //! variants behind one dispatch point:
 //!
 //! * [`KernelVariant::Scalar`] — the verbatim blocked kernel from
-//!   [`crate::gemm`]. It is the determinism oracle: every committed logit
+//!   [`mod@crate::gemm`]. It is the determinism oracle: every committed logit
 //!   fingerprint was produced by it, and it stays byte-for-byte untouched.
 //! * [`KernelVariant::Unrolled`] — safe-Rust explicit-width lane unrolling
-//!   ([`f32x8`-style manual vectors][F32x8]) over a 4×16 register tile.
+//!   (`f32x8`-style manual vectors) over a 4×16 register tile.
 //!   **Bit-identical to `Scalar`** by construction: each output element is
 //!   accumulated over `p` in the same left-associative 4-term groups, in
 //!   the same order, with f32 rounding after every operation (the contract
@@ -29,7 +29,7 @@
 //!   the AVX2 or AVX512 path ran — the property that lets a timing-based
 //!   (nondeterministic) tuner coexist with byte-identical CI reruns.
 //!
-//! Row-block parallelism for all variants reuses the [`crate::gemm`]
+//! Row-block parallelism for all variants reuses the [`mod@crate::gemm`]
 //! policy: each worker owns a disjoint row block of C, and per-row results
 //! do not depend on the split.
 
