@@ -23,11 +23,17 @@
 #                        chaos grid (corrupt/truncate/crash/poison); schema
 #                        check, drift vs artifacts/swap.json, and a
 #                        byte-identical cross-process rerun
-#   9. fleet smoke       experiments fleet --smoke: the sharded calendar-
+#   9. serve smoke       experiments serve --smoke: the data-parallel engine
+#                        pool at widths 1/2/4/8 — width-invariant wire
+#                        fingerprints, ≥3x width-8 scale-up under the batch
+#                        floor, ≥10x steady-state allocation cut; schema
+#                        check, drift vs artifacts/serve_scale.json, and a
+#                        byte-identical cross-process rerun
+#  10. fleet smoke       experiments fleet --smoke: the sharded calendar-
 #                        queue simulator at worker widths 1/2/4/8; schema
 #                        check, drift vs artifacts/fleet.json, and a
 #                        byte-identical cross-process rerun
-#  10. simd kernels      clippy + the differential kernel-conformance suite
+#  11. simd kernels      clippy + the differential kernel-conformance suite
 #                        under --features simd, then a SIMD-build bench
 #                        smoke run twice: per-variant fingerprints must be
 #                        byte-identical across reruns, and the committed
@@ -175,6 +181,32 @@ cp "$smoke_dir/swap.json" "$smoke_dir/swap.run1.json"
 ./target/release/experiments swap --smoke --json "$smoke_dir"
 diff "$smoke_dir/swap.run1.json" "$smoke_dir/swap.json" \
     || { echo "swap ledger is not deterministic across processes"; exit 1; }
+
+echo "== serve smoke =="
+# Data-parallel engine pool. The run itself asserts bit-identical wire
+# fingerprints at widths 1/2/4/8 plus a width-8 replay, a ≥3x width-8
+# scale-up under the per-batch execution floor, and a ≥10x steady-state
+# allocation reduction via the counting global allocator. Here we gate the
+# deterministic ledger's schema, drift vs the committed artifact,
+# cross-process determinism, and the throughput artifact's schema (the
+# curve is wall-clock, so only its shape is gated).
+./target/release/experiments serve --smoke --json "$smoke_dir"
+for key in widths width requests responded statuses classes fingerprint \
+    server_responded_ok width_invariant replay_identical; do
+    grep -q "\"$key\"" "$smoke_dir/serve_scale.json" \
+        || { echo "serve_scale.json missing key: $key"; exit 1; }
+done
+for key in floor_ms curve elapsed_ms requests_per_s speedup_w8_over_w1 \
+    real_curve allocations baseline_per_request steady_per_request ratio; do
+    grep -q "\"$key\"" "$smoke_dir/serve_throughput.json" \
+        || { echo "serve_throughput.json missing key: $key"; exit 1; }
+done
+diff artifacts/serve_scale.json "$smoke_dir/serve_scale.json" \
+    || { echo "artifacts/serve_scale.json drifted from the code"; exit 1; }
+cp "$smoke_dir/serve_scale.json" "$smoke_dir/serve_scale.run1.json"
+./target/release/experiments serve --smoke --json "$smoke_dir"
+diff "$smoke_dir/serve_scale.run1.json" "$smoke_dir/serve_scale.json" \
+    || { echo "serve ledger is not deterministic across processes"; exit 1; }
 
 echo "== fleet smoke =="
 # Sharded fleet simulation on the calendar-queue core. The run itself

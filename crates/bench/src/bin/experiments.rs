@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|integrity|bench|tune|wire|swap|fleet|host]...
+//! experiments [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|resilience|overload|integrity|bench|tune|wire|swap|serve|fleet|host]...
 //!             [--json DIR] [--smoke]
 //! ```
 //!
@@ -14,9 +14,48 @@
 
 use harvest_bench::{ascii_series, pretty, text_table};
 use harvest_core::experiments as exp;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counting allocator: every heap acquisition (alloc / realloc /
+/// alloc_zeroed) bumps one relaxed counter. The `serve` experiment reads
+/// the delta across a measured region to prove the steady-state inference
+/// path is allocation-free; the cost is one relaxed add per allocation, so
+/// the other experiments are unaffected.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed while running `f`.
+fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,6 +145,9 @@ fn main() {
     }
     if run("swap") {
         swap(&save, smoke);
+    }
+    if run("serve") {
+        serve(&save, smoke);
     }
     if run("fleet") {
         fleet(&save, smoke);
@@ -821,6 +863,276 @@ fn swap(save: &dyn Fn(&str, String), smoke: bool) {
     save(
         "swap_latency",
         serde_json::to_string_pretty(&serde_json::json!({ "scenarios": latency_docs })).unwrap(),
+    );
+}
+
+/// Serving scale-up: the data-parallel engine worker pool at widths
+/// 1/2/4/8. Three proofs:
+///
+/// 1. **Width invariance** — a deterministic pipelined load replayed
+///    against every pool width must produce a bit-identical client
+///    fingerprint (same statuses, same classes, same ordering per
+///    connection), plus an identical rerun at width 8.
+/// 2. **Scale-up** — with a per-batch execution-time floor standing in for
+///    real model cost (this host may expose a single core, so worker
+///    overlap must be proven against sleeps, not arithmetic), the width-8
+///    pool must clear at least 3x the width-1 throughput. A second curve
+///    without the floor records the real loopback numbers.
+/// 3. **Zero-allocation steady state** — the counting global allocator
+///    measures allocations per request on the cold executor path vs the
+///    scratch-reusing `forward_batch_into` path; the reduction must be at
+///    least 10x.
+///
+/// The deterministic ledger goes to `serve_scale.json` (drift-gated in
+/// CI); wall-clock throughput and the allocation probe go to
+/// `serve_throughput.json` (schema-gated only — real time is not
+/// replayable).
+fn serve(save: &dyn Fn(&str, String), smoke: bool) {
+    use harvest_engine::Executor;
+    use harvest_models::vit;
+    use harvest_net::{run_loadgen, LoadgenConfig, WireConfig, WireServer};
+    use harvest_tensor::Tensor;
+
+    println!("== Extension: data-parallel engine pool (width invariance + scale-up + allocs) ==");
+
+    const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+    // --- Proof 1: width invariance on a deterministic pipelined load. ---
+    let det_run = |workers: usize| {
+        let server = WireServer::start(WireConfig {
+            engine_workers: workers,
+            ..WireConfig::default()
+        })
+        .expect("start wire server");
+        let report = run_loadgen(
+            server.addr(),
+            &LoadgenConfig {
+                requests: 12,
+                client_threads: 1,
+                requests_per_connection: 2,
+                ..LoadgenConfig::default()
+            },
+        );
+        let drain = server.shutdown();
+        assert!(
+            report.conserved(),
+            "width {workers}: client ledger must conserve (lost {}, dup {}, client_errors {})",
+            report.lost,
+            report.dup,
+            report.client_errors
+        );
+        assert!(
+            drain.stats.conserved(),
+            "width {workers}: server ledger must conserve: {:?}",
+            drain.stats
+        );
+        (report, drain)
+    };
+
+    let mut width_docs = Vec::new();
+    let mut shared_fp: Option<u64> = None;
+    for &w in &WIDTHS {
+        let (report, drain) = det_run(w);
+        match shared_fp {
+            None => shared_fp = Some(report.fingerprint),
+            Some(fp) => assert_eq!(
+                fp, report.fingerprint,
+                "width {w}: pool width leaked into the wire fingerprint"
+            ),
+        }
+        width_docs.push(serde_json::json!({
+            "width": w,
+            "requests": report.requests,
+            "responded": report.responded,
+            "statuses": report.statuses.iter().map(|&(s, n)| serde_json::json!([s, n])).collect::<Vec<_>>(),
+            "classes": report.classes.iter().map(|&(c, n)| serde_json::json!([c, n])).collect::<Vec<_>>(),
+            "fingerprint": format!("{:016x}", report.fingerprint),
+            "server_responded_ok": drain.stats.responded_ok,
+        }));
+    }
+    let (replay, _) = det_run(8);
+    assert_eq!(
+        shared_fp,
+        Some(replay.fingerprint),
+        "width 8: rerun must replay the fingerprint bit for bit"
+    );
+
+    // --- Proof 2: throughput curve under a per-batch execution floor. ---
+    let timed_run = |workers: usize, floor_ms: u64| {
+        let server = WireServer::start(WireConfig {
+            accept_threads: 8,
+            preferred_batch: 1,
+            engine_workers: workers,
+            engine_batch_floor_ms: floor_ms,
+            ..WireConfig::default()
+        })
+        .expect("start wire server");
+        let config = LoadgenConfig {
+            requests: 8,
+            client_threads: 8,
+            requests_per_connection: 4,
+            ..LoadgenConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let report = run_loadgen(server.addr(), &config);
+        let elapsed = started.elapsed();
+        let drain = server.shutdown();
+        assert!(report.conserved() && drain.stats.conserved());
+        let total = report.requests;
+        assert_eq!(
+            report.responded, total,
+            "width {workers}: every pipelined request must draw a response"
+        );
+        (elapsed.as_secs_f64() * 1e3, total)
+    };
+
+    struct CurvePoint {
+        width: usize,
+        requests: u64,
+        elapsed_ms: f64,
+        requests_per_s: f64,
+    }
+    let curve = |floor_ms: u64| -> Vec<CurvePoint> {
+        WIDTHS
+            .iter()
+            .map(|&w| {
+                let (elapsed_ms, total) = timed_run(w, floor_ms);
+                CurvePoint {
+                    width: w,
+                    requests: total,
+                    elapsed_ms,
+                    requests_per_s: total as f64 / (elapsed_ms / 1e3),
+                }
+            })
+            .collect()
+    };
+    let curve_doc = |points: &[CurvePoint]| -> Vec<serde_json::Value> {
+        points
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "width": p.width,
+                    "requests": p.requests,
+                    "elapsed_ms": p.elapsed_ms,
+                    "requests_per_s": p.requests_per_s,
+                })
+            })
+            .collect()
+    };
+
+    const FLOOR_MS: u64 = 25;
+    let floored = curve(FLOOR_MS);
+    let speedup = floored[3].requests_per_s / floored[0].requests_per_s;
+    assert!(
+        speedup >= 3.0,
+        "width-8 pool must clear 3x width-1 throughput under the batch floor, got {speedup:.2}x"
+    );
+    let real = curve(0);
+
+    // --- Proof 3: allocations per request, cold path vs steady state. ---
+    let graph = vit("serve-alloc", &WireConfig::default().model);
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|i| Tensor::random(&[3, 16, 16], 90_000 + i, 1.0))
+        .collect();
+    const REPS: u64 = 8;
+    let per_request = REPS as f64 * inputs.len() as f64;
+    let (baseline, steady) = harvest_threads::with_threads(1, || {
+        let exec = Executor::new(&graph, 7);
+        // Cold path: no executor scratch reuse, no tensor-pool recycling —
+        // the allocation profile the engine had before the steady-state
+        // path existed.
+        exec.set_scratch_reuse(false);
+        harvest_tensor::scratch::set_recycling(false);
+        harvest_tensor::scratch::trim_thread_pool();
+        exec.trim_scratch();
+        let (baseline, _) = count_allocations(|| {
+            for _ in 0..REPS {
+                let _ = exec.forward_batch(&inputs);
+            }
+        });
+        // Steady state: scratch reuse on, pools warmed, logits written into
+        // a caller-owned sink that keeps its capacity across calls.
+        exec.set_scratch_reuse(true);
+        harvest_tensor::scratch::set_recycling(true);
+        let mut sink: Vec<f32> = Vec::new();
+        for _ in 0..2 {
+            let _ = exec.forward_batch_into(&inputs, &mut sink);
+        }
+        let (steady, _) = count_allocations(|| {
+            for _ in 0..REPS {
+                let _ = exec.forward_batch_into(&inputs, &mut sink);
+            }
+        });
+        (baseline, steady)
+    });
+    let baseline_per_request = baseline as f64 / per_request;
+    let steady_per_request = steady as f64 / per_request;
+    let alloc_ratio = baseline as f64 / (steady.max(1)) as f64;
+    assert!(
+        alloc_ratio >= 10.0,
+        "steady-state path must cut allocations per request by 10x \
+         (baseline {baseline_per_request:.1}/req, steady {steady_per_request:.1}/req)"
+    );
+
+    if !smoke {
+        let rows: Vec<Vec<String>> = floored
+            .iter()
+            .zip(&real)
+            .map(|(f, r)| {
+                vec![
+                    f.width.to_string(),
+                    format!("{:.0}", f.elapsed_ms),
+                    format!("{:.1}", f.requests_per_s),
+                    format!("{:.1}", r.requests_per_s),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(
+                &["Workers", "Floored ms", "Floored req/s", "Real req/s",],
+                &rows
+            )
+        );
+        println!(
+            "  speedup (floored, w8/w1): {speedup:.2}x   allocations/request: \
+             {baseline_per_request:.1} cold -> {steady_per_request:.1} steady \
+             ({alloc_ratio:.0}x)"
+        );
+    }
+    println!(
+        "  self-check: bit-identical fingerprints at widths 1/2/4/8 + replay, \
+         width-8 >= 3x width-1 under the batch floor, steady-state allocations \
+         cut >= 10x — all OK"
+    );
+    save(
+        "serve_scale",
+        serde_json::to_string_pretty(&serde_json::json!({
+            "widths": width_docs,
+            "fingerprint": format!("{:016x}", shared_fp.unwrap()),
+            "width_invariant": true,
+            "replay_identical": true,
+        }))
+        .unwrap(),
+    );
+    save(
+        "serve_throughput",
+        serde_json::to_string_pretty(&serde_json::json!({
+            "floor_ms": FLOOR_MS,
+            "curve": curve_doc(&floored),
+            "speedup_w8_over_w1": speedup,
+            "real_curve": curve_doc(&real),
+            "allocations": serde_json::json!({
+                "reps": REPS,
+                "batch": inputs.len(),
+                "baseline_total": baseline,
+                "steady_total": steady,
+                "baseline_per_request": baseline_per_request,
+                "steady_per_request": steady_per_request,
+                "ratio": alloc_ratio,
+            }),
+        }))
+        .unwrap(),
     );
 }
 

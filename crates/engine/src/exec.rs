@@ -46,7 +46,8 @@ use harvest_tensor::{
     add_bias, avg_pool2d_global, conv2d, conv2d_into_v, gelu, gemm_v, layernorm, max_pool2d,
     multi_head_attention, relu, softmax_rows, KernelVariant, Tensor,
 };
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Deterministic per-node weights for a graph.
 pub struct WeightStore {
@@ -542,11 +543,19 @@ impl MaterializedWeights {
     }
 }
 
-/// Buffer pool for one forward pass: freed intermediates come back here and
-/// are handed out again, bounding allocator churn and peak memory.
+/// Buffer pool for forward-pass intermediates: freed buffers come back here
+/// and are handed out again, bounding allocator churn and peak memory.
+/// Since the worker-pool rewrite the arena lives inside a persistent
+/// [`ExecScratch`], so the pool carries over *between* forwards: a
+/// steady-state server reaches its high-water set once and then serves
+/// without touching the allocator.
 #[derive(Default)]
 struct Arena {
     pool: Vec<Vec<f32>>,
+    /// Buffers handed out.
+    takes: u64,
+    /// Takes served from the pool without growing a buffer.
+    hits: u64,
 }
 
 impl Arena {
@@ -557,6 +566,7 @@ impl Arena {
     /// copies/stacks write every element), so pre-zeroing here would be a
     /// pure memset tax — tens of MB per transformer block at large batch.
     fn take(&mut self, len: usize) -> Vec<f32> {
+        self.takes += 1;
         let mut best: Option<usize> = None;
         for (i, b) in self.pool.iter().enumerate() {
             if b.capacity() >= len && best.is_none_or(|j| b.capacity() < self.pool[j].capacity()) {
@@ -565,6 +575,7 @@ impl Arena {
         }
         match best {
             Some(i) => {
+                self.hits += 1;
                 let mut v = self.pool.swap_remove(i);
                 v.resize(len, 0.0);
                 v
@@ -579,6 +590,41 @@ impl Arena {
             self.pool.push(v);
         }
     }
+
+    /// Total bytes currently pooled (all buffers at rest).
+    fn pooled_bytes(&self) -> u64 {
+        self.pool
+            .iter()
+            .map(|v| (v.capacity() * std::mem::size_of::<f32>()) as u64)
+            .sum()
+    }
+}
+
+/// Persistent per-executor scratch state: the activation arena, the
+/// per-node value table, and the counters the serving metrics export.
+/// Reused across forwards (under [`Executor::set_scratch_reuse`], the
+/// default) so the steady-state request path performs no heap allocation
+/// once the high-water set is reached.
+#[derive(Default)]
+struct ExecScratch {
+    arena: Arena,
+    values: Vec<Option<BatchVal>>,
+    passes: u64,
+    high_water_bytes: u64,
+}
+
+/// Snapshot of an executor's scratch-reuse counters, exported through the
+/// serving metrics endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Forward passes served through the persistent scratch.
+    pub passes: u64,
+    /// Arena buffer requests across those passes.
+    pub arena_takes: u64,
+    /// Requests served by reusing a pooled buffer.
+    pub arena_hits: u64,
+    /// Peak bytes pooled in the arena at rest (the scratch high-water mark).
+    pub high_water_bytes: u64,
 }
 
 /// One batched activation: `b` images of `per_image` contiguous elements.
@@ -665,6 +711,13 @@ pub struct Executor<'g> {
     /// carries its own pinned fingerprints. The reference path and the INT8
     /// integer kernels are variant-independent.
     kernel_variant: KernelVariant,
+    /// Persistent forward-pass scratch (arena + value table). Behind a
+    /// mutex so the `&self` forward API is preserved; the serving pool
+    /// gives each worker its own executor, so the lock is uncontended.
+    scratch: Mutex<ExecScratch>,
+    /// When false, every forward builds a fresh scratch (the pre-pool
+    /// allocation behaviour) — the bench harness's baseline knob.
+    scratch_reuse: AtomicBool,
 }
 
 fn compute_last_use(graph: &Graph) -> Vec<usize> {
@@ -713,7 +766,40 @@ impl<'g> Executor<'g> {
             int8_cache,
             last_use,
             kernel_variant: KernelVariant::Scalar,
+            scratch: Mutex::new(ExecScratch::default()),
+            scratch_reuse: AtomicBool::new(true),
         }
+    }
+
+    /// Toggle persistent-scratch reuse (default on). With reuse off every
+    /// forward allocates a fresh arena and value table — the pre-pool
+    /// behaviour the allocation probe baselines against. Numerics are
+    /// identical either way.
+    pub fn set_scratch_reuse(&self, reuse: bool) {
+        self.scratch_reuse.store(reuse, Ordering::SeqCst);
+    }
+
+    /// Counters for the persistent scratch: passes served, arena takes and
+    /// pool hits, and the high-water pooled byte count.
+    pub fn scratch_stats(&self) -> ScratchStats {
+        let s = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        ScratchStats {
+            passes: s.passes,
+            arena_takes: s.arena.takes,
+            arena_hits: s.arena.hits,
+            high_water_bytes: s.high_water_bytes,
+        }
+    }
+
+    /// Release all pooled scratch memory held by this executor *and* the
+    /// calling thread's kernel scratch pool. Multi-model serving calls this
+    /// on eviction so idle models do not pin their high-water set.
+    pub fn trim_scratch(&self) {
+        let mut s = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        s.arena.pool.clear();
+        s.values.clear();
+        drop(s);
+        harvest_tensor::scratch::trim_thread_pool();
     }
 
     /// Select which GEMM kernel variant services the batched path. The
@@ -801,9 +887,30 @@ impl<'g> Executor<'g> {
     /// of live activation f32 elements — the quantity the liveness pass
     /// bounds (weights excluded).
     pub fn forward_batch_with_peak(&self, inputs: &[Tensor]) -> (Vec<Tensor>, usize) {
-        let (outputs, peak, violation, _) = self.forward_batch_inner(inputs, None, None);
+        let mut sink = Vec::new();
+        let (per, peak, violation, _) = self.forward_batch_inner(inputs, None, None, &mut sink);
         debug_assert!(violation.is_none(), "no guard, no violation");
-        (outputs, peak)
+        (self.split_sink(inputs.len(), per, &sink), peak)
+    }
+
+    /// [`Executor::forward_batch`] writing the batch's logits contiguously
+    /// into `sink` (`inputs.len() · per_image` elements, image-major) and
+    /// returning `per_image`. This is the zero-allocation serving entry
+    /// point: with scratch reuse on and a recycled `sink`, a steady-state
+    /// call performs no heap allocation at all. Bit-identical to
+    /// [`Executor::forward_batch`] (same pass, different output packaging).
+    pub fn forward_batch_into(&self, inputs: &[Tensor], sink: &mut Vec<f32>) -> usize {
+        let (per, _, violation, _) = self.forward_batch_inner(inputs, None, None, sink);
+        debug_assert!(violation.is_none(), "no guard, no violation");
+        per
+    }
+
+    /// Slice a contiguous logits sink into per-image tensors.
+    fn split_sink(&self, b: usize, per: usize, sink: &[f32]) -> Vec<Tensor> {
+        let dims = shape_dims(self.graph.output_shape());
+        (0..b)
+            .map(|i| Tensor::from_vec(&dims, sink[i * per..(i + 1) * per].to_vec()))
+            .collect()
     }
 
     /// [`Executor::forward_batch`] with the integrity hooks engaged: after
@@ -819,8 +926,14 @@ impl<'g> Executor<'g> {
         guard: Option<&ActivationGuard>,
         inject: Option<&ActivationInjection<'_>>,
     ) -> CheckedForward {
-        let (outputs, _, violation, activation_flips) =
-            self.forward_batch_inner(inputs, guard, inject);
+        let mut sink = Vec::new();
+        let (per, _, violation, activation_flips) =
+            self.forward_batch_inner(inputs, guard, inject, &mut sink);
+        let outputs = if violation.is_some() {
+            Vec::new()
+        } else {
+            self.split_sink(inputs.len(), per, &sink)
+        };
         CheckedForward {
             outputs,
             violation,
@@ -887,33 +1000,54 @@ impl<'g> Executor<'g> {
         inputs: &[Tensor],
         guard: Option<&ActivationGuard>,
         inject: Option<&ActivationInjection<'_>>,
-    ) -> (Vec<Tensor>, usize, Option<GuardViolation>, u64) {
+        sink: &mut Vec<f32>,
+    ) -> (usize, usize, Option<GuardViolation>, u64) {
+        sink.clear();
         if inputs.is_empty() {
-            return (Vec::new(), 0, None, 0);
+            return (0, 0, None, 0);
         }
         for x in inputs {
             self.check_input(x);
         }
+        if self.scratch_reuse.load(Ordering::Relaxed) {
+            let mut scratch = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+            self.forward_batch_in(inputs, guard, inject, sink, &mut scratch)
+        } else {
+            // Baseline mode: fresh scratch per forward (the pre-pool path).
+            let mut scratch = ExecScratch::default();
+            self.forward_batch_in(inputs, guard, inject, sink, &mut scratch)
+        }
+    }
+
+    fn forward_batch_in(
+        &self,
+        inputs: &[Tensor],
+        guard: Option<&ActivationGuard>,
+        inject: Option<&ActivationInjection<'_>>,
+        sink: &mut Vec<f32>,
+        scratch: &mut ExecScratch,
+    ) -> (usize, usize, Option<GuardViolation>, u64) {
         let b = inputs.len();
         let per = self.graph.input_shape().elements();
-        let mut stacked = Vec::with_capacity(b * per);
-        for x in inputs {
-            stacked.extend_from_slice(x.data());
-        }
-
         let n_nodes = self.graph.nodes().len();
-        let mut values: Vec<Option<BatchVal>> = Vec::with_capacity(n_nodes);
+
+        let ExecScratch { arena, values, .. } = scratch;
+        let mut stacked = arena.take(b * per);
+        for (slot, x) in stacked.chunks_exact_mut(per).zip(inputs) {
+            slot.copy_from_slice(x.data());
+        }
+        values.clear();
         values.resize_with(n_nodes, || None);
         values[0] = Some(BatchVal {
             data: stacked,
             per_image: per,
         });
-        let mut arena = Arena::default();
         let mut live = b * per;
         let mut peak = live;
         let mut flips = 0u64;
+        let mut violation = None;
         for node in self.graph.nodes().iter().skip(1) {
-            let mut out = self.eval_batch(node, &mut values, b, &mut arena);
+            let mut out = self.eval_batch(node, values, b, arena);
             if let Some(inj) = inject {
                 if inj.plan.activation_pass() == Some(node.name.as_str()) {
                     for e in 0..out.data.len() {
@@ -930,15 +1064,12 @@ impl<'g> Executor<'g> {
                 if is_gemm_stage(&node.op) {
                     let scan = scan_f32(&out.data);
                     if scan.violates(g.range_limit) {
-                        return (
-                            Vec::new(),
-                            peak,
-                            Some(GuardViolation {
-                                node: node.name.clone(),
-                                scan,
-                            }),
-                            flips,
-                        );
+                        violation = Some(GuardViolation {
+                            node: node.name.clone(),
+                            scan,
+                        });
+                        arena.give(out.data);
+                        break;
                     }
                 }
             }
@@ -956,15 +1087,27 @@ impl<'g> Executor<'g> {
                 }
             }
         }
-        let out = values[self.graph.output().0]
-            .take()
-            .expect("output computed");
-        let dims = shape_dims(self.graph.output_shape());
-        let per_out = out.per_image;
-        let result = (0..b)
-            .map(|i| Tensor::from_vec(&dims, out.data[i * per_out..(i + 1) * per_out].to_vec()))
-            .collect();
-        (result, peak, None, flips)
+        let per_out = if violation.is_none() {
+            let out = values[self.graph.output().0]
+                .take()
+                .expect("output computed");
+            sink.extend_from_slice(&out.data);
+            arena.give(out.data);
+            out.per_image
+        } else {
+            0
+        };
+        // Drain every surviving intermediate back into the arena so the
+        // next pass starts from the full pooled set (on the persistent
+        // scratch this is what makes steady state allocation-free).
+        for v in values.iter_mut() {
+            if let Some(v) = v.take() {
+                arena.give(v.data);
+            }
+        }
+        scratch.passes += 1;
+        scratch.high_water_bytes = scratch.high_water_bytes.max(scratch.arena.pooled_bytes());
+        (per_out, peak, violation, flips)
     }
 
     /// Matrix multiply `x[rows×k] → out[rows×n]` against a materialized
@@ -1258,46 +1401,55 @@ impl<'g> Executor<'g> {
                 add_bias(&mut qkv, b_qkv.data());
                 let mut mixed = arena.take(bs * dim);
                 // Per-(image, head) attention cores fan out over the pool —
-                // each task reads its own slice of the shared QKV buffer and
-                // returns an independent head output, so scheduling order
-                // cannot change a single bit. K is gathered already
-                // transposed so the score matmul runs through the blocked
-                // GEMM too (sequentially: the task already sits on a pool
-                // worker, so the nested GEMM takes its single-thread path).
+                // each task owns a disjoint `s×head_dim` chunk of a shared
+                // flat head buffer and reads its own slice of the QKV
+                // buffer, so scheduling order cannot change a single bit.
+                // Per-head temporaries (q, k_t, v, scores) are loaned from
+                // the thread-local kernel scratch pool instead of allocated,
+                // and K is gathered already transposed so the score matmul
+                // runs through the blocked GEMM too (sequentially: the task
+                // already sits on a pool worker, so the nested GEMM takes
+                // its single-thread path).
                 let dim = *dim;
                 let heads = *heads;
                 let variant = self.kernel_variant;
-                let head_outputs = harvest_threads::par_map(b * heads, |ih| {
-                    let (img, h) = (ih / heads, ih % heads);
-                    let qkv_img = &qkv[img * s * 3 * dim..(img + 1) * s * 3 * dim];
-                    let off = h * head_dim;
-                    let mut q = vec![0.0f32; s * head_dim];
-                    let mut k_t = vec![0.0f32; head_dim * s];
-                    let mut v = vec![0.0f32; s * head_dim];
-                    let mut scores = vec![0.0f32; s * s];
-                    let mut outh = vec![0.0f32; s * head_dim];
-                    for t in 0..s {
-                        let row = &qkv_img[t * 3 * dim..(t + 1) * 3 * dim];
-                        q[t * head_dim..(t + 1) * head_dim]
-                            .copy_from_slice(&row[off..off + head_dim]);
-                        for i in 0..head_dim {
-                            k_t[i * s + t] = row[dim + off + i];
-                        }
-                        v[t * head_dim..(t + 1) * head_dim]
-                            .copy_from_slice(&row[2 * dim + off..2 * dim + off + head_dim]);
-                    }
-                    gemm_v(variant, &q, &k_t, &mut scores, s, head_dim, s);
-                    for sc in scores.iter_mut() {
-                        *sc *= scale;
-                    }
-                    softmax_rows(&mut scores, s);
-                    gemm_v(variant, &scores, &v, &mut outh, s, s, head_dim);
-                    outh
-                });
+                let mut heads_buf = arena.take(b * heads * s * head_dim);
+                harvest_threads::for_each_chunk_mut(
+                    &mut heads_buf[..b * heads * s * head_dim],
+                    s * head_dim,
+                    |ih, outh| {
+                        let (img, h) = (ih / heads, ih % heads);
+                        let qkv_img = &qkv[img * s * 3 * dim..(img + 1) * s * 3 * dim];
+                        let off = h * head_dim;
+                        harvest_tensor::scratch::with_f32(3 * s * head_dim + s * s, |tmp| {
+                            let (q, rest) = tmp.split_at_mut(s * head_dim);
+                            let (k_t, rest) = rest.split_at_mut(head_dim * s);
+                            let (v, scores) = rest.split_at_mut(s * head_dim);
+                            for t in 0..s {
+                                let row = &qkv_img[t * 3 * dim..(t + 1) * 3 * dim];
+                                q[t * head_dim..(t + 1) * head_dim]
+                                    .copy_from_slice(&row[off..off + head_dim]);
+                                for i in 0..head_dim {
+                                    k_t[i * s + t] = row[dim + off + i];
+                                }
+                                v[t * head_dim..(t + 1) * head_dim]
+                                    .copy_from_slice(&row[2 * dim + off..2 * dim + off + head_dim]);
+                            }
+                            gemm_v(variant, q, k_t, scores, s, head_dim, s);
+                            for sc in scores.iter_mut() {
+                                *sc *= scale;
+                            }
+                            softmax_rows(scores, s);
+                            gemm_v(variant, scores, v, outh, s, s, head_dim);
+                        });
+                    },
+                );
+                arena.give(qkv);
                 // Ordered scatter of the strided head columns (cheap copies;
                 // destinations interleave within a token row, so this stays
                 // on the calling thread).
-                for (ih, outh) in head_outputs.iter().enumerate() {
+                for ih in 0..b * heads {
+                    let outh = &heads_buf[ih * s * head_dim..(ih + 1) * s * head_dim];
                     let (img, h) = (ih / heads, ih % heads);
                     let off = h * head_dim;
                     let mixed_img = &mut mixed[img * s * dim..(img + 1) * s * dim];
@@ -1306,7 +1458,7 @@ impl<'g> Executor<'g> {
                             .copy_from_slice(&outh[t * head_dim..(t + 1) * head_dim]);
                     }
                 }
-                arena.give(qkv);
+                arena.give(heads_buf);
                 let mut y = arena.take(bs * dim);
                 self.matmul_into(&mixed, w_out, bs, b, &mut y);
                 add_bias(&mut y, b_out.data());

@@ -34,7 +34,7 @@ pub mod swap;
 pub use engine::{Engine, EngineError};
 pub use exec::{
     ActivationGuard, ActivationInjection, CheckedForward, Executor, GuardViolation,
-    MaterializedWeights, WeightCorruption, WeightStore,
+    MaterializedWeights, ScratchStats, WeightCorruption, WeightStore,
 };
 pub use passes::{compile, ExecPlan, ExecStep, StepKind};
 pub use planner::{plan_activations, ActivationPlan};

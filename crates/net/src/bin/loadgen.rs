@@ -5,7 +5,12 @@
 //! ```text
 //! loadgen [--requests N] [--seed S] [--chaos] [--drop-oldest]
 //!         [--client-threads T] [--accept-threads A]
+//!         [--engine-workers W] [--requests-per-connection R]
 //! ```
+//!
+//! `--client-threads 1 --requests-per-connection 1` is the deterministic
+//! fingerprint mode; raising either knob turns the client into a
+//! saturator for wide engine pools.
 
 use harvest_net::{run_loadgen, LoadgenConfig, WireConfig, WireServer};
 use harvest_simkit::SocketFaultPlan;
@@ -24,7 +29,8 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: loadgen [--requests N] [--seed S] [--chaos] [--drop-oldest] \
-             [--client-threads T] [--accept-threads A]"
+             [--client-threads T] [--accept-threads A] [--engine-workers W] \
+             [--requests-per-connection R]"
         );
         return ExitCode::SUCCESS;
     }
@@ -32,6 +38,8 @@ fn main() -> ExitCode {
     let seed = parse_flag(&args, "--seed").unwrap_or(2024);
     let client_threads = parse_flag(&args, "--client-threads").unwrap_or(8) as usize;
     let accept_threads = parse_flag(&args, "--accept-threads").unwrap_or(4) as usize;
+    let engine_workers = parse_flag(&args, "--engine-workers").unwrap_or(2) as usize;
+    let requests_per_connection = parse_flag(&args, "--requests-per-connection").unwrap_or(1);
     let chaos = args.iter().any(|a| a == "--chaos");
     let drop_oldest = args.iter().any(|a| a == "--drop-oldest");
 
@@ -49,6 +57,7 @@ fn main() -> ExitCode {
     let server = match WireServer::start(WireConfig {
         accept_threads,
         drop_oldest,
+        engine_workers,
         ..WireConfig::default()
     }) {
         Ok(server) => server,
@@ -62,6 +71,7 @@ fn main() -> ExitCode {
         &LoadgenConfig {
             requests,
             client_threads,
+            requests_per_connection,
             plan,
             ..LoadgenConfig::default()
         },

@@ -1,6 +1,6 @@
 //! Deterministic chaos load generator for the wire front-end.
 //!
-//! Drives N single-request connections at a [`crate::WireServer`] through
+//! Drives N connections at a [`crate::WireServer`] through
 //! [`FaultySocket`], so every connection acts out the fate its
 //! [`SocketFaultPlan`] assigns: clean exchange, mid-request reset,
 //! truncation + half-close, one garbled byte, or a stall past the server's
@@ -9,6 +9,24 @@
 //! produce the same counters and the same outcome fingerprint —
 //! wall-clock-dependent quantities (latencies, batch sizes) are kept out
 //! of the fingerprint by construction.
+//!
+//! Two operating modes share this machinery:
+//!
+//! * **Deterministic fingerprint** (`client_threads: 1`, one request per
+//!   connection): connections run one at a time, so batch compositions and
+//!   the server-side ledger replay exactly — this is the width-invariance
+//!   gate's probe.
+//! * **Saturation** (`client_threads > 1` and/or
+//!   `requests_per_connection > 1`): parallel client workers drive
+//!   keep-alive connections that pipeline several classify requests each,
+//!   enough concurrent work to keep a width-8 engine pool busy. The
+//!   fingerprint stays order-deterministic (per-connection entries are
+//!   merged in connection order), though batch sizes and latencies vary
+//!   with scheduling.
+//!
+//! Pipelining applies to *clean* connections only: the chaos fates model a
+//! single damaged exchange, so connections drawing a fault keep the
+//! one-request shape.
 //!
 //! Client-side conservation:
 //!
@@ -33,10 +51,15 @@ use std::time::{Duration, Instant};
 /// Load-generation knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct LoadgenConfig {
-    /// Connections to drive (one classify POST each).
+    /// Connections to drive.
     pub requests: u64,
     /// Parallel client workers.
     pub client_threads: usize,
+    /// Classify POSTs pipelined on each *clean* keep-alive connection
+    /// (connections drawing a chaos fate always carry one). `0` is treated
+    /// as `1`. Raising this multiplies offered load without more sockets —
+    /// the saturation knob for wide engine pools.
+    pub requests_per_connection: u64,
     /// The chaos plan every connection consults.
     pub plan: SocketFaultPlan,
     /// Client-side deadline waiting for a response, milliseconds. Must
@@ -50,6 +73,7 @@ impl Default for LoadgenConfig {
         LoadgenConfig {
             requests: 64,
             client_threads: 8,
+            requests_per_connection: 1,
             plan: SocketFaultPlan::none(),
             response_timeout_ms: 10_000,
         }
@@ -75,7 +99,8 @@ pub struct FateCounts {
 /// What one run of the loadgen observed.
 #[derive(Clone, Debug)]
 pub struct LoadgenReport {
-    /// Connections driven.
+    /// Requests attempted — equals the connection count unless clean
+    /// connections pipelined more than one.
     pub requests: u64,
     /// Plan-assigned fates.
     pub fates: FateCounts,
@@ -184,6 +209,15 @@ pub fn sample_body(conn: u64) -> Vec<u8> {
     }
 }
 
+/// A successor request on a pipelined clean connection.
+#[derive(Clone, Debug)]
+struct PipeEntry {
+    sent: bool,
+    status: Option<u16>,
+    class: Option<i64>,
+    latency_ms: Option<f64>,
+}
+
 /// One connection's observation, fed into the ordered aggregation.
 #[derive(Clone, Debug)]
 struct ConnResult {
@@ -193,10 +227,13 @@ struct ConnResult {
     status: Option<u16>,
     /// Parsed `"class"` field of a 200 body.
     class: Option<i64>,
-    /// Responses observed beyond the first (clean connections only).
+    /// Responses observed beyond the expected count (clean connections
+    /// only).
     extra_responses: u64,
     latency_ms: Option<f64>,
     client_error: bool,
+    /// Requests 2..N of a pipelined clean connection, in send order.
+    pipelined: Vec<PipeEntry>,
 }
 
 /// Drive `config.requests` connections at `addr` and aggregate the ledger.
@@ -282,6 +319,42 @@ pub fn run_loadgen(addr: SocketAddr, config: &LoadgenConfig) -> LoadgenReport {
             &mut report.fingerprint,
             &r.class.unwrap_or(-1).to_le_bytes(),
         );
+        // Pipelined successors follow their connection in the ledger and
+        // the fingerprint, so the merged order stays deterministic no
+        // matter which client thread drove the connection.
+        for e in &r.pipelined {
+            report.requests += 1;
+            if e.sent {
+                report.sent += 1;
+                match e.status {
+                    Some(status) => {
+                        report.responded += 1;
+                        *statuses.entry(status).or_insert(0) += 1;
+                        if status == 200 {
+                            if let Some(class) = e.class {
+                                *classes.entry(class).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                    None => report.lost += 1,
+                }
+            } else {
+                report.cut += 1;
+            }
+            if let Some(ms) = e.latency_ms {
+                report.latencies_ms.push(ms);
+            }
+            fnv_mix(&mut report.fingerprint, &(conn as u64).to_le_bytes());
+            fnv_mix(&mut report.fingerprint, &[fate_tag, e.sent as u8]);
+            fnv_mix(
+                &mut report.fingerprint,
+                &e.status.unwrap_or(0).to_le_bytes(),
+            );
+            fnv_mix(
+                &mut report.fingerprint,
+                &e.class.unwrap_or(-1).to_le_bytes(),
+            );
+        }
     }
     report.statuses = statuses.into_iter().collect();
     report.classes = classes.into_iter().collect();
@@ -298,6 +371,10 @@ fn drive_connection(addr: SocketAddr, conn: u64, config: &LoadgenConfig) -> Conn
     .into_bytes();
     request.extend_from_slice(&body);
     let fate = config.plan.fate(conn, request.len());
+    let rpc = config.requests_per_connection.max(1);
+    if rpc > 1 && matches!(fate, SocketFate::Clean) {
+        return drive_pipelined(addr, conn, rpc, config);
+    }
     let mut out = ConnResult {
         fate,
         sent: false,
@@ -306,6 +383,7 @@ fn drive_connection(addr: SocketAddr, conn: u64, config: &LoadgenConfig) -> Conn
         extra_responses: 0,
         latency_ms: None,
         client_error: false,
+        pipelined: Vec::new(),
     };
 
     let t0 = Instant::now();
@@ -398,6 +476,141 @@ fn drive_connection(addr: SocketAddr, conn: u64, config: &LoadgenConfig) -> Conn
                 Ok(0) | Err(_) => break,
                 Ok(n) => buf.extend_from_slice(&chunk[..n]),
             }
+        }
+    }
+    out
+}
+
+/// Drive one *clean* keep-alive connection carrying `rpc` pipelined
+/// classify requests. The whole pipeline is written up front, then
+/// responses are framed in order — request `k` of connection `conn` uses
+/// the deterministic body `sample_body(conn * rpc + k)`, so replays stay
+/// byte-identical.
+fn drive_pipelined(addr: SocketAddr, conn: u64, rpc: u64, config: &LoadgenConfig) -> ConnResult {
+    let mut out = ConnResult {
+        fate: SocketFate::Clean,
+        sent: false,
+        status: None,
+        class: None,
+        extra_responses: 0,
+        latency_ms: None,
+        client_error: false,
+        pipelined: Vec::new(),
+    };
+    let mut wire: Vec<u8> = Vec::new();
+    let mut bounds: Vec<usize> = Vec::with_capacity(rpc as usize);
+    for k in 0..rpc {
+        let body = sample_body(conn.wrapping_mul(rpc).wrapping_add(k));
+        let head = if k + 1 == rpc {
+            format!(
+                "POST /classify HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            )
+        } else {
+            format!(
+                "POST /classify HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+        };
+        wire.extend_from_slice(head.as_bytes());
+        wire.extend_from_slice(&body);
+        bounds.push(wire.len());
+    }
+
+    let t0 = Instant::now();
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        out.client_error = true;
+        return out;
+    };
+    let timeout = Duration::from_millis(config.response_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+
+    let mut written = 0usize;
+    while written < wire.len() {
+        match stream.write(&wire[written..]) {
+            Ok(0) => break,
+            Ok(n) => written += n,
+            Err(_) => break,
+        }
+    }
+    // Requests whose bytes all reached the wire count as sent; a clean
+    // connection refusing part of the pipeline is a client-side error.
+    let sent_count = bounds.iter().filter(|&&b| b <= written).count();
+    if written < wire.len() {
+        out.client_error = true;
+    }
+
+    let limits = HttpLimits::default();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut entries: Vec<(Option<u16>, Option<i64>, Option<f64>)> = Vec::new();
+    'collect: while entries.len() < rpc as usize {
+        loop {
+            match parse_response(&buf, &limits) {
+                Ok(Some((status, consumed))) => {
+                    let class = if status == 200 {
+                        parse_class(&buf[..consumed])
+                    } else {
+                        None
+                    };
+                    buf.drain(..consumed);
+                    entries.push((Some(status), class, Some(t0.elapsed().as_secs_f64() * 1e3)));
+                    if entries.len() == rpc as usize {
+                        break 'collect;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    out.client_error = true;
+                    break 'collect;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break 'collect,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    // Dup sweep: the close-delimited tail must hold nothing beyond the
+    // expected responses.
+    if entries.len() == rpc as usize {
+        loop {
+            match parse_response(&buf, &limits) {
+                Ok(Some((_, used))) => {
+                    out.extra_responses += 1;
+                    buf.drain(..used);
+                    continue;
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    out.client_error = true;
+                    break;
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+
+    for k in 0..rpc as usize {
+        let sent = k < sent_count;
+        let (status, class, latency_ms) = entries.get(k).cloned().unwrap_or((None, None, None));
+        if k == 0 {
+            out.sent = sent;
+            out.status = status;
+            out.class = class;
+            out.latency_ms = latency_ms;
+        } else {
+            out.pipelined.push(PipeEntry {
+                sent,
+                status,
+                class,
+                latency_ms,
+            });
         }
     }
     out

@@ -3,11 +3,15 @@
 //! Architecture: `accept_threads` accept loops share one
 //! `std::net::TcpListener`, each handling its accepted connection to
 //! completion (parse → decode → preprocess → submit). Inference runs on a
-//! single dedicated **engine thread** that owns the model graph and the
-//! [`RealBatchServer`]; connections talk to it over an mpsc channel and
-//! block on a per-request reply channel, so batches form across
-//! connections while the `harvest-threads` pool parallelizes inside each
-//! forward.
+//! **data-parallel engine worker pool**: a coordinator thread owns the
+//! model graph, the dynamic batcher, and the weight-generation cell, and
+//! `engine_workers` replica executors each serve whole batches. Batches
+//! are assigned to workers deterministically (`seq % engine_workers`) and
+//! completions merge back in submission order, so logits, completion
+//! order, and wire fingerprints are bit-identical at every pool width.
+//! Connections talk to the coordinator over an mpsc channel and block on a
+//! per-request reply channel, so batches form across connections while the
+//! pool overlaps their execution.
 //!
 //! Hardening contract:
 //!
@@ -35,12 +39,14 @@ use crate::http::{parse_request, write_response, HttpLimits, Method, Parsed, Req
 use harvest_imaging::decode_auto;
 use harvest_models::{vit, VitConfig};
 use harvest_preproc::preprocess_decoded;
+use harvest_serving::batcher::QueuedRequest;
 use harvest_serving::{
-    BatcherConfig, BreakerConfig, BreakerState, CircuitBreaker, RealBatchServer, ServeFault,
-    ServingLimits, ShedPolicy,
+    BatcherConfig, BreakerConfig, BreakerState, CircuitBreaker, DynamicBatcher, RealBatchServer,
+    ServeFault, ServingLimits, ShedPolicy,
 };
 use harvest_simkit::SimTime;
 use harvest_tensor::Tensor;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,7 +54,10 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use harvest_engine::{ActivationGuard, Executor};
+use harvest_engine::{
+    decode_artifact_staged, ActivationGuard, Executor, MaterializedWeights, ScratchStats,
+    WeightStore, WeightsCell,
+};
 
 /// Everything the wire needs to come up.
 #[derive(Clone, Debug)]
@@ -89,6 +98,17 @@ pub struct WireConfig {
     /// swapped generation's first batch (a violation rolls the swap back);
     /// `None` still checks for NaN/Inf.
     pub swap_guard_range_limit: Option<f32>,
+    /// Width of the data-parallel engine worker pool. Each worker owns a
+    /// replica executor over the shared weight generations; batches are
+    /// assigned `seq % engine_workers` and completions merge back in
+    /// submission order, so serving is bit-identical at every width. The
+    /// in-flight and queue bounds in `limits` stay pool-wide. Must be ≥ 1.
+    pub engine_workers: usize,
+    /// Deterministic per-batch service-time floor, milliseconds (0 = off).
+    /// A worker holds each batch at least this long, so pool overlap is
+    /// measurable even on hosts with fewer cores than workers — logits and
+    /// fingerprints are unaffected. The serve scale-up experiment uses it.
+    pub engine_batch_floor_ms: u64,
 }
 
 impl Default for WireConfig {
@@ -127,6 +147,8 @@ impl Default for WireConfig {
                 classes: 4,
             }),
             swap_guard_range_limit: Some(1e6),
+            engine_workers: 2,
+            engine_batch_floor_ms: 0,
         }
     }
 }
@@ -282,6 +304,50 @@ enum EngineMsg {
     },
     /// Snapshot the engine-side metrics (queues, breaker, generations).
     Metrics { reply: mpsc::Sender<String> },
+    /// A pool worker finished a dispatched batch (internal: workers share
+    /// the coordinator's channel so one blocking receive drives both
+    /// external traffic and completion merging).
+    WorkerDone(WorkerDone),
+    /// Shut the engine down once the drain has settled (sent by
+    /// [`WireServer::shutdown`] after the accept loops are joined).
+    Stop,
+}
+
+/// A batch dispatched to one pool worker.
+enum WorkerMsg {
+    Run {
+        /// Batch sequence number: fixes both the worker assignment
+        /// (`seq % width`) and the submission-order merge position.
+        seq: u64,
+        ids: Vec<u64>,
+        inputs: Vec<Tensor>,
+        /// Armed for a freshly swapped generation's first batch: run the
+        /// checked forward and report a sentinel violation instead of
+        /// emitting classes.
+        guard: Option<ActivationGuard>,
+    },
+    /// Install a newly published (or rolled-back-to) weight generation.
+    Install(Arc<MaterializedWeights>),
+    Stop,
+}
+
+/// One worker's verdict on one batch, merged by the coordinator in
+/// submission order.
+struct WorkerDone {
+    seq: u64,
+    worker: usize,
+    ids: Vec<u64>,
+    /// Argmax class per request, in the batch's submission order (empty on
+    /// a violation).
+    classes: Vec<usize>,
+    batch_size: usize,
+    /// The guarded run tripped the activation sentinel; `inputs` carries
+    /// the payloads back so the coordinator can roll back and re-dispatch.
+    violation: bool,
+    inputs: Vec<Tensor>,
+    /// The worker executor's scratch counters, piggybacked so `/metrics`
+    /// never has to stop the pool.
+    scratch: ScratchStats,
 }
 
 /// Resolution of one `POST /admin/swap`, sent back from the engine thread.
@@ -345,6 +411,12 @@ impl WireServer {
                 "accept_threads must be at least 1",
             ));
         }
+        // The pool check also documents the contract: queue and in-flight
+        // bounds are pool-wide, so widening the pool never widens them.
+        config
+            .limits
+            .check_pool(config.engine_workers)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
 
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -372,28 +444,14 @@ impl WireServer {
 
         let (tx, rx) = mpsc::channel::<EngineMsg>();
         let engine_handle = {
-            let model = config.model;
-            let degraded_model = config.degraded_model;
-            let seed = config.model_seed;
-            let breaker = config.breaker;
-            let swap_guard = ActivationGuard {
-                range_limit: config.swap_guard_range_limit,
-            };
+            let config = config.clone();
+            // Pool workers send completions back over the same channel the
+            // accept loops use, so the coordinator has one blocking receive.
+            let pool_tx = tx.clone();
             let tick = Duration::from_millis(config.max_queue_delay_ms.div_ceil(2).max(1));
             std::thread::Builder::new()
                 .name("wire-engine".to_string())
-                .spawn(move || {
-                    engine_loop(
-                        rx,
-                        model,
-                        degraded_model,
-                        seed,
-                        batcher,
-                        breaker,
-                        swap_guard,
-                        tick,
-                    )
-                })?
+                .spawn(move || engine_loop(rx, pool_tx, config, batcher, tick))?
         };
 
         let mut accept_handles = Vec::with_capacity(config.accept_threads);
@@ -469,9 +527,13 @@ impl WireServer {
                 joined += 1;
             }
         }
-        // All accept-side senders are gone; dropping ours disconnects the
-        // engine's channel and ends its loop.
-        *self.engine_tx.lock().expect("engine tx lock") = None;
+        // The accept loops are joined, so no submission is in flight. The
+        // pool workers hold clones of the engine sender (the channel never
+        // disconnects on its own), so shutdown is an explicit message: the
+        // coordinator finishes the drain, stops its workers, and exits.
+        if let Some(tx) = self.engine_tx.lock().expect("engine tx lock").take() {
+            let _ = tx.send(EngineMsg::Stop);
+        }
         if let Some(handle) = self.engine_handle.take() {
             if handle.join().is_ok() {
                 joined += 1;
@@ -491,9 +553,436 @@ struct PendingReply {
     degraded: bool,
 }
 
-/// The engine thread: owns the graphs and the batch servers, turns channel
-/// messages into batcher calls, and guarantees **exactly one** reply per
-/// submitted id (completion, shed, rejection, or typed failure).
+/// Resolve a [`RealBatchServer`]'s outputs (the degraded ladder rung)
+/// against the waiting map and the breaker (successes close it, faults
+/// trip it).
+fn deliver(
+    waiting: &mut HashMap<u64, PendingReply>,
+    breaker: &mut CircuitBreaker,
+    now: SimTime,
+    completed: Vec<harvest_serving::Completion>,
+    shed: Vec<u64>,
+    faults: Vec<ServeFault>,
+) {
+    for c in completed {
+        if let Some(p) = waiting.remove(&c.id) {
+            breaker.record_success(now, now.saturating_sub(p.submitted));
+            let _ = p.tx.send(WireOutcome::Done {
+                class: argmax(c.output.data()),
+                batch: c.batch_size,
+                degraded: p.degraded,
+                generation: c.generation,
+            });
+        }
+    }
+    for id in shed {
+        if let Some(p) = waiting.remove(&id) {
+            let _ = p.tx.send(WireOutcome::Shed);
+        }
+    }
+    for fault in faults {
+        if let ServeFault::MissingPayload { id } = fault {
+            breaker.record_failure(now);
+            if let Some(p) = waiting.remove(&id) {
+                let _ = p.tx.send(WireOutcome::Failed);
+            }
+        }
+    }
+}
+
+/// One pool worker: a replica executor serving whole batches. Kernels run
+/// sequentially inside the worker (`with_threads(1)`) — parallelism comes
+/// from the pool itself — and the executor's persistent scratch plus the
+/// reusable logit sink make the steady-state batch allocation-free. The
+/// `harvest-threads` determinism contract keeps per-request logits
+/// bit-identical to every other worker and every pool width.
+fn worker_loop(
+    worker: usize,
+    graph: &harvest_models::Graph,
+    seed: u64,
+    floor: Duration,
+    rx: mpsc::Receiver<WorkerMsg>,
+    done: mpsc::Sender<EngineMsg>,
+) {
+    harvest_threads::with_threads(1, || {
+        let mut exec = Executor::new(graph, seed);
+        let mut sink: Vec<f32> = Vec::new();
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                WorkerMsg::Run {
+                    seq,
+                    ids,
+                    inputs,
+                    guard,
+                } => {
+                    let started = Instant::now();
+                    let out = match guard {
+                        Some(g) => {
+                            let run = exec.forward_batch_checked(&inputs, Some(&g), None);
+                            match run.violation {
+                                Some(_) => WorkerDone {
+                                    seq,
+                                    worker,
+                                    batch_size: ids.len(),
+                                    ids,
+                                    classes: Vec::new(),
+                                    violation: true,
+                                    inputs,
+                                    scratch: exec.scratch_stats(),
+                                },
+                                None => WorkerDone {
+                                    seq,
+                                    worker,
+                                    batch_size: ids.len(),
+                                    ids,
+                                    classes: run.outputs.iter().map(|t| argmax(t.data())).collect(),
+                                    violation: false,
+                                    inputs: Vec::new(),
+                                    scratch: exec.scratch_stats(),
+                                },
+                            }
+                        }
+                        None => {
+                            let per = exec.forward_batch_into(&inputs, &mut sink).max(1);
+                            WorkerDone {
+                                seq,
+                                worker,
+                                batch_size: ids.len(),
+                                ids,
+                                classes: sink.chunks_exact(per).map(argmax).collect(),
+                                violation: false,
+                                inputs: Vec::new(),
+                                scratch: exec.scratch_stats(),
+                            }
+                        }
+                    };
+                    if floor > Duration::ZERO {
+                        let elapsed = started.elapsed();
+                        if elapsed < floor {
+                            std::thread::sleep(floor - elapsed);
+                        }
+                    }
+                    if done.send(EngineMsg::WorkerDone(out)).is_err() {
+                        break;
+                    }
+                }
+                WorkerMsg::Install(w) => exec.install_weights(w),
+                WorkerMsg::Stop => break,
+            }
+        }
+    });
+}
+
+/// A batch formed by the batcher, waiting for a dispatch slot.
+type ReadyBatch = (u64, Vec<u64>, Vec<Tensor>);
+
+/// The coordinator's pool-side state: the batcher, the generation cell,
+/// the dispatch/merge machinery, and the swap/guard barrier flags.
+struct Coord<'s, 'g> {
+    worker_txs: &'s [mpsc::Sender<WorkerMsg>],
+    graph: &'g harvest_models::Graph,
+    swap_guard: ActivationGuard,
+    width: u64,
+    cell: WeightsCell,
+    batcher: DynamicBatcher,
+    waiting: HashMap<u64, PendingReply>,
+    pending: HashMap<u64, Tensor>,
+    ready: VecDeque<ReadyBatch>,
+    done_buf: BTreeMap<u64, WorkerDone>,
+    next_seq: u64,
+    next_done: u64,
+    in_flight: usize,
+    /// A staged `/admin/swap`, held until the pool-wide batch boundary.
+    pending_swap: Option<(Vec<u8>, mpsc::Sender<SwapOutcome>)>,
+    /// The freshly published generation's first batch must run guarded and
+    /// solo (a pool-wide barrier until its verdict).
+    guard_pending: bool,
+    guard_inflight: Option<u64>,
+    drain_requested: bool,
+    drained: bool,
+    executed_batches: u64,
+    executed_requests: u64,
+    worker_batches: Vec<u64>,
+    worker_requests: Vec<u64>,
+    worker_scratch: Vec<ScratchStats>,
+}
+
+impl Coord<'_, '_> {
+    /// Pair a dispatched batch with its payloads and queue it for the
+    /// pool. A queued id without a payload is bookkeeping skew: answer it
+    /// with a typed failure, keep its batchmates.
+    fn form_batch(&mut self, batch: Vec<QueuedRequest>, breaker: &mut CircuitBreaker, t: SimTime) {
+        let mut ids = Vec::with_capacity(batch.len());
+        let mut inputs = Vec::with_capacity(batch.len());
+        for r in batch {
+            match self.pending.remove(&r.id) {
+                Some(input) => {
+                    ids.push(r.id);
+                    inputs.push(input);
+                }
+                None => {
+                    breaker.record_failure(t);
+                    if let Some(p) = self.waiting.remove(&r.id) {
+                        let _ = p.tx.send(WireOutcome::Failed);
+                    }
+                }
+            }
+        }
+        if ids.is_empty() {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.ready.push_back((seq, ids, inputs));
+    }
+
+    /// Make pool progress: resolve a staged swap at the pool-wide batch
+    /// boundary, dispatch ready batches under the gating rules, and settle
+    /// a requested drain once every dispatched batch has come home.
+    fn pump(&mut self) {
+        if self.pending_swap.is_some() && self.in_flight == 0 {
+            let (body, reply) = self.pending_swap.take().expect("checked above");
+            match decode_artifact_staged(&body, self.graph, false, None) {
+                Ok(w) => {
+                    let generation = self.cell.publish(Arc::new(w));
+                    let weights = self.cell.current().weights();
+                    for wtx in self.worker_txs {
+                        let _ = wtx.send(WorkerMsg::Install(Arc::clone(&weights)));
+                    }
+                    self.guard_pending = true;
+                    let _ = reply.send(SwapOutcome::Swapped {
+                        generation,
+                        fingerprint: self.cell.current().fingerprint(),
+                    });
+                }
+                Err(e) => {
+                    self.cell.record_rejected_load();
+                    let _ = reply.send(SwapOutcome::Rejected {
+                        error: e.to_string(),
+                    });
+                }
+            }
+        }
+        loop {
+            if self.ready.is_empty()
+                || self.pending_swap.is_some()
+                || self.guard_inflight.is_some()
+                || (self.guard_pending && self.in_flight > 0)
+            {
+                break;
+            }
+            let (seq, ids, inputs) = self.ready.pop_front().expect("checked non-empty");
+            let guard = if self.guard_pending {
+                self.guard_pending = false;
+                self.guard_inflight = Some(seq);
+                Some(self.swap_guard)
+            } else {
+                None
+            };
+            let w = (seq % self.width) as usize;
+            let _ = self.worker_txs[w].send(WorkerMsg::Run {
+                seq,
+                ids,
+                inputs,
+                guard,
+            });
+            self.in_flight += 1;
+        }
+        if self.drain_requested
+            && !self.drained
+            && self.pending_swap.is_none()
+            && self.ready.is_empty()
+            && self.in_flight == 0
+        {
+            // The flush dispatched and answered everything it could;
+            // anything still waiting hit bookkeeping skew — fail it
+            // explicitly rather than hang its connection.
+            for (_, p) in self.waiting.drain() {
+                let _ = p.tx.send(WireOutcome::Failed);
+            }
+            self.drained = true;
+        }
+    }
+
+    /// Absorb one worker verdict: violations roll the swap back and
+    /// re-dispatch; completions enter the reorder buffer and the
+    /// contiguous prefix is emitted in submission order.
+    fn on_done(&mut self, d: WorkerDone, breaker: &mut CircuitBreaker, t: SimTime) {
+        self.in_flight -= 1;
+        self.worker_scratch[d.worker] = d.scratch;
+        if d.violation {
+            // The swap sentinel fired on the fresh generation's first
+            // batch: roll back, reinstall the serving weights on every
+            // worker, and re-serve the same batch on the same worker — no
+            // request is ever answered from the quarantined generation.
+            self.guard_inflight = None;
+            if self.cell.rollback().is_some() {
+                let weights = self.cell.current().weights();
+                for wtx in self.worker_txs {
+                    let _ = wtx.send(WorkerMsg::Install(Arc::clone(&weights)));
+                }
+            }
+            let w = (d.seq % self.width) as usize;
+            let _ = self.worker_txs[w].send(WorkerMsg::Run {
+                seq: d.seq,
+                ids: d.ids,
+                inputs: d.inputs,
+                guard: None,
+            });
+            self.in_flight += 1;
+            return;
+        }
+        if self.guard_inflight == Some(d.seq) {
+            self.guard_inflight = None;
+            self.cell.mark_proven();
+        }
+        self.done_buf.insert(d.seq, d);
+        while let Some(d) = self.done_buf.remove(&self.next_done) {
+            self.next_done += 1;
+            self.emit(d, breaker, t);
+        }
+    }
+
+    /// Answer one merged batch. Generations are tagged at delivery time:
+    /// installs land only at pool-wide batch boundaries, so the serving
+    /// generation here is the one that ran the batch (or the rolled-back-to
+    /// one that re-served it after a sentinel violation).
+    fn emit(&mut self, d: WorkerDone, breaker: &mut CircuitBreaker, t: SimTime) {
+        self.executed_batches += 1;
+        self.executed_requests += d.ids.len() as u64;
+        self.worker_batches[d.worker] += 1;
+        self.worker_requests[d.worker] += d.ids.len() as u64;
+        let generation = self.cell.current().number();
+        for (id, class) in d.ids.iter().zip(&d.classes) {
+            if let Some(p) = self.waiting.remove(id) {
+                breaker.record_success(t, t.saturating_sub(p.submitted));
+                let _ = p.tx.send(WireOutcome::Done {
+                    class: *class,
+                    batch: d.batch_size,
+                    degraded: p.degraded,
+                    generation,
+                });
+            }
+        }
+    }
+
+    /// The engine-side half of the `/metrics` snapshot: queue depths,
+    /// breaker and ladder state, integrity counters, the weight-generation
+    /// cell, and the pool's per-worker and scratch counters. One
+    /// `name value` pair per line, fixed order, no timestamps — the text is
+    /// a pure function of the counters, so identical runs produce identical
+    /// snapshots.
+    fn metrics_text(
+        &self,
+        degraded: Option<&RealBatchServer<'_>>,
+        breaker: &mut CircuitBreaker,
+        t: SimTime,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let cell = &self.cell;
+        let _ = writeln!(out, "generation_current {}", cell.current().number());
+        let _ = writeln!(
+            out,
+            "generation_current_fingerprint {:#018x}",
+            cell.current().fingerprint()
+        );
+        match cell.previous() {
+            Some(p) => {
+                let _ = writeln!(out, "generation_previous {}", p.number());
+                let _ = writeln!(
+                    out,
+                    "generation_previous_fingerprint {:#018x}",
+                    p.fingerprint()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "generation_previous -1");
+                let _ = writeln!(out, "generation_previous_fingerprint 0x0000000000000000");
+            }
+        }
+        let _ = writeln!(out, "swaps_total {}", cell.swaps());
+        let _ = writeln!(out, "rollbacks_total {}", cell.rollbacks());
+        let _ = writeln!(out, "rejected_loads_total {}", cell.rejected_loads());
+        let _ = writeln!(out, "quarantined_generations {}", cell.quarantined().len());
+        let queued: usize = self.batcher.queued()
+            + self
+                .ready
+                .iter()
+                .map(|(_, ids, _)| ids.len())
+                .sum::<usize>();
+        let _ = writeln!(out, "queue_depth_full {queued}");
+        let _ = writeln!(out, "executed_batches_full {}", self.executed_batches);
+        let _ = writeln!(out, "executed_requests_full {}", self.executed_requests);
+        match degraded {
+            Some(d) => {
+                let _ = writeln!(out, "queue_depth_degraded {}", d.queued());
+                let _ = writeln!(out, "executed_requests_degraded {}", d.executed_requests());
+            }
+            None => {
+                let _ = writeln!(out, "queue_depth_degraded 0");
+                let _ = writeln!(out, "executed_requests_degraded 0");
+            }
+        }
+        // Ladder position doubles as the breaker state: 0 = closed (full
+        // model), 1 = half-open (degraded rung), 2 = open (refusing).
+        let ladder = match breaker.state(t) {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        };
+        let _ = writeln!(out, "breaker_state {ladder}");
+        let _ = writeln!(
+            out,
+            "ladder_degraded_configured {}",
+            degraded.is_some() as u8
+        );
+        // The wire pool serves the plain path; the integrity state machine
+        // lives in the cluster layer. The lines stay for snapshot-format
+        // stability.
+        let _ = writeln!(out, "integrity_enabled 0");
+        let _ = writeln!(out, "integrity_detected 0");
+        let _ = writeln!(out, "integrity_recovered 0");
+        let _ = writeln!(out, "integrity_quarantined 0");
+        let _ = writeln!(out, "integrity_escaped 0");
+        // Pool counters: deterministic per-stage accounting for the worker
+        // pool and the allocation-free steady state.
+        let _ = writeln!(out, "pool_workers {}", self.width);
+        for (w, (batches, requests)) in self
+            .worker_batches
+            .iter()
+            .zip(&self.worker_requests)
+            .enumerate()
+        {
+            let _ = writeln!(out, "pool_worker_{w}_batches {batches}");
+            let _ = writeln!(out, "pool_worker_{w}_requests {requests}");
+        }
+        let passes: u64 = self.worker_scratch.iter().map(|s| s.passes).sum();
+        let takes: u64 = self.worker_scratch.iter().map(|s| s.arena_takes).sum();
+        let hits: u64 = self.worker_scratch.iter().map(|s| s.arena_hits).sum();
+        let high_water = self
+            .worker_scratch
+            .iter()
+            .map(|s| s.high_water_bytes)
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(out, "scratch_passes_total {passes}");
+        let _ = writeln!(out, "scratch_arena_takes_total {takes}");
+        let _ = writeln!(out, "scratch_arena_hits_total {hits}");
+        let _ = writeln!(out, "scratch_high_water_bytes {high_water}");
+        let (pool_takes, pool_hits) = harvest_tensor::scratch::counters();
+        let _ = writeln!(out, "tensor_scratch_takes_total {pool_takes}");
+        let _ = writeln!(out, "tensor_scratch_hits_total {pool_hits}");
+        out
+    }
+}
+
+/// The engine thread: a coordinator that owns the graph, the batcher, the
+/// breaker ladder, and the weight-generation cell, plus `engine_workers`
+/// scoped replica executors. It turns channel messages into batcher calls,
+/// dispatches formed batches `seq % width`, merges completions back in
+/// submission order, and guarantees **exactly one** reply per submitted id
+/// (completion, shed, rejection, or typed failure).
 ///
 /// Admission runs through a [`CircuitBreaker`] whose ladder is: **closed**
 /// → the full model serves; **half-open** → admitted probes run on the
@@ -501,265 +990,273 @@ struct PendingReply {
 /// ones get `503`; **open** → everything gets `503 Retry-After`.
 /// Completions feed the breaker's success EWMA, engine faults feed its
 /// error EWMA.
-#[allow(clippy::too_many_arguments)]
+///
+/// Swap semantics under the pool: a staged artifact resolves only at the
+/// pool-wide batch boundary (no batch in flight on any worker), the fresh
+/// generation's first batch runs guarded and solo, and a sentinel
+/// violation rolls back and quarantines across all workers before anyone
+/// is answered. Every completion is tagged with the generation that
+/// actually served it.
 fn engine_loop(
     rx: mpsc::Receiver<EngineMsg>,
-    model: VitConfig,
-    degraded_model: Option<VitConfig>,
-    seed: u64,
-    batcher: BatcherConfig,
-    breaker_config: BreakerConfig,
-    swap_guard: ActivationGuard,
+    pool_tx: mpsc::Sender<EngineMsg>,
+    config: WireConfig,
+    batcher_config: BatcherConfig,
     tick: Duration,
 ) {
-    let graph = vit("wire-served", &model);
-    let mut server = RealBatchServer::new(Executor::new(&graph, seed), batcher)
-        .expect("batcher config validated at start()");
-    server.set_swap_guard(swap_guard);
-    let degraded_graph = degraded_model.map(|m| vit("wire-degraded", &m));
-    let mut degraded_server = degraded_graph.as_ref().map(|g| {
-        RealBatchServer::new(Executor::new(g, seed ^ 0x0ddu64), batcher)
-            .expect("batcher config validated at start()")
-    });
-    let mut breaker = CircuitBreaker::new(breaker_config);
-    let start = Instant::now();
-    let now = |start: &Instant| SimTime::from_nanos(start.elapsed().as_nanos() as u64);
-    let mut waiting: std::collections::HashMap<u64, PendingReply> =
-        std::collections::HashMap::new();
-    let mut drained = false;
+    let graph = vit("wire-served", &config.model);
+    let seed = config.model_seed;
+    let width = config.engine_workers.max(1);
+    let floor = Duration::from_millis(config.engine_batch_floor_ms);
+    let degraded_graph = config
+        .degraded_model
+        .as_ref()
+        .map(|m| vit("wire-degraded", m));
 
-    /// Resolve one server's outputs against the waiting map and the
-    /// breaker (successes close it, faults trip it).
-    fn deliver(
-        waiting: &mut std::collections::HashMap<u64, PendingReply>,
-        breaker: &mut CircuitBreaker,
-        now: SimTime,
-        completed: Vec<harvest_serving::Completion>,
-        shed: Vec<u64>,
-        faults: Vec<ServeFault>,
-    ) {
-        for c in completed {
-            if let Some(p) = waiting.remove(&c.id) {
-                breaker.record_success(now, now.saturating_sub(p.submitted));
-                let _ = p.tx.send(WireOutcome::Done {
-                    class: argmax(c.output.data()),
-                    batch: c.batch_size,
-                    degraded: p.degraded,
-                    generation: c.generation,
-                });
-            }
+    std::thread::scope(|scope| {
+        let mut worker_txs: Vec<mpsc::Sender<WorkerMsg>> = Vec::with_capacity(width);
+        for w in 0..width {
+            let (wtx, wrx) = mpsc::channel::<WorkerMsg>();
+            worker_txs.push(wtx);
+            let done = pool_tx.clone();
+            let graph = &graph;
+            std::thread::Builder::new()
+                .name(format!("wire-exec-{w}"))
+                .spawn_scoped(scope, move || worker_loop(w, graph, seed, floor, wrx, done))
+                .expect("spawn pool worker");
         }
-        for id in shed {
-            if let Some(p) = waiting.remove(&id) {
-                let _ = p.tx.send(WireOutcome::Shed);
-            }
-        }
-        for fault in faults {
-            if let ServeFault::MissingPayload { id } = fault {
-                breaker.record_failure(now);
-                if let Some(p) = waiting.remove(&id) {
-                    let _ = p.tx.send(WireOutcome::Failed);
-                }
-            }
-        }
-    }
+        // Workers hold their own clones; dropping this one means the
+        // channel's liveness tracks the accept loops and the pool only.
+        drop(pool_tx);
 
-    loop {
-        match rx.recv_timeout(tick) {
-            Ok(EngineMsg::Submit { id, input, reply }) => {
-                if drained {
-                    let _ = reply.send(WireOutcome::Rejected);
-                    continue;
-                }
-                let t = now(&start);
-                // The ladder: closed → full model; half-open → degraded
-                // probes; open → explicit refusal.
-                let use_degraded = match breaker.state(t) {
-                    BreakerState::Closed => false,
-                    BreakerState::HalfOpen if breaker.allow(t) => degraded_server.is_some(),
-                    BreakerState::HalfOpen | BreakerState::Open => {
-                        let _ = reply.send(WireOutcome::BreakerOpen);
+        let mut degraded_server = degraded_graph.as_ref().map(|g| {
+            RealBatchServer::new(Executor::new(g, seed ^ 0x0ddu64), batcher_config)
+                .expect("batcher config validated at start()")
+        });
+        let mut breaker = CircuitBreaker::new(config.breaker);
+        let start = Instant::now();
+        let now = |start: &Instant| SimTime::from_nanos(start.elapsed().as_nanos() as u64);
+        let mut coord = Coord {
+            worker_txs: &worker_txs,
+            graph: &graph,
+            swap_guard: ActivationGuard {
+                range_limit: config.swap_guard_range_limit,
+            },
+            width: width as u64,
+            // Bit-identical to every worker's boot weights: same graph,
+            // same seed, same materialization — so generation 0's
+            // fingerprint matches what the workers serve.
+            cell: WeightsCell::new(Arc::new(MaterializedWeights::new(
+                &graph,
+                &WeightStore::new(seed),
+                false,
+            ))),
+            batcher: DynamicBatcher::new(batcher_config)
+                .expect("batcher config validated at start()"),
+            waiting: HashMap::new(),
+            pending: HashMap::new(),
+            ready: VecDeque::new(),
+            done_buf: BTreeMap::new(),
+            next_seq: 0,
+            next_done: 0,
+            in_flight: 0,
+            pending_swap: None,
+            guard_pending: false,
+            guard_inflight: None,
+            drain_requested: false,
+            drained: false,
+            executed_batches: 0,
+            executed_requests: 0,
+            worker_batches: vec![0; width],
+            worker_requests: vec![0; width],
+            worker_scratch: vec![ScratchStats::default(); width],
+        };
+        let mut stop_requested = false;
+
+        loop {
+            coord.pump();
+            if stop_requested
+                && coord.in_flight == 0
+                && coord.ready.is_empty()
+                && coord.pending_swap.is_none()
+            {
+                break;
+            }
+            match rx.recv_timeout(tick) {
+                Ok(EngineMsg::Submit { id, input, reply }) => {
+                    if coord.drained || coord.drain_requested {
+                        let _ = reply.send(WireOutcome::Rejected);
                         continue;
                     }
-                };
-                waiting.insert(
-                    id,
-                    PendingReply {
-                        tx: reply,
-                        submitted: t,
-                        degraded: use_degraded,
-                    },
-                );
-                let target = if use_degraded {
-                    degraded_server.as_mut().expect("checked above")
-                } else {
-                    &mut server
-                };
-                let sub = target.submit(id, input, t);
-                if !sub.admitted {
-                    if let Some(p) = waiting.remove(&id) {
-                        let _ = p.tx.send(WireOutcome::Rejected);
+                    let t = now(&start);
+                    // The ladder: closed → full model; half-open → degraded
+                    // probes; open → explicit refusal.
+                    let use_degraded = match breaker.state(t) {
+                        BreakerState::Closed => false,
+                        BreakerState::HalfOpen if breaker.allow(t) => degraded_server.is_some(),
+                        BreakerState::HalfOpen | BreakerState::Open => {
+                            let _ = reply.send(WireOutcome::BreakerOpen);
+                            continue;
+                        }
+                    };
+                    if use_degraded {
+                        // The degraded rung stays coordinator-local: cheap
+                        // capacity while confidence rebuilds does not need
+                        // the pool.
+                        coord.waiting.insert(
+                            id,
+                            PendingReply {
+                                tx: reply,
+                                submitted: t,
+                                degraded: true,
+                            },
+                        );
+                        let target = degraded_server.as_mut().expect("checked above");
+                        let sub = target.submit(id, input, t);
+                        if !sub.admitted {
+                            if let Some(p) = coord.waiting.remove(&id) {
+                                let _ = p.tx.send(WireOutcome::Rejected);
+                            }
+                        }
+                        let faults = target.take_faults();
+                        deliver(
+                            &mut coord.waiting,
+                            &mut breaker,
+                            t,
+                            sub.completed,
+                            sub.shed,
+                            faults,
+                        );
+                        // A submission may also have pushed the oldest
+                        // request past the delay bound.
+                        let t = now(&start);
+                        let late = target.poll(t);
+                        let faults = target.take_faults();
+                        deliver(
+                            &mut coord.waiting,
+                            &mut breaker,
+                            t,
+                            late,
+                            Vec::new(),
+                            faults,
+                        );
+                    } else {
+                        coord.waiting.insert(
+                            id,
+                            PendingReply {
+                                tx: reply,
+                                submitted: t,
+                                degraded: false,
+                            },
+                        );
+                        let admission = coord.batcher.offer(id, t, t, None);
+                        if admission.admitted {
+                            coord.pending.insert(id, input);
+                        } else if let Some(p) = coord.waiting.remove(&id) {
+                            let _ = p.tx.send(WireOutcome::Rejected);
+                        }
+                        for victim in admission.shed {
+                            // Shed requests never execute: drop the payload.
+                            coord.pending.remove(&victim.id);
+                            if let Some(p) = coord.waiting.remove(&victim.id) {
+                                let _ = p.tx.send(WireOutcome::Shed);
+                            }
+                        }
+                        if let Some(batch) = admission.batch {
+                            coord.form_batch(batch, &mut breaker, t);
+                        }
+                        let t = now(&start);
+                        if let Some(batch) = coord.batcher.poll(t).batch {
+                            coord.form_batch(batch, &mut breaker, t);
+                        }
                     }
                 }
-                let faults = target.take_faults();
-                deliver(
-                    &mut waiting,
-                    &mut breaker,
-                    t,
-                    sub.completed,
-                    sub.shed,
-                    faults,
-                );
-                // A submission may also have pushed the oldest request past
-                // the delay bound.
-                let t = now(&start);
-                let late = target.poll(t);
-                let faults = target.take_faults();
-                deliver(&mut waiting, &mut breaker, t, late, Vec::new(), faults);
-            }
-            Ok(EngineMsg::TripBreaker) => {
-                breaker.force_open(now(&start));
-            }
-            Ok(EngineMsg::Swap { body, reply }) => {
-                // Swaps serialize at batch boundaries for free: this thread
-                // alternates between whole batches and whole messages, so an
-                // in-flight batch finished on its generation before the swap
-                // ran, and the next batch picks up the new one.
-                let t = now(&start);
-                if drained {
-                    let _ = reply.send(SwapOutcome::Draining);
-                    continue;
+                Ok(EngineMsg::WorkerDone(d)) => {
+                    let t = now(&start);
+                    coord.on_done(d, &mut breaker, t);
                 }
-                if matches!(breaker.state(t), BreakerState::Open) {
-                    let _ = reply.send(SwapOutcome::BreakerOpen);
-                    continue;
+                Ok(EngineMsg::TripBreaker) => {
+                    breaker.force_open(now(&start));
                 }
-                let _ = reply.send(match server.swap_artifact(&body) {
-                    Ok(generation) => SwapOutcome::Swapped {
-                        generation,
-                        fingerprint: server.weights_cell().current().fingerprint(),
-                    },
-                    Err(e) => SwapOutcome::Rejected {
-                        error: e.to_string(),
-                    },
-                });
-            }
-            Ok(EngineMsg::Metrics { reply }) => {
-                let _ = reply.send(engine_metrics(
-                    &server,
-                    degraded_server.as_ref(),
-                    &mut breaker,
-                    now(&start),
-                ));
-            }
-            Ok(EngineMsg::Drain) => {
-                let t = now(&start);
-                let done = server.flush();
-                let faults = server.take_faults();
-                deliver(&mut waiting, &mut breaker, t, done, Vec::new(), faults);
-                if let Some(d) = degraded_server.as_mut() {
-                    let done = d.flush();
-                    let faults = d.take_faults();
-                    deliver(&mut waiting, &mut breaker, t, done, Vec::new(), faults);
+                Ok(EngineMsg::Swap { body, reply }) => {
+                    let t = now(&start);
+                    if coord.drained || coord.drain_requested {
+                        let _ = reply.send(SwapOutcome::Draining);
+                        continue;
+                    }
+                    if matches!(breaker.state(t), BreakerState::Open) {
+                        let _ = reply.send(SwapOutcome::BreakerOpen);
+                        continue;
+                    }
+                    // Staged; pump() resolves it at the pool-wide batch
+                    // boundary and replies then.
+                    coord.pending_swap = Some((body, reply));
                 }
-                // Flush answers everything it executed; anything still
-                // waiting hit bookkeeping skew — fail it explicitly rather
-                // than hang its connection.
-                for (_, p) in waiting.drain() {
-                    let _ = p.tx.send(WireOutcome::Failed);
+                Ok(EngineMsg::Metrics { reply }) => {
+                    let t = now(&start);
+                    let _ =
+                        reply.send(coord.metrics_text(degraded_server.as_ref(), &mut breaker, t));
                 }
-                drained = true;
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                let t = now(&start);
-                let done = server.poll(t);
-                let faults = server.take_faults();
-                deliver(&mut waiting, &mut breaker, t, done, Vec::new(), faults);
-                if let Some(d) = degraded_server.as_mut() {
-                    let done = d.poll(t);
-                    let faults = d.take_faults();
-                    deliver(&mut waiting, &mut breaker, t, done, Vec::new(), faults);
+                Ok(EngineMsg::Drain) => {
+                    let t = now(&start);
+                    for batch in coord.batcher.flush() {
+                        coord.form_batch(batch, &mut breaker, t);
+                    }
+                    if let Some(d) = degraded_server.as_mut() {
+                        let done = d.flush();
+                        let faults = d.take_faults();
+                        deliver(
+                            &mut coord.waiting,
+                            &mut breaker,
+                            t,
+                            done,
+                            Vec::new(),
+                            faults,
+                        );
+                    }
+                    // Stragglers are failed in pump() once the dispatched
+                    // batches come home.
+                    coord.drain_requested = true;
                 }
+                Ok(EngineMsg::Stop) => {
+                    if !coord.drain_requested {
+                        let t = now(&start);
+                        for batch in coord.batcher.flush() {
+                            coord.form_batch(batch, &mut breaker, t);
+                        }
+                        coord.drain_requested = true;
+                    }
+                    stop_requested = true;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let t = now(&start);
+                    if let Some(batch) = coord.batcher.poll(t).batch {
+                        coord.form_batch(batch, &mut breaker, t);
+                    }
+                    if let Some(d) = degraded_server.as_mut() {
+                        let done = d.poll(t);
+                        let faults = d.take_faults();
+                        deliver(
+                            &mut coord.waiting,
+                            &mut breaker,
+                            t,
+                            done,
+                            Vec::new(),
+                            faults,
+                        );
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
-    }
-}
 
-/// The engine-side half of the `/metrics` snapshot: queue depths, breaker
-/// and ladder state, integrity counters, and the weight-generation cell.
-/// One `name value` pair per line, fixed order, no timestamps — the text
-/// is a pure function of the counters, so identical runs produce identical
-/// snapshots.
-fn engine_metrics(
-    server: &RealBatchServer<'_>,
-    degraded: Option<&RealBatchServer<'_>>,
-    breaker: &mut CircuitBreaker,
-    t: SimTime,
-) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let cell = server.weights_cell();
-    let _ = writeln!(out, "generation_current {}", cell.current().number());
-    let _ = writeln!(
-        out,
-        "generation_current_fingerprint {:#018x}",
-        cell.current().fingerprint()
-    );
-    match cell.previous() {
-        Some(p) => {
-            let _ = writeln!(out, "generation_previous {}", p.number());
-            let _ = writeln!(
-                out,
-                "generation_previous_fingerprint {:#018x}",
-                p.fingerprint()
-            );
+        // Stop the pool; the scope joins the workers before the engine
+        // thread returns, so `DrainReport::threads_joined` stays
+        // `accept_threads + 1`.
+        for wtx in &worker_txs {
+            let _ = wtx.send(WorkerMsg::Stop);
         }
-        None => {
-            let _ = writeln!(out, "generation_previous -1");
-            let _ = writeln!(out, "generation_previous_fingerprint 0x0000000000000000");
-        }
-    }
-    let _ = writeln!(out, "swaps_total {}", cell.swaps());
-    let _ = writeln!(out, "rollbacks_total {}", cell.rollbacks());
-    let _ = writeln!(out, "rejected_loads_total {}", cell.rejected_loads());
-    let _ = writeln!(out, "quarantined_generations {}", cell.quarantined().len());
-    let _ = writeln!(out, "queue_depth_full {}", server.queued());
-    let _ = writeln!(out, "executed_batches_full {}", server.executed_batches());
-    let _ = writeln!(out, "executed_requests_full {}", server.executed_requests());
-    match degraded {
-        Some(d) => {
-            let _ = writeln!(out, "queue_depth_degraded {}", d.queued());
-            let _ = writeln!(out, "executed_requests_degraded {}", d.executed_requests());
-        }
-        None => {
-            let _ = writeln!(out, "queue_depth_degraded 0");
-            let _ = writeln!(out, "executed_requests_degraded 0");
-        }
-    }
-    // Ladder position doubles as the breaker state: 0 = closed (full
-    // model), 1 = half-open (degraded rung), 2 = open (refusing).
-    let ladder = match breaker.state(t) {
-        BreakerState::Closed => 0,
-        BreakerState::HalfOpen => 1,
-        BreakerState::Open => 2,
-    };
-    let _ = writeln!(out, "breaker_state {ladder}");
-    let _ = writeln!(
-        out,
-        "ladder_degraded_configured {}",
-        degraded.is_some() as u8
-    );
-    let intg = server.integrity_stats();
-    let _ = writeln!(out, "integrity_enabled {}", intg.is_some() as u8);
-    let (detected, recovered, quarantined, escaped) = intg
-        .map(|s| (s.detected, s.recovered, s.quarantined, s.escaped))
-        .unwrap_or((0, 0, 0, 0));
-    let _ = writeln!(out, "integrity_detected {detected}");
-    let _ = writeln!(out, "integrity_recovered {recovered}");
-    let _ = writeln!(out, "integrity_quarantined {quarantined}");
-    let _ = writeln!(out, "integrity_escaped {escaped}");
-    out
+    });
 }
 
 /// First maximum wins, so ties are deterministic.
@@ -834,7 +1331,12 @@ fn serve_connection(
     let _ = stream.set_nodelay(true);
 
     let stats = &shared.stats;
+    // Per-connection buffers, reused across every keep-alive request: the
+    // read accumulator drains in place and the write buffer is cleared and
+    // refilled by `send_response`, so steady-state pipelined traffic
+    // allocates nothing on this path.
     let mut buf: Vec<u8> = Vec::new();
+    let mut wout: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     let mut counted_conn = false;
 
@@ -845,7 +1347,7 @@ fn serve_connection(
             Ok(Parsed::Complete { request, consumed }) => {
                 buf.drain(..consumed);
                 stats.accepted.fetch_add(1, Ordering::SeqCst);
-                let keep = respond(stream, &request, shared, tx, config);
+                let keep = respond(stream, &mut wout, &request, shared, tx, config);
                 if !keep || !request.keep_alive {
                     return;
                 }
@@ -856,7 +1358,16 @@ fn serve_connection(
                 let (status, reason) = e.status();
                 stats.bad_requests.fetch_add(1, Ordering::SeqCst);
                 let body = format!("{{\"error\":\"{e:?}\"}}");
-                send_response(stream, stats, status, reason, &[], body.as_bytes(), false);
+                send_response(
+                    stream,
+                    stats,
+                    &mut wout,
+                    status,
+                    reason,
+                    &[],
+                    body.as_bytes(),
+                    false,
+                );
                 return;
             }
         }
@@ -867,6 +1378,7 @@ fn serve_connection(
             send_response(
                 stream,
                 stats,
+                &mut wout,
                 431,
                 "Request Header Fields Too Large",
                 &[],
@@ -903,6 +1415,7 @@ fn serve_connection(
                     send_response(
                         stream,
                         stats,
+                        &mut wout,
                         408,
                         "Request Timeout",
                         &[],
@@ -928,6 +1441,7 @@ fn serve_connection(
 /// continue (false on write failure).
 fn respond(
     stream: &mut TcpStream,
+    wout: &mut Vec<u8>,
     request: &Request,
     shared: &Shared,
     tx: &mpsc::Sender<EngineMsg>,
@@ -940,11 +1454,11 @@ fn respond(
             let draining = shared.draining.load(Ordering::SeqCst);
             stats.responded_ok.fetch_add(1, Ordering::SeqCst);
             let body = format!("{{\"ok\":true,\"draining\":{draining}}}");
-            send_response(stream, stats, 200, "OK", &[], body.as_bytes(), keep)
+            send_response(stream, stats, wout, 200, "OK", &[], body.as_bytes(), keep)
         }
-        (Method::Get, "/metrics") => metrics(stream, request, shared, tx),
-        (Method::Post, "/classify") => classify(stream, request, shared, tx, config),
-        (Method::Post, "/admin/swap") => admin_swap(stream, request, shared, tx),
+        (Method::Get, "/metrics") => metrics(stream, wout, request, shared, tx),
+        (Method::Post, "/classify") => classify(stream, wout, request, shared, tx, config),
+        (Method::Post, "/admin/swap") => admin_swap(stream, wout, request, shared, tx),
         // Known path, wrong method: 405 with the allowed method spelled
         // out, as RFC 9110 requires.
         (_, "/healthz") | (_, "/metrics") => {
@@ -952,6 +1466,7 @@ fn respond(
             send_response(
                 stream,
                 stats,
+                wout,
                 405,
                 "Method Not Allowed",
                 &[("Allow", "GET")],
@@ -964,6 +1479,7 @@ fn respond(
             send_response(
                 stream,
                 stats,
+                wout,
                 405,
                 "Method Not Allowed",
                 &[("Allow", "POST")],
@@ -976,6 +1492,7 @@ fn respond(
             send_response(
                 stream,
                 stats,
+                wout,
                 404,
                 "Not Found",
                 &[],
@@ -989,6 +1506,7 @@ fn respond(
 /// The classification path: decode → preprocess → engine round-trip.
 fn classify(
     stream: &mut TcpStream,
+    wout: &mut Vec<u8>,
     request: &Request,
     shared: &Shared,
     tx: &mpsc::Sender<EngineMsg>,
@@ -1002,6 +1520,7 @@ fn classify(
         return send_response(
             stream,
             stats,
+            wout,
             503,
             "Service Unavailable",
             &retry,
@@ -1017,6 +1536,7 @@ fn classify(
             return send_response(
                 stream,
                 stats,
+                wout,
                 422,
                 "Unprocessable Content",
                 &[],
@@ -1039,6 +1559,7 @@ fn classify(
             return send_response(
                 stream,
                 stats,
+                wout,
                 503,
                 "Service Unavailable",
                 &retry,
@@ -1084,7 +1605,7 @@ fn classify(
             let body = format!(
                 "{{\"class\":{class},\"batch\":{batch},\"degraded\":{degraded},\"generation\":{generation}}}"
             );
-            send_response(stream, stats, 200, "OK", &[], body.as_bytes(), keep)
+            send_response(stream, stats, wout, 200, "OK", &[], body.as_bytes(), keep)
         }
         WireOutcome::BreakerOpen => {
             stats.rejected.fetch_add(1, Ordering::SeqCst);
@@ -1092,6 +1613,7 @@ fn classify(
             send_response(
                 stream,
                 stats,
+                wout,
                 503,
                 "Service Unavailable",
                 &retry,
@@ -1104,6 +1626,7 @@ fn classify(
             send_response(
                 stream,
                 stats,
+                wout,
                 503,
                 "Service Unavailable",
                 &retry,
@@ -1116,6 +1639,7 @@ fn classify(
             send_response(
                 stream,
                 stats,
+                wout,
                 503,
                 "Service Unavailable",
                 &retry,
@@ -1128,6 +1652,7 @@ fn classify(
             send_response(
                 stream,
                 stats,
+                wout,
                 500,
                 "Internal Server Error",
                 &[],
@@ -1143,6 +1668,7 @@ fn classify(
 /// second one); a draining server or an open breaker answers `503`.
 fn admin_swap(
     stream: &mut TcpStream,
+    wout: &mut Vec<u8>,
     request: &Request,
     shared: &Shared,
     tx: &mpsc::Sender<EngineMsg>,
@@ -1155,6 +1681,7 @@ fn admin_swap(
         return send_response(
             stream,
             stats,
+            wout,
             503,
             "Service Unavailable",
             &retry,
@@ -1167,6 +1694,7 @@ fn admin_swap(
         return send_response(
             stream,
             stats,
+            wout,
             409,
             "Conflict",
             &[],
@@ -1199,7 +1727,7 @@ fn admin_swap(
             stats.responded_ok.fetch_add(1, Ordering::SeqCst);
             let body =
                 format!("{{\"generation\":{generation},\"fingerprint\":\"{fingerprint:#018x}\"}}");
-            send_response(stream, stats, 200, "OK", &[], body.as_bytes(), keep)
+            send_response(stream, stats, wout, 200, "OK", &[], body.as_bytes(), keep)
         }
         SwapOutcome::Rejected { error } => {
             stats.responded_error.fetch_add(1, Ordering::SeqCst);
@@ -1207,6 +1735,7 @@ fn admin_swap(
             send_response(
                 stream,
                 stats,
+                wout,
                 422,
                 "Unprocessable Content",
                 &[],
@@ -1220,6 +1749,7 @@ fn admin_swap(
             send_response(
                 stream,
                 stats,
+                wout,
                 503,
                 "Service Unavailable",
                 &retry,
@@ -1232,6 +1762,7 @@ fn admin_swap(
             send_response(
                 stream,
                 stats,
+                wout,
                 503,
                 "Service Unavailable",
                 &retry,
@@ -1247,6 +1778,7 @@ fn admin_swap(
 /// `name value` text lines.
 fn metrics(
     stream: &mut TcpStream,
+    wout: &mut Vec<u8>,
     request: &Request,
     shared: &Shared,
     tx: &mpsc::Sender<EngineMsg>,
@@ -1281,6 +1813,7 @@ fn metrics(
     send_response(
         stream,
         stats,
+        wout,
         200,
         "OK",
         &[("Content-Type", "text/plain; version=0.0.4")],
@@ -1291,19 +1824,24 @@ fn metrics(
 
 /// Write one response; a failed write closes the connection but never
 /// un-counts the outcome (the ledger tracks what the server resolved, not
-/// what the peer managed to read).
+/// what the peer managed to read). `out` is the connection's reusable
+/// write buffer: cleared, refilled, and flushed here, so keep-alive
+/// traffic reaches its high-water capacity once and then serializes
+/// responses allocation-free.
+#[allow(clippy::too_many_arguments)]
 fn send_response(
     stream: &mut TcpStream,
     stats: &WireStats,
+    out: &mut Vec<u8>,
     status: u16,
     reason: &str,
     extra: &[(&str, &str)],
     body: &[u8],
     keep_alive: bool,
 ) -> bool {
-    let mut out = Vec::with_capacity(128 + body.len());
-    write_response(&mut out, status, reason, extra, body, keep_alive);
-    match stream.write_all(&out).and_then(|()| stream.flush()) {
+    out.clear();
+    write_response(out, status, reason, extra, body, keep_alive);
+    match stream.write_all(out).and_then(|()| stream.flush()) {
         Ok(()) => true,
         Err(_) => {
             stats.write_failures.fetch_add(1, Ordering::SeqCst);
@@ -1721,5 +2259,221 @@ mod tests {
         }
         let report = server.shutdown();
         assert!(report.stats.conserved(), "{:?}", report.stats);
+    }
+
+    /// Run one classify per image on its own thread; results come back in
+    /// image order regardless of completion order.
+    fn concurrent_classifies(addr: SocketAddr, imgs: &[Vec<u8>]) -> Vec<(u16, String)> {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = imgs
+                .iter()
+                .map(|img| s.spawn(move || post_classify(addr, img)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        })
+    }
+
+    #[test]
+    fn pool_widths_serve_identical_responses() {
+        // Six distinct frames, served sequentially so batch compositions
+        // are fixed; the full response bodies (class, batch, generation)
+        // must be byte-identical at every pool width.
+        let imgs: Vec<Vec<u8>> = [1usize, 2, 3, 4, 6, 8]
+            .iter()
+            .map(|&cell| {
+                let img = RgbImage::checkerboard(24, 24, cell);
+                ajpg_encode(&img, &AjpgOptions::default())
+            })
+            .collect();
+        let mut reference: Option<Vec<String>> = None;
+        for width in [1usize, 2, 4] {
+            let server = WireServer::start(WireConfig {
+                accept_threads: 1,
+                engine_workers: width,
+                ..WireConfig::default()
+            })
+            .expect("start");
+            let addr = server.addr();
+            let bodies: Vec<String> = imgs
+                .iter()
+                .map(|img| {
+                    let (status, body) = post_classify(addr, img);
+                    assert_eq!(status, 200, "width {width}: {body}");
+                    body
+                })
+                .collect();
+            // The pool counters account for every request, split across
+            // the round-robin workers.
+            let (status, text) = raw_request(addr, "GET", "/metrics", b"");
+            assert_eq!(status, 200);
+            assert!(text.contains(&format!("pool_workers {width}")), "{text}");
+            let served: u64 = text
+                .lines()
+                .filter(|l| l.starts_with("pool_worker_") && l.contains("_requests "))
+                .map(|l| l.split_whitespace().last().unwrap().parse::<u64>().unwrap())
+                .sum();
+            assert_eq!(served, imgs.len() as u64, "width {width}:\n{text}");
+            let report = server.shutdown();
+            assert!(report.stats.conserved(), "{:?}", report.stats);
+            match &reference {
+                None => reference = Some(bodies),
+                Some(r) => assert_eq!(r, &bodies, "width {width} diverged from width 1"),
+            }
+        }
+    }
+
+    #[test]
+    fn mid_burst_swap_at_width_4_conserves_tags_and_replays() {
+        // A concurrent burst, a swap, another burst — at width 4 with
+        // single-request batches so every response body is deterministic.
+        // Every request is conserved, completions are tagged with the
+        // generation that served them on both sides of the swap, and the
+        // whole transcript replays byte-identically.
+        let imgs: Vec<Vec<u8>> = [1usize, 2, 3, 4]
+            .iter()
+            .map(|&cell| {
+                let img = RgbImage::checkerboard(24, 24, cell);
+                ajpg_encode(&img, &AjpgOptions::default())
+            })
+            .collect();
+        let run = || {
+            let server = WireServer::start(WireConfig {
+                accept_threads: 4,
+                engine_workers: 4,
+                preferred_batch: 1,
+                ..WireConfig::default()
+            })
+            .expect("start");
+            let addr = server.addr();
+            let mut transcript: Vec<String> = Vec::new();
+            let before = concurrent_classifies(addr, &imgs);
+            for (status, body) in &before {
+                assert_eq!(*status, 200, "{body}");
+                assert!(body.contains("\"generation\":0"), "{body}");
+            }
+            let artifact = artifact_for(&server.config().model, 99);
+            let (status, text) = raw_request(addr, "POST", "/admin/swap", &artifact);
+            assert_eq!(status, 200, "{text}");
+            assert!(text.contains("\"generation\":1"), "{text}");
+            let after = concurrent_classifies(addr, &imgs);
+            for (status, body) in &after {
+                assert_eq!(*status, 200, "{body}");
+                assert!(body.contains("\"generation\":1"), "{body}");
+            }
+            let (status, metrics_text) = raw_request(addr, "GET", "/metrics", b"");
+            assert_eq!(status, 200);
+            for line in [
+                "pool_workers 4",
+                "generation_current 1",
+                "swaps_total 1",
+                "rollbacks_total 0",
+            ] {
+                assert!(
+                    metrics_text.contains(line),
+                    "missing {line:?} in:\n{metrics_text}"
+                );
+            }
+            transcript.extend(before.into_iter().map(|(_, b)| b));
+            transcript.push(text);
+            transcript.extend(after.into_iter().map(|(_, b)| b));
+            let report = server.shutdown();
+            assert!(report.stats.conserved(), "{:?}", report.stats);
+            // 8 classifies + 1 swap + 1 metrics, no errors, nothing lost.
+            assert_eq!(report.stats.responded_ok, 10, "{:?}", report.stats);
+            assert_eq!(report.stats.responded_error, 0, "{:?}", report.stats);
+            transcript
+        };
+        assert_eq!(run(), run(), "mid-burst swap must replay byte-identically");
+    }
+
+    #[test]
+    fn in_flight_gate_is_pool_wide_under_saturation() {
+        // max_in_flight=2 over a width-4 pool: the frontend gate counts
+        // every admitted request no matter which worker would serve it, so
+        // a saturating burst sees 503s even though the pool has idle
+        // workers. The service-time floor keeps the first admissions
+        // in flight long enough for the burst to pile up.
+        let img = sample_image();
+        let imgs: Vec<Vec<u8>> = (0..8).map(|_| img.clone()).collect();
+        let server = WireServer::start(WireConfig {
+            accept_threads: 8,
+            engine_workers: 4,
+            preferred_batch: 1,
+            engine_batch_floor_ms: 20,
+            limits: ServingLimits {
+                max_in_flight: 2,
+                ..ServingLimits::default()
+            },
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+        let results = concurrent_classifies(addr, &imgs);
+        let mut ok = 0u64;
+        let mut overloaded = 0u64;
+        for (status, body) in &results {
+            match status {
+                200 => ok += 1,
+                503 => {
+                    assert!(body.contains("overloaded"), "{body}");
+                    overloaded += 1;
+                }
+                other => panic!("unexpected status {other}: {body}"),
+            }
+        }
+        assert_eq!(ok + overloaded, 8);
+        assert!(ok >= 2, "the two admitted slots must serve: {results:?}");
+        assert!(overloaded >= 1, "the gate never engaged: {results:?}");
+        let report = server.shutdown();
+        assert!(report.stats.conserved(), "{:?}", report.stats);
+        assert_eq!(report.stats.responded_ok, ok, "{:?}", report.stats);
+        assert_eq!(report.stats.rejected, overloaded, "{:?}", report.stats);
+    }
+
+    #[test]
+    fn queue_saturation_rejects_cleanly_at_the_pool_frontier() {
+        // max_queue=1 with a delay-only batch trigger: a concurrent burst
+        // overflows the shared batcher queue and the overflow is answered
+        // with typed 503s, never dropped — the queue bound stays pool-wide
+        // at width 2.
+        let img = sample_image();
+        let imgs: Vec<Vec<u8>> = (0..6).map(|_| img.clone()).collect();
+        let server = WireServer::start(WireConfig {
+            accept_threads: 6,
+            engine_workers: 2,
+            preferred_batch: 4,
+            max_queue_delay_ms: 40,
+            engine_batch_floor_ms: 10,
+            limits: ServingLimits {
+                max_queue: 1,
+                ..ServingLimits::default()
+            },
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let addr = server.addr();
+        let results = concurrent_classifies(addr, &imgs);
+        let mut ok = 0u64;
+        let mut rejected = 0u64;
+        for (status, body) in &results {
+            match status {
+                200 => ok += 1,
+                503 => {
+                    assert!(body.contains("queue full"), "{body}");
+                    rejected += 1;
+                }
+                other => panic!("unexpected status {other}: {body}"),
+            }
+        }
+        assert_eq!(ok + rejected, 6);
+        assert!(ok >= 1, "somebody must be served: {results:?}");
+        assert!(rejected >= 1, "the queue bound never engaged: {results:?}");
+        let report = server.shutdown();
+        assert!(report.stats.conserved(), "{:?}", report.stats);
+        assert_eq!(report.stats.responded_ok, ok, "{:?}", report.stats);
+        assert_eq!(report.stats.rejected, rejected, "{:?}", report.stats);
     }
 }

@@ -245,6 +245,58 @@ fn chaos_runs_replay_to_the_same_fingerprint_on_fresh_servers() {
 }
 
 #[test]
+fn pipelined_loadgen_saturates_a_wide_pool_and_conserves() {
+    // Saturation mode: parallel client workers, each connection carrying a
+    // pipeline of classify requests, against a width-8 engine pool.
+    let server = WireServer::start(WireConfig {
+        accept_threads: 4,
+        engine_workers: 8,
+        ..WireConfig::default()
+    })
+    .expect("start");
+    let report = run_loadgen(
+        server.addr(),
+        &LoadgenConfig {
+            requests: 8,
+            client_threads: 4,
+            requests_per_connection: 4,
+            ..LoadgenConfig::default()
+        },
+    );
+    let drain = server.shutdown();
+    assert!(report.conserved(), "client ledger: {report:?}");
+    assert_eq!(report.requests, 32, "8 connections × 4 pipelined");
+    assert_eq!(report.responded, 32, "{report:?}");
+    assert_eq!(report.statuses, vec![(200, 32)], "{report:?}");
+    assert!(drain.stats.conserved(), "server ledger: {:?}", drain.stats);
+    assert_eq!(drain.stats.accepted, 32);
+    assert_eq!(drain.stats.responded_ok, 32);
+    assert_eq!(drain.stats.connections, 8, "keep-alive reused each socket");
+
+    // Deterministic mode survives pipelining: a single client thread
+    // replays to the same fingerprint on a fresh server.
+    let det = LoadgenConfig {
+        requests: 6,
+        client_threads: 1,
+        requests_per_connection: 3,
+        ..LoadgenConfig::default()
+    };
+    let mut fingerprints = Vec::new();
+    for _ in 0..2 {
+        let server = WireServer::start(WireConfig {
+            engine_workers: 2,
+            ..WireConfig::default()
+        })
+        .expect("start");
+        let report = run_loadgen(server.addr(), &det);
+        assert!(report.conserved(), "{report:?}");
+        server.shutdown();
+        fingerprints.push(report.fingerprint);
+    }
+    assert_eq!(fingerprints[0], fingerprints[1]);
+}
+
+#[test]
 fn overload_with_drop_oldest_sheds_but_conserves() {
     // A queue of 2 with a long delay trigger and a big burst: the batcher
     // must shed, and every shed request must still draw its 503.

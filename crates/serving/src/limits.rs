@@ -61,6 +61,8 @@ pub enum LimitsError {
     },
     /// The checked batcher config is itself invalid.
     Batcher(BatcherConfigError),
+    /// An engine worker pool of width zero could never serve a request.
+    ZeroWorkers,
 }
 
 impl std::fmt::Display for LimitsError {
@@ -76,6 +78,7 @@ impl std::fmt::Display for LimitsError {
                 "in-flight bound drift: limits say {limits}, admission enforces {config}"
             ),
             LimitsError::Batcher(e) => write!(f, "invalid batcher config: {e}"),
+            LimitsError::ZeroWorkers => write!(f, "engine worker pool must have at least 1 worker"),
         }
     }
 }
@@ -124,6 +127,25 @@ impl ServingLimits {
                 limits: self.max_in_flight,
                 config: config.max_in_flight,
             });
+        }
+        Ok(())
+    }
+
+    /// Verify a data-parallel engine worker pool is compatible with these
+    /// limits.
+    ///
+    /// The queue and in-flight bounds are *pool-wide*, not per-worker: the
+    /// wire frontend counts every admitted-but-incomplete request — no
+    /// matter which worker ends up executing it — against `max_in_flight`,
+    /// and all workers drain one shared batcher queue bounded by
+    /// `max_queue`. Widening the pool therefore never widens the
+    /// advertised limits; a width-8 pool still admits at most
+    /// `max_in_flight` requests at once. The only pool-specific property
+    /// to validate is that the pool can make progress at all.
+    pub fn check_pool(&self, workers: usize) -> Result<(), LimitsError> {
+        self.validate()?;
+        if workers == 0 {
+            return Err(LimitsError::ZeroWorkers);
         }
         Ok(())
     }
@@ -225,6 +247,26 @@ mod tests {
                 config: 32,
             })
         );
+    }
+
+    #[test]
+    fn pool_width_zero_is_rejected_and_bounds_stay_pool_wide() {
+        let limits = ServingLimits {
+            max_in_flight: 2,
+            ..ServingLimits::default()
+        };
+        assert_eq!(limits.check_pool(0), Err(LimitsError::ZeroWorkers));
+        // A wide pool does not widen the advertised limits: width 8 over
+        // max_in_flight=2 is a valid (if congested) deployment, because
+        // the in-flight gate is counted across all workers.
+        assert!(limits.check_pool(8).is_ok());
+        assert!(limits.check_pool(1).is_ok());
+        // Limit validation still runs first.
+        let broken = ServingLimits {
+            max_body_bytes: 0,
+            ..limits
+        };
+        assert_eq!(broken.check_pool(4), Err(LimitsError::ZeroBodyBound));
     }
 
     #[test]

@@ -191,6 +191,13 @@ impl<'g> RealBatchServer<'g> {
         &self.exec
     }
 
+    /// Scratch-reuse counters of the backing executor: forward passes
+    /// served, arena takes/hits, high-water pooled bytes. Surfaces in the
+    /// wire `/metrics` endpoint.
+    pub fn scratch_stats(&self) -> harvest_engine::ScratchStats {
+        self.exec.scratch_stats()
+    }
+
     /// The weight-generation cell: current/previous generation, swap,
     /// rollback and rejected-load counters, quarantined generations.
     pub fn weights_cell(&self) -> &WeightsCell {

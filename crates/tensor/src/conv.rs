@@ -199,9 +199,10 @@ pub fn conv2d_into_v(
     }
 
     let per_image = |(img_in, img_out): (&[f32], &mut [f32])| {
-        let mut col = vec![0.0f32; col_rows * out_spatial];
-        im2col(img_in, cin, h, w, kernel, stride, pad, &mut col);
-        gemm_v(variant, weight, &col, img_out, cout, col_rows, out_spatial);
+        crate::scratch::with_f32(col_rows * out_spatial, |col| {
+            im2col(img_in, cin, h, w, kernel, stride, pad, col);
+            gemm_v(variant, weight, col, img_out, cout, col_rows, out_spatial);
+        });
         if !bias.is_empty() {
             for (c, plane) in img_out.chunks_exact_mut(out_spatial).enumerate() {
                 let b = bias[c];

@@ -236,14 +236,17 @@ pub fn gemm_bt(a: &[f32], b_t: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
         c.fill(0.0);
         return;
     }
-    // Pack bᵀ (n×k) into b (k×n): column-major reads, row-major writes.
-    let mut b = vec![0.0f32; k * n];
-    for (j, b_t_row) in b_t.chunks_exact(k).enumerate() {
-        for (p, &v) in b_t_row.iter().enumerate() {
-            b[p * n + j] = v;
+    // Pack bᵀ (n×k) into b (k×n): column-major reads, row-major writes. The
+    // pack buffer is loaned from the thread-local scratch pool so repeated
+    // forwards reuse one allocation (every element is written below).
+    crate::scratch::with_f32(k * n, |b| {
+        for (j, b_t_row) in b_t.chunks_exact(k).enumerate() {
+            for (p, &v) in b_t_row.iter().enumerate() {
+                b[p * n + j] = v;
+            }
         }
-    }
-    gemm(a, &b, c, m, k, n);
+        gemm(a, b, c, m, k, n);
+    });
 }
 
 #[cfg(test)]

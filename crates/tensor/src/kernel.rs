@@ -156,13 +156,16 @@ pub fn gemm_bt_v(
         c.fill(0.0);
         return;
     }
-    let mut b = vec![0.0f32; k * n];
-    for (j, b_t_row) in b_t.chunks_exact(k).enumerate() {
-        for (p, &v) in b_t_row.iter().enumerate() {
-            b[p * n + j] = v;
+    // Transpose pack loaned from the thread-local scratch pool (every
+    // element is written, matching `gemm::gemm_bt`).
+    crate::scratch::with_f32(k * n, |b| {
+        for (j, b_t_row) in b_t.chunks_exact(k).enumerate() {
+            for (p, &v) in b_t_row.iter().enumerate() {
+                b[p * n + j] = v;
+            }
         }
-    }
-    gemm_v(variant, a, &b, c, m, k, n);
+        gemm_v(variant, a, b, c, m, k, n);
+    });
 }
 
 /// GEMM through a specific autotuner micro-shape. Shapes the current
@@ -405,12 +408,13 @@ fn dot_scalar_order(a_row: &[f32], b: &[f32], j: usize, k: usize, n: usize) -> f
 // ---------------------------------------------------------------------------
 
 /// Pack B into `nr`-wide column panels: `out[jb][p][0..nr]`, zero-padded in
-/// the final partial panel. Shared by the f32 micro-kernels; exposed for
-/// the conformance suite.
+/// the final partial panel. `out` must be pre-zeroed (the pack only writes
+/// live lanes) and sized `n.div_ceil(nr)·k·nr` — the scratch pool's
+/// zero-filled loans satisfy both.
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-pub(crate) fn pack_b_panels(b: &[f32], k: usize, n: usize, nr: usize) -> Vec<f32> {
+pub(crate) fn pack_b_panels_into(b: &[f32], k: usize, n: usize, nr: usize, out: &mut [f32]) {
     let jblocks = n.div_ceil(nr);
-    let mut out = vec![0.0f32; jblocks * k * nr];
+    assert_eq!(out.len(), jblocks * k * nr, "b panel buffer");
     for jb in 0..jblocks {
         let j0 = jb * nr;
         let w = nr.min(n - j0);
@@ -419,15 +423,15 @@ pub(crate) fn pack_b_panels(b: &[f32], k: usize, n: usize, nr: usize) -> Vec<f32
             out[dst..dst + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
         }
     }
-    out
 }
 
 /// Pack A rows into `mr`-interleaved panels: `out[(ib·k + p)·mr + r]`,
-/// zero-padded in the final partial panel.
+/// zero-padded in the final partial panel. Same pre-zeroed contract as
+/// [`pack_b_panels_into`], with `out` sized `m.div_ceil(mr)·k·mr`.
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-pub(crate) fn pack_a_panels(a: &[f32], m: usize, k: usize, mr: usize) -> Vec<f32> {
+pub(crate) fn pack_a_panels_into(a: &[f32], m: usize, k: usize, mr: usize, out: &mut [f32]) {
     let iblocks = m.div_ceil(mr);
-    let mut out = vec![0.0f32; iblocks * k * mr];
+    assert_eq!(out.len(), iblocks * k * mr, "a panel buffer");
     for ib in 0..iblocks {
         let i0 = ib * mr;
         let h = mr.min(m - i0);
@@ -437,7 +441,6 @@ pub(crate) fn pack_a_panels(a: &[f32], m: usize, k: usize, mr: usize) -> Vec<f32
             }
         }
     }
-    out
 }
 
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
@@ -446,7 +449,8 @@ mod simd {
     //! `#[target_feature]`-gated and only reached after the corresponding
     //! `is_x86_feature_detected!` check, and all pointer arithmetic stays
     //! inside slices whose lengths are asserted by the callers.
-    use super::{pack_a_panels, pack_b_panels, PAR_THRESHOLD_MACS};
+    use super::{pack_a_panels_into, pack_b_panels_into, PAR_THRESHOLD_MACS};
+    use crate::scratch;
     use rayon::prelude::*;
     use std::arch::x86_64::*;
 
@@ -462,8 +466,8 @@ mod simd {
     ///
     /// # Safety
     /// Requires AVX2 and FMA at runtime. `a` must hold `mb` packed rows of
-    /// length k (as produced by [`pack_a_panels`] with this `MR`), `bp` the
-    /// [`pack_b_panels`] packing of B with `nr = NRV·8`, and `c` the
+    /// length k (as produced by [`pack_a_panels_into`] with this `MR`), `bp`
+    /// the [`pack_b_panels_into`] packing of B with `nr = NRV·8`, and `c` the
     /// `mb×n` output block.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn fma_block<const MR: usize, const NRV: usize>(
@@ -620,15 +624,21 @@ mod simd {
         }
         macro_rules! dispatch {
             ($mr:expr, $nrv:expr) => {{
-                let bp = pack_b_panels(b, k, n, $nrv * 8);
-                let c_ptr = SendPtr(c.as_mut_ptr());
-                over_row_blocks(m, k, n, $mr, |i0, mb| {
-                    let ap = pack_a_panels(&a[i0 * k..(i0 + mb) * k], mb, k, $mr);
-                    // Safety: row blocks are disjoint; AVX2+FMA checked by
-                    // the caller of gemm_with_shape.
-                    let c_block =
-                        unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(i0 * n), mb * n) };
-                    unsafe { fma_block::<$mr, $nrv>(&ap, &bp, c_block, mb, k, n) };
+                let nr = $nrv * 8;
+                scratch::with_f32(n.div_ceil(nr) * k * nr, |bp| {
+                    pack_b_panels_into(b, k, n, nr, bp);
+                    let c_ptr = SendPtr(c.as_mut_ptr());
+                    over_row_blocks(m, k, n, $mr, |i0, mb| {
+                        scratch::with_f32(mb.div_ceil($mr) * k * $mr, |ap| {
+                            pack_a_panels_into(&a[i0 * k..(i0 + mb) * k], mb, k, $mr, ap);
+                            // Safety: row blocks are disjoint; AVX2+FMA
+                            // checked by the caller of gemm_with_shape.
+                            let c_block = unsafe {
+                                std::slice::from_raw_parts_mut(c_ptr.get().add(i0 * n), mb * n)
+                            };
+                            unsafe { fma_block::<$mr, $nrv>(ap, bp, c_block, mb, k, n) };
+                        });
+                    });
                 });
             }};
         }
@@ -651,14 +661,19 @@ mod simd {
             c.fill(0.0);
             return;
         }
-        let bp = pack_b_panels(b, k, n, 32);
-        let c_ptr = SendPtr(c.as_mut_ptr());
-        over_row_blocks(m, k, n, 8, |i0, mb| {
-            let ap = pack_a_panels(&a[i0 * k..(i0 + mb) * k], mb, k, 8);
-            // Safety: row blocks are disjoint; AVX512F checked by the caller.
-            let c_block =
-                unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(i0 * n), mb * n) };
-            unsafe { avx512_block(&ap, &bp, c_block, mb, k, n) };
+        scratch::with_f32(n.div_ceil(32) * k * 32, |bp| {
+            pack_b_panels_into(b, k, n, 32, bp);
+            let c_ptr = SendPtr(c.as_mut_ptr());
+            over_row_blocks(m, k, n, 8, |i0, mb| {
+                scratch::with_f32(mb.div_ceil(8) * k * 8, |ap| {
+                    pack_a_panels_into(&a[i0 * k..(i0 + mb) * k], mb, k, 8, ap);
+                    // Safety: row blocks are disjoint; AVX512F checked by the
+                    // caller.
+                    let c_block =
+                        unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(i0 * n), mb * n) };
+                    unsafe { avx512_block(ap, bp, c_block, mb, k, n) };
+                });
+            });
         });
     }
 

@@ -26,6 +26,7 @@ pub mod integrity;
 pub mod kernel;
 pub mod ops;
 pub mod quant;
+pub mod scratch;
 pub mod tensor;
 pub mod tune;
 
